@@ -1,0 +1,109 @@
+// Shared scaffolding for the figure benchmarks: the paper's testbed, the
+// "three identical jobs" shared-cluster emulation, plan construction and
+// standard measurement runs. Every fig*_ binary builds on these so the
+// scenarios stay consistent across figures.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "autopipe/controller.hpp"
+#include "baselines/data_parallel.hpp"
+#include "comm/framework.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "models/zoo.hpp"
+#include "partition/pipedream_planner.hpp"
+#include "pipeline/executor.hpp"
+#include "sim/cluster.hpp"
+#include "sim/trace.hpp"
+
+namespace autopipe::bench {
+
+/// The paper's bandwidth grid.
+inline const std::vector<double> kBandwidthGridGbps = {10, 25, 40, 100};
+
+/// One self-contained simulated testbed instance.
+struct Testbed {
+  std::unique_ptr<sim::Simulator> simulator;
+  std::unique_ptr<sim::Cluster> cluster;
+
+  std::vector<sim::WorkerId> all_workers() const;
+};
+
+/// 5 servers x 2 P100 behind one switch at the given line rate.
+Testbed make_testbed(double bandwidth_gbps);
+
+/// Emulate `extra_jobs` co-located identical jobs (the paper runs three
+/// identical jobs in every static experiment): each extra job adds one
+/// tenant per GPU and one persistent cross-server flow per NIC, so both
+/// compute and bandwidth are genuinely contended in the max-min sense.
+void add_shared_jobs(Testbed& testbed, int extra_jobs);
+
+/// PipeDream's one-shot plan: exclusive-GPU profile, uniform bandwidth.
+partition::PlanResult plan_pipedream(const Testbed& testbed,
+                                     const models::ModelSpec& model,
+                                     const comm::FrameworkProfile& framework,
+                                     comm::SyncScheme scheme);
+
+/// The "Optimal" bar of Figs 3-6: the same DP re-solved against the current
+/// environment view.
+partition::PlanResult plan_current(const Testbed& testbed,
+                                   const models::ModelSpec& model,
+                                   const comm::FrameworkProfile& framework,
+                                   comm::SyncScheme scheme);
+
+/// plan_current followed by a neighbourhood descent under the integrated
+/// per-worker model — "re-executing the work partition" with heterogeneity
+/// (contended GPUs, uneven NICs) taken into account, which the count-based
+/// DP alone cannot express.
+partition::PlanResult plan_refined(const Testbed& testbed,
+                                   const models::ModelSpec& model,
+                                   const comm::FrameworkProfile& framework,
+                                   comm::SyncScheme scheme);
+
+struct RunOptions {
+  comm::FrameworkProfile framework = comm::pytorch_profile();
+  comm::SyncScheme scheme = comm::SyncScheme::kRing;
+  std::size_t iterations = 40;
+  std::size_t warmup = 10;
+  /// Attach an AutoPipe controller (threshold arbiter + analytic
+  /// integrated-model predictor — no pre-trained networks required, so the
+  /// benches run out of the box; the RL/meta ablation bench swaps these).
+  bool autopipe = false;
+  std::size_t decision_interval = 3;
+  /// Iteration-anchored resource events applied during the run.
+  const sim::ResourceTrace* trace = nullptr;
+  pipeline::ScheduleMode mode = pipeline::ScheduleMode::kAsync1F1B;
+  std::size_t micro_batches = 4;
+};
+
+struct RunResult {
+  double throughput = 0.0;             // samples/sec
+  std::vector<double> per_iteration;   // instantaneous series
+  std::vector<double> end_times;       // completion instant per iteration
+  std::size_t batch = 0;
+  std::size_t switches = 0;
+  double utilization = 0.0;
+
+  /// Mean throughput between iterations [lo, hi) computed on elapsed
+  /// simulated time (robust to completion bursts).
+  double window_mean(std::size_t lo, std::size_t hi) const;
+};
+
+/// Execute `partition` on the testbed under the options.
+RunResult run_pipeline(Testbed& testbed, const models::ModelSpec& model,
+                       const partition::Partition& partition,
+                       const RunOptions& options);
+
+/// Vanilla data-parallel baseline over all workers.
+double run_baseline(Testbed& testbed, const models::ModelSpec& model,
+                    const RunOptions& options);
+
+/// Percentage improvement of a over b.
+double speedup_pct(double a, double b);
+
+}  // namespace autopipe::bench

@@ -1,0 +1,109 @@
+// Fig 8: the main static-allocation grid. Three identical jobs share the
+// cluster; we measure one of them under every combination of model
+// {ResNet50, VGG16, AlexNet}, (sync scheme, framework) in {(PS, TensorFlow),
+// (PS, MXNet), (Ring, PyTorch)} and bandwidth {10, 25, 40, 100} Gbps, for
+// three systems:
+//   Baseline  — vanilla data parallelism in that framework/scheme,
+//   PipeDream — static one-shot plan from the exclusive-GPU profile,
+//   AutoPipe  — the same start, plus the profiling + re-partitioning loop
+//               which discovers the *shared* cluster's real speeds.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace autopipe;
+using bench::RunOptions;
+
+namespace {
+
+struct Cell {
+  double baseline = 0.0;
+  double pipedream = 0.0;
+  double autopipe = 0.0;
+};
+
+Cell measure(const models::ModelSpec& model,
+             const comm::FrameworkProfile& framework, comm::SyncScheme scheme,
+             double bandwidth_gbps) {
+  Cell cell;
+  RunOptions options;
+  options.framework = framework;
+  options.scheme = scheme;
+  // Long, identical measurement windows: the replicated-stage pipelines
+  // oscillate slowly (round-robin x sync-gating beats), so short windows
+  // alias the wave.
+  options.iterations = 160;
+  options.warmup = 40;
+  {
+    bench::Testbed t = bench::make_testbed(bandwidth_gbps);
+    bench::add_shared_jobs(t, 2);
+    cell.baseline = bench::run_baseline(t, model, options);
+  }
+  // PipeDream plans from its exclusive-GPU, uniform-bandwidth, ring-assumed
+  // profile — oblivious to the two co-located jobs.
+  const auto plan = [&] {
+    bench::Testbed exclusive = bench::make_testbed(bandwidth_gbps);
+    return bench::plan_pipedream(exclusive, model, framework,
+                                 comm::SyncScheme::kRing);
+  }();
+  {
+    bench::Testbed t = bench::make_testbed(bandwidth_gbps);
+    bench::add_shared_jobs(t, 2);
+    cell.pipedream =
+        bench::run_pipeline(t, model, plan.partition, options).throughput;
+  }
+  {
+    bench::Testbed t = bench::make_testbed(bandwidth_gbps);
+    bench::add_shared_jobs(t, 2);
+    RunOptions ap = options;
+    ap.autopipe = true;
+    cell.autopipe =
+        bench::run_pipeline(t, model, plan.partition, ap).throughput;
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  struct Combo {
+    const char* label;
+    comm::FrameworkProfile framework;
+    comm::SyncScheme scheme;
+  };
+  const Combo combos[] = {
+      {"PS/TensorFlow", comm::tensorflow_profile(),
+       comm::SyncScheme::kParameterServer},
+      {"PS/MXNet", comm::mxnet_profile(), comm::SyncScheme::kParameterServer},
+      {"Ring/PyTorch", comm::pytorch_profile(), comm::SyncScheme::kRing},
+  };
+
+  for (const auto& model : models::image_models()) {
+    for (const Combo& combo : combos) {
+      TextTable table({"bandwidth", "baseline", "PipeDream", "AutoPipe",
+                       "AP vs base", "AP vs PD"});
+      for (double bw : bench::kBandwidthGridGbps) {
+        const Cell cell = measure(model, combo.framework, combo.scheme, bw);
+        table.add_row(
+            {TextTable::num(bw, 0) + "Gbps", TextTable::num(cell.baseline, 1),
+             TextTable::num(cell.pipedream, 1),
+             TextTable::num(cell.autopipe, 1),
+             TextTable::num(bench::speedup_pct(cell.autopipe, cell.baseline),
+                            0) +
+                 "%",
+             TextTable::num(bench::speedup_pct(cell.autopipe, cell.pipedream),
+                            0) +
+                 "%"});
+      }
+      table.print(std::cout, std::string("Fig 8 — ") + model.name() + ", " +
+                                 combo.label +
+                                 " (3 identical jobs, img/s)");
+      std::cout << '\n';
+    }
+  }
+  std::cout << "Paper's shape: AutoPipe > PipeDream in every cell (up to 89% "
+               "in the paper);\nPS cells show larger AutoPipe gains than Ring "
+               "(PipeDream's planner assumes Ring);\nResNet50 gains most "
+               "(more layers -> finer re-partitioning).\n";
+  return 0;
+}

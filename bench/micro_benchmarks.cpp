@@ -1,0 +1,114 @@
+// Google-benchmark micro-benchmarks for the hot paths: the event engine,
+// max-min re-rating, the DP planner, neighbourhood enumeration, meta-network
+// inference and one executor iteration. These bound the runtime overhead
+// AutoPipe adds to a training job (the paper reports < 1% CPU).
+#include <benchmark/benchmark.h>
+
+#include "autopipe/features.hpp"
+#include "autopipe/meta_network.hpp"
+#include "models/zoo.hpp"
+#include "partition/neighborhood.hpp"
+#include "partition/pipedream_planner.hpp"
+#include "pipeline/executor.hpp"
+#include "sim/cluster.hpp"
+#include "sim/flow_network.hpp"
+
+using namespace autopipe;
+
+namespace {
+
+void BM_SimulatorEventChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i)
+      sim.at(static_cast<Seconds>(i) * 1e-3, [&fired] { ++fired; });
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_SimulatorEventChurn);
+
+void BM_FlowNetworkRerate(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  sim::FlowNetwork net(sim);
+  std::vector<sim::ResourceId> resources;
+  for (int i = 0; i < 10; ++i)
+    resources.push_back(net.add_resource("r", 1e9));
+  for (std::size_t f = 0; f < flows; ++f) {
+    net.start_flow({{resources[f % 10], resources[(f + 3) % 10]}, 1e15,
+                    nullptr});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    // Each capacity change triggers a full max-min re-rate.
+    net.set_capacity(resources[i % 10], (i % 2) ? 5e8 : 1e9);
+    ++i;
+  }
+  state.SetLabel(std::to_string(flows) + " flows");
+}
+BENCHMARK(BM_FlowNetworkRerate)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_PipeDreamPlanner(benchmark::State& state) {
+  const auto model = models::resnet50();
+  partition::EnvironmentView env;
+  env.worker_speed.assign(10, tflops(4));
+  env.worker_bandwidth.assign(10, gbps(25));
+  for (auto _ : state) {
+    partition::PipeDreamPlanner planner(model, env, 128);
+    benchmark::DoNotOptimize(planner.plan(10));
+  }
+}
+BENCHMARK(BM_PipeDreamPlanner);
+
+void BM_NeighborhoodEnumeration(benchmark::State& state) {
+  const auto model = models::resnet50();
+  const auto p = partition::Partition::even_split(
+      model.num_layers(), {0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::two_worker_candidates(p));
+  }
+}
+BENCHMARK(BM_NeighborhoodEnumeration);
+
+void BM_MetaNetworkPredict(benchmark::State& state) {
+  const core::FeatureEncoder encoder;
+  core::MetaNetworkConfig mc;
+  mc.dynamic_dim = encoder.dynamic_dim();
+  mc.static_dim = encoder.static_dim();
+  mc.partition_dim = encoder.partition_dim();
+  core::MetaNetwork meta(mc, 1);
+  const std::vector<std::vector<double>> seq(
+      8, std::vector<double>(encoder.dynamic_dim(), 0.4));
+  const std::vector<double> st(encoder.static_dim(), 0.4);
+  const std::vector<double> pf(encoder.partition_dim(), 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meta.predict(seq, st, pf));
+  }
+}
+BENCHMARK(BM_MetaNetworkPredict);
+
+void BM_ExecutorIteration(benchmark::State& state) {
+  const auto model = models::alexnet();
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    sim::ClusterConfig cc;
+    cc.nic_bandwidth = gbps(25);
+    sim::Cluster cluster(sim, cc);
+    const auto env = partition::EnvironmentView::from_cluster(
+        cluster, comm::pytorch_profile(), comm::SyncScheme::kRing);
+    partition::PipeDreamPlanner planner(model, env, 256);
+    const auto plan = planner.plan(10);
+    pipeline::PipelineExecutor executor(cluster, model, plan.partition,
+                                        pipeline::ExecutorConfig{});
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(executor.run(10, 2));
+  }
+}
+BENCHMARK(BM_ExecutorIteration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Bring your own model: describe a network with the ConvNetBuilder (or raw
+// LayerSpecs), inspect its Table-1 profile, compare partitioning strategies
+// and pick the planner output. This is the path a downstream user takes to
+// evaluate pipeline-parallel deployment of their own architecture.
+//
+//   ./examples/custom_model
+#include <iostream>
+
+#include "baselines/data_parallel.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "models/zoo.hpp"
+#include "partition/analytic_eval.hpp"
+#include "partition/pipedream_planner.hpp"
+#include "pipeline/executor.hpp"
+#include "pipeline/memory.hpp"
+#include "sim/cluster.hpp"
+
+using namespace autopipe;
+
+int main() {
+  // 1) Describe the model. A mid-sized convnet with a wide classifier head
+  //    — deliberately unbalanced so partitioning matters.
+  models::ConvNetBuilder builder("custom-net", 3, 128, 128);
+  builder.conv("stem", 32, 5, 2, 2)
+      .conv("block1a", 64, 3)
+      .conv("block1b", 64, 3)
+      .maxpool("pool1", 2, 2)
+      .conv("block2a", 128, 3)
+      .conv("block2b", 128, 3)
+      .maxpool("pool2", 2, 2)
+      .conv("block3a", 256, 3)
+      .conv("block3b", 256, 3)
+      .global_avgpool("gap")
+      .fc("embed", 2048)
+      .fc("head", 1000);
+  const models::ModelSpec model = std::move(builder).build(64);
+
+  // 2) Inspect the Table-1 profile.
+  TextTable profile({"layer", "fwd GFLOPs/sample", "activation KB/sample",
+                     "params (MB)"});
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    profile.add_row({model.layer(l).name,
+                     TextTable::num(model.fwd_flops(l, 1) / 1e9, 3),
+                     TextTable::num(
+                         model.layer(l).activation_bytes_per_sample / 1024, 1),
+                     TextTable::num(model.param_bytes(l) / 1e6, 2)});
+  }
+  profile.print(std::cout, "model profile (Table-1 quantities)");
+
+  // 3) Compare deployment strategies on a 4-server / 25 Gbps slice.
+  auto make_cluster = [](sim::Simulator& sim) {
+    sim::ClusterConfig config;
+    config.num_servers = 4;
+    config.gpus_per_server = 1;
+    config.nic_bandwidth = gbps(25);
+    return std::make_unique<sim::Cluster>(sim, config);
+  };
+
+  TextTable comparison({"strategy", "img/s", "utilization"});
+  {
+    sim::Simulator sim;
+    auto cluster = make_cluster(sim);
+    const double dp = baselines::run_data_parallel(
+                          *cluster, model, {0, 1, 2, 3}, 30, 5)
+                          .throughput;
+    comparison.add_row({"data parallel (ring)", TextTable::num(dp, 1), "-"});
+  }
+  {
+    sim::Simulator sim;
+    auto cluster = make_cluster(sim);
+    pipeline::PipelineExecutor executor(
+        *cluster, model,
+        partition::Partition::even_split(model.num_layers(), {0, 1, 2, 3}),
+        pipeline::ExecutorConfig{});
+    const auto r = executor.run(40, 10);
+    comparison.add_row({"pipeline, even split", TextTable::num(r.throughput, 1),
+                        TextTable::num(r.worker_utilization, 2)});
+  }
+  {
+    sim::Simulator sim;
+    auto cluster = make_cluster(sim);
+    const auto env = partition::EnvironmentView::from_cluster(
+        *cluster, comm::pytorch_profile(), comm::SyncScheme::kRing);
+    partition::PipeDreamPlanner planner(model, env,
+                                        model.default_batch_size());
+    const auto plan = planner.plan(4);
+    std::cout << "\nplanner output: " << plan.partition.to_string()
+              << "  (in-flight " << plan.in_flight << ", solve "
+              << TextTable::num(planner.last_solve_seconds() * 1e3, 2)
+              << " ms)\n";
+    // Check the plan actually fits device memory before deploying.
+    const bool fits = pipeline::plan_fits_memory(
+        *cluster, model, plan.partition, model.default_batch_size(),
+        pipeline::ScheduleMode::kAsync1F1B, plan.in_flight);
+    std::cout << "fits 16 GB devices with weight stashing: "
+              << (fits ? "yes" : "NO") << "\n\n";
+    pipeline::PipelineExecutor executor(*cluster, model, plan.partition,
+                                        pipeline::ExecutorConfig{});
+    const auto r = executor.run(40, 10);
+    comparison.add_row({"pipeline, planned", TextTable::num(r.throughput, 1),
+                        TextTable::num(r.worker_utilization, 2)});
+  }
+  comparison.print(std::cout, "deployment comparison (4 GPUs, 25 Gbps)");
+  return 0;
+}

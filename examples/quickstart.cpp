@@ -1,0 +1,67 @@
+// Quickstart: plan a pipeline with PipeDream's DP, train on the simulated
+// cluster, watch a bandwidth drop hurt the static plan, and let AutoPipe
+// (analytic predictor + threshold arbiter — no pre-trained networks needed)
+// re-partition on the fly.
+//
+//   ./examples/quickstart
+#include <iostream>
+
+#include "autopipe/controller.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "models/zoo.hpp"
+#include "partition/pipedream_planner.hpp"
+#include "pipeline/executor.hpp"
+#include "sim/cluster.hpp"
+#include "sim/trace.hpp"
+
+using namespace autopipe;
+
+int main() {
+  // 1) The paper's testbed: 5 servers x 2 P100, 25 Gbps to start.
+  sim::Simulator simulator;
+  sim::ClusterConfig cluster_config;
+  cluster_config.nic_bandwidth = gbps(25);
+  sim::Cluster cluster(simulator, cluster_config);
+
+  // 2) A model from the zoo and PipeDream's one-shot plan for it.
+  const models::ModelSpec model = models::vgg16();
+  const auto env = partition::EnvironmentView::from_cluster(
+      cluster, comm::pytorch_profile(), comm::SyncScheme::kRing);
+  partition::PipeDreamPlanner planner(model, env, model.default_batch_size());
+  const partition::PlanResult plan = planner.plan(cluster.num_workers());
+  std::cout << "PipeDream plan: " << plan.partition.to_string()
+            << "  (in-flight " << plan.in_flight << ")\n";
+
+  // 3) Train for a while at full bandwidth.
+  pipeline::ExecutorConfig exec_config;
+  pipeline::PipelineExecutor executor(cluster, model, plan.partition,
+                                      exec_config);
+  auto warm = executor.run(30, 5);
+  std::cout << "steady-state speed @25Gbps: " << warm.throughput
+            << " img/sec\n";
+
+  // 4) Attach AutoPipe (analytic predictor, threshold arbiter), then halve
+  //    the bandwidth mid-training and keep going.
+  core::ControllerConfig controller_config;
+  controller_config.arbiter_mode =
+      core::ControllerConfig::ArbiterMode::kThreshold;
+  controller_config.use_meta_network = false;
+  core::AutoPipeController controller(cluster, executor, controller_config,
+                                      nullptr, nullptr);
+
+  sim::ResourceTrace trace;
+  trace.at_iteration(40, sim::ResourceTrace::set_all_nic_bandwidth(gbps(10)));
+  executor.set_iteration_callback([&](std::size_t iters) {
+    trace.apply_iteration(iters, cluster);
+    controller.on_iteration(iters);
+  });
+
+  auto adapted = executor.run(60, 20);
+  std::cout << "speed after bandwidth drop with AutoPipe: "
+            << adapted.throughput << " img/sec  (switches: "
+            << executor.switches_performed() << ")\n";
+  std::cout << "current partition: "
+            << executor.current_partition().to_string() << "\n";
+  return 0;
+}

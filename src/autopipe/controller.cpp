@@ -1,0 +1,444 @@
+#include "autopipe/controller.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "common/log.hpp"
+#include "partition/analytic_eval.hpp"
+#include "partition/neighborhood.hpp"
+#include "partition/pipedream_planner.hpp"
+#include "partition/rebalance.hpp"
+
+namespace autopipe::core {
+
+AutoPipeController::AutoPipeController(sim::Cluster& cluster,
+                                       pipeline::PipelineExecutor& executor,
+                                       ControllerConfig config,
+                                       MetaNetwork* meta, rl::DqnAgent* agent,
+                                       FeatureEncoder encoder)
+    : cluster_(cluster),
+      executor_(executor),
+      config_(config),
+      meta_(meta),
+      agent_(agent),
+      encoder_(std::move(encoder)),
+      profiler_(executor.model(), executor.batch_size()) {
+  AUTOPIPE_EXPECT_MSG(
+      agent_ != nullptr ||
+          config_.arbiter_mode != ControllerConfig::ArbiterMode::kRl,
+      "RL arbiter mode requires an agent");
+  if (config_.use_meta_network) {
+    AUTOPIPE_EXPECT_MSG(meta_ != nullptr,
+                        "use_meta_network requires a MetaNetwork");
+  }
+}
+
+void AutoPipeController::attach() {
+  executor_.set_iteration_callback(
+      [this](std::size_t iters) { on_iteration(iters); });
+}
+
+void AutoPipeController::on_iteration(std::size_t completed_iterations) {
+  const ProfileSnapshot snapshot =
+      profiler_.snapshot(executor_, cluster_);
+
+  if (static_features_.empty())
+    static_features_ = encoder_.static_features(snapshot);
+  dynamic_history_.push_back(encoder_.dynamic_features(snapshot));
+  while (dynamic_history_.size() > config_.history_window)
+    dynamic_history_.pop_front();
+
+  settle_pending_reward(snapshot);
+
+  if (snapshot.iteration_time > 0.0) {
+    recent_period_.push_back(snapshot.iteration_time);
+    while (recent_period_.size() > 2 * config_.validation_window)
+      recent_period_.pop_front();
+  }
+
+  // Online adaptation: the measured speed of the *current* partition is a
+  // free labelled sample for the meta-network.
+  if (meta_ && config_.online_adaptation && snapshot.iteration_time > 0.0) {
+    SpeedSample sample;
+    sample.dynamic_seq.assign(dynamic_history_.begin(),
+                              dynamic_history_.end());
+    sample.static_feat = static_features_;
+    sample.partition_feat = encoder_.partition_features(
+        executor_.current_partition(), snapshot.num_layers);
+    sample.target = encoder_.normalize_throughput(
+        static_cast<double>(executor_.batch_size()) /
+        snapshot.iteration_time);
+    adaptation_buffer_.push_back(std::move(sample));
+    if (adaptation_buffer_.size() >= config_.adaptation_batch) {
+      meta_->train_batch(adaptation_buffer_);
+      adaptation_buffer_.clear();
+    }
+  }
+
+  // Change detection runs on link-level bandwidth (what NIC/switch counters
+  // report) rather than per-flow achieved rates: the latter shift with the
+  // job's own traffic pattern and would alias as phantom resource events.
+  ProfileSnapshot monitor_view = snapshot;
+  for (sim::WorkerId w = 0; w < monitor_view.num_workers; ++w) {
+    monitor_view.worker_bandwidth[w] =
+        cluster_.nic_bandwidth(cluster_.server_of(w));
+  }
+  const ResourceChange change = monitor_.update(monitor_view);
+  if (change.changed) {
+    ++stats_.changes_detected;
+    // A shifted environment invalidates earlier measured rejections and
+    // resets the exploration backoff.
+    rejected_.clear();
+    consecutive_reverts_ = 0;
+    cooldown_until_ = 0;
+    LOG_DEBUG("resource change detected: " << change.description);
+  }
+
+  if (executor_.switch_in_progress()) return;
+
+  // Measured-feedback validation of the last switch: compare mean
+  // seconds/iteration over a post-switch window against the pre-switch
+  // baseline, on elapsed simulated time (robust to completion bursts).
+  if (validation_ && config_.validate_switches &&
+      completed_iterations > validation_->switch_iteration) {
+    if (validation_->window_start < 0.0) {
+      validation_->window_start = cluster_.simulator().now();
+    } else {
+      ++validation_->samples;
+      if (validation_->samples >= config_.validation_window) {
+        const double after_period =
+            (cluster_.simulator().now() - validation_->window_start) /
+            static_cast<double>(validation_->samples);
+        // Keep the new partition only if it is measurably better; an
+        // equal-or-worse measurement sends it back (and into rejected_).
+        if (after_period > validation_->period_before *
+                               (1.0 - config_.regression_tolerance)) {
+          LOG_DEBUG("switch regressed (period "
+                    << validation_->period_before << " -> " << after_period
+                    << "); reverting");
+          rejected_.insert(executor_.current_partition().to_string());
+          if (!executor_.request_switch(validation_->previous,
+                                        config_.switch_mode)) {
+            return;  // switch engine busy: retry the revert next iteration
+          }
+          consecutive_reverts_ = std::min<std::size_t>(
+              consecutive_reverts_ + 1, 6);
+          cooldown_until_ =
+              completed_iterations +
+              (config_.revert_cooldown << consecutive_reverts_);
+        } else {
+          consecutive_reverts_ = 0;  // the switch held up under measurement
+        }
+        validation_.reset();
+        return;
+      }
+    }
+  }
+
+  // An in-progress gradual migration takes priority over fresh decisions;
+  // intermediate steps are not individually validated (they may transit
+  // through worse configurations on the way to the target).
+  if (target_) {
+    validation_.reset();
+    if (pursue_target()) return;
+  }
+
+  if (completed_iterations < config_.min_history_iterations) return;
+  if (!change.changed && completed_iterations < cooldown_until_) return;
+  const bool periodic =
+      config_.decision_interval > 0 &&
+      completed_iterations % config_.decision_interval == 0;
+  if (!change.changed && !periodic) return;
+  if (dynamic_history_.size() < 2) return;  // nothing to learn from yet
+
+  evaluate_and_decide(snapshot, change.changed);
+}
+
+double AutoPipeController::predict_speed(
+    const ProfileSnapshot& snapshot, const partition::Partition& candidate) {
+  if (meta_ && config_.use_meta_network) {
+    const std::vector<std::vector<double>> seq(dynamic_history_.begin(),
+                                               dynamic_history_.end());
+    const double normalized = meta_->predict(
+        seq, static_features_,
+        encoder_.partition_features(candidate, snapshot.num_layers));
+    return encoder_.denormalize_throughput(normalized);
+  }
+  // Analytic integrated model on the profiled environment.
+  const auto env = profiler_.environment(snapshot,
+                                         executor_.config().framework,
+                                         executor_.config().sync_scheme);
+  return partition::analytic_throughput(executor_.model(), candidate, env,
+                                        executor_.batch_size());
+}
+
+double AutoPipeController::baseline_period() const {
+  AUTOPIPE_EXPECT(!recent_period_.empty());
+  std::vector<double> sorted(recent_period_.begin(), recent_period_.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted[sorted.size() / 2];  // median: robust to fill-phase spikes
+}
+
+namespace {
+/// Layers whose hosting worker set differs between two partitions — the
+/// migration distance a switch sequence must close.
+std::size_t partition_distance(const partition::Partition& a,
+                               const partition::Partition& b) {
+  std::size_t d = 0;
+  for (std::size_t l = 0; l < a.num_layers(); ++l) {
+    if (a.stage(a.stage_of_layer(l)).workers !=
+        b.stage(b.stage_of_layer(l)).workers)
+      ++d;
+  }
+  return d;
+}
+}  // namespace
+
+std::pair<partition::Partition, double> AutoPipeController::replan(
+    const ProfileSnapshot& snapshot) {
+  const auto env = profiler_.environment(snapshot,
+                                         executor_.config().framework,
+                                         executor_.config().sync_scheme);
+  partition::PipeDreamPlanner planner(
+      executor_.model(), env, executor_.batch_size(),
+      partition::PipeDreamPlanner::Mode::kCurrentEnvironment);
+  partition::PlanResult plan = planner.plan(env.num_workers());
+  // Refine with a short neighbourhood descent under the integrated model.
+  Seconds best = partition::analytic_batch_time(executor_.model(),
+                                                plan.partition, env,
+                                                executor_.batch_size());
+  for (int round = 0; round < 20; ++round) {
+    bool improved = false;
+    for (const auto& candidate :
+         partition::two_worker_candidates(plan.partition)) {
+      const Seconds t = partition::analytic_batch_time(
+          executor_.model(), candidate.partition, env, executor_.batch_size());
+      if (t < best * 0.999) {
+        best = t;
+        plan.partition = candidate.partition;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  // Heterogeneity-aware alternative: keep the current stage structure but
+  // re-draw the layer boundaries in proportion to the profiled speeds. This
+  // escapes the multi-slow-stage local optimum the count-based DP and the
+  // two-worker neighbourhood both miss.
+  partition::Partition rebalanced = partition::speed_proportional_rebalance(
+      executor_.model(), executor_.current_partition(), env,
+      executor_.batch_size());
+  const Seconds rebalanced_time = partition::analytic_batch_time(
+      executor_.model(), rebalanced, env, executor_.batch_size());
+  if (rebalanced_time < best) {
+    best = rebalanced_time;
+    plan.partition = std::move(rebalanced);
+  }
+  return {std::move(plan.partition),
+          static_cast<double>(executor_.batch_size()) / best};
+}
+
+bool AutoPipeController::pursue_target() {
+  if (!target_) return false;
+  const partition::Partition& current = executor_.current_partition();
+  if (current == *target_ || target_steps_ > 4 * current.num_layers()) {
+    target_.reset();
+    return false;
+  }
+  // Step to the neighbour closest to the target.
+  const auto candidates = partition::two_worker_candidates(current);
+  const std::size_t current_distance = partition_distance(current, *target_);
+  const partition::Candidate* best = nullptr;
+  std::size_t best_distance = current_distance;
+  for (const auto& candidate : candidates) {
+    const std::size_t d = partition_distance(candidate.partition, *target_);
+    if (d < best_distance) {
+      best_distance = d;
+      best = &candidate;
+    }
+  }
+  if (best == nullptr) {
+    target_.reset();  // no move closes the gap: abandon the target
+    return false;
+  }
+  ++target_steps_;
+  if (executor_.request_switch(best->partition, config_.switch_mode)) {
+    ++stats_.switches_requested;
+    last_switch_iteration_ = executor_.completed_iterations();
+  }
+  return true;
+}
+
+void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
+                                             bool after_change) {
+  const auto wall0 = std::chrono::steady_clock::now();
+  ++stats_.decisions;
+
+  const partition::Partition& current = executor_.current_partition();
+  const double current_speed = predict_speed(snapshot, current);
+
+  // On a real environment shift, the two-worker neighbourhood may be too
+  // local: consult the full re-plan first.
+  if (after_change && config_.replan_on_change) {
+    auto [plan, plan_speed] = replan(snapshot);
+    if (plan_speed > current_speed * (1.0 + config_.replan_gain_threshold) &&
+        !(plan == current) && !rejected_.count(plan.to_string())) {
+      if (config_.gradual_migration) {
+        LOG_DEBUG("migration target " << plan.to_string());
+        target_ = std::move(plan);
+        target_steps_ = 0;
+        pursue_target();
+        return;
+      }
+      LOG_DEBUG("re-plan adoption: " << plan.to_string() << " (predicted "
+                                     << current_speed << " -> " << plan_speed
+                                     << ")");
+      partition::Partition previous = current;
+      if (executor_.request_switch(plan, config_.switch_mode)) {
+        ++stats_.switches_requested;
+        last_switch_iteration_ = executor_.completed_iterations();
+        if (config_.validate_switches && !recent_period_.empty()) {
+          validation_ = Validation{std::move(previous), baseline_period(),
+                                   executor_.completed_iterations(), -1.0, 0};
+        }
+        return;
+      }
+    }
+  }
+
+  auto candidates = partition::two_worker_candidates(current);
+  stats_.candidates_evaluated += candidates.size();
+
+  double best_speed = 0.0;
+  const partition::Candidate* best = nullptr;
+  for (const auto& candidate : candidates) {
+    if (config_.validate_switches &&
+        rejected_.count(candidate.partition.to_string()))
+      continue;  // measured worse than predicted earlier in this regime
+    const double speed = predict_speed(snapshot, candidate.partition);
+    if (best == nullptr || speed > best_speed) {
+      best_speed = speed;
+      best = &candidate;
+    }
+  }
+
+  const auto wall1 = std::chrono::steady_clock::now();
+  stats_.last_decision_wall_seconds =
+      std::chrono::duration<double>(wall1 - wall0).count();
+  stats_.total_decision_wall_seconds += stats_.last_decision_wall_seconds;
+
+  // Non-RL arbiters only consider candidates above the gain floor. The RL
+  // arbiter sees every best-of-neighbourhood proposal — learning to decline
+  // unprofitable switches is precisely its job, and declined proposals
+  // still produce reward observations.
+  const bool below_floor =
+      best == nullptr ||
+      best_speed <= current_speed * (1.0 + config_.candidate_gain_floor);
+  if (below_floor &&
+      (config_.arbiter_mode != ControllerConfig::ArbiterMode::kRl ||
+       best == nullptr))
+    return;
+
+  // Cost of adopting the best candidate.
+  const auto env = profiler_.environment(snapshot,
+                                         executor_.config().framework,
+                                         executor_.config().sync_scheme);
+  const SwitchCostEstimate cost = analytic_switch_cost(
+      executor_.model(), current, best->partition, env,
+      snapshot.iteration_time > 0.0 ? snapshot.iteration_time : 0.1,
+      partition::optimal_in_flight(current),
+      executor_.config().switch_overhead_per_layer);
+  const Seconds cost_seconds =
+      config_.switch_mode ==
+              pipeline::PipelineExecutor::SwitchMode::kFineGrained
+          ? cost.fine_grained
+          : cost.stop_the_world;
+
+  // Arbiter: is the predicted gain worth the cost?
+  int action = 0;
+  std::vector<double> state = encoder_.arbiter_state(
+      snapshot, current_speed, best_speed, cost_seconds,
+      static_cast<double>(executor_.completed_iterations() -
+                          last_switch_iteration_));
+  switch (config_.arbiter_mode) {
+    case ControllerConfig::ArbiterMode::kRl:
+      action = agent_->act(state, config_.arbiter_explore);
+      break;
+    case ControllerConfig::ArbiterMode::kAlwaysSwitch:
+      action = 1;
+      break;
+    case ControllerConfig::ArbiterMode::kNeverSwitch:
+      action = 0;
+      break;
+    case ControllerConfig::ArbiterMode::kThreshold: {
+      const bool gain_ok =
+          best_speed > current_speed * (1.0 + config_.threshold_gain);
+      // Cost-aware gate: the migration must pay back within the horizon.
+      const double gain_per_iteration =
+          (best_speed / std::max(current_speed, 1e-9) - 1.0) *
+          std::max(snapshot.iteration_time, 1e-6);
+      const bool payback_ok =
+          cost_seconds <
+          gain_per_iteration * config_.payback_horizon_iterations;
+      action = (gain_ok && payback_ok) ? 1 : 0;
+      break;
+    }
+  }
+
+  if (agent_) {
+    // Normalized switching cost: the training speed lost to the switch,
+    // expressed in the same units as the speed reward (§4.3's "normalized
+    // switching cost"): current normalized speed times the cost expressed
+    // in iterations.
+    const double cost_normalized =
+        action == 1 ? encoder_.normalize_throughput(
+                          static_cast<double>(executor_.batch_size()) /
+                          std::max(snapshot.iteration_time, 1e-6)) *
+                          (cost_seconds /
+                           std::max(snapshot.iteration_time, 1e-6))
+                    : 0.0;
+    pending_ = PendingDecision{std::move(state), action, cost_normalized};
+  }
+
+  if (action == 1) {
+    partition::Partition previous = executor_.current_partition();
+    if (executor_.request_switch(best->partition, config_.switch_mode)) {
+      ++stats_.switches_requested;
+      last_switch_iteration_ = executor_.completed_iterations();
+      if (config_.validate_switches && !recent_period_.empty()) {
+        validation_ = Validation{std::move(previous), baseline_period(),
+                                 executor_.completed_iterations(), -1.0, 0};
+      }
+      LOG_DEBUG("switching to " << best->partition.to_string()
+                                << " (predicted " << current_speed << " -> "
+                                << best_speed << " samples/s)");
+    }
+  }
+}
+
+void AutoPipeController::settle_pending_reward(
+    const ProfileSnapshot& snapshot) {
+  if (!agent_ || !pending_) return;
+  // Reward: the training speed of the iteration following the decision,
+  // net of the normalized switching cost (§4.3's reward function).
+  const double speed =
+      snapshot.iteration_time > 0.0
+          ? static_cast<double>(executor_.batch_size()) /
+                snapshot.iteration_time
+          : 0.0;
+  rl::Transition t;
+  t.state = pending_->state;
+  t.action = pending_->action;
+  t.reward = encoder_.normalize_throughput(speed) -
+             (pending_->action == 1 ? pending_->cost_if_switched : 0.0);
+  // Next state: the same encoding re-evaluated now, with no candidate yet.
+  t.next_state = encoder_.arbiter_state(snapshot, speed, speed, 0.0,
+                                        static_cast<double>(
+                                            executor_.completed_iterations() -
+                                            last_switch_iteration_));
+  t.terminal = false;
+  agent_->observe(std::move(t));
+  pending_.reset();
+}
+
+}  // namespace autopipe::core

@@ -1,0 +1,181 @@
+// The AutoPipe controller: the closed loop of §4. Every iteration it takes
+// a non-intrusive profile; on resource change (or a periodic fallback) it
+// enumerates the two-worker candidate neighbourhood, predicts each
+// candidate's speed with the meta-network (or the analytic model, for the
+// ablation), asks the arbiter whether the best candidate is worth the
+// switching cost, and if so performs a fine-grained switch on the running
+// executor. Measured outcomes flow back as RL rewards and (optionally)
+// online-adaptation samples for the meta-network.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+#include "autopipe/features.hpp"
+#include "autopipe/meta_network.hpp"
+#include "autopipe/profiler.hpp"
+#include "autopipe/resource_monitor.hpp"
+#include "autopipe/switch_cost.hpp"
+#include "pipeline/executor.hpp"
+#include "rl/dqn.hpp"
+
+namespace autopipe::core {
+
+struct ControllerConfig {
+  enum class ArbiterMode {
+    kRl,            ///< the paper's learned arbiter
+    kAlwaysSwitch,  ///< straw-man: adopt every improving candidate
+    kNeverSwitch,   ///< static configuration (PipeDream behaviour)
+    kThreshold,     ///< switch when predicted gain exceeds threshold_gain
+  };
+  ArbiterMode arbiter_mode = ArbiterMode::kRl;
+  pipeline::PipelineExecutor::SwitchMode switch_mode =
+      pipeline::PipelineExecutor::SwitchMode::kFineGrained;
+  /// false: score candidates with the analytic integrated model instead of
+  /// the meta-network (predictor ablation).
+  bool use_meta_network = true;
+  /// LSTM window of dynamic-metric timesteps.
+  std::size_t history_window = 8;
+  /// No decisions before this many completed iterations: the pipeline is
+  /// filling and the profiler is converging, so early periods and speeds
+  /// are not representative.
+  std::size_t min_history_iterations = 10;
+  /// Periodic re-evaluation interval (iterations) when no change detected.
+  std::size_t decision_interval = 5;
+  /// Minimum predicted relative gain for a candidate to be considered.
+  double candidate_gain_floor = 0.01;
+  /// Gain threshold for ArbiterMode::kThreshold.
+  double threshold_gain = 0.05;
+  /// The estimated switching cost must pay back within this many
+  /// iterations of the predicted gain for the threshold arbiter to act.
+  double payback_horizon_iterations = 25.0;
+  /// Whether measured speeds feed back into the meta-network online.
+  bool online_adaptation = true;
+  std::size_t adaptation_batch = 16;
+  /// Explore (epsilon-greedy) in the RL arbiter — on for offline training
+  /// episodes, off for deployment.
+  bool arbiter_explore = false;
+  /// Measured-feedback validation: after a switch, compare the measured
+  /// speed over `validation_window` iterations with the pre-switch speed;
+  /// on regression, revert to the previous partition and hold off further
+  /// decisions for `revert_cooldown` iterations. This is the deployment
+  /// safety net around predictor error (the RL reward plays the same role
+  /// during training).
+  bool validate_switches = true;
+  std::size_t validation_window = 8;
+  std::size_t revert_cooldown = 6;
+  /// A switch survives validation only if the measured period improves by
+  /// at least this fraction; otherwise it is reverted and blacklisted.
+  double regression_tolerance = 0.005;
+  /// On a detected resource change, compute a full re-plan against the
+  /// profiled environment and adopt it in one fine-grained switch when it
+  /// predicts at least replan_gain_threshold relative gain. Between
+  /// changes, the two-worker neighbourhood fine-tunes gradually (§4.2).
+  bool replan_on_change = true;
+  double replan_gain_threshold = 0.10;
+  /// Alternative §4.2 mode exercised by the neighbourhood ablation: walk
+  /// toward the re-plan with successive two-worker switches instead of one
+  /// wholesale adoption.
+  bool gradual_migration = false;
+};
+
+class AutoPipeController {
+ public:
+  /// `meta` and `agent` may be null: a null meta falls back to the analytic
+  /// predictor; a null agent is only legal for non-RL arbiter modes.
+  AutoPipeController(sim::Cluster& cluster,
+                     pipeline::PipelineExecutor& executor,
+                     ControllerConfig config, MetaNetwork* meta,
+                     rl::DqnAgent* agent,
+                     FeatureEncoder encoder = FeatureEncoder{});
+
+  /// Register as the executor's iteration callback. Call once.
+  void attach();
+
+  /// The per-iteration hook (public so tests can drive it directly).
+  void on_iteration(std::size_t completed_iterations);
+
+  struct Stats {
+    std::size_t decisions = 0;
+    std::size_t switches_requested = 0;
+    std::size_t candidates_evaluated = 0;
+    Seconds total_decision_wall_seconds = 0.0;  // host wall clock (Fig 12)
+    Seconds last_decision_wall_seconds = 0.0;
+    std::size_t changes_detected = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  const FeatureEncoder& encoder() const { return encoder_; }
+
+ private:
+  void evaluate_and_decide(const ProfileSnapshot& snapshot,
+                           bool after_change);
+  /// Full re-plan against the profiled environment (DP + short descent).
+  /// Returns the plan and its analytic speed prediction.
+  std::pair<partition::Partition, double> replan(
+      const ProfileSnapshot& snapshot);
+  /// Take one step of an in-progress gradual migration. Returns true if a
+  /// switch was issued (or the target is still pending).
+  bool pursue_target();
+  double predict_speed(const ProfileSnapshot& snapshot,
+                       const partition::Partition& candidate);
+  void settle_pending_reward(const ProfileSnapshot& snapshot);
+  /// Median of the recent iteration periods.
+  double baseline_period() const;
+
+  sim::Cluster& cluster_;
+  pipeline::PipelineExecutor& executor_;
+  ControllerConfig config_;
+  MetaNetwork* meta_;
+  rl::DqnAgent* agent_;
+  FeatureEncoder encoder_;
+  Profiler profiler_;
+  ResourceMonitor monitor_;
+
+  std::deque<std::vector<double>> dynamic_history_;
+  std::vector<double> static_features_;
+
+  struct PendingDecision {
+    std::vector<double> state;
+    int action = 0;
+    double cost_if_switched = 0.0;
+  };
+  std::optional<PendingDecision> pending_;
+  std::size_t last_switch_iteration_ = 0;
+
+  /// Long-range migration target (a full re-plan worth walking toward) and
+  /// the number of steps taken, as a runaway guard.
+  std::optional<partition::Partition> target_;
+  std::size_t target_steps_ = 0;
+
+  struct Validation {
+    partition::Partition previous;
+    /// Mean seconds/iteration before the switch (lower is better).
+    double period_before = 0.0;
+    std::size_t switch_iteration = 0;
+    /// Simulated instant the post-switch window opened.
+    double window_start = -1.0;
+    std::size_t samples = 0;
+  };
+  std::optional<Validation> validation_;
+  std::size_t cooldown_until_ = 0;
+  /// Consecutive reverted switches; drives exponential decision backoff so
+  /// a mispredicting predictor cannot thrash a stable environment.
+  std::size_t consecutive_reverts_ = 0;
+  /// Rolling window of recent iteration periods (seconds), the baseline a
+  /// switch is validated against.
+  std::deque<double> recent_period_;
+  /// Partitions that measured worse than predicted after adoption; skipped
+  /// until the environment changes again.
+  std::unordered_set<std::string> rejected_;
+
+  std::vector<SpeedSample> adaptation_buffer_;
+  Stats stats_;
+};
+
+}  // namespace autopipe::core

@@ -1,0 +1,112 @@
+#include "autopipe/features.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace autopipe::core {
+
+FeatureEncoder::FeatureEncoder(FeatureConfig config) : config_(config) {
+  AUTOPIPE_EXPECT(config_.max_workers >= 1);
+}
+
+std::vector<double> FeatureEncoder::static_features(
+    const ProfileSnapshot& snap) const {
+  std::vector<double> f;
+  f.push_back(static_cast<double>(snap.num_layers) / 64.0);
+  f.push_back(static_cast<double>(snap.num_workers) /
+              static_cast<double>(config_.max_workers));
+
+  auto aggregate = [&](const std::vector<double>& xs, double scale) {
+    double total = 0.0, mx = 0.0;
+    for (double x : xs) {
+      total += x;
+      mx = std::max(mx, x);
+    }
+    f.push_back(total / scale / static_cast<double>(std::max<std::size_t>(
+                                    1, xs.size())));  // mean
+    f.push_back(mx / scale);                          // max
+    f.push_back(total / scale / 16.0);                // total (damped)
+  };
+  aggregate(snap.activation_bytes, config_.bytes_scale);
+  aggregate(snap.gradient_bytes, config_.bytes_scale);
+  aggregate(snap.param_bytes, config_.bytes_scale);
+  return f;
+}
+
+std::vector<double> FeatureEncoder::dynamic_features(
+    const ProfileSnapshot& snap) const {
+  std::vector<double> f;
+  f.reserve(2 * config_.max_workers + 1);
+  for (std::size_t w = 0; w < config_.max_workers; ++w) {
+    f.push_back(w < snap.worker_bandwidth.size()
+                    ? snap.worker_bandwidth[w] / config_.bandwidth_scale
+                    : 0.0);
+  }
+  for (std::size_t w = 0; w < config_.max_workers; ++w) {
+    f.push_back(w < snap.worker_speed.size()
+                    ? snap.worker_speed[w] / config_.speed_scale
+                    : 0.0);
+  }
+  f.push_back(snap.iteration_time / config_.time_scale);
+  return f;
+}
+
+std::vector<double> FeatureEncoder::partition_features(
+    const partition::Partition& partition, std::size_t num_layers) const {
+  AUTOPIPE_EXPECT(num_layers > 0);
+  std::vector<double> f(3 * config_.max_workers + 1, 0.0);
+  for (std::size_t s = 0; s < partition.num_stages(); ++s) {
+    const auto& stage = partition.stage(s);
+    for (sim::WorkerId w : stage.workers) {
+      if (w >= config_.max_workers) continue;
+      f[3 * w + 0] = static_cast<double>(stage.first_layer) /
+                     static_cast<double>(num_layers);
+      f[3 * w + 1] = static_cast<double>(stage.last_layer + 1) /
+                     static_cast<double>(num_layers);
+      f[3 * w + 2] = static_cast<double>(stage.replication()) /
+                     static_cast<double>(config_.max_workers);
+    }
+  }
+  f.back() = static_cast<double>(partition.num_stages()) /
+             static_cast<double>(config_.max_workers);
+  return f;
+}
+
+std::vector<double> FeatureEncoder::arbiter_state(
+    const ProfileSnapshot& snap, double current_speed_pred,
+    double candidate_speed_pred, double switch_cost_pred,
+    double iterations_since_switch) const {
+  std::vector<double> f = dynamic_features(snap);
+  f.push_back(normalize_throughput(current_speed_pred));
+  f.push_back(normalize_throughput(candidate_speed_pred));
+  f.push_back(normalize_throughput(candidate_speed_pred) -
+              normalize_throughput(current_speed_pred));
+  f.push_back(switch_cost_pred / config_.time_scale);
+  f.push_back(std::min(iterations_since_switch, 50.0) / 50.0);
+  return f;
+}
+
+std::size_t FeatureEncoder::static_dim() const { return 2 + 3 * 3; }
+
+std::size_t FeatureEncoder::dynamic_dim() const {
+  return 2 * config_.max_workers + 1;
+}
+
+std::size_t FeatureEncoder::partition_dim() const {
+  return 3 * config_.max_workers + 1;
+}
+
+std::size_t FeatureEncoder::arbiter_dim() const {
+  return dynamic_dim() + 5;
+}
+
+double FeatureEncoder::normalize_throughput(double samples_per_sec) const {
+  return samples_per_sec / config_.throughput_scale;
+}
+
+double FeatureEncoder::denormalize_throughput(double normalized) const {
+  return normalized * config_.throughput_scale;
+}
+
+}  // namespace autopipe::core

@@ -1,0 +1,66 @@
+// Feature engineering for the meta-network and the RL arbiter: Table-1
+// snapshots, candidate partitions and environment summaries are mapped to
+// fixed-width, roughly unit-scale vectors (padded to a maximum worker
+// count) so one trained network serves different cluster sizes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "autopipe/profiler.hpp"
+#include "partition/partition.hpp"
+
+namespace autopipe::core {
+
+struct FeatureConfig {
+  std::size_t max_workers = 16;
+  // Normalization scales (chosen near the testbed's operating point).
+  double bandwidth_scale = 12.5e9;   // 100 Gbps in bytes/sec
+  double speed_scale = 5e12;         // ~1 contended P100
+  double flops_scale = 5e12;         // per-layer work scale
+  double bytes_scale = 512.0 * 1024 * 1024;
+  double time_scale = 1.0;           // iteration seconds
+  double throughput_scale = 500.0;   // img/sec normalization for targets
+};
+
+class FeatureEncoder {
+ public:
+  explicit FeatureEncoder(FeatureConfig config = {});
+
+  /// Static metrics (Table 1, rows 1-5), aggregated: layer/worker counts
+  /// plus mean/max/total of per-layer work, activations and parameters.
+  std::vector<double> static_features(const ProfileSnapshot& snap) const;
+
+  /// One LSTM timestep of dynamic metrics (Table 1, rows 6-8): per-worker
+  /// bandwidth and speed (padded) plus the last iteration time.
+  std::vector<double> dynamic_features(const ProfileSnapshot& snap) const;
+
+  /// The "worker partition solution" input: per worker (padded), the
+  /// normalized first/last layer and replication of its stage.
+  std::vector<double> partition_features(
+      const partition::Partition& partition, std::size_t num_layers) const;
+
+  /// Arbiter state: dynamic summary + predicted current/candidate speeds +
+  /// predicted switch cost + iterations since last switch.
+  std::vector<double> arbiter_state(const ProfileSnapshot& snap,
+                                    double current_speed_pred,
+                                    double candidate_speed_pred,
+                                    double switch_cost_pred,
+                                    double iterations_since_switch) const;
+
+  std::size_t static_dim() const;
+  std::size_t dynamic_dim() const;
+  std::size_t partition_dim() const;
+  std::size_t arbiter_dim() const;
+
+  const FeatureConfig& config() const { return config_; }
+
+  /// Normalize / denormalize prediction targets (samples per second).
+  double normalize_throughput(double samples_per_sec) const;
+  double denormalize_throughput(double normalized) const;
+
+ private:
+  FeatureConfig config_;
+};
+
+}  // namespace autopipe::core

@@ -1,0 +1,120 @@
+#include "autopipe/meta_network.hpp"
+
+#include "common/expect.hpp"
+#include "nn/loss.hpp"
+
+namespace autopipe::core {
+
+namespace {
+
+std::vector<std::size_t> head_widths(const MetaNetworkConfig& c) {
+  std::vector<std::size_t> w;
+  w.push_back(c.lstm_hidden + c.static_dim + c.partition_dim);
+  for (std::size_t h : c.head_hidden) w.push_back(h);
+  w.push_back(1);
+  return w;
+}
+
+std::vector<nn::Parameter*> all_params(nn::Lstm& lstm, nn::Mlp& head) {
+  auto params = lstm.parameters();
+  for (nn::Parameter* p : head.parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace
+
+MetaNetwork::MetaNetwork(MetaNetworkConfig config, std::uint64_t seed)
+    : config_(config),
+      lstm_([&] {
+        Rng init(seed);
+        return nn::Lstm(config_.dynamic_dim, config_.lstm_hidden, init);
+      }()),
+      head_([&] {
+        Rng init(seed ^ 0xda3e39cb94b95bdbull);
+        return nn::Mlp(head_widths(config_), nn::Activation::kRelu,
+                       nn::Activation::kIdentity, init);
+      }()),
+      optimizer_(all_params(lstm_, head_), config_.learning_rate) {
+  AUTOPIPE_EXPECT(config_.dynamic_dim > 0);
+  AUTOPIPE_EXPECT(config_.static_dim > 0);
+  AUTOPIPE_EXPECT(config_.partition_dim > 0);
+}
+
+nn::Matrix MetaNetwork::forward_one(const SpeedSample& sample) {
+  AUTOPIPE_EXPECT(!sample.dynamic_seq.empty());
+  AUTOPIPE_EXPECT(sample.static_feat.size() == config_.static_dim);
+  AUTOPIPE_EXPECT(sample.partition_feat.size() == config_.partition_dim);
+
+  std::vector<nn::Matrix> seq;
+  seq.reserve(sample.dynamic_seq.size());
+  for (const auto& step : sample.dynamic_seq) {
+    AUTOPIPE_EXPECT(step.size() == config_.dynamic_dim);
+    nn::Matrix x(1, config_.dynamic_dim);
+    for (std::size_t i = 0; i < step.size(); ++i) x.at(0, i) = step[i];
+    seq.push_back(std::move(x));
+  }
+  const nn::Matrix h = lstm_.forward(seq);
+
+  nn::Matrix joint(1, config_.lstm_hidden + config_.static_dim +
+                          config_.partition_dim);
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < config_.lstm_hidden; ++i)
+    joint.at(0, c++) = h.at(0, i);
+  for (double v : sample.static_feat) joint.at(0, c++) = v;
+  for (double v : sample.partition_feat) joint.at(0, c++) = v;
+  return head_.forward(joint);
+}
+
+double MetaNetwork::predict(
+    const std::vector<std::vector<double>>& dynamic_seq,
+    const std::vector<double>& static_feat,
+    const std::vector<double>& partition_feat) {
+  SpeedSample s;
+  s.dynamic_seq = dynamic_seq;
+  s.static_feat = static_feat;
+  s.partition_feat = partition_feat;
+  return forward_one(s).at(0, 0);
+}
+
+double MetaNetwork::train_batch(const std::vector<SpeedSample>& batch) {
+  AUTOPIPE_EXPECT(!batch.empty());
+  lstm_.zero_grad();
+  head_.zero_grad();
+  double total_loss = 0.0;
+  for (const SpeedSample& sample : batch) {
+    const nn::Matrix pred = forward_one(sample);
+    nn::Matrix target(1, 1);
+    target.at(0, 0) = sample.target;
+    const nn::LossResult loss = nn::mse_loss(pred, target);
+    total_loss += loss.value;
+    // Backprop through the head, then split the joint-input gradient and
+    // hand the LSTM its share.
+    const nn::Matrix djoint = head_.backward(loss.grad);
+    nn::Matrix dh(1, config_.lstm_hidden);
+    for (std::size_t i = 0; i < config_.lstm_hidden; ++i)
+      dh.at(0, i) = djoint.at(0, i);
+    lstm_.backward(dh);
+  }
+  // Average the accumulated gradients over the batch.
+  const double inv = 1.0 / static_cast<double>(batch.size());
+  for (nn::Parameter* p : all_params(lstm_, head_)) p->grad *= inv;
+  optimizer_.step();
+  return total_loss / static_cast<double>(batch.size());
+}
+
+void MetaNetwork::begin_online_adaptation(double lr_scale) {
+  AUTOPIPE_EXPECT(lr_scale > 0.0 && lr_scale <= 1.0);
+  optimizer_.set_learning_rate(config_.learning_rate * lr_scale);
+}
+
+void MetaNetwork::save(std::ostream& os) const {
+  lstm_.save(os);
+  head_.save(os);
+}
+
+void MetaNetwork::load(std::istream& is) {
+  lstm_.load(is);
+  head_.load(is);
+}
+
+}  // namespace autopipe::core

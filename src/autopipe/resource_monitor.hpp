@@ -1,0 +1,48 @@
+// Resource-change detection (the "resource changing detector" component of
+// the prototype): maintains smoothed baselines of per-worker bandwidth and
+// compute speed and flags when any worker deviates beyond a relative
+// threshold — the trigger for an out-of-schedule partition re-evaluation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autopipe/profiler.hpp"
+
+namespace autopipe::core {
+
+struct ResourceChange {
+  bool changed = false;
+  /// Largest relative deviation observed.
+  double magnitude = 0.0;
+  std::string description;
+};
+
+class ResourceMonitor {
+ public:
+  /// A change is reported only when some worker's deviation from baseline
+  /// exceeds `relative_threshold` for `persistence` consecutive snapshots —
+  /// transient fair-share jitter in the observed bandwidth must not count
+  /// as a resource event.
+  explicit ResourceMonitor(double relative_threshold = 0.3,
+                           double ema_alpha = 0.3,
+                           std::size_t persistence = 3);
+
+  /// Feed one snapshot; returns whether a significant change occurred since
+  /// the last accepted baseline. On detection the baseline resets to the
+  /// new reading.
+  ResourceChange update(const ProfileSnapshot& snapshot);
+
+  void reset();
+
+ private:
+  double threshold_;
+  double alpha_;
+  std::size_t persistence_;
+  std::size_t consecutive_over_ = 0;
+  bool primed_ = false;
+  std::vector<double> bw_baseline_;
+  std::vector<double> speed_baseline_;
+};
+
+}  // namespace autopipe::core

@@ -1,0 +1,99 @@
+#include "autopipe/switch_cost.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/expect.hpp"
+#include "nn/loss.hpp"
+
+namespace autopipe::core {
+
+SwitchCostEstimate analytic_switch_cost(
+    const models::ModelSpec& model, const partition::Partition& from,
+    const partition::Partition& to, const partition::EnvironmentView& env,
+    Seconds current_batch_time, std::size_t in_flight,
+    Seconds restage_overhead_per_layer) {
+  SwitchCostEstimate est;
+
+  // Migration volume: one weight version of every layer that gains a new
+  // holder (the stash-ordered scheme transfers the latest version and
+  // reconstructs the rest locally).
+  BytesPerSec worst_bw = env.uniform_bandwidth();
+  for (std::size_t layer = 0; layer < model.num_layers(); ++layer) {
+    const auto& old_ws = from.stage(from.stage_of_layer(layer)).workers;
+    const auto& new_ws = to.stage(to.stage_of_layer(layer)).workers;
+    bool moved = false;
+    for (sim::WorkerId w : new_ws) {
+      if (std::find(old_ws.begin(), old_ws.end(), w) == old_ws.end()) {
+        est.migration_bytes += model.param_bytes(layer);
+        worst_bw = std::min(worst_bw, env.worker_bandwidth.at(w));
+        moved = true;
+      }
+    }
+    if (moved) ++est.moved_layers;
+  }
+  est.changed_workers = from.changed_workers(to).size();
+  AUTOPIPE_EXPECT(worst_bw > 0.0);
+  const Seconds transfer =
+      est.migration_bytes / (worst_bw * env.comm_efficiency);
+
+  // Stop-the-world: the pipeline drains (in_flight batches complete with no
+  // refill), the transfer happens cold, and the restarted pipeline pays a
+  // fill bubble of the same depth (Fig 2's startup state).
+  est.stop_the_world =
+      2.0 * static_cast<double>(in_flight) * current_batch_time + transfer;
+
+  // Fine-grained: training continues; the visible cost is the per-layer
+  // restaging on the affected workers plus the share of the transfer that
+  // surfaces as contention-induced slowdown (the migration flow takes a
+  // max-min fair share alongside roughly two training flows per link).
+  constexpr double kContentionShare = 1.0 / 3.0;
+  est.fine_grained =
+      restage_overhead_per_layer * static_cast<double>(est.moved_layers) +
+      kContentionShare * transfer;
+  return est;
+}
+
+SwitchCostModel::SwitchCostModel(std::uint64_t seed)
+    : net_([&] {
+        Rng init(seed);
+        return nn::Mlp({4, 16, 8, 1}, nn::Activation::kRelu,
+                       nn::Activation::kIdentity, init);
+      }()),
+      optimizer_(net_.parameters(), 1e-3) {}
+
+std::vector<double> SwitchCostModel::featurize(const SwitchCostEstimate& e) {
+  return {
+      e.migration_bytes / (512.0 * 1024 * 1024),
+      static_cast<double>(e.changed_workers) / 16.0,
+      static_cast<double>(e.moved_layers) / 64.0,
+      e.stop_the_world,  // the analytic anchor
+  };
+}
+
+Seconds SwitchCostModel::predict(const SwitchCostEstimate& estimate) {
+  const auto f = featurize(estimate);
+  nn::Matrix x(1, f.size());
+  for (std::size_t i = 0; i < f.size(); ++i) x.at(0, i) = f[i];
+  // A learned correction can under-shoot; cost is never negative.
+  return std::max(0.0, net_.forward(x).at(0, 0));
+}
+
+double SwitchCostModel::train_batch(const std::vector<Sample>& batch) {
+  AUTOPIPE_EXPECT(!batch.empty());
+  net_.zero_grad();
+  nn::Matrix x(batch.size(), 4);
+  nn::Matrix y(batch.size(), 1);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto f = featurize(batch[i].estimate);
+    for (std::size_t j = 0; j < f.size(); ++j) x.at(i, j) = f[j];
+    y.at(i, 0) = batch[i].measured_stall;
+  }
+  const nn::Matrix pred = net_.forward(x);
+  const nn::LossResult loss = nn::mse_loss(pred, y);
+  net_.backward(loss.grad);
+  optimizer_.step();
+  return loss.value;
+}
+
+}  // namespace autopipe::core

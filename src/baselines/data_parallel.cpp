@@ -1,0 +1,115 @@
+#include "baselines/data_parallel.hpp"
+
+#include <memory>
+
+#include "comm/collective.hpp"
+#include "common/expect.hpp"
+
+namespace autopipe::baselines {
+
+namespace {
+
+struct DpState {
+  sim::Cluster* cluster;
+  const models::ModelSpec* model;
+  std::vector<sim::WorkerId> workers;
+  DataParallelConfig config;
+  std::size_t batch;
+  std::size_t target_iterations;
+  std::size_t completed = 0;
+  std::size_t compute_pending = 0;
+  std::vector<Seconds> iteration_end_times;
+  bool done = false;
+};
+
+void start_iteration(const std::shared_ptr<DpState>& s);
+
+void on_sync_done(const std::shared_ptr<DpState>& s) {
+  ++s->completed;
+  s->iteration_end_times.push_back(s->cluster->simulator().now());
+  if (s->completed >= s->target_iterations) {
+    s->done = true;
+    return;
+  }
+  start_iteration(s);
+}
+
+void on_compute_done(const std::shared_ptr<DpState>& s) {
+  AUTOPIPE_EXPECT(s->compute_pending > 0);
+  if (--s->compute_pending > 0) return;
+  // Barrier reached: synchronize the full model's gradients.
+  comm::Collective::run(s->config.sync_scheme, *s->cluster, s->workers,
+                        s->model->total_param_bytes(),
+                        s->config.framework.comm_efficiency,
+                        [s] { on_sync_done(s); });
+}
+
+void start_iteration(const std::shared_ptr<DpState>& s) {
+  s->compute_pending = s->workers.size();
+  const Seconds overhead =
+      2.0 * s->config.framework.per_layer_overhead *
+      static_cast<double>(s->model->num_layers());
+  for (sim::WorkerId w : s->workers) {
+    Flops work = 0.0;
+    for (std::size_t l = 0; l < s->model->num_layers(); ++l) {
+      work += s->model->fwd_flops(l, s->batch) +
+              s->model->bwd_flops(l, s->batch);
+    }
+    work /= s->config.framework.compute_efficiency;
+    s->cluster->gpu(w).submit(work, overhead,
+                              [s] { on_compute_done(s); });
+  }
+}
+
+}  // namespace
+
+pipeline::ExecutionReport run_data_parallel(
+    sim::Cluster& cluster, const models::ModelSpec& model,
+    std::vector<sim::WorkerId> workers, std::size_t iterations,
+    std::size_t warmup, const DataParallelConfig& config) {
+  AUTOPIPE_EXPECT(!workers.empty());
+  AUTOPIPE_EXPECT(iterations > warmup);
+
+  auto s = std::make_shared<DpState>();
+  s->cluster = &cluster;
+  s->model = &model;
+  s->workers = std::move(workers);
+  s->config = config;
+  s->batch = config.batch_size ? config.batch_size
+                               : model.default_batch_size();
+  s->target_iterations = iterations;
+
+  sim::Simulator& sim = cluster.simulator();
+  const Seconds entry = sim.now();
+  const Bytes entry_bytes = cluster.network().total_bytes_delivered();
+  start_iteration(s);
+  while (!s->done) {
+    AUTOPIPE_EXPECT_MSG(sim.step(), "data-parallel deadlock");
+  }
+
+  pipeline::ExecutionReport report;
+  report.iterations = iterations;
+  report.batch_size = s->batch;
+  report.elapsed = sim.now() - entry;
+  report.bytes_on_wire = cluster.network().total_bytes_delivered() -
+                         entry_bytes;
+  report.iteration_end_times = s->iteration_end_times;
+  Seconds prev = entry;
+  for (Seconds t : report.iteration_end_times) {
+    const Seconds gap = t - prev;
+    // Aggregate: every worker advanced one mini-batch this iteration.
+    report.iteration_throughput.push_back(
+        gap > 0.0 ? static_cast<double>(s->batch * s->workers.size()) / gap
+                  : 0.0);
+    prev = t;
+  }
+  const Seconds measure_start =
+      warmup == 0 ? entry : s->iteration_end_times[warmup - 1];
+  report.throughput =
+      static_cast<double>((iterations - warmup) * s->batch *
+                          s->workers.size()) /
+      (sim.now() - measure_start);
+  return report;
+}
+
+}  // namespace autopipe::baselines

@@ -1,0 +1,31 @@
+// Vanilla data-parallel training — the "baseline (vanilla ML frameworks)"
+// of Fig 8. Bulk-synchronous: every worker computes a full FP+BP over its
+// own mini-batch, then a blocking weight synchronization (ring all-reduce or
+// parameter server) of the entire model runs before the next iteration.
+// Reported throughput is aggregate samples/sec across the workers, the
+// paper's img/sec metric.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "comm/framework.hpp"
+#include "models/model.hpp"
+#include "pipeline/report.hpp"
+#include "sim/cluster.hpp"
+
+namespace autopipe::baselines {
+
+struct DataParallelConfig {
+  std::size_t batch_size = 0;  // per worker; 0 = model default
+  comm::FrameworkProfile framework = comm::pytorch_profile();
+  comm::SyncScheme sync_scheme = comm::SyncScheme::kRing;
+};
+
+/// Run BSP data parallelism over `workers` for `iterations` updates.
+pipeline::ExecutionReport run_data_parallel(
+    sim::Cluster& cluster, const models::ModelSpec& model,
+    std::vector<sim::WorkerId> workers, std::size_t iterations,
+    std::size_t warmup, const DataParallelConfig& config = {});
+
+}  // namespace autopipe::baselines

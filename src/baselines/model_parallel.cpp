@@ -1,0 +1,22 @@
+#include "baselines/model_parallel.hpp"
+
+#include "partition/partition.hpp"
+#include "pipeline/executor.hpp"
+
+namespace autopipe::baselines {
+
+pipeline::ExecutionReport run_model_parallel(
+    sim::Cluster& cluster, const models::ModelSpec& model,
+    std::vector<sim::WorkerId> workers, std::size_t iterations,
+    std::size_t warmup, const comm::FrameworkProfile& framework) {
+  auto partition =
+      partition::Partition::even_split(model.num_layers(), std::move(workers));
+  pipeline::ExecutorConfig config;
+  config.framework = framework;
+  config.in_flight = 1;  // the defining property of naive model parallelism
+  pipeline::PipelineExecutor executor(cluster, model, std::move(partition),
+                                      config);
+  return executor.run(iterations, warmup);
+}
+
+}  // namespace autopipe::baselines

@@ -1,0 +1,24 @@
+// Naive model parallelism (Fig 1b): the model is split across workers but
+// only one mini-batch is in flight, so at most one stage computes at a
+// time. Realized as the pipeline executor with in_flight pinned to 1 —
+// which is exactly what model parallelism is, and makes the "pipelining =
+// model parallelism + multiple in-flight batches" relationship executable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "comm/framework.hpp"
+#include "models/model.hpp"
+#include "pipeline/report.hpp"
+#include "sim/cluster.hpp"
+
+namespace autopipe::baselines {
+
+pipeline::ExecutionReport run_model_parallel(
+    sim::Cluster& cluster, const models::ModelSpec& model,
+    std::vector<sim::WorkerId> workers, std::size_t iterations,
+    std::size_t warmup,
+    const comm::FrameworkProfile& framework = comm::pytorch_profile());
+
+}  // namespace autopipe::baselines

@@ -1,0 +1,130 @@
+#include "comm/collective.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace autopipe::comm {
+
+namespace {
+
+/// Shared state of one in-progress ring all-reduce.
+struct RingState {
+  sim::Cluster* cluster;
+  std::vector<sim::WorkerId> members;
+  Bytes chunk_on_wire;     // bytes/n inflated by 1/efficiency
+  std::size_t steps_left;  // 2(n-1) total
+  std::size_t pending_in_step = 0;
+  std::function<void()> done;
+};
+
+void ring_step(const std::shared_ptr<RingState>& state) {
+  if (state->steps_left == 0) {
+    if (state->done) state->done();
+    return;
+  }
+  --state->steps_left;
+  const std::size_t n = state->members.size();
+  state->pending_in_step = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const sim::WorkerId src = state->members[i];
+    const sim::WorkerId dst = state->members[(i + 1) % n];
+    state->cluster->transfer(src, dst, state->chunk_on_wire, [state] {
+      AUTOPIPE_EXPECT(state->pending_in_step > 0);
+      if (--state->pending_in_step == 0) ring_step(state);
+    });
+  }
+}
+
+struct PsState {
+  sim::Cluster* cluster;
+  std::vector<sim::WorkerId> members;
+  Bytes bytes_on_wire;
+  std::size_t pending = 0;
+  bool pulling = false;
+  std::function<void()> done;
+};
+
+void ps_pull(const std::shared_ptr<PsState>& state) {
+  state->pulling = true;
+  state->pending = state->members.size() - 1;
+  if (state->pending == 0) {
+    if (state->done) state->done();
+    return;
+  }
+  const sim::WorkerId server = state->members.front();
+  for (std::size_t i = 1; i < state->members.size(); ++i) {
+    state->cluster->transfer(server, state->members[i], state->bytes_on_wire,
+                             [state] {
+                               AUTOPIPE_EXPECT(state->pending > 0);
+                               if (--state->pending == 0 && state->done)
+                                 state->done();
+                             });
+  }
+}
+
+}  // namespace
+
+void Collective::ring_allreduce(sim::Cluster& cluster,
+                                std::vector<sim::WorkerId> members,
+                                Bytes bytes, double efficiency,
+                                std::function<void()> done) {
+  AUTOPIPE_EXPECT(!members.empty());
+  AUTOPIPE_EXPECT(efficiency > 0.0 && efficiency <= 1.0);
+  if (members.size() == 1 || bytes <= 0.0) {
+    if (done) cluster.simulator().after(0.0, std::move(done));
+    return;
+  }
+  auto state = std::make_shared<RingState>();
+  state->cluster = &cluster;
+  state->members = std::move(members);
+  state->chunk_on_wire =
+      bytes / static_cast<double>(state->members.size()) / efficiency;
+  state->steps_left = 2 * (state->members.size() - 1);
+  state->done = std::move(done);
+  ring_step(state);
+}
+
+void Collective::parameter_server(sim::Cluster& cluster,
+                                  std::vector<sim::WorkerId> members,
+                                  Bytes bytes, double efficiency,
+                                  std::function<void()> done) {
+  AUTOPIPE_EXPECT(!members.empty());
+  AUTOPIPE_EXPECT(efficiency > 0.0 && efficiency <= 1.0);
+  if (members.size() == 1 || bytes <= 0.0) {
+    if (done) cluster.simulator().after(0.0, std::move(done));
+    return;
+  }
+  auto state = std::make_shared<PsState>();
+  state->cluster = &cluster;
+  state->members = std::move(members);
+  state->bytes_on_wire = bytes / efficiency;
+  state->done = std::move(done);
+  // Push phase.
+  state->pending = state->members.size() - 1;
+  const sim::WorkerId server = state->members.front();
+  for (std::size_t i = 1; i < state->members.size(); ++i) {
+    cluster.transfer(state->members[i], server, state->bytes_on_wire,
+                     [state] {
+                       AUTOPIPE_EXPECT(state->pending > 0);
+                       if (--state->pending == 0) ps_pull(state);
+                     });
+  }
+}
+
+void Collective::run(SyncScheme scheme, sim::Cluster& cluster,
+                     std::vector<sim::WorkerId> members, Bytes bytes,
+                     double efficiency, std::function<void()> done) {
+  switch (scheme) {
+    case SyncScheme::kRing:
+      ring_allreduce(cluster, std::move(members), bytes, efficiency,
+                     std::move(done));
+      return;
+    case SyncScheme::kParameterServer:
+      parameter_server(cluster, std::move(members), bytes, efficiency,
+                       std::move(done));
+      return;
+  }
+}
+
+}  // namespace autopipe::comm

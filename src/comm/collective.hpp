@@ -1,0 +1,40 @@
+// Event-driven collectives executed on the simulated cluster. Unlike the
+// analytic formulas in framework.hpp (which the *planners* use), these run
+// real flows through the FlowNetwork, so synchronization traffic contends
+// with activation/gradient transfers and with other jobs' traffic — the
+// "exact communication procedure" the paper's integrated model observes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/framework.hpp"
+#include "sim/cluster.hpp"
+
+namespace autopipe::comm {
+
+/// Fire-and-callback collective over a member set. All functions return
+/// immediately; `done` fires at the simulated completion instant.
+class Collective {
+ public:
+  /// Ring all-reduce of `bytes` over `members` (order defines the ring):
+  /// 2(n-1) serialized steps, each moving bytes/n along every ring edge
+  /// concurrently. comm `efficiency` < 1 inflates the on-wire volume.
+  static void ring_allreduce(sim::Cluster& cluster,
+                             std::vector<sim::WorkerId> members, Bytes bytes,
+                             double efficiency, std::function<void()> done);
+
+  /// Un-sharded parameter server co-located with members.front(): a push
+  /// phase (every other member sends `bytes` to the PS) followed by a pull
+  /// phase (PS sends updated values back).
+  static void parameter_server(sim::Cluster& cluster,
+                               std::vector<sim::WorkerId> members, Bytes bytes,
+                               double efficiency, std::function<void()> done);
+
+  static void run(SyncScheme scheme, sim::Cluster& cluster,
+                  std::vector<sim::WorkerId> members, Bytes bytes,
+                  double efficiency, std::function<void()> done);
+};
+
+}  // namespace autopipe::comm

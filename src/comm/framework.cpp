@@ -1,0 +1,64 @@
+#include "comm/framework.hpp"
+
+#include "common/expect.hpp"
+
+namespace autopipe::comm {
+
+const char* to_string(SyncScheme scheme) {
+  switch (scheme) {
+    case SyncScheme::kRing: return "Ring";
+    case SyncScheme::kParameterServer: return "PS";
+  }
+  return "?";
+}
+
+FrameworkProfile tensorflow_profile() {
+  return FrameworkProfile{"tensorflow", micros(120), 0.80, 0.90};
+}
+
+FrameworkProfile mxnet_profile() {
+  return FrameworkProfile{"mxnet", micros(90), 0.84, 0.93};
+}
+
+FrameworkProfile pytorch_profile() {
+  return FrameworkProfile{"pytorch", micros(60), 0.92, 1.00};
+}
+
+FrameworkProfile framework_by_name(const std::string& name) {
+  if (name == "tensorflow") return tensorflow_profile();
+  if (name == "mxnet") return mxnet_profile();
+  if (name == "pytorch") return pytorch_profile();
+  AUTOPIPE_EXPECT_MSG(false, "unknown framework: " << name);
+  throw contract_error("unreachable");
+}
+
+Seconds ring_allreduce_time(Bytes bytes, std::size_t n, BytesPerSec bw,
+                            double efficiency) {
+  AUTOPIPE_EXPECT(n >= 1);
+  AUTOPIPE_EXPECT(bw > 0.0 && efficiency > 0.0);
+  if (n == 1) return 0.0;
+  const double steps = 2.0 * (static_cast<double>(n) - 1.0);
+  const double chunk = bytes / static_cast<double>(n);
+  return steps * chunk / (bw * efficiency);
+}
+
+Seconds parameter_server_time(Bytes bytes, std::size_t n, BytesPerSec bw,
+                              double efficiency) {
+  AUTOPIPE_EXPECT(n >= 1);
+  AUTOPIPE_EXPECT(bw > 0.0 && efficiency > 0.0);
+  if (n == 1) return 0.0;
+  return (static_cast<double>(n) - 1.0) * bytes / (bw * efficiency);
+}
+
+Seconds sync_time(SyncScheme scheme, Bytes bytes, std::size_t n,
+                  BytesPerSec bw, double efficiency) {
+  switch (scheme) {
+    case SyncScheme::kRing:
+      return ring_allreduce_time(bytes, n, bw, efficiency);
+    case SyncScheme::kParameterServer:
+      return parameter_server_time(bytes, n, bw, efficiency);
+  }
+  return 0.0;
+}
+
+}  // namespace autopipe::comm

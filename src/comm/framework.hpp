@@ -1,0 +1,55 @@
+// ML framework profiles. Fig 8's framework axis (TensorFlow vs MXNet vs
+// PyTorch) is, for partitioning purposes, a set of constant efficiency
+// factors: per-layer kernel-launch overhead, achieved fraction of NIC line
+// rate by the comm library, and achieved fraction of device peak by the
+// kernel library. Values are in the range reported by published
+// framework-comparison studies; absolute numbers are not load-bearing, the
+// *ordering* (PyTorch/NCCL leanest, TF heaviest per-op) is.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace autopipe::comm {
+
+/// Parameter-synchronization pattern for replicated (data-parallel) stages.
+enum class SyncScheme {
+  kRing,             ///< ring all-reduce (NCCL/Horovod style)
+  kParameterServer,  ///< un-sharded PS co-located with the first replica
+};
+
+const char* to_string(SyncScheme scheme);
+
+struct FrameworkProfile {
+  std::string name;
+  /// Fixed host-side time per layer per pass (kernel launch, op dispatch).
+  Seconds per_layer_overhead = 0.0;
+  /// Fraction of NIC line rate the comm stack achieves.
+  double comm_efficiency = 1.0;
+  /// Fraction of the GPU's sustained throughput the kernels achieve.
+  double compute_efficiency = 1.0;
+};
+
+FrameworkProfile tensorflow_profile();
+FrameworkProfile mxnet_profile();
+FrameworkProfile pytorch_profile();
+FrameworkProfile framework_by_name(const std::string& name);
+
+// --- analytic synchronization cost (used by the planners) -----------------
+
+/// Ring all-reduce of `bytes` over `n` workers, slowest-link bandwidth `bw`:
+/// 2(n-1)/n * V / (bw * efficiency). n == 1 costs nothing.
+Seconds ring_allreduce_time(Bytes bytes, std::size_t n, BytesPerSec bw,
+                            double efficiency = 1.0);
+
+/// Un-sharded parameter server: the PS NIC carries (n-1) pushes of V in and
+/// (n-1) pulls of V out; with full-duplex NICs the bottleneck direction is
+/// (n-1) * V / (bw * efficiency).
+Seconds parameter_server_time(Bytes bytes, std::size_t n, BytesPerSec bw,
+                              double efficiency = 1.0);
+
+Seconds sync_time(SyncScheme scheme, Bytes bytes, std::size_t n,
+                  BytesPerSec bw, double efficiency = 1.0);
+
+}  // namespace autopipe::comm

@@ -1,0 +1,48 @@
+// Contract-checking helpers, in the spirit of the C++ Core Guidelines
+// Expects()/Ensures() (I.6, I.8): violations are programming errors and
+// throw rather than silently corrupting a simulation.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace autopipe {
+
+/// Thrown when a precondition or invariant stated with AUTOPIPE_EXPECT is
+/// violated. Catching it is only appropriate in tests.
+class contract_error : public std::logic_error {
+ public:
+  explicit contract_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw contract_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace autopipe
+
+/// Precondition / invariant check. Always on: the simulator is cheap relative
+/// to the cost of debugging a silently-wrong experiment.
+#define AUTOPIPE_EXPECT(cond)                                               \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::autopipe::detail::contract_fail(#cond, __FILE__, __LINE__, "");     \
+  } while (false)
+
+/// Same, with a human-readable message built from stream operators.
+#define AUTOPIPE_EXPECT_MSG(cond, msg)                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream os_;                                               \
+      os_ << msg;                                                           \
+      ::autopipe::detail::contract_fail(#cond, __FILE__, __LINE__,          \
+                                        os_.str());                         \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,36 @@
+// Minimal leveled logger. Benchmarks run with the logger at `warn` so their
+// stdout stays machine-parsable; tests can raise verbosity to debug a
+// failing scenario.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace autopipe {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace autopipe
+
+#define AUTOPIPE_LOG(level, msg)                                       \
+  do {                                                                 \
+    if (static_cast<int>(level) >=                                     \
+        static_cast<int>(::autopipe::log_level())) {                   \
+      std::ostringstream os_;                                          \
+      os_ << msg;                                                      \
+      ::autopipe::detail::log_emit(level, os_.str());                  \
+    }                                                                  \
+  } while (false)
+
+#define LOG_DEBUG(msg) AUTOPIPE_LOG(::autopipe::LogLevel::kDebug, msg)
+#define LOG_INFO(msg) AUTOPIPE_LOG(::autopipe::LogLevel::kInfo, msg)
+#define LOG_WARN(msg) AUTOPIPE_LOG(::autopipe::LogLevel::kWarn, msg)
+#define LOG_ERROR(msg) AUTOPIPE_LOG(::autopipe::LogLevel::kError, msg)

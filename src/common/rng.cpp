@@ -1,0 +1,48 @@
+#include "common/rng.hpp"
+
+#include "common/expect.hpp"
+
+namespace autopipe {
+
+double Rng::uniform(double lo, double hi) {
+  AUTOPIPE_EXPECT(lo <= hi);
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  AUTOPIPE_EXPECT(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  AUTOPIPE_EXPECT(stddev >= 0.0);
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+bool Rng::chance(double p) {
+  AUTOPIPE_EXPECT(p >= 0.0 && p <= 1.0);
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+double Rng::exponential(double mean) {
+  AUTOPIPE_EXPECT(mean > 0.0);
+  std::exponential_distribution<double> d(1.0 / mean);
+  return d(engine_);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  AUTOPIPE_EXPECT(!weights.empty());
+  std::discrete_distribution<std::size_t> d(weights.begin(), weights.end());
+  return d(engine_);
+}
+
+Rng Rng::fork() {
+  // Draw a fresh seed from the parent stream; the child is then independent.
+  return Rng(engine_());
+}
+
+}  // namespace autopipe

@@ -1,0 +1,100 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace autopipe {
+
+double mean(std::span<const double> xs) {
+  AUTOPIPE_EXPECT(!xs.empty());
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  AUTOPIPE_EXPECT(!xs.empty());
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::span<const double> xs, double p) {
+  AUTOPIPE_EXPECT(!xs.empty());
+  AUTOPIPE_EXPECT(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double min_of(std::span<const double> xs) {
+  AUTOPIPE_EXPECT(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  AUTOPIPE_EXPECT(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+Ema::Ema(double alpha) : alpha_(alpha) {
+  AUTOPIPE_EXPECT(alpha > 0.0 && alpha <= 1.0);
+}
+
+void Ema::add(double sample) {
+  if (!has_value_) {
+    value_ = sample;
+    has_value_ = true;
+  } else {
+    value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+  }
+}
+
+double Ema::value() const {
+  AUTOPIPE_EXPECT(has_value_);
+  return value_;
+}
+
+void Ema::reset() {
+  value_ = 0.0;
+  has_value_ = false;
+}
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  AUTOPIPE_EXPECT(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  AUTOPIPE_EXPECT(n_ > 0);
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::reset() {
+  n_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+}
+
+}  // namespace autopipe

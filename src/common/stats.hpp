@@ -1,0 +1,57 @@
+// Small statistics helpers used by benchmarks and the profiler: summary
+// statistics, percentiles and exponential moving averages (the profiler
+// smooths per-iteration bandwidth estimates with an EMA).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace autopipe {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);   // population variance
+double stddev(std::span<const double> xs);
+double median(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Exponential moving average with configurable smoothing factor
+/// alpha in (0, 1]; alpha = 1 reduces to "last sample wins".
+class Ema {
+ public:
+  explicit Ema(double alpha);
+
+  void add(double sample);
+  bool empty() const { return !has_value_; }
+  double value() const;
+  void reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool has_value_ = false;
+};
+
+/// Online mean/variance accumulator (Welford). Used by tests and the
+/// resource monitor's change detector.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  // population variance
+  double stddev() const;
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace autopipe

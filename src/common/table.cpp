@@ -1,0 +1,57 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace autopipe {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  AUTOPIPE_EXPECT(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  AUTOPIPE_EXPECT_MSG(cells.size() == header_.size(),
+                      "row width " << cells.size() << " != header width "
+                                   << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+std::string TextTable::render(const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os, const std::string& title) const {
+  os << render(title);
+}
+
+}  // namespace autopipe

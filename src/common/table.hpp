@@ -1,0 +1,37 @@
+// Plain-text table printer used by the figure benchmarks so each bench binary
+// prints the same rows/series the paper's figure reports, aligned and
+// greppable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace autopipe {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision so benchmark output diffs cleanly across runs.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double with the given number of decimals.
+  static std::string num(double v, int decimals = 2);
+
+  /// Render with aligned columns, header underline and a title line.
+  std::string render(const std::string& title = "") const;
+
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace autopipe

@@ -1,0 +1,52 @@
+// Units used across the simulator. We follow a "base SI unit as double"
+// convention: time in seconds, data in bytes, compute in FLOPs, rate in
+// bytes/second or FLOP/s. Helper constructors keep call sites readable
+// (e.g. gbps(25), mib(96)) without the overhead of a full strong-type
+// library.
+#pragma once
+
+#include <cstdint>
+
+namespace autopipe {
+
+/// Simulated time in seconds.
+using Seconds = double;
+
+/// Data volume in bytes.
+using Bytes = double;
+
+/// Bandwidth in bytes per second.
+using BytesPerSec = double;
+
+/// Compute work in floating point operations.
+using Flops = double;
+
+/// Compute rate in FLOP/s.
+using FlopsPerSec = double;
+
+// --- data volume -----------------------------------------------------------
+
+constexpr Bytes kib(double v) { return v * 1024.0; }
+constexpr Bytes mib(double v) { return v * 1024.0 * 1024.0; }
+constexpr Bytes gib(double v) { return v * 1024.0 * 1024.0 * 1024.0; }
+
+// --- bandwidth --------------------------------------------------------------
+
+/// Network link speeds are quoted in decimal gigabits per second, as in the
+/// paper's 10/25/40/100Gbps testbed.
+constexpr BytesPerSec gbps(double v) { return v * 1e9 / 8.0; }
+constexpr BytesPerSec mbps(double v) { return v * 1e6 / 8.0; }
+
+// --- compute ----------------------------------------------------------------
+
+constexpr Flops gflop(double v) { return v * 1e9; }
+constexpr Flops mflop(double v) { return v * 1e6; }
+constexpr FlopsPerSec tflops(double v) { return v * 1e12; }
+constexpr FlopsPerSec gflops(double v) { return v * 1e9; }
+
+// --- time -------------------------------------------------------------------
+
+constexpr Seconds millis(double v) { return v * 1e-3; }
+constexpr Seconds micros(double v) { return v * 1e-6; }
+
+}  // namespace autopipe

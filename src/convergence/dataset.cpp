@@ -1,0 +1,56 @@
+#include "convergence/dataset.hpp"
+
+#include "common/expect.hpp"
+
+namespace autopipe::convergence {
+
+namespace {
+
+void generate(const DatasetConfig& config, Rng& rng,
+              const std::vector<std::vector<double>>& centers,
+              std::size_t count, nn::Matrix& x,
+              std::vector<std::size_t>& labels) {
+  x = nn::Matrix(count, config.dims);
+  labels.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto cls = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(config.classes) - 1));
+    labels[i] = cls;
+    for (std::size_t d = 0; d < config.dims; ++d)
+      x.at(i, d) = rng.normal(centers[cls][d], config.noise);
+  }
+}
+
+}  // namespace
+
+Dataset::Dataset(DatasetConfig config, std::uint64_t seed) : config_(config) {
+  AUTOPIPE_EXPECT(config_.classes >= 2);
+  AUTOPIPE_EXPECT(config_.dims >= 2);
+  Rng rng(seed);
+  // Unit-norm-ish random class centers.
+  std::vector<std::vector<double>> centers(config_.classes);
+  for (auto& c : centers) {
+    c.resize(config_.dims);
+    for (double& v : c) v = rng.normal(0.0, 1.0);
+  }
+  generate(config_, rng, centers, config_.train_samples, train_x_,
+           train_labels_);
+  generate(config_, rng, centers, config_.test_samples, test_x_,
+           test_labels_);
+}
+
+void Dataset::sample_batch(Rng& rng, std::size_t batch, nn::Matrix& x,
+                           nn::Matrix& y) const {
+  AUTOPIPE_EXPECT(batch >= 1);
+  x = nn::Matrix(batch, config_.dims);
+  y = nn::Matrix(batch, config_.classes);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto idx = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(config_.train_samples) - 1));
+    for (std::size_t d = 0; d < config_.dims; ++d)
+      x.at(i, d) = train_x_.at(idx, d);
+    y.at(i, train_labels_[idx]) = 1.0;
+  }
+}
+
+}  // namespace autopipe::convergence

@@ -1,0 +1,48 @@
+// Synthetic classification data for the convergence study (Fig 11). The
+// paper trains ResNet50/VGG16 on ImageNet-format synthetic data; what the
+// figure actually demonstrates is how *staleness semantics* (BSP vs weight
+// stashing vs total asynchrony) bend an otherwise-identical optimization
+// trajectory, so any non-trivially-separable task exposes the effect. We
+// use a Gaussian-mixture multi-class problem hard enough that a small MLP
+// needs many SGD steps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/matrix.hpp"
+
+namespace autopipe::convergence {
+
+struct DatasetConfig {
+  std::size_t dims = 16;
+  std::size_t classes = 4;
+  std::size_t train_samples = 2048;
+  std::size_t test_samples = 512;
+  /// Cluster spread / separation ratio; larger = harder.
+  double noise = 1.2;
+};
+
+class Dataset {
+ public:
+  Dataset(DatasetConfig config, std::uint64_t seed);
+
+  const DatasetConfig& config() const { return config_; }
+
+  /// Sample a training mini-batch (features, one-hot labels).
+  void sample_batch(Rng& rng, std::size_t batch, nn::Matrix& x,
+                    nn::Matrix& y) const;
+
+  const nn::Matrix& test_x() const { return test_x_; }
+  const std::vector<std::size_t>& test_labels() const { return test_labels_; }
+
+ private:
+  DatasetConfig config_;
+  nn::Matrix train_x_;
+  std::vector<std::size_t> train_labels_;
+  nn::Matrix test_x_;
+  std::vector<std::size_t> test_labels_;
+};
+
+}  // namespace autopipe::convergence

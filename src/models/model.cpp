@@ -1,0 +1,92 @@
+#include "models/model.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace autopipe::models {
+
+ModelSpec::ModelSpec(std::string name, std::size_t default_batch_size,
+                     std::vector<LayerSpec> layers)
+    : name_(std::move(name)),
+      default_batch_size_(default_batch_size),
+      layers_(std::move(layers)) {
+  AUTOPIPE_EXPECT(default_batch_size_ >= 1);
+  AUTOPIPE_EXPECT(!layers_.empty());
+  for (const LayerSpec& l : layers_) {
+    AUTOPIPE_EXPECT(l.fwd_flops_per_sample >= 0.0);
+    AUTOPIPE_EXPECT(l.bwd_flops_per_sample >= 0.0);
+    AUTOPIPE_EXPECT(l.activation_bytes_per_sample >= 0.0);
+    AUTOPIPE_EXPECT(l.param_bytes >= 0.0);
+  }
+}
+
+const LayerSpec& ModelSpec::layer(std::size_t i) const {
+  AUTOPIPE_EXPECT(i < layers_.size());
+  return layers_[i];
+}
+
+Bytes ModelSpec::activation_bytes(std::size_t layer, std::size_t batch) const {
+  AUTOPIPE_EXPECT(layer < layers_.size());
+  return layers_[layer].activation_bytes_per_sample *
+         static_cast<double>(batch);
+}
+
+Bytes ModelSpec::gradient_bytes(std::size_t layer, std::size_t batch) const {
+  AUTOPIPE_EXPECT(layer < layers_.size());
+  if (layer == 0) return 0.0;  // no gradient flows into the input images
+  return activation_bytes(layer - 1, batch);
+}
+
+Bytes ModelSpec::param_bytes(std::size_t layer) const {
+  AUTOPIPE_EXPECT(layer < layers_.size());
+  return layers_[layer].param_bytes;
+}
+
+Flops ModelSpec::fwd_flops(std::size_t layer, std::size_t batch) const {
+  AUTOPIPE_EXPECT(layer < layers_.size());
+  return layers_[layer].fwd_flops_per_sample * static_cast<double>(batch);
+}
+
+Flops ModelSpec::bwd_flops(std::size_t layer, std::size_t batch) const {
+  AUTOPIPE_EXPECT(layer < layers_.size());
+  return layers_[layer].bwd_flops_per_sample * static_cast<double>(batch);
+}
+
+Flops ModelSpec::total_flops_per_sample() const {
+  Flops total = 0.0;
+  for (const LayerSpec& l : layers_)
+    total += l.fwd_flops_per_sample + l.bwd_flops_per_sample;
+  return total;
+}
+
+Bytes ModelSpec::total_param_bytes() const {
+  Bytes total = 0.0;
+  for (const LayerSpec& l : layers_) total += l.param_bytes;
+  return total;
+}
+
+Flops ModelSpec::range_fwd_flops(std::size_t first, std::size_t last,
+                                 std::size_t batch) const {
+  AUTOPIPE_EXPECT(first <= last && last < layers_.size());
+  Flops total = 0.0;
+  for (std::size_t i = first; i <= last; ++i) total += fwd_flops(i, batch);
+  return total;
+}
+
+Flops ModelSpec::range_bwd_flops(std::size_t first, std::size_t last,
+                                 std::size_t batch) const {
+  AUTOPIPE_EXPECT(first <= last && last < layers_.size());
+  Flops total = 0.0;
+  for (std::size_t i = first; i <= last; ++i) total += bwd_flops(i, batch);
+  return total;
+}
+
+Bytes ModelSpec::range_param_bytes(std::size_t first, std::size_t last) const {
+  AUTOPIPE_EXPECT(first <= last && last < layers_.size());
+  Bytes total = 0.0;
+  for (std::size_t i = first; i <= last; ++i) total += layers_[i].param_bytes;
+  return total;
+}
+
+}  // namespace autopipe::models

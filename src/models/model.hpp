@@ -1,0 +1,74 @@
+// Layer-level model descriptions. Work partitioning (PipeDream's DP and
+// AutoPipe's neighbourhood search) operates purely on the Table-1 per-layer
+// quantities — computation work, output activation size, input gradient
+// size and parameter size — so a model here is exactly that list, derived
+// from the real architecture shapes rather than measured on a GPU.
+//
+// Conventions: per-sample quantities (FLOPs, activation bytes) scale with
+// the mini-batch size at profiling time; parameter bytes do not. The input
+// gradient of layer i has the size of layer i-1's output activation, so it
+// is not stored separately.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace autopipe::models {
+
+struct LayerSpec {
+  std::string name;
+  /// Forward-pass work for one sample.
+  Flops fwd_flops_per_sample = 0.0;
+  /// Backward-pass work for one sample (≈ 2x forward for dense layers).
+  Flops bwd_flops_per_sample = 0.0;
+  /// Output activation size for one sample (the tensor sent downstream).
+  Bytes activation_bytes_per_sample = 0.0;
+  /// Trainable parameter + optimizer state footprint communicated on
+  /// weight sync / stage migration.
+  Bytes param_bytes = 0.0;
+};
+
+class ModelSpec {
+ public:
+  ModelSpec(std::string name, std::size_t default_batch_size,
+            std::vector<LayerSpec> layers);
+
+  const std::string& name() const { return name_; }
+  std::size_t default_batch_size() const { return default_batch_size_; }
+  std::size_t num_layers() const { return layers_.size(); }
+  const LayerSpec& layer(std::size_t i) const;
+  const std::vector<LayerSpec>& layers() const { return layers_; }
+
+  // Table-1 quantities at a given batch size.
+
+  /// O_i: activation bytes leaving layer i for one mini-batch.
+  Bytes activation_bytes(std::size_t layer, std::size_t batch) const;
+  /// G_i: gradient bytes entering layer i on the backward pass — the size
+  /// of layer i's *input* activation. Layer 0 receives no gradient.
+  Bytes gradient_bytes(std::size_t layer, std::size_t batch) const;
+  /// P_i: parameter bytes of layer i.
+  Bytes param_bytes(std::size_t layer) const;
+
+  Flops fwd_flops(std::size_t layer, std::size_t batch) const;
+  Flops bwd_flops(std::size_t layer, std::size_t batch) const;
+
+  // Aggregates.
+  Flops total_flops_per_sample() const;  // fwd + bwd
+  Bytes total_param_bytes() const;
+  /// Sum over contiguous range [first, last] inclusive.
+  Flops range_fwd_flops(std::size_t first, std::size_t last,
+                        std::size_t batch) const;
+  Flops range_bwd_flops(std::size_t first, std::size_t last,
+                        std::size_t batch) const;
+  Bytes range_param_bytes(std::size_t first, std::size_t last) const;
+
+ private:
+  std::string name_;
+  std::size_t default_batch_size_;
+  std::vector<LayerSpec> layers_;
+};
+
+}  // namespace autopipe::models

@@ -1,0 +1,305 @@
+#include "models/zoo.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace autopipe::models {
+
+namespace {
+constexpr double kBytesPerScalar = 4.0;  // fp32 training
+
+/// Backward work for a dense layer is roughly twice forward: one matmul for
+/// input gradients plus one for weight gradients.
+constexpr double kBwdOverFwd = 2.0;
+}  // namespace
+
+ConvNetBuilder::ConvNetBuilder(std::string model_name, std::size_t channels,
+                               std::size_t height, std::size_t width)
+    : model_name_(std::move(model_name)),
+      channels_(channels),
+      height_(height),
+      width_(width) {
+  AUTOPIPE_EXPECT(channels_ > 0 && height_ > 0 && width_ > 0);
+}
+
+ConvNetBuilder& ConvNetBuilder::conv(const std::string& name,
+                                     std::size_t out_channels,
+                                     std::size_t kernel, std::size_t stride,
+                                     int pad) {
+  AUTOPIPE_EXPECT(out_channels > 0 && kernel > 0 && stride > 0);
+  const std::size_t p =
+      pad >= 0 ? static_cast<std::size_t>(pad) : (kernel - 1) / 2;
+  const std::size_t out_h = (height_ + 2 * p - kernel) / stride + 1;
+  const std::size_t out_w = (width_ + 2 * p - kernel) / stride + 1;
+  AUTOPIPE_EXPECT_MSG(out_h > 0 && out_w > 0,
+                      model_name_ << "." << name << " collapses spatially");
+  const double macs = static_cast<double>(kernel) * kernel * channels_ *
+                      out_channels * out_h * out_w;
+  const double params =
+      (static_cast<double>(kernel) * kernel * channels_ + 1.0) * out_channels;
+  LayerSpec layer;
+  layer.name = name;
+  layer.fwd_flops_per_sample = 2.0 * macs;
+  layer.bwd_flops_per_sample = kBwdOverFwd * 2.0 * macs;
+  layer.activation_bytes_per_sample =
+      static_cast<double>(out_channels) * out_h * out_w * kBytesPerScalar;
+  layer.param_bytes = params * kBytesPerScalar;
+  layers_.push_back(std::move(layer));
+  channels_ = out_channels;
+  height_ = out_h;
+  width_ = out_w;
+  return *this;
+}
+
+ConvNetBuilder& ConvNetBuilder::maxpool(const std::string& name,
+                                        std::size_t kernel,
+                                        std::size_t stride) {
+  AUTOPIPE_EXPECT(kernel > 0 && stride > 0);
+  const std::size_t out_h = (height_ - kernel) / stride + 1;
+  const std::size_t out_w = (width_ - kernel) / stride + 1;
+  AUTOPIPE_EXPECT(out_h > 0 && out_w > 0);
+  LayerSpec layer;
+  layer.name = name;
+  // One compare per window element per output.
+  const double flops = static_cast<double>(kernel) * kernel * channels_ *
+                       out_h * out_w;
+  layer.fwd_flops_per_sample = flops;
+  layer.bwd_flops_per_sample = flops;  // scatter of gradients
+  layer.activation_bytes_per_sample =
+      static_cast<double>(channels_) * out_h * out_w * kBytesPerScalar;
+  layer.param_bytes = 0.0;
+  layers_.push_back(std::move(layer));
+  height_ = out_h;
+  width_ = out_w;
+  return *this;
+}
+
+ConvNetBuilder& ConvNetBuilder::global_avgpool(const std::string& name) {
+  LayerSpec layer;
+  layer.name = name;
+  const double flops = static_cast<double>(channels_) * height_ * width_;
+  layer.fwd_flops_per_sample = flops;
+  layer.bwd_flops_per_sample = flops;
+  layer.activation_bytes_per_sample =
+      static_cast<double>(channels_) * kBytesPerScalar;
+  layer.param_bytes = 0.0;
+  layers_.push_back(std::move(layer));
+  height_ = 1;
+  width_ = 1;
+  return *this;
+}
+
+ConvNetBuilder& ConvNetBuilder::fc(const std::string& name,
+                                   std::size_t out_features) {
+  AUTOPIPE_EXPECT(out_features > 0);
+  const double in_features =
+      static_cast<double>(channels_) * height_ * width_;
+  LayerSpec layer;
+  layer.name = name;
+  layer.fwd_flops_per_sample = 2.0 * in_features * out_features;
+  layer.bwd_flops_per_sample = kBwdOverFwd * 2.0 * in_features * out_features;
+  layer.activation_bytes_per_sample =
+      static_cast<double>(out_features) * kBytesPerScalar;
+  layer.param_bytes = (in_features + 1.0) * out_features * kBytesPerScalar;
+  layers_.push_back(std::move(layer));
+  channels_ = out_features;
+  height_ = 1;
+  width_ = 1;
+  return *this;
+}
+
+ModelSpec ConvNetBuilder::build(std::size_t default_batch_size) && {
+  return ModelSpec(std::move(model_name_), default_batch_size,
+                   std::move(layers_));
+}
+
+ModelSpec alexnet() {
+  // Krizhevsky et al., NeurIPS'12; the single-tower variant. Mini-batch 256
+  // per the paper's setup. Communication-light convs followed by enormous
+  // fully-connected layers (fc6 alone is 38M parameters) — the classic
+  // "partition the fcs away from the convs" PipeDream example.
+  ConvNetBuilder b("alexnet", 3, 224, 224);
+  b.conv("conv1", 96, 11, 4, 2)
+      .maxpool("pool1", 3, 2)
+      .conv("conv2", 256, 5, 1, 2)
+      .maxpool("pool2", 3, 2)
+      .conv("conv3", 384, 3)
+      .conv("conv4", 384, 3)
+      .conv("conv5", 256, 3)
+      .maxpool("pool5", 3, 2)
+      .fc("fc6", 4096)
+      .fc("fc7", 4096)
+      .fc("fc8", 1000);
+  return std::move(b).build(256);
+}
+
+ModelSpec vgg16() {
+  // Simonyan & Zisserman '14, configuration D. Mini-batch 64. The most
+  // communication-intensive of the three image models: 138M parameters,
+  // large early activations.
+  ConvNetBuilder b("vgg16", 3, 224, 224);
+  b.conv("conv1_1", 64, 3).conv("conv1_2", 64, 3).maxpool("pool1", 2, 2);
+  b.conv("conv2_1", 128, 3).conv("conv2_2", 128, 3).maxpool("pool2", 2, 2);
+  b.conv("conv3_1", 256, 3)
+      .conv("conv3_2", 256, 3)
+      .conv("conv3_3", 256, 3)
+      .maxpool("pool3", 2, 2);
+  b.conv("conv4_1", 512, 3)
+      .conv("conv4_2", 512, 3)
+      .conv("conv4_3", 512, 3)
+      .maxpool("pool4", 2, 2);
+  b.conv("conv5_1", 512, 3)
+      .conv("conv5_2", 512, 3)
+      .conv("conv5_3", 512, 3)
+      .maxpool("pool5", 2, 2);
+  b.fc("fc6", 4096).fc("fc7", 4096).fc("fc8", 1000);
+  return std::move(b).build(64);
+}
+
+ModelSpec resnet50() {
+  // He et al., CVPR'16. Mini-batch 128. Emitted at one unit per convolution
+  // (52 units): the finer layer list is what lets AutoPipe's planner find
+  // better splits here than on the 11/21-unit AlexNet/VGG16.
+  ConvNetBuilder b("resnet50", 3, 224, 224);
+  b.conv("conv1", 64, 7, 2, 3).maxpool("pool1", 3, 2);
+  const std::size_t stage_blocks[4] = {3, 4, 6, 3};
+  const std::size_t stage_width[4] = {64, 128, 256, 512};
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (std::size_t blk = 0; blk < stage_blocks[s]; ++blk) {
+      const std::string prefix =
+          "res" + std::to_string(s + 2) + static_cast<char>('a' + blk);
+      const std::size_t width = stage_width[s];
+      const std::size_t stride = (s > 0 && blk == 0) ? 2 : 1;
+      // Bottleneck: 1x1 reduce (carries the stage's stride, as in the
+      // torchvision realization), 3x3, 1x1 expand. Projection shortcuts are
+      // omitted (<2% of a stage's work) — the partitioner only needs
+      // layer-cost *ratios* to be realistic.
+      b.conv(prefix + ".conv1", width, 1, stride, 0);
+      b.conv(prefix + ".conv2", width, 3, 1, 1);
+      b.conv(prefix + ".conv3", width * 4, 1, 1, 0);
+    }
+  }
+  b.global_avgpool("gap").fc("fc", 1000);
+  return std::move(b).build(128);
+}
+
+ModelSpec bert48() {
+  // A 48-layer BERT variant (the paper's "Bert-48" for Fig 13): hidden 1024,
+  // 16 heads, sequence length 128, vocabulary 30522, mini-batch 256. Each
+  // transformer block is one partitionable unit.
+  const double h = 1024.0;
+  const double seq = 128.0;
+  const double vocab = 30522.0;
+  std::vector<LayerSpec> layers;
+
+  {
+    LayerSpec embed;
+    embed.name = "embedding";
+    // Lookup + positional/segment add + layernorm: memory-bound; model as
+    // a few ops per element.
+    embed.fwd_flops_per_sample = 8.0 * seq * h;
+    embed.bwd_flops_per_sample = 8.0 * seq * h;
+    embed.activation_bytes_per_sample = seq * h * kBytesPerScalar;
+    embed.param_bytes = (vocab + 512.0 + 2.0) * h * kBytesPerScalar;
+    layers.push_back(std::move(embed));
+  }
+  for (int i = 0; i < 48; ++i) {
+    LayerSpec blk;
+    blk.name = "layer" + std::to_string(i);
+    // QKV + output projections: 4h^2 per token; FFN: 8h^2 per token;
+    // attention matmuls: 2*seq*h per token. MACs -> x2 FLOPs.
+    const double macs_per_token = 12.0 * h * h + 2.0 * seq * h;
+    blk.fwd_flops_per_sample = 2.0 * macs_per_token * seq;
+    blk.bwd_flops_per_sample = kBwdOverFwd * 2.0 * macs_per_token * seq;
+    blk.activation_bytes_per_sample = seq * h * kBytesPerScalar;
+    blk.param_bytes = (12.0 * h * h + 13.0 * h) * kBytesPerScalar;
+    layers.push_back(std::move(blk));
+  }
+  {
+    LayerSpec head;
+    head.name = "pooler";
+    head.fwd_flops_per_sample = 2.0 * h * h;
+    head.bwd_flops_per_sample = kBwdOverFwd * 2.0 * h * h;
+    head.activation_bytes_per_sample = h * kBytesPerScalar;
+    head.param_bytes = (h + 1.0) * h * kBytesPerScalar;
+    layers.push_back(std::move(head));
+  }
+  return ModelSpec("bert48", 256, std::move(layers));
+}
+
+ModelSpec resnet18() {
+  // He et al. '16, basic-block variant: conv1, 8 two-conv blocks, fc —
+  // 11.7M parameters, 1.8 GMACs forward. One unit per convolution.
+  ConvNetBuilder b("resnet18", 3, 224, 224);
+  b.conv("conv1", 64, 7, 2, 3).maxpool("pool1", 3, 2);
+  const std::size_t stage_width[4] = {64, 128, 256, 512};
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (std::size_t blk = 0; blk < 2; ++blk) {
+      const std::string prefix =
+          "res" + std::to_string(s + 2) + static_cast<char>('a' + blk);
+      const std::size_t stride = (s > 0 && blk == 0) ? 2 : 1;
+      b.conv(prefix + ".conv1", stage_width[s], 3, stride, 1);
+      b.conv(prefix + ".conv2", stage_width[s], 3, 1, 1);
+    }
+  }
+  b.global_avgpool("gap").fc("fc", 1000);
+  return std::move(b).build(128);
+}
+
+ModelSpec gpt2_small() {
+  // GPT-2 small: 12 decoder blocks, hidden 768, 12 heads, context 1024,
+  // vocabulary 50257. Decoder blocks are structurally uniform like BERT's,
+  // with a larger context; the tied embedding dominates the parameters.
+  const double h = 768.0;
+  const double seq = 1024.0;
+  const double vocab = 50257.0;
+  std::vector<LayerSpec> layers;
+  {
+    LayerSpec embed;
+    embed.name = "embedding";
+    embed.fwd_flops_per_sample = 8.0 * seq * h;
+    embed.bwd_flops_per_sample = 8.0 * seq * h;
+    embed.activation_bytes_per_sample = seq * h * kBytesPerScalar;
+    embed.param_bytes = (vocab + seq) * h * kBytesPerScalar;
+    layers.push_back(std::move(embed));
+  }
+  for (int i = 0; i < 12; ++i) {
+    LayerSpec blk;
+    blk.name = "block" + std::to_string(i);
+    const double macs_per_token = 12.0 * h * h + 2.0 * seq * h;
+    blk.fwd_flops_per_sample = 2.0 * macs_per_token * seq;
+    blk.bwd_flops_per_sample = kBwdOverFwd * 2.0 * macs_per_token * seq;
+    blk.activation_bytes_per_sample = seq * h * kBytesPerScalar;
+    blk.param_bytes = (12.0 * h * h + 13.0 * h) * kBytesPerScalar;
+    layers.push_back(std::move(blk));
+  }
+  {
+    LayerSpec head;
+    head.name = "lm_head";  // tied weights: no extra parameters
+    head.fwd_flops_per_sample = 2.0 * seq * h * vocab;
+    head.bwd_flops_per_sample = kBwdOverFwd * 2.0 * seq * h * vocab;
+    head.activation_bytes_per_sample = seq * vocab * kBytesPerScalar;
+    head.param_bytes = 0.0;
+    layers.push_back(std::move(head));
+  }
+  return ModelSpec("gpt2-small", 8, std::move(layers));
+}
+
+std::vector<ModelSpec> image_models() {
+  return {resnet50(), vgg16(), alexnet()};
+}
+
+ModelSpec model_by_name(const std::string& name) {
+  if (name == "alexnet") return alexnet();
+  if (name == "vgg16") return vgg16();
+  if (name == "resnet50") return resnet50();
+  if (name == "bert48") return bert48();
+  if (name == "resnet18") return resnet18();
+  if (name == "gpt2" || name == "gpt2-small") return gpt2_small();
+  AUTOPIPE_EXPECT_MSG(false, "unknown model: " << name);
+  // Unreachable; AUTOPIPE_EXPECT_MSG throws.
+  throw contract_error("unreachable");
+}
+
+}  // namespace autopipe::models

@@ -1,0 +1,69 @@
+// The model zoo: the four networks the paper trains. Image models use the
+// paper's mini-batch sizes (AlexNet 256, ResNet50 128, VGG16 64) on
+// 224x224x3 ImageNet-format inputs; BERT-48 (Fig 13) uses sequence length
+// 128, hidden 1024, batch 256.
+//
+// Layer granularity matters for partition quality: ResNet50 is emitted at
+// one unit per convolution (52 units), which is why the paper observes
+// AutoPipe gaining most there — more layers give the planner more freedom.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "models/model.hpp"
+
+namespace autopipe::models {
+
+ModelSpec alexnet();
+ModelSpec vgg16();
+ModelSpec resnet50();
+ModelSpec bert48();
+/// Smaller variants for quick experiments and heterogeneous sweeps.
+ModelSpec resnet18();
+ModelSpec gpt2_small();
+
+/// The three image models of Figs 3-10, in the paper's presentation order.
+std::vector<ModelSpec> image_models();
+
+/// Lookup by name ("alexnet", "vgg16", "resnet50", "bert48", "resnet18",
+/// "gpt2").
+ModelSpec model_by_name(const std::string& name);
+
+/// Incremental builder that tracks spatial dimensions through a convnet so
+/// per-layer FLOPs/activation sizes follow from the architecture table.
+class ConvNetBuilder {
+ public:
+  ConvNetBuilder(std::string model_name, std::size_t channels,
+                 std::size_t height, std::size_t width);
+
+  /// 2-D convolution + fused bias/ReLU. Padding defaults to "same"
+  /// (preserves spatial dims at stride 1).
+  ConvNetBuilder& conv(const std::string& name, std::size_t out_channels,
+                       std::size_t kernel, std::size_t stride = 1,
+                       int pad = -1);
+
+  /// Max pooling: no parameters, negligible FLOPs, shrinks the activation.
+  ConvNetBuilder& maxpool(const std::string& name, std::size_t kernel,
+                          std::size_t stride);
+
+  /// Global average pooling to 1x1.
+  ConvNetBuilder& global_avgpool(const std::string& name);
+
+  /// Fully connected + fused bias/ReLU; flattens whatever precedes it.
+  ConvNetBuilder& fc(const std::string& name, std::size_t out_features);
+
+  ModelSpec build(std::size_t default_batch_size) &&;
+
+  std::size_t channels() const { return channels_; }
+  std::size_t height() const { return height_; }
+  std::size_t width() const { return width_; }
+
+ private:
+  std::string model_name_;
+  std::size_t channels_, height_, width_;
+  std::vector<LayerSpec> layers_;
+};
+
+}  // namespace autopipe::models

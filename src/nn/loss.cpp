@@ -1,0 +1,58 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace autopipe::nn {
+
+LossResult mse_loss(const Matrix& pred, const Matrix& target) {
+  AUTOPIPE_EXPECT(pred.same_shape(target));
+  LossResult out;
+  out.grad = Matrix(pred.rows(), pred.cols());
+  const double n = static_cast<double>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred.data()[i] - target.data()[i];
+    out.value += d * d / n;
+    out.grad.data()[i] = 2.0 * d / n;
+  }
+  return out;
+}
+
+LossResult bce_loss(const Matrix& pred, const Matrix& target) {
+  AUTOPIPE_EXPECT(pred.same_shape(target));
+  LossResult out;
+  out.grad = Matrix(pred.rows(), pred.cols());
+  const double n = static_cast<double>(pred.size());
+  constexpr double eps = 1e-12;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double p = std::clamp(pred.data()[i], eps, 1.0 - eps);
+    const double y = target.data()[i];
+    out.value += -(y * std::log(p) + (1.0 - y) * std::log(1.0 - p)) / n;
+    out.grad.data()[i] = (p - y) / (p * (1.0 - p)) / n;
+  }
+  return out;
+}
+
+LossResult huber_loss(const Matrix& pred, const Matrix& target,
+                      double delta) {
+  AUTOPIPE_EXPECT(pred.same_shape(target));
+  AUTOPIPE_EXPECT(delta > 0.0);
+  LossResult out;
+  out.grad = Matrix(pred.rows(), pred.cols());
+  const double n = static_cast<double>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred.data()[i] - target.data()[i];
+    if (std::abs(d) <= delta) {
+      out.value += 0.5 * d * d / n;
+      out.grad.data()[i] = d / n;
+    } else {
+      out.value += delta * (std::abs(d) - 0.5 * delta) / n;
+      out.grad.data()[i] = (d > 0.0 ? delta : -delta) / n;
+    }
+  }
+  return out;
+}
+
+}  // namespace autopipe::nn

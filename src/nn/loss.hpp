@@ -1,0 +1,25 @@
+// Loss functions returning (value, gradient-at-prediction) pairs.
+#pragma once
+
+#include <utility>
+
+#include "nn/matrix.hpp"
+
+namespace autopipe::nn {
+
+struct LossResult {
+  double value = 0.0;
+  Matrix grad;  // dLoss/dPred, same shape as pred
+};
+
+/// Mean squared error over all elements.
+LossResult mse_loss(const Matrix& pred, const Matrix& target);
+
+/// Binary cross entropy; pred must be in (0, 1) (sigmoid output).
+LossResult bce_loss(const Matrix& pred, const Matrix& target);
+
+/// Huber (smooth-L1) loss, the DQN-friendly choice.
+LossResult huber_loss(const Matrix& pred, const Matrix& target,
+                      double delta = 1.0);
+
+}  // namespace autopipe::nn

@@ -1,0 +1,132 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace autopipe::nn {
+
+namespace {
+double sigmoid(double v) { return 1.0 / (1.0 + std::exp(-v)); }
+}  // namespace
+
+Lstm::Lstm(std::size_t input_size, std::size_t hidden_size, Rng& rng)
+    : wx_(Matrix::xavier(input_size, 4 * hidden_size, rng)),
+      wh_(Matrix::xavier(hidden_size, 4 * hidden_size, rng)),
+      b_(Matrix(1, 4 * hidden_size)) {
+  // Forget-gate bias at 1.0: the standard trick for stable early training.
+  for (std::size_t c = hidden_size; c < 2 * hidden_size; ++c)
+    b_.value.at(0, c) = 1.0;
+}
+
+Matrix Lstm::forward(const std::vector<Matrix>& inputs) {
+  AUTOPIPE_EXPECT(!inputs.empty());
+  const std::size_t H = hidden_size();
+  const std::size_t B = inputs.front().rows();
+  cache_.clear();
+  cache_.reserve(inputs.size());
+
+  Matrix h(B, H);
+  Matrix c(B, H);
+  for (const Matrix& x : inputs) {
+    AUTOPIPE_EXPECT(x.rows() == B && x.cols() == input_size());
+    Matrix z = matmul(x, wx_.value);
+    z += matmul(h, wh_.value);
+    add_row_vector(z, b_.value);
+
+    StepCache step;
+    step.x = x;
+    step.h_prev = h;
+    step.c_prev = c;
+    step.i = Matrix(B, H);
+    step.f = Matrix(B, H);
+    step.g = Matrix(B, H);
+    step.o = Matrix(B, H);
+    step.c = Matrix(B, H);
+    step.tanh_c = Matrix(B, H);
+    for (std::size_t r = 0; r < B; ++r) {
+      for (std::size_t j = 0; j < H; ++j) {
+        const double zi = z.at(r, j);
+        const double zf = z.at(r, H + j);
+        const double zg = z.at(r, 2 * H + j);
+        const double zo = z.at(r, 3 * H + j);
+        const double iv = sigmoid(zi);
+        const double fv = sigmoid(zf);
+        const double gv = std::tanh(zg);
+        const double ov = sigmoid(zo);
+        const double cv = fv * c.at(r, j) + iv * gv;
+        step.i.at(r, j) = iv;
+        step.f.at(r, j) = fv;
+        step.g.at(r, j) = gv;
+        step.o.at(r, j) = ov;
+        step.c.at(r, j) = cv;
+        step.tanh_c.at(r, j) = std::tanh(cv);
+      }
+    }
+    c = step.c;
+    h = hadamard(step.o, step.tanh_c);
+    cache_.push_back(std::move(step));
+  }
+  return h;
+}
+
+void Lstm::backward(const Matrix& dh_last) {
+  AUTOPIPE_EXPECT(!cache_.empty());
+  const std::size_t H = hidden_size();
+  const std::size_t B = cache_.front().x.rows();
+  AUTOPIPE_EXPECT(dh_last.rows() == B && dh_last.cols() == H);
+
+  Matrix dh = dh_last;
+  Matrix dc(B, H);
+  for (auto it = cache_.rbegin(); it != cache_.rend(); ++it) {
+    const StepCache& s = *it;
+    Matrix dz(B, 4 * H);
+    for (std::size_t r = 0; r < B; ++r) {
+      for (std::size_t j = 0; j < H; ++j) {
+        const double iv = s.i.at(r, j), fv = s.f.at(r, j);
+        const double gv = s.g.at(r, j), ov = s.o.at(r, j);
+        const double tc = s.tanh_c.at(r, j);
+        const double dhv = dh.at(r, j);
+        const double dov = dhv * tc;
+        double dcv = dc.at(r, j) + dhv * ov * (1.0 - tc * tc);
+        const double div = dcv * gv;
+        const double dfv = dcv * s.c_prev.at(r, j);
+        const double dgv = dcv * iv;
+        dz.at(r, j) = div * iv * (1.0 - iv);
+        dz.at(r, H + j) = dfv * fv * (1.0 - fv);
+        dz.at(r, 2 * H + j) = dgv * (1.0 - gv * gv);
+        dz.at(r, 3 * H + j) = dov * ov * (1.0 - ov);
+        dc.at(r, j) = dcv * fv;  // propagate along the cell path
+      }
+    }
+    wx_.grad += matmul_tn(s.x, dz);
+    wh_.grad += matmul_tn(s.h_prev, dz);
+    b_.grad += column_sums(dz);
+    dh = matmul_nt(dz, wh_.value);
+  }
+}
+
+std::vector<Parameter*> Lstm::parameters() { return {&wx_, &wh_, &b_}; }
+
+void Lstm::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+void Lstm::save(std::ostream& os) const {
+  wx_.value.save(os);
+  wh_.value.save(os);
+  b_.value.save(os);
+}
+
+void Lstm::load(std::istream& is) {
+  Matrix wx = Matrix::load(is);
+  Matrix wh = Matrix::load(is);
+  Matrix b = Matrix::load(is);
+  AUTOPIPE_EXPECT(wx.same_shape(wx_.value) && wh.same_shape(wh_.value) &&
+                  b.same_shape(b_.value));
+  wx_.value = std::move(wx);
+  wh_.value = std::move(wh);
+  b_.value = std::move(b);
+}
+
+}  // namespace autopipe::nn

@@ -1,0 +1,54 @@
+// Single-layer LSTM with truncated backpropagation through time. The
+// meta-network (§4.2, Fig 7) feeds a short window of per-iteration dynamic
+// metrics through an LSTM block and reads out the final hidden state;
+// training needs gradients w.r.t. the LSTM parameters only (the inputs are
+// profiler features), which backward() provides.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace autopipe::nn {
+
+class Lstm {
+ public:
+  Lstm(std::size_t input_size, std::size_t hidden_size, Rng& rng);
+
+  /// Process a sequence of T inputs (each batch x input_size); returns the
+  /// final hidden state (batch x hidden_size). Caches everything backward()
+  /// needs.
+  Matrix forward(const std::vector<Matrix>& inputs);
+
+  /// Backpropagate from dLoss/dh_T through all cached steps, accumulating
+  /// parameter gradients. Input gradients are not produced.
+  void backward(const Matrix& dh_last);
+
+  std::vector<Parameter*> parameters();
+  void zero_grad();
+
+  std::size_t input_size() const { return wx_.value.rows(); }
+  std::size_t hidden_size() const { return wh_.value.rows(); }
+
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  // Gate layout in the 4H axis: [input | forget | cell | output].
+  Parameter wx_;  // input  x 4H
+  Parameter wh_;  // hidden x 4H
+  Parameter b_;   // 1 x 4H
+
+  struct StepCache {
+    Matrix x;       // batch x input
+    Matrix h_prev;  // batch x H
+    Matrix c_prev;  // batch x H
+    Matrix i, f, g, o;  // gate activations, batch x H each
+    Matrix c;       // batch x H
+    Matrix tanh_c;  // batch x H
+  };
+  std::vector<StepCache> cache_;
+};
+
+}  // namespace autopipe::nn

@@ -1,0 +1,147 @@
+#include "nn/matrix.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/expect.hpp"
+
+namespace autopipe::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  AUTOPIPE_EXPECT(rows > 0 && cols > 0);
+}
+
+Matrix Matrix::xavier(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (double& v : m.data_) v = rng.uniform(-limit, limit);
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  AUTOPIPE_EXPECT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  AUTOPIPE_EXPECT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+void Matrix::fill(double v) {
+  for (double& x : data_) x = v;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t.data_[c * rows_ + r] = data_[r * cols_ + c];
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  AUTOPIPE_EXPECT(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  AUTOPIPE_EXPECT(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+void Matrix::save(std::ostream& os) const {
+  os << rows_ << ' ' << cols_ << '\n';
+  os.precision(17);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    os << data_[i] << (((i + 1) % cols_ == 0) ? '\n' : ' ');
+  }
+}
+
+Matrix Matrix::load(std::istream& is) {
+  std::size_t rows = 0, cols = 0;
+  is >> rows >> cols;
+  AUTOPIPE_EXPECT_MSG(is.good() && rows > 0 && cols > 0,
+                      "malformed matrix header");
+  Matrix m(rows, cols);
+  for (double& v : m.data_) {
+    is >> v;
+    AUTOPIPE_EXPECT_MSG(!is.fail(), "truncated matrix payload");
+  }
+  return m;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  AUTOPIPE_EXPECT_MSG(a.cols() == b.rows(), "matmul shape mismatch: "
+                                                << a.rows() << "x" << a.cols()
+                                                << " * " << b.rows() << "x"
+                                                << b.cols());
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j)
+        c.at(i, j) += aik * b.at(k, j);
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  AUTOPIPE_EXPECT(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = a.at(k, i);
+      if (aki == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j)
+        c.at(i, j) += aki * b.at(k, j);
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  AUTOPIPE_EXPECT(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k)
+        sum += a.at(i, k) * b.at(j, k);
+      c.at(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+void add_row_vector(Matrix& m, const Matrix& row) {
+  AUTOPIPE_EXPECT(row.rows() == 1 && row.cols() == m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) m.at(r, c) += row.at(0, c);
+}
+
+Matrix column_sums(const Matrix& m) {
+  Matrix s(1, m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) s.at(0, c) += m.at(r, c);
+  return s;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  AUTOPIPE_EXPECT(a.same_shape(b));
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * b.data()[i];
+  return c;
+}
+
+}  // namespace autopipe::nn

@@ -1,0 +1,74 @@
+// Dense row-major matrix for the in-repo neural nets (meta-network, RL
+// arbiter). Deliberately minimal: the nets here are tiny (tens of thousands
+// of weights), so clarity and testability beat BLAS.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace autopipe::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix xavier(std::size_t rows, std::size_t cols, Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void fill(double v);
+  Matrix transposed() const;
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  // Element-wise in-place helpers.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  void save(std::ostream& os) const;
+  static Matrix load(std::istream& is);
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A x B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A^T x B without materializing the transpose.
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+/// C = A x B^T without materializing the transpose.
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+/// Broadcast-add a 1 x C row vector to every row.
+void add_row_vector(Matrix& m, const Matrix& row);
+/// 1 x C column sums.
+Matrix column_sums(const Matrix& m);
+/// Hadamard product.
+Matrix hadamard(const Matrix& a, const Matrix& b);
+
+/// A parameter tensor paired with its gradient accumulator.
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+
+  explicit Parameter(Matrix v)
+      : value(std::move(v)), grad(value.rows(), value.cols()) {}
+  void zero_grad() { grad.fill(0.0); }
+};
+
+}  // namespace autopipe::nn

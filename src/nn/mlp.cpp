@@ -1,0 +1,129 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace autopipe::nn {
+
+namespace {
+
+double activate(Activation a, double v) {
+  switch (a) {
+    case Activation::kIdentity: return v;
+    case Activation::kRelu: return v > 0.0 ? v : 0.0;
+    case Activation::kTanh: return std::tanh(v);
+    case Activation::kSigmoid: return 1.0 / (1.0 + std::exp(-v));
+  }
+  return v;
+}
+
+/// Derivative in terms of the pre-activation value.
+double activate_grad(Activation a, double pre) {
+  switch (a) {
+    case Activation::kIdentity: return 1.0;
+    case Activation::kRelu: return pre > 0.0 ? 1.0 : 0.0;
+    case Activation::kTanh: {
+      const double t = std::tanh(pre);
+      return 1.0 - t * t;
+    }
+    case Activation::kSigmoid: {
+      const double s = 1.0 / (1.0 + std::exp(-pre));
+      return s * (1.0 - s);
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Linear::Linear(std::size_t in, std::size_t out, Activation activation,
+               Rng& rng)
+    : w_(Matrix::xavier(in, out, rng)),
+      b_(Matrix(1, out)),
+      activation_(activation) {}
+
+Matrix Linear::forward(const Matrix& x) {
+  AUTOPIPE_EXPECT(x.cols() == w_.value.rows());
+  cached_input_ = x;
+  Matrix pre = matmul(x, w_.value);
+  add_row_vector(pre, b_.value);
+  cached_pre_ = pre;
+  Matrix out = pre;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.data()[i] = activate(activation_, out.data()[i]);
+  return out;
+}
+
+Matrix Linear::backward(const Matrix& dy) {
+  AUTOPIPE_EXPECT(dy.rows() == cached_pre_.rows() &&
+                  dy.cols() == cached_pre_.cols());
+  Matrix dpre = dy;
+  for (std::size_t i = 0; i < dpre.size(); ++i)
+    dpre.data()[i] *= activate_grad(activation_, cached_pre_.data()[i]);
+  w_.grad += matmul_tn(cached_input_, dpre);
+  b_.grad += column_sums(dpre);
+  return matmul_nt(dpre, w_.value);
+}
+
+std::vector<Parameter*> Linear::parameters() { return {&w_, &b_}; }
+
+void Linear::save(std::ostream& os) const {
+  w_.value.save(os);
+  b_.value.save(os);
+}
+
+void Linear::load(std::istream& is) {
+  Matrix w = Matrix::load(is);
+  Matrix b = Matrix::load(is);
+  AUTOPIPE_EXPECT(w.same_shape(w_.value) && b.same_shape(b_.value));
+  w_.value = std::move(w);
+  b_.value = std::move(b);
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& widths, Activation hidden_activation,
+         Activation output_activation, Rng& rng) {
+  AUTOPIPE_EXPECT(widths.size() >= 2);
+  for (std::size_t i = 0; i + 1 < widths.size(); ++i) {
+    const bool last = (i + 2 == widths.size());
+    layers_.emplace_back(widths[i], widths[i + 1],
+                         last ? output_activation : hidden_activation, rng);
+  }
+}
+
+Matrix Mlp::forward(const Matrix& x) {
+  Matrix h = x;
+  for (Linear& layer : layers_) h = layer.forward(h);
+  return h;
+}
+
+Matrix Mlp::backward(const Matrix& dy) {
+  Matrix d = dy;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    d = it->backward(d);
+  return d;
+}
+
+std::vector<Parameter*> Mlp::parameters() {
+  std::vector<Parameter*> out;
+  for (Linear& layer : layers_)
+    for (Parameter* p : layer.parameters()) out.push_back(p);
+  return out;
+}
+
+void Mlp::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+std::size_t Mlp::input_size() const { return layers_.front().in_features(); }
+std::size_t Mlp::output_size() const { return layers_.back().out_features(); }
+
+void Mlp::save(std::ostream& os) const {
+  for (const Linear& layer : layers_) layer.save(os);
+}
+
+void Mlp::load(std::istream& is) {
+  for (Linear& layer : layers_) layer.load(is);
+}
+
+}  // namespace autopipe::nn

@@ -1,0 +1,66 @@
+// Fully-connected networks with explicit backward passes. Enough machinery
+// for the paper's two nets: the meta-network's dense head and the RL
+// arbiter's 32-16 hidden stack ("two hidden layers with 32 and 16 neurons
+// are enough", §4.3).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace autopipe::nn {
+
+enum class Activation { kIdentity, kRelu, kTanh, kSigmoid };
+
+/// y = act(x W + b). Caches the forward inputs for backward().
+class Linear {
+ public:
+  Linear(std::size_t in, std::size_t out, Activation activation, Rng& rng);
+
+  /// x: batch x in -> batch x out.
+  Matrix forward(const Matrix& x);
+  /// dy: batch x out -> dx: batch x in. Accumulates into parameter grads.
+  Matrix backward(const Matrix& dy);
+
+  std::vector<Parameter*> parameters();
+  std::size_t in_features() const { return w_.value.rows(); }
+  std::size_t out_features() const { return w_.value.cols(); }
+
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  Parameter w_;  // in x out
+  Parameter b_;  // 1 x out
+  Activation activation_;
+  Matrix cached_input_;
+  Matrix cached_pre_;  // pre-activation, for the activation derivative
+};
+
+/// A stack of Linear layers: hidden layers use `hidden_activation`, the last
+/// layer `output_activation`.
+class Mlp {
+ public:
+  Mlp(const std::vector<std::size_t>& widths, Activation hidden_activation,
+      Activation output_activation, Rng& rng);
+
+  Matrix forward(const Matrix& x);
+  /// Backprop from dLoss/dOutput; returns dLoss/dInput.
+  Matrix backward(const Matrix& dy);
+
+  std::vector<Parameter*> parameters();
+  void zero_grad();
+
+  std::size_t input_size() const;
+  std::size_t output_size() const;
+
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+}  // namespace autopipe::nn

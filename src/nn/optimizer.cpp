@@ -1,0 +1,73 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace autopipe::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, double lr)
+    : params_(std::move(params)), lr_(lr) {
+  AUTOPIPE_EXPECT(!params_.empty());
+  AUTOPIPE_EXPECT(lr_ > 0.0);
+}
+
+void Sgd::step() {
+  for (Parameter* p : params_) {
+    for (std::size_t i = 0; i < p->value.size(); ++i)
+      p->value.data()[i] -= lr_ * p->grad.data()[i];
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+void Sgd::set_learning_rate(double lr) {
+  AUTOPIPE_EXPECT(lr > 0.0);
+  lr_ = lr;
+}
+
+Adam::Adam(std::vector<Parameter*> params, double lr, double beta1,
+           double beta2, double eps)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  AUTOPIPE_EXPECT(!params_.empty());
+  AUTOPIPE_EXPECT(lr_ > 0.0);
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Parameter* p = params_[k];
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const double g = p->grad.data()[i];
+      double& m = m_[k].data()[i];
+      double& v = v_[k].data()[i];
+      m = beta1_ * m + (1.0 - beta1_) * g;
+      v = beta2_ * v + (1.0 - beta2_) * g * g;
+      p->value.data()[i] -=
+          lr_ * (m / bc1) / (std::sqrt(v / bc2) + eps_);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+void Adam::set_learning_rate(double lr) {
+  AUTOPIPE_EXPECT(lr > 0.0);
+  lr_ = lr;
+}
+
+}  // namespace autopipe::nn

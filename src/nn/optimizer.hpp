@@ -1,0 +1,42 @@
+// Optimizers over Parameter lists. Adam drives both the meta-network and
+// the RL arbiter; plain SGD exists for tests and the convergence module's
+// synthetic trainer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace autopipe::nn {
+
+class Sgd {
+ public:
+  Sgd(std::vector<Parameter*> params, double lr);
+  void step();
+  void zero_grad();
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr);
+
+ private:
+  std::vector<Parameter*> params_;
+  double lr_;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void step();
+  void zero_grad();
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr);
+
+ private:
+  std::vector<Parameter*> params_;
+  double lr_, beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<Matrix> m_, v_;
+};
+
+}  // namespace autopipe::nn

@@ -1,0 +1,62 @@
+#include "partition/environment.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace autopipe::partition {
+
+FlopsPerSec EnvironmentView::uniform_speed() const {
+  AUTOPIPE_EXPECT(!worker_speed.empty());
+  return *std::max_element(worker_speed.begin(), worker_speed.end());
+}
+
+BytesPerSec EnvironmentView::uniform_bandwidth() const {
+  AUTOPIPE_EXPECT(!worker_bandwidth.empty());
+  return *std::max_element(worker_bandwidth.begin(), worker_bandwidth.end());
+}
+
+FlopsPerSec EnvironmentView::min_speed(
+    const std::vector<sim::WorkerId>& workers) const {
+  AUTOPIPE_EXPECT(!workers.empty());
+  FlopsPerSec v = worker_speed.at(workers.front());
+  for (sim::WorkerId w : workers) v = std::min(v, worker_speed.at(w));
+  return v;
+}
+
+BytesPerSec EnvironmentView::min_bandwidth(
+    const std::vector<sim::WorkerId>& workers) const {
+  AUTOPIPE_EXPECT(!workers.empty());
+  BytesPerSec v = worker_bandwidth.at(workers.front());
+  for (sim::WorkerId w : workers) v = std::min(v, worker_bandwidth.at(w));
+  return v;
+}
+
+FlopsPerSec EnvironmentView::mean_speed(
+    const std::vector<sim::WorkerId>& workers) const {
+  AUTOPIPE_EXPECT(!workers.empty());
+  FlopsPerSec sum = 0.0;
+  for (sim::WorkerId w : workers) sum += worker_speed.at(w);
+  return sum / static_cast<double>(workers.size());
+}
+
+EnvironmentView EnvironmentView::from_cluster(
+    const sim::Cluster& cluster, const comm::FrameworkProfile& framework,
+    comm::SyncScheme scheme) {
+  EnvironmentView env;
+  const std::size_t n = cluster.num_workers();
+  env.worker_speed.reserve(n);
+  env.worker_bandwidth.reserve(n);
+  for (sim::WorkerId w = 0; w < n; ++w) {
+    env.worker_speed.push_back(cluster.gpu(w).effective_throughput() *
+                               framework.compute_efficiency);
+    env.worker_bandwidth.push_back(
+        cluster.nic_bandwidth(cluster.server_of(w)));
+  }
+  env.per_layer_overhead = framework.per_layer_overhead;
+  env.comm_efficiency = framework.comm_efficiency;
+  env.sync_scheme = scheme;
+  return env;
+}
+
+}  // namespace autopipe::partition

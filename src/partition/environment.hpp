@@ -1,0 +1,49 @@
+// A planner's view of the cluster: per-worker effective compute speed and
+// per-worker available bandwidth, plus framework constants. PipeDream's
+// planner deliberately collapses this to a single exclusive-GPU speed and a
+// single uniform bandwidth (its two modelling drawbacks per the paper's
+// Observation 2); the "optimal" re-planner and AutoPipe consume the full
+// per-worker vectors.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "comm/framework.hpp"
+#include "common/units.hpp"
+#include "sim/cluster.hpp"
+
+namespace autopipe::partition {
+
+struct EnvironmentView {
+  /// Effective FLOP/s available to the training job on each worker
+  /// (device throughput x framework compute efficiency / tenants).
+  std::vector<FlopsPerSec> worker_speed;
+  /// NIC bandwidth available at each worker's server.
+  std::vector<BytesPerSec> worker_bandwidth;
+  /// Framework constants applied to every task / transfer.
+  Seconds per_layer_overhead = 0.0;
+  double comm_efficiency = 1.0;
+  /// How replicated stages synchronize weights.
+  comm::SyncScheme sync_scheme = comm::SyncScheme::kRing;
+
+  std::size_t num_workers() const { return worker_speed.size(); }
+
+  /// PipeDream's simplifications: one speed (an exclusively-used reference
+  /// GPU — we take the max, i.e. an uncontended device), one bandwidth.
+  FlopsPerSec uniform_speed() const;
+  BytesPerSec uniform_bandwidth() const;
+
+  /// Slowest speed / narrowest pipe across a worker subset.
+  FlopsPerSec min_speed(const std::vector<sim::WorkerId>& workers) const;
+  BytesPerSec min_bandwidth(const std::vector<sim::WorkerId>& workers) const;
+  FlopsPerSec mean_speed(const std::vector<sim::WorkerId>& workers) const;
+
+  /// Ground-truth snapshot of the simulated cluster (what a perfect profiler
+  /// would report).
+  static EnvironmentView from_cluster(const sim::Cluster& cluster,
+                                      const comm::FrameworkProfile& framework,
+                                      comm::SyncScheme scheme);
+};
+
+}  // namespace autopipe::partition

@@ -1,0 +1,75 @@
+#include "partition/exhaustive.hpp"
+
+#include <limits>
+#include <numeric>
+
+#include "common/expect.hpp"
+#include "partition/analytic_eval.hpp"
+
+namespace autopipe::partition {
+
+namespace {
+
+struct SearchState {
+  const models::ModelSpec* model;
+  const EnvironmentView* env;
+  std::size_t batch;
+  std::size_t num_workers;
+  Seconds best_time = std::numeric_limits<Seconds>::infinity();
+  std::optional<Partition> best;
+};
+
+/// Recursively extend a partial partition starting at `next_layer` with
+/// `workers_left` unassigned workers (ids assigned in ascending order).
+void search(SearchState& state, std::vector<StageAssignment>& prefix,
+            std::size_t next_layer, std::size_t next_worker) {
+  const std::size_t L = state.model->num_layers();
+  if (next_layer == L) {
+    Partition p(prefix, L);
+    const Seconds t =
+        analytic_batch_time(*state.model, p, *state.env, state.batch);
+    if (t < state.best_time) {
+      state.best_time = t;
+      state.best = std::move(p);
+    }
+    return;
+  }
+  const std::size_t workers_left = state.num_workers - next_worker;
+  if (workers_left == 0) return;
+  for (std::size_t last = next_layer; last < L; ++last) {
+    // The remaining layers after `last` need at least one worker.
+    const bool more_layers = last + 1 < L;
+    for (std::size_t r = 1; r <= workers_left - (more_layers ? 1 : 0); ++r) {
+      StageAssignment stage;
+      stage.first_layer = next_layer;
+      stage.last_layer = last;
+      for (std::size_t i = 0; i < r; ++i)
+        stage.workers.push_back(next_worker + i);
+      prefix.push_back(std::move(stage));
+      search(state, prefix, last + 1, next_worker + r);
+      prefix.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<PlanResult> exhaustive_best(const models::ModelSpec& model,
+                                          const EnvironmentView& env,
+                                          std::size_t batch,
+                                          std::size_t num_workers,
+                                          std::size_t max_layers_guard) {
+  AUTOPIPE_EXPECT(num_workers >= 1);
+  AUTOPIPE_EXPECT(num_workers <= env.num_workers());
+  if (model.num_layers() > max_layers_guard) return std::nullopt;
+
+  SearchState state{&model, &env, batch, num_workers,
+                    std::numeric_limits<Seconds>::infinity(), std::nullopt};
+  std::vector<StageAssignment> prefix;
+  search(state, prefix, 0, 0);
+  AUTOPIPE_EXPECT(state.best.has_value());
+  return PlanResult{*state.best, optimal_in_flight(*state.best),
+                    state.best_time};
+}
+
+}  // namespace autopipe::partition

@@ -1,0 +1,26 @@
+// Brute-force partition search. Exponential in the layer count, so it only
+// runs on small instances; it serves as (a) the optimality oracle the DP
+// planner is tested against and (b) the "what if we could afford full
+// search" ablation.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "models/model.hpp"
+#include "partition/environment.hpp"
+#include "partition/partition.hpp"
+
+namespace autopipe::partition {
+
+/// Enumerate every (stage split, replica-count distribution) over the given
+/// workers and return the partition minimizing analytic_batch_time. Workers
+/// are consumed in ascending id order within each stage. Instances beyond
+/// `max_layers_guard` layers are rejected (the search is exponential).
+std::optional<PlanResult> exhaustive_best(const models::ModelSpec& model,
+                                          const EnvironmentView& env,
+                                          std::size_t batch,
+                                          std::size_t num_workers,
+                                          std::size_t max_layers_guard = 14);
+
+}  // namespace autopipe::partition

@@ -1,0 +1,66 @@
+#include "partition/neighborhood.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace autopipe::partition {
+
+namespace {
+
+/// Rebuild a Partition after editing a copy of its stages.
+Partition rebuild(std::vector<StageAssignment> stages,
+                  std::size_t num_layers) {
+  return Partition(std::move(stages), num_layers);
+}
+
+}  // namespace
+
+std::vector<Candidate> two_worker_candidates(const Partition& current) {
+  std::vector<Candidate> out;
+  const auto& stages = current.stages();
+  const std::size_t L = current.num_layers();
+
+  // 1) Boundary-layer moves between adjacent stages.
+  for (std::size_t s = 0; s + 1 < stages.size(); ++s) {
+    // Move k trailing layers of s into s+1 (keep at least one layer in s).
+    for (std::size_t k = 1; k < stages[s].num_layers(); ++k) {
+      auto edited = stages;
+      edited[s].last_layer -= k;
+      edited[s + 1].first_layer -= k;
+      Partition candidate = rebuild(std::move(edited), L);
+      auto changed = current.changed_workers(candidate);
+      out.push_back(Candidate{std::move(candidate), std::move(changed)});
+    }
+    // Move k leading layers of s+1 into s.
+    for (std::size_t k = 1; k < stages[s + 1].num_layers(); ++k) {
+      auto edited = stages;
+      edited[s].last_layer += k;
+      edited[s + 1].first_layer += k;
+      Partition candidate = rebuild(std::move(edited), L);
+      auto changed = current.changed_workers(candidate);
+      out.push_back(Candidate{std::move(candidate), std::move(changed)});
+    }
+  }
+
+  // 2) Re-home one worker from a replicated stage to an adjacent stage.
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    if (stages[s].replication() < 2) continue;
+    for (const std::size_t t : {s == 0 ? stages.size() : s - 1, s + 1}) {
+      if (t >= stages.size()) continue;
+      // Moving the highest-id worker keeps candidates canonical.
+      auto edited = stages;
+      const sim::WorkerId mover = edited[s].workers.back();
+      edited[s].workers.pop_back();
+      edited[t].workers.push_back(mover);
+      std::sort(edited[t].workers.begin(), edited[t].workers.end());
+      Partition candidate = rebuild(std::move(edited), L);
+      auto changed = current.changed_workers(candidate);
+      out.push_back(Candidate{std::move(candidate), std::move(changed)});
+    }
+  }
+
+  return out;
+}
+
+}  // namespace autopipe::partition

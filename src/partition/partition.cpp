@@ -1,0 +1,129 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace autopipe::partition {
+
+Partition::Partition(std::vector<StageAssignment> stages,
+                     std::size_t num_layers)
+    : stages_(std::move(stages)), num_layers_(num_layers) {
+  AUTOPIPE_EXPECT(!stages_.empty());
+  AUTOPIPE_EXPECT(num_layers_ > 0);
+  std::size_t expect_first = 0;
+  std::unordered_set<sim::WorkerId> seen;
+  for (const StageAssignment& s : stages_) {
+    AUTOPIPE_EXPECT_MSG(s.first_layer == expect_first,
+                        "stage gap: expected first layer "
+                            << expect_first << ", got " << s.first_layer);
+    AUTOPIPE_EXPECT(s.last_layer >= s.first_layer);
+    AUTOPIPE_EXPECT(s.last_layer < num_layers_);
+    AUTOPIPE_EXPECT_MSG(!s.workers.empty(), "stage with no workers");
+    for (sim::WorkerId w : s.workers)
+      AUTOPIPE_EXPECT_MSG(seen.insert(w).second,
+                          "worker " << w << " assigned to two stages");
+    expect_first = s.last_layer + 1;
+  }
+  AUTOPIPE_EXPECT_MSG(expect_first == num_layers_,
+                      "stages cover " << expect_first << " of " << num_layers_
+                                      << " layers");
+}
+
+Partition Partition::even_split(std::size_t num_layers,
+                                std::vector<sim::WorkerId> workers) {
+  AUTOPIPE_EXPECT(!workers.empty());
+  AUTOPIPE_EXPECT(num_layers >= workers.size());
+  const std::size_t n = workers.size();
+  std::vector<StageAssignment> stages;
+  std::size_t next = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    // Distribute the remainder over the leading stages.
+    const std::size_t len = num_layers / n + (s < num_layers % n ? 1 : 0);
+    stages.push_back(StageAssignment{next, next + len - 1, {workers[s]}});
+    next += len;
+  }
+  return Partition(std::move(stages), num_layers);
+}
+
+Partition Partition::single_stage(std::size_t num_layers,
+                                  std::vector<sim::WorkerId> workers) {
+  AUTOPIPE_EXPECT(!workers.empty());
+  return Partition({StageAssignment{0, num_layers - 1, std::move(workers)}},
+                   num_layers);
+}
+
+const StageAssignment& Partition::stage(std::size_t s) const {
+  AUTOPIPE_EXPECT(s < stages_.size());
+  return stages_[s];
+}
+
+std::size_t Partition::stage_of_layer(std::size_t layer) const {
+  AUTOPIPE_EXPECT(layer < num_layers_);
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    if (layer >= stages_[s].first_layer && layer <= stages_[s].last_layer)
+      return s;
+  }
+  AUTOPIPE_EXPECT_MSG(false, "unreachable: layer not covered");
+  return npos;
+}
+
+std::size_t Partition::stage_of_worker(sim::WorkerId worker) const {
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const auto& ws = stages_[s].workers;
+    if (std::find(ws.begin(), ws.end(), worker) != ws.end()) return s;
+  }
+  return npos;
+}
+
+std::vector<sim::WorkerId> Partition::all_workers() const {
+  std::vector<sim::WorkerId> out;
+  for (const StageAssignment& s : stages_)
+    out.insert(out.end(), s.workers.begin(), s.workers.end());
+  return out;
+}
+
+std::size_t Partition::num_workers() const {
+  std::size_t n = 0;
+  for (const StageAssignment& s : stages_) n += s.workers.size();
+  return n;
+}
+
+std::vector<sim::WorkerId> Partition::changed_workers(
+    const Partition& other) const {
+  std::vector<sim::WorkerId> changed;
+  auto layer_range = [](const Partition& p, sim::WorkerId w)
+      -> std::pair<std::size_t, std::size_t> {
+    const std::size_t s = p.stage_of_worker(w);
+    if (s == npos) return {npos, npos};
+    return {p.stage(s).first_layer, p.stage(s).last_layer};
+  };
+  std::unordered_set<sim::WorkerId> universe;
+  for (sim::WorkerId w : all_workers()) universe.insert(w);
+  for (sim::WorkerId w : other.all_workers()) universe.insert(w);
+  for (sim::WorkerId w : universe) {
+    if (layer_range(*this, w) != layer_range(other, w)) changed.push_back(w);
+  }
+  std::sort(changed.begin(), changed.end());
+  return changed;
+}
+
+std::string Partition::to_string() const {
+  std::ostringstream os;
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    if (s) os << " | ";
+    os << "L" << stages_[s].first_layer << "-" << stages_[s].last_layer
+       << "@{";
+    for (std::size_t i = 0; i < stages_[s].workers.size(); ++i) {
+      if (i) os << ",";
+      os << stages_[s].workers[i];
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+}  // namespace autopipe::partition

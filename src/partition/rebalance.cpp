@@ -1,0 +1,64 @@
+#include "partition/rebalance.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace autopipe::partition {
+
+Partition speed_proportional_rebalance(const models::ModelSpec& model,
+                                       const Partition& current,
+                                       const EnvironmentView& env,
+                                       std::size_t batch) {
+  const std::size_t S = current.num_stages();
+  const std::size_t L = model.num_layers();
+  AUTOPIPE_EXPECT(S <= L);
+
+  // Per-layer work and each stage's processing capacity (replicas x the
+  // slowest member's speed — the round-robin replication bound).
+  std::vector<double> work(L);
+  double total_work = 0.0;
+  for (std::size_t l = 0; l < L; ++l) {
+    work[l] = model.fwd_flops(l, batch) + model.bwd_flops(l, batch);
+    total_work += work[l];
+  }
+  std::vector<double> capacity(S);
+  double total_capacity = 0.0;
+  for (std::size_t s = 0; s < S; ++s) {
+    const auto& stage = current.stage(s);
+    capacity[s] = env.min_speed(stage.workers) *
+                  static_cast<double>(stage.replication());
+    AUTOPIPE_EXPECT(capacity[s] > 0.0);
+    total_capacity += capacity[s];
+  }
+
+  // Waterfill: stage s takes layers until its share of the total work
+  // (proportional to capacity) is met, always leaving enough layers for the
+  // remaining stages.
+  std::vector<StageAssignment> stages;
+  stages.reserve(S);
+  std::size_t next_layer = 0;
+  for (std::size_t s = 0; s < S; ++s) {
+    const std::size_t stages_left = S - s - 1;
+    const double target = total_work * capacity[s] / total_capacity;
+    StageAssignment assignment;
+    assignment.first_layer = next_layer;
+    assignment.workers = current.stage(s).workers;
+    // Take at least one layer, then keep extending while under target and
+    // while at least one layer per remaining stage is preserved.
+    std::size_t last = next_layer;
+    double acc = work[last];
+    while (last + 1 + stages_left < L && acc < target) {
+      ++last;
+      acc += work[last];
+    }
+    assignment.last_layer = last;
+    next_layer = last + 1;
+    stages.push_back(std::move(assignment));
+  }
+  // The final stage absorbs any remaining layers.
+  stages.back().last_layer = L - 1;
+  return Partition(std::move(stages), L);
+}
+
+}  // namespace autopipe::partition

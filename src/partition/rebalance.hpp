@@ -1,0 +1,27 @@
+// Speed-proportional rebalancing: given a stage->worker order, re-draw the
+// contiguous layer boundaries so every stage's compute time matches its
+// workers' measured speed (waterfilling). This is the heterogeneity-aware
+// complement to the count-based DP: when co-located jobs slow a subset of
+// workers, the DP's uniform-speed split leaves several equally-slow
+// bottleneck stages that no single two-worker move can improve — the
+// rebalance jumps straight to the balanced assignment while keeping every
+// worker in its stage position (so the switch migrates only layer
+// boundaries, not worker roles).
+#pragma once
+
+#include <vector>
+
+#include "models/model.hpp"
+#include "partition/environment.hpp"
+#include "partition/partition.hpp"
+
+namespace autopipe::partition {
+
+/// Rebalance `current`'s layer boundaries to the environment's per-worker
+/// speeds, preserving the stage count and each stage's worker set.
+Partition speed_proportional_rebalance(const models::ModelSpec& model,
+                                       const Partition& current,
+                                       const EnvironmentView& env,
+                                       std::size_t batch);
+
+}  // namespace autopipe::partition

@@ -1,0 +1,552 @@
+#include "pipeline/executor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/expect.hpp"
+#include "common/log.hpp"
+#include "partition/analytic_eval.hpp"
+
+namespace autopipe::pipeline {
+
+PipelineExecutor::PipelineExecutor(sim::Cluster& cluster,
+                                   const models::ModelSpec& model,
+                                   partition::Partition initial,
+                                   ExecutorConfig config)
+    : cluster_(cluster),
+      model_(model),
+      config_(std::move(config)),
+      batch_(config_.batch_size ? config_.batch_size
+                                : model.default_batch_size()),
+      current_partition_(
+          std::make_shared<const partition::Partition>(std::move(initial))) {
+  AUTOPIPE_EXPECT(current_partition_->num_layers() == model_.num_layers());
+  for (sim::WorkerId w : current_partition_->all_workers())
+    AUTOPIPE_EXPECT(w < cluster_.num_workers());
+  AUTOPIPE_EXPECT(config_.micro_batches >= 1);
+  in_flight_ = target_in_flight();
+  sync_outstanding_.assign(current_partition_->num_stages(), false);
+  stage_timing_.assign(current_partition_->num_stages(), StageTiming{});
+  bandwidth_ema_.assign(cluster_.num_workers(),
+                        Ema(config_.bandwidth_ema_alpha));
+}
+
+void PipelineExecutor::set_iteration_callback(IterationCallback cb) {
+  iteration_callback_ = std::move(cb);
+}
+
+std::size_t PipelineExecutor::target_in_flight() const {
+  if (config_.in_flight) return config_.in_flight;
+  return partition::optimal_in_flight(*current_partition_);
+}
+
+// ---------------------------------------------------------------------------
+// Run loop
+// ---------------------------------------------------------------------------
+
+ExecutionReport PipelineExecutor::run(std::size_t iterations,
+                                      std::size_t warmup) {
+  AUTOPIPE_EXPECT(iterations > warmup);
+  const std::size_t prior = completed_iterations_;
+  run_target_ = prior + iterations;
+  running_ = true;
+
+  sim::Simulator& sim = cluster_.simulator();
+  const Seconds entry_time = sim.now();
+  const Bytes entry_bytes = cluster_.network().total_bytes_delivered();
+  std::vector<Seconds> entry_busy(cluster_.num_workers());
+  for (sim::WorkerId w = 0; w < cluster_.num_workers(); ++w)
+    entry_busy[w] = cluster_.gpu(w).busy_time();
+
+  fill_pipeline();
+  while (completed_iterations_ < run_target_) {
+    AUTOPIPE_EXPECT_MSG(sim.step(),
+                        "pipeline deadlock: event queue drained at iteration "
+                            << completed_iterations_ << " of " << run_target_);
+  }
+  running_ = false;
+
+  ExecutionReport report;
+  report.iterations = iterations;
+  report.batch_size = batch_;
+  report.elapsed = sim.now() - entry_time;
+  report.bytes_on_wire =
+      cluster_.network().total_bytes_delivered() - entry_bytes;
+  report.switches = switches_;
+  report.switch_stall = total_switch_stall_;
+
+  // Iteration completion times for this run only.
+  report.iteration_end_times.assign(iteration_end_times_.begin() +
+                                        static_cast<std::ptrdiff_t>(prior),
+                                    iteration_end_times_.end());
+  Seconds prev = entry_time;
+  for (Seconds t : report.iteration_end_times) {
+    const Seconds gap = t - prev;
+    report.iteration_throughput.push_back(
+        gap > 0.0 ? static_cast<double>(batch_) / gap : 0.0);
+    prev = t;
+  }
+
+  Seconds measure_start =
+      warmup == 0 ? entry_time
+                  : iteration_end_times_[prior + warmup - 1];
+  Seconds measure_span = sim.now() - measure_start;
+  std::size_t measured = iterations - warmup;
+  if (measure_span <= 0.0) {
+    // A deep pipeline can complete every measured iteration in one burst at
+    // a single instant when few iterations are requested relative to the
+    // in-flight count; fall back to measuring the whole run.
+    measure_start = entry_time;
+    measure_span = sim.now() - entry_time;
+    measured = iterations;
+  }
+  AUTOPIPE_EXPECT(measure_span > 0.0);
+  report.throughput =
+      static_cast<double>(measured * batch_) / measure_span;
+
+  double busy_sum = 0.0;
+  const auto workers = current_partition_->all_workers();
+  for (sim::WorkerId w : workers)
+    busy_sum += (cluster_.gpu(w).busy_time() - entry_busy[w]);
+  report.worker_utilization =
+      workers.empty() ? 0.0
+                      : busy_sum / (static_cast<double>(workers.size()) *
+                                    report.elapsed);
+  return report;
+}
+
+void PipelineExecutor::fill_pipeline() {
+  if (is_synchronous(config_.mode)) {
+    if (sync_state_.empty()) start_sync_iteration();
+    return;
+  }
+  while (active_batches_ < in_flight_ &&
+         !(switch_state_ && switch_state_->draining)) {
+    inject_async_batch();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Injection
+// ---------------------------------------------------------------------------
+
+std::uint64_t PipelineExecutor::make_batch(Route route) {
+  const std::uint64_t id = next_batch_id_++;
+  batches_.emplace(id, BatchState{std::move(route), 0.0});
+  ++active_batches_;
+  return id;
+}
+
+void PipelineExecutor::inject_async_batch() {
+  Route route;
+  route.partition = current_partition_;
+  route.micro_size = batch_;
+  const std::uint64_t rr = next_round_robin_++;
+  for (const auto& stage : current_partition_->stages())
+    route.workers.push_back(stage.workers[rr % stage.replication()]);
+  const std::uint64_t id = make_batch(std::move(route));
+  start_fp(id, 0);
+}
+
+void PipelineExecutor::start_sync_iteration() {
+  const std::size_t iter = sync_iter_counter_++;
+  auto& state = sync_state_[iter];
+  const std::size_t M = config_.micro_batches;
+  state.fp_remaining = M;
+  state.bp_remaining = M;
+
+  const std::size_t micro_size = std::max<std::size_t>(1, batch_ / M);
+  const std::size_t S = current_partition_->num_stages();
+  for (std::size_t m = 0; m < M; ++m) {
+    Route route;
+    route.partition = current_partition_;
+    route.micro_size = micro_size;
+    route.sync_iteration = iter;
+    // Chimera: the second half of the micro-batches flows through the
+    // reversed pipeline (stage i on the worker that holds stage S-1-i).
+    route.reversed =
+        (config_.mode == ScheduleMode::kChimera) && (m >= (M + 1) / 2);
+    const std::uint64_t rr = next_round_robin_++;
+    for (std::size_t s = 0; s < S; ++s) {
+      const auto& stage = current_partition_->stage(
+          route.reversed ? S - 1 - s : s);
+      route.workers.push_back(stage.workers[rr % stage.replication()]);
+    }
+    const std::uint64_t id = make_batch(std::move(route));
+    start_fp(id, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stage cost helpers
+// ---------------------------------------------------------------------------
+
+Flops PipelineExecutor::stage_fp_flops(const partition::Partition& p,
+                                       std::size_t stage,
+                                       std::size_t samples) const {
+  const auto& st = p.stage(stage);
+  return model_.range_fwd_flops(st.first_layer, st.last_layer, samples) /
+         config_.framework.compute_efficiency;
+}
+
+Flops PipelineExecutor::stage_bp_flops(const partition::Partition& p,
+                                       std::size_t stage,
+                                       std::size_t samples) const {
+  const auto& st = p.stage(stage);
+  return model_.range_bwd_flops(st.first_layer, st.last_layer, samples) /
+         config_.framework.compute_efficiency;
+}
+
+Seconds PipelineExecutor::stage_overhead(const partition::Partition& p,
+                                         std::size_t stage) const {
+  return config_.framework.per_layer_overhead *
+         static_cast<double>(p.stage(stage).num_layers());
+}
+
+// ---------------------------------------------------------------------------
+// Forward / backward progression
+// ---------------------------------------------------------------------------
+
+void PipelineExecutor::start_fp(std::uint64_t batch, std::size_t stage) {
+  auto& state = batches_.at(batch);
+  const Route& route = state.route;
+  const partition::Partition& p = *route.partition;
+  state.task_started = cluster_.simulator().now();
+  cluster_.gpu(route.workers[stage])
+      .submit(stage_fp_flops(p, stage, route.micro_size),
+              stage_overhead(p, stage),
+              [this, batch, stage] { after_fp(batch, stage); });
+}
+
+void PipelineExecutor::after_fp(std::uint64_t batch, std::size_t stage) {
+  auto& state = batches_.at(batch);
+  const Route& route = state.route;
+  const partition::Partition& p = *route.partition;
+  const std::size_t S = p.num_stages();
+
+  if (route.partition == current_partition_ && !route.reversed) {
+    const double scale =
+        static_cast<double>(batch_) / static_cast<double>(route.micro_size);
+    stage_timing_[stage].fp =
+        (cluster_.simulator().now() - state.task_started) * scale;
+  }
+
+  if (stage + 1 == S) {
+    // Last pipeline position reached.
+    if (config_.mode == ScheduleMode::kGPipe) {
+      auto& sync = sync_state_.at(route.sync_iteration);
+      AUTOPIPE_EXPECT(sync.fp_remaining > 0);
+      sync.queued_bp.push_back(batch);
+      if (--sync.fp_remaining == 0) {
+        // Barrier passed: release every backward pass, last micro first.
+        auto queued = std::move(sync.queued_bp);
+        for (auto it = queued.rbegin(); it != queued.rend(); ++it)
+          start_bp(*it, S - 1);
+      }
+      return;
+    }
+    if (is_synchronous(config_.mode)) {
+      auto& sync = sync_state_.at(route.sync_iteration);
+      AUTOPIPE_EXPECT(sync.fp_remaining > 0);
+      --sync.fp_remaining;
+    }
+    start_bp(batch, S - 1);
+    return;
+  }
+
+  // Ship the boundary activation downstream, then continue the FP chain.
+  Bytes bytes = model_.activation_bytes(p.stage(stage).last_layer,
+                                        route.micro_size) /
+                config_.framework.comm_efficiency;
+  observed_transfer(route.workers[stage], route.workers[stage + 1], bytes,
+                    [this, batch, stage] { start_fp(batch, stage + 1); });
+}
+
+void PipelineExecutor::start_bp(std::uint64_t batch, std::size_t stage) {
+  auto& state = batches_.at(batch);
+  const Route& route = state.route;
+  const partition::Partition& p = *route.partition;
+  state.task_started = cluster_.simulator().now();
+  Flops work = stage_bp_flops(p, stage, route.micro_size);
+  Seconds overhead = stage_overhead(p, stage);
+  if (config_.recompute_activations) {
+    // Re-run the stage's forward pass to regenerate the discarded
+    // activations before backpropagating through them.
+    work += stage_fp_flops(p, stage, route.micro_size);
+    overhead += stage_overhead(p, stage) / 2.0;
+  }
+  cluster_.gpu(route.workers[stage])
+      .submit_prioritized(work, overhead,
+                          [this, batch, stage] { after_bp(batch, stage); });
+}
+
+void PipelineExecutor::after_bp(std::uint64_t batch, std::size_t stage) {
+  auto& state = batches_.at(batch);
+  const Route route = state.route;  // copy: finish_batch erases the entry
+  const partition::Partition& p = *route.partition;
+
+  if (route.partition == current_partition_ && !route.reversed) {
+    const double scale =
+        static_cast<double>(batch_) / static_cast<double>(route.micro_size);
+    stage_timing_[stage].bp =
+        (cluster_.simulator().now() - state.task_started) * scale;
+  }
+
+  if (!is_synchronous(config_.mode)) maybe_async_sync(route, stage);
+
+  if (stage == 0) {
+    finish_batch(batch);
+    return;
+  }
+  // Gradient of the tensor that entered this stage on the forward pass.
+  const Bytes bytes = model_.activation_bytes(p.stage(stage - 1).last_layer,
+                                              route.micro_size) /
+                      config_.framework.comm_efficiency;
+  observed_transfer(route.workers[stage], route.workers[stage - 1], bytes,
+                    [this, batch, stage] { start_bp(batch, stage - 1); });
+}
+
+void PipelineExecutor::finish_batch(std::uint64_t batch) {
+  const Route route = std::move(batches_.at(batch).route);
+  batches_.erase(batch);
+  AUTOPIPE_EXPECT(active_batches_ > 0);
+  --active_batches_;
+
+  if (is_synchronous(config_.mode)) {
+    auto& sync = sync_state_.at(route.sync_iteration);
+    AUTOPIPE_EXPECT(sync.bp_remaining > 0);
+    if (--sync.bp_remaining == 0) run_flush_syncs(route.sync_iteration);
+    return;
+  }
+  on_iteration_complete();
+}
+
+// ---------------------------------------------------------------------------
+// Weight synchronization
+// ---------------------------------------------------------------------------
+
+void PipelineExecutor::maybe_async_sync(const Route& route,
+                                        std::size_t logical_stage) {
+  // Only batches routed on the current partition drive syncs; a batch
+  // completing on a superseded partition updates stashed weights locally.
+  if (route.partition != current_partition_) return;
+  const auto& stage = current_partition_->stage(logical_stage);
+  if (stage.replication() < 2) return;
+  // PipeDream-2BW coalesces gradients: a sync round only starts every
+  // `in_flight` iterations.
+  if (config_.mode == ScheduleMode::kTwoBW &&
+      completed_iterations_ % std::max<std::size_t>(1, in_flight_) != 0)
+    return;
+  if (sync_outstanding_[logical_stage]) return;  // coalesce into in-flight op
+  sync_outstanding_[logical_stage] = true;
+  const Bytes params =
+      model_.range_param_bytes(stage.first_layer, stage.last_layer);
+  auto partition_snapshot = current_partition_;
+  comm::Collective::run(config_.sync_scheme, cluster_, stage.workers, params,
+                        config_.framework.comm_efficiency,
+                        [this, logical_stage, partition_snapshot] {
+                          if (partition_snapshot == current_partition_)
+                            sync_outstanding_[logical_stage] = false;
+                        });
+}
+
+void PipelineExecutor::run_flush_syncs(std::size_t sync_iter) {
+  auto& sync = sync_state_.at(sync_iter);
+  AUTOPIPE_EXPECT(sync.syncs_pending == 0);
+  const partition::Partition& p = *current_partition_;
+  const std::size_t S = p.num_stages();
+
+  auto finish_one = [this, sync_iter] {
+    auto& st = sync_state_.at(sync_iter);
+    AUTOPIPE_EXPECT(st.syncs_pending > 0);
+    if (--st.syncs_pending == 0) {
+      sync_state_.erase(sync_iter);
+      on_iteration_complete();
+    }
+  };
+
+  std::size_t launched = 0;
+  for (std::size_t s = 0; s < S; ++s) {
+    const auto& stage = p.stage(s);
+    std::vector<sim::WorkerId> members = stage.workers;
+    if (config_.mode == ScheduleMode::kChimera) {
+      // The reversed stream's holder of stage s co-trains its weights.
+      const auto& mirror = p.stage(S - 1 - s);
+      for (sim::WorkerId w : mirror.workers) {
+        if (std::find(members.begin(), members.end(), w) == members.end())
+          members.push_back(w);
+      }
+    }
+    if (members.size() < 2) continue;
+    ++launched;
+    ++sync.syncs_pending;
+    const Bytes params =
+        model_.range_param_bytes(stage.first_layer, stage.last_layer);
+    comm::Collective::run(config_.sync_scheme, cluster_, std::move(members),
+                          params, config_.framework.comm_efficiency,
+                          finish_one);
+  }
+  if (launched == 0) {
+    sync_state_.erase(sync_iter);
+    on_iteration_complete();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Iteration bookkeeping
+// ---------------------------------------------------------------------------
+
+void PipelineExecutor::on_iteration_complete() {
+  ++completed_iterations_;
+  const Seconds now = cluster_.simulator().now();
+  last_iteration_time_ = now - last_iteration_end_;
+  last_iteration_end_ = now;
+  iteration_end_times_.push_back(now);
+
+  if (iteration_callback_) iteration_callback_(completed_iterations_);
+
+  if (switch_state_ && switch_state_->draining && active_batches_ == 0 &&
+      switch_state_->transfers_pending == 0) {
+    begin_migration();
+    return;
+  }
+  if (switch_state_ && switch_state_->draining) return;  // keep draining
+
+  if (is_synchronous(config_.mode)) {
+    if (active_batches_ == 0 && running_) start_sync_iteration();
+  } else {
+    fill_pipeline();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transfers with bandwidth observation
+// ---------------------------------------------------------------------------
+
+void PipelineExecutor::observed_transfer(sim::WorkerId src, sim::WorkerId dst,
+                                         Bytes bytes,
+                                         std::function<void()> done) {
+  const Seconds started = cluster_.simulator().now();
+  cluster_.transfer(src, dst, bytes,
+                    [this, src, dst, bytes, started,
+                     done = std::move(done)]() mutable {
+                      const Seconds d = cluster_.simulator().now() - started;
+                      if (d > 0.0 && bytes > 0.0) {
+                        bandwidth_ema_[src].add(bytes / d);
+                        bandwidth_ema_[dst].add(bytes / d);
+                      }
+                      if (done) done();
+                    });
+}
+
+BytesPerSec PipelineExecutor::observed_bandwidth(sim::WorkerId worker) const {
+  AUTOPIPE_EXPECT(worker < bandwidth_ema_.size());
+  if (bandwidth_ema_[worker].empty()) {
+    // No transfer has touched this worker yet; report the NIC line rate.
+    return cluster_.nic_bandwidth(cluster_.server_of(worker));
+  }
+  return bandwidth_ema_[worker].value();
+}
+
+// ---------------------------------------------------------------------------
+// Partition switching
+// ---------------------------------------------------------------------------
+
+bool PipelineExecutor::request_switch(partition::Partition next,
+                                      SwitchMode mode) {
+  if (switch_state_) return false;
+  AUTOPIPE_EXPECT(next.num_layers() == model_.num_layers());
+  if (next == *current_partition_) return false;
+
+  switch_state_.reset(new SwitchState{std::move(next), mode, 0, false,
+                                      cluster_.simulator().now()});
+
+  if (mode == SwitchMode::kStopTheWorld) {
+    switch_state_->draining = true;
+    if (active_batches_ == 0) begin_migration();
+    return true;
+  }
+  // Fine-grained: migrate concurrently with training.
+  begin_migration();
+  return true;
+}
+
+void PipelineExecutor::begin_migration() {
+  AUTOPIPE_EXPECT(switch_state_ != nullptr);
+  const partition::Partition& from = *current_partition_;
+  const partition::Partition& to = switch_state_->next;
+
+  // For every layer whose hosting worker set changes, move the weights from
+  // one previous holder to every new holder. Transfers between the same
+  // (src, dst) pair are merged into one flow. With weight stashing, the
+  // copy belonging to the latest active mini-batch moves first and the
+  // remaining versions are reconstructed from it locally, so one version's
+  // bytes per layer is the on-wire cost (§4.4).
+  std::unordered_map<std::uint64_t, Bytes> pair_bytes;
+  auto key = [](sim::WorkerId a, sim::WorkerId b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+  for (std::size_t layer = 0; layer < model_.num_layers(); ++layer) {
+    const auto& old_ws = from.stage(from.stage_of_layer(layer)).workers;
+    const auto& new_ws = to.stage(to.stage_of_layer(layer)).workers;
+    for (sim::WorkerId w : new_ws) {
+      if (std::find(old_ws.begin(), old_ws.end(), w) != old_ws.end())
+        continue;  // already resident
+      pair_bytes[key(old_ws.front(), w)] += model_.param_bytes(layer);
+    }
+  }
+
+  if (pair_bytes.empty()) {
+    finish_migration();
+    return;
+  }
+  switch_state_->transfers_pending = pair_bytes.size();
+  for (const auto& [k, bytes] : pair_bytes) {
+    const auto src = static_cast<sim::WorkerId>(k >> 32);
+    const auto dst = static_cast<sim::WorkerId>(k & 0xffffffffu);
+    observed_transfer(src, dst, bytes, [this] {
+      AUTOPIPE_EXPECT(switch_state_ &&
+                      switch_state_->transfers_pending > 0);
+      if (--switch_state_->transfers_pending == 0) finish_migration();
+    });
+  }
+}
+
+void PipelineExecutor::finish_migration() {
+  AUTOPIPE_EXPECT(switch_state_ != nullptr);
+  const SwitchMode mode = switch_state_->mode;
+
+  // Layer-by-layer restaging cost on each worker whose assignment changed
+  // (PipeSwitch's per-layer transmission calls): a fixed-time task that
+  // briefly occupies the GPU.
+  const partition::Partition& to = switch_state_->next;
+  for (sim::WorkerId w : current_partition_->changed_workers(to)) {
+    const std::size_t s = to.stage_of_worker(w);
+    if (s == partition::Partition::npos) continue;
+    const std::size_t moved_layers = to.stage(s).num_layers();
+    cluster_.gpu(w).submit(
+        0.0, config_.switch_overhead_per_layer *
+                 static_cast<double>(moved_layers),
+        nullptr);
+  }
+
+  if (mode == SwitchMode::kStopTheWorld) {
+    total_switch_stall_ +=
+        cluster_.simulator().now() - switch_state_->requested_at;
+  }
+
+  current_partition_ =
+      std::make_shared<const partition::Partition>(std::move(switch_state_->next));
+  switch_state_.reset();
+  ++switches_;
+  adopt_partition();
+}
+
+void PipelineExecutor::adopt_partition() {
+  sync_outstanding_.assign(current_partition_->num_stages(), false);
+  stage_timing_.assign(current_partition_->num_stages(), StageTiming{});
+  in_flight_ = target_in_flight();
+  if (running_) fill_pipeline();
+}
+
+}  // namespace autopipe::pipeline

@@ -1,0 +1,222 @@
+// Event-driven pipeline-parallel training executor.
+//
+// Runs a work partition on the simulated cluster: per-stage FP/BP compute
+// tasks on the stage's GPUs, activation/gradient flows across the network,
+// weight-synchronization collectives inside replicated stages, and — the
+// part that makes AutoPipe possible — *live partition switching* while the
+// pipeline keeps running.
+//
+// Mini-batch routing: a replicated stage serves whole mini-batches
+// round-robin across its replicas (PipeDream's replication semantics), so a
+// batch's route fixes one worker per stage at injection time. In-flight
+// batches complete on the route they started with even across a partition
+// switch; PipeDream's weight stashing is what makes that sound, and the
+// executor models its memory cost in memory.hpp.
+//
+// Switching modes:
+//  * kStopTheWorld — the straw-man of §3.1: stop injecting, drain, move the
+//    re-homed layers' weights, refill. The drain+refill bubble is visible in
+//    the iteration-time series.
+//  * kFineGrained — AutoPipe §4.4: weight migration flows start immediately
+//    and contend with training traffic; the affected workers pay a
+//    layer-by-layer restaging overhead; injection never stops, and the new
+//    assignment takes effect for batches injected after the migration
+//    completes (earlier batches finish on stashed weights).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/collective.hpp"
+#include "comm/framework.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "models/model.hpp"
+#include "partition/partition.hpp"
+#include "pipeline/report.hpp"
+#include "pipeline/schedule.hpp"
+#include "sim/cluster.hpp"
+
+namespace autopipe::pipeline {
+
+struct ExecutorConfig {
+  /// Samples per mini-batch; 0 uses the model's default.
+  std::size_t batch_size = 0;
+  comm::FrameworkProfile framework = comm::pytorch_profile();
+  comm::SyncScheme sync_scheme = comm::SyncScheme::kRing;
+  ScheduleMode mode = ScheduleMode::kAsync1F1B;
+  /// Micro-batches per mini-batch for the synchronous schedules.
+  std::size_t micro_batches = 4;
+  /// In-flight mini-batches (PipeDream's NOW); 0 derives it from the
+  /// partition.
+  std::size_t in_flight = 0;
+  /// Fixed restaging cost per migrated layer on an affected worker during a
+  /// fine-grained switch (PipeSwitch's per-layer transmission calls).
+  Seconds switch_overhead_per_layer = millis(2);
+  /// Smoothing for the per-worker observed-bandwidth estimate.
+  double bandwidth_ema_alpha = 0.25;
+  /// GPipe's activation recomputation: discard stage-internal activations
+  /// after the forward pass and recompute them at backward time. Trades
+  /// one extra forward pass of compute for an O(stage) smaller activation
+  /// stash (§2.1: "GPipe recomputes the FP").
+  bool recompute_activations = false;
+};
+
+class PipelineExecutor {
+ public:
+  PipelineExecutor(sim::Cluster& cluster, const models::ModelSpec& model,
+                   partition::Partition initial, ExecutorConfig config);
+
+  PipelineExecutor(const PipelineExecutor&) = delete;
+  PipelineExecutor& operator=(const PipelineExecutor&) = delete;
+
+  /// Invoked after every completed iteration (weight update) with the count
+  /// so far; the AutoPipe controller and the dynamic-resource traces hook
+  /// here. Safe to call request_switch() from inside.
+  using IterationCallback = std::function<void(std::size_t iterations)>;
+  void set_iteration_callback(IterationCallback cb);
+
+  /// Run `iterations` mini-batch updates; throughput is measured after the
+  /// first `warmup` of them. Resumable: consecutive runs continue the same
+  /// training timeline.
+  ExecutionReport run(std::size_t iterations, std::size_t warmup = 0);
+
+  enum class SwitchMode { kStopTheWorld, kFineGrained };
+
+  /// Adopt a new partition. Returns false (no-op) if a switch is already in
+  /// progress or the partition is identical to the current one.
+  bool request_switch(partition::Partition next, SwitchMode mode);
+  bool switch_in_progress() const { return switch_state_ != nullptr; }
+
+  const partition::Partition& current_partition() const {
+    return *current_partition_;
+  }
+  std::size_t completed_iterations() const { return completed_iterations_; }
+  std::size_t switches_performed() const { return switches_; }
+
+  // --- profiler-facing telemetry ---------------------------------------
+
+  /// EMA of transfer rates observed at each worker over the last
+  /// iterations — the paper's non-intrusive available-bandwidth estimate.
+  BytesPerSec observed_bandwidth(sim::WorkerId worker) const;
+
+  struct StageTiming {
+    Seconds fp = 0.0;
+    Seconds bp = 0.0;
+  };
+  /// Most recent measured FP/BP wall time per stage of the current
+  /// partition (whole mini-batch, one replica).
+  const std::vector<StageTiming>& last_stage_timing() const {
+    return stage_timing_;
+  }
+  Seconds last_iteration_time() const { return last_iteration_time_; }
+
+  const ExecutorConfig& config() const { return config_; }
+  std::size_t batch_size() const { return batch_; }
+  const models::ModelSpec& model() const { return model_; }
+
+ private:
+  /// One mini-batch's (or micro-batch's) pinned route through the stages.
+  struct Route {
+    std::shared_ptr<const partition::Partition> partition;
+    std::vector<sim::WorkerId> workers;  // one per stage
+    std::size_t micro_size;              // samples in this batch unit
+    std::size_t sync_iteration = 0;      // owning iteration (sync modes)
+    bool reversed = false;               // Chimera stream B
+  };
+
+  struct SyncIterationState {
+    std::size_t fp_remaining = 0;    // micro FPs yet to finish at last stage
+    std::size_t bp_remaining = 0;    // micro BPs yet to finish at stage 0
+    std::size_t syncs_pending = 0;   // weight syncs in flight at flush
+    std::vector<std::uint64_t> queued_bp;  // GPipe: BPs released after barrier
+  };
+
+  struct SwitchState {
+    partition::Partition next;
+    SwitchMode mode;
+    std::size_t transfers_pending = 0;
+    bool draining = false;          // stop-the-world: waiting for pipeline
+    Seconds requested_at = 0.0;
+  };
+
+  // Injection / iteration control.
+  void fill_pipeline();
+  void inject_async_batch();
+  void start_sync_iteration();
+  void on_iteration_complete();
+  std::size_t target_in_flight() const;
+
+  // Per-batch pipeline progression.
+  std::uint64_t make_batch(Route route);
+  void start_fp(std::uint64_t batch, std::size_t stage);
+  void after_fp(std::uint64_t batch, std::size_t stage);
+  void start_bp(std::uint64_t batch, std::size_t stage);
+  void after_bp(std::uint64_t batch, std::size_t stage);
+  void finish_batch(std::uint64_t batch);
+
+  // Stage cost helpers.
+  Flops stage_fp_flops(const partition::Partition& p, std::size_t stage,
+                       std::size_t samples) const;
+  Flops stage_bp_flops(const partition::Partition& p, std::size_t stage,
+                       std::size_t samples) const;
+  Seconds stage_overhead(const partition::Partition& p,
+                         std::size_t stage) const;
+
+  // Weight synchronization.
+  void maybe_async_sync(const Route& route, std::size_t stage);
+  void run_flush_syncs(std::size_t sync_iter);
+
+  // Transfers with bandwidth observation.
+  void observed_transfer(sim::WorkerId src, sim::WorkerId dst, Bytes bytes,
+                         std::function<void()> done);
+
+  // Switching.
+  void begin_migration();
+  void finish_migration();
+  void adopt_partition();
+
+  sim::Cluster& cluster_;
+  const models::ModelSpec& model_;
+  ExecutorConfig config_;
+  std::size_t batch_;
+  std::shared_ptr<const partition::Partition> current_partition_;
+  std::size_t in_flight_;
+
+  struct BatchState {
+    Route route;
+    Seconds task_started = 0.0;
+  };
+  std::unordered_map<std::uint64_t, BatchState> batches_;
+  std::uint64_t next_batch_id_ = 1;
+  std::uint64_t next_round_robin_ = 0;  // replica selection counter
+  std::size_t active_batches_ = 0;
+
+  // Sync-mode state (one mini-batch iteration at a time).
+  std::size_t sync_iter_counter_ = 0;
+  std::unordered_map<std::size_t, SyncIterationState> sync_state_;
+
+  // Async weight-sync gating: one outstanding collective per stage.
+  std::vector<bool> sync_outstanding_;
+
+  std::unique_ptr<SwitchState> switch_state_;
+  std::size_t switches_ = 0;
+  Seconds total_switch_stall_ = 0.0;
+
+  IterationCallback iteration_callback_;
+  std::size_t completed_iterations_ = 0;
+  std::size_t run_target_ = 0;
+  bool running_ = false;
+
+  // Telemetry.
+  std::vector<Ema> bandwidth_ema_;  // per worker
+  std::vector<StageTiming> stage_timing_;
+  Seconds last_iteration_end_ = 0.0;
+  Seconds last_iteration_time_ = 0.0;
+  std::vector<Seconds> iteration_end_times_;
+};
+
+}  // namespace autopipe::pipeline

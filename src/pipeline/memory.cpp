@@ -1,0 +1,71 @@
+#include "pipeline/memory.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace autopipe::pipeline {
+
+std::size_t weight_versions(ScheduleMode mode, std::size_t in_flight) {
+  switch (mode) {
+    case ScheduleMode::kAsync1F1B:
+      return std::max<std::size_t>(1, in_flight);  // one per active batch
+    case ScheduleMode::kTwoBW:
+      return 2;  // double buffering
+    case ScheduleMode::kGPipe:
+    case ScheduleMode::kDapple:
+    case ScheduleMode::kChimera:
+      return 1;  // flush before update
+  }
+  return 1;
+}
+
+Bytes worker_memory_footprint(const models::ModelSpec& model,
+                              const partition::Partition& partition,
+                              sim::WorkerId worker, std::size_t batch,
+                              ScheduleMode mode, std::size_t in_flight,
+                              bool recompute_activations) {
+  const std::size_t s = partition.stage_of_worker(worker);
+  if (s == partition::Partition::npos) return 0.0;
+  const auto& stage = partition.stage(s);
+
+  const Bytes params =
+      model.range_param_bytes(stage.first_layer, stage.last_layer);
+  const std::size_t versions = weight_versions(mode, in_flight);
+  // Optimizer state (momentum + variance, Adam-style): 2x parameters,
+  // kept once regardless of stashed versions.
+  const Bytes optimizer = 2.0 * params;
+
+  // Stashed activations: each in-flight batch passing through this stage
+  // holds its stage-internal activations until its backward pass — unless
+  // recomputation is on, in which case only the stage's boundary input
+  // survives (GPipe's trade).
+  Bytes act_per_batch = 0.0;
+  if (recompute_activations) {
+    act_per_batch = stage.first_layer == 0
+                        ? model.activation_bytes(0, batch)
+                        : model.activation_bytes(stage.first_layer - 1, batch);
+  } else {
+    for (std::size_t l = stage.first_layer; l <= stage.last_layer; ++l)
+      act_per_batch += model.activation_bytes(l, batch);
+  }
+  const std::size_t resident =
+      std::max<std::size_t>(1, in_flight / stage.replication());
+  return params * static_cast<double>(versions) + optimizer +
+         act_per_batch * static_cast<double>(resident);
+}
+
+bool plan_fits_memory(const sim::Cluster& cluster,
+                      const models::ModelSpec& model,
+                      const partition::Partition& partition,
+                      std::size_t batch, ScheduleMode mode,
+                      std::size_t in_flight) {
+  for (sim::WorkerId w : partition.all_workers()) {
+    const Bytes need = worker_memory_footprint(model, partition, w, batch,
+                                               mode, in_flight);
+    if (need > cluster.gpu(w).spec().memory) return false;
+  }
+  return true;
+}
+
+}  // namespace autopipe::pipeline

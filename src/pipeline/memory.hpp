@@ -1,0 +1,38 @@
+// Device-memory footprint accounting. PipeDream's weight stashing keeps one
+// weight version per active mini-batch; PipeDream-2BW double-buffers (2
+// versions); synchronous schedules keep 1 but stash per-micro-batch
+// activations until the flush. The executor does not enforce these limits —
+// the planner consults them to reject infeasible plans, and tests assert
+// the arithmetic.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+#include "models/model.hpp"
+#include "partition/partition.hpp"
+#include "pipeline/schedule.hpp"
+#include "sim/cluster.hpp"
+
+namespace autopipe::pipeline {
+
+/// Weight versions a schedule keeps resident.
+std::size_t weight_versions(ScheduleMode mode, std::size_t in_flight);
+
+/// Estimated bytes resident on `worker` under the given plan: parameters x
+/// versions (+ optimizer state, modelled as 2x parameters) plus stashed
+/// activations for the in-flight batches passing through its stage.
+Bytes worker_memory_footprint(const models::ModelSpec& model,
+                              const partition::Partition& partition,
+                              sim::WorkerId worker, std::size_t batch,
+                              ScheduleMode mode, std::size_t in_flight,
+                              bool recompute_activations = false);
+
+/// True if every worker's footprint fits its GPU.
+bool plan_fits_memory(const sim::Cluster& cluster,
+                      const models::ModelSpec& model,
+                      const partition::Partition& partition,
+                      std::size_t batch, ScheduleMode mode,
+                      std::size_t in_flight);
+
+}  // namespace autopipe::pipeline

@@ -1,0 +1,34 @@
+// Execution telemetry produced by a pipeline run: the quantities the
+// paper's figures plot (samples/sec, per-iteration speed traces) plus the
+// internals AutoPipe's profiler consumes (observed bandwidth, stage times).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace autopipe::pipeline {
+
+struct ExecutionReport {
+  std::size_t iterations = 0;
+  std::size_t batch_size = 0;
+  Seconds elapsed = 0.0;
+  /// Steady-state training speed over the measured window (after warmup):
+  /// the paper's img/sec metric.
+  double throughput = 0.0;
+  /// Completion timestamp of every iteration (simulated seconds).
+  std::vector<Seconds> iteration_end_times;
+  /// Instantaneous speed at each iteration (batch / inter-completion gap),
+  /// the series Figs 9-10 plot.
+  std::vector<double> iteration_throughput;
+  /// Mean busy fraction across the workers that took part.
+  double worker_utilization = 0.0;
+  /// Total bytes the run placed on the network.
+  Bytes bytes_on_wire = 0.0;
+  /// Partition switches the run performed and the injection stall they cost.
+  std::size_t switches = 0;
+  Seconds switch_stall = 0.0;
+};
+
+}  // namespace autopipe::pipeline

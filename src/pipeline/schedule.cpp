@@ -1,0 +1,29 @@
+#include "pipeline/schedule.hpp"
+
+namespace autopipe::pipeline {
+
+const char* to_string(ScheduleMode mode) {
+  switch (mode) {
+    case ScheduleMode::kAsync1F1B: return "PipeDream-1F1B";
+    case ScheduleMode::kGPipe: return "GPipe";
+    case ScheduleMode::kDapple: return "DAPPLE";
+    case ScheduleMode::kChimera: return "Chimera";
+    case ScheduleMode::kTwoBW: return "PipeDream-2BW";
+  }
+  return "?";
+}
+
+bool is_synchronous(ScheduleMode mode) {
+  switch (mode) {
+    case ScheduleMode::kGPipe:
+    case ScheduleMode::kDapple:
+    case ScheduleMode::kChimera:
+      return true;
+    case ScheduleMode::kAsync1F1B:
+    case ScheduleMode::kTwoBW:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace autopipe::pipeline

@@ -1,0 +1,45 @@
+#include "rl/replay_buffer.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace autopipe::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  AUTOPIPE_EXPECT(capacity_ > 0);
+  items_.reserve(capacity_);
+}
+
+void ReplayBuffer::add(Transition t) {
+  if (items_.size() < capacity_) {
+    items_.push_back(std::move(t));
+  } else {
+    items_[next_] = std::move(t);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<Transition> ReplayBuffer::sample(Rng& rng, std::size_t n) const {
+  AUTOPIPE_EXPECT(!items_.empty());
+  std::vector<Transition> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(items_.size()) - 1));
+    out.push_back(items_[idx]);
+  }
+  return out;
+}
+
+const Transition& ReplayBuffer::at(std::size_t i) const {
+  AUTOPIPE_EXPECT(i < items_.size());
+  return items_[i];
+}
+
+void ReplayBuffer::clear() {
+  items_.clear();
+  next_ = 0;
+}
+
+}  // namespace autopipe::rl

@@ -1,0 +1,40 @@
+// Fixed-capacity experience replay for the switch arbiter.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace autopipe::rl {
+
+struct Transition {
+  std::vector<double> state;
+  int action = 0;
+  double reward = 0.0;
+  std::vector<double> next_state;
+  bool terminal = false;
+};
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  void add(Transition t);
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return items_.empty(); }
+
+  /// Sample `n` transitions uniformly with replacement.
+  std::vector<Transition> sample(Rng& rng, std::size_t n) const;
+
+  const Transition& at(std::size_t i) const;
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  // ring cursor once full
+  std::vector<Transition> items_;
+};
+
+}  // namespace autopipe::rl

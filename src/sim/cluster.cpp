@@ -1,0 +1,134 @@
+#include "sim/cluster.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace autopipe::sim {
+
+Cluster::Cluster(Simulator& simulator, ClusterConfig config)
+    : sim_(simulator), config_(std::move(config)), network_(simulator) {
+  AUTOPIPE_EXPECT(config_.num_servers >= 1);
+  AUTOPIPE_EXPECT(config_.gpus_per_server >= 1);
+  AUTOPIPE_EXPECT(!config_.gpu_specs.empty());
+  AUTOPIPE_EXPECT(config_.nic_bandwidth > 0.0);
+  AUTOPIPE_EXPECT(config_.pcie_bandwidth > 0.0);
+
+  const std::size_t workers = num_workers();
+  AUTOPIPE_EXPECT_MSG(
+      config_.gpu_specs.size() == 1 || config_.gpu_specs.size() == workers,
+      "gpu_specs must have 1 entry or one per worker");
+
+  for (std::size_t s = 0; s < config_.num_servers; ++s) {
+    const std::string base = "server" + std::to_string(s);
+    nic_tx_.push_back(
+        network_.add_resource(base + ".nic.tx", config_.nic_bandwidth));
+    nic_rx_.push_back(
+        network_.add_resource(base + ".nic.rx", config_.nic_bandwidth));
+    pcie_.push_back(
+        network_.add_resource(base + ".pcie", config_.pcie_bandwidth));
+    nic_bw_.push_back(config_.nic_bandwidth);
+  }
+  if (config_.servers_per_rack > 0) {
+    AUTOPIPE_EXPECT(config_.rack_uplink_bandwidth > 0.0);
+    for (std::size_t r = 0; r < num_racks(); ++r) {
+      const std::string base = "rack" + std::to_string(r);
+      uplink_tx_.push_back(network_.add_resource(
+          base + ".uplink.tx", config_.rack_uplink_bandwidth));
+      uplink_rx_.push_back(network_.add_resource(
+          base + ".uplink.rx", config_.rack_uplink_bandwidth));
+    }
+  }
+  for (std::size_t w = 0; w < workers; ++w) {
+    const GpuSpec& spec = config_.gpu_specs.size() == 1
+                              ? config_.gpu_specs.front()
+                              : config_.gpu_specs[w];
+    gpus_.push_back(std::make_unique<GpuExecutor>(sim_, spec));
+  }
+}
+
+std::size_t Cluster::server_of(WorkerId worker) const {
+  AUTOPIPE_EXPECT(worker < num_workers());
+  return worker / config_.gpus_per_server;
+}
+
+std::size_t Cluster::rack_of_server(std::size_t server) const {
+  AUTOPIPE_EXPECT(server < config_.num_servers);
+  if (config_.servers_per_rack == 0) return 0;
+  return server / config_.servers_per_rack;
+}
+
+std::size_t Cluster::num_racks() const {
+  if (config_.servers_per_rack == 0) return 1;
+  return (config_.num_servers + config_.servers_per_rack - 1) /
+         config_.servers_per_rack;
+}
+
+GpuExecutor& Cluster::gpu(WorkerId worker) {
+  AUTOPIPE_EXPECT(worker < num_workers());
+  return *gpus_[worker];
+}
+
+const GpuExecutor& Cluster::gpu(WorkerId worker) const {
+  AUTOPIPE_EXPECT(worker < num_workers());
+  return *gpus_[worker];
+}
+
+std::vector<ResourceId> Cluster::path(WorkerId src, WorkerId dst) const {
+  AUTOPIPE_EXPECT(src < num_workers());
+  AUTOPIPE_EXPECT(dst < num_workers());
+  if (src == dst) return {};
+  const std::size_t ss = server_of(src);
+  const std::size_t ds = server_of(dst);
+  if (ss == ds) return {pcie_[ss]};
+  const std::size_t sr = rack_of_server(ss);
+  const std::size_t dr = rack_of_server(ds);
+  if (config_.servers_per_rack == 0 || sr == dr)
+    return {nic_tx_[ss], nic_rx_[ds]};
+  // Cross-rack: the transfer also claims a share of both rack uplinks.
+  return {nic_tx_[ss], uplink_tx_[sr], uplink_rx_[dr], nic_rx_[ds]};
+}
+
+FlowId Cluster::transfer(WorkerId src, WorkerId dst, Bytes bytes,
+                         std::function<void()> on_complete) {
+  auto p = path(src, dst);
+  if (p.empty()) {
+    // Device-local move: modelled as free (HBM bandwidth dwarfs the network).
+    if (on_complete) sim_.after(0.0, std::move(on_complete));
+    return 0;
+  }
+  return network_.start_flow(
+      FlowSpec{std::move(p), bytes, std::move(on_complete)});
+}
+
+void Cluster::set_nic_bandwidth(std::size_t server, BytesPerSec bandwidth) {
+  AUTOPIPE_EXPECT(server < config_.num_servers);
+  nic_bw_[server] = bandwidth;
+  network_.set_capacity(nic_tx_[server], bandwidth);
+  network_.set_capacity(nic_rx_[server], bandwidth);
+}
+
+void Cluster::set_all_nic_bandwidth(BytesPerSec bandwidth) {
+  for (std::size_t s = 0; s < config_.num_servers; ++s)
+    set_nic_bandwidth(s, bandwidth);
+}
+
+BytesPerSec Cluster::nic_bandwidth(std::size_t server) const {
+  AUTOPIPE_EXPECT(server < config_.num_servers);
+  return nic_bw_[server];
+}
+
+void Cluster::add_background_job(WorkerId worker) {
+  GpuExecutor& g = gpu(worker);
+  g.set_tenant_count(g.tenant_count() + 1);
+}
+
+void Cluster::remove_background_job(WorkerId worker) {
+  GpuExecutor& g = gpu(worker);
+  AUTOPIPE_EXPECT_MSG(g.tenant_count() > 1,
+                      "no background job to remove on worker " << worker);
+  g.set_tenant_count(g.tenant_count() - 1);
+}
+
+}  // namespace autopipe::sim

@@ -1,0 +1,100 @@
+// The shared GPU cluster: servers with one NIC each and several GPUs behind
+// a single non-blocking switch, matching the paper's testbed (5 servers × 2
+// P100, one 100Gbps ConnectX-5 NIC per server, one SN2100 switch).
+//
+// Workers are GPUs, numbered 0..num_workers-1 in server-major order. Flows
+// between workers on the same server consume the server's PCIe resource;
+// flows between servers consume the sender's NIC-tx and the receiver's
+// NIC-rx resources. NIC capacity and per-GPU tenancy can change at any
+// simulated instant, which is exactly the fluctuation AutoPipe reacts to.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/flow_network.hpp"
+#include "sim/gpu.hpp"
+#include "sim/simulator.hpp"
+
+namespace autopipe::sim {
+
+using WorkerId = std::size_t;
+
+struct ClusterConfig {
+  std::size_t num_servers = 5;
+  std::size_t gpus_per_server = 2;
+  /// Accelerator types, one per GPU slot; a single entry is broadcast to
+  /// every slot (the paper's homogeneous-P100 testbed).
+  std::vector<GpuSpec> gpu_specs = {p100_spec()};
+  BytesPerSec nic_bandwidth = gbps(100);
+  /// PCIe 3.0 x16 effective ≈ 12 GB/s, shared by the GPUs of one server.
+  BytesPerSec pcie_bandwidth = 12e9;
+  /// Optional two-tier topology: servers grouped into racks of this size,
+  /// with an oversubscribed uplink per rack toward the core. 0 keeps the
+  /// paper's single-switch testbed. PipeDream's planner *assumes* such a
+  /// hierarchy has uniform per-level bandwidth; the simulator lets that
+  /// assumption be tested against real rack-uplink contention.
+  std::size_t servers_per_rack = 0;
+  BytesPerSec rack_uplink_bandwidth = gbps(100);
+};
+
+class Cluster {
+ public:
+  Cluster(Simulator& simulator, ClusterConfig config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  std::size_t num_servers() const { return config_.num_servers; }
+  std::size_t num_workers() const {
+    return config_.num_servers * config_.gpus_per_server;
+  }
+  std::size_t server_of(WorkerId worker) const;
+  /// Rack of a server; all servers share rack 0 on a single-switch cluster.
+  std::size_t rack_of_server(std::size_t server) const;
+  std::size_t num_racks() const;
+
+  GpuExecutor& gpu(WorkerId worker);
+  const GpuExecutor& gpu(WorkerId worker) const;
+
+  FlowNetwork& network() { return network_; }
+  const FlowNetwork& network() const { return network_; }
+  Simulator& simulator() { return sim_; }
+
+  /// Resource path a transfer from src to dst traverses. src == dst yields
+  /// an empty path, which callers should treat as a free local copy.
+  std::vector<ResourceId> path(WorkerId src, WorkerId dst) const;
+
+  /// Convenience: start a byte transfer between two workers. A src==dst
+  /// "transfer" completes via an immediate event.
+  FlowId transfer(WorkerId src, WorkerId dst, Bytes bytes,
+                  std::function<void()> on_complete);
+
+  // --- dynamic resource state ------------------------------------------
+
+  void set_nic_bandwidth(std::size_t server, BytesPerSec bandwidth);
+  void set_all_nic_bandwidth(BytesPerSec bandwidth);
+  BytesPerSec nic_bandwidth(std::size_t server) const;
+
+  /// Add / remove one co-located background job on a GPU (adjusts the
+  /// executor's tenant count).
+  void add_background_job(WorkerId worker);
+  void remove_background_job(WorkerId worker);
+
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  Simulator& sim_;
+  ClusterConfig config_;
+  FlowNetwork network_;
+  std::vector<std::unique_ptr<GpuExecutor>> gpus_;
+  std::vector<ResourceId> nic_tx_;
+  std::vector<ResourceId> nic_rx_;
+  std::vector<ResourceId> pcie_;
+  std::vector<ResourceId> uplink_tx_;  // per rack (two-tier only)
+  std::vector<ResourceId> uplink_rx_;
+  std::vector<BytesPerSec> nic_bw_;
+};
+
+}  // namespace autopipe::sim

@@ -1,0 +1,202 @@
+#include "sim/flow_network.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/expect.hpp"
+#include "common/log.hpp"
+
+namespace autopipe::sim {
+
+namespace {
+/// Completion times within this tolerance of "now" are treated as due, to
+/// absorb floating-point division noise in remaining/rate arithmetic.
+constexpr Seconds kTimeEps = 1e-12;
+constexpr Bytes kByteEps = 1e-6;
+}  // namespace
+
+ResourceId FlowNetwork::add_resource(std::string name, BytesPerSec capacity) {
+  AUTOPIPE_EXPECT(capacity >= 0.0);
+  resources_.push_back(Resource{std::move(name), capacity});
+  return resources_.size() - 1;
+}
+
+void FlowNetwork::set_capacity(ResourceId resource, BytesPerSec capacity) {
+  AUTOPIPE_EXPECT(resource < resources_.size());
+  AUTOPIPE_EXPECT(capacity >= 0.0);
+  advance_to_now();
+  resources_[resource].capacity = capacity;
+  recompute_rates();
+  schedule_next_completion();
+}
+
+BytesPerSec FlowNetwork::capacity(ResourceId resource) const {
+  AUTOPIPE_EXPECT(resource < resources_.size());
+  return resources_[resource].capacity;
+}
+
+const std::string& FlowNetwork::resource_name(ResourceId resource) const {
+  AUTOPIPE_EXPECT(resource < resources_.size());
+  return resources_[resource].name;
+}
+
+FlowId FlowNetwork::start_flow(FlowSpec spec) {
+  AUTOPIPE_EXPECT(!spec.path.empty());
+  AUTOPIPE_EXPECT(spec.bytes >= 0.0);
+  {
+    std::unordered_set<ResourceId> seen;
+    for (ResourceId r : spec.path) {
+      AUTOPIPE_EXPECT(r < resources_.size());
+      AUTOPIPE_EXPECT_MSG(seen.insert(r).second,
+                          "duplicate resource in flow path");
+    }
+  }
+  const FlowId id = next_flow_id_++;
+  if (spec.bytes <= kByteEps) {
+    // Degenerate transfer: deliver "immediately" but still via the event
+    // queue so callback ordering matches non-degenerate flows.
+    if (spec.on_complete) sim_.after(0.0, std::move(spec.on_complete));
+    return id;
+  }
+  advance_to_now();
+  flows_.emplace(id, Flow{std::move(spec.path), spec.bytes, 0.0,
+                          std::move(spec.on_complete)});
+  recompute_rates();
+  schedule_next_completion();
+  return id;
+}
+
+void FlowNetwork::cancel_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;  // already completed: cancel is a no-op
+  advance_to_now();
+  flows_.erase(it);
+  recompute_rates();
+  schedule_next_completion();
+}
+
+BytesPerSec FlowNetwork::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  AUTOPIPE_EXPECT_MSG(it != flows_.end(), "flow " << id << " not active");
+  return it->second.rate;
+}
+
+Bytes FlowNetwork::flow_remaining(FlowId id) const {
+  auto it = flows_.find(id);
+  AUTOPIPE_EXPECT_MSG(it != flows_.end(), "flow " << id << " not active");
+  return it->second.remaining;
+}
+
+BytesPerSec FlowNetwork::resource_load(ResourceId resource) const {
+  AUTOPIPE_EXPECT(resource < resources_.size());
+  BytesPerSec load = 0.0;
+  for (const auto& [id, flow] : flows_) {
+    if (std::find(flow.path.begin(), flow.path.end(), resource) !=
+        flow.path.end()) {
+      load += flow.rate;
+    }
+  }
+  return load;
+}
+
+void FlowNetwork::advance_to_now() {
+  const Seconds now = sim_.now();
+  const Seconds dt = now - last_update_;
+  last_update_ = now;
+  if (dt <= 0.0) return;
+  for (auto& [id, flow] : flows_) {
+    const Bytes moved = std::min(flow.remaining, flow.rate * dt);
+    flow.remaining -= moved;
+    bytes_delivered_ += moved;
+  }
+}
+
+void FlowNetwork::recompute_rates() {
+  // Progressive filling: repeatedly find the resource whose fair share
+  // (remaining capacity / unfrozen flows through it) is smallest, pin every
+  // unfrozen flow through it to that share, and deduct.
+  std::unordered_map<ResourceId, double> remaining_cap;
+  std::unordered_map<ResourceId, std::size_t> flow_count;
+  std::vector<FlowId> unfrozen;
+  unfrozen.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) {
+    flow.rate = 0.0;
+    unfrozen.push_back(id);
+    for (ResourceId r : flow.path) {
+      remaining_cap.emplace(r, resources_[r].capacity);
+      ++flow_count[r];
+    }
+  }
+
+  while (!unfrozen.empty()) {
+    // Find the bottleneck resource.
+    bool found = false;
+    ResourceId bottleneck = 0;
+    double best_share = 0.0;
+    for (const auto& [r, count] : flow_count) {
+      if (count == 0) continue;
+      const double share = remaining_cap[r] / static_cast<double>(count);
+      if (!found || share < best_share) {
+        found = true;
+        best_share = share;
+        bottleneck = r;
+      }
+    }
+    if (!found) break;
+    // Pin every unfrozen flow through the bottleneck at the fair share.
+    std::vector<FlowId> still_unfrozen;
+    still_unfrozen.reserve(unfrozen.size());
+    for (FlowId id : unfrozen) {
+      Flow& flow = flows_.at(id);
+      const bool through = std::find(flow.path.begin(), flow.path.end(),
+                                     bottleneck) != flow.path.end();
+      if (!through) {
+        still_unfrozen.push_back(id);
+        continue;
+      }
+      flow.rate = best_share;
+      for (ResourceId r : flow.path) {
+        remaining_cap[r] = std::max(0.0, remaining_cap[r] - best_share);
+        --flow_count[r];
+      }
+    }
+    unfrozen = std::move(still_unfrozen);
+  }
+}
+
+void FlowNetwork::schedule_next_completion() {
+  Seconds next = kNever;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.rate <= 0.0) continue;
+    next = std::min(next, sim_.now() + flow.remaining / flow.rate);
+  }
+  const std::uint64_t generation = ++schedule_generation_;
+  if (next == kNever) return;
+  sim_.at(next, [this, generation] {
+    if (generation != schedule_generation_) return;  // superseded
+    complete_due_flows();
+  });
+}
+
+void FlowNetwork::complete_due_flows() {
+  advance_to_now();
+  // Collect completions first: callbacks may start new flows re-entrantly.
+  std::vector<std::function<void()>> callbacks;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining <= kByteEps ||
+        (it->second.rate > 0.0 &&
+         it->second.remaining / it->second.rate <= kTimeEps)) {
+      bytes_delivered_ += it->second.remaining;
+      if (it->second.on_complete)
+        callbacks.push_back(std::move(it->second.on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  recompute_rates();
+  schedule_next_completion();
+  for (auto& cb : callbacks) cb();
+}
+
+}  // namespace autopipe::sim

@@ -1,0 +1,123 @@
+// Fluid-flow network model with max-min fair bandwidth sharing.
+//
+// The paper's testbed is five dual-GPU servers behind a single Mellanox
+// switch; activations, gradients and parameter traffic from multiple jobs
+// contend on the per-server NICs. We model each contended capacity (NIC tx,
+// NIC rx, PCIe lane, ...) as a generic `Resource` and each transfer as a
+// `Flow` that consumes one unit of share on every resource along its path.
+// Rates follow the classical progressive-filling (max-min fair) allocation,
+// the standard fluid abstraction of a non-blocking switch fabric; this is
+// the "exact communication procedure" AutoPipe's integrated model observes,
+// in contrast to PipeDream's uniform-hierarchy assumption.
+//
+// Capacities may change at any simulated instant (background jobs joining or
+// leaving, administrative rate limits); in-flight flows are re-rated and
+// their completion events rescheduled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace autopipe::sim {
+
+/// Handle to a contended capacity (a NIC direction, a PCIe link, ...).
+using ResourceId = std::size_t;
+
+/// Handle to an in-flight transfer.
+using FlowId = std::uint64_t;
+
+struct FlowSpec {
+  /// Resources traversed; each gets one flow-share claim. Must be non-empty
+  /// and duplicate-free.
+  std::vector<ResourceId> path;
+  /// Total volume to transfer.
+  Bytes bytes = 0.0;
+  /// Invoked at the simulated instant the last byte arrives.
+  std::function<void()> on_complete;
+};
+
+/// Max-min fair fluid flow network driven by a Simulator.
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(Simulator& simulator) : sim_(simulator) {}
+
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  /// Define a resource with the given capacity; returns its id.
+  ResourceId add_resource(std::string name, BytesPerSec capacity);
+
+  /// Change a resource's capacity now; re-rates all flows through it.
+  void set_capacity(ResourceId resource, BytesPerSec capacity);
+
+  BytesPerSec capacity(ResourceId resource) const;
+
+  /// Begin a transfer. Zero-byte flows complete via an immediate event.
+  FlowId start_flow(FlowSpec spec);
+
+  /// Abort an in-flight flow; its completion callback never fires.
+  void cancel_flow(FlowId id);
+
+  /// Current allocated rate of a flow (0 if it shares a zero-capacity
+  /// resource).
+  BytesPerSec flow_rate(FlowId id) const;
+
+  Bytes flow_remaining(FlowId id) const;
+
+  bool flow_active(FlowId id) const { return flows_.count(id) > 0; }
+
+  std::size_t active_flow_count() const { return flows_.size(); }
+
+  /// Sum of allocated flow rates through the resource.
+  BytesPerSec resource_load(ResourceId resource) const;
+
+  /// Total bytes delivered by completed and in-flight flows so far.
+  Bytes total_bytes_delivered() const { return bytes_delivered_; }
+
+  const std::string& resource_name(ResourceId resource) const;
+  std::size_t resource_count() const { return resources_.size(); }
+
+ private:
+  struct Resource {
+    std::string name;
+    BytesPerSec capacity = 0.0;
+  };
+  struct Flow {
+    std::vector<ResourceId> path;
+    Bytes remaining = 0.0;
+    BytesPerSec rate = 0.0;
+    std::function<void()> on_complete;
+  };
+
+  /// Integrate flow progress from last_update_ to now at current rates.
+  void advance_to_now();
+
+  /// Progressive-filling max-min fair allocation over active flows.
+  void recompute_rates();
+
+  /// (Re)schedule the single next-completion event.
+  void schedule_next_completion();
+
+  void complete_due_flows();
+
+  Simulator& sim_;
+  std::vector<Resource> resources_;
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_flow_id_ = 1;
+  Seconds last_update_ = 0.0;
+  Bytes bytes_delivered_ = 0.0;
+  /// Generation counter invalidating superseded completion events.
+  std::uint64_t schedule_generation_ = 0;
+};
+
+/// Sentinel "never" time used for flows with zero rate.
+inline constexpr Seconds kNever = std::numeric_limits<Seconds>::infinity();
+
+}  // namespace autopipe::sim

@@ -1,0 +1,133 @@
+#include "sim/gpu.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace autopipe::sim {
+
+GpuSpec p100_spec() {
+  // P100: 9.3 TFLOPS peak fp32; ~45% sustained in convnet training.
+  return GpuSpec{"P100", tflops(4.2), gib(16)};
+}
+
+GpuSpec v100_spec() {
+  // V100: 14 TFLOPS peak fp32 plus tensor cores; sustained ≈ 2x P100.
+  return GpuSpec{"V100", tflops(8.4), gib(32)};
+}
+
+GpuSpec a100_spec() {
+  // A100: ≈ 2x V100 sustained for the mixed conv/transformer workloads here.
+  return GpuSpec{"A100", tflops(16.8), gib(40)};
+}
+
+GpuExecutor::GpuExecutor(Simulator& simulator, GpuSpec spec)
+    : sim_(simulator), spec_(std::move(spec)) {
+  AUTOPIPE_EXPECT(spec_.throughput > 0.0);
+}
+
+GpuExecutor::TaskId GpuExecutor::submit(Flops flops,
+                                        std::function<void()> on_complete) {
+  return submit(flops, 0.0, std::move(on_complete));
+}
+
+GpuExecutor::TaskId GpuExecutor::submit(Flops flops, Seconds fixed_overhead,
+                                        std::function<void()> on_complete) {
+  AUTOPIPE_EXPECT(flops >= 0.0);
+  AUTOPIPE_EXPECT(fixed_overhead >= 0.0);
+  const TaskId id = next_task_id_++;
+  queue_.push_back(Task{id, flops, fixed_overhead, std::move(on_complete)});
+  maybe_start_next();
+  return id;
+}
+
+GpuExecutor::TaskId GpuExecutor::submit_prioritized(
+    Flops flops, Seconds fixed_overhead, std::function<void()> on_complete) {
+  AUTOPIPE_EXPECT(flops >= 0.0);
+  AUTOPIPE_EXPECT(fixed_overhead >= 0.0);
+  const TaskId id = next_task_id_++;
+  priority_queue_.push_back(
+      Task{id, flops, fixed_overhead, std::move(on_complete)});
+  maybe_start_next();
+  return id;
+}
+
+void GpuExecutor::set_tenant_count(int n) {
+  AUTOPIPE_EXPECT(n >= 1);
+  if (n == tenant_count_) return;
+  advance_to_now();
+  tenant_count_ = n;
+  schedule_completion();
+}
+
+void GpuExecutor::set_throughput_scale(double scale) {
+  AUTOPIPE_EXPECT(scale > 0.0);
+  advance_to_now();
+  throughput_scale_ = scale;
+  schedule_completion();
+}
+
+FlopsPerSec GpuExecutor::effective_throughput() const {
+  return spec_.throughput * throughput_scale_ /
+         static_cast<double>(tenant_count_);
+}
+
+Seconds GpuExecutor::busy_time() const {
+  Seconds t = busy_time_;
+  if (running_) t += sim_.now() - last_update_;
+  return t;
+}
+
+void GpuExecutor::advance_to_now() {
+  const Seconds now = sim_.now();
+  if (running_) {
+    Seconds dt = now - last_update_;
+    busy_time_ += dt;
+    // The fixed host-side part elapses first, at wall rate.
+    const Seconds fixed = std::min(dt, current_.fixed_remaining);
+    current_.fixed_remaining -= fixed;
+    dt -= fixed;
+    compute_time_ += dt;
+    const Flops done =
+        std::min(current_.remaining, effective_throughput() * dt);
+    current_.remaining -= done;
+    flops_done_ += done;
+  }
+  last_update_ = now;
+}
+
+void GpuExecutor::maybe_start_next() {
+  if (running_ || (queue_.empty() && priority_queue_.empty())) return;
+  advance_to_now();
+  auto& source = priority_queue_.empty() ? queue_ : priority_queue_;
+  current_ = std::move(source.front());
+  source.pop_front();
+  running_ = true;
+  schedule_completion();
+}
+
+void GpuExecutor::schedule_completion() {
+  const std::uint64_t generation = ++schedule_generation_;
+  if (!running_) return;
+  const FlopsPerSec rate = effective_throughput();
+  AUTOPIPE_EXPECT(rate > 0.0);
+  const Seconds eta = current_.fixed_remaining + current_.remaining / rate;
+  sim_.after(eta, [this, generation] {
+    if (generation != schedule_generation_) return;
+    finish_current();
+  });
+}
+
+void GpuExecutor::finish_current() {
+  AUTOPIPE_EXPECT(running_);
+  advance_to_now();
+  // Floating-point scheduling noise may leave a vanishing residue.
+  flops_done_ += current_.remaining;
+  current_.remaining = 0.0;
+  running_ = false;
+  auto callback = std::move(current_.on_complete);
+  maybe_start_next();
+  if (callback) callback();
+}
+
+}  // namespace autopipe::sim

@@ -1,0 +1,114 @@
+// GPU compute model. A GpuExecutor runs the training job's kernels serially
+// (one FP/BP task at a time, FIFO), at an effective throughput of
+// base_throughput / tenant_count — the fair time-slicing approximation of
+// multiple jobs packed onto one accelerator, which is how the paper emulates
+// GPU contention ("we add an extra job on each GPU"). Tenant count may
+// change while a task is in flight; remaining work is preserved and the
+// completion event rescheduled.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace autopipe::sim {
+
+/// Static description of an accelerator type.
+struct GpuSpec {
+  std::string name = "P100";
+  /// Sustained training throughput (post-efficiency, not peak datasheet).
+  FlopsPerSec throughput = 0.0;
+  /// Device memory; the pipeline executor checks weight-stash footprints
+  /// against it.
+  Bytes memory = 0.0;
+};
+
+/// Well-known accelerator presets. Throughputs are sustained-training
+/// estimates (≈40-50% of peak fp32), which is what partitioning cares about.
+GpuSpec p100_spec();
+GpuSpec v100_spec();
+GpuSpec a100_spec();
+
+class GpuExecutor {
+ public:
+  using TaskId = std::uint64_t;
+
+  GpuExecutor(Simulator& simulator, GpuSpec spec);
+
+  GpuExecutor(const GpuExecutor&) = delete;
+  GpuExecutor& operator=(const GpuExecutor&) = delete;
+  GpuExecutor(GpuExecutor&&) = delete;
+
+  /// Enqueue a compute task; tasks run FIFO, one at a time.
+  TaskId submit(Flops flops, std::function<void()> on_complete);
+
+  /// Enqueue a task with an additional fixed host-side component (kernel
+  /// launch / dispatch overhead). The fixed part elapses in wall time and is
+  /// unaffected by GPU tenancy; the FLOP part shares the device.
+  TaskId submit(Flops flops, Seconds fixed_overhead,
+                std::function<void()> on_complete);
+
+  /// Two-level non-preemptive priority (1F1B: backward passes overtake
+  /// queued forward passes). High-priority tasks run before queued normal
+  /// tasks; the in-flight task is never preempted.
+  TaskId submit_prioritized(Flops flops, Seconds fixed_overhead,
+                            std::function<void()> on_complete);
+
+  /// Number of jobs time-sharing this GPU, including the training job
+  /// itself. Must be >= 1.
+  void set_tenant_count(int n);
+  int tenant_count() const { return tenant_count_; }
+
+  /// Scale the device's base throughput (e.g. thermal throttling scenarios).
+  void set_throughput_scale(double scale);
+
+  /// Rate currently available to the training job.
+  FlopsPerSec effective_throughput() const;
+
+  const GpuSpec& spec() const { return spec_; }
+  bool busy() const { return running_; }
+  std::size_t queue_depth() const {
+    return queue_.size() + priority_queue_.size() + (running_ ? 1 : 0);
+  }
+  Flops total_flops_done() const { return flops_done_; }
+  /// Cumulative time this executor spent with a task in flight.
+  Seconds busy_time() const;
+  /// Cumulative time spent in the FLOP phase only (excludes fixed
+  /// host-side overhead) — the denominator for counter-based rate probes.
+  Seconds compute_time() const { return compute_time_; }
+
+ private:
+  struct Task {
+    TaskId id;
+    Flops remaining;
+    Seconds fixed_remaining;
+    std::function<void()> on_complete;
+  };
+
+  void advance_to_now();
+  void maybe_start_next();
+  void schedule_completion();
+  void finish_current();
+
+  Simulator& sim_;
+  GpuSpec spec_;
+  double throughput_scale_ = 1.0;
+  int tenant_count_ = 1;
+
+  std::deque<Task> queue_;
+  std::deque<Task> priority_queue_;
+  Task current_{};
+  bool running_ = false;
+  Seconds last_update_ = 0.0;
+  Flops flops_done_ = 0.0;
+  Seconds busy_time_ = 0.0;
+  Seconds compute_time_ = 0.0;
+  TaskId next_task_id_ = 1;
+  std::uint64_t schedule_generation_ = 0;
+};
+
+}  // namespace autopipe::sim

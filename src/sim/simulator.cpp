@@ -1,0 +1,51 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace autopipe::sim {
+
+void Simulator::at(Seconds t, Callback fn) {
+  // Tolerate tiny negative drift from floating-point arithmetic on event
+  // times, but reject genuinely past scheduling, which indicates a logic bug.
+  AUTOPIPE_EXPECT_MSG(t >= now_ - 1e-12, "scheduling into the past: t=" << t
+                                         << " now=" << now_);
+  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(fn)});
+}
+
+void Simulator::after(Seconds dt, Callback fn) {
+  AUTOPIPE_EXPECT(dt >= 0.0);
+  at(now_ + dt, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // Move the event out before popping so the callback may schedule freely.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++events_processed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Seconds t) {
+  AUTOPIPE_EXPECT(t >= now_);
+  while (!queue_.empty() && queue_.top().time <= t) {
+    step();
+  }
+  now_ = t;
+}
+
+Seconds Simulator::next_event_time() const {
+  AUTOPIPE_EXPECT(!queue_.empty());
+  return queue_.top().time;
+}
+
+}  // namespace autopipe::sim

@@ -1,0 +1,66 @@
+// Discrete-event simulation core. A single-threaded event loop with a
+// deterministic tie-break (FIFO among equal timestamps), which every other
+// substrate (flow network, GPU executors, background workload, pipeline
+// executor) schedules against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace autopipe::sim {
+
+/// Discrete-event simulator. Events are closures ordered by (time, sequence
+/// number); the sequence number makes simultaneous events fire in scheduling
+/// order so runs are bit-for-bit reproducible.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time in seconds.
+  Seconds now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must not be in the past).
+  void at(Seconds t, Callback fn);
+
+  /// Schedule `fn` `dt` seconds from now (dt >= 0).
+  void after(Seconds dt, Callback fn);
+
+  /// Run the next pending event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the event queue drains.
+  void run();
+
+  /// Run events with time <= t, then advance the clock to exactly t.
+  void run_until(Seconds t);
+
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Time of the next pending event; only valid when !empty().
+  Seconds next_event_time() const;
+
+ private:
+  struct Event {
+    Seconds time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace autopipe::sim

@@ -1,0 +1,118 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace autopipe::sim {
+
+std::string TraceEvent::describe() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kSetAllNicBandwidth:
+      os << "set all NIC bandwidth to " << value * 8.0 / 1e9 << " Gbps";
+      break;
+    case Kind::kSetNicBandwidth:
+      os << "set server " << index << " NIC bandwidth to "
+         << value * 8.0 / 1e9 << " Gbps";
+      break;
+    case Kind::kAddGpuJob:
+      os << "add background job on worker " << index;
+      break;
+    case Kind::kRemoveGpuJob:
+      os << "remove background job on worker " << index;
+      break;
+    case Kind::kAddJobAllGpus:
+      os << "add background job on every GPU";
+      break;
+    case Kind::kRemoveJobAllGpus:
+      os << "remove background job from every GPU";
+      break;
+  }
+  return os.str();
+}
+
+ResourceTrace& ResourceTrace::at_time(Seconds t, TraceEvent ev) {
+  AUTOPIPE_EXPECT(t >= 0.0);
+  points_.push_back(TracePoint{t, false, ev});
+  return *this;
+}
+
+ResourceTrace& ResourceTrace::at_iteration(std::size_t iter, TraceEvent ev) {
+  points_.push_back(TracePoint{static_cast<double>(iter), true, ev});
+  return *this;
+}
+
+void ResourceTrace::install(
+    Simulator& simulator, Cluster& cluster,
+    std::function<void(const TraceEvent&)> on_change) const {
+  for (const TracePoint& p : points_) {
+    if (p.by_iteration) continue;
+    TraceEvent ev = p.event;
+    simulator.at(p.at, [&cluster, ev, on_change] {
+      apply(ev, cluster);
+      if (on_change) on_change(ev);
+    });
+  }
+}
+
+std::size_t ResourceTrace::apply_iteration(
+    std::size_t iter, Cluster& cluster,
+    std::function<void(const TraceEvent&)> on_change) const {
+  std::size_t fired = 0;
+  for (const TracePoint& p : points_) {
+    if (!p.by_iteration) continue;
+    if (static_cast<std::size_t>(p.at) != iter) continue;
+    apply(p.event, cluster);
+    if (on_change) on_change(p.event);
+    ++fired;
+  }
+  return fired;
+}
+
+void ResourceTrace::apply(const TraceEvent& ev, Cluster& cluster) {
+  switch (ev.kind) {
+    case TraceEvent::Kind::kSetAllNicBandwidth:
+      cluster.set_all_nic_bandwidth(ev.value);
+      break;
+    case TraceEvent::Kind::kSetNicBandwidth:
+      cluster.set_nic_bandwidth(ev.index, ev.value);
+      break;
+    case TraceEvent::Kind::kAddGpuJob:
+      cluster.add_background_job(ev.index);
+      break;
+    case TraceEvent::Kind::kRemoveGpuJob:
+      cluster.remove_background_job(ev.index);
+      break;
+    case TraceEvent::Kind::kAddJobAllGpus:
+      for (WorkerId w = 0; w < cluster.num_workers(); ++w)
+        cluster.add_background_job(w);
+      break;
+    case TraceEvent::Kind::kRemoveJobAllGpus:
+      for (WorkerId w = 0; w < cluster.num_workers(); ++w)
+        cluster.remove_background_job(w);
+      break;
+  }
+}
+
+TraceEvent ResourceTrace::set_all_nic_bandwidth(BytesPerSec bw) {
+  return TraceEvent{TraceEvent::Kind::kSetAllNicBandwidth, 0, bw};
+}
+TraceEvent ResourceTrace::set_nic_bandwidth(std::size_t server,
+                                            BytesPerSec bw) {
+  return TraceEvent{TraceEvent::Kind::kSetNicBandwidth, server, bw};
+}
+TraceEvent ResourceTrace::add_gpu_job(WorkerId worker) {
+  return TraceEvent{TraceEvent::Kind::kAddGpuJob, worker, 0.0};
+}
+TraceEvent ResourceTrace::remove_gpu_job(WorkerId worker) {
+  return TraceEvent{TraceEvent::Kind::kRemoveGpuJob, worker, 0.0};
+}
+TraceEvent ResourceTrace::add_job_all_gpus() {
+  return TraceEvent{TraceEvent::Kind::kAddJobAllGpus, 0, 0.0};
+}
+TraceEvent ResourceTrace::remove_job_all_gpus() {
+  return TraceEvent{TraceEvent::Kind::kRemoveJobAllGpus, 0, 0.0};
+}
+
+}  // namespace autopipe::sim

@@ -1,0 +1,78 @@
+// Scripted resource fluctuation. The paper's dynamic experiments flip
+// resources at fixed points ("change the bandwidth to 25Gbps at the 20th
+// iteration", "add one more training job at the 40th iteration"); a
+// ResourceTrace encodes such a script so benchmarks replay it exactly.
+// Trace points may be anchored either in simulated time or in completed
+// training iterations (the executor reports iteration counts).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/cluster.hpp"
+
+namespace autopipe::sim {
+
+struct TraceEvent {
+  enum class Kind {
+    kSetAllNicBandwidth,  ///< value = bytes/sec
+    kSetNicBandwidth,     ///< index = server, value = bytes/sec
+    kAddGpuJob,           ///< index = worker
+    kRemoveGpuJob,        ///< index = worker
+    kAddJobAllGpus,       ///< background job spanning every GPU
+    kRemoveJobAllGpus,
+  };
+
+  Kind kind;
+  std::size_t index = 0;
+  double value = 0.0;
+
+  /// Human-readable description for logs and benchmark output.
+  std::string describe() const;
+};
+
+/// One scheduled point in the script.
+struct TracePoint {
+  /// Anchor: simulated seconds (when by_iteration is false) or completed
+  /// iteration count (when true).
+  double at = 0.0;
+  bool by_iteration = false;
+  TraceEvent event;
+};
+
+class ResourceTrace {
+ public:
+  ResourceTrace& at_time(Seconds t, TraceEvent ev);
+  ResourceTrace& at_iteration(std::size_t iter, TraceEvent ev);
+
+  /// Install all time-anchored points on the simulator. `on_change`, if set,
+  /// fires after each applied event (used by tests and by experiment
+  /// harnesses that log reconfiguration points).
+  void install(Simulator& simulator, Cluster& cluster,
+               std::function<void(const TraceEvent&)> on_change = {}) const;
+
+  /// Apply every iteration-anchored point with anchor == iter. Called by the
+  /// training loop after each completed iteration. Returns how many fired.
+  std::size_t apply_iteration(std::size_t iter, Cluster& cluster,
+                              std::function<void(const TraceEvent&)> on_change = {}) const;
+
+  static void apply(const TraceEvent& ev, Cluster& cluster);
+
+  const std::vector<TracePoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  // Event constructors.
+  static TraceEvent set_all_nic_bandwidth(BytesPerSec bw);
+  static TraceEvent set_nic_bandwidth(std::size_t server, BytesPerSec bw);
+  static TraceEvent add_gpu_job(WorkerId worker);
+  static TraceEvent remove_gpu_job(WorkerId worker);
+  static TraceEvent add_job_all_gpus();
+  static TraceEvent remove_job_all_gpus();
+
+ private:
+  std::vector<TracePoint> points_;
+};
+
+}  // namespace autopipe::sim

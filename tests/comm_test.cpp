@@ -1,0 +1,187 @@
+// Communication-model tests: the analytic PS/ring formulas, the framework
+// profiles, and — crucially — agreement between the analytic formulas and
+// the event-driven collectives executed on the simulated cluster.
+#include <gtest/gtest.h>
+
+#include "comm/collective.hpp"
+#include "comm/framework.hpp"
+#include "common/expect.hpp"
+#include "common/units.hpp"
+#include "sim/cluster.hpp"
+
+namespace autopipe::comm {
+namespace {
+
+TEST(Analytic, RingAllReduceFormula) {
+  // 4 workers, 100 bytes, 10 B/s: 2*3 steps of 25 bytes each at 10 B/s.
+  EXPECT_NEAR(ring_allreduce_time(100, 4, 10.0), 15.0, 1e-9);
+  EXPECT_DOUBLE_EQ(ring_allreduce_time(100, 1, 10.0), 0.0);
+}
+
+TEST(Analytic, ParameterServerFormula) {
+  // 4 workers: the PS moves 3x the volume in each direction.
+  EXPECT_NEAR(parameter_server_time(100, 4, 10.0), 30.0, 1e-9);
+  EXPECT_DOUBLE_EQ(parameter_server_time(100, 1, 10.0), 0.0);
+}
+
+TEST(Analytic, PsSlowerThanRingBeyondTwoWorkers) {
+  for (std::size_t n = 3; n <= 10; ++n) {
+    EXPECT_GT(parameter_server_time(1e6, n, 1e9),
+              ring_allreduce_time(1e6, n, 1e9))
+        << "n=" << n;
+  }
+}
+
+TEST(Analytic, EfficiencyScalesTime) {
+  EXPECT_NEAR(ring_allreduce_time(100, 4, 10.0, 0.5),
+              2.0 * ring_allreduce_time(100, 4, 10.0), 1e-9);
+}
+
+TEST(Analytic, SyncTimeDispatches) {
+  EXPECT_DOUBLE_EQ(sync_time(SyncScheme::kRing, 100, 4, 10.0),
+                   ring_allreduce_time(100, 4, 10.0));
+  EXPECT_DOUBLE_EQ(sync_time(SyncScheme::kParameterServer, 100, 4, 10.0),
+                   parameter_server_time(100, 4, 10.0));
+}
+
+TEST(Frameworks, ProfilesOrdered) {
+  // PyTorch/NCCL leanest; TensorFlow heaviest per-op (Fig 8's framework
+  // axis).
+  EXPECT_LT(pytorch_profile().per_layer_overhead,
+            mxnet_profile().per_layer_overhead);
+  EXPECT_LT(mxnet_profile().per_layer_overhead,
+            tensorflow_profile().per_layer_overhead);
+  EXPECT_GT(pytorch_profile().comm_efficiency,
+            tensorflow_profile().comm_efficiency);
+}
+
+TEST(Frameworks, LookupByName) {
+  EXPECT_EQ(framework_by_name("pytorch").name, "pytorch");
+  EXPECT_THROW(framework_by_name("jax"), contract_error);
+  EXPECT_STREQ(to_string(SyncScheme::kRing), "Ring");
+  EXPECT_STREQ(to_string(SyncScheme::kParameterServer), "PS");
+}
+
+class CollectiveOnCluster : public ::testing::Test {
+ protected:
+  CollectiveOnCluster() {
+    config_.nic_bandwidth = 1000.0;  // 1000 B/s for easy math
+    config_.num_servers = 4;
+    config_.gpus_per_server = 1;
+    cluster_ = std::make_unique<sim::Cluster>(sim_, config_);
+  }
+  sim::Simulator sim_;
+  sim::ClusterConfig config_;
+  std::unique_ptr<sim::Cluster> cluster_;
+};
+
+TEST_F(CollectiveOnCluster, RingMatchesAnalytic) {
+  Seconds done_at = -1;
+  Collective::ring_allreduce(*cluster_, {0, 1, 2, 3}, 4000.0, 1.0,
+                             [&] { done_at = sim_.now(); });
+  sim_.run();
+  // Analytic: 2*(4-1) steps x (4000/4)/1000 = 6 seconds. The event-driven
+  // version serializes steps the same way, so it matches exactly.
+  EXPECT_NEAR(done_at, ring_allreduce_time(4000.0, 4, 1000.0), 1e-6);
+}
+
+TEST_F(CollectiveOnCluster, ParameterServerMatchesAnalytic) {
+  Seconds done_at = -1;
+  Collective::parameter_server(*cluster_, {0, 1, 2, 3}, 3000.0, 1.0,
+                               [&] { done_at = sim_.now(); });
+  sim_.run();
+  // Push: 3 concurrent flows of 3000 into one NIC (rx bottleneck) = 9 s;
+  // pull mirrors it on tx = 9 s. Total 18 = (n-1)*V/bw * 2 directions...
+  // the analytic single-direction formula gives 9; full-duplex NICs let
+  // push and pull each take one direction, but they are serialized phases.
+  EXPECT_NEAR(done_at, 2.0 * parameter_server_time(3000.0, 4, 1000.0), 1e-6);
+}
+
+TEST_F(CollectiveOnCluster, SingleMemberCompletesImmediately) {
+  bool fired = false;
+  Collective::ring_allreduce(*cluster_, {2}, 1e9, 1.0, [&] { fired = true; });
+  sim_.run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(sim_.now(), 0.0);
+}
+
+TEST_F(CollectiveOnCluster, ZeroBytesCompletesImmediately) {
+  bool fired = false;
+  Collective::run(SyncScheme::kParameterServer, *cluster_, {0, 1}, 0.0, 1.0,
+                  [&] { fired = true; });
+  sim_.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(CollectiveOnCluster, EfficiencyInflatesOnWireVolume) {
+  Seconds t_full = -1, t_half = -1;
+  {
+    sim::Simulator s1;
+    sim::Cluster c1(s1, config_);
+    Collective::ring_allreduce(c1, {0, 1, 2, 3}, 4000.0, 1.0,
+                               [&] { t_full = s1.now(); });
+    s1.run();
+  }
+  {
+    sim::Simulator s2;
+    sim::Cluster c2(s2, config_);
+    Collective::ring_allreduce(c2, {0, 1, 2, 3}, 4000.0, 0.5,
+                               [&] { t_half = s2.now(); });
+    s2.run();
+  }
+  EXPECT_NEAR(t_half, 2.0 * t_full, 1e-6);
+}
+
+
+TEST_F(CollectiveOnCluster, RingSlowsUnderForeignContention) {
+  // A foreign elephant on one ring edge halves that edge's share; the ring
+  // serializes steps, so the whole collective stretches.
+  Seconds clean = -1;
+  {
+    sim::Simulator s;
+    sim::Cluster c(s, config_);
+    Collective::ring_allreduce(c, {0, 1, 2, 3}, 4000.0, 1.0,
+                               [&] { clean = s.now(); });
+    s.run();
+  }
+  Seconds contended = -1;
+  {
+    sim::Simulator s;
+    sim::Cluster c(s, config_);
+    c.transfer(0, 1, 1e18, nullptr);  // persistent foreign flow on edge 0->1
+    Collective::ring_allreduce(c, {0, 1, 2, 3}, 4000.0, 1.0,
+                               [&] { contended = s.now(); });
+    s.run_until(clean * 4.0);
+  }
+  EXPECT_GT(contended, clean * 1.2);
+}
+
+TEST_F(CollectiveOnCluster, ConcurrentCollectivesShareTheFabric) {
+  // Two simultaneous ring all-reduces over the same members take longer
+  // than one but less than twice (their steps interleave on the edges).
+  Seconds one = -1;
+  {
+    sim::Simulator s;
+    sim::Cluster c(s, config_);
+    Collective::ring_allreduce(c, {0, 1, 2, 3}, 4000.0, 1.0,
+                               [&] { one = s.now(); });
+    s.run();
+  }
+  Seconds both = -1;
+  {
+    sim::Simulator s;
+    sim::Cluster c(s, config_);
+    int done = 0;
+    auto on_done = [&] {
+      if (++done == 2) both = s.now();
+    };
+    Collective::ring_allreduce(c, {0, 1, 2, 3}, 4000.0, 1.0, on_done);
+    Collective::ring_allreduce(c, {0, 1, 2, 3}, 4000.0, 1.0, on_done);
+    s.run();
+  }
+  EXPECT_GT(both, one * 1.5);
+  EXPECT_LT(both, one * 2.5);
+}
+
+}  // namespace
+}  // namespace autopipe::comm

@@ -1,0 +1,105 @@
+// Convergence-module tests: the synthetic dataset, and the Fig-11 ordering
+// of staleness semantics — BSP and weight stashing converge to the same
+// accuracy, total asynchrony converges worse and slower.
+#include <gtest/gtest.h>
+
+#include "convergence/dataset.hpp"
+#include "convergence/staleness_sgd.hpp"
+
+namespace autopipe::convergence {
+namespace {
+
+DatasetConfig small_data() {
+  DatasetConfig c;
+  c.dims = 8;
+  c.classes = 3;
+  c.train_samples = 512;
+  c.test_samples = 256;
+  c.noise = 1.0;
+  return c;
+}
+
+TEST(Dataset, ShapesAndDeterminism) {
+  const Dataset a(small_data(), 5);
+  const Dataset b(small_data(), 5);
+  EXPECT_EQ(a.test_x().rows(), 256u);
+  EXPECT_EQ(a.test_x().cols(), 8u);
+  EXPECT_EQ(a.test_labels().size(), 256u);
+  for (std::size_t i = 0; i < a.test_x().size(); ++i)
+    EXPECT_DOUBLE_EQ(a.test_x().data()[i], b.test_x().data()[i]);
+}
+
+TEST(Dataset, BatchSamplingIsOneHot) {
+  const Dataset data(small_data(), 5);
+  Rng rng(1);
+  nn::Matrix x, y;
+  data.sample_batch(rng, 16, x, y);
+  EXPECT_EQ(x.rows(), 16u);
+  EXPECT_EQ(y.cols(), 3u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    double sum = 0;
+    for (std::size_t c = 0; c < 3; ++c) sum += y.at(i, c);
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+  }
+}
+
+TEST(StalenessSgd, BspLearnsTheTask) {
+  const Dataset data(small_data(), 7);
+  TrainerConfig config;
+  config.mode = StalenessMode::kBsp;
+  StalenessSgdTrainer trainer(data, config, 3);
+  const double before = trainer.test_accuracy();
+  for (int i = 0; i < 1500; ++i) trainer.step();
+  const double after = trainer.test_accuracy();
+  EXPECT_GT(after, before + 0.2);
+  EXPECT_GT(after, 0.7);
+}
+
+TEST(StalenessSgd, WeightStashingMatchesBspAccuracy) {
+  // PipeDream's claim (and the paper's Fig 11): bounded, consistent
+  // staleness reaches the same converged accuracy as BSP.
+  const Dataset data(small_data(), 7);
+  auto final_acc = [&](StalenessMode mode) {
+    TrainerConfig config;
+    config.mode = mode;
+    config.pipeline_depth = 4;
+    StalenessSgdTrainer trainer(data, config, 3);
+    for (int i = 0; i < 2500; ++i) trainer.step();
+    return trainer.test_accuracy();
+  };
+  const double bsp = final_acc(StalenessMode::kBsp);
+  const double stash = final_acc(StalenessMode::kWeightStashing);
+  EXPECT_NEAR(stash, bsp, 0.06);
+}
+
+TEST(StalenessSgd, TotalAsyncConvergesWorse) {
+  // TAP's inconsistent weights cost converged accuracy (paper: 1.35-1.42x).
+  const Dataset data(small_data(), 7);
+  auto final_acc = [&](StalenessMode mode) {
+    TrainerConfig config;
+    config.mode = mode;
+    config.pipeline_depth = 4;
+    StalenessSgdTrainer trainer(data, config, 3);
+    for (int i = 0; i < 2500; ++i) trainer.step();
+    return trainer.test_accuracy();
+  };
+  EXPECT_LT(final_acc(StalenessMode::kTotalAsync),
+            final_acc(StalenessMode::kWeightStashing) - 0.05);
+}
+
+TEST(StalenessSgd, CurveIsSampledAtRequestedCadence) {
+  const Dataset data(small_data(), 7);
+  TrainerConfig config;
+  const auto curve = accuracy_curve(data, config, 100, 25, 3);
+  ASSERT_EQ(curve.size(), 5u);  // step 0 + 4 evals
+  EXPECT_EQ(curve[0].step, 0u);
+  EXPECT_EQ(curve[4].step, 100u);
+}
+
+TEST(StalenessSgd, ModeNames) {
+  EXPECT_STREQ(to_string(StalenessMode::kBsp), "BSP");
+  EXPECT_STREQ(to_string(StalenessMode::kTotalAsync), "TAP");
+}
+
+}  // namespace
+}  // namespace autopipe::convergence

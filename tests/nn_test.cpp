@@ -1,0 +1,333 @@
+// Neural-network library tests. The load-bearing ones are the
+// finite-difference gradient checks: every backward pass (Linear, MLP,
+// LSTM-through-time) is verified against numerical differentiation, which
+// is what makes the meta-network and arbiter training trustworthy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+#include "nn/matrix.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+
+namespace autopipe::nn {
+namespace {
+
+TEST(Matrix, BasicOps) {
+  Matrix a(2, 3);
+  a.at(0, 0) = 1;
+  a.at(1, 2) = 5;
+  EXPECT_EQ(a.rows(), 2u);
+  EXPECT_EQ(a.cols(), 3u);
+  const Matrix t = a.transposed();
+  EXPECT_DOUBLE_EQ(t.at(2, 1), 5.0);
+  EXPECT_THROW(a.at(2, 0), contract_error);
+}
+
+TEST(Matrix, Matmul) {
+  Matrix a(2, 2), b(2, 2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(1, 0) = 3; a.at(1, 1) = 4;
+  b.at(0, 0) = 5; b.at(0, 1) = 6; b.at(1, 0) = 7; b.at(1, 1) = 8;
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+  // Transposed variants agree with explicit transposition.
+  const Matrix tn = matmul_tn(a, b);
+  const Matrix tn_ref = matmul(a.transposed(), b);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      EXPECT_DOUBLE_EQ(tn.at(i, j), tn_ref.at(i, j));
+  const Matrix nt = matmul_nt(a, b);
+  const Matrix nt_ref = matmul(a, b.transposed());
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      EXPECT_DOUBLE_EQ(nt.at(i, j), nt_ref.at(i, j));
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(matmul(a, b), contract_error);
+}
+
+TEST(Matrix, SaveLoadRoundTrip) {
+  Rng rng(1);
+  const Matrix m = Matrix::xavier(3, 4, rng);
+  std::stringstream ss;
+  m.save(ss);
+  const Matrix loaded = Matrix::load(ss);
+  ASSERT_TRUE(loaded.same_shape(m));
+  for (std::size_t i = 0; i < m.size(); ++i)
+    EXPECT_DOUBLE_EQ(loaded.data()[i], m.data()[i]);
+}
+
+TEST(Matrix, LoadRejectsGarbage) {
+  std::stringstream ss("not a matrix");
+  EXPECT_THROW(Matrix::load(ss), contract_error);
+}
+
+TEST(Matrix, ColumnSumsAndHadamard) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1; m.at(0, 1) = 2; m.at(1, 0) = 3; m.at(1, 1) = 4;
+  const Matrix s = column_sums(m);
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 4);
+  EXPECT_DOUBLE_EQ(s.at(0, 1), 6);
+  const Matrix h = hadamard(m, m);
+  EXPECT_DOUBLE_EQ(h.at(1, 1), 16);
+}
+
+// --- finite-difference gradient checks ------------------------------------
+
+/// Central-difference derivative of scalar_loss w.r.t. one parameter entry.
+template <typename LossFn>
+double numeric_grad(Parameter& p, std::size_t idx, LossFn scalar_loss,
+                    double eps = 1e-6) {
+  const double saved = p.value.data()[idx];
+  p.value.data()[idx] = saved + eps;
+  const double up = scalar_loss();
+  p.value.data()[idx] = saved - eps;
+  const double down = scalar_loss();
+  p.value.data()[idx] = saved;
+  return (up - down) / (2.0 * eps);
+}
+
+TEST(GradientCheck, MlpMatchesFiniteDifference) {
+  Rng rng(7);
+  Mlp net({3, 5, 2}, Activation::kTanh, Activation::kIdentity, rng);
+  Matrix x(4, 3), y(4, 2);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.uniform(-1, 1);
+  for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] = rng.uniform(-1, 1);
+
+  auto scalar_loss = [&] { return mse_loss(net.forward(x), y).value; };
+
+  net.zero_grad();
+  const LossResult loss = mse_loss(net.forward(x), y);
+  net.backward(loss.grad);
+
+  for (Parameter* p : net.parameters()) {
+    for (std::size_t idx = 0; idx < p->value.size(); idx += 3) {
+      const double numeric = numeric_grad(*p, idx, scalar_loss);
+      EXPECT_NEAR(p->grad.data()[idx], numeric,
+                  1e-5 + 1e-3 * std::abs(numeric));
+    }
+  }
+}
+
+TEST(GradientCheck, ReluAndSigmoidLayers) {
+  Rng rng(13);
+  Mlp net({4, 6, 1}, Activation::kRelu, Activation::kSigmoid, rng);
+  Matrix x(3, 4), y(3, 1);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.uniform(-1, 1);
+  for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] = rng.uniform(0.1, 0.9);
+
+  auto scalar_loss = [&] { return bce_loss(net.forward(x), y).value; };
+  net.zero_grad();
+  const LossResult loss = bce_loss(net.forward(x), y);
+  net.backward(loss.grad);
+
+  for (Parameter* p : net.parameters()) {
+    for (std::size_t idx = 0; idx < p->value.size(); idx += 2) {
+      const double numeric = numeric_grad(*p, idx, scalar_loss);
+      EXPECT_NEAR(p->grad.data()[idx], numeric,
+                  1e-5 + 1e-3 * std::abs(numeric));
+    }
+  }
+}
+
+TEST(GradientCheck, LstmThroughTimeMatchesFiniteDifference) {
+  Rng rng(21);
+  Lstm lstm(3, 4, rng);
+  std::vector<Matrix> seq;
+  for (int t = 0; t < 5; ++t) {
+    Matrix x(2, 3);
+    for (std::size_t i = 0; i < x.size(); ++i)
+      x.data()[i] = rng.uniform(-1, 1);
+    seq.push_back(std::move(x));
+  }
+  Matrix target(2, 4);
+  for (std::size_t i = 0; i < target.size(); ++i)
+    target.data()[i] = rng.uniform(-1, 1);
+
+  auto scalar_loss = [&] {
+    return mse_loss(lstm.forward(seq), target).value;
+  };
+
+  lstm.zero_grad();
+  const LossResult loss = mse_loss(lstm.forward(seq), target);
+  lstm.backward(loss.grad);
+
+  for (Parameter* p : lstm.parameters()) {
+    for (std::size_t idx = 0; idx < p->value.size(); idx += 7) {
+      const double numeric = numeric_grad(*p, idx, scalar_loss);
+      EXPECT_NEAR(p->grad.data()[idx], numeric,
+                  1e-5 + 1e-3 * std::abs(numeric))
+          << "param entry " << idx;
+    }
+  }
+}
+
+// --- losses ----------------------------------------------------------------
+
+TEST(Loss, MseValueAndGrad) {
+  Matrix pred(1, 2), target(1, 2);
+  pred.at(0, 0) = 1.0;
+  pred.at(0, 1) = 3.0;
+  target.at(0, 0) = 0.0;
+  target.at(0, 1) = 3.0;
+  const LossResult r = mse_loss(pred, target);
+  EXPECT_DOUBLE_EQ(r.value, 0.5);              // (1 + 0) / 2
+  EXPECT_DOUBLE_EQ(r.grad.at(0, 0), 1.0);      // 2*1/2
+  EXPECT_DOUBLE_EQ(r.grad.at(0, 1), 0.0);
+}
+
+TEST(Loss, HuberIsLinearInTails) {
+  Matrix pred(1, 1), target(1, 1);
+  pred.at(0, 0) = 10.0;
+  target.at(0, 0) = 0.0;
+  const LossResult r = huber_loss(pred, target, 1.0);
+  EXPECT_DOUBLE_EQ(r.grad.at(0, 0), 1.0);  // clipped
+  EXPECT_NEAR(r.value, 9.5, 1e-12);
+}
+
+TEST(Loss, BceAtPerfectPredictionIsSmall) {
+  Matrix pred(1, 1), target(1, 1);
+  pred.at(0, 0) = 0.999;
+  target.at(0, 0) = 1.0;
+  EXPECT_LT(bce_loss(pred, target).value, 0.01);
+}
+
+// --- optimizers --------------------------------------------------------------
+
+TEST(Optimizer, SgdConvergesOnQuadratic) {
+  // Minimize ||w - c||^2 by hand-fed gradients.
+  Parameter w{Matrix(1, 3)};
+  const double target[3] = {1.0, -2.0, 0.5};
+  Sgd sgd({&w}, 0.1);
+  for (int it = 0; it < 200; ++it) {
+    sgd.zero_grad();
+    for (std::size_t i = 0; i < 3; ++i)
+      w.grad.data()[i] = 2.0 * (w.value.data()[i] - target[i]);
+    sgd.step();
+  }
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(w.value.data()[i], target[i], 1e-6);
+}
+
+TEST(Optimizer, AdamConvergesFasterThanSgdOnIllConditioned) {
+  auto run = [](bool adam) {
+    Parameter w{Matrix(1, 2)};
+    w.value.at(0, 0) = 5.0;
+    w.value.at(0, 1) = 5.0;
+    const double scale[2] = {100.0, 0.01};  // bad conditioning
+    std::unique_ptr<Sgd> sgd;
+    std::unique_ptr<Adam> ad;
+    if (adam) ad = std::make_unique<Adam>(std::vector<Parameter*>{&w}, 0.1);
+    else sgd = std::make_unique<Sgd>(std::vector<Parameter*>{&w}, 1e-3);
+    for (int it = 0; it < 300; ++it) {
+      w.zero_grad();
+      for (std::size_t i = 0; i < 2; ++i)
+        w.grad.data()[i] = 2.0 * scale[i] * w.value.data()[i];
+      if (adam) ad->step(); else sgd->step();
+    }
+    return std::abs(w.value.at(0, 0)) + std::abs(w.value.at(0, 1));
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(Optimizer, MlpLearnsXor) {
+  Rng rng(3);
+  Mlp net({2, 8, 1}, Activation::kTanh, Activation::kSigmoid, rng);
+  Adam adam(net.parameters(), 0.05);
+  Matrix x(4, 2), y(4, 1);
+  const double xs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const double ys[4] = {0, 1, 1, 0};
+  for (int i = 0; i < 4; ++i) {
+    x.at(i, 0) = xs[i][0];
+    x.at(i, 1) = xs[i][1];
+    y.at(i, 0) = ys[i];
+  }
+  double final_loss = 1.0;
+  for (int it = 0; it < 500; ++it) {
+    adam.zero_grad();
+    const LossResult loss = bce_loss(net.forward(x), y);
+    net.backward(loss.grad);
+    adam.step();
+    final_loss = loss.value;
+  }
+  EXPECT_LT(final_loss, 0.1);
+}
+
+TEST(Mlp, SaveLoadPreservesPredictions) {
+  Rng rng(9);
+  Mlp net({3, 4, 2}, Activation::kRelu, Activation::kIdentity, rng);
+  Matrix x(1, 3);
+  x.at(0, 0) = 0.3;
+  x.at(0, 1) = -0.2;
+  x.at(0, 2) = 0.9;
+  const Matrix before = net.forward(x);
+  std::stringstream ss;
+  net.save(ss);
+  Rng rng2(1234);
+  Mlp other({3, 4, 2}, Activation::kRelu, Activation::kIdentity, rng2);
+  other.load(ss);
+  const Matrix after = other.forward(x);
+  for (std::size_t c = 0; c < 2; ++c)
+    EXPECT_DOUBLE_EQ(after.at(0, c), before.at(0, c));
+}
+
+TEST(Lstm, SaveLoadPreservesOutputs) {
+  Rng rng(4);
+  Lstm lstm(2, 3, rng);
+  std::vector<Matrix> seq(3, Matrix(1, 2, 0.5));
+  const Matrix before = lstm.forward(seq);
+  std::stringstream ss;
+  lstm.save(ss);
+  Rng rng2(77);
+  Lstm other(2, 3, rng2);
+  other.load(ss);
+  const Matrix after = other.forward(seq);
+  for (std::size_t c = 0; c < 3; ++c)
+    EXPECT_DOUBLE_EQ(after.at(0, c), before.at(0, c));
+}
+
+TEST(Lstm, LearnsToSumSequence) {
+  // Regression: predict the running sum of a short sequence — requires the
+  // cell state to integrate over time.
+  Rng rng(15);
+  Lstm lstm(1, 8, rng);
+  Mlp head({8, 1}, Activation::kIdentity, Activation::kIdentity, rng);
+  std::vector<Parameter*> params = lstm.parameters();
+  for (Parameter* p : head.parameters()) params.push_back(p);
+  Adam adam(params, 0.01);
+
+  Rng data_rng(31);
+  double final_loss = 1e9;
+  for (int it = 0; it < 600; ++it) {
+    std::vector<Matrix> seq;
+    double sum = 0.0;
+    for (int t = 0; t < 4; ++t) {
+      Matrix x(1, 1);
+      x.at(0, 0) = data_rng.uniform(-1, 1);
+      sum += x.at(0, 0);
+      seq.push_back(std::move(x));
+    }
+    Matrix target(1, 1);
+    target.at(0, 0) = sum;
+    lstm.zero_grad();
+    head.zero_grad();
+    const Matrix h = lstm.forward(seq);
+    const LossResult loss = mse_loss(head.forward(h), target);
+    const Matrix dh = head.backward(loss.grad);
+    lstm.backward(dh);
+    adam.step();
+    final_loss = loss.value;
+  }
+  EXPECT_LT(final_loss, 0.05);
+}
+
+}  // namespace
+}  // namespace autopipe::nn

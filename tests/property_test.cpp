@@ -1,0 +1,233 @@
+// Cross-module property sweeps (TEST_P): invariants that must hold over
+// whole parameter grids rather than single examples — executor sanity over
+// the model x bandwidth grid, collective/analytic agreement over member
+// counts, staleness-tolerance over pipeline depths, planner/rebalance
+// dominance over random environments, and end-to-end determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "baselines/data_parallel.hpp"
+#include "comm/collective.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "convergence/dataset.hpp"
+#include "convergence/staleness_sgd.hpp"
+#include "models/zoo.hpp"
+#include "partition/analytic_eval.hpp"
+#include "partition/pipedream_planner.hpp"
+#include "partition/rebalance.hpp"
+#include "pipeline/executor.hpp"
+#include "sim/cluster.hpp"
+
+namespace autopipe {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Executor invariants over the paper's model x bandwidth grid
+// ---------------------------------------------------------------------------
+
+class ExecutorGrid
+    : public ::testing::TestWithParam<std::tuple<const char*, double>> {};
+
+TEST_P(ExecutorGrid, PlannedRunSatisfiesInvariants) {
+  const auto [model_name, bandwidth] = GetParam();
+  const auto model = models::model_by_name(model_name);
+
+  sim::Simulator sim;
+  sim::ClusterConfig config;
+  config.nic_bandwidth = gbps(bandwidth);
+  sim::Cluster cluster(sim, config);
+
+  const auto env = partition::EnvironmentView::from_cluster(
+      cluster, comm::pytorch_profile(), comm::SyncScheme::kRing);
+  partition::PipeDreamPlanner planner(model, env,
+                                      model.default_batch_size());
+  const auto plan = planner.plan(cluster.num_workers());
+
+  pipeline::PipelineExecutor executor(cluster, model, plan.partition,
+                                      pipeline::ExecutorConfig{});
+  const auto report = executor.run(30, 10);
+
+  // Throughput positive and finite; utilization a valid fraction.
+  EXPECT_GT(report.throughput, 0.0);
+  EXPECT_TRUE(std::isfinite(report.throughput));
+  EXPECT_GT(report.worker_utilization, 0.0);
+  EXPECT_LE(report.worker_utilization, 1.0 + 1e-9);
+  // Completion times strictly increase (no time travel).
+  for (std::size_t i = 1; i < report.iteration_end_times.size(); ++i) {
+    EXPECT_GE(report.iteration_end_times[i],
+              report.iteration_end_times[i - 1]);
+  }
+  // Multi-stage plans must put bytes on the wire.
+  if (plan.partition.num_stages() > 1) EXPECT_GT(report.bytes_on_wire, 0.0);
+  // The measured rate cannot exceed the cluster's aggregate compute bound
+  // (10% slack: short windows measure between completion bursts).
+  double aggregate = 0.0;
+  for (sim::WorkerId w = 0; w < cluster.num_workers(); ++w)
+    aggregate += cluster.gpu(w).spec().throughput;
+  const double flops_per_sample = model.total_flops_per_sample();
+  EXPECT_LT(report.throughput, aggregate / flops_per_sample * 1.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsByBandwidth, ExecutorGrid,
+    ::testing::Combine(::testing::Values("alexnet", "vgg16", "resnet50",
+                                         "resnet18"),
+                       ::testing::Values(10.0, 25.0, 100.0)));
+
+// ---------------------------------------------------------------------------
+// Event-driven ring all-reduce matches the analytic formula for any size
+// ---------------------------------------------------------------------------
+
+class RingSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingSize, SimulatedRingMatchesAnalytic) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  sim::Simulator sim;
+  sim::ClusterConfig config;
+  config.num_servers = n;
+  config.gpus_per_server = 1;
+  config.nic_bandwidth = 1000.0;
+  sim::Cluster cluster(sim, config);
+  std::vector<sim::WorkerId> members(n);
+  for (sim::WorkerId w = 0; w < n; ++w) members[w] = w;
+  Seconds done = -1;
+  comm::Collective::ring_allreduce(cluster, members, 8000.0, 1.0,
+                                   [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done, comm::ring_allreduce_time(8000.0, n, 1000.0),
+              1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(MemberCounts, RingSize,
+                         ::testing::Values(2, 3, 4, 5, 7, 10));
+
+// ---------------------------------------------------------------------------
+// Weight stashing tolerates any bounded pipeline depth
+// ---------------------------------------------------------------------------
+
+class StashDepth : public ::testing::TestWithParam<int> {};
+
+TEST_P(StashDepth, BoundedConsistentStalenessConverges) {
+  convergence::DatasetConfig dc;
+  dc.dims = 8;
+  dc.classes = 3;
+  dc.train_samples = 512;
+  dc.test_samples = 256;
+  const convergence::Dataset data(dc, 7);
+
+  convergence::TrainerConfig config;
+  config.mode = convergence::StalenessMode::kWeightStashing;
+  config.pipeline_depth = static_cast<std::size_t>(GetParam());
+  convergence::StalenessSgdTrainer trainer(data, config, 3);
+  for (int i = 0; i < 2000; ++i) trainer.step();
+  // PipeDream's guarantee: bounded + consistent staleness reaches high
+  // accuracy regardless of the (reasonable) depth.
+  EXPECT_GT(trainer.test_accuracy(), 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(PipelineDepths, StashDepth,
+                         ::testing::Values(1, 2, 4, 8, 12));
+
+// ---------------------------------------------------------------------------
+// Rebalance never hurts the analytic bottleneck on random heterogeneous envs
+// ---------------------------------------------------------------------------
+
+class RebalanceRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(RebalanceRandom, NeverWorseOnComputeBoundEnvironments) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  // Compute-bound setup: generous uniform bandwidth, random speeds.
+  const auto model = models::resnet18();
+  partition::EnvironmentView env;
+  const std::size_t workers = 4;
+  for (std::size_t w = 0; w < workers; ++w) {
+    env.worker_speed.push_back(rng.uniform(0.5e12, 4e12));
+    env.worker_bandwidth.push_back(gbps(100));
+  }
+  const auto current = partition::Partition::even_split(
+      model.num_layers(), {0, 1, 2, 3});
+  const auto balanced = partition::speed_proportional_rebalance(
+      model, current, env, model.default_batch_size());
+  const Seconds before = partition::analytic_batch_time(
+      model, current, env, model.default_batch_size());
+  const Seconds after = partition::analytic_batch_time(
+      model, balanced, env, model.default_batch_size());
+  EXPECT_LE(after, before * 1.001)
+      << "speeds: " << env.worker_speed[0] << " " << env.worker_speed[1]
+      << " " << env.worker_speed[2] << " " << env.worker_speed[3];
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSpeeds, RebalanceRandom,
+                         ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Determinism: identical seeds and scripts produce identical runs
+// ---------------------------------------------------------------------------
+
+class DeterminismGrid : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DeterminismGrid, RepeatedRunsAreBitIdentical) {
+  auto run_once = [&] {
+    sim::Simulator sim;
+    sim::ClusterConfig config;
+    config.nic_bandwidth = gbps(25);
+    sim::Cluster cluster(sim, config);
+    const auto model = models::model_by_name(GetParam());
+    const auto env = partition::EnvironmentView::from_cluster(
+        cluster, comm::pytorch_profile(), comm::SyncScheme::kRing);
+    partition::PipeDreamPlanner planner(model, env,
+                                        model.default_batch_size());
+    const auto plan = planner.plan(cluster.num_workers());
+    pipeline::PipelineExecutor executor(cluster, model, plan.partition,
+                                        pipeline::ExecutorConfig{});
+    return executor.run(20, 5);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+  ASSERT_EQ(a.iteration_end_times.size(), b.iteration_end_times.size());
+  for (std::size_t i = 0; i < a.iteration_end_times.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.iteration_end_times[i], b.iteration_end_times[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, DeterminismGrid,
+                         ::testing::Values("alexnet", "vgg16", "resnet50"));
+
+// ---------------------------------------------------------------------------
+// Schedule family: every mode completes and respects synchronous semantics
+// ---------------------------------------------------------------------------
+
+class ScheduleFamily
+    : public ::testing::TestWithParam<pipeline::ScheduleMode> {};
+
+TEST_P(ScheduleFamily, CompletesOnPlannedPartition) {
+  sim::Simulator sim;
+  sim::ClusterConfig config;
+  config.nic_bandwidth = gbps(25);
+  sim::Cluster cluster(sim, config);
+  const auto model = models::resnet18();
+  const auto partition = partition::Partition::even_split(
+      model.num_layers(), {0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  pipeline::ExecutorConfig ec;
+  ec.mode = GetParam();
+  ec.micro_batches = 4;
+  pipeline::PipelineExecutor executor(cluster, model, partition, ec);
+  const auto report = executor.run(12, 4);
+  EXPECT_GT(report.throughput, 0.0);
+  EXPECT_EQ(report.iterations, 12u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ScheduleFamily,
+    ::testing::Values(pipeline::ScheduleMode::kAsync1F1B,
+                      pipeline::ScheduleMode::kGPipe,
+                      pipeline::ScheduleMode::kDapple,
+                      pipeline::ScheduleMode::kChimera,
+                      pipeline::ScheduleMode::kTwoBW));
+
+}  // namespace
+}  // namespace autopipe

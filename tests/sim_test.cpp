@@ -1,0 +1,476 @@
+// Tests for the discrete-event substrate: event ordering, the max-min fair
+// flow network (including a property sweep), the GPU executor under
+// contention changes, the cluster topology and resource traces.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "sim/background.hpp"
+#include "sim/cluster.hpp"
+#include "sim/flow_network.hpp"
+#include "sim/gpu.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace autopipe::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(2.0, [&] { order.push_back(2); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(3.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, TieBreakIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(1.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, RunUntilAdvancesClock) {
+  Simulator sim;
+  bool fired = false;
+  sim.at(5.0, [&] { fired = true; });
+  sim.run_until(3.0);
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  sim.run_until(6.0);
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(sim.now(), 6.0);
+}
+
+TEST(Simulator, CallbacksCanSchedule) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) sim.after(1.0, tick);
+  };
+  sim.after(1.0, tick);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(1.0, [] {}), contract_error);
+}
+
+// ---------------------------------------------------------------------------
+// Flow network
+// ---------------------------------------------------------------------------
+
+TEST(FlowNetwork, SingleFlowTakesBytesOverCapacity) {
+  Simulator sim;
+  FlowNetwork net(sim);
+  const auto r = net.add_resource("link", 100.0);  // 100 B/s
+  Seconds done_at = -1;
+  net.start_flow({{r}, 500.0, [&] { done_at = sim.now(); }});
+  sim.run();
+  EXPECT_NEAR(done_at, 5.0, 1e-9);
+  EXPECT_NEAR(net.total_bytes_delivered(), 500.0, 1e-6);
+}
+
+TEST(FlowNetwork, TwoFlowsShareFairly) {
+  Simulator sim;
+  FlowNetwork net(sim);
+  const auto r = net.add_resource("link", 100.0);
+  Seconds t1 = -1, t2 = -1;
+  net.start_flow({{r}, 100.0, [&] { t1 = sim.now(); }});
+  net.start_flow({{r}, 100.0, [&] { t2 = sim.now(); }});
+  sim.run();
+  // Each gets 50 B/s: both finish at t=2.
+  EXPECT_NEAR(t1, 2.0, 1e-9);
+  EXPECT_NEAR(t2, 2.0, 1e-9);
+}
+
+TEST(FlowNetwork, ShortFlowFinishesThenLongSpeedsUp) {
+  Simulator sim;
+  FlowNetwork net(sim);
+  const auto r = net.add_resource("link", 100.0);
+  Seconds t_short = -1, t_long = -1;
+  net.start_flow({{r}, 50.0, [&] { t_short = sim.now(); }});
+  net.start_flow({{r}, 150.0, [&] { t_long = sim.now(); }});
+  sim.run();
+  // Shared 50/50 until t=1 (short done, long has 100 left), then full rate:
+  // long finishes at 1 + 100/100 = 2.
+  EXPECT_NEAR(t_short, 1.0, 1e-9);
+  EXPECT_NEAR(t_long, 2.0, 1e-9);
+}
+
+TEST(FlowNetwork, MaxMinRespectsPerFlowBottleneck) {
+  Simulator sim;
+  FlowNetwork net(sim);
+  const auto wide = net.add_resource("wide", 100.0);
+  const auto narrow = net.add_resource("narrow", 10.0);
+  // Flow A crosses both; flow B only the wide one.
+  const auto a = net.start_flow({{wide, narrow}, 1000.0, nullptr});
+  const auto b = net.start_flow({{wide}, 1000.0, nullptr});
+  // A is pinned to 10 by the narrow link; B picks up the slack: 90.
+  EXPECT_NEAR(net.flow_rate(a), 10.0, 1e-9);
+  EXPECT_NEAR(net.flow_rate(b), 90.0, 1e-9);
+}
+
+TEST(FlowNetwork, CapacityChangeReratesInFlight) {
+  Simulator sim;
+  FlowNetwork net(sim);
+  const auto r = net.add_resource("link", 100.0);
+  Seconds done_at = -1;
+  net.start_flow({{r}, 200.0, [&] { done_at = sim.now(); }});
+  sim.at(1.0, [&] { net.set_capacity(r, 50.0); });
+  sim.run();
+  // 100 bytes in the first second, the rest at 50 B/s: 1 + 100/50 = 3.
+  EXPECT_NEAR(done_at, 3.0, 1e-9);
+}
+
+TEST(FlowNetwork, ZeroCapacityStallsUntilRestored) {
+  Simulator sim;
+  FlowNetwork net(sim);
+  const auto r = net.add_resource("link", 100.0);
+  Seconds done_at = -1;
+  net.start_flow({{r}, 100.0, [&] { done_at = sim.now(); }});
+  sim.at(0.5, [&] { net.set_capacity(r, 0.0); });
+  sim.at(2.5, [&] { net.set_capacity(r, 100.0); });
+  sim.run();
+  // 50 bytes by 0.5, stalled 2 seconds, 50 more in 0.5: done at 3.0.
+  EXPECT_NEAR(done_at, 3.0, 1e-9);
+}
+
+TEST(FlowNetwork, CancelPreventsCompletion) {
+  Simulator sim;
+  FlowNetwork net(sim);
+  const auto r = net.add_resource("link", 100.0);
+  bool fired = false;
+  const auto id = net.start_flow({{r}, 100.0, [&] { fired = true; }});
+  sim.at(0.5, [&] { net.cancel_flow(id); });
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(net.active_flow_count(), 0u);
+}
+
+TEST(FlowNetwork, ZeroByteFlowCompletesImmediately) {
+  Simulator sim;
+  FlowNetwork net(sim);
+  const auto r = net.add_resource("link", 100.0);
+  bool fired = false;
+  net.start_flow({{r}, 0.0, [&] { fired = true; }});
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(FlowNetwork, DuplicateResourceInPathThrows) {
+  Simulator sim;
+  FlowNetwork net(sim);
+  const auto r = net.add_resource("link", 100.0);
+  EXPECT_THROW(net.start_flow({{r, r}, 10.0, nullptr}), contract_error);
+}
+
+/// Property sweep: for random topologies and flow sets, the max-min
+/// allocation must (a) never oversubscribe a resource and (b) leave no flow
+/// below a share it could claim without displacing anyone (max-min
+/// feasibility: every flow is bottlenecked by some saturated resource).
+class FlowNetworkProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowNetworkProperty, MaxMinAllocationIsFeasibleAndSaturating) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Simulator sim;
+  FlowNetwork net(sim);
+  const std::size_t R = 2 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+  std::vector<ResourceId> resources;
+  for (std::size_t i = 0; i < R; ++i)
+    resources.push_back(
+        net.add_resource("r" + std::to_string(i), rng.uniform(10.0, 200.0)));
+
+  const std::size_t F = 1 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+  std::vector<FlowId> flows;
+  std::vector<std::vector<ResourceId>> paths;
+  for (std::size_t f = 0; f < F; ++f) {
+    std::vector<ResourceId> path;
+    for (ResourceId r : resources)
+      if (rng.chance(0.5)) path.push_back(r);
+    if (path.empty()) path.push_back(resources[0]);
+    paths.push_back(path);
+    flows.push_back(net.start_flow({path, 1e9, nullptr}));
+  }
+
+  // (a) No resource oversubscribed.
+  for (ResourceId r : resources)
+    EXPECT_LE(net.resource_load(r), net.capacity(r) + 1e-6);
+  // (b) Every flow is limited by at least one saturated resource.
+  for (std::size_t f = 0; f < F; ++f) {
+    bool bottlenecked = false;
+    for (ResourceId r : paths[f]) {
+      if (net.resource_load(r) >= net.capacity(r) - 1e-6) bottlenecked = true;
+    }
+    EXPECT_TRUE(bottlenecked) << "flow " << f << " rate "
+                              << net.flow_rate(flows[f]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologies, FlowNetworkProperty,
+                         ::testing::Range(0, 20));
+
+// ---------------------------------------------------------------------------
+// GPU executor
+// ---------------------------------------------------------------------------
+
+TEST(GpuExecutor, TaskDurationMatchesThroughput) {
+  Simulator sim;
+  GpuExecutor gpu(sim, GpuSpec{"test", 100.0, gib(16)});  // 100 FLOP/s
+  Seconds done_at = -1;
+  gpu.submit(500.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 5.0, 1e-9);
+  EXPECT_NEAR(gpu.total_flops_done(), 500.0, 1e-6);
+  EXPECT_NEAR(gpu.busy_time(), 5.0, 1e-9);
+}
+
+TEST(GpuExecutor, FifoOrdering) {
+  Simulator sim;
+  GpuExecutor gpu(sim, GpuSpec{"test", 100.0, gib(16)});
+  std::vector<int> order;
+  gpu.submit(100.0, [&] { order.push_back(1); });
+  gpu.submit(100.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(GpuExecutor, PriorityOvertakesQueuedWork) {
+  Simulator sim;
+  GpuExecutor gpu(sim, GpuSpec{"test", 100.0, gib(16)});
+  std::vector<int> order;
+  gpu.submit(100.0, [&] { order.push_back(1); });       // runs first
+  gpu.submit(100.0, [&] { order.push_back(2); });       // queued normal
+  gpu.submit_prioritized(100.0, 0.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(GpuExecutor, TenantChangeMidTaskRescales) {
+  Simulator sim;
+  GpuExecutor gpu(sim, GpuSpec{"test", 100.0, gib(16)});
+  Seconds done_at = -1;
+  gpu.submit(200.0, [&] { done_at = sim.now(); });
+  sim.at(1.0, [&] { gpu.set_tenant_count(2); });  // half speed from t=1
+  sim.run();
+  // 100 FLOPs by t=1; remaining 100 at 50 FLOP/s: done at 3.0.
+  EXPECT_NEAR(done_at, 3.0, 1e-9);
+}
+
+TEST(GpuExecutor, FixedOverheadUnaffectedByTenancy) {
+  Simulator sim;
+  GpuExecutor gpu(sim, GpuSpec{"test", 100.0, gib(16)});
+  gpu.set_tenant_count(4);
+  Seconds done_at = -1;
+  gpu.submit(100.0, 2.0, [&] { done_at = sim.now(); });
+  sim.run();
+  // 2s fixed + 100 FLOPs at 25 FLOP/s = 2 + 4 = 6.
+  EXPECT_NEAR(done_at, 6.0, 1e-9);
+}
+
+TEST(GpuExecutor, ThroughputScale) {
+  Simulator sim;
+  GpuExecutor gpu(sim, GpuSpec{"test", 100.0, gib(16)});
+  gpu.set_throughput_scale(0.5);
+  EXPECT_DOUBLE_EQ(gpu.effective_throughput(), 50.0);
+}
+
+TEST(GpuExecutor, PresetSpecsOrdered) {
+  EXPECT_LT(p100_spec().throughput, v100_spec().throughput);
+  EXPECT_LT(v100_spec().throughput, a100_spec().throughput);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------------
+
+TEST(Cluster, TopologyAndPaths) {
+  Simulator sim;
+  Cluster cluster(sim, ClusterConfig{});
+  EXPECT_EQ(cluster.num_workers(), 10u);
+  EXPECT_EQ(cluster.server_of(0), 0u);
+  EXPECT_EQ(cluster.server_of(1), 0u);
+  EXPECT_EQ(cluster.server_of(2), 1u);
+  // Same-server pair: single PCIe hop.
+  EXPECT_EQ(cluster.path(0, 1).size(), 1u);
+  // Cross-server: tx + rx.
+  EXPECT_EQ(cluster.path(0, 2).size(), 2u);
+  // Same worker: free.
+  EXPECT_TRUE(cluster.path(3, 3).empty());
+}
+
+TEST(Cluster, CrossServerTransferUsesNicBandwidth) {
+  Simulator sim;
+  ClusterConfig config;
+  config.nic_bandwidth = 100.0;  // 100 B/s for easy arithmetic
+  Cluster cluster(sim, config);
+  Seconds done_at = -1;
+  cluster.transfer(0, 2, 300.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 3.0, 1e-9);
+}
+
+TEST(Cluster, SameWorkerTransferIsFree) {
+  Simulator sim;
+  Cluster cluster(sim, ClusterConfig{});
+  Seconds done_at = -1;
+  cluster.transfer(4, 4, 1e12, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done_at, 0.0);
+}
+
+TEST(Cluster, BackgroundJobsChangeTenancy) {
+  Simulator sim;
+  Cluster cluster(sim, ClusterConfig{});
+  EXPECT_EQ(cluster.gpu(3).tenant_count(), 1);
+  cluster.add_background_job(3);
+  EXPECT_EQ(cluster.gpu(3).tenant_count(), 2);
+  cluster.remove_background_job(3);
+  EXPECT_EQ(cluster.gpu(3).tenant_count(), 1);
+  EXPECT_THROW(cluster.remove_background_job(3), contract_error);
+}
+
+TEST(Cluster, NicBandwidthUpdates) {
+  Simulator sim;
+  Cluster cluster(sim, ClusterConfig{});
+  cluster.set_nic_bandwidth(1, gbps(10));
+  EXPECT_DOUBLE_EQ(cluster.nic_bandwidth(1), gbps(10));
+  cluster.set_all_nic_bandwidth(gbps(40));
+  for (std::size_t s = 0; s < cluster.num_servers(); ++s)
+    EXPECT_DOUBLE_EQ(cluster.nic_bandwidth(s), gbps(40));
+}
+
+TEST(Cluster, PerWorkerGpuSpecs) {
+  Simulator sim;
+  ClusterConfig config;
+  config.num_servers = 1;
+  config.gpus_per_server = 2;
+  config.gpu_specs = {p100_spec(), v100_spec()};
+  Cluster cluster(sim, config);
+  EXPECT_EQ(cluster.gpu(0).spec().name, "P100");
+  EXPECT_EQ(cluster.gpu(1).spec().name, "V100");
+}
+
+
+TEST(Cluster, TwoTierTopologyRouting) {
+  Simulator sim;
+  ClusterConfig config;
+  config.num_servers = 4;
+  config.gpus_per_server = 1;
+  config.servers_per_rack = 2;  // racks {0,1} and {2,3}
+  config.nic_bandwidth = 100.0;
+  config.rack_uplink_bandwidth = 100.0;
+  Cluster cluster(sim, config);
+  EXPECT_EQ(cluster.num_racks(), 2u);
+  EXPECT_EQ(cluster.rack_of_server(1), 0u);
+  EXPECT_EQ(cluster.rack_of_server(2), 1u);
+  // Intra-rack: nic tx + nic rx only.
+  EXPECT_EQ(cluster.path(0, 1).size(), 2u);
+  // Cross-rack: nic tx + uplink tx + uplink rx + nic rx.
+  EXPECT_EQ(cluster.path(0, 2).size(), 4u);
+}
+
+TEST(Cluster, OversubscribedUplinkBottlenecksCrossRackFlows) {
+  // 2 servers per rack, NICs at 100 B/s, uplink at 100 B/s: two concurrent
+  // cross-rack flows share the uplink (50 each) while two intra-rack flows
+  // would run at full NIC rate.
+  Simulator sim;
+  ClusterConfig config;
+  config.num_servers = 4;
+  config.gpus_per_server = 1;
+  config.servers_per_rack = 2;
+  config.nic_bandwidth = 100.0;
+  config.rack_uplink_bandwidth = 100.0;
+  Cluster cluster(sim, config);
+  Seconds t_a = -1, t_b = -1;
+  cluster.transfer(0, 2, 100.0, [&] { t_a = sim.now(); });
+  cluster.transfer(1, 3, 100.0, [&] { t_b = sim.now(); });
+  sim.run();
+  // Both bottlenecked by the shared 100 B/s uplink: 2 s each.
+  EXPECT_NEAR(t_a, 2.0, 1e-9);
+  EXPECT_NEAR(t_b, 2.0, 1e-9);
+}
+
+TEST(Cluster, IntraRackUnaffectedByUplink) {
+  Simulator sim;
+  ClusterConfig config;
+  config.num_servers = 4;
+  config.gpus_per_server = 1;
+  config.servers_per_rack = 2;
+  config.nic_bandwidth = 100.0;
+  config.rack_uplink_bandwidth = 1.0;  // nearly dead uplink
+  Cluster cluster(sim, config);
+  Seconds done = -1;
+  cluster.transfer(0, 1, 100.0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done, 1.0, 1e-9);  // full NIC rate inside the rack
+}
+
+// ---------------------------------------------------------------------------
+// Traces and background workload
+// ---------------------------------------------------------------------------
+
+TEST(ResourceTrace, TimeAnchoredEventsApply) {
+  Simulator sim;
+  Cluster cluster(sim, ClusterConfig{});
+  ResourceTrace trace;
+  trace.at_time(1.0, ResourceTrace::set_all_nic_bandwidth(gbps(10)));
+  trace.at_time(2.0, ResourceTrace::add_gpu_job(0));
+  int fired = 0;
+  trace.install(sim, cluster, [&](const TraceEvent&) { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(cluster.nic_bandwidth(0), gbps(10));
+  EXPECT_EQ(cluster.gpu(0).tenant_count(), 2);
+}
+
+TEST(ResourceTrace, IterationAnchoredEventsApplyOnce) {
+  Simulator sim;
+  Cluster cluster(sim, ClusterConfig{});
+  ResourceTrace trace;
+  trace.at_iteration(20, ResourceTrace::add_job_all_gpus());
+  EXPECT_EQ(trace.apply_iteration(19, cluster), 0u);
+  EXPECT_EQ(trace.apply_iteration(20, cluster), 1u);
+  for (WorkerId w = 0; w < cluster.num_workers(); ++w)
+    EXPECT_EQ(cluster.gpu(w).tenant_count(), 2);
+}
+
+TEST(ResourceTrace, DescribeIsHumanReadable) {
+  const auto ev = ResourceTrace::set_all_nic_bandwidth(gbps(25));
+  EXPECT_NE(ev.describe().find("25"), std::string::npos);
+}
+
+TEST(BackgroundWorkload, DeterministicAndBalanced) {
+  Simulator sim;
+  Cluster cluster(sim, ClusterConfig{});
+  BackgroundWorkloadConfig config;
+  config.horizon = 100.0;
+  BackgroundWorkload workload(config, Rng(123));
+  workload.install(sim, cluster);
+  EXPECT_GT(workload.gpu_jobs() + workload.net_jobs(), 0u);
+  sim.run();
+  // Every arrival paired with a departure: tenancy returns to 1.
+  for (WorkerId w = 0; w < cluster.num_workers(); ++w)
+    EXPECT_EQ(cluster.gpu(w).tenant_count(), 1);
+  for (std::size_t s = 0; s < cluster.num_servers(); ++s)
+    EXPECT_NEAR(cluster.nic_bandwidth(s), gbps(100), 1.0);
+}
+
+}  // namespace
+}  // namespace autopipe::sim

@@ -1,0 +1,221 @@
+// autopipe_sim — the scenario driver. Runs any (model, bandwidth, sharing,
+// schedule, system) combination from the command line and prints a
+// one-block report, so new scenarios don't require writing C++.
+//
+// Examples:
+//   autopipe_sim --model vgg16 --bandwidth 25 --system autopipe
+//   autopipe_sim --model resnet50 --bandwidth 10 --extra-jobs 2 \
+//                --system pipedream --iterations 200
+//   autopipe_sim --model bert48 --schedule dapple --micro-batches 8 \
+//                --system autopipe --bw-drop-iter 30 --bw-drop-gbps 10
+//   autopipe_sim --model alexnet --system baseline --scheme ps
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "autopipe/controller.hpp"
+#include "baselines/data_parallel.hpp"
+#include "common/expect.hpp"
+#include "common/flags.hpp"
+#include "common/log.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "models/zoo.hpp"
+#include "partition/pipedream_planner.hpp"
+#include "pipeline/executor.hpp"
+#include "sim/background.hpp"
+#include "sim/cluster.hpp"
+#include "sim/trace.hpp"
+
+using namespace autopipe;
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "autopipe_sim — shared-GPU-cluster pipeline-parallelism scenarios\n\n"
+      "  --model NAME          alexnet | vgg16 | resnet50 | bert48 (default"
+      " resnet50)\n"
+      "  --system NAME         autopipe | pipedream | baseline | even"
+      " (default autopipe)\n"
+      "  --schedule NAME       1f1b | gpipe | dapple | chimera | 2bw"
+      " (default 1f1b)\n"
+      "  --scheme NAME         ring | ps (default ring)\n"
+      "  --framework NAME      pytorch | tensorflow | mxnet (default"
+      " pytorch)\n"
+      "  --bandwidth GBPS      NIC line rate (default 25)\n"
+      "  --servers N           physical servers (default 5)\n"
+      "  --gpus-per-server N   (default 2)\n"
+      "  --extra-jobs N        co-located identical jobs (default 0)\n"
+      "  --iterations N        training iterations (default 100)\n"
+      "  --warmup N            iterations excluded from the measurement"
+      " (default 20)\n"
+      "  --micro-batches N     for synchronous schedules (default 4)\n"
+      "  --batch N             mini-batch size (default: model's)\n"
+      "  --bw-drop-iter N      change bandwidth mid-run at iteration N\n"
+      "  --bw-drop-gbps GBPS   the new bandwidth for --bw-drop-iter\n"
+      "  --jobs-iter N         add a tenant on every GPU at iteration N\n"
+      "  --churn               stochastic background workload\n"
+      "  --seed N              RNG seed (default 1)\n"
+      "  --verbose             debug logging\n";
+}
+
+pipeline::ScheduleMode parse_schedule(const std::string& name) {
+  if (name == "1f1b") return pipeline::ScheduleMode::kAsync1F1B;
+  if (name == "gpipe") return pipeline::ScheduleMode::kGPipe;
+  if (name == "dapple") return pipeline::ScheduleMode::kDapple;
+  if (name == "chimera") return pipeline::ScheduleMode::kChimera;
+  if (name == "2bw") return pipeline::ScheduleMode::kTwoBW;
+  AUTOPIPE_EXPECT_MSG(false, "unknown schedule: " << name);
+  throw contract_error("unreachable");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.has("help")) {
+    usage();
+    return 0;
+  }
+  if (flags.get_bool("verbose", false)) set_log_level(LogLevel::kDebug);
+
+  const auto model = models::model_by_name(flags.get("model", "resnet50"));
+  const std::string system = flags.get("system", "autopipe");
+  const auto framework =
+      comm::framework_by_name(flags.get("framework", "pytorch"));
+  const auto scheme = flags.get("scheme", "ring") == "ps"
+                          ? comm::SyncScheme::kParameterServer
+                          : comm::SyncScheme::kRing;
+
+  sim::Simulator simulator;
+  sim::ClusterConfig cluster_config;
+  cluster_config.num_servers =
+      static_cast<std::size_t>(flags.get_int("servers", 5));
+  cluster_config.gpus_per_server =
+      static_cast<std::size_t>(flags.get_int("gpus-per-server", 2));
+  cluster_config.nic_bandwidth = gbps(flags.get_double("bandwidth", 25));
+  sim::Cluster cluster(simulator, cluster_config);
+
+  const auto extra_jobs = flags.get_int("extra-jobs", 0);
+  for (std::int64_t j = 0; j < extra_jobs; ++j) {
+    for (sim::WorkerId w = 0; w < cluster.num_workers(); ++w)
+      cluster.add_background_job(w);
+  }
+  if (flags.get_bool("churn", false)) {
+    sim::BackgroundWorkloadConfig churn;
+    churn.horizon = 600.0;
+    static sim::BackgroundWorkload background(
+        churn, Rng(static_cast<std::uint64_t>(flags.get_int("seed", 1))));
+    background.install(simulator, cluster);
+  }
+
+  const auto iterations =
+      static_cast<std::size_t>(flags.get_int("iterations", 100));
+  const auto warmup = static_cast<std::size_t>(flags.get_int("warmup", 20));
+
+  // Baseline short-circuits: plain data parallelism.
+  if (system == "baseline") {
+    baselines::DataParallelConfig dp;
+    dp.framework = framework;
+    dp.sync_scheme = scheme;
+    dp.batch_size = static_cast<std::size_t>(flags.get_int("batch", 0));
+    std::vector<sim::WorkerId> all(cluster.num_workers());
+    for (sim::WorkerId w = 0; w < all.size(); ++w) all[w] = w;
+    const auto report = baselines::run_data_parallel(
+        cluster, model, all, iterations, warmup, dp);
+    std::cout << "data-parallel baseline: "
+              << TextTable::num(report.throughput, 1) << " samples/s over "
+              << iterations << " iterations\n";
+    return 0;
+  }
+
+  // Plan.
+  const auto env = partition::EnvironmentView::from_cluster(
+      cluster, framework, scheme);
+  partition::PipeDreamPlanner planner(model, env,
+                                      model.default_batch_size());
+  const auto plan = planner.plan(cluster.num_workers());
+  const auto partition =
+      system == "even" ? partition::Partition::even_split(
+                             model.num_layers(),
+                             [&] {
+                               std::vector<sim::WorkerId> all(
+                                   cluster.num_workers());
+                               for (sim::WorkerId w = 0; w < all.size(); ++w)
+                                 all[w] = w;
+                               return all;
+                             }())
+                       : plan.partition;
+
+  pipeline::ExecutorConfig executor_config;
+  executor_config.framework = framework;
+  executor_config.sync_scheme = scheme;
+  executor_config.mode = parse_schedule(flags.get("schedule", "1f1b"));
+  executor_config.micro_batches =
+      static_cast<std::size_t>(flags.get_int("micro-batches", 4));
+  executor_config.batch_size =
+      static_cast<std::size_t>(flags.get_int("batch", 0));
+  pipeline::PipelineExecutor executor(cluster, model, partition,
+                                      executor_config);
+
+  std::unique_ptr<core::AutoPipeController> controller;
+  if (system == "autopipe") {
+    core::ControllerConfig cc;
+    cc.arbiter_mode = core::ControllerConfig::ArbiterMode::kThreshold;
+    cc.use_meta_network = false;
+    controller = std::make_unique<core::AutoPipeController>(
+        cluster, executor, cc, nullptr, nullptr);
+    controller->attach();
+  }
+
+  sim::ResourceTrace trace;
+  if (flags.has("bw-drop-iter")) {
+    trace.at_iteration(
+        static_cast<std::size_t>(flags.get_int("bw-drop-iter", 0)),
+        sim::ResourceTrace::set_all_nic_bandwidth(
+            gbps(flags.get_double("bw-drop-gbps", 10))));
+  }
+  if (flags.has("jobs-iter")) {
+    trace.at_iteration(
+        static_cast<std::size_t>(flags.get_int("jobs-iter", 0)),
+        sim::ResourceTrace::add_job_all_gpus());
+  }
+  executor.set_iteration_callback([&](std::size_t iters) {
+    trace.apply_iteration(iters, cluster);
+    if (controller) controller->on_iteration(iters);
+  });
+
+  for (const std::string& flag : flags.unused()) {
+    std::cerr << "warning: unknown flag --" << flag << " (see --help)\n";
+  }
+
+  const auto report = executor.run(iterations, warmup);
+
+  TextTable summary({"metric", "value"});
+  summary.add_row({"model", model.name()});
+  summary.add_row({"system", system});
+  summary.add_row({"initial partition", plan.partition.to_string()});
+  summary.add_row({"final partition",
+                   executor.current_partition().to_string()});
+  summary.add_row({"throughput (samples/s)",
+                   TextTable::num(report.throughput, 1)});
+  summary.add_row({"worker utilization",
+                   TextTable::num(report.worker_utilization, 3)});
+  summary.add_row({"partition switches",
+                   std::to_string(executor.switches_performed())});
+  summary.add_row({"bytes on wire (GB)",
+                   TextTable::num(report.bytes_on_wire / 1e9, 2)});
+  if (controller) {
+    summary.add_row({"decisions",
+                     std::to_string(controller->stats().decisions)});
+    summary.add_row({"changes detected",
+                     std::to_string(controller->stats().changes_detected)});
+    summary.add_row(
+        {"decision host time (ms)",
+         TextTable::num(
+             controller->stats().total_decision_wall_seconds * 1e3, 2)});
+  }
+  summary.print(std::cout, "autopipe_sim report");
+  return 0;
+}

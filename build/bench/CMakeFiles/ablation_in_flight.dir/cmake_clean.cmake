@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_in_flight.dir/ablation_in_flight.cpp.o"
+  "CMakeFiles/ablation_in_flight.dir/ablation_in_flight.cpp.o.d"
+  "ablation_in_flight"
+  "ablation_in_flight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_in_flight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

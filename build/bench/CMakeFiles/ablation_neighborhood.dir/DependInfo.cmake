@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_neighborhood.cpp" "bench/CMakeFiles/ablation_neighborhood.dir/ablation_neighborhood.cpp.o" "gcc" "bench/CMakeFiles/ablation_neighborhood.dir/ablation_neighborhood.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/autopipe_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/autopipe/CMakeFiles/autopipe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/autopipe_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/autopipe_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/autopipe_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/autopipe_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/autopipe_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autopipe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/autopipe_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/convergence/CMakeFiles/autopipe_convergence.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autopipe_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autopipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

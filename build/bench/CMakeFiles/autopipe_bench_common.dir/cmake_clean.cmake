@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopipe_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/autopipe_bench_common.dir/bench_common.cpp.o.d"
+  "libautopipe_bench_common.a"
+  "libautopipe_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopipe_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautopipe_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dynamic_gpu.dir/fig10_dynamic_gpu.cpp.o"
+  "CMakeFiles/fig10_dynamic_gpu.dir/fig10_dynamic_gpu.cpp.o.d"
+  "fig10_dynamic_gpu"
+  "fig10_dynamic_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dynamic_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

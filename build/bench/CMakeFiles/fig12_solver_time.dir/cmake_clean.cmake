@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_solver_time.dir/fig12_solver_time.cpp.o"
+  "CMakeFiles/fig12_solver_time.dir/fig12_solver_time.cpp.o.d"
+  "fig12_solver_time"
+  "fig12_solver_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_solver_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_enhanced.dir/fig13_enhanced.cpp.o"
+  "CMakeFiles/fig13_enhanced.dir/fig13_enhanced.cpp.o.d"
+  "fig13_enhanced"
+  "fig13_enhanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_enhanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_pipeline_fill.dir/fig2_pipeline_fill.cpp.o"
+  "CMakeFiles/fig2_pipeline_fill.dir/fig2_pipeline_fill.cpp.o.d"
+  "fig2_pipeline_fill"
+  "fig2_pipeline_fill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_pipeline_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_bandwidth_drop.dir/fig3_bandwidth_drop.cpp.o"
+  "CMakeFiles/fig3_bandwidth_drop.dir/fig3_bandwidth_drop.cpp.o.d"
+  "fig3_bandwidth_drop"
+  "fig3_bandwidth_drop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_bandwidth_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_gpu_contention.dir/fig4_gpu_contention.cpp.o"
+  "CMakeFiles/fig4_gpu_contention.dir/fig4_gpu_contention.cpp.o.d"
+  "fig4_gpu_contention"
+  "fig4_gpu_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_gpu_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_job_join.dir/fig5_job_join.cpp.o"
+  "CMakeFiles/fig5_job_join.dir/fig5_job_join.cpp.o.d"
+  "fig5_job_join"
+  "fig5_job_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_job_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_job_finish.dir/fig6_job_finish.cpp.o"
+  "CMakeFiles/fig6_job_finish.dir/fig6_job_finish.cpp.o.d"
+  "fig6_job_finish"
+  "fig6_job_finish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_job_finish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_dynamic_bandwidth.dir/fig9_dynamic_bandwidth.cpp.o"
+  "CMakeFiles/fig9_dynamic_bandwidth.dir/fig9_dynamic_bandwidth.cpp.o.d"
+  "fig9_dynamic_bandwidth"
+  "fig9_dynamic_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_dynamic_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhance_pipeline.dir/enhance_pipeline.cpp.o"
+  "CMakeFiles/enhance_pipeline.dir/enhance_pipeline.cpp.o.d"
+  "enhance_pipeline"
+  "enhance_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhance_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

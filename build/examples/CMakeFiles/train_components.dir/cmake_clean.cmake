@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_components.dir/train_components.cpp.o"
+  "CMakeFiles/train_components.dir/train_components.cpp.o.d"
+  "train_components"
+  "train_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("models")
+subdirs("comm")
+subdirs("partition")
+subdirs("pipeline")
+subdirs("baselines")
+subdirs("nn")
+subdirs("rl")
+subdirs("convergence")
+subdirs("autopipe")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autopipe/controller.cpp" "src/autopipe/CMakeFiles/autopipe_core.dir/controller.cpp.o" "gcc" "src/autopipe/CMakeFiles/autopipe_core.dir/controller.cpp.o.d"
+  "/root/repo/src/autopipe/features.cpp" "src/autopipe/CMakeFiles/autopipe_core.dir/features.cpp.o" "gcc" "src/autopipe/CMakeFiles/autopipe_core.dir/features.cpp.o.d"
+  "/root/repo/src/autopipe/meta_network.cpp" "src/autopipe/CMakeFiles/autopipe_core.dir/meta_network.cpp.o" "gcc" "src/autopipe/CMakeFiles/autopipe_core.dir/meta_network.cpp.o.d"
+  "/root/repo/src/autopipe/profiler.cpp" "src/autopipe/CMakeFiles/autopipe_core.dir/profiler.cpp.o" "gcc" "src/autopipe/CMakeFiles/autopipe_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/autopipe/resource_monitor.cpp" "src/autopipe/CMakeFiles/autopipe_core.dir/resource_monitor.cpp.o" "gcc" "src/autopipe/CMakeFiles/autopipe_core.dir/resource_monitor.cpp.o.d"
+  "/root/repo/src/autopipe/switch_cost.cpp" "src/autopipe/CMakeFiles/autopipe_core.dir/switch_cost.cpp.o" "gcc" "src/autopipe/CMakeFiles/autopipe_core.dir/switch_cost.cpp.o.d"
+  "/root/repo/src/autopipe/training.cpp" "src/autopipe/CMakeFiles/autopipe_core.dir/training.cpp.o" "gcc" "src/autopipe/CMakeFiles/autopipe_core.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/autopipe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autopipe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/autopipe_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/autopipe_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/autopipe_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/autopipe_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autopipe_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/autopipe_rl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopipe_core.dir/controller.cpp.o"
+  "CMakeFiles/autopipe_core.dir/controller.cpp.o.d"
+  "CMakeFiles/autopipe_core.dir/features.cpp.o"
+  "CMakeFiles/autopipe_core.dir/features.cpp.o.d"
+  "CMakeFiles/autopipe_core.dir/meta_network.cpp.o"
+  "CMakeFiles/autopipe_core.dir/meta_network.cpp.o.d"
+  "CMakeFiles/autopipe_core.dir/profiler.cpp.o"
+  "CMakeFiles/autopipe_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/autopipe_core.dir/resource_monitor.cpp.o"
+  "CMakeFiles/autopipe_core.dir/resource_monitor.cpp.o.d"
+  "CMakeFiles/autopipe_core.dir/switch_cost.cpp.o"
+  "CMakeFiles/autopipe_core.dir/switch_cost.cpp.o.d"
+  "CMakeFiles/autopipe_core.dir/training.cpp.o"
+  "CMakeFiles/autopipe_core.dir/training.cpp.o.d"
+  "libautopipe_core.a"
+  "libautopipe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopipe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

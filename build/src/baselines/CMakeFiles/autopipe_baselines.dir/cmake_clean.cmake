@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopipe_baselines.dir/data_parallel.cpp.o"
+  "CMakeFiles/autopipe_baselines.dir/data_parallel.cpp.o.d"
+  "CMakeFiles/autopipe_baselines.dir/model_parallel.cpp.o"
+  "CMakeFiles/autopipe_baselines.dir/model_parallel.cpp.o.d"
+  "libautopipe_baselines.a"
+  "libautopipe_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopipe_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

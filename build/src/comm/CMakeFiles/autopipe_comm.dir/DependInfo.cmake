@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/collective.cpp" "src/comm/CMakeFiles/autopipe_comm.dir/collective.cpp.o" "gcc" "src/comm/CMakeFiles/autopipe_comm.dir/collective.cpp.o.d"
+  "/root/repo/src/comm/framework.cpp" "src/comm/CMakeFiles/autopipe_comm.dir/framework.cpp.o" "gcc" "src/comm/CMakeFiles/autopipe_comm.dir/framework.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/autopipe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autopipe_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopipe_comm.dir/collective.cpp.o"
+  "CMakeFiles/autopipe_comm.dir/collective.cpp.o.d"
+  "CMakeFiles/autopipe_comm.dir/framework.cpp.o"
+  "CMakeFiles/autopipe_comm.dir/framework.cpp.o.d"
+  "libautopipe_comm.a"
+  "libautopipe_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopipe_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

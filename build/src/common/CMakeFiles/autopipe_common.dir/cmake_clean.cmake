@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopipe_common.dir/flags.cpp.o"
+  "CMakeFiles/autopipe_common.dir/flags.cpp.o.d"
+  "CMakeFiles/autopipe_common.dir/log.cpp.o"
+  "CMakeFiles/autopipe_common.dir/log.cpp.o.d"
+  "CMakeFiles/autopipe_common.dir/rng.cpp.o"
+  "CMakeFiles/autopipe_common.dir/rng.cpp.o.d"
+  "CMakeFiles/autopipe_common.dir/stats.cpp.o"
+  "CMakeFiles/autopipe_common.dir/stats.cpp.o.d"
+  "CMakeFiles/autopipe_common.dir/table.cpp.o"
+  "CMakeFiles/autopipe_common.dir/table.cpp.o.d"
+  "libautopipe_common.a"
+  "libautopipe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopipe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

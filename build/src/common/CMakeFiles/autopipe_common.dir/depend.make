@@ -1,0 +1,2 @@
+# Empty dependencies file for autopipe_common.
+# This may be replaced when dependencies are built.

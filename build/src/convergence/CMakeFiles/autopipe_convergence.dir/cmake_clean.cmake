@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopipe_convergence.dir/dataset.cpp.o"
+  "CMakeFiles/autopipe_convergence.dir/dataset.cpp.o.d"
+  "CMakeFiles/autopipe_convergence.dir/staleness_sgd.cpp.o"
+  "CMakeFiles/autopipe_convergence.dir/staleness_sgd.cpp.o.d"
+  "libautopipe_convergence.a"
+  "libautopipe_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopipe_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

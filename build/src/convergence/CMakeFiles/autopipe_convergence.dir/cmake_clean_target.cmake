@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautopipe_convergence.a"
+)

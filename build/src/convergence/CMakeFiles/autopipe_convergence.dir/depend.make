@@ -1,0 +1,2 @@
+# Empty dependencies file for autopipe_convergence.
+# This may be replaced when dependencies are built.

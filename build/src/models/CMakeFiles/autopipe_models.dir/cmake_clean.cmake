@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopipe_models.dir/model.cpp.o"
+  "CMakeFiles/autopipe_models.dir/model.cpp.o.d"
+  "CMakeFiles/autopipe_models.dir/zoo.cpp.o"
+  "CMakeFiles/autopipe_models.dir/zoo.cpp.o.d"
+  "libautopipe_models.a"
+  "libautopipe_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopipe_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopipe_nn.dir/loss.cpp.o"
+  "CMakeFiles/autopipe_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/autopipe_nn.dir/lstm.cpp.o"
+  "CMakeFiles/autopipe_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/autopipe_nn.dir/matrix.cpp.o"
+  "CMakeFiles/autopipe_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/autopipe_nn.dir/mlp.cpp.o"
+  "CMakeFiles/autopipe_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/autopipe_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/autopipe_nn.dir/optimizer.cpp.o.d"
+  "libautopipe_nn.a"
+  "libautopipe_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopipe_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

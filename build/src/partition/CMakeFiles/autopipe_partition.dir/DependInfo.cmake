@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/analytic_eval.cpp" "src/partition/CMakeFiles/autopipe_partition.dir/analytic_eval.cpp.o" "gcc" "src/partition/CMakeFiles/autopipe_partition.dir/analytic_eval.cpp.o.d"
+  "/root/repo/src/partition/environment.cpp" "src/partition/CMakeFiles/autopipe_partition.dir/environment.cpp.o" "gcc" "src/partition/CMakeFiles/autopipe_partition.dir/environment.cpp.o.d"
+  "/root/repo/src/partition/exhaustive.cpp" "src/partition/CMakeFiles/autopipe_partition.dir/exhaustive.cpp.o" "gcc" "src/partition/CMakeFiles/autopipe_partition.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/partition/neighborhood.cpp" "src/partition/CMakeFiles/autopipe_partition.dir/neighborhood.cpp.o" "gcc" "src/partition/CMakeFiles/autopipe_partition.dir/neighborhood.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "src/partition/CMakeFiles/autopipe_partition.dir/partition.cpp.o" "gcc" "src/partition/CMakeFiles/autopipe_partition.dir/partition.cpp.o.d"
+  "/root/repo/src/partition/pipedream_planner.cpp" "src/partition/CMakeFiles/autopipe_partition.dir/pipedream_planner.cpp.o" "gcc" "src/partition/CMakeFiles/autopipe_partition.dir/pipedream_planner.cpp.o.d"
+  "/root/repo/src/partition/rebalance.cpp" "src/partition/CMakeFiles/autopipe_partition.dir/rebalance.cpp.o" "gcc" "src/partition/CMakeFiles/autopipe_partition.dir/rebalance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/autopipe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autopipe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/autopipe_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/autopipe_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

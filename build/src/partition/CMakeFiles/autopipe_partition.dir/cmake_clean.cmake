@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopipe_partition.dir/analytic_eval.cpp.o"
+  "CMakeFiles/autopipe_partition.dir/analytic_eval.cpp.o.d"
+  "CMakeFiles/autopipe_partition.dir/environment.cpp.o"
+  "CMakeFiles/autopipe_partition.dir/environment.cpp.o.d"
+  "CMakeFiles/autopipe_partition.dir/exhaustive.cpp.o"
+  "CMakeFiles/autopipe_partition.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/autopipe_partition.dir/neighborhood.cpp.o"
+  "CMakeFiles/autopipe_partition.dir/neighborhood.cpp.o.d"
+  "CMakeFiles/autopipe_partition.dir/partition.cpp.o"
+  "CMakeFiles/autopipe_partition.dir/partition.cpp.o.d"
+  "CMakeFiles/autopipe_partition.dir/pipedream_planner.cpp.o"
+  "CMakeFiles/autopipe_partition.dir/pipedream_planner.cpp.o.d"
+  "CMakeFiles/autopipe_partition.dir/rebalance.cpp.o"
+  "CMakeFiles/autopipe_partition.dir/rebalance.cpp.o.d"
+  "libautopipe_partition.a"
+  "libautopipe_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopipe_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

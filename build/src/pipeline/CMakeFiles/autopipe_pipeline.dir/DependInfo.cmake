@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/executor.cpp" "src/pipeline/CMakeFiles/autopipe_pipeline.dir/executor.cpp.o" "gcc" "src/pipeline/CMakeFiles/autopipe_pipeline.dir/executor.cpp.o.d"
+  "/root/repo/src/pipeline/memory.cpp" "src/pipeline/CMakeFiles/autopipe_pipeline.dir/memory.cpp.o" "gcc" "src/pipeline/CMakeFiles/autopipe_pipeline.dir/memory.cpp.o.d"
+  "/root/repo/src/pipeline/schedule.cpp" "src/pipeline/CMakeFiles/autopipe_pipeline.dir/schedule.cpp.o" "gcc" "src/pipeline/CMakeFiles/autopipe_pipeline.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/autopipe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autopipe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/autopipe_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/autopipe_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/autopipe_partition.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

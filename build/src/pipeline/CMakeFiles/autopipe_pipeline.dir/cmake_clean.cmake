@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopipe_pipeline.dir/executor.cpp.o"
+  "CMakeFiles/autopipe_pipeline.dir/executor.cpp.o.d"
+  "CMakeFiles/autopipe_pipeline.dir/memory.cpp.o"
+  "CMakeFiles/autopipe_pipeline.dir/memory.cpp.o.d"
+  "CMakeFiles/autopipe_pipeline.dir/schedule.cpp.o"
+  "CMakeFiles/autopipe_pipeline.dir/schedule.cpp.o.d"
+  "libautopipe_pipeline.a"
+  "libautopipe_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopipe_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

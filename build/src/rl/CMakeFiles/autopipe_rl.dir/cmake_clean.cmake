@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopipe_rl.dir/dqn.cpp.o"
+  "CMakeFiles/autopipe_rl.dir/dqn.cpp.o.d"
+  "CMakeFiles/autopipe_rl.dir/replay_buffer.cpp.o"
+  "CMakeFiles/autopipe_rl.dir/replay_buffer.cpp.o.d"
+  "libautopipe_rl.a"
+  "libautopipe_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopipe_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/background.cpp" "src/sim/CMakeFiles/autopipe_sim.dir/background.cpp.o" "gcc" "src/sim/CMakeFiles/autopipe_sim.dir/background.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/autopipe_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/autopipe_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/flow_network.cpp" "src/sim/CMakeFiles/autopipe_sim.dir/flow_network.cpp.o" "gcc" "src/sim/CMakeFiles/autopipe_sim.dir/flow_network.cpp.o.d"
+  "/root/repo/src/sim/gpu.cpp" "src/sim/CMakeFiles/autopipe_sim.dir/gpu.cpp.o" "gcc" "src/sim/CMakeFiles/autopipe_sim.dir/gpu.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/autopipe_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/autopipe_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/autopipe_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/autopipe_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/autopipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

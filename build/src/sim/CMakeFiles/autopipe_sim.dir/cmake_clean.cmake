@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopipe_sim.dir/background.cpp.o"
+  "CMakeFiles/autopipe_sim.dir/background.cpp.o.d"
+  "CMakeFiles/autopipe_sim.dir/cluster.cpp.o"
+  "CMakeFiles/autopipe_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/autopipe_sim.dir/flow_network.cpp.o"
+  "CMakeFiles/autopipe_sim.dir/flow_network.cpp.o.d"
+  "CMakeFiles/autopipe_sim.dir/gpu.cpp.o"
+  "CMakeFiles/autopipe_sim.dir/gpu.cpp.o.d"
+  "CMakeFiles/autopipe_sim.dir/simulator.cpp.o"
+  "CMakeFiles/autopipe_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/autopipe_sim.dir/trace.cpp.o"
+  "CMakeFiles/autopipe_sim.dir/trace.cpp.o.d"
+  "libautopipe_sim.a"
+  "libautopipe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopipe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopipe_test.dir/autopipe_test.cpp.o"
+  "CMakeFiles/autopipe_test.dir/autopipe_test.cpp.o.d"
+  "autopipe_test"
+  "autopipe_test.pdb"
+  "autopipe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopipe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopipe_plan.dir/autopipe_plan.cpp.o"
+  "CMakeFiles/autopipe_plan.dir/autopipe_plan.cpp.o.d"
+  "autopipe_plan"
+  "autopipe_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopipe_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopipe_sim_cli.dir/autopipe_sim.cpp.o"
+  "CMakeFiles/autopipe_sim_cli.dir/autopipe_sim.cpp.o.d"
+  "autopipe_sim"
+  "autopipe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopipe_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -46,7 +46,8 @@ double run_policy(core::ControllerConfig::ArbiterMode mode,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   // Train the RL arbiter offline on randomized episodes (analytic
   // predictor; small budget keeps the bench fast).
   const core::FeatureEncoder encoder;

@@ -30,7 +30,8 @@ double run_on(const models::ModelSpec& model,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   const auto model = models::vgg16();
   bench::Testbed planning = bench::make_testbed(25);
   const auto plan = bench::plan_pipedream(

@@ -11,7 +11,8 @@
 using namespace autopipe;
 using bench::RunOptions;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   for (const auto& model : models::image_models()) {
     bench::Testbed planning = bench::make_testbed(25);
     const auto plan = bench::plan_pipedream(

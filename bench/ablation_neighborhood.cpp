@@ -94,7 +94,8 @@ Outcome run_full_replan() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   const Outcome nb = run_neighborhood();
   const Outcome full = run_full_replan();
   TextTable table({"strategy", "throughput (img/s)", "switches",

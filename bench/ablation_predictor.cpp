@@ -11,7 +11,8 @@
 
 using namespace autopipe;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   const auto model = models::alexnet();
   // AlexNet throughput on the testbed is O(2000-5000) img/s; scale targets
   // to O(1) so the regression is well-conditioned.

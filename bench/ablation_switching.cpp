@@ -44,7 +44,8 @@ Outcome run_with(pipeline::PipelineExecutor::SwitchMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   const Outcome fine =
       run_with(pipeline::PipelineExecutor::SwitchMode::kFineGrained);
   const Outcome stop =

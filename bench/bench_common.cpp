@@ -1,10 +1,39 @@
 #include "bench_common.hpp"
 
+#include <fstream>
+#include <iostream>
+
 #include "common/expect.hpp"
 #include "partition/analytic_eval.hpp"
 #include "partition/neighborhood.hpp"
 
 namespace autopipe::bench {
+
+namespace {
+std::string g_trace_path;
+
+bool wants_text_format(const std::string& path) {
+  auto ends_with = [&path](const char* suffix) {
+    const std::string s(suffix);
+    return path.size() >= s.size() &&
+           path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with(".txt") || ends_with(".trace");
+}
+}  // namespace
+
+void parse_common_flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--trace=", 0) == 0) {
+      g_trace_path = a.substr(8);
+    } else if (a == "--trace" && i + 1 < argc) {
+      g_trace_path = argv[++i];
+    }
+  }
+}
+
+const std::string& trace_path() { return g_trace_path; }
 
 std::vector<sim::WorkerId> Testbed::all_workers() const {
   std::vector<sim::WorkerId> out(cluster->num_workers());
@@ -15,6 +44,7 @@ std::vector<sim::WorkerId> Testbed::all_workers() const {
 Testbed make_testbed(double bandwidth_gbps) {
   Testbed t;
   t.simulator = std::make_unique<sim::Simulator>();
+  if (!g_trace_path.empty()) t.simulator->tracer().set_enabled(true);
   sim::ClusterConfig config;
   config.nic_bandwidth = gbps(bandwidth_gbps);
   t.cluster = std::make_unique<sim::Cluster>(*t.simulator, config);
@@ -131,6 +161,25 @@ RunResult run_pipeline(Testbed& testbed, const models::ModelSpec& model,
   });
 
   const auto report = executor.run(options.iterations, options.warmup);
+
+  if (!g_trace_path.empty()) {
+    // Figures run many scenarios on separate testbeds; the file holds the
+    // most recent run (overwrite, last one wins).
+    std::ofstream out(g_trace_path);
+    if (out.good()) {
+      if (wants_text_format(g_trace_path)) {
+        testbed.simulator->tracer().write_text(out);
+      } else {
+        testbed.simulator->tracer().write_chrome_json(out);
+      }
+    }
+    TextTable metrics_table({"metric", "value"});
+    for (const auto& [name, value] : testbed.simulator->metrics().all())
+      metrics_table.add_row({name, TextTable::num(value, 3)});
+    if (!testbed.simulator->metrics().all().empty())
+      metrics_table.print(std::cout, "run metrics");
+  }
+
   RunResult result;
   result.throughput = report.throughput;
   result.per_iteration = report.iteration_throughput;

@@ -34,8 +34,17 @@ struct Testbed {
   std::vector<sim::WorkerId> all_workers() const;
 };
 
-/// 5 servers x 2 P100 behind one switch at the given line rate.
+/// 5 servers x 2 P100 behind one switch at the given line rate. Tracing is
+/// enabled on the testbed's simulator when `--trace` was parsed.
 Testbed make_testbed(double bandwidth_gbps);
+
+/// Parse the flags every fig benchmark shares (currently `--trace=PATH`).
+/// Call at the top of main(); unknown flags are ignored so each benchmark
+/// may layer its own parsing on top.
+void parse_common_flags(int argc, const char* const* argv);
+
+/// The `--trace` path captured by parse_common_flags; empty when unset.
+const std::string& trace_path();
 
 /// Emulate `extra_jobs` co-located identical jobs (the paper runs three
 /// identical jobs in every static experiment): each extra job adds one

@@ -60,7 +60,8 @@ double measure_iters_per_sec(const models::ModelSpec& model,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   const Paradigm paradigms[] = {
       {"AutoPipe", pipeline::ScheduleMode::kAsync1F1B, true,
        convergence::StalenessMode::kWeightStashing},

@@ -26,7 +26,8 @@ double wall_seconds(const std::function<void()>& fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   const core::FeatureEncoder encoder;
   core::MetaNetworkConfig mc;
   mc.dynamic_dim = encoder.dynamic_dim();

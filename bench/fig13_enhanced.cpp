@@ -40,7 +40,8 @@ double measure(pipeline::ScheduleMode mode, bool enhanced) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   const std::pair<const char*, pipeline::ScheduleMode> systems[] = {
       {"DAPPLE", pipeline::ScheduleMode::kDapple},
       {"Chimera", pipeline::ScheduleMode::kChimera},

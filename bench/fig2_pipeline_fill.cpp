@@ -63,7 +63,8 @@ void fill_table(double bandwidth_gbps, const std::string& title) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   fill_table(100,
              "Fig 2 (ideal) — 4 workers, FP = BP/2, negligible communication "
              "(100 Gbps)");

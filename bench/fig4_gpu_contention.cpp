@@ -45,7 +45,8 @@ Pair measure(const models::ModelSpec& model, double bandwidth_gbps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   {
     TextTable table({"model", "actual (img/s)", "optimal (img/s)",
                      "degradation"});

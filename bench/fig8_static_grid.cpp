@@ -65,7 +65,8 @@ Cell measure(const models::ModelSpec& model,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   struct Combo {
     const char* label;
     comm::FrameworkProfile framework;

@@ -37,7 +37,8 @@ bench::RunResult run_series(bool autopipe_on) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   const auto pipedream = run_series(false);
   const auto autopipe = run_series(true);
 

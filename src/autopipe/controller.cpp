@@ -86,6 +86,13 @@ void AutoPipeController::on_iteration(std::size_t completed_iterations) {
   const ResourceChange change = monitor_.update(monitor_view);
   if (change.changed) {
     ++stats_.changes_detected;
+    cluster_.simulator().metrics().add("controller.changes");
+    if (cluster_.simulator().tracer().enabled()) {
+      cluster_.simulator().tracer().instant(
+          trace::Category::kControl, "change_detected",
+          cluster_.simulator().now(), trace::kPidControl, 1,
+          {trace::arg("what", change.description)});
+    }
     // A shifted environment invalidates earlier measured rejections and
     // resets the exploration backoff.
     rejected_.clear();
@@ -120,6 +127,14 @@ void AutoPipeController::on_iteration(std::size_t completed_iterations) {
           if (!executor_.request_switch(validation_->previous,
                                         config_.switch_mode)) {
             return;  // switch engine busy: retry the revert next iteration
+          }
+          cluster_.simulator().metrics().add("controller.reverts");
+          if (cluster_.simulator().tracer().enabled()) {
+            cluster_.simulator().tracer().instant(
+                trace::Category::kControl, "revert",
+                cluster_.simulator().now(), trace::kPidControl, 1,
+                {trace::arg("period_before", validation_->period_before),
+                 trace::arg("period_after", after_period)});
           }
           consecutive_reverts_ = std::min<std::size_t>(
               consecutive_reverts_ + 1, 6);
@@ -295,6 +310,14 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
                                      << ")");
       partition::Partition previous = current;
       if (executor_.request_switch(plan, config_.switch_mode)) {
+        cluster_.simulator().metrics().add("controller.replans");
+        if (cluster_.simulator().tracer().enabled()) {
+          cluster_.simulator().tracer().instant(
+              trace::Category::kControl, "replan_adopt",
+              cluster_.simulator().now(), trace::kPidControl, 1,
+              {trace::arg("predicted_current", current_speed),
+               trace::arg("predicted_plan", plan_speed)});
+        }
         ++stats_.switches_requested;
         last_switch_iteration_ = executor_.completed_iterations();
         if (config_.validate_switches && !recent_period_.empty()) {
@@ -316,6 +339,11 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
         rejected_.count(candidate.partition.to_string()))
       continue;  // measured worse than predicted earlier in this regime
     const double speed = predict_speed(snapshot, candidate.partition);
+    if (cluster_.simulator().tracer().enabled()) {
+      cluster_.simulator().tracer().instant(
+          trace::Category::kControl, "predict", cluster_.simulator().now(),
+          trace::kPidControl, 1, {trace::arg("speed", speed)});
+    }
     if (best == nullptr || speed > best_speed) {
       best_speed = speed;
       best = &candidate;
@@ -383,6 +411,19 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
       action = (gain_ok && payback_ok) ? 1 : 0;
       break;
     }
+  }
+
+  cluster_.simulator().metrics().add(action == 1 ? "arbiter.accept"
+                                                 : "arbiter.reject");
+  if (cluster_.simulator().tracer().enabled()) {
+    cluster_.simulator().tracer().instant(
+        trace::Category::kControl,
+        action == 1 ? "arbiter_accept" : "arbiter_reject",
+        cluster_.simulator().now(), trace::kPidControl, 1,
+        {trace::arg("current_speed", current_speed),
+         trace::arg("best_speed", best_speed),
+         trace::arg("cost_seconds", cost_seconds),
+         trace::arg("candidates", candidates.size())});
   }
 
   if (agent_) {

@@ -1,0 +1,22 @@
+#include "common/metrics.hpp"
+
+namespace autopipe::trace {
+
+void MetricsRegistry::add(const std::string& name, double delta) {
+  values_[name] += delta;
+}
+
+void MetricsRegistry::set(const std::string& name, double value) {
+  values_[name] = value;
+}
+
+double MetricsRegistry::value(const std::string& name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+bool MetricsRegistry::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+}  // namespace autopipe::trace

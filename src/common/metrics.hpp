@@ -1,0 +1,41 @@
+// Named counters and gauges accumulated during a run — bubble time, bytes
+// moved during migrations, stalled batches, arbiter accept/reject counts —
+// the scalar companions of the event trace. Unlike the TraceRecorder, the
+// registry is always on: it is only touched on slow paths (iteration
+// boundaries, switches, decisions), and benchmarks print it alongside their
+// tables, tracing or not.
+//
+// Naming convention: "<subsystem>.<metric>", e.g. "switch.migration_bytes".
+// Counters accumulate with add(); gauges overwrite with set() (the last run
+// wins). Keys are kept sorted so any printed form is deterministic.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace autopipe::trace {
+
+class MetricsRegistry {
+ public:
+  /// Accumulate a counter (creates it at 0 first).
+  void add(const std::string& name, double delta = 1.0);
+
+  /// Overwrite a gauge.
+  void set(const std::string& name, double value);
+
+  /// Current value; 0 for a metric never touched.
+  double value(const std::string& name) const;
+
+  bool has(const std::string& name) const;
+
+  /// All metrics, sorted by name.
+  const std::map<std::string, double>& all() const { return values_; }
+
+  bool empty() const { return values_.empty(); }
+  void clear() { values_.clear(); }
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+}  // namespace autopipe::trace

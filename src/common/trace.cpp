@@ -1,0 +1,217 @@
+#include "common/trace.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <set>
+#include <utility>
+
+namespace autopipe::trace {
+
+const char* category_name(Category category) {
+  switch (category) {
+    case Category::kCompute: return "compute";
+    case Category::kComm: return "comm";
+    case Category::kSwitch: return "switch";
+    case Category::kControl: return "control";
+    case Category::kResource: return "resource";
+    case Category::kMark: return "mark";
+  }
+  return "unknown";
+}
+
+std::string format_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+const std::string* Event::find_arg(const std::string& key) const {
+  for (const Arg& a : args) {
+    if (a.key == key) return &a.value;
+  }
+  return nullptr;
+}
+
+#if AUTOPIPE_TRACING
+
+void TraceRecorder::complete(Category category, std::string name,
+                             double ts_begin, double ts_end, int pid, int tid,
+                             Args args) {
+  if (!enabled_) return;
+  Event ev;
+  ev.category = category;
+  ev.phase = 'X';
+  ev.name = std::move(name);
+  ev.ts = ts_begin;
+  ev.dur = ts_end - ts_begin;
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::instant(Category category, std::string name, double ts,
+                            int pid, int tid, Args args) {
+  if (!enabled_) return;
+  Event ev;
+  ev.category = category;
+  ev.phase = 'i';
+  ev.name = std::move(name);
+  ev.ts = ts;
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::counter(Category category, std::string name, double ts,
+                            double value, int pid) {
+  if (!enabled_) return;
+  Event ev;
+  ev.category = category;
+  ev.phase = 'C';
+  ev.name = std::move(name);
+  ev.ts = ts;
+  ev.value = value;
+  ev.pid = pid;
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::async_begin(Category category, std::string name,
+                                std::uint64_t id, double ts, Args args) {
+  if (!enabled_) return;
+  Event ev;
+  ev.category = category;
+  ev.phase = 'b';
+  ev.name = std::move(name);
+  ev.ts = ts;
+  ev.id = id;
+  ev.pid = kPidNetwork;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::async_end(Category category, std::string name,
+                              std::uint64_t id, double ts, Args args) {
+  if (!enabled_) return;
+  Event ev;
+  ev.category = category;
+  ev.phase = 'e';
+  ev.name = std::move(name);
+  ev.ts = ts;
+  ev.id = id;
+  ev.pid = kPidNetwork;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Chrome timestamps are microseconds; keep sub-microsecond digits.
+std::string micros_str(double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", seconds * 1e6);
+  return buf;
+}
+
+std::string seconds_str(double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9f", seconds);
+  return buf;
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // Name the synthetic process rows so the viewer is self-explanatory.
+  const std::pair<int, const char*> named[] = {
+      {kPidNetwork, "network"},
+      {kPidControl, "control"},
+      {kPidResource, "resources"},
+  };
+  std::set<int> worker_pids;
+  for (const Event& ev : events_) {
+    if (ev.pid < kPidNetwork) worker_pids.insert(ev.pid);
+  }
+  auto metadata = [&](int pid, const std::string& name) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  };
+  for (const auto& [pid, name] : named) metadata(pid, name);
+  for (int pid : worker_pids) metadata(pid, "worker " + std::to_string(pid));
+
+  for (const Event& ev : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
+       << category_name(ev.category) << "\",\"ph\":\"" << ev.phase
+       << "\",\"ts\":" << micros_str(ev.ts);
+    if (ev.phase == 'X') os << ",\"dur\":" << micros_str(ev.dur);
+    if (ev.phase == 'b' || ev.phase == 'e') os << ",\"id\":" << ev.id;
+    os << ",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid;
+    if (ev.phase == 'C') {
+      os << ",\"args\":{\"value\":" << format_double(ev.value) << "}";
+    } else if (!ev.args.empty()) {
+      os << ",\"args\":{";
+      for (std::size_t i = 0; i < ev.args.size(); ++i) {
+        if (i) os << ",";
+        os << "\"" << json_escape(ev.args[i].key) << "\":\""
+           << json_escape(ev.args[i].value) << "\"";
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+void TraceRecorder::write_text(std::ostream& os) const {
+  for (const Event& ev : events_) {
+    os << seconds_str(ev.ts) << ' ' << category_name(ev.category) << ' '
+       << ev.phase << ' ' << ev.name << " pid=" << ev.pid
+       << " tid=" << ev.tid;
+    if (ev.phase == 'X') os << " dur=" << seconds_str(ev.dur);
+    if (ev.phase == 'b' || ev.phase == 'e') os << " id=" << ev.id;
+    if (ev.phase == 'C') os << " value=" << format_double(ev.value);
+    for (const Arg& a : ev.args) os << ' ' << a.key << '=' << a.value;
+    os << '\n';
+  }
+}
+
+#else  // !AUTOPIPE_TRACING
+
+const std::vector<Event> TraceRecorder::empty_;
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n";
+}
+
+#endif
+
+}  // namespace autopipe::trace

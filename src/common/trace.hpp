@@ -1,0 +1,140 @@
+// Event tracing for the simulator and everything that runs on it.
+//
+// A TraceRecorder collects timestamped events — spans ('X' complete events),
+// instants ('i'), counters ('C') and async begin/end pairs ('b'/'e') — each
+// stamped with a category and a pid/tid pair identifying the emitting
+// worker/stage (or one of the synthetic rows below). Timestamps are
+// *simulated* seconds, passed explicitly by the caller, so the recorder has
+// no dependency on the Simulator; the Simulator owns the recorder instance
+// and every subsystem reaches it through `simulator().tracer()`.
+//
+// Two sinks:
+//  * write_chrome_json — Chrome trace_event JSON, loadable in
+//    chrome://tracing or https://ui.perfetto.dev (timestamps converted to
+//    microseconds, as the format requires).
+//  * write_text — one line per event with fixed formatting, byte-identical
+//    across runs of the same scenario; the golden-trace tests diff it.
+//
+// Overhead discipline: recording methods no-op unless set_enabled(true) was
+// called, and callers guard argument construction behind `enabled()`. With
+// the CMake option AUTOPIPE_TRACING=OFF the recorder compiles down to inline
+// empty stubs and `enabled()` becomes a constant false, so every guarded
+// call site is dead code.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#ifndef AUTOPIPE_TRACING
+#define AUTOPIPE_TRACING 1
+#endif
+
+namespace autopipe::trace {
+
+enum class Category { kCompute, kComm, kSwitch, kControl, kResource, kMark };
+
+/// Short lowercase name used in both sinks ("compute", "comm", ...).
+const char* category_name(Category category);
+
+// Synthetic pids for rows that do not belong to a single worker. Worker pids
+// are the worker ids themselves (always < 1000 in any plausible cluster).
+inline constexpr int kPidNetwork = 1000;   ///< flow network rows
+inline constexpr int kPidControl = 1001;   ///< controller / switch engine
+inline constexpr int kPidResource = 1002;  ///< cluster resource events
+
+/// Deterministic shortest-round-trip-ish formatting ("%.9g") used for every
+/// double that lands in a trace line.
+std::string format_double(double value);
+
+struct Arg {
+  std::string key;
+  std::string value;
+};
+using Args = std::vector<Arg>;
+
+/// Build an Arg from a string, integer or floating-point value with the
+/// deterministic formatting the text sink relies on.
+template <typename T>
+Arg arg(std::string key, T value) {
+  if constexpr (std::is_floating_point_v<std::decay_t<T>>) {
+    return Arg{std::move(key), format_double(value)};
+  } else if constexpr (std::is_integral_v<std::decay_t<T>>) {
+    return Arg{std::move(key), std::to_string(value)};
+  } else {
+    return Arg{std::move(key), std::string(std::move(value))};
+  }
+}
+
+struct Event {
+  Category category = Category::kMark;
+  char phase = 'i';  // 'X' complete, 'i' instant, 'C' counter, 'b'/'e' async
+  std::string name;
+  double ts = 0.0;     ///< simulated seconds (event start for 'X')
+  double dur = 0.0;    ///< 'X' only: span length in seconds
+  double value = 0.0;  ///< 'C' only
+  std::uint64_t id = 0;  ///< 'b'/'e' only: pairing id
+  int pid = 0;
+  int tid = 0;
+  Args args;
+
+  /// Value of the named arg, or nullptr when absent.
+  const std::string* find_arg(const std::string& key) const;
+};
+
+class TraceRecorder {
+ public:
+#if AUTOPIPE_TRACING
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// A finished span: [ts_begin, ts_end] on row (pid, tid).
+  void complete(Category category, std::string name, double ts_begin,
+                double ts_end, int pid, int tid, Args args = {});
+  /// A point event.
+  void instant(Category category, std::string name, double ts, int pid,
+               int tid, Args args = {});
+  /// A sampled counter value.
+  void counter(Category category, std::string name, double ts, double value,
+               int pid = kPidNetwork);
+  /// Async span delimiters paired by (name, id) — used for flows, whose
+  /// lifetimes overlap arbitrarily.
+  void async_begin(Category category, std::string name, std::uint64_t id,
+                   double ts, Args args = {});
+  void async_end(Category category, std::string name, std::uint64_t id,
+                 double ts, Args args = {});
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  void write_chrome_json(std::ostream& os) const;
+  void write_text(std::ostream& os) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<Event> events_;
+#else
+  // Tracing compiled out: every call site guarded by enabled() is dead code.
+  void set_enabled(bool) {}
+  static constexpr bool enabled() { return false; }
+  void complete(Category, std::string, double, double, int, int, Args = {}) {}
+  void instant(Category, std::string, double, int, int, Args = {}) {}
+  void counter(Category, std::string, double, double, int = kPidNetwork) {}
+  void async_begin(Category, std::string, std::uint64_t, double, Args = {}) {}
+  void async_end(Category, std::string, std::uint64_t, double, Args = {}) {}
+  const std::vector<Event>& events() const { return empty_; }
+  std::size_t size() const { return 0; }
+  void clear() {}
+  void write_chrome_json(std::ostream& os) const;
+  void write_text(std::ostream&) const {}
+
+ private:
+  static const std::vector<Event> empty_;
+#endif
+};
+
+}  // namespace autopipe::trace

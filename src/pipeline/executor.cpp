@@ -112,6 +112,11 @@ ExecutionReport PipelineExecutor::run(std::size_t iterations,
       workers.empty() ? 0.0
                       : busy_sum / (static_cast<double>(workers.size()) *
                                     report.elapsed);
+  // Aggregate idle time across the partition's workers — the pipeline
+  // bubble. A gauge, so consecutive run() calls report the latest run.
+  metrics().set("pipeline.bubble_seconds",
+                static_cast<double>(workers.size()) * report.elapsed -
+                    busy_sum);
   return report;
 }
 
@@ -144,7 +149,13 @@ void PipelineExecutor::inject_async_batch() {
   const std::uint64_t rr = next_round_robin_++;
   for (const auto& stage : current_partition_->stages())
     route.workers.push_back(stage.workers[rr % stage.replication()]);
+  const sim::WorkerId entry = route.workers.front();
   const std::uint64_t id = make_batch(std::move(route));
+  if (tracer().enabled()) {
+    tracer().instant(trace::Category::kCompute, "inject",
+                     cluster_.simulator().now(), static_cast<int>(entry), 0,
+                     {trace::arg("batch", id)});
+  }
   start_fp(id, 0);
 }
 
@@ -172,7 +183,13 @@ void PipelineExecutor::start_sync_iteration() {
           route.reversed ? S - 1 - s : s);
       route.workers.push_back(stage.workers[rr % stage.replication()]);
     }
+    const sim::WorkerId entry = route.workers.front();
     const std::uint64_t id = make_batch(std::move(route));
+    if (tracer().enabled()) {
+      tracer().instant(trace::Category::kCompute, "inject",
+                       cluster_.simulator().now(), static_cast<int>(entry), 0,
+                       {trace::arg("batch", id), trace::arg("micro", m)});
+    }
     start_fp(id, 0);
   }
 }
@@ -231,6 +248,15 @@ void PipelineExecutor::after_fp(std::uint64_t batch, std::size_t stage) {
         (cluster_.simulator().now() - state.task_started) * scale;
   }
 
+  if (tracer().enabled()) {
+    tracer().complete(trace::Category::kCompute, "fp", state.task_started,
+                      cluster_.simulator().now(),
+                      static_cast<int>(route.workers[stage]),
+                      static_cast<int>(stage),
+                      {trace::arg("batch", batch),
+                       trace::arg("micro", route.micro_size)});
+  }
+
   if (stage + 1 == S) {
     // Last pipeline position reached.
     if (config_.mode == ScheduleMode::kGPipe) {
@@ -258,7 +284,8 @@ void PipelineExecutor::after_fp(std::uint64_t batch, std::size_t stage) {
   Bytes bytes = model_.activation_bytes(p.stage(stage).last_layer,
                                         route.micro_size) /
                 config_.framework.comm_efficiency;
-  observed_transfer(route.workers[stage], route.workers[stage + 1], bytes,
+  observed_transfer("act", route.workers[stage], route.workers[stage + 1],
+                    bytes,
                     [this, batch, stage] { start_fp(batch, stage + 1); });
 }
 
@@ -292,6 +319,15 @@ void PipelineExecutor::after_bp(std::uint64_t batch, std::size_t stage) {
         (cluster_.simulator().now() - state.task_started) * scale;
   }
 
+  if (tracer().enabled()) {
+    tracer().complete(trace::Category::kCompute, "bp", state.task_started,
+                      cluster_.simulator().now(),
+                      static_cast<int>(route.workers[stage]),
+                      static_cast<int>(stage),
+                      {trace::arg("batch", batch),
+                       trace::arg("micro", route.micro_size)});
+  }
+
   if (!is_synchronous(config_.mode)) maybe_async_sync(route, stage);
 
   if (stage == 0) {
@@ -302,7 +338,8 @@ void PipelineExecutor::after_bp(std::uint64_t batch, std::size_t stage) {
   const Bytes bytes = model_.activation_bytes(p.stage(stage - 1).last_layer,
                                               route.micro_size) /
                       config_.framework.comm_efficiency;
-  observed_transfer(route.workers[stage], route.workers[stage - 1], bytes,
+  observed_transfer("grad", route.workers[stage], route.workers[stage - 1],
+                    bytes,
                     [this, batch, stage] { start_bp(batch, stage - 1); });
 }
 
@@ -342,12 +379,23 @@ void PipelineExecutor::maybe_async_sync(const Route& route,
   const Bytes params =
       model_.range_param_bytes(stage.first_layer, stage.last_layer);
   auto partition_snapshot = current_partition_;
-  comm::Collective::run(config_.sync_scheme, cluster_, stage.workers, params,
-                        config_.framework.comm_efficiency,
-                        [this, logical_stage, partition_snapshot] {
-                          if (partition_snapshot == current_partition_)
-                            sync_outstanding_[logical_stage] = false;
-                        });
+  const Seconds sync_started = cluster_.simulator().now();
+  const sim::WorkerId sync_root = stage.workers.front();
+  comm::Collective::run(
+      config_.sync_scheme, cluster_, stage.workers, params,
+      config_.framework.comm_efficiency,
+      [this, logical_stage, partition_snapshot, sync_started, sync_root,
+       params] {
+        if (tracer().enabled()) {
+          tracer().complete(trace::Category::kComm, "sync", sync_started,
+                            cluster_.simulator().now(),
+                            static_cast<int>(sync_root),
+                            static_cast<int>(logical_stage),
+                            {trace::arg("bytes", params)});
+        }
+        if (partition_snapshot == current_partition_)
+          sync_outstanding_[logical_stage] = false;
+      });
 }
 
 void PipelineExecutor::run_flush_syncs(std::size_t sync_iter) {
@@ -382,9 +430,21 @@ void PipelineExecutor::run_flush_syncs(std::size_t sync_iter) {
     ++sync.syncs_pending;
     const Bytes params =
         model_.range_param_bytes(stage.first_layer, stage.last_layer);
-    comm::Collective::run(config_.sync_scheme, cluster_, std::move(members),
-                          params, config_.framework.comm_efficiency,
-                          finish_one);
+    const Seconds sync_started = cluster_.simulator().now();
+    const sim::WorkerId sync_root = members.front();
+    comm::Collective::run(
+        config_.sync_scheme, cluster_, std::move(members), params,
+        config_.framework.comm_efficiency,
+        [this, finish_one, sync_started, sync_root, s, params] {
+          if (tracer().enabled()) {
+            tracer().complete(trace::Category::kComm, "sync_flush",
+                              sync_started, cluster_.simulator().now(),
+                              static_cast<int>(sync_root),
+                              static_cast<int>(s),
+                              {trace::arg("bytes", params)});
+          }
+          finish_one();
+        });
   }
   if (launched == 0) {
     sync_state_.erase(sync_iter);
@@ -402,6 +462,14 @@ void PipelineExecutor::on_iteration_complete() {
   last_iteration_time_ = now - last_iteration_end_;
   last_iteration_end_ = now;
   iteration_end_times_.push_back(now);
+
+  if (switch_state_ && switch_state_->draining)
+    metrics().add("executor.stalled_batches");
+  if (tracer().enabled()) {
+    tracer().instant(trace::Category::kMark, "iteration", now,
+                     trace::kPidControl, 0,
+                     {trace::arg("n", completed_iterations_)});
+  }
 
   if (iteration_callback_) iteration_callback_(completed_iterations_);
 
@@ -423,20 +491,28 @@ void PipelineExecutor::on_iteration_complete() {
 // Transfers with bandwidth observation
 // ---------------------------------------------------------------------------
 
-void PipelineExecutor::observed_transfer(sim::WorkerId src, sim::WorkerId dst,
-                                         Bytes bytes,
+void PipelineExecutor::observed_transfer(const char* label, sim::WorkerId src,
+                                         sim::WorkerId dst, Bytes bytes,
                                          std::function<void()> done) {
   const Seconds started = cluster_.simulator().now();
-  cluster_.transfer(src, dst, bytes,
-                    [this, src, dst, bytes, started,
-                     done = std::move(done)]() mutable {
-                      const Seconds d = cluster_.simulator().now() - started;
-                      if (d > 0.0 && bytes > 0.0) {
-                        bandwidth_ema_[src].add(bytes / d);
-                        bandwidth_ema_[dst].add(bytes / d);
-                      }
-                      if (done) done();
-                    });
+  cluster_.transfer(
+      src, dst, bytes,
+      [this, label, src, dst, bytes, started,
+       done = std::move(done)]() mutable {
+        const Seconds d = cluster_.simulator().now() - started;
+        if (d > 0.0 && bytes > 0.0) {
+          bandwidth_ema_[src].add(bytes / d);
+          bandwidth_ema_[dst].add(bytes / d);
+        }
+        if (tracer().enabled() && src != dst) {
+          tracer().complete(trace::Category::kComm, label, started,
+                            cluster_.simulator().now(), trace::kPidNetwork,
+                            static_cast<int>(dst),
+                            {trace::arg("src", src), trace::arg("dst", dst),
+                             trace::arg("bytes", bytes)});
+        }
+        if (done) done();
+      });
 }
 
 BytesPerSec PipelineExecutor::observed_bandwidth(sim::WorkerId worker) const {
@@ -460,6 +536,14 @@ bool PipelineExecutor::request_switch(partition::Partition next,
 
   switch_state_.reset(new SwitchState{std::move(next), mode, 0, false,
                                       cluster_.simulator().now()});
+
+  if (tracer().enabled()) {
+    tracer().instant(trace::Category::kSwitch,
+                     mode == SwitchMode::kStopTheWorld
+                         ? "switch_request_stw"
+                         : "switch_request_fine",
+                     cluster_.simulator().now(), trace::kPidControl, 0);
+  }
 
   if (mode == SwitchMode::kStopTheWorld) {
     switch_state_->draining = true;
@@ -500,11 +584,20 @@ void PipelineExecutor::begin_migration() {
     finish_migration();
     return;
   }
+  Bytes migration_bytes = 0.0;
+  for (const auto& [k, bytes] : pair_bytes) migration_bytes += bytes;
+  metrics().add("switch.migration_bytes", migration_bytes);
+  if (tracer().enabled()) {
+    tracer().instant(trace::Category::kSwitch, "migration_begin",
+                     cluster_.simulator().now(), trace::kPidControl, 0,
+                     {trace::arg("pairs", pair_bytes.size()),
+                      trace::arg("bytes", migration_bytes)});
+  }
   switch_state_->transfers_pending = pair_bytes.size();
   for (const auto& [k, bytes] : pair_bytes) {
     const auto src = static_cast<sim::WorkerId>(k >> 32);
     const auto dst = static_cast<sim::WorkerId>(k & 0xffffffffu);
-    observed_transfer(src, dst, bytes, [this] {
+    observed_transfer("migrate", src, dst, bytes, [this] {
       AUTOPIPE_EXPECT(switch_state_ &&
                       switch_state_->transfers_pending > 0);
       if (--switch_state_->transfers_pending == 0) finish_migration();
@@ -531,8 +624,19 @@ void PipelineExecutor::finish_migration() {
   }
 
   if (mode == SwitchMode::kStopTheWorld) {
-    total_switch_stall_ +=
+    const Seconds stall =
         cluster_.simulator().now() - switch_state_->requested_at;
+    total_switch_stall_ += stall;
+    metrics().add("switch.stall_seconds", stall);
+  }
+  metrics().add("switch.count");
+  if (tracer().enabled()) {
+    tracer().complete(trace::Category::kSwitch, "switch",
+                      switch_state_->requested_at, cluster_.simulator().now(),
+                      trace::kPidControl, 0,
+                      {trace::arg("mode", mode == SwitchMode::kStopTheWorld
+                                              ? "stw"
+                                              : "fine")});
   }
 
   current_partition_ =

@@ -170,9 +170,15 @@ class PipelineExecutor {
   void maybe_async_sync(const Route& route, std::size_t stage);
   void run_flush_syncs(std::size_t sync_iter);
 
-  // Transfers with bandwidth observation.
-  void observed_transfer(sim::WorkerId src, sim::WorkerId dst, Bytes bytes,
+  // Transfers with bandwidth observation. `label` names the traffic class in
+  // the trace ("act", "grad", "migrate").
+  void observed_transfer(const char* label, sim::WorkerId src,
+                         sim::WorkerId dst, Bytes bytes,
                          std::function<void()> done);
+
+  // The simulator-owned trace/metrics sinks every emission goes through.
+  trace::TraceRecorder& tracer() { return cluster_.simulator().tracer(); }
+  trace::MetricsRegistry& metrics() { return cluster_.simulator().metrics(); }
 
   // Switching.
   void begin_migration();

@@ -107,6 +107,11 @@ void Cluster::set_nic_bandwidth(std::size_t server, BytesPerSec bandwidth) {
   nic_bw_[server] = bandwidth;
   network_.set_capacity(nic_tx_[server], bandwidth);
   network_.set_capacity(nic_rx_[server], bandwidth);
+  if (sim_.tracer().enabled()) {
+    sim_.tracer().instant(trace::Category::kResource, "nic_bw", sim_.now(),
+                          trace::kPidResource, static_cast<int>(server),
+                          {trace::arg("gbps", bandwidth * 8.0 / 1e9)});
+  }
 }
 
 void Cluster::set_all_nic_bandwidth(BytesPerSec bandwidth) {
@@ -122,6 +127,11 @@ BytesPerSec Cluster::nic_bandwidth(std::size_t server) const {
 void Cluster::add_background_job(WorkerId worker) {
   GpuExecutor& g = gpu(worker);
   g.set_tenant_count(g.tenant_count() + 1);
+  if (sim_.tracer().enabled()) {
+    sim_.tracer().instant(trace::Category::kResource, "bg_add", sim_.now(),
+                          trace::kPidResource, static_cast<int>(worker),
+                          {trace::arg("tenants", g.tenant_count())});
+  }
 }
 
 void Cluster::remove_background_job(WorkerId worker) {
@@ -129,6 +139,11 @@ void Cluster::remove_background_job(WorkerId worker) {
   AUTOPIPE_EXPECT_MSG(g.tenant_count() > 1,
                       "no background job to remove on worker " << worker);
   g.set_tenant_count(g.tenant_count() - 1);
+  if (sim_.tracer().enabled()) {
+    sim_.tracer().instant(trace::Category::kResource, "bg_remove", sim_.now(),
+                          trace::kPidResource, static_cast<int>(worker),
+                          {trace::arg("tenants", g.tenant_count())});
+  }
 }
 
 }  // namespace autopipe::sim

@@ -18,7 +18,12 @@ constexpr Bytes kByteEps = 1e-6;
 ResourceId FlowNetwork::add_resource(std::string name, BytesPerSec capacity) {
   AUTOPIPE_EXPECT(capacity >= 0.0);
   resources_.push_back(Resource{std::move(name), capacity});
-  return resources_.size() - 1;
+  const ResourceId id = resources_.size() - 1;
+  if (sim_.tracer().enabled()) {
+    sim_.tracer().counter(trace::Category::kComm,
+                          "cap:" + resources_[id].name, sim_.now(), capacity);
+  }
+  return id;
 }
 
 void FlowNetwork::set_capacity(ResourceId resource, BytesPerSec capacity) {
@@ -28,6 +33,12 @@ void FlowNetwork::set_capacity(ResourceId resource, BytesPerSec capacity) {
   resources_[resource].capacity = capacity;
   recompute_rates();
   schedule_next_completion();
+  if (sim_.tracer().enabled()) {
+    sim_.tracer().counter(trace::Category::kComm,
+                          "cap:" + resources_[resource].name, sim_.now(),
+                          capacity);
+  }
+  emit_loads();
 }
 
 BytesPerSec FlowNetwork::capacity(ResourceId resource) const {
@@ -59,10 +70,21 @@ FlowId FlowNetwork::start_flow(FlowSpec spec) {
     return id;
   }
   advance_to_now();
+  if (sim_.tracer().enabled()) {
+    std::string path_names;
+    for (ResourceId r : spec.path) {
+      if (!path_names.empty()) path_names += ',';
+      path_names += resources_[r].name;
+    }
+    sim_.tracer().async_begin(trace::Category::kComm, "flow", id, sim_.now(),
+                              {trace::arg("bytes", spec.bytes),
+                               trace::arg("path", std::move(path_names))});
+  }
   flows_.emplace(id, Flow{std::move(spec.path), spec.bytes, 0.0,
                           std::move(spec.on_complete)});
   recompute_rates();
   schedule_next_completion();
+  emit_loads();
   return id;
 }
 
@@ -73,6 +95,11 @@ void FlowNetwork::cancel_flow(FlowId id) {
   flows_.erase(it);
   recompute_rates();
   schedule_next_completion();
+  if (sim_.tracer().enabled()) {
+    sim_.tracer().async_end(trace::Category::kComm, "flow", id, sim_.now(),
+                            {trace::arg("cancelled", 1)});
+  }
+  emit_loads();
 }
 
 BytesPerSec FlowNetwork::flow_rate(FlowId id) const {
@@ -187,6 +214,10 @@ void FlowNetwork::complete_due_flows() {
         (it->second.rate > 0.0 &&
          it->second.remaining / it->second.rate <= kTimeEps)) {
       bytes_delivered_ += it->second.remaining;
+      if (sim_.tracer().enabled()) {
+        sim_.tracer().async_end(trace::Category::kComm, "flow", it->first,
+                                sim_.now());
+      }
       if (it->second.on_complete)
         callbacks.push_back(std::move(it->second.on_complete));
       it = flows_.erase(it);
@@ -196,7 +227,20 @@ void FlowNetwork::complete_due_flows() {
   }
   recompute_rates();
   schedule_next_completion();
+  emit_loads();
   for (auto& cb : callbacks) cb();
+}
+
+void FlowNetwork::emit_loads() {
+  if (!sim_.tracer().enabled()) return;
+  traced_load_.resize(resources_.size(), 0.0);
+  for (ResourceId r = 0; r < resources_.size(); ++r) {
+    const BytesPerSec load = resource_load(r);
+    if (load == traced_load_[r]) continue;
+    traced_load_[r] = load;
+    sim_.tracer().counter(trace::Category::kComm,
+                          "load:" + resources_[r].name, sim_.now(), load);
+  }
 }
 
 }  // namespace autopipe::sim

@@ -107,12 +107,19 @@ class FlowNetwork {
 
   void complete_due_flows();
 
+  /// Trace-only: emit a `load:<name>` counter for every resource whose
+  /// allocated load changed since the last emission. No-op when tracing is
+  /// disabled.
+  void emit_loads();
+
   Simulator& sim_;
   std::vector<Resource> resources_;
   std::unordered_map<FlowId, Flow> flows_;
   FlowId next_flow_id_ = 1;
   Seconds last_update_ = 0.0;
   Bytes bytes_delivered_ = 0.0;
+  /// Last-emitted `load:` counter value per resource (tracing only).
+  std::vector<BytesPerSec> traced_load_;
   /// Generation counter invalidating superseded completion events.
   std::uint64_t schedule_generation_ = 0;
 };

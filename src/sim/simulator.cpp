@@ -1,16 +1,24 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/expect.hpp"
 
 namespace autopipe::sim {
 
+namespace {
+// Tolerance for floating-point drift on event times (0.1 * 3 != 0.3). Shared
+// by at() and run_until() so an event computed as "now + k*dt" is treated as
+// on-time in both directions.
+constexpr Seconds kTimeSlack = 1e-12;
+}  // namespace
+
 void Simulator::at(Seconds t, Callback fn) {
   // Tolerate tiny negative drift from floating-point arithmetic on event
   // times, but reject genuinely past scheduling, which indicates a logic bug.
-  AUTOPIPE_EXPECT_MSG(t >= now_ - 1e-12, "scheduling into the past: t=" << t
-                                         << " now=" << now_);
+  AUTOPIPE_EXPECT_MSG(t >= now_ - kTimeSlack, "scheduling into the past: t="
+                                              << t << " now=" << now_);
   queue_.push(Event{std::max(t, now_), next_seq_++, std::move(fn)});
 }
 
@@ -36,11 +44,17 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(Seconds t) {
-  AUTOPIPE_EXPECT(t >= now_);
-  while (!queue_.empty() && queue_.top().time <= t) {
+  AUTOPIPE_EXPECT(t >= now_ - kTimeSlack);
+  // The slack matters twice over: an event firing at t may schedule another
+  // event at exactly t (which must still run before the clock is pinned), and
+  // an event computed as "now + k*dt" may land a few ulps past t. Both count
+  // as "no later than t".
+  while (!queue_.empty() && queue_.top().time <= t + kTimeSlack) {
     step();
   }
-  now_ = t;
+  // step() may have set now_ slightly past t (within the slack); never move
+  // the clock backwards.
+  now_ = std::max(now_, t);
 }
 
 Seconds Simulator::next_event_time() const {

@@ -9,6 +9,8 @@
 #include <queue>
 #include <vector>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "common/units.hpp"
 
 namespace autopipe::sim {
@@ -44,6 +46,15 @@ class Simulator {
   /// Time of the next pending event; only valid when !empty().
   Seconds next_event_time() const;
 
+  /// Event trace for this run. Disabled (and recording nothing) unless
+  /// `tracer().set_enabled(true)` is called before the run.
+  trace::TraceRecorder& tracer() { return tracer_; }
+  const trace::TraceRecorder& tracer() const { return tracer_; }
+
+  /// Named counters/gauges accumulated by subsystems during the run.
+  trace::MetricsRegistry& metrics() { return metrics_; }
+  const trace::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   struct Event {
     Seconds time;
@@ -61,6 +72,8 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  trace::TraceRecorder tracer_;
+  trace::MetricsRegistry metrics_;
 };
 
 }  // namespace autopipe::sim

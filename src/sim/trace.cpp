@@ -71,6 +71,12 @@ std::size_t ResourceTrace::apply_iteration(
 }
 
 void ResourceTrace::apply(const TraceEvent& ev, Cluster& cluster) {
+  Simulator& sim = cluster.simulator();
+  if (sim.tracer().enabled()) {
+    sim.tracer().instant(trace::Category::kResource, "resource_event",
+                         sim.now(), trace::kPidResource, 0,
+                         {trace::arg("what", ev.describe())});
+  }
   switch (ev.kind) {
     case TraceEvent::Kind::kSetAllNicBandwidth:
       cluster.set_all_nic_bandwidth(ev.value);

@@ -17,6 +17,7 @@
 #include "convergence/staleness_sgd.hpp"
 #include "models/zoo.hpp"
 #include "partition/analytic_eval.hpp"
+#include "partition/neighborhood.hpp"
 #include "partition/pipedream_planner.hpp"
 #include "partition/rebalance.hpp"
 #include "pipeline/executor.hpp"
@@ -228,6 +229,77 @@ INSTANTIATE_TEST_SUITE_P(
                       pipeline::ScheduleMode::kDapple,
                       pipeline::ScheduleMode::kChimera,
                       pipeline::ScheduleMode::kTwoBW));
+
+// ---------------------------------------------------------------------------
+// Tracing is observation-only: for random (model, cluster, switch) triples,
+// a run with the recorder enabled trains exactly what a run with it disabled
+// trains, byte for byte on the timeline.
+// ---------------------------------------------------------------------------
+
+class TracingParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(TracingParity, EnabledRunEqualsDisabledRun) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+
+  // Random scenario: model, cluster shape, bandwidth, switch mode, and a
+  // random neighbourhood switch requested mid-run.
+  const auto model = rng.chance(0.5) ? models::alexnet() : models::resnet18();
+  const std::size_t servers = static_cast<std::size_t>(rng.uniform_int(2, 3));
+  const std::size_t gpus = static_cast<std::size_t>(rng.uniform_int(1, 2));
+  const double bandwidths[] = {10.0, 25.0, 100.0};
+  const double bw = bandwidths[rng.uniform_int(0, 2)];
+  const auto switch_mode =
+      rng.chance(0.5) ? pipeline::PipelineExecutor::SwitchMode::kFineGrained
+                      : pipeline::PipelineExecutor::SwitchMode::kStopTheWorld;
+  const std::size_t switch_pick = static_cast<std::size_t>(
+      rng.uniform_int(0, 1000));
+
+  auto run_once = [&](bool tracing) {
+    sim::Simulator sim;
+    if (tracing) sim.tracer().set_enabled(true);
+    sim::ClusterConfig config;
+    config.num_servers = servers;
+    config.gpus_per_server = gpus;
+    config.nic_bandwidth = gbps(bw);
+    sim::Cluster cluster(sim, config);
+    std::vector<sim::WorkerId> workers(cluster.num_workers());
+    for (sim::WorkerId w = 0; w < workers.size(); ++w) workers[w] = w;
+    const auto initial =
+        partition::Partition::even_split(model.num_layers(), workers);
+    pipeline::PipelineExecutor executor(cluster, model, initial,
+                                        pipeline::ExecutorConfig{});
+    const auto candidates = partition::two_worker_candidates(initial);
+    executor.set_iteration_callback([&](std::size_t iters) {
+      if (iters == 3 && !candidates.empty()) {
+        executor.request_switch(
+            candidates[switch_pick % candidates.size()].partition,
+            switch_mode);
+      }
+    });
+    const auto report = executor.run(15, 3);
+    return std::make_tuple(report.iteration_end_times, report.throughput,
+                           sim.now(), report.iterations * executor.batch_size(),
+                           executor.switches_performed());
+  };
+
+  const auto with_trace = run_once(true);
+  const auto without = run_once(false);
+
+  // Samples trained are identical...
+  EXPECT_EQ(std::get<3>(with_trace), std::get<3>(without));
+  EXPECT_EQ(std::get<4>(with_trace), std::get<4>(without));
+  // ...and so is the entire timeline, bit for bit.
+  EXPECT_DOUBLE_EQ(std::get<1>(with_trace), std::get<1>(without));
+  EXPECT_DOUBLE_EQ(std::get<2>(with_trace), std::get<2>(without));
+  const auto& ta = std::get<0>(with_trace);
+  const auto& tb = std::get<0>(without);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i)
+    EXPECT_DOUBLE_EQ(ta[i], tb[i]) << "iteration " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, TracingParity,
+                         ::testing::Range(0, 50));
 
 }  // namespace
 }  // namespace autopipe

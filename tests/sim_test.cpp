@@ -51,6 +51,44 @@ TEST(Simulator, RunUntilAdvancesClock) {
   EXPECT_DOUBLE_EQ(sim.now(), 6.0);
 }
 
+TEST(Simulator, RunUntilRunsEventsScheduledAtExactlyT) {
+  // An event firing at t may schedule more work at exactly t; run_until(t)
+  // must drain that cascade before pinning the clock, or the events would be
+  // stranded in the past.
+  Simulator sim;
+  int fired = 0;
+  sim.at(2.0, [&] {
+    ++fired;
+    sim.at(2.0, [&] {
+      ++fired;
+      sim.after(0.0, [&] { ++fired; });
+    });
+  });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_NEAR(sim.now(), 2.0, 1e-12);
+}
+
+TEST(Simulator, RunUntilToleratesFloatDriftAtBoundary) {
+  // 0.1 * 3 != 0.3 in binary floating point; an event whose time was built
+  // by repeated addition must still count as "no later than" run_until(0.3).
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    if (++fired < 3) sim.after(0.1, tick);
+  };
+  sim.after(0.1, tick);
+  sim.run_until(0.1 + 0.1);  // fires events 1 and 2
+  EXPECT_EQ(fired, 2);
+  sim.run_until(0.3);  // event 3 sits a few ulps past 0.3
+  EXPECT_EQ(fired, 3);
+  // And the pinned clock must not break a subsequent run_until at the same
+  // nominal time.
+  sim.run_until(0.3);
+  EXPECT_NEAR(sim.now(), 0.3, 1e-9);
+}
+
 TEST(Simulator, CallbacksCanSchedule) {
   Simulator sim;
   int count = 0;

@@ -1,0 +1,449 @@
+// The tracing tier (ctest label `trace`): TraceRecorder/MetricsRegistry
+// units, Chrome JSON shape, golden-trace determinism on a fig3-style
+// bandwidth-drop scenario, and temporal invariants read back from recorded
+// traces — 1F1B ordering, fine-grained vs stop-the-world switching, and
+// max-min capacity respect.
+//
+// Golden file regeneration: run with AUTOPIPE_REGEN_GOLDEN=1 in the
+// environment and the checked-in trace is rewritten instead of compared.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "common/units.hpp"
+#include "models/zoo.hpp"
+#include "partition/partition.hpp"
+#include "pipeline/executor.hpp"
+#include "sim/cluster.hpp"
+#include "sim/trace.hpp"
+
+namespace autopipe {
+namespace {
+
+using trace::Category;
+using trace::Event;
+using trace::TraceRecorder;
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry (always compiled, tracing on or off)
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, CountersAccumulateAndGaugesOverwrite) {
+  trace::MetricsRegistry metrics;
+  EXPECT_TRUE(metrics.empty());
+  EXPECT_DOUBLE_EQ(metrics.value("never.touched"), 0.0);
+  EXPECT_FALSE(metrics.has("never.touched"));
+
+  metrics.add("a.count");
+  metrics.add("a.count");
+  metrics.add("a.bytes", 100.0);
+  metrics.set("a.gauge", 7.0);
+  metrics.set("a.gauge", 3.0);
+
+  EXPECT_DOUBLE_EQ(metrics.value("a.count"), 2.0);
+  EXPECT_DOUBLE_EQ(metrics.value("a.bytes"), 100.0);
+  EXPECT_DOUBLE_EQ(metrics.value("a.gauge"), 3.0);
+  EXPECT_TRUE(metrics.has("a.gauge"));
+  EXPECT_EQ(metrics.all().size(), 3u);
+  // std::map keeps names sorted — printed forms are deterministic.
+  EXPECT_EQ(metrics.all().begin()->first, "a.bytes");
+  metrics.clear();
+  EXPECT_TRUE(metrics.empty());
+}
+
+TEST(TraceFormat, FormatDoubleIsDeterministic) {
+  EXPECT_EQ(trace::format_double(0.5), "0.5");
+  EXPECT_EQ(trace::format_double(1e9), "1e+09");
+  EXPECT_EQ(trace::format_double(0.1 + 0.2), trace::format_double(0.1 + 0.2));
+}
+
+#if AUTOPIPE_TRACING
+
+// ---------------------------------------------------------------------------
+// TraceRecorder unit behaviour
+// ---------------------------------------------------------------------------
+
+TEST(TraceRecorder, DisabledByDefaultRecordsNothing) {
+  TraceRecorder rec;
+  EXPECT_FALSE(rec.enabled());
+  rec.complete(Category::kCompute, "fp", 0.0, 1.0, 0, 0);
+  rec.instant(Category::kMark, "x", 0.5, 0, 0);
+  rec.counter(Category::kComm, "c", 0.5, 1.0);
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(TraceRecorder, RecordsEventsWithArgs) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.complete(Category::kCompute, "fp", 1.0, 2.5, 3, 1,
+               {trace::arg("batch", 7), trace::arg("speed", 0.5)});
+  rec.async_begin(Category::kComm, "flow", 42, 1.5);
+  rec.async_end(Category::kComm, "flow", 42, 2.0);
+  ASSERT_EQ(rec.size(), 3u);
+
+  const Event& fp = rec.events()[0];
+  EXPECT_EQ(fp.phase, 'X');
+  EXPECT_DOUBLE_EQ(fp.ts, 1.0);
+  EXPECT_DOUBLE_EQ(fp.dur, 1.5);
+  EXPECT_EQ(fp.pid, 3);
+  EXPECT_EQ(fp.tid, 1);
+  ASSERT_NE(fp.find_arg("batch"), nullptr);
+  EXPECT_EQ(*fp.find_arg("batch"), "7");
+  ASSERT_NE(fp.find_arg("speed"), nullptr);
+  EXPECT_EQ(*fp.find_arg("speed"), "0.5");
+  EXPECT_EQ(fp.find_arg("absent"), nullptr);
+
+  EXPECT_EQ(rec.events()[1].phase, 'b');
+  EXPECT_EQ(rec.events()[2].phase, 'e');
+  EXPECT_EQ(rec.events()[1].id, 42u);
+
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(TraceRecorder, ChromeJsonHasRequiredFields) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.complete(Category::kCompute, "fp", 0.001, 0.002, 0, 1,
+               {trace::arg("batch", 1)});
+  rec.instant(Category::kSwitch, "switch_request_stw", 0.003,
+              trace::kPidControl, 0);
+  rec.counter(Category::kComm, "cap:link", 0.0, 100.0);
+
+  std::ostringstream os;
+  rec.write_chrome_json(os);
+  const std::string json = os.str();
+  // trace_event essentials: the array key, per-event name/ph/ts/pid/tid,
+  // and process_name metadata for the synthetic rows.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"fp\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  // Chrome timestamps are microseconds: the 0.001 s span starts at ts=1000.
+  EXPECT_NE(json.find("\"ts\":1000.000"), std::string::npos);
+}
+
+TEST(TraceRecorder, TextFormatIsStable) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.complete(Category::kCompute, "fp", 0.25, 0.5, 2, 1,
+               {trace::arg("batch", 3)});
+  rec.counter(Category::kComm, "cap:link", 0.0, 12.5);
+  std::ostringstream os;
+  rec.write_text(os);
+  EXPECT_EQ(os.str(),
+            "0.250000000 compute X fp pid=2 tid=1 dur=0.250000000 batch=3\n"
+            "0.000000000 comm C cap:link pid=1000 tid=0 value=12.5\n");
+}
+
+// ---------------------------------------------------------------------------
+// Scenario helpers
+// ---------------------------------------------------------------------------
+
+/// A 5-layer convnet small enough that the golden trace stays reviewable.
+models::ModelSpec tiny_model() {
+  models::ConvNetBuilder b("tiny", 3, 32, 32);
+  b.conv("c1", 8, 3)
+      .maxpool("p1", 2, 2)
+      .conv("c2", 16, 3)
+      .global_avgpool("gap")
+      .fc("fc", 10);
+  return std::move(b).build(16);
+}
+
+struct GoldenCapture {
+  std::string text;
+  std::vector<Event> events;
+};
+
+/// The fig3 shape in miniature: two single-GPU servers, a two-stage
+/// pipeline, and an all-NIC bandwidth drop at iteration 5.
+GoldenCapture run_golden_scenario() {
+  sim::Simulator sim;
+  sim.tracer().set_enabled(true);
+  sim::ClusterConfig config;
+  config.num_servers = 2;
+  config.gpus_per_server = 1;
+  config.nic_bandwidth = gbps(10);
+  sim::Cluster cluster(sim, config);
+
+  const auto model = tiny_model();
+  const auto initial =
+      partition::Partition::even_split(model.num_layers(), {0, 1});
+  pipeline::PipelineExecutor executor(cluster, model, initial,
+                                      pipeline::ExecutorConfig{});
+  sim::ResourceTrace rtrace;
+  rtrace.at_iteration(5, sim::ResourceTrace::set_all_nic_bandwidth(gbps(1)));
+  executor.set_iteration_callback(
+      [&](std::size_t iters) { rtrace.apply_iteration(iters, cluster); });
+  executor.run(12, 2);
+
+  GoldenCapture capture;
+  std::ostringstream os;
+  sim.tracer().write_text(os);
+  capture.text = os.str();
+  capture.events = sim.tracer().events();
+  return capture;
+}
+
+struct SwitchCapture {
+  std::vector<Event> events;
+  std::map<std::string, double> metrics;
+  std::size_t switches = 0;
+  double request_ts = -1.0;
+  double finish_ts = -1.0;  // end of the switch X span
+};
+
+/// AlexNet on two single-GPU servers over a slow NIC, with a mid-run switch
+/// that re-homes the parameter-heavy tail layers — the migration takes many
+/// iterations' worth of wire time, so the two switching modes behave
+/// visibly differently.
+SwitchCapture run_switch_scenario(
+    pipeline::PipelineExecutor::SwitchMode mode) {
+  sim::Simulator sim;
+  sim.tracer().set_enabled(true);
+  sim::ClusterConfig config;
+  config.num_servers = 2;
+  config.gpus_per_server = 1;
+  config.nic_bandwidth = gbps(1);
+  sim::Cluster cluster(sim, config);
+
+  const auto model = models::alexnet();
+  const std::size_t L = model.num_layers();
+  const auto initial =
+      partition::Partition::even_split(L, {0, 1});
+  // Move everything but the last layer onto worker 0: the fully-connected
+  // layers' parameters cross the wire.
+  const partition::Partition next(
+      {{0, L - 2, {0}}, {L - 1, L - 1, {1}}}, L);
+
+  pipeline::PipelineExecutor executor(cluster, model, initial,
+                                      pipeline::ExecutorConfig{});
+  executor.set_iteration_callback([&](std::size_t iters) {
+    if (iters == 3) executor.request_switch(next, mode);
+  });
+  executor.run(25, 2);
+
+  SwitchCapture capture;
+  capture.events = sim.tracer().events();
+  capture.metrics = sim.metrics().all();
+  capture.switches = executor.switches_performed();
+  for (const Event& ev : capture.events) {
+    if (ev.phase == 'i' && (ev.name == "switch_request_stw" ||
+                            ev.name == "switch_request_fine")) {
+      capture.request_ts = ev.ts;
+    }
+    if (ev.phase == 'X' && ev.name == "switch") {
+      capture.finish_ts = ev.ts + ev.dur;
+    }
+  }
+  return capture;
+}
+
+// ---------------------------------------------------------------------------
+// Golden-trace determinism
+// ---------------------------------------------------------------------------
+
+TEST(GoldenTrace, RepeatedRunsAreByteIdentical) {
+  const GoldenCapture a = run_golden_scenario();
+  const GoldenCapture b = run_golden_scenario();
+  EXPECT_FALSE(a.text.empty());
+  EXPECT_EQ(a.text, b.text);
+  // The scenario exercises compute, comm and resource emissions.
+  EXPECT_NE(a.text.find(" compute X fp "), std::string::npos);
+  EXPECT_NE(a.text.find(" compute X bp "), std::string::npos);
+  EXPECT_NE(a.text.find(" comm b flow "), std::string::npos);
+  EXPECT_NE(a.text.find("nic_bw"), std::string::npos);
+  EXPECT_NE(a.text.find(" mark i iteration "), std::string::npos);
+}
+
+TEST(GoldenTrace, MatchesCheckedInGolden) {
+  const std::string path =
+      std::string(AUTOPIPE_GOLDEN_DIR) + "/bandwidth_drop.trace";
+  const GoldenCapture capture = run_golden_scenario();
+
+  if (std::getenv("AUTOPIPE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write golden file " << path;
+    out << capture.text;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — regenerate with AUTOPIPE_REGEN_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(capture.text, golden.str())
+      << "trace drifted from the golden file; if the change is intended, "
+         "regenerate with AUTOPIPE_REGEN_GOLDEN=1";
+}
+
+// ---------------------------------------------------------------------------
+// Temporal invariants read back from traces
+// ---------------------------------------------------------------------------
+
+std::uint64_t batch_of(const Event& ev) {
+  const std::string* arg = ev.find_arg("batch");
+  EXPECT_NE(arg, nullptr);
+  return arg ? std::stoull(*arg) : 0;
+}
+
+TEST(TraceInvariants, OneFOneBOrderingPerStage) {
+  const GoldenCapture capture = run_golden_scenario();
+
+  // With replication 1 each stage serves batches FIFO: the batch ids of its
+  // fp spans (and of its bp spans) must be strictly increasing.
+  std::map<int, std::uint64_t> last_fp, last_bp;
+  // A batch's fp must finish on stage s before it finishes on stage s+1,
+  // and its bp on stage s must start after its fp on stage s ended.
+  std::map<std::uint64_t, std::map<int, const Event*>> fp_by_batch;
+
+  for (const Event& ev : capture.events) {
+    if (ev.phase != 'X' || (ev.name != "fp" && ev.name != "bp")) continue;
+    const std::uint64_t batch = batch_of(ev);
+    auto& last = ev.name == "fp" ? last_fp : last_bp;
+    auto it = last.find(ev.tid);
+    if (it != last.end()) {
+      EXPECT_LT(it->second, batch)
+          << ev.name << " order violated on stage " << ev.tid;
+    }
+    last[ev.tid] = batch;
+    if (ev.name == "fp") fp_by_batch[batch][ev.tid] = &ev;
+  }
+  EXPECT_FALSE(fp_by_batch.empty());
+
+  for (const auto& [batch, stages] : fp_by_batch) {
+    const Event* prev = nullptr;
+    for (const auto& [stage, ev] : stages) {
+      if (prev) {
+        EXPECT_LE(prev->ts + prev->dur, ev->ts + ev->dur + 1e-9)
+            << "batch " << batch << " fp completed upstream later than "
+            << "downstream at stage " << stage;
+      }
+      prev = ev;
+    }
+  }
+
+  for (const Event& ev : capture.events) {
+    if (ev.phase != 'X' || ev.name != "bp") continue;
+    const std::uint64_t batch = batch_of(ev);
+    const auto it = fp_by_batch.find(batch);
+    ASSERT_NE(it, fp_by_batch.end());
+    const auto fp_it = it->second.find(ev.tid);
+    if (fp_it == it->second.end()) continue;
+    EXPECT_GE(ev.ts + 1e-9, fp_it->second->ts + fp_it->second->dur)
+        << "bp of batch " << batch << " started before its fp ended on "
+        << "stage " << ev.tid;
+  }
+}
+
+TEST(TraceInvariants, FineGrainedSwitchNeverHaltsInjection) {
+  const SwitchCapture capture = run_switch_scenario(
+      pipeline::PipelineExecutor::SwitchMode::kFineGrained);
+  ASSERT_EQ(capture.switches, 1u);
+  ASSERT_GE(capture.request_ts, 0.0);
+  ASSERT_GT(capture.finish_ts, capture.request_ts);
+
+  std::size_t injected_during_switch = 0;
+  for (const Event& ev : capture.events) {
+    if (ev.phase == 'i' && ev.name == "inject" &&
+        ev.ts > capture.request_ts + 1e-9 &&
+        ev.ts < capture.finish_ts - 1e-9) {
+      ++injected_during_switch;
+    }
+  }
+  EXPECT_GE(injected_during_switch, 1u)
+      << "fine-grained switching must keep feeding the pipeline while the "
+         "migration is on the wire (span "
+      << capture.request_ts << " .. " << capture.finish_ts << ")";
+}
+
+TEST(TraceInvariants, StopTheWorldSwitchShowsDrainGap) {
+  const SwitchCapture capture = run_switch_scenario(
+      pipeline::PipelineExecutor::SwitchMode::kStopTheWorld);
+  ASSERT_EQ(capture.switches, 1u);
+  ASSERT_GE(capture.request_ts, 0.0);
+  // The stall is real: drain plus migration takes simulated time.
+  ASSERT_GT(capture.finish_ts, capture.request_ts + 1e-6);
+
+  for (const Event& ev : capture.events) {
+    if (ev.phase == 'i' && ev.name == "inject") {
+      EXPECT_FALSE(ev.ts > capture.request_ts + 1e-9 &&
+                   ev.ts < capture.finish_ts - 1e-9)
+          << "stop-the-world injected a batch mid-switch at t=" << ev.ts;
+    }
+  }
+}
+
+TEST(TraceInvariants, FlowsNeverExceedLinkCapacity) {
+  const GoldenCapture capture = run_golden_scenario();
+  // Replay the cap:/load: counter stream: at no instant may a resource's
+  // allocated load exceed its then-current capacity.
+  std::map<std::string, double> cap;
+  std::size_t loads_checked = 0;
+  for (const Event& ev : capture.events) {
+    if (ev.phase != 'C') continue;
+    if (ev.name.rfind("cap:", 0) == 0) {
+      cap[ev.name.substr(4)] = ev.value;
+    } else if (ev.name.rfind("load:", 0) == 0) {
+      const std::string resource = ev.name.substr(5);
+      ASSERT_TRUE(cap.count(resource)) << "load before cap for " << resource;
+      EXPECT_LE(ev.value, cap[resource] + 1e-6)
+          << resource << " oversubscribed at t=" << ev.ts;
+      ++loads_checked;
+    }
+  }
+  EXPECT_GT(loads_checked, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics wired through the executor
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorMetrics, SwitchCountersAccumulate) {
+  const SwitchCapture stw = run_switch_scenario(
+      pipeline::PipelineExecutor::SwitchMode::kStopTheWorld);
+  EXPECT_DOUBLE_EQ(stw.metrics.at("switch.count"), 1.0);
+  EXPECT_GT(stw.metrics.at("switch.migration_bytes"), 0.0);
+  EXPECT_GT(stw.metrics.at("switch.stall_seconds"), 0.0);
+  EXPECT_GE(stw.metrics.at("pipeline.bubble_seconds"), 0.0);
+
+  const SwitchCapture fine = run_switch_scenario(
+      pipeline::PipelineExecutor::SwitchMode::kFineGrained);
+  EXPECT_DOUBLE_EQ(fine.metrics.at("switch.count"), 1.0);
+  // Fine-grained never stops the pipeline, so it accrues no stall metric.
+  EXPECT_EQ(fine.metrics.count("switch.stall_seconds"), 0u);
+}
+
+#else  // !AUTOPIPE_TRACING
+
+TEST(TraceRecorder, CompiledOutIsInertAndValid) {
+  TraceRecorder rec;
+  rec.set_enabled(true);  // a no-op when compiled out
+  EXPECT_FALSE(TraceRecorder::enabled());
+  rec.complete(Category::kCompute, "fp", 0.0, 1.0, 0, 0);
+  EXPECT_EQ(rec.size(), 0u);
+  std::ostringstream os;
+  rec.write_chrome_json(os);
+  EXPECT_NE(os.str().find("\"traceEvents\":[]"), std::string::npos);
+}
+
+#endif  // AUTOPIPE_TRACING
+
+}  // namespace
+}  // namespace autopipe

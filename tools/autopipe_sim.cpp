@@ -9,6 +9,7 @@
 //   autopipe_sim --model bert48 --schedule dapple --micro-batches 8 \
 //                --system autopipe --bw-drop-iter 30 --bw-drop-gbps 10
 //   autopipe_sim --model alexnet --system baseline --scheme ps
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -57,6 +58,10 @@ void usage() {
       "  --jobs-iter N         add a tenant on every GPU at iteration N\n"
       "  --churn               stochastic background workload\n"
       "  --seed N              RNG seed (default 1)\n"
+      "  --trace PATH          write an event trace of the run; .json gives\n"
+      "                        Chrome trace_event format (chrome://tracing,\n"
+      "                        Perfetto), .txt/.trace the plain-text format\n"
+      "                        (see docs/TRACING.md)\n"
       "  --verbose             debug logging\n";
 }
 
@@ -89,6 +94,14 @@ int main(int argc, char** argv) {
                           : comm::SyncScheme::kRing;
 
   sim::Simulator simulator;
+  const std::string trace_path = flags.get("trace", "");
+  if (!trace_path.empty()) {
+    // Fail on an unwritable path now, not after the whole run.
+    std::ofstream probe(trace_path);
+    AUTOPIPE_EXPECT_MSG(probe.good(),
+                        "cannot open trace file " + trace_path);
+    simulator.tracer().set_enabled(true);
+  }
   sim::ClusterConfig cluster_config;
   cluster_config.num_servers =
       static_cast<std::size_t>(flags.get_int("servers", 5));
@@ -192,6 +205,23 @@ int main(int argc, char** argv) {
 
   const auto report = executor.run(iterations, warmup);
 
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    AUTOPIPE_EXPECT_MSG(out.good(), "cannot open trace file " << trace_path);
+    const bool text =
+        trace_path.size() >= 4 &&
+        (trace_path.rfind(".txt") == trace_path.size() - 4 ||
+         (trace_path.size() >= 6 &&
+          trace_path.rfind(".trace") == trace_path.size() - 6));
+    if (text) {
+      simulator.tracer().write_text(out);
+    } else {
+      simulator.tracer().write_chrome_json(out);
+    }
+    std::cout << "trace: " << simulator.tracer().size() << " events -> "
+              << trace_path << "\n";
+  }
+
   TextTable summary({"metric", "value"});
   summary.add_row({"model", model.name()});
   summary.add_row({"system", system});
@@ -216,6 +246,8 @@ int main(int argc, char** argv) {
          TextTable::num(
              controller->stats().total_decision_wall_seconds * 1e3, 2)});
   }
+  for (const auto& [name, value] : simulator.metrics().all())
+    summary.add_row({name, TextTable::num(value, 3)});
   summary.print(std::cout, "autopipe_sim report");
   return 0;
 }

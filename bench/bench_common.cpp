@@ -1,8 +1,12 @@
 #include "bench_common.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <iostream>
 
+#include "analysis/json.hpp"
+#include "analysis/report.hpp"
+#include "analysis/trace_view.hpp"
 #include "common/expect.hpp"
 #include "partition/analytic_eval.hpp"
 #include "partition/neighborhood.hpp"
@@ -11,6 +15,7 @@ namespace autopipe::bench {
 
 namespace {
 std::string g_trace_path;
+std::string g_metrics_path;
 
 bool wants_text_format(const std::string& path) {
   auto ends_with = [&path](const char* suffix) {
@@ -29,11 +34,36 @@ void parse_common_flags(int argc, const char* const* argv) {
       g_trace_path = a.substr(8);
     } else if (a == "--trace" && i + 1 < argc) {
       g_trace_path = argv[++i];
+    } else if (a.rfind("--metrics=", 0) == 0) {
+      g_metrics_path = a.substr(10);
+    } else if (a == "--metrics" && i + 1 < argc) {
+      g_metrics_path = argv[++i];
     }
   }
 }
 
 const std::string& trace_path() { return g_trace_path; }
+
+const std::string& metrics_path() { return g_metrics_path; }
+
+std::string scenario_path(const std::string& base,
+                          const std::string& scenario) {
+  if (scenario.empty()) return base;
+  std::string label = scenario;
+  for (char& c : label) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '_' && c != '-') {
+      c = '_';
+    }
+  }
+  const std::size_t dot = base.rfind('.');
+  const std::size_t slash = base.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return base + "." + label;  // no extension to splice around
+  }
+  return base.substr(0, dot) + "." + label + base.substr(dot);
+}
 
 std::vector<sim::WorkerId> Testbed::all_workers() const {
   std::vector<sim::WorkerId> out(cluster->num_workers());
@@ -163,21 +193,40 @@ RunResult run_pipeline(Testbed& testbed, const models::ModelSpec& model,
   const auto report = executor.run(options.iterations, options.warmup);
 
   if (!g_trace_path.empty()) {
-    // Figures run many scenarios on separate testbeds; the file holds the
-    // most recent run (overwrite, last one wins).
-    std::ofstream out(g_trace_path);
+    // Figures run many scenarios on separate testbeds; a labelled run gets
+    // its own fig.<scenario>.trace, an unlabelled one keeps the legacy
+    // overwrite-last-wins behaviour on the given path.
+    const std::string path = scenario_path(g_trace_path, options.scenario);
+    std::ofstream out(path);
     if (out.good()) {
-      if (wants_text_format(g_trace_path)) {
+      if (wants_text_format(path)) {
         testbed.simulator->tracer().write_text(out);
       } else {
         testbed.simulator->tracer().write_chrome_json(out);
       }
+      std::cout << "trace: " << testbed.simulator->tracer().size()
+                << " events -> " << path << "\n";
     }
     TextTable metrics_table({"metric", "value"});
     for (const auto& [name, value] : testbed.simulator->metrics().all())
       metrics_table.add_row({name, TextTable::num(value, 3)});
     if (!testbed.simulator->metrics().all().empty())
       metrics_table.print(std::cout, "run metrics");
+
+    // The analyzer runs straight off the in-memory recorder, so every
+    // traced bench run reports where its GPU seconds went.
+    const analysis::TraceView view(testbed.simulator->tracer().events());
+    const analysis::RunAnalysis breakdown = analysis::analyze(view);
+    std::cout << render_bubbles_text(breakdown) << '\n'
+              << render_critical_path_text(breakdown, 5);
+  }
+  if (!g_metrics_path.empty()) {
+    const std::string path = scenario_path(g_metrics_path, options.scenario);
+    std::ofstream out(path);
+    AUTOPIPE_EXPECT_MSG(out.good(), "cannot open metrics file " << path);
+    analysis::write_scalar_map_json(testbed.simulator->metrics().all(), out);
+    std::cout << "metrics: " << testbed.simulator->metrics().all().size()
+              << " values -> " << path << "\n";
   }
 
   RunResult result;

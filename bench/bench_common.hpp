@@ -38,13 +38,23 @@ struct Testbed {
 /// enabled on the testbed's simulator when `--trace` was parsed.
 Testbed make_testbed(double bandwidth_gbps);
 
-/// Parse the flags every fig benchmark shares (currently `--trace=PATH`).
-/// Call at the top of main(); unknown flags are ignored so each benchmark
-/// may layer its own parsing on top.
+/// Parse the flags every fig benchmark shares (`--trace=PATH`,
+/// `--metrics=PATH`). Call at the top of main(); unknown flags are ignored
+/// so each benchmark may layer its own parsing on top.
 void parse_common_flags(int argc, const char* const* argv);
 
 /// The `--trace` path captured by parse_common_flags; empty when unset.
 const std::string& trace_path();
+
+/// The `--metrics` path captured by parse_common_flags; empty when unset.
+const std::string& metrics_path();
+
+/// `base` with ".<scenario>" spliced in before the extension
+/// ("fig3.trace" + "vgg16_25gbps" -> "fig3.vgg16_25gbps.trace"); scenario
+/// characters outside [A-Za-z0-9._-] become '_'. Returns `base` unchanged
+/// when `scenario` is empty.
+std::string scenario_path(const std::string& base,
+                          const std::string& scenario);
 
 /// Emulate `extra_jobs` co-located identical jobs (the paper runs three
 /// identical jobs in every static experiment): each extra job adds one
@@ -88,6 +98,11 @@ struct RunOptions {
   const sim::ResourceTrace* trace = nullptr;
   pipeline::ScheduleMode mode = pipeline::ScheduleMode::kAsync1F1B;
   std::size_t micro_batches = 4;
+  /// Label naming this run within the benchmark ("vgg16_25gbps_autopipe").
+  /// With `--trace=fig.trace`, each labelled run writes its own
+  /// fig.<scenario>.trace instead of the runs overwriting one file; same
+  /// for `--metrics`. Unlabelled runs keep overwrite-last-wins.
+  std::string scenario;
 };
 
 struct RunResult {

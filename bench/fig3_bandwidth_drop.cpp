@@ -27,7 +27,10 @@ Pair measure(const models::ModelSpec& model, double bandwidth_gbps) {
     const auto plan = bench::plan_pipedream(t, model, comm::pytorch_profile(),
                                             comm::SyncScheme::kRing);
     t.cluster->set_all_nic_bandwidth(gbps(bandwidth_gbps / 2.0));
-    out.actual = bench::run_pipeline(t, model, plan.partition, RunOptions{})
+    RunOptions options;
+    options.scenario = model.name() + "_" +
+                       TextTable::num(bandwidth_gbps, 0) + "gbps_actual";
+    out.actual = bench::run_pipeline(t, model, plan.partition, options)
                      .throughput;
   }
   {
@@ -35,7 +38,10 @@ Pair measure(const models::ModelSpec& model, double bandwidth_gbps) {
     bench::Testbed t = bench::make_testbed(bandwidth_gbps / 2.0);
     const auto plan = bench::plan_refined(t, model, comm::pytorch_profile(),
                                           comm::SyncScheme::kRing);
-    out.optimal = bench::run_pipeline(t, model, plan.partition, RunOptions{})
+    RunOptions options;
+    options.scenario = model.name() + "_" +
+                       TextTable::num(bandwidth_gbps, 0) + "gbps_optimal";
+    out.optimal = bench::run_pipeline(t, model, plan.partition, options)
                       .throughput;
   }
   // The "optimal" configuration is whichever of the two plans executes

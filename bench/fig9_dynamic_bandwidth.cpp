@@ -32,6 +32,7 @@ bench::RunResult run_series(bool autopipe_on) {
   options.trace = &trace;
   options.iterations = 80;
   options.warmup = 5;
+  options.scenario = autopipe_on ? "autopipe" : "pipedream";
   return bench::run_pipeline(t, model, plan.partition, options);
 }
 

@@ -1,0 +1,105 @@
+#include "analysis/bubbles.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace autopipe::analysis {
+
+const char* bubble_class_name(BubbleClass cls) {
+  switch (cls) {
+    case BubbleClass::kStartupFill: return "startup_fill";
+    case BubbleClass::kReconfigDrain: return "reconfig_drain";
+    case BubbleClass::kNetContention: return "net_contention";
+    case BubbleClass::kUpstreamStall: return "upstream_stall";
+    case BubbleClass::kDownstreamStall: return "downstream_stall";
+    case BubbleClass::kDrainTail: return "drain_tail";
+  }
+  return "unknown";
+}
+
+double WorkerBubbles::idle_seconds() const {
+  double sum = 0.0;
+  for (double s : seconds) sum += s;
+  return sum;
+}
+
+double BubbleReport::total_idle() const {
+  double sum = 0.0;
+  for (double s : totals) sum += s;
+  return sum;
+}
+
+namespace {
+
+/// First compute span on the worker starting at or after `t` (the span the
+/// gap ended by enabling); nullptr when the gap runs past the last span.
+const trace::Event* next_compute_span(
+    const std::vector<const trace::Event*>& spans, double t) {
+  auto it = std::lower_bound(spans.begin(), spans.end(), t - 1e-12,
+                             [](const trace::Event* ev, double value) {
+                               return ev->ts < value;
+                             });
+  return it == spans.end() ? nullptr : *it;
+}
+
+}  // namespace
+
+BubbleReport attribute_bubbles(const TraceView& view) {
+  BubbleReport report;
+  report.wall_clock = view.wall_clock();
+
+  for (int worker : view.workers()) {
+    WorkerBubbles wb;
+    wb.worker = worker;
+    const IntervalSet& busy = view.compute_busy(worker);
+    wb.busy_seconds = busy.total();
+
+    const IntervalSet idle = busy.complement(0.0, view.wall_clock());
+    // Attribution works on progressively smaller remainders, most-specific
+    // cause first: position (fill/tail), then reconfiguration, then
+    // contention, then the direction of the dependency the gap waited on.
+    // A worker with no compute at all spent the whole run waiting to fill.
+    const double first_compute =
+        busy.empty() ? view.wall_clock() : busy.front_begin();
+    const double last_compute =
+        busy.empty() ? view.wall_clock() : busy.back_end();
+
+    auto& windows = wb.windows;
+    windows[static_cast<std::size_t>(BubbleClass::kStartupFill)] =
+        idle.clamp(0.0, first_compute);
+    windows[static_cast<std::size_t>(BubbleClass::kDrainTail)] =
+        idle.clamp(last_compute, view.wall_clock());
+    IntervalSet remainder = idle.clamp(first_compute, last_compute);
+
+    windows[static_cast<std::size_t>(BubbleClass::kReconfigDrain)] =
+        remainder.intersect(view.switch_windows());
+    remainder = remainder.subtract(view.switch_windows());
+
+    windows[static_cast<std::size_t>(BubbleClass::kNetContention)] =
+        remainder.intersect(view.nic_saturated(worker));
+    remainder = remainder.subtract(view.nic_saturated(worker));
+
+    // What remains is a steady-state stall: the gap ends when its worker
+    // starts the span it was waiting to run — fp means the upstream
+    // activation was late, bp means the downstream gradient was.
+    const auto& spans = view.compute_spans(worker);
+    for (const Interval& gap : remainder.intervals()) {
+      const trace::Event* next = next_compute_span(spans, gap.end);
+      const BubbleClass cls = (next != nullptr && next->name == "bp")
+                                  ? BubbleClass::kDownstreamStall
+                                  : BubbleClass::kUpstreamStall;
+      windows[static_cast<std::size_t>(cls)].add(gap.begin, gap.end);
+    }
+
+    for (std::size_t c = 0; c < kNumBubbleClasses; ++c) {
+      wb.seconds[c] = windows[c].total();
+      report.totals[c] += wb.seconds[c];
+    }
+    report.total_busy += wb.busy_seconds;
+    report.workers.push_back(std::move(wb));
+  }
+  return report;
+}
+
+}  // namespace autopipe::analysis

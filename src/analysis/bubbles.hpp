@@ -1,0 +1,55 @@
+// Bubble attribution: every second a worker's GPU is not computing is
+// classified into the taxonomy the paper's figures argue about — pipeline
+// startup fill, steady-state stalls on upstream activations or downstream
+// gradients, stalls while the worker's NIC was saturated (network
+// contention), reconfiguration drain inside a partition switch, and the
+// tail after the worker's last task. Classes partition [0, wall_clock)
+// exactly: per worker, busy + all classes == wall within float rounding,
+// which the analysis tests assert.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "analysis/interval.hpp"
+#include "analysis/trace_view.hpp"
+
+namespace autopipe::analysis {
+
+enum class BubbleClass {
+  kStartupFill = 0,   ///< before the worker's first compute span
+  kReconfigDrain,     ///< inside a partition-switch span
+  kNetContention,     ///< the worker's NIC (or PCIe) was saturated
+  kUpstreamStall,     ///< waiting on an activation (next span is fp)
+  kDownstreamStall,   ///< waiting on a gradient (next span is bp)
+  kDrainTail,         ///< after the worker's last compute span
+};
+inline constexpr std::size_t kNumBubbleClasses = 6;
+
+/// Short stable name used in tables and JSON ("startup_fill", ...).
+const char* bubble_class_name(BubbleClass cls);
+
+struct WorkerBubbles {
+  int worker = -1;
+  double busy_seconds = 0.0;
+  /// Idle seconds per class, indexed by BubbleClass.
+  std::array<double, kNumBubbleClasses> seconds{};
+  /// The classified windows themselves (for timelines/gantt).
+  std::array<IntervalSet, kNumBubbleClasses> windows;
+  double idle_seconds() const;
+};
+
+struct BubbleReport {
+  double wall_clock = 0.0;
+  std::vector<WorkerBubbles> workers;
+  /// Sums across workers.
+  double total_busy = 0.0;
+  std::array<double, kNumBubbleClasses> totals{};
+  double total_idle() const;
+};
+
+/// Classify every idle gap on every worker.
+BubbleReport attribute_bubbles(const TraceView& view);
+
+}  // namespace autopipe::analysis

@@ -1,0 +1,189 @@
+#include "analysis/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "common/expect.hpp"
+
+namespace autopipe::analysis {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+struct SpanRef {
+  const trace::Event* ev = nullptr;
+  double begin = 0.0;
+  double end = 0.0;
+  /// Worker whose progress the span advances (transfer: the receiver).
+  int dst_worker = -1;
+  /// Worker whose output the span consumed (transfer: the sender).
+  int src_worker = -1;
+  bool is_compute = false;
+};
+
+int arg_int(const trace::Event& ev, const char* key) {
+  const std::string* v = ev.find_arg(key);
+  return v == nullptr ? -1 : std::atoi(v->c_str());
+}
+
+std::string span_key(const SpanRef& s) {
+  const trace::Event& ev = *s.ev;
+  if (s.is_compute) {
+    return "compute:" + ev.name + ":stage" + std::to_string(ev.tid) + "@w" +
+           std::to_string(ev.pid);
+  }
+  if (ev.pid == trace::kPidNetwork) {
+    return "comm:" + ev.name + ":" + std::to_string(s.src_worker) + "->" +
+           std::to_string(s.dst_worker);
+  }
+  return "comm:" + ev.name + ":stage" + std::to_string(ev.tid) + "@w" +
+         std::to_string(ev.pid);
+}
+
+/// Preference for E enabling `current`: the inbound transfer for a compute
+/// span, the sender's compute for a transfer, then same-row continuity.
+int score(const SpanRef& current, const SpanRef& e) {
+  int s = 1;
+  if (current.is_compute) {
+    if (!e.is_compute && e.dst_worker == current.dst_worker) s += 4;
+    if (e.is_compute && e.dst_worker == current.dst_worker) s += 2;
+  } else {
+    if (e.is_compute && e.dst_worker == current.src_worker) s += 4;
+    if (!e.is_compute && e.dst_worker == current.src_worker) s += 2;
+  }
+  const std::string* a = current.ev->find_arg("batch");
+  const std::string* b = e.ev->find_arg("batch");
+  if (a != nullptr && b != nullptr && *a == *b) s += 1;
+  return s;
+}
+
+}  // namespace
+
+CriticalPath extract_critical_path(const TraceView& view) {
+  CriticalPath path;
+  path.wall_clock = view.wall_clock();
+
+  std::vector<SpanRef> spans;
+  for (const trace::Event& ev : view.events()) {
+    if (ev.phase != 'X') continue;
+    // The control row's `switch` span aggregates a whole reconfiguration
+    // and overlaps the real work; the migration transfers inside it are
+    // the dependency-carrying spans.
+    if (ev.category == trace::Category::kSwitch) continue;
+    SpanRef s;
+    s.ev = &ev;
+    s.begin = ev.ts;
+    s.end = ev.ts + ev.dur;
+    if (ev.category == trace::Category::kCompute &&
+        ev.pid < trace::kPidNetwork) {
+      s.is_compute = true;
+      s.dst_worker = ev.pid;
+      s.src_worker = ev.pid;
+    } else if (ev.category == trace::Category::kComm) {
+      if (ev.pid == trace::kPidNetwork) {
+        s.src_worker = arg_int(ev, "src");
+        s.dst_worker = arg_int(ev, "dst");
+      } else {
+        s.src_worker = ev.pid;
+        s.dst_worker = ev.pid;
+      }
+    } else {
+      continue;
+    }
+    spans.push_back(s);
+  }
+  if (spans.empty()) return path;
+
+  // Order by end time for the predecessor binary search.
+  std::vector<std::size_t> by_end(spans.size());
+  for (std::size_t i = 0; i < by_end.size(); ++i) by_end[i] = i;
+  std::stable_sort(by_end.begin(), by_end.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return spans[a].end < spans[b].end;
+                   });
+
+  // Start from the span that finishes the run.
+  std::size_t current = by_end.back();
+  std::set<std::size_t> visited;
+  std::vector<PathSegment> reversed;
+
+  const std::size_t step_cap = 2 * spans.size() + 8;
+  for (std::size_t steps = 0; steps < step_cap; ++steps) {
+    const SpanRef& cur = spans[current];
+    visited.insert(current);
+    reversed.push_back(PathSegment{cur.ev, cur.begin, cur.end,
+                                   span_key(cur)});
+    if (cur.begin <= kEps) break;
+
+    // Candidates ending within eps of our start.
+    auto lo = std::lower_bound(by_end.begin(), by_end.end(),
+                               cur.begin - kEps,
+                               [&](std::size_t idx, double value) {
+                                 return spans[idx].end < value;
+                               });
+    std::size_t best = spans.size();
+    int best_score = -1;
+    for (auto it = lo; it != by_end.end(); ++it) {
+      const SpanRef& e = spans[*it];
+      if (e.end > cur.begin + kEps) break;
+      if (*it == current || visited.count(*it) != 0) continue;
+      const int sc = score(cur, e);
+      if (sc > best_score ||
+          (sc == best_score && best < spans.size() &&
+           e.begin > spans[best].begin)) {
+        best = *it;
+        best_score = sc;
+      }
+    }
+
+    if (best < spans.size()) {
+      current = best;
+      continue;
+    }
+
+    // Nothing abuts: true dead time on the path. Jump to the latest span
+    // ending strictly earlier.
+    std::size_t prev = spans.size();
+    for (auto it = by_end.begin(); it != lo; ++it) {
+      if (visited.count(*it) == 0) prev = *it;
+    }
+    if (prev == spans.size()) {
+      reversed.push_back(PathSegment{nullptr, 0.0, cur.begin, "wait"});
+      break;
+    }
+    reversed.push_back(
+        PathSegment{nullptr, spans[prev].end, cur.begin, "wait"});
+    current = prev;
+  }
+
+  path.segments.assign(reversed.rbegin(), reversed.rend());
+
+  std::map<std::string, PathEntry> agg;
+  for (const PathSegment& seg : path.segments) {
+    PathEntry& e = agg[seg.key];
+    e.key = seg.key;
+    e.seconds += seg.end - seg.begin;
+    ++e.segments;
+    if (seg.span == nullptr) {
+      path.wait_seconds += seg.end - seg.begin;
+    } else {
+      path.span_seconds += seg.end - seg.begin;
+    }
+  }
+  const double covered = path.span_seconds + path.wait_seconds;
+  for (auto& [key, e] : agg) {
+    e.share = covered > 0.0 ? e.seconds / covered : 0.0;
+    path.entries.push_back(e);
+  }
+  std::stable_sort(path.entries.begin(), path.entries.end(),
+                   [](const PathEntry& a, const PathEntry& b) {
+                     if (a.seconds != b.seconds) return a.seconds > b.seconds;
+                     return a.key < b.key;
+                   });
+  return path;
+}
+
+}  // namespace autopipe::analysis

@@ -1,0 +1,49 @@
+// Critical-path extraction through the span dependency chain. In a
+// discrete-event simulation an enabled task starts at exactly the instant
+// its trigger finished, so the chain is recoverable from timestamps alone:
+// starting from the span that ends the run, repeatedly step to the span
+// that ended where the current one began (preferring the semantically
+// matching predecessor — the inbound transfer for a compute span, the
+// sender's compute for a transfer), inserting explicit wait segments when
+// nothing abuts. Aggregating the walked segments names the stage or link
+// that bounds iteration time.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_view.hpp"
+
+namespace autopipe::analysis {
+
+struct PathSegment {
+  /// Span walked, or nullptr for a wait (no abutting predecessor).
+  const trace::Event* span = nullptr;
+  double begin = 0.0;
+  double end = 0.0;
+  /// Aggregation key: "compute:fp:stage0@w1", "comm:act:0->1", "wait".
+  std::string key;
+};
+
+struct PathEntry {
+  std::string key;
+  double seconds = 0.0;
+  double share = 0.0;  ///< of the walked path length
+  std::size_t segments = 0;
+};
+
+struct CriticalPath {
+  /// Walked segments in time order (earliest first).
+  std::vector<PathSegment> segments;
+  /// Aggregated per key, heaviest first.
+  std::vector<PathEntry> entries;
+  double wall_clock = 0.0;
+  /// Path length actually covered by spans (wall_clock minus waits).
+  double span_seconds = 0.0;
+  double wait_seconds = 0.0;
+};
+
+CriticalPath extract_critical_path(const TraceView& view);
+
+}  // namespace autopipe::analysis

@@ -1,0 +1,93 @@
+#include "analysis/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/bubbles.hpp"
+#include "common/expect.hpp"
+#include "common/trace.hpp"
+
+namespace autopipe::analysis {
+
+namespace {
+
+constexpr char kClassChar[kNumBubbleClasses] = {'-', '!', '#', '<', '>', '.'};
+
+char dominant_char(const IntervalSet& fp, const IntervalSet& bp,
+                   const std::array<IntervalSet, kNumBubbleClasses>& idle,
+                   double lo, double hi) {
+  char best = ' ';
+  double best_overlap = 0.0;
+  auto consider = [&](const IntervalSet& set, char c) {
+    const double o = set.overlap(lo, hi);
+    if (o > best_overlap) {
+      best_overlap = o;
+      best = c;
+    }
+  };
+  consider(fp, 'F');
+  consider(bp, 'B');
+  for (std::size_t c = 0; c < kNumBubbleClasses; ++c) {
+    consider(idle[c], kClassChar[c]);
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string render_gantt(const TraceView& view, std::size_t width) {
+  AUTOPIPE_EXPECT(width > 0);
+  std::ostringstream os;
+  const double wall = view.wall_clock();
+  if (wall <= 0.0 || view.workers().empty()) {
+    os << "empty trace\n";
+    return os.str();
+  }
+  const double cell = wall / static_cast<double>(width);
+  const BubbleReport bubbles = attribute_bubbles(view);
+
+  std::size_t label_width = 0;
+  for (int worker : view.workers()) {
+    label_width = std::max(label_width,
+                           1 + std::to_string(worker).size());
+  }
+
+  // Ruler: '|' where an iteration completes, 'S' inside a switch window.
+  os << std::string(label_width, ' ') << ' ';
+  const std::vector<double>& marks = view.iteration_marks();
+  for (std::size_t i = 0; i < width; ++i) {
+    const double lo = cell * static_cast<double>(i);
+    const double hi = i + 1 == width ? wall : lo + cell;
+    char c = ' ';
+    if (view.switch_windows().overlap(lo, hi) > 0.0) c = 'S';
+    const bool has_mark =
+        std::lower_bound(marks.begin(), marks.end(), lo) !=
+        std::lower_bound(marks.begin(), marks.end(), hi);
+    if (has_mark) c = '|';
+    os << c;
+  }
+  os << '\n';
+
+  for (const WorkerBubbles& wb : bubbles.workers) {
+    std::string label = "w" + std::to_string(wb.worker);
+    os << label << std::string(label_width - label.size(), ' ') << ' ';
+    const IntervalSet& fp = view.fp_busy(wb.worker);
+    const IntervalSet& bp = view.bp_busy(wb.worker);
+    for (std::size_t i = 0; i < width; ++i) {
+      const double lo = cell * static_cast<double>(i);
+      const double hi = i + 1 == width ? wall : lo + cell;
+      os << dominant_char(fp, bp, wb.windows, lo, hi);
+    }
+    os << '\n';
+  }
+
+  os << '\n'
+     << "F fp  B bp  - startup  ! reconfig drain  # net contention  "
+        "< upstream stall  > downstream stall  . tail   "
+        "ruler: | iteration  S switch\n"
+     << "scale: 1 cell = " << trace::format_double(cell) << " s, run = "
+     << trace::format_double(wall) << " s\n";
+  return os.str();
+}
+
+}  // namespace autopipe::analysis

@@ -1,0 +1,20 @@
+// ASCII gantt timeline: one row per worker, one character per time cell,
+// chosen by which activity dominates the cell — 'F' forward compute, 'B'
+// backward compute, then the bubble classes ('-' startup fill, '!'
+// reconfiguration drain, '#' network contention, '<' upstream stall, '>'
+// downstream stall, '.' drain tail). A ruler row marks iteration
+// completions and switch windows so pipeline shape, drain gaps and
+// contention bands are visible straight from a terminal.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "analysis/trace_view.hpp"
+
+namespace autopipe::analysis {
+
+/// Render the per-worker timeline at `width` cells across the whole run.
+std::string render_gantt(const TraceView& view, std::size_t width = 100);
+
+}  // namespace autopipe::analysis

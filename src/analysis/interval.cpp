@@ -1,0 +1,129 @@
+#include "analysis/interval.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace autopipe::analysis {
+
+IntervalSet::IntervalSet(double begin, double end) { add(begin, end); }
+
+void IntervalSet::add(double begin, double end) {
+  if (end <= begin) return;
+  intervals_.push_back(Interval{begin, end});
+  normalized_ = intervals_.size() == 1;
+}
+
+void IntervalSet::normalize() const {
+  if (normalized_) return;
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<Interval> merged;
+  merged.reserve(intervals_.size());
+  for (const Interval& iv : intervals_) {
+    if (!merged.empty() && iv.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, iv.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  intervals_ = std::move(merged);
+  normalized_ = true;
+}
+
+bool IntervalSet::empty() const {
+  normalize();
+  return intervals_.empty();
+}
+
+double IntervalSet::total() const {
+  normalize();
+  double sum = 0.0;
+  for (const Interval& iv : intervals_) sum += iv.length();
+  return sum;
+}
+
+const std::vector<Interval>& IntervalSet::intervals() const {
+  normalize();
+  return intervals_;
+}
+
+double IntervalSet::front_begin() const {
+  normalize();
+  AUTOPIPE_EXPECT(!intervals_.empty());
+  return intervals_.front().begin;
+}
+
+double IntervalSet::back_end() const {
+  normalize();
+  AUTOPIPE_EXPECT(!intervals_.empty());
+  return intervals_.back().end;
+}
+
+IntervalSet IntervalSet::unite(const IntervalSet& other) const {
+  IntervalSet out;
+  for (const Interval& iv : intervals()) out.add(iv.begin, iv.end);
+  for (const Interval& iv : other.intervals()) out.add(iv.begin, iv.end);
+  return out;
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
+  const auto& a = intervals();
+  const auto& b = other.intervals();
+  IntervalSet out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double lo = std::max(a[i].begin, b[j].begin);
+    const double hi = std::min(a[i].end, b[j].end);
+    if (lo < hi) out.add(lo, hi);
+    if (a[i].end < b[j].end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::subtract(const IntervalSet& other) const {
+  const auto& a = intervals();
+  const auto& b = other.intervals();
+  IntervalSet out;
+  std::size_t j = 0;
+  for (const Interval& iv : a) {
+    double cursor = iv.begin;
+    while (j < b.size() && b[j].end <= cursor) ++j;
+    std::size_t k = j;
+    while (k < b.size() && b[k].begin < iv.end) {
+      if (b[k].begin > cursor) out.add(cursor, b[k].begin);
+      cursor = std::max(cursor, b[k].end);
+      ++k;
+    }
+    if (cursor < iv.end) out.add(cursor, iv.end);
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::clamp(double lo, double hi) const {
+  return intersect(IntervalSet(lo, hi));
+}
+
+IntervalSet IntervalSet::complement(double lo, double hi) const {
+  IntervalSet window(lo, hi);
+  return window.subtract(*this);
+}
+
+double IntervalSet::overlap(double lo, double hi) const {
+  normalize();
+  double sum = 0.0;
+  for (const Interval& iv : intervals_) {
+    if (iv.end <= lo) continue;
+    if (iv.begin >= hi) break;
+    sum += std::min(iv.end, hi) - std::max(iv.begin, lo);
+  }
+  return sum;
+}
+
+}  // namespace autopipe::analysis

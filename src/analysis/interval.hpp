@@ -1,0 +1,63 @@
+// Interval algebra over simulated time — the substrate of every analyzer
+// question ("how long was worker 3 idle while its NIC was saturated?").
+// An IntervalSet is a set of points on the time axis stored as sorted,
+// disjoint, half-open [begin, end) intervals; set operations (union,
+// intersection, subtraction) are linear merges, so attribution over a
+// whole trace stays O(events log events).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace autopipe::analysis {
+
+struct Interval {
+  double begin = 0.0;
+  double end = 0.0;
+
+  double length() const { return end - begin; }
+  bool empty() const { return end <= begin; }
+};
+
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  /// The single interval [begin, end); empty input yields the empty set.
+  IntervalSet(double begin, double end);
+
+  /// Insert [begin, end); overlapping or touching intervals merge. Empty or
+  /// inverted input is ignored.
+  void add(double begin, double end);
+
+  bool empty() const;
+  /// Total measure (sum of lengths).
+  double total() const;
+  /// Sorted, disjoint intervals.
+  const std::vector<Interval>& intervals() const;
+
+  /// Earliest point of the set; contract error when empty.
+  double front_begin() const;
+  /// Latest point of the set; contract error when empty.
+  double back_end() const;
+
+  IntervalSet unite(const IntervalSet& other) const;
+  IntervalSet intersect(const IntervalSet& other) const;
+  /// Points of *this not in `other`.
+  IntervalSet subtract(const IntervalSet& other) const;
+  /// Intersection with the single interval [lo, hi).
+  IntervalSet clamp(double lo, double hi) const;
+
+  /// Complement within [lo, hi).
+  IntervalSet complement(double lo, double hi) const;
+
+  /// Measure of the intersection with [lo, hi) without materialising it.
+  double overlap(double lo, double hi) const;
+
+ private:
+  void normalize() const;
+
+  mutable std::vector<Interval> intervals_;
+  mutable bool normalized_ = true;
+};
+
+}  // namespace autopipe::analysis

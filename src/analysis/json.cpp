@@ -1,0 +1,127 @@
+#include "analysis/json.hpp"
+
+#include <cstdio>
+
+#include "common/expect.hpp"
+#include "common/trace.hpp"
+
+namespace autopipe::analysis {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::~JsonWriter() {
+  while (!stack_.empty()) end();
+  os_ << '\n';
+}
+
+void JsonWriter::newline_indent() {
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return;
+  if (stack_.back() == Scope::kObject) {
+    AUTOPIPE_EXPECT_MSG(key_pending_, "JSON object value without a key");
+    key_pending_ = false;
+    return;
+  }
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  newline_indent();
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end() {
+  AUTOPIPE_EXPECT_MSG(!stack_.empty(), "JSON end() with nothing open");
+  AUTOPIPE_EXPECT_MSG(!key_pending_, "JSON scope closed with a dangling key");
+  const Scope scope = stack_.back();
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  os_ << (scope == Scope::kObject ? '}' : ']');
+}
+
+void JsonWriter::key(const std::string& name) {
+  AUTOPIPE_EXPECT_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
+                      "JSON key() outside an object");
+  AUTOPIPE_EXPECT_MSG(!key_pending_, "JSON key() twice without a value");
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  newline_indent();
+  os_ << '"' << json_escape(name) << "\": ";
+  key_pending_ = true;
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  os_ << trace::format_double(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::value(int v) { value(static_cast<std::int64_t>(v)); }
+
+void JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::value(const std::string& v) {
+  before_value();
+  os_ << '"' << json_escape(v) << '"';
+}
+
+void JsonWriter::value(const char* v) { value(std::string(v)); }
+
+void write_scalar_map_json(const std::map<std::string, double>& values,
+                           std::ostream& os) {
+  JsonWriter w(os);
+  w.begin_object();
+  for (const auto& [name, value] : values) w.kv(name, value);
+  w.end();
+}
+
+}  // namespace autopipe::analysis

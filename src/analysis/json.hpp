@@ -1,0 +1,67 @@
+// Minimal streaming JSON writer for the analyzer's --json outputs and the
+// --metrics export. Scope-stack based (begin_object/begin_array + end),
+// comma placement handled internally, two-space pretty printing, and every
+// double formatted with trace::format_double — so identical analyses
+// serialize byte-identically and golden files diff cleanly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace autopipe::analysis {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void begin_array();
+  /// Close the innermost object/array. The destructor closes anything
+  /// left open, so early returns still produce valid JSON.
+  void end();
+
+  /// Name the next value; must be directly inside an object.
+  void key(const std::string& name);
+
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);  ///< also catches std::size_t
+  void value(int v);
+  void value(bool v);
+  void value(const std::string& v);
+  void value(const char* v);
+
+  /// key() + value() in one call.
+  template <typename T>
+  void kv(const std::string& name, T v) {
+    key(name);
+    value(v);
+  }
+
+ private:
+  enum class Scope { kObject, kArray };
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool key_pending_ = false;
+};
+
+/// JSON string escaping (quotes not included).
+std::string json_escape(const std::string& s);
+
+/// One flat JSON object from a sorted name→value map — the shape the
+/// --metrics=PATH exports use. Key order follows the map (deterministic).
+void write_scalar_map_json(const std::map<std::string, double>& values,
+                           std::ostream& os);
+
+}  // namespace autopipe::analysis

@@ -1,0 +1,437 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/json.hpp"
+#include "common/expect.hpp"
+#include "common/table.hpp"
+#include "common/trace.hpp"
+
+namespace autopipe::analysis {
+
+RunAnalysis analyze(const TraceView& view, std::size_t switch_window) {
+  RunAnalysis a;
+  a.wall_clock = view.wall_clock();
+  a.num_events = view.events().size();
+  a.iterations = view.iteration_marks().size();
+
+  const std::vector<double>& marks = view.iteration_marks();
+  for (std::size_t i = 1; i < marks.size(); ++i) {
+    a.iteration_times.add(marks[i] - marks[i - 1]);
+  }
+  for (const FlowRecord& f : view.flows()) {
+    if (f.cancelled) continue;
+    ++a.flows;
+    a.flow_bytes += f.bytes;
+    a.flow_durations.add(f.end - f.begin);
+  }
+
+  for (int worker : view.workers()) {
+    WorkerUtilization u;
+    u.worker = worker;
+    u.server = view.server_of(worker);
+    const IntervalSet& compute = view.compute_busy(worker);
+    u.compute_seconds = compute.total();
+    u.comm_seconds = view.comm_busy(worker).subtract(compute).total();
+    u.idle_seconds =
+        std::max(0.0, a.wall_clock - u.compute_seconds - u.comm_seconds);
+    if (a.wall_clock > 0.0) {
+      u.compute_frac = u.compute_seconds / a.wall_clock;
+      u.comm_frac = u.comm_seconds / a.wall_clock;
+      u.idle_frac = 1.0 - u.compute_frac - u.comm_frac;
+    }
+    a.utilization.push_back(u);
+  }
+
+  a.bubbles = attribute_bubbles(view);
+  a.critical_path = extract_critical_path(view);
+  a.switches = switch_post_mortems(view, switch_window);
+  return a;
+}
+
+std::vector<UtilizationWindow> utilization_timeline(const TraceView& view,
+                                                    std::size_t windows) {
+  AUTOPIPE_EXPECT(windows > 0);
+  std::vector<UtilizationWindow> out;
+  const double wall = view.wall_clock();
+  if (wall <= 0.0) return out;
+  const double step = wall / static_cast<double>(windows);
+  for (std::size_t i = 0; i < windows; ++i) {
+    UtilizationWindow w;
+    w.begin = step * static_cast<double>(i);
+    w.end = i + 1 == windows ? wall : step * static_cast<double>(i + 1);
+    for (int worker : view.workers()) {
+      const double busy =
+          view.compute_busy(worker).overlap(w.begin, w.end);
+      w.compute_frac.push_back(w.end > w.begin ? busy / (w.end - w.begin)
+                                               : 0.0);
+    }
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+// --- rendering ---------------------------------------------------------------
+
+namespace {
+
+std::string fmt(double v) { return trace::format_double(v); }
+
+void histogram_rows(TextTable& t, const std::string& what,
+                    const Histogram& h) {
+  const Histogram::Summary s = h.summary();
+  t.add_row({what + " count", std::to_string(s.count)});
+  if (s.count == 0) return;
+  t.add_row({what + " mean", fmt(s.mean)});
+  t.add_row({what + " p50", fmt(s.p50)});
+  t.add_row({what + " p95", fmt(s.p95)});
+  t.add_row({what + " p99", fmt(s.p99)});
+  t.add_row({what + " max", fmt(s.max)});
+}
+
+void histogram_json(JsonWriter& w, const Histogram& h) {
+  const Histogram::Summary s = h.summary();
+  w.begin_object();
+  w.kv("count", s.count);
+  w.kv("mean", s.mean);
+  w.kv("min", s.min);
+  w.kv("p50", s.p50);
+  w.kv("p95", s.p95);
+  w.kv("p99", s.p99);
+  w.kv("max", s.max);
+  w.end();
+}
+
+}  // namespace
+
+std::string render_summary_text(const RunAnalysis& a) {
+  std::ostringstream os;
+  TextTable run({"metric", "value"});
+  run.add_row({"wall clock (s)", fmt(a.wall_clock)});
+  run.add_row({"events", std::to_string(a.num_events)});
+  run.add_row({"iterations", std::to_string(a.iterations)});
+  histogram_rows(run, "iteration time (s)", a.iteration_times);
+  run.add_row({"flows completed", std::to_string(a.flows)});
+  run.add_row({"flow bytes", fmt(a.flow_bytes)});
+  histogram_rows(run, "flow duration (s)", a.flow_durations);
+  run.add_row({"switches", std::to_string(a.switches.size())});
+  run.print(os, "run summary");
+
+  os << '\n';
+  TextTable util({"worker", "server", "compute", "comm", "idle"});
+  for (const WorkerUtilization& u : a.utilization) {
+    util.add_row({std::to_string(u.worker),
+                  u.server < 0 ? "?" : std::to_string(u.server),
+                  TextTable::num(u.compute_frac, 4),
+                  TextTable::num(u.comm_frac, 4),
+                  TextTable::num(u.idle_frac, 4)});
+  }
+  util.print(os, "per-worker utilization (fraction of wall clock)");
+
+  os << '\n' << render_bubbles_text(a);
+  return os.str();
+}
+
+std::string render_bubbles_text(const RunAnalysis& a) {
+  std::ostringstream os;
+  std::vector<std::string> header = {"worker", "busy"};
+  for (std::size_t c = 0; c < kNumBubbleClasses; ++c) {
+    header.push_back(bubble_class_name(static_cast<BubbleClass>(c)));
+  }
+  header.push_back("wall");
+  TextTable t(std::move(header));
+  auto row = [&t](const std::string& who, double busy,
+                  const std::array<double, kNumBubbleClasses>& seconds,
+                  double wall) {
+    std::vector<std::string> cells = {who, TextTable::num(busy, 6)};
+    for (double s : seconds) cells.push_back(TextTable::num(s, 6));
+    cells.push_back(TextTable::num(wall, 6));
+    t.add_row(std::move(cells));
+  };
+  for (const WorkerBubbles& w : a.bubbles.workers) {
+    row("w" + std::to_string(w.worker), w.busy_seconds, w.seconds,
+        w.busy_seconds + w.idle_seconds());
+  }
+  row("total", a.bubbles.total_busy, a.bubbles.totals,
+      a.bubbles.total_busy + a.bubbles.total_idle());
+  t.print(os, "bubble attribution (seconds)");
+  return os.str();
+}
+
+std::string render_critical_path_text(const RunAnalysis& a,
+                                      std::size_t top) {
+  std::ostringstream os;
+  TextTable t({"rank", "segment", "seconds", "share", "count"});
+  std::size_t rank = 0;
+  for (const PathEntry& e : a.critical_path.entries) {
+    if (rank >= top) break;
+    ++rank;
+    t.add_row({std::to_string(rank), e.key, fmt(e.seconds),
+               TextTable::num(e.share * 100.0, 1) + "%",
+               std::to_string(e.segments)});
+  }
+  t.print(os, "critical path (" + fmt(a.critical_path.span_seconds) +
+                  "s spans + " + fmt(a.critical_path.wait_seconds) +
+                  "s waits over " + fmt(a.wall_clock) + "s wall)");
+  return os.str();
+}
+
+std::string render_switches_text(const RunAnalysis& a) {
+  std::ostringstream os;
+  if (a.switches.empty()) {
+    os << "no partition switches in this trace\n";
+    return os.str();
+  }
+  TextTable t({"#", "mode", "at (s)", "duration (s)", "migrated (MB)",
+               "iters during", "period before", "period after", "speedup",
+               "stall (s)", "payback (iters)"});
+  for (const SwitchPostMortem& s : a.switches) {
+    t.add_row({std::to_string(s.index), s.mode.empty() ? "?" : s.mode,
+               fmt(s.request_ts), fmt(s.duration),
+               TextTable::num(s.migration_bytes / 1e6, 3),
+               std::to_string(s.iterations_during), fmt(s.period_before),
+               fmt(s.period_after), TextTable::num(s.speedup_pct, 1) + "%",
+               fmt(s.stall_seconds),
+               s.payback_iterations < 0.0
+                   ? "never"
+                   : TextTable::num(s.payback_iterations, 1)});
+  }
+  t.print(os, "switch post-mortems");
+  return os.str();
+}
+
+namespace {
+
+void utilization_json(JsonWriter& w, const RunAnalysis& a) {
+  w.begin_array();
+  for (const WorkerUtilization& u : a.utilization) {
+    w.begin_object();
+    w.kv("worker", u.worker);
+    w.kv("server", u.server);
+    w.kv("compute_seconds", u.compute_seconds);
+    w.kv("comm_seconds", u.comm_seconds);
+    w.kv("idle_seconds", u.idle_seconds);
+    w.kv("compute_frac", u.compute_frac);
+    w.kv("comm_frac", u.comm_frac);
+    w.kv("idle_frac", u.idle_frac);
+    w.end();
+  }
+  w.end();
+}
+
+void bubbles_json(JsonWriter& w, const RunAnalysis& a) {
+  w.begin_object();
+  w.kv("wall_clock", a.bubbles.wall_clock);
+  w.key("workers");
+  w.begin_array();
+  for (const WorkerBubbles& wb : a.bubbles.workers) {
+    w.begin_object();
+    w.kv("worker", wb.worker);
+    w.kv("busy_seconds", wb.busy_seconds);
+    for (std::size_t c = 0; c < kNumBubbleClasses; ++c) {
+      w.kv(bubble_class_name(static_cast<BubbleClass>(c)), wb.seconds[c]);
+    }
+    w.kv("idle_seconds", wb.idle_seconds());
+    w.end();
+  }
+  w.end();
+  w.key("totals");
+  w.begin_object();
+  w.kv("busy_seconds", a.bubbles.total_busy);
+  for (std::size_t c = 0; c < kNumBubbleClasses; ++c) {
+    w.kv(bubble_class_name(static_cast<BubbleClass>(c)),
+         a.bubbles.totals[c]);
+  }
+  w.kv("idle_seconds", a.bubbles.total_idle());
+  w.end();
+  w.end();
+}
+
+void critical_path_json(JsonWriter& w, const RunAnalysis& a) {
+  w.begin_object();
+  w.kv("span_seconds", a.critical_path.span_seconds);
+  w.kv("wait_seconds", a.critical_path.wait_seconds);
+  w.kv("segments", a.critical_path.segments.size());
+  w.key("entries");
+  w.begin_array();
+  for (const PathEntry& e : a.critical_path.entries) {
+    w.begin_object();
+    w.kv("key", e.key);
+    w.kv("seconds", e.seconds);
+    w.kv("share", e.share);
+    w.kv("count", e.segments);
+    w.end();
+  }
+  w.end();
+  w.end();
+}
+
+void switches_json(JsonWriter& w, const RunAnalysis& a) {
+  w.begin_array();
+  for (const SwitchPostMortem& s : a.switches) {
+    w.begin_object();
+    w.kv("index", s.index);
+    w.kv("mode", s.mode);
+    w.kv("request_ts", s.request_ts);
+    w.kv("finish_ts", s.finish_ts);
+    w.kv("duration", s.duration);
+    w.kv("migration_bytes", s.migration_bytes);
+    w.kv("migration_pairs", s.migration_pairs);
+    w.kv("iterations_during", s.iterations_during);
+    w.kv("period_before", s.period_before);
+    w.kv("period_after", s.period_after);
+    w.kv("speedup_pct", s.speedup_pct);
+    w.kv("stall_seconds", s.stall_seconds);
+    w.kv("payback_iterations", s.payback_iterations);
+    w.end();
+  }
+  w.end();
+}
+
+}  // namespace
+
+void write_summary_json(const RunAnalysis& a, std::ostream& os) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("wall_clock", a.wall_clock);
+  w.kv("events", a.num_events);
+  w.kv("iterations", a.iterations);
+  w.key("iteration_time");
+  histogram_json(w, a.iteration_times);
+  w.kv("flows", a.flows);
+  w.kv("flow_bytes", a.flow_bytes);
+  w.key("flow_duration");
+  histogram_json(w, a.flow_durations);
+  w.key("utilization");
+  utilization_json(w, a);
+  w.key("bubbles");
+  bubbles_json(w, a);
+  w.key("critical_path");
+  critical_path_json(w, a);
+  w.key("switches");
+  switches_json(w, a);
+  w.end();
+}
+
+void write_bubbles_json(const RunAnalysis& a, std::ostream& os) {
+  JsonWriter w(os);
+  bubbles_json(w, a);
+}
+
+void write_critical_path_json(const RunAnalysis& a, std::ostream& os) {
+  JsonWriter w(os);
+  critical_path_json(w, a);
+}
+
+void write_switches_json(const RunAnalysis& a, std::ostream& os) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("switches");
+  switches_json(w, a);
+  w.end();
+}
+
+// --- run comparison ----------------------------------------------------------
+
+std::vector<std::pair<std::string, double>> flatten(const RunAnalysis& a) {
+  std::vector<std::pair<std::string, double>> out;
+  auto put = [&out](const std::string& key, double value) {
+    out.emplace_back(key, value);
+  };
+  put("wall_clock", a.wall_clock);
+  put("events", static_cast<double>(a.num_events));
+  put("iterations", static_cast<double>(a.iterations));
+  if (!a.iteration_times.empty()) {
+    put("iteration_time.mean", a.iteration_times.mean());
+    put("iteration_time.p50", a.iteration_times.p50());
+    put("iteration_time.p95", a.iteration_times.p95());
+    put("iteration_time.p99", a.iteration_times.p99());
+  }
+  put("flows", static_cast<double>(a.flows));
+  put("flow_bytes", a.flow_bytes);
+  for (const WorkerUtilization& u : a.utilization) {
+    const std::string base = "w" + std::to_string(u.worker) + ".";
+    put(base + "compute_seconds", u.compute_seconds);
+    put(base + "comm_seconds", u.comm_seconds);
+    put(base + "idle_seconds", u.idle_seconds);
+  }
+  for (const WorkerBubbles& wb : a.bubbles.workers) {
+    const std::string base =
+        "w" + std::to_string(wb.worker) + ".bubble.";
+    for (std::size_t c = 0; c < kNumBubbleClasses; ++c) {
+      put(base + bubble_class_name(static_cast<BubbleClass>(c)),
+          wb.seconds[c]);
+    }
+  }
+  put("critical_path.span_seconds", a.critical_path.span_seconds);
+  put("critical_path.wait_seconds", a.critical_path.wait_seconds);
+  for (const PathEntry& e : a.critical_path.entries) {
+    put("critical_path." + e.key, e.seconds);
+  }
+  put("switches", static_cast<double>(a.switches.size()));
+  for (const SwitchPostMortem& s : a.switches) {
+    const std::string base = "switch" + std::to_string(s.index) + ".";
+    put(base + "duration", s.duration);
+    put(base + "migration_bytes", s.migration_bytes);
+    put(base + "stall_seconds", s.stall_seconds);
+    put(base + "period_before", s.period_before);
+    put(base + "period_after", s.period_after);
+    put(base + "payback_iterations", s.payback_iterations);
+  }
+  return out;
+}
+
+std::vector<DiffEntry> diff_analyses(const RunAnalysis& a,
+                                     const RunAnalysis& b,
+                                     double tolerance) {
+  std::map<std::string, std::pair<double, double>> merged;
+  for (const auto& [key, value] : flatten(a)) merged[key].first = value;
+  for (const auto& [key, value] : flatten(b)) merged[key].second = value;
+  std::vector<DiffEntry> out;
+  for (const auto& [key, values] : merged) {
+    const double delta = values.second - values.first;
+    if (delta > tolerance || delta < -tolerance) {
+      out.push_back(DiffEntry{key, values.first, values.second});
+    }
+  }
+  return out;
+}
+
+std::string render_diff_text(const std::vector<DiffEntry>& deltas) {
+  std::ostringstream os;
+  if (deltas.empty()) {
+    os << "no differences\n";
+    return os.str();
+  }
+  TextTable t({"key", "run A", "run B", "delta"});
+  for (const DiffEntry& d : deltas) {
+    t.add_row({d.key, fmt(d.a), fmt(d.b), fmt(d.b - d.a)});
+  }
+  t.print(os, std::to_string(deltas.size()) + " differing metrics");
+  return os.str();
+}
+
+void write_diff_json(const std::vector<DiffEntry>& deltas,
+                     std::ostream& os) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("identical", deltas.empty());
+  w.kv("differing", deltas.size());
+  w.key("deltas");
+  w.begin_array();
+  for (const DiffEntry& d : deltas) {
+    w.begin_object();
+    w.kv("key", d.key);
+    w.kv("a", d.a);
+    w.kv("b", d.b);
+    w.kv("delta", d.b - d.a);
+    w.end();
+  }
+  w.end();
+  w.end();
+}
+
+}  // namespace autopipe::analysis

@@ -1,0 +1,100 @@
+// The analyzer's front door: analyze() folds a TraceView into one
+// RunAnalysis — utilization, bubble attribution, critical path, switch
+// post-mortems, iteration-time and flow-duration distributions — and the
+// render_*/write_* functions turn it into aligned text tables or
+// deterministic JSON. diff_analyses() compares two runs key-by-key (the
+// before/after check a perf PR quotes); utilization_timeline() buckets
+// per-worker occupancy into equal windows for trend views.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/bubbles.hpp"
+#include "analysis/critical_path.hpp"
+#include "analysis/switches.hpp"
+#include "analysis/trace_view.hpp"
+#include "common/stats.hpp"
+
+namespace autopipe::analysis {
+
+struct WorkerUtilization {
+  int worker = -1;
+  int server = -1;
+  double compute_seconds = 0.0;
+  /// Communication time not overlapped by compute.
+  double comm_seconds = 0.0;
+  double idle_seconds = 0.0;
+  // Fractions of wall clock; compute + comm + idle == 1 per worker.
+  double compute_frac = 0.0;
+  double comm_frac = 0.0;
+  double idle_frac = 0.0;
+};
+
+struct RunAnalysis {
+  double wall_clock = 0.0;
+  std::size_t num_events = 0;
+  std::size_t iterations = 0;
+  /// Gaps between consecutive iteration-completion marks.
+  Histogram iteration_times;
+  /// Completed (non-cancelled) network flows.
+  std::size_t flows = 0;
+  double flow_bytes = 0.0;
+  Histogram flow_durations;
+  std::vector<WorkerUtilization> utilization;
+  BubbleReport bubbles;
+  CriticalPath critical_path;
+  std::vector<SwitchPostMortem> switches;
+};
+
+/// Run every analysis over the view. `switch_window` bounds the iteration
+/// window the switch post-mortems average periods over.
+RunAnalysis analyze(const TraceView& view, std::size_t switch_window = 5);
+
+/// Per-worker busy (compute) fraction over `windows` equal slices of the
+/// run — the utilization timeline.
+struct UtilizationWindow {
+  double begin = 0.0;
+  double end = 0.0;
+  std::vector<double> compute_frac;  ///< aligned with view.workers()
+};
+std::vector<UtilizationWindow> utilization_timeline(const TraceView& view,
+                                                    std::size_t windows);
+
+// --- rendering -------------------------------------------------------------
+
+std::string render_summary_text(const RunAnalysis& a);
+std::string render_bubbles_text(const RunAnalysis& a);
+std::string render_critical_path_text(const RunAnalysis& a,
+                                      std::size_t top = 10);
+std::string render_switches_text(const RunAnalysis& a);
+
+void write_summary_json(const RunAnalysis& a, std::ostream& os);
+void write_bubbles_json(const RunAnalysis& a, std::ostream& os);
+void write_critical_path_json(const RunAnalysis& a, std::ostream& os);
+void write_switches_json(const RunAnalysis& a, std::ostream& os);
+
+// --- run comparison ----------------------------------------------------------
+
+/// One scalar both runs report, with its values. Only keys whose values
+/// differ by more than `tolerance` appear in diff output.
+struct DiffEntry {
+  std::string key;
+  double a = 0.0;
+  double b = 0.0;
+};
+
+/// Every scalar the analysis exposes, as deterministic (key, value) pairs.
+std::vector<std::pair<std::string, double>> flatten(const RunAnalysis& a);
+
+/// Keys that differ between the runs (union of both key sets; a key one
+/// side lacks compares against 0).
+std::vector<DiffEntry> diff_analyses(const RunAnalysis& a,
+                                     const RunAnalysis& b,
+                                     double tolerance = 0.0);
+
+std::string render_diff_text(const std::vector<DiffEntry>& deltas);
+void write_diff_json(const std::vector<DiffEntry>& deltas, std::ostream& os);
+
+}  // namespace autopipe::analysis

@@ -1,0 +1,103 @@
+#include "analysis/switches.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/expect.hpp"
+
+namespace autopipe::analysis {
+
+namespace {
+
+/// Mean of up to `window` gaps between consecutive marks, taking the gaps
+/// that end at or before `t` (before=true) or start at or after `t`
+/// (before=false). 0 when fewer than one full gap is available.
+double mean_period(const std::vector<double>& marks, double t, bool before,
+                   std::size_t window) {
+  if (marks.size() < 2 || window == 0) return 0.0;
+  double sum = 0.0;
+  std::size_t n = 0;
+  if (before) {
+    // Last index with marks[i] <= t.
+    auto it = std::upper_bound(marks.begin(), marks.end(), t);
+    for (; it - marks.begin() >= 2 && n < window; --it) {
+      sum += *(it - 1) - *(it - 2);
+      ++n;
+    }
+  } else {
+    auto it = std::lower_bound(marks.begin(), marks.end(), t);
+    for (; it + 1 < marks.end() && n < window; ++it) {
+      sum += *(it + 1) - *it;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace
+
+std::vector<SwitchPostMortem> switch_post_mortems(const TraceView& view,
+                                                  std::size_t window) {
+  std::vector<SwitchPostMortem> out;
+  const std::vector<double>& marks = view.iteration_marks();
+
+  // migration_begin instants (control row) carry bytes/pairs; match each to
+  // the switch span containing it.
+  struct Migration {
+    double ts;
+    double bytes;
+    std::size_t pairs;
+  };
+  std::vector<Migration> migrations;
+  for (const trace::Event& ev : view.events()) {
+    if (ev.phase == 'i' && ev.name == "migration_begin") {
+      Migration m{ev.ts, 0.0, 0};
+      if (const std::string* b = ev.find_arg("bytes"))
+        m.bytes = std::strtod(b->c_str(), nullptr);
+      if (const std::string* p = ev.find_arg("pairs"))
+        m.pairs = static_cast<std::size_t>(std::strtoull(p->c_str(),
+                                                         nullptr, 10));
+      migrations.push_back(m);
+    }
+  }
+
+  for (const trace::Event* span : view.switch_spans()) {
+    SwitchPostMortem pm;
+    pm.index = out.size();
+    pm.request_ts = span->ts;
+    pm.finish_ts = span->ts + span->dur;
+    pm.duration = span->dur;
+    if (const std::string* m = span->find_arg("mode")) pm.mode = *m;
+
+    for (const Migration& m : migrations) {
+      if (m.ts >= pm.request_ts - 1e-9 && m.ts <= pm.finish_ts + 1e-9) {
+        pm.migration_bytes += m.bytes;
+        pm.migration_pairs += m.pairs;
+      }
+    }
+
+    pm.iterations_during = static_cast<std::size_t>(
+        std::upper_bound(marks.begin(), marks.end(), pm.finish_ts) -
+        std::upper_bound(marks.begin(), marks.end(), pm.request_ts));
+
+    pm.period_before = mean_period(marks, pm.request_ts, true, window);
+    pm.period_after = mean_period(marks, pm.finish_ts, false, window);
+    if (pm.period_before > 0.0 && pm.period_after > 0.0) {
+      pm.speedup_pct = (pm.period_before / pm.period_after - 1.0) * 100.0;
+    }
+    if (pm.period_before > 0.0) {
+      pm.stall_seconds =
+          std::max(0.0, pm.duration - static_cast<double>(
+                                          pm.iterations_during) *
+                                          pm.period_before);
+      const double gain = pm.period_before - pm.period_after;
+      if (pm.period_after > 0.0 && gain > 0.0) {
+        pm.payback_iterations = pm.stall_seconds / gain;
+      }
+    }
+    out.push_back(std::move(pm));
+  }
+  return out;
+}
+
+}  // namespace autopipe::analysis

@@ -1,0 +1,47 @@
+// Per-switch post-mortems: for every controller-initiated partition switch
+// recorded in a trace, reconstruct what it moved, what it stalled and what
+// it bought — migration bytes, drain seconds, iteration period before vs
+// after, and the payback horizon (iterations until the cumulative
+// per-iteration gain covers the switching cost), i.e. the paper's reward
+// signal measured from the trace instead of predicted.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_view.hpp"
+
+namespace autopipe::analysis {
+
+struct SwitchPostMortem {
+  std::size_t index = 0;         ///< 0-based, in time order
+  double request_ts = 0.0;       ///< switch span start (the request instant)
+  double finish_ts = 0.0;        ///< new partition adopted
+  double duration = 0.0;
+  std::string mode;              ///< "stw" | "fine" | "" when unrecorded
+  double migration_bytes = 0.0;
+  std::size_t migration_pairs = 0;
+  /// Iteration marks inside (request, finish].
+  std::size_t iterations_during = 0;
+  /// Mean gap between iteration marks over the window before the request /
+  /// after completion; 0 when too few marks exist on that side.
+  double period_before = 0.0;
+  double period_after = 0.0;
+  /// (period_before / period_after - 1) * 100; 0 when either period is 0.
+  double speedup_pct = 0.0;
+  /// Time the switch cost versus continuing at the pre-switch rate:
+  /// duration - iterations_during * period_before, floored at 0.
+  double stall_seconds = 0.0;
+  /// stall_seconds / (period_before - period_after): iterations of the new
+  /// regime needed to win the stall back; -1 when the switch never pays
+  /// back (no per-iteration gain).
+  double payback_iterations = -1.0;
+};
+
+/// One post-mortem per completed `switch` span, in time order. `window`
+/// bounds how many iteration gaps on each side estimate the periods.
+std::vector<SwitchPostMortem> switch_post_mortems(const TraceView& view,
+                                                  std::size_t window = 5);
+
+}  // namespace autopipe::analysis

@@ -1,0 +1,123 @@
+#include "analysis/trace_reader.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace autopipe::analysis {
+
+namespace {
+
+trace::Category parse_category(const std::string& name, std::size_t line_no) {
+  using trace::Category;
+  if (name == "compute") return Category::kCompute;
+  if (name == "comm") return Category::kComm;
+  if (name == "switch") return Category::kSwitch;
+  if (name == "control") return Category::kControl;
+  if (name == "resource") return Category::kResource;
+  if (name == "mark") return Category::kMark;
+  AUTOPIPE_EXPECT_MSG(false, "trace line " << line_no
+                                           << ": unknown category " << name);
+  throw contract_error("unreachable");
+}
+
+double parse_double_field(const std::string& token, std::size_t line_no) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  AUTOPIPE_EXPECT_MSG(end != nullptr && *end == '\0' && !token.empty(),
+                      "trace line " << line_no << ": bad number " << token);
+  return v;
+}
+
+/// The value of a "key=value" token; contract error when the key differs.
+std::string expect_field(const std::string& token, const char* key,
+                         std::size_t line_no) {
+  const std::string prefix = std::string(key) + "=";
+  AUTOPIPE_EXPECT_MSG(token.rfind(prefix, 0) == 0,
+                      "trace line " << line_no << ": expected " << prefix
+                                    << "..., got " << token);
+  return token.substr(prefix.size());
+}
+
+}  // namespace
+
+std::vector<trace::Event> parse_text(std::istream& is) {
+  std::vector<trace::Event> events;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (ls >> tok) tokens.push_back(std::move(tok));
+    AUTOPIPE_EXPECT_MSG(tokens.size() >= 6,
+                        "trace line " << line_no << ": truncated");
+
+    trace::Event ev;
+    ev.ts = parse_double_field(tokens[0], line_no);
+    ev.category = parse_category(tokens[1], line_no);
+    AUTOPIPE_EXPECT_MSG(tokens[2].size() == 1,
+                        "trace line " << line_no << ": bad phase "
+                                      << tokens[2]);
+    ev.phase = tokens[2][0];
+    AUTOPIPE_EXPECT_MSG(ev.phase == 'X' || ev.phase == 'i' ||
+                            ev.phase == 'C' || ev.phase == 'b' ||
+                            ev.phase == 'e',
+                        "trace line " << line_no << ": unknown phase "
+                                      << ev.phase);
+    ev.name = tokens[3];
+    ev.pid = static_cast<int>(
+        parse_double_field(expect_field(tokens[4], "pid", line_no), line_no));
+    ev.tid = static_cast<int>(
+        parse_double_field(expect_field(tokens[5], "tid", line_no), line_no));
+
+    // Fixed per-phase fields follow pid/tid in the order write_text emits
+    // them; everything after is event args. Arg values may contain spaces
+    // (e.g. resource_event descriptions), so a token without '=' continues
+    // the previous arg's value.
+    std::size_t i = 6;
+    if (ev.phase == 'X') {
+      AUTOPIPE_EXPECT_MSG(i < tokens.size(),
+                          "trace line " << line_no << ": X without dur");
+      ev.dur = parse_double_field(expect_field(tokens[i++], "dur", line_no),
+                                  line_no);
+    } else if (ev.phase == 'b' || ev.phase == 'e') {
+      AUTOPIPE_EXPECT_MSG(i < tokens.size(),
+                          "trace line " << line_no << ": async without id");
+      ev.id = static_cast<std::uint64_t>(parse_double_field(
+          expect_field(tokens[i++], "id", line_no), line_no));
+    } else if (ev.phase == 'C') {
+      AUTOPIPE_EXPECT_MSG(i < tokens.size(),
+                          "trace line " << line_no << ": C without value");
+      ev.value = parse_double_field(
+          expect_field(tokens[i++], "value", line_no), line_no);
+    }
+    for (; i < tokens.size(); ++i) {
+      const std::string& t = tokens[i];
+      const std::size_t eq = t.find('=');
+      if (eq == std::string::npos) {
+        AUTOPIPE_EXPECT_MSG(!ev.args.empty(),
+                            "trace line " << line_no
+                                          << ": dangling token " << t);
+        ev.args.back().value += ' ' + t;
+      } else {
+        ev.args.push_back(trace::Arg{t.substr(0, eq), t.substr(eq + 1)});
+      }
+    }
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+std::vector<trace::Event> parse_text_file(const std::string& path) {
+  std::ifstream in(path);
+  AUTOPIPE_EXPECT_MSG(in.good(), "cannot read trace file " << path);
+  return parse_text(in);
+}
+
+}  // namespace autopipe::analysis

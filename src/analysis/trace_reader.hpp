@@ -1,0 +1,24 @@
+// Reads a recorded trace back into trace::Event records. The deterministic
+// text sink (TraceRecorder::write_text) is the on-disk interchange format —
+// one event per line, fixed field order — and parses losslessly; the
+// in-memory recorder is consumed directly, so analyses run identically on a
+// live run and on a file written weeks ago.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/trace.hpp"
+
+namespace autopipe::analysis {
+
+/// Parse the deterministic text format. Throws contract_error on a
+/// malformed line (truncated fields, unknown category/phase).
+std::vector<trace::Event> parse_text(std::istream& is);
+
+/// Convenience: open and parse a file. Throws contract_error when the file
+/// cannot be read.
+std::vector<trace::Event> parse_text_file(const std::string& path);
+
+}  // namespace autopipe::analysis

@@ -72,6 +72,72 @@ void Ema::reset() {
   has_value_ = false;
 }
 
+void Histogram::add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sorted_ = false;
+}
+
+void Histogram::add_all(std::span<const double> samples) {
+  for (double s : samples) add(s);
+}
+
+double Histogram::mean() const {
+  AUTOPIPE_EXPECT(!samples_.empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::min() const {
+  ensure_sorted();
+  AUTOPIPE_EXPECT(!samples_.empty());
+  return samples_.front();
+}
+
+double Histogram::max() const {
+  ensure_sorted();
+  AUTOPIPE_EXPECT(!samples_.empty());
+  return samples_.back();
+}
+
+double Histogram::percentile(double p) const {
+  AUTOPIPE_EXPECT(!samples_.empty());
+  AUTOPIPE_EXPECT(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void Histogram::reset() {
+  samples_.clear();
+  sum_ = 0.0;
+  sorted_ = true;
+}
+
+Histogram::Summary Histogram::summary() const {
+  Summary s;
+  if (samples_.empty()) return s;
+  s.count = count();
+  s.mean = mean();
+  s.min = min();
+  s.p50 = p50();
+  s.p95 = p95();
+  s.p99 = p99();
+  s.max = max();
+  return s;
+}
+
+void Histogram::ensure_sorted() const {
+  if (sorted_) return;
+  // samples_ is logically const here: sorting changes representation only.
+  auto& mut = const_cast<std::vector<double>&>(samples_);
+  std::sort(mut.begin(), mut.end());
+  sorted_ = true;
+}
+
 void RunningStats::add(double x) {
   ++n_;
   const double delta = x - mean_;

@@ -37,6 +37,50 @@ class Ema {
   bool has_value_ = false;
 };
 
+/// Sample-keeping distribution accumulator with percentile queries — the
+/// iteration-time and flow-duration distributions the trace analyzer and
+/// the CLI summary tables report. Keeps the raw samples (runs are tens of
+/// thousands of events at most) so percentiles are exact.
+class Histogram {
+ public:
+  void add(double sample);
+  void add_all(std::span<const double> samples);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double p50() const { return percentile(50.0); }
+  double p95() const { return percentile(95.0); }
+  double p99() const { return percentile(99.0); }
+
+  void reset();
+
+  /// The standard digest row: count/mean/min/p50/p95/p99/max.
+  struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+  };
+  /// Digest of the samples so far; all-zero when empty.
+  Summary summary() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  mutable bool sorted_ = true;
+};
+
 /// Online mean/variance accumulator (Welford). Used by tests and the
 /// resource monitor's change detector.
 class RunningStats {

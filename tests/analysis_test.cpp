@@ -1,0 +1,630 @@
+// The analysis tier (ctest label `analysis`): interval algebra, trace
+// parsing round-trips, and the analyzer itself checked against hand-built
+// event sequences whose utilization, bubble classes, critical path and
+// switch post-mortems are known exactly — plus a golden `summary --json`
+// over the checked-in bandwidth-drop trace and the partition invariant
+// (busy + every idle class == wall clock) asserted on it.
+//
+// Golden regeneration: AUTOPIPE_REGEN_GOLDEN=1 rewrites the summary file,
+// same as the trace golden in trace_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/bubbles.hpp"
+#include "analysis/critical_path.hpp"
+#include "analysis/gantt.hpp"
+#include "analysis/interval.hpp"
+#include "analysis/json.hpp"
+#include "analysis/report.hpp"
+#include "analysis/switches.hpp"
+#include "analysis/trace_reader.hpp"
+#include "analysis/trace_view.hpp"
+#include "common/expect.hpp"
+#include "common/stats.hpp"
+#include "common/trace.hpp"
+
+namespace autopipe::analysis {
+namespace {
+
+using trace::Category;
+using trace::TraceRecorder;
+using trace::arg;
+using trace::kPidControl;
+using trace::kPidNetwork;
+
+// Direct Event builders: the Event struct is available even with
+// AUTOPIPE_TRACING=OFF (when the recorder is an inert stub), so every
+// analyzer test runs in both configurations.
+
+trace::Event span(Category category, std::string name, double begin,
+                  double end, int pid, int tid, trace::Args args = {}) {
+  trace::Event ev;
+  ev.category = category;
+  ev.phase = 'X';
+  ev.name = std::move(name);
+  ev.ts = begin;
+  ev.dur = end - begin;
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.args = std::move(args);
+  return ev;
+}
+
+trace::Event instant(Category category, std::string name, double ts, int pid,
+                     int tid, trace::Args args = {}) {
+  trace::Event ev;
+  ev.category = category;
+  ev.phase = 'i';
+  ev.name = std::move(name);
+  ev.ts = ts;
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.args = std::move(args);
+  return ev;
+}
+
+trace::Event counter(Category category, std::string name, double ts,
+                     double value) {
+  trace::Event ev;
+  ev.category = category;
+  ev.phase = 'C';
+  ev.name = std::move(name);
+  ev.ts = ts;
+  ev.value = value;
+  ev.pid = kPidNetwork;
+  return ev;
+}
+
+trace::Event flow_edge(char phase, std::uint64_t id, double ts,
+                       trace::Args args = {}) {
+  trace::Event ev;
+  ev.category = Category::kComm;
+  ev.phase = phase;
+  ev.name = "flow";
+  ev.id = id;
+  ev.ts = ts;
+  ev.pid = kPidNetwork;
+  ev.args = std::move(args);
+  return ev;
+}
+
+// ---------------------------------------------------------------------------
+// Interval algebra
+// ---------------------------------------------------------------------------
+
+TEST(IntervalSet, AddMergesOverlappingAndTouching) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  s.add(2.0, 3.0);
+  s.add(0.0, 1.0);
+  s.add(1.0, 2.0);  // touches both: everything merges
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_DOUBLE_EQ(s.total(), 3.0);
+  EXPECT_DOUBLE_EQ(s.front_begin(), 0.0);
+  EXPECT_DOUBLE_EQ(s.back_end(), 3.0);
+
+  s.add(5.0, 5.0);  // empty input ignored
+  s.add(7.0, 6.0);  // inverted input ignored
+  EXPECT_EQ(s.intervals().size(), 1u);
+}
+
+TEST(IntervalSet, SetOperations) {
+  IntervalSet a;
+  a.add(0.0, 4.0);
+  a.add(6.0, 8.0);
+  IntervalSet b;
+  b.add(3.0, 7.0);
+
+  const IntervalSet u = a.unite(b);
+  EXPECT_DOUBLE_EQ(u.total(), 8.0);
+  ASSERT_EQ(u.intervals().size(), 1u);
+
+  const IntervalSet i = a.intersect(b);
+  EXPECT_DOUBLE_EQ(i.total(), 2.0);  // [3,4) + [6,7)
+  ASSERT_EQ(i.intervals().size(), 2u);
+
+  const IntervalSet d = a.subtract(b);
+  EXPECT_DOUBLE_EQ(d.total(), 4.0);  // [0,3) + [7,8)
+  EXPECT_DOUBLE_EQ(d.front_begin(), 0.0);
+  EXPECT_DOUBLE_EQ(d.back_end(), 8.0);
+
+  // subtract + intersect partition the original measure.
+  EXPECT_NEAR(d.total() + i.total(), a.total(), 1e-12);
+}
+
+TEST(IntervalSet, ComplementClampOverlap) {
+  IntervalSet s;
+  s.add(1.0, 2.0);
+  s.add(4.0, 5.0);
+
+  const IntervalSet c = s.complement(0.0, 6.0);
+  EXPECT_DOUBLE_EQ(c.total(), 4.0);  // [0,1) + [2,4) + [5,6)
+  ASSERT_EQ(c.intervals().size(), 3u);
+  EXPECT_NEAR(c.total() + s.total(), 6.0, 1e-12);
+
+  const IntervalSet k = s.clamp(1.5, 4.5);
+  EXPECT_DOUBLE_EQ(k.total(), 1.0);  // [1.5,2) + [4,4.5)
+
+  EXPECT_DOUBLE_EQ(s.overlap(1.5, 4.5), 1.0);
+  EXPECT_DOUBLE_EQ(s.overlap(2.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.overlap(0.0, 10.0), s.total());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram percentiles
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, PercentilesMatchTheFreeFunction) {
+  Histogram h;
+  std::vector<double> xs;
+  for (int i = 100; i >= 1; --i) {
+    h.add(static_cast<double>(i));
+    xs.push_back(static_cast<double>(i));
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.p50(), percentile(xs, 50.0));
+  EXPECT_DOUBLE_EQ(h.p95(), percentile(xs, 95.0));
+  EXPECT_DOUBLE_EQ(h.p99(), percentile(xs, 99.0));
+
+  // Adding after a percentile query re-sorts correctly.
+  h.add(1000.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 1000.0);
+
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 101u);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+
+  h.reset();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.summary().count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Text-format round trip (needs a live recorder to produce the text)
+// ---------------------------------------------------------------------------
+
+#if AUTOPIPE_TRACING
+
+TEST(TraceReader, RoundTripsEveryPhase) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.complete(Category::kCompute, "fp", 0.25, 0.75, 2, 1,
+               {arg("batch", 3), arg("micro", 0)});
+  rec.instant(Category::kMark, "iteration", 1.0, kPidControl, 0,
+              {arg("n", 1)});
+  rec.counter(Category::kResource, "cap:server0.nic.tx", 0.0, 1.25e9);
+  rec.async_begin(Category::kComm, "flow", 42, 0.25,
+                  {arg("bytes", 100.0), arg("path", "server0.nic.tx")});
+  rec.async_end(Category::kComm, "flow", 42, 0.5);
+
+  std::ostringstream os;
+  rec.write_text(os);
+  std::istringstream is(os.str());
+  const std::vector<trace::Event> parsed = parse_text(is);
+  ASSERT_EQ(parsed.size(), rec.events().size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    const trace::Event& want = rec.events()[i];
+    const trace::Event& got = parsed[i];
+    EXPECT_EQ(got.category, want.category) << "event " << i;
+    EXPECT_EQ(got.phase, want.phase);
+    EXPECT_EQ(got.name, want.name);
+    EXPECT_EQ(got.pid, want.pid);
+    EXPECT_EQ(got.tid, want.tid);
+    EXPECT_EQ(got.id, want.id);
+    EXPECT_NEAR(got.ts, want.ts, 1e-12);
+    EXPECT_NEAR(got.dur, want.dur, 1e-12);
+    EXPECT_NEAR(got.value, want.value, 1e-3);
+    ASSERT_EQ(got.args.size(), want.args.size());
+    for (std::size_t a = 0; a < got.args.size(); ++a) {
+      EXPECT_EQ(got.args[a].key, want.args[a].key);
+      EXPECT_EQ(got.args[a].value, want.args[a].value);
+    }
+  }
+}
+
+TEST(TraceReader, ArgValuesWithSpacesSurvive) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.instant(Category::kResource, "resource_event", 0.5, 1002, 0,
+              {arg("what", "set all NIC bandwidth"), arg("after", "done")});
+  std::ostringstream os;
+  rec.write_text(os);
+  std::istringstream is(os.str());
+  const auto parsed = parse_text(is);
+  ASSERT_EQ(parsed.size(), 1u);
+  ASSERT_NE(parsed[0].find_arg("what"), nullptr);
+  EXPECT_EQ(*parsed[0].find_arg("what"), "set all NIC bandwidth");
+  ASSERT_NE(parsed[0].find_arg("after"), nullptr);
+  EXPECT_EQ(*parsed[0].find_arg("after"), "done");
+}
+
+#endif  // AUTOPIPE_TRACING
+
+TEST(TraceReader, MalformedLinesThrow) {
+  {
+    std::istringstream is("0.5 compute X fp pid=0\n");  // missing tid
+    EXPECT_THROW(parse_text(is), contract_error);
+  }
+  {
+    std::istringstream is("0.5 nonsense X fp pid=0 tid=0\n");
+    EXPECT_THROW(parse_text(is), contract_error);
+  }
+  {
+    std::istringstream is("not-a-number compute X fp pid=0 tid=0\n");
+    EXPECT_THROW(parse_text(is), contract_error);
+  }
+  EXPECT_THROW(parse_text_file("/nonexistent/run.trace"), contract_error);
+}
+
+// ---------------------------------------------------------------------------
+// A hand-built two-worker run with exactly known answers
+// ---------------------------------------------------------------------------
+
+/// w0 computes [0,1) and [5,6); w1 computes [2,4). server0's NIC is
+/// saturated over [2,4). One act transfer [1,2) (w0 -> w1) rides flow 1,
+/// whose path names the server NICs. Iteration marks at 6 and 10 pin the
+/// wall clock to 10.
+std::vector<trace::Event> known_run() {
+  return {
+      span(Category::kCompute, "fp", 0.0, 1.0, 0, 0, {arg("batch", 0)}),
+      span(Category::kCompute, "bp", 5.0, 6.0, 0, 0, {arg("batch", 0)}),
+      span(Category::kCompute, "fp", 2.0, 3.0, 1, 1, {arg("batch", 0)}),
+      span(Category::kCompute, "bp", 3.0, 4.0, 1, 1, {arg("batch", 0)}),
+      span(Category::kComm, "act", 1.0, 2.0, kPidNetwork, 1,
+           {arg("src", 0), arg("dst", 1), arg("bytes", 100.0)}),
+      flow_edge('b', 1, 1.0,
+                {arg("bytes", 100.0),
+                 arg("path", "server0.nic.tx,server1.nic.rx")}),
+      flow_edge('e', 1, 2.0),
+      counter(Category::kResource, "cap:server0.nic.tx", 0.0, 1000.0),
+      counter(Category::kResource, "load:server0.nic.tx", 2.0, 1000.0),
+      counter(Category::kResource, "load:server0.nic.tx", 4.0, 0.0),
+      instant(Category::kMark, "iteration", 6.0, kPidControl, 0,
+              {arg("n", 0)}),
+      instant(Category::kMark, "iteration", 10.0, kPidControl, 0,
+              {arg("n", 1)}),
+  };
+}
+
+TEST(TraceView, IndexesTheKnownRun) {
+  const TraceView view(known_run());
+
+  EXPECT_DOUBLE_EQ(view.wall_clock(), 10.0);
+  ASSERT_EQ(view.workers().size(), 2u);
+  EXPECT_DOUBLE_EQ(view.compute_busy(0).total(), 2.0);
+  EXPECT_DOUBLE_EQ(view.compute_busy(1).total(), 2.0);
+  EXPECT_DOUBLE_EQ(view.fp_busy(0).total(), 1.0);
+  EXPECT_DOUBLE_EQ(view.bp_busy(0).total(), 1.0);
+  // The act transfer marks both endpoints comm-busy.
+  EXPECT_DOUBLE_EQ(view.comm_busy(0).total(), 1.0);
+  EXPECT_DOUBLE_EQ(view.comm_busy(1).total(), 1.0);
+
+  ASSERT_EQ(view.flows().size(), 1u);
+  EXPECT_DOUBLE_EQ(view.flows()[0].bytes, 100.0);
+  EXPECT_FALSE(view.flows()[0].cancelled);
+
+  EXPECT_EQ(view.iteration_marks().size(), 2u);
+  EXPECT_TRUE(view.switch_spans().empty());
+
+  // Saturation reconstructed from the cap/load counters.
+  const IntervalSet& sat = view.resource_saturated("server0.nic.tx");
+  EXPECT_DOUBLE_EQ(sat.total(), 2.0);
+  EXPECT_DOUBLE_EQ(sat.front_begin(), 2.0);
+
+  // Servers inferred from the transfer<->flow correlation.
+  EXPECT_EQ(view.server_of(0), 0);
+  EXPECT_EQ(view.server_of(1), 1);
+  EXPECT_DOUBLE_EQ(view.nic_saturated(0).total(), 2.0);
+  EXPECT_DOUBLE_EQ(view.nic_saturated(1).total(), 0.0);
+}
+
+TEST(Bubbles, ClassifiesTheKnownRunExactly) {
+  const TraceView view(known_run());
+  const BubbleReport report = attribute_bubbles(view);
+  ASSERT_EQ(report.workers.size(), 2u);
+
+  auto cls = [](const WorkerBubbles& w, BubbleClass c) {
+    return w.seconds[static_cast<std::size_t>(c)];
+  };
+
+  // w0: busy [0,1)+[5,6); saturated-NIC idle [2,4); the gaps [1,2) and
+  // [4,5) both end at its bp span -> downstream; [6,10) is the tail.
+  const WorkerBubbles& w0 = report.workers[0];
+  EXPECT_EQ(w0.worker, 0);
+  EXPECT_DOUBLE_EQ(w0.busy_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(cls(w0, BubbleClass::kStartupFill), 0.0);
+  EXPECT_DOUBLE_EQ(cls(w0, BubbleClass::kReconfigDrain), 0.0);
+  EXPECT_DOUBLE_EQ(cls(w0, BubbleClass::kNetContention), 2.0);
+  EXPECT_DOUBLE_EQ(cls(w0, BubbleClass::kUpstreamStall), 0.0);
+  EXPECT_DOUBLE_EQ(cls(w0, BubbleClass::kDownstreamStall), 2.0);
+  EXPECT_DOUBLE_EQ(cls(w0, BubbleClass::kDrainTail), 4.0);
+
+  // w1: fill until its first fp at 2, tail after its bp ends at 4; its
+  // server's NIC was never saturated.
+  const WorkerBubbles& w1 = report.workers[1];
+  EXPECT_DOUBLE_EQ(w1.busy_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(cls(w1, BubbleClass::kStartupFill), 2.0);
+  EXPECT_DOUBLE_EQ(cls(w1, BubbleClass::kNetContention), 0.0);
+  EXPECT_DOUBLE_EQ(cls(w1, BubbleClass::kDrainTail), 6.0);
+
+  // The partition invariant, exactly.
+  for (const WorkerBubbles& w : report.workers) {
+    EXPECT_NEAR(w.busy_seconds + w.idle_seconds(), view.wall_clock(), 1e-9);
+  }
+}
+
+TEST(Bubbles, WorkerWithNoComputeIsAllStartupFill) {
+  const TraceView view({
+      span(Category::kCompute, "fp", 0.0, 1.0, 0, 0, {arg("batch", 0)}),
+      // w1 only ever communicates.
+      span(Category::kComm, "act", 1.0, 2.0, kPidNetwork, 1,
+           {arg("src", 0), arg("dst", 1), arg("bytes", 8.0)}),
+  });
+  const BubbleReport report = attribute_bubbles(view);
+  ASSERT_EQ(report.workers.size(), 2u);
+  const WorkerBubbles& w1 = report.workers[1];
+  EXPECT_DOUBLE_EQ(w1.busy_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(
+      w1.seconds[static_cast<std::size_t>(BubbleClass::kStartupFill)],
+      view.wall_clock());
+  EXPECT_NEAR(w1.idle_seconds(), view.wall_clock(), 1e-9);
+}
+
+TEST(CriticalPath, RecoversTheDependencyChain) {
+  // fp on w0 -> activation transfer -> fp on w1, perfectly abutting,
+  // plus a decoy on w0 that also ends at 2.0 but feeds nothing.
+  const TraceView view({
+      span(Category::kCompute, "fp", 0.0, 1.0, 0, 0, {arg("batch", 0)}),
+      span(Category::kComm, "act", 1.0, 2.0, kPidNetwork, 1,
+           {arg("src", 0), arg("dst", 1), arg("bytes", 64.0),
+            arg("batch", 0)}),
+      span(Category::kCompute, "fp", 2.0, 3.0, 1, 1, {arg("batch", 0)}),
+      span(Category::kCompute, "fp", 1.5, 2.0, 0, 0, {arg("batch", 1)}),
+  });
+  const CriticalPath path = extract_critical_path(view);
+
+  ASSERT_EQ(path.segments.size(), 3u);
+  EXPECT_EQ(path.segments[0].key, "compute:fp:stage0@w0");
+  EXPECT_EQ(path.segments[1].key, "comm:act:0->1");
+  EXPECT_EQ(path.segments[2].key, "compute:fp:stage1@w1");
+  EXPECT_DOUBLE_EQ(path.span_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(path.wait_seconds, 0.0);
+
+  double share = 0.0;
+  for (const PathEntry& e : path.entries) share += e.share;
+  EXPECT_NEAR(share, 1.0, 1e-9);
+}
+
+TEST(CriticalPath, InsertsWaitSegmentsAcrossGaps) {
+  // Nothing abuts: [1, 2.5) is dead time even on the critical path.
+  const TraceView view({
+      span(Category::kCompute, "fp", 0.0, 1.0, 0, 0, {arg("batch", 0)}),
+      span(Category::kCompute, "fp", 2.5, 3.0, 1, 1, {arg("batch", 0)}),
+  });
+  const CriticalPath path = extract_critical_path(view);
+
+  ASSERT_EQ(path.segments.size(), 3u);
+  EXPECT_EQ(path.segments[1].key, "wait");
+  EXPECT_DOUBLE_EQ(path.wait_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(path.span_seconds, 1.5);
+}
+
+TEST(Switches, PostMortemArithmetic) {
+  // Steady 1.0 s/iter before; the switch [3.0, 4.5) completes no
+  // iterations; afterwards the run settles at 0.5 s/iter.
+  std::vector<trace::Event> events;
+  for (int n = 1; n <= 3; ++n) {
+    events.push_back(instant(Category::kMark, "iteration",
+                             static_cast<double>(n), kPidControl, 0,
+                             {arg("n", n)}));
+  }
+  events.push_back(span(Category::kSwitch, "switch", 3.0, 4.5, kPidControl, 0,
+                        {arg("mode", "stw")}));
+  events.push_back(instant(Category::kSwitch, "migration_begin", 3.5,
+                           kPidControl, 0,
+                           {arg("pairs", 2), arg("bytes", 1000.0)}));
+  for (int n = 0; n < 3; ++n) {
+    events.push_back(instant(Category::kMark, "iteration", 5.0 + 0.5 * n,
+                             kPidControl, 0, {arg("n", 4 + n)}));
+  }
+
+  const TraceView view(std::move(events));
+  const auto post = switch_post_mortems(view);
+  ASSERT_EQ(post.size(), 1u);
+  const SwitchPostMortem& pm = post[0];
+  EXPECT_EQ(pm.mode, "stw");
+  EXPECT_DOUBLE_EQ(pm.request_ts, 3.0);
+  EXPECT_DOUBLE_EQ(pm.duration, 1.5);
+  EXPECT_DOUBLE_EQ(pm.migration_bytes, 1000.0);
+  EXPECT_EQ(pm.migration_pairs, 2u);
+  EXPECT_EQ(pm.iterations_during, 0u);
+  EXPECT_DOUBLE_EQ(pm.period_before, 1.0);
+  EXPECT_DOUBLE_EQ(pm.period_after, 0.5);
+  EXPECT_NEAR(pm.speedup_pct, 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(pm.stall_seconds, 1.5);
+  // 1.5 s stall won back at 0.5 s/iteration gain.
+  EXPECT_DOUBLE_EQ(pm.payback_iterations, 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-run analysis over the checked-in golden trace
+// ---------------------------------------------------------------------------
+
+std::string golden_path(const char* name) {
+  return std::string(AUTOPIPE_GOLDEN_DIR) + "/" + name;
+}
+
+TEST(GoldenAnalysis, IdleClassesPartitionWallClock) {
+  const TraceView view(parse_text_file(golden_path("bandwidth_drop.trace")));
+  const RunAnalysis a = analyze(view);
+  ASSERT_FALSE(a.bubbles.workers.empty());
+  for (const WorkerBubbles& w : a.bubbles.workers) {
+    EXPECT_NEAR(w.busy_seconds + w.idle_seconds(), a.wall_clock, 1e-6)
+        << "worker " << w.worker;
+  }
+  for (const WorkerUtilization& u : a.utilization) {
+    EXPECT_NEAR(u.compute_frac + u.comm_frac + u.idle_frac, 1.0, 1e-6)
+        << "worker " << u.worker;
+    EXPECT_GE(u.idle_frac, -1e-9);
+  }
+}
+
+TEST(GoldenAnalysis, AttributesContentionAndReconfigDrain) {
+  // The golden scenario drops the NIC to 1 Gbps at iteration 5 and switches
+  // the partition stop-the-world at iteration 7: both signatures must show.
+  const TraceView view(parse_text_file(golden_path("bandwidth_drop.trace")));
+  const BubbleReport report = attribute_bubbles(view);
+  EXPECT_GT(report.totals[static_cast<std::size_t>(
+                BubbleClass::kNetContention)],
+            0.0);
+  EXPECT_GT(report.totals[static_cast<std::size_t>(
+                BubbleClass::kReconfigDrain)],
+            0.0);
+
+  const auto post = switch_post_mortems(view);
+  ASSERT_EQ(post.size(), 1u);
+  EXPECT_EQ(post[0].mode, "stw");
+  EXPECT_GT(post[0].migration_bytes, 0.0);
+}
+
+TEST(GoldenAnalysis, SummaryJsonMatchesGolden) {
+  const std::string path = golden_path("bandwidth_drop.summary.json");
+  const TraceView view(parse_text_file(golden_path("bandwidth_drop.trace")));
+  const RunAnalysis a = analyze(view);
+  std::ostringstream os;
+  write_summary_json(a, os);
+
+  if (std::getenv("AUTOPIPE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write golden file " << path;
+    out << os.str();
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — regenerate with AUTOPIPE_REGEN_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(os.str(), golden.str())
+      << "summary drifted from the golden file; if the change is intended, "
+         "regenerate with AUTOPIPE_REGEN_GOLDEN=1";
+}
+
+TEST(GoldenAnalysis, SelfDiffIsEmpty) {
+  const TraceView view(parse_text_file(golden_path("bandwidth_drop.trace")));
+  const RunAnalysis a = analyze(view);
+  const RunAnalysis b = analyze(view);
+  EXPECT_TRUE(diff_analyses(a, b).empty());
+
+  // flatten() is the diff's substrate: keys must be unique and ordered the
+  // same on every call.
+  const auto fa = flatten(a);
+  const auto fb = flatten(b);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].first, fb[i].first);
+  }
+}
+
+TEST(GoldenAnalysis, DiffDetectsAChangedRun) {
+  const TraceView golden(
+      parse_text_file(golden_path("bandwidth_drop.trace")));
+  const TraceView other(known_run());
+  const auto deltas = diff_analyses(analyze(golden), analyze(other));
+  EXPECT_FALSE(deltas.empty());
+  bool saw_wall_clock = false;
+  for (const DiffEntry& d : deltas) {
+    if (d.key == "wall_clock") saw_wall_clock = true;
+  }
+  EXPECT_TRUE(saw_wall_clock);
+}
+
+TEST(GoldenAnalysis, UtilizationTimelineIsSane) {
+  const TraceView view(parse_text_file(golden_path("bandwidth_drop.trace")));
+  const auto timeline = utilization_timeline(view, 16);
+  ASSERT_EQ(timeline.size(), 16u);
+  EXPECT_DOUBLE_EQ(timeline.front().begin, 0.0);
+  EXPECT_DOUBLE_EQ(timeline.back().end, view.wall_clock());
+  double busy_from_windows = 0.0;
+  for (const UtilizationWindow& w : timeline) {
+    ASSERT_EQ(w.compute_frac.size(), view.workers().size());
+    for (double f : w.compute_frac) {
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0 + 1e-9);
+    }
+    busy_from_windows += w.compute_frac[0] * (w.end - w.begin);
+  }
+  // Window-bucketed busy time telescopes back to the exact total.
+  EXPECT_NEAR(busy_from_windows,
+              view.compute_busy(view.workers()[0]).total(), 1e-9);
+}
+
+TEST(GoldenAnalysis, GanttRendersEveryWorkerRow) {
+  const TraceView view(parse_text_file(golden_path("bandwidth_drop.trace")));
+  const std::string gantt = render_gantt(view, 60);
+  for (int worker : view.workers()) {
+    EXPECT_NE(gantt.find("w" + std::to_string(worker) + " "),
+              std::string::npos);
+  }
+  EXPECT_NE(gantt.find("F fp"), std::string::npos);  // legend
+  EXPECT_NE(gantt.find("scale: 1 cell"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer
+// ---------------------------------------------------------------------------
+
+TEST(JsonWriter, NestsAndEscapes) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    w.kv("text", "line\n\"quoted\"");
+    w.kv("num", 0.5);
+    w.kv("flag", true);
+    w.key("list");
+    w.begin_array();
+    w.value(std::int64_t{1});
+    w.begin_object();
+    w.kv("inner", 2);
+    // Destructor closes the inner object, array and outer object.
+  }
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"text\": \"line\\n\\\"quoted\\\"\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"num\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"flag\": true"), std::string::npos);
+  // Balanced braces/brackets.
+  std::ptrdiff_t depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(JsonWriter, ScalarMapKeepsKeyOrder) {
+  std::ostringstream os;
+  write_scalar_map_json({{"b.second", 2.0}, {"a.first", 1.5}}, os);
+  const std::string json = os.str();
+  const std::size_t a = json.find("a.first");
+  const std::size_t b = json.find("b.second");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_NE(json.find("\"a.first\": 1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autopipe::analysis

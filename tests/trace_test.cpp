@@ -170,7 +170,11 @@ struct GoldenCapture {
 };
 
 /// The fig3 shape in miniature: two single-GPU servers, a two-stage
-/// pipeline, and an all-NIC bandwidth drop at iteration 5.
+/// pipeline, an all-NIC bandwidth drop at iteration 5 and the response a
+/// controller would make — a stop-the-world switch at iteration 7 that
+/// shifts work toward the cheaper cut. One golden file then exercises
+/// every event family the analyzer classifies: compute, flows, saturated
+/// links and a reconfiguration window.
 GoldenCapture run_golden_scenario() {
   sim::Simulator sim;
   sim.tracer().set_enabled(true);
@@ -181,14 +185,22 @@ GoldenCapture run_golden_scenario() {
   sim::Cluster cluster(sim, config);
 
   const auto model = tiny_model();
-  const auto initial =
-      partition::Partition::even_split(model.num_layers(), {0, 1});
+  const std::size_t L = model.num_layers();
+  const auto initial = partition::Partition::even_split(L, {0, 1});
+  // Pull the cut back to after the pool layer: smaller activations cross
+  // the (now slow) wire, and the second conv's weights migrate.
+  const partition::Partition next({{0, 1, {0}}, {2, L - 1, {1}}}, L);
   pipeline::PipelineExecutor executor(cluster, model, initial,
                                       pipeline::ExecutorConfig{});
   sim::ResourceTrace rtrace;
   rtrace.at_iteration(5, sim::ResourceTrace::set_all_nic_bandwidth(gbps(1)));
-  executor.set_iteration_callback(
-      [&](std::size_t iters) { rtrace.apply_iteration(iters, cluster); });
+  executor.set_iteration_callback([&](std::size_t iters) {
+    rtrace.apply_iteration(iters, cluster);
+    if (iters == 7) {
+      executor.request_switch(
+          next, pipeline::PipelineExecutor::SwitchMode::kStopTheWorld);
+    }
+  });
   executor.run(12, 2);
 
   GoldenCapture capture;

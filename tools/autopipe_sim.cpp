@@ -14,11 +14,15 @@
 #include <memory>
 #include <sstream>
 
+#include "analysis/json.hpp"
+#include "analysis/report.hpp"
+#include "analysis/trace_view.hpp"
 #include "autopipe/controller.hpp"
 #include "baselines/data_parallel.hpp"
 #include "common/expect.hpp"
 #include "common/flags.hpp"
 #include "common/log.hpp"
+#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "models/zoo.hpp"
@@ -61,7 +65,10 @@ void usage() {
       "  --trace PATH          write an event trace of the run; .json gives\n"
       "                        Chrome trace_event format (chrome://tracing,\n"
       "                        Perfetto), .txt/.trace the plain-text format\n"
-      "                        (see docs/TRACING.md)\n"
+      "                        (see docs/TRACING.md; analyze either text\n"
+      "                        trace with the autopipe_trace tool)\n"
+      "  --metrics PATH        write the run's metrics registry as one flat\n"
+      "                        JSON object (stable key order)\n"
       "  --verbose             debug logging\n";
 }
 
@@ -95,6 +102,7 @@ int main(int argc, char** argv) {
 
   sim::Simulator simulator;
   const std::string trace_path = flags.get("trace", "");
+  const std::string metrics_path = flags.get("metrics", "");
   if (!trace_path.empty()) {
     // Fail on an unwritable path now, not after the whole run.
     std::ofstream probe(trace_path);
@@ -220,6 +228,19 @@ int main(int argc, char** argv) {
     }
     std::cout << "trace: " << simulator.tracer().size() << " events -> "
               << trace_path << "\n";
+    // Breakdown straight off the in-memory recorder — the same report
+    // `autopipe_trace bubbles` would print from the file.
+    const analysis::TraceView view(simulator.tracer().events());
+    std::cout << analysis::render_bubbles_text(analysis::analyze(view));
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    AUTOPIPE_EXPECT_MSG(out.good(),
+                        "cannot open metrics file " << metrics_path);
+    analysis::write_scalar_map_json(simulator.metrics().all(), out);
+    std::cout << "metrics: " << simulator.metrics().all().size()
+              << " values -> " << metrics_path << "\n";
   }
 
   TextTable summary({"metric", "value"});
@@ -230,6 +251,18 @@ int main(int argc, char** argv) {
                    executor.current_partition().to_string()});
   summary.add_row({"throughput (samples/s)",
                    TextTable::num(report.throughput, 1)});
+  Histogram iter_times;
+  for (std::size_t i = warmup + 1; i < report.iteration_end_times.size();
+       ++i) {
+    iter_times.add(report.iteration_end_times[i] -
+                   report.iteration_end_times[i - 1]);
+  }
+  if (!iter_times.empty()) {
+    const Histogram::Summary s = iter_times.summary();
+    summary.add_row({"iteration time p50 (ms)", TextTable::num(s.p50 * 1e3, 3)});
+    summary.add_row({"iteration time p95 (ms)", TextTable::num(s.p95 * 1e3, 3)});
+    summary.add_row({"iteration time p99 (ms)", TextTable::num(s.p99 * 1e3, 3)});
+  }
   summary.add_row({"worker utilization",
                    TextTable::num(report.worker_utilization, 3)});
   summary.add_row({"partition switches",

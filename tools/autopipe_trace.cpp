@@ -1,0 +1,171 @@
+// autopipe_trace — offline pipeline-health reports from a recorded trace.
+// Reads the deterministic text format (--trace=run.trace from autopipe_sim
+// or any bench binary) and answers the questions a tuning session asks:
+// where did the time go (summary), why was each GPU idle (bubbles), what
+// bounds iteration time (critical-path), what did each partition switch
+// cost and buy (switches), what does the run look like (gantt), and what
+// changed between two runs (diff). Every subcommand takes --json for a
+// machine-readable report with byte-stable formatting.
+//
+// Examples:
+//   autopipe_trace summary run.trace
+//   autopipe_trace bubbles run.trace --json
+//   autopipe_trace critical-path run.trace --top=5
+//   autopipe_trace switches run.trace
+//   autopipe_trace gantt run.trace --width=120
+//   autopipe_trace diff before.trace after.trace --tolerance=1e-9
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/gantt.hpp"
+#include "analysis/report.hpp"
+#include "analysis/trace_reader.hpp"
+#include "analysis/trace_view.hpp"
+#include "common/expect.hpp"
+
+using namespace autopipe;
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os <<
+      "autopipe_trace — analyze a recorded run (text trace format; see\n"
+      "docs/TRACING.md for how to record one)\n\n"
+      "  autopipe_trace summary TRACE [--json]\n"
+      "      wall clock, iteration-time percentiles, per-worker\n"
+      "      utilization, bubble attribution, critical path, switches\n"
+      "  autopipe_trace bubbles TRACE [--json]\n"
+      "      per-worker idle-time classification (startup fill, upstream/\n"
+      "      downstream stall, network contention, reconfig drain, tail)\n"
+      "  autopipe_trace critical-path TRACE [--json] [--top=N]\n"
+      "      the span chain that bounds the run, aggregated by stage/link\n"
+      "  autopipe_trace switches TRACE [--json] [--window=N]\n"
+      "      per-switch post-mortems: migration bytes, stall seconds,\n"
+      "      throughput before/after, payback iterations\n"
+      "  autopipe_trace gantt TRACE [--width=N]\n"
+      "      ASCII timeline, one row per worker\n"
+      "  autopipe_trace diff TRACE_A TRACE_B [--json] [--tolerance=X]\n"
+      "      compare every analysis metric between two runs\n";
+  return code;
+}
+
+struct Options {
+  std::vector<std::string> positional;
+  bool json = false;
+  std::size_t top = 10;
+  std::size_t width = 100;
+  std::size_t window = 5;
+  double tolerance = 0.0;
+};
+
+bool parse_options(int argc, char** argv, Options& opts) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      opts.json = true;
+    } else if (arg.rfind("--top=", 0) == 0) {
+      opts.top = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + 6, nullptr, 10));
+    } else if (arg.rfind("--width=", 0) == 0) {
+      opts.width = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + 8, nullptr, 10));
+    } else if (arg.rfind("--window=", 0) == 0) {
+      opts.window = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + 9, nullptr, 10));
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      opts.tolerance = std::strtod(arg.c_str() + 12, nullptr);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option " << arg << "\n";
+      return false;
+    } else {
+      opts.positional.push_back(arg);
+    }
+  }
+  return true;
+}
+
+analysis::TraceView load(const std::string& path) {
+  return analysis::TraceView(analysis::parse_text_file(path));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    return usage(std::cout, 0);
+  }
+
+  Options opts;
+  if (!parse_options(argc, argv, opts)) return 2;
+
+  try {
+    if (command == "diff") {
+      if (opts.positional.size() != 2) {
+        std::cerr << "diff needs exactly two trace files\n";
+        return 2;
+      }
+      const analysis::RunAnalysis a =
+          analysis::analyze(load(opts.positional[0]), opts.window);
+      const analysis::RunAnalysis b =
+          analysis::analyze(load(opts.positional[1]), opts.window);
+      const auto deltas = analysis::diff_analyses(a, b, opts.tolerance);
+      if (opts.json) {
+        analysis::write_diff_json(deltas, std::cout);
+      } else {
+        std::cout << analysis::render_diff_text(deltas);
+      }
+      return deltas.empty() ? 0 : 1;
+    }
+
+    if (opts.positional.size() != 1) {
+      std::cerr << command << " needs exactly one trace file\n";
+      return 2;
+    }
+    const analysis::TraceView view = load(opts.positional[0]);
+
+    if (command == "gantt") {
+      std::cout << analysis::render_gantt(view, opts.width);
+      return 0;
+    }
+
+    const analysis::RunAnalysis a = analysis::analyze(view, opts.window);
+    if (command == "summary") {
+      if (opts.json) {
+        analysis::write_summary_json(a, std::cout);
+      } else {
+        std::cout << analysis::render_summary_text(a) << '\n'
+                  << analysis::render_critical_path_text(a, opts.top) << '\n'
+                  << analysis::render_switches_text(a);
+      }
+    } else if (command == "bubbles") {
+      if (opts.json) {
+        analysis::write_bubbles_json(a, std::cout);
+      } else {
+        std::cout << analysis::render_bubbles_text(a);
+      }
+    } else if (command == "critical-path") {
+      if (opts.json) {
+        analysis::write_critical_path_json(a, std::cout);
+      } else {
+        std::cout << analysis::render_critical_path_text(a, opts.top);
+      }
+    } else if (command == "switches") {
+      if (opts.json) {
+        analysis::write_switches_json(a, std::cout);
+      } else {
+        std::cout << analysis::render_switches_text(a);
+      }
+    } else {
+      std::cerr << "unknown subcommand '" << command << "'\n\n";
+      return usage(std::cerr, 2);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "autopipe_trace: " << e.what() << "\n";
+    return 1;
+  }
+}

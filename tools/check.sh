@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# One-shot health check: configure, build, run the full test suite, then
+# smoke the trace analyzer against the checked-in golden trace. Run from
+# anywhere; exits non-zero on the first failure.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="${BUILD_DIR:-$repo/build}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== configure =="
+cmake -B "$build" -S "$repo"
+
+echo "== build =="
+cmake --build "$build" -j "$jobs"
+
+echo "== test =="
+ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+echo "== analyzer smoke =="
+"$build/tools/autopipe_trace" summary \
+    "$repo/tests/golden/bandwidth_drop.trace" > /dev/null
+"$build/tools/autopipe_trace" diff \
+    "$repo/tests/golden/bandwidth_drop.trace" \
+    "$repo/tests/golden/bandwidth_drop.trace" --json > /dev/null
+
+echo "OK"

@@ -263,4 +263,22 @@ double speedup_pct(double a, double b) {
   return (a / b - 1.0) * 100.0;
 }
 
+namespace {
+std::size_t g_failed_scenarios = 0;
+}
+
+bool run_scenario(const std::string& label,
+                  const std::function<void()>& body) {
+  try {
+    body();
+    return true;
+  } catch (const std::exception& e) {
+    ++g_failed_scenarios;
+    std::cerr << "scenario '" << label << "' failed: " << e.what() << "\n";
+    return false;
+  }
+}
+
+int exit_status() { return g_failed_scenarios == 0 ? 0 : 1; }
+
 }  // namespace autopipe::bench

@@ -130,4 +130,16 @@ double run_baseline(Testbed& testbed, const models::ModelSpec& model,
 /// Percentage improvement of a over b.
 double speedup_pct(double a, double b);
 
+/// Run one labelled scenario body, catching any exception it throws: the
+/// failure is reported on stderr with the label, counted, and the benchmark
+/// continues with its remaining scenarios. Returns whether the body
+/// succeeded. main() must end with `return bench::exit_status();` so a
+/// throwing scenario fails the whole binary instead of vanishing into a
+/// half-filled table.
+bool run_scenario(const std::string& label,
+                  const std::function<void()>& body);
+
+/// 0 when every run_scenario body succeeded so far, 1 otherwise.
+int exit_status();
+
 }  // namespace autopipe::bench

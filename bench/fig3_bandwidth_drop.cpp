@@ -58,7 +58,10 @@ int main(int argc, char** argv) {
     TextTable table({"model", "actual (img/s)", "optimal (img/s)",
                      "degradation"});
     for (const auto& model : models::image_models()) {
-      const Pair p = measure(model, 25);
+      Pair p;
+      if (!bench::run_scenario(model.name() + "_25gbps",
+                               [&] { p = measure(model, 25); }))
+        continue;
       table.add_row({model.name(), TextTable::num(p.actual, 1),
                      TextTable::num(p.optimal, 1),
                      TextTable::num(bench::speedup_pct(p.optimal, p.actual), 1) +
@@ -74,7 +77,10 @@ int main(int argc, char** argv) {
                      "degradation"});
     const auto model = models::vgg16();
     for (double bw : bench::kBandwidthGridGbps) {
-      const Pair p = measure(model, bw);
+      Pair p;
+      if (!bench::run_scenario("vgg16_" + TextTable::num(bw, 0) + "gbps",
+                               [&] { p = measure(model, bw); }))
+        continue;
       table.add_row({TextTable::num(bw, 0) + "Gbps",
                      TextTable::num(p.actual, 1),
                      TextTable::num(p.optimal, 1),
@@ -88,5 +94,5 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper's shape: re-planning wins everywhere; degradation is "
                "worst on slow networks\n(up to 55% at 10 Gbps) and on "
                "communication-heavy models.\n";
-  return 0;
+  return bench::exit_status();
 }

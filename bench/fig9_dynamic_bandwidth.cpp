@@ -40,8 +40,12 @@ bench::RunResult run_series(bool autopipe_on) {
 
 int main(int argc, char** argv) {
   bench::parse_common_flags(argc, argv);
-  const auto pipedream = run_series(false);
-  const auto autopipe = run_series(true);
+  bench::RunResult pipedream;
+  bench::RunResult autopipe;
+  if (!bench::run_scenario("pipedream", [&] { pipedream = run_series(false); }) ||
+      !bench::run_scenario("autopipe", [&] { autopipe = run_series(true); })) {
+    return bench::exit_status();
+  }
 
   TextTable table({"iteration", "PipeDream (img/s)", "AutoPipe (img/s)"});
   for (std::size_t i = 4; i < pipedream.end_times.size(); i += 5) {
@@ -69,5 +73,5 @@ int main(int argc, char** argv) {
   summary.print(std::cout, "Fig 9 — per-phase means");
   std::cout << "\nPaper's shape: AutoPipe leads throughout and the gap widens "
                "as bandwidth grows.\n";
-  return 0;
+  return bench::exit_status();
 }

@@ -14,6 +14,7 @@ const char* bubble_class_name(BubbleClass cls) {
     case BubbleClass::kUpstreamStall: return "upstream_stall";
     case BubbleClass::kDownstreamStall: return "downstream_stall";
     case BubbleClass::kDrainTail: return "drain_tail";
+    case BubbleClass::kFaultDowntime: return "fault_downtime";
   }
   return "unknown";
 }
@@ -57,20 +58,26 @@ BubbleReport attribute_bubbles(const TraceView& view) {
 
     const IntervalSet idle = busy.complement(0.0, view.wall_clock());
     // Attribution works on progressively smaller remainders, most-specific
-    // cause first: position (fill/tail), then reconfiguration, then
-    // contention, then the direction of the dependency the gap waited on.
-    // A worker with no compute at all spent the whole run waiting to fill.
+    // cause first: fault downtime (an outage explains the idleness whatever
+    // position it falls in), then position (fill/tail), then
+    // reconfiguration, then contention, then the direction of the
+    // dependency the gap waited on. A worker with no compute at all spent
+    // the whole run waiting to fill.
+    auto& windows = wb.windows;
+    windows[static_cast<std::size_t>(BubbleClass::kFaultDowntime)] =
+        idle.intersect(view.fault_windows(worker));
+    const IntervalSet live = idle.subtract(view.fault_windows(worker));
+
     const double first_compute =
         busy.empty() ? view.wall_clock() : busy.front_begin();
     const double last_compute =
         busy.empty() ? view.wall_clock() : busy.back_end();
 
-    auto& windows = wb.windows;
     windows[static_cast<std::size_t>(BubbleClass::kStartupFill)] =
-        idle.clamp(0.0, first_compute);
+        live.clamp(0.0, first_compute);
     windows[static_cast<std::size_t>(BubbleClass::kDrainTail)] =
-        idle.clamp(last_compute, view.wall_clock());
-    IntervalSet remainder = idle.clamp(first_compute, last_compute);
+        live.clamp(last_compute, view.wall_clock());
+    IntervalSet remainder = live.clamp(first_compute, last_compute);
 
     windows[static_cast<std::size_t>(BubbleClass::kReconfigDrain)] =
         remainder.intersect(view.switch_windows());

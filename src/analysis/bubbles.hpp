@@ -24,8 +24,9 @@ enum class BubbleClass {
   kUpstreamStall,     ///< waiting on an activation (next span is fp)
   kDownstreamStall,   ///< waiting on a gradient (next span is bp)
   kDrainTail,         ///< after the worker's last compute span
+  kFaultDowntime,     ///< inside a fault window (GPU/link outage or wedge)
 };
-inline constexpr std::size_t kNumBubbleClasses = 6;
+inline constexpr std::size_t kNumBubbleClasses = 7;
 
 /// Short stable name used in tables and JSON ("startup_fill", ...).
 const char* bubble_class_name(BubbleClass cls);

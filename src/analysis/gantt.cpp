@@ -11,7 +11,8 @@ namespace autopipe::analysis {
 
 namespace {
 
-constexpr char kClassChar[kNumBubbleClasses] = {'-', '!', '#', '<', '>', '.'};
+constexpr char kClassChar[kNumBubbleClasses] = {'-', '!', '#', '<',
+                                                '>', '.', 'X'};
 
 char dominant_char(const IntervalSet& fp, const IntervalSet& bp,
                    const std::array<IntervalSet, kNumBubbleClasses>& idle,

@@ -19,6 +19,7 @@ trace::Category parse_category(const std::string& name, std::size_t line_no) {
   if (name == "control") return Category::kControl;
   if (name == "resource") return Category::kResource;
   if (name == "mark") return Category::kMark;
+  if (name == "fault") return Category::kFault;
   AUTOPIPE_EXPECT_MSG(false, "trace line " << line_no
                                            << ": unknown category " << name);
   throw contract_error("unreachable");

@@ -31,6 +31,7 @@ TraceView::TraceView(std::vector<trace::Event> events)
   index_events();
   build_saturation();
   infer_servers();
+  build_fault_windows();
 }
 
 void TraceView::index_events() {
@@ -143,6 +144,17 @@ void TraceView::build_saturation() {
 }
 
 void TraceView::infer_servers() {
+  // Explicit "topology" instants (worker pid -> server tid), emitted by the
+  // fault-injection layer, are authoritative: a single-stage all-replicated
+  // partition has no inter-stage flows to vote with, yet link outages are
+  // keyed by server and still need worker attribution.
+  for (const trace::Event& ev : events_) {
+    if (ev.phase == 'i' && ev.category == trace::Category::kFault &&
+        ev.name == "topology") {
+      per_worker_[ev.pid].server = ev.tid;
+    }
+  }
+
   // A transfer span ("act"/"grad"/"migrate", started at span.ts) and the
   // flow it rode share a start instant and a byte count; the flow's path
   // names the NIC resources, whose names carry the server indices. Each
@@ -179,6 +191,7 @@ void TraceView::infer_servers() {
   }
 
   for (auto& [worker, w] : per_worker_) {
+    if (w.server >= 0) continue;  // pinned by a topology instant
     auto it = votes.find(worker);
     if (it == votes.end()) continue;
     int best_server = -1, best_count = 0;
@@ -233,6 +246,59 @@ void TraceView::infer_servers() {
   }
 }
 
+void TraceView::build_fault_windows() {
+  // Pair the fault-instant marks the injection layer emits into outage
+  // windows. Events arrive in time order; an outage still open at the end
+  // of the trace runs to the wall clock.
+  std::map<int, double> gpu_open;      // worker -> down ts
+  std::map<int, double> link_open;     // server -> down ts
+  std::map<int, IntervalSet> gpu_out;  // per worker
+  std::map<int, IntervalSet> link_out;  // per server
+  IntervalSet wedged;
+  double wedged_open = -1.0;
+  for (const trace::Event& ev : events_) {
+    if (ev.phase != 'i' || ev.category != trace::Category::kFault) continue;
+    if (ev.name == "gpu_down") {
+      gpu_open.emplace(ev.pid, ev.ts);
+    } else if (ev.name == "gpu_up") {
+      auto it = gpu_open.find(ev.pid);
+      if (it != gpu_open.end()) {
+        gpu_out[ev.pid].add(it->second, ev.ts);
+        gpu_open.erase(it);
+      }
+    } else if (ev.name == "link_down") {
+      link_open.emplace(ev.tid, ev.ts);
+    } else if (ev.name == "link_up") {
+      auto it = link_open.find(ev.tid);
+      if (it != link_open.end()) {
+        link_out[ev.tid].add(it->second, ev.ts);
+        link_open.erase(it);
+      }
+    } else if (ev.name == "pipeline_wedged") {
+      if (wedged_open < 0.0) wedged_open = ev.ts;
+    } else if (ev.name == "pipeline_recovered") {
+      if (wedged_open >= 0.0) {
+        wedged.add(wedged_open, ev.ts);
+        wedged_open = -1.0;
+      }
+    }
+  }
+  for (const auto& [worker, ts] : gpu_open) gpu_out[worker].add(ts, wall_clock_);
+  for (const auto& [server, ts] : link_open)
+    link_out[server].add(ts, wall_clock_);
+  if (wedged_open >= 0.0) wedged.add(wedged_open, wall_clock_);
+
+  for (auto& [worker, w] : per_worker_) {
+    auto git = gpu_out.find(worker);
+    if (git != gpu_out.end()) w.fault = w.fault.unite(git->second);
+    if (w.server >= 0) {
+      auto lit = link_out.find(w.server);
+      if (lit != link_out.end()) w.fault = w.fault.unite(lit->second);
+    }
+    if (!wedged.empty()) w.fault = w.fault.unite(wedged);
+  }
+}
+
 const IntervalSet& TraceView::compute_busy(int worker) const {
   auto it = per_worker_.find(worker);
   return it == per_worker_.end() ? kEmptySet : it->second.compute;
@@ -280,6 +346,11 @@ const IntervalSet& TraceView::nic_saturated(int worker) const {
 int TraceView::server_of(int worker) const {
   auto it = per_worker_.find(worker);
   return it == per_worker_.end() ? -1 : it->second.server;
+}
+
+const IntervalSet& TraceView::fault_windows(int worker) const {
+  auto it = per_worker_.find(worker);
+  return it == per_worker_.end() ? kEmptySet : it->second.fault;
 }
 
 }  // namespace autopipe::analysis

@@ -84,10 +84,20 @@ class TraceView {
   /// workers-per-server layout fits the observed pairs.
   int server_of(int worker) const;
 
+  // --- faults ---------------------------------------------------------------
+
+  /// Windows during which the worker was fault-afflicted: its own
+  /// gpu_down→gpu_up outages, its server's link_down→link_up outages, and
+  /// the pipeline-wide pipeline_wedged→pipeline_recovered stalls. Unclosed
+  /// windows run to wall_clock(). Stragglers and profiler dropouts are not
+  /// downtime and are excluded.
+  const IntervalSet& fault_windows(int worker) const;
+
  private:
   void index_events();
   void build_saturation();
   void infer_servers();
+  void build_fault_windows();
 
   std::vector<trace::Event> events_;
   double wall_clock_ = 0.0;
@@ -99,6 +109,7 @@ class TraceView {
     IntervalSet bp;
     IntervalSet comm;
     IntervalSet nic_saturated;
+    IntervalSet fault;
     std::vector<const trace::Event*> compute_spans;
     int server = -1;
   };

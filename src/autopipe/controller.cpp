@@ -1,6 +1,7 @@
 #include "autopipe/controller.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/expect.hpp"
 #include "common/log.hpp"
@@ -36,11 +37,60 @@ AutoPipeController::AutoPipeController(sim::Cluster& cluster,
 void AutoPipeController::attach() {
   executor_.set_iteration_callback(
       [this](std::size_t iters) { on_iteration(iters); });
+  arm_watchdog();
 }
 
 void AutoPipeController::on_iteration(std::size_t completed_iterations) {
-  const ProfileSnapshot snapshot =
-      profiler_.snapshot(executor_, cluster_);
+  // Progress bookkeeping for the stall watchdog: a completed iteration is
+  // the definition of forward progress.
+  const Seconds now_s = cluster_.simulator().now();
+  if (last_iteration_at_ >= 0.0 && now_s > last_iteration_at_) {
+    const double period = now_s - last_iteration_at_;
+    ema_period_ =
+        ema_period_ > 0.0 ? 0.25 * period + 0.75 * ema_period_ : period;
+  }
+  last_iteration_at_ = now_s;
+  last_progress_iterations_ = completed_iterations;
+  last_progress_time_ = now_s;
+  if (wedged_) {
+    wedged_ = false;
+    recovery_attempts_ = 0;
+    next_recovery_at_ = 0.0;
+    recovery_given_up_ = false;
+    cluster_.simulator().metrics().add("controller.recoveries");
+    if (cluster_.simulator().tracer().enabled()) {
+      cluster_.simulator().tracer().instant(
+          trace::Category::kFault, "pipeline_recovered", now_s,
+          trace::kPidControl, 1,
+          {trace::arg("iterations", completed_iterations)});
+    }
+    arm_watchdog();  // the give-up path stops the ticks; progress restarts them
+  }
+
+  ProfileSnapshot snapshot = profiler_.snapshot(executor_, cluster_);
+
+  // Profiler dropouts: a muted worker's readings would simply be absent in
+  // a real deployment, so the controller holds that worker's last good
+  // sample instead of consuming whatever the counters happen to report.
+  if (held_speed_.size() != snapshot.worker_speed.size()) {
+    held_bw_ = snapshot.worker_bandwidth;
+    held_speed_ = snapshot.worker_speed;
+    held_fp_ = snapshot.fp_time;
+    held_bp_ = snapshot.bp_time;
+  }
+  for (sim::WorkerId w = 0; w < snapshot.num_workers; ++w) {
+    if (cluster_.profiler_muted(w)) {
+      snapshot.worker_bandwidth[w] = held_bw_[w];
+      snapshot.worker_speed[w] = held_speed_[w];
+      snapshot.fp_time[w] = held_fp_[w];
+      snapshot.bp_time[w] = held_bp_[w];
+    } else {
+      held_bw_[w] = snapshot.worker_bandwidth[w];
+      held_speed_[w] = snapshot.worker_speed[w];
+      held_fp_[w] = snapshot.fp_time[w];
+      held_bp_[w] = snapshot.bp_time[w];
+    }
+  }
 
   if (static_features_.empty())
     static_features_ = encoder_.static_features(snapshot);
@@ -79,9 +129,18 @@ void AutoPipeController::on_iteration(std::size_t completed_iterations) {
   // report) rather than per-flow achieved rates: the latter shift with the
   // job's own traffic pattern and would alias as phantom resource events.
   ProfileSnapshot monitor_view = snapshot;
+  if (held_nic_bw_.size() != monitor_view.worker_bandwidth.size()) {
+    held_nic_bw_.resize(monitor_view.worker_bandwidth.size());
+    for (sim::WorkerId w = 0; w < monitor_view.num_workers; ++w)
+      held_nic_bw_[w] = cluster_.nic_bandwidth(cluster_.server_of(w));
+  }
   for (sim::WorkerId w = 0; w < monitor_view.num_workers; ++w) {
-    monitor_view.worker_bandwidth[w] =
-        cluster_.nic_bandwidth(cluster_.server_of(w));
+    if (cluster_.profiler_muted(w)) {
+      monitor_view.worker_bandwidth[w] = held_nic_bw_[w];
+    } else {
+      held_nic_bw_[w] = cluster_.nic_bandwidth(cluster_.server_of(w));
+      monitor_view.worker_bandwidth[w] = held_nic_bw_[w];
+    }
   }
   const ResourceChange change = monitor_.update(monitor_view);
   if (change.changed) {
@@ -103,6 +162,29 @@ void AutoPipeController::on_iteration(std::size_t completed_iterations) {
 
   if (executor_.switch_in_progress()) return;
 
+  // Re-admission: a worker excluded by an emergency re-plan has come back —
+  // fold it in with a full-width plan over every reachable worker.
+  if (!excluded_workers_.empty() && !wedged_) {
+    const bool any_back = std::any_of(
+        excluded_workers_.begin(), excluded_workers_.end(),
+        [this](sim::WorkerId w) { return cluster_.worker_reachable(w); });
+    if (any_back && maybe_readmit(snapshot)) return;
+  }
+
+  // While any worker is unreachable — or its measured bandwidth/speed has
+  // not yet recovered to a positive value after an outage — the normal
+  // planning paths are meaningless: planners and the analytic model assume
+  // every worker is usable, and a zero-bandwidth snapshot entry would trip
+  // their contracts. The watchdog's emergency path owns reconfiguration
+  // until the topology heals; once a returned worker is re-admitted
+  // (above) the regular optimization loop resumes.
+  for (sim::WorkerId w = 0; w < cluster_.num_workers(); ++w) {
+    if (!cluster_.worker_reachable(w)) return;
+    if (w < snapshot.num_workers && (snapshot.worker_bandwidth[w] <= 0.0 ||
+                                     snapshot.worker_speed[w] <= 0.0))
+      return;
+  }
+
   // Measured-feedback validation of the last switch: compare mean
   // seconds/iteration over a post-switch window against the pre-switch
   // baseline, on elapsed simulated time (robust to completion bursts).
@@ -123,6 +205,12 @@ void AutoPipeController::on_iteration(std::size_t completed_iterations) {
           LOG_DEBUG("switch regressed (period "
                     << validation_->period_before << " -> " << after_period
                     << "); reverting");
+          if (!partition_reachable(validation_->previous)) {
+            // A fault took out part of the old placement: nothing to revert
+            // to. Keep the current partition and move on.
+            validation_.reset();
+            return;
+          }
           rejected_.insert(executor_.current_partition().to_string());
           if (!executor_.request_switch(validation_->previous,
                                         config_.switch_mode)) {
@@ -297,7 +385,8 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
   if (after_change && config_.replan_on_change) {
     auto [plan, plan_speed] = replan(snapshot);
     if (plan_speed > current_speed * (1.0 + config_.replan_gain_threshold) &&
-        !(plan == current) && !rejected_.count(plan.to_string())) {
+        !(plan == current) && !rejected_.count(plan.to_string()) &&
+        partition_reachable(plan)) {
       if (config_.gradual_migration) {
         LOG_DEBUG("migration target " << plan.to_string());
         target_ = std::move(plan);
@@ -335,6 +424,8 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
   double best_speed = 0.0;
   const partition::Candidate* best = nullptr;
   for (const auto& candidate : candidates) {
+    if (!partition_reachable(candidate.partition))
+      continue;  // a faulted worker is not a migration destination
     if (config_.validate_switches &&
         rejected_.count(candidate.partition.to_string()))
       continue;  // measured worse than predicted earlier in this regime
@@ -455,6 +546,196 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
                                 << best_speed << " samples/s)");
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Stall watchdog and emergency recovery
+// ---------------------------------------------------------------------------
+
+bool AutoPipeController::partition_reachable(
+    const partition::Partition& p) const {
+  for (sim::WorkerId w : p.all_workers())
+    if (!cluster_.worker_reachable(w)) return false;
+  return true;
+}
+
+void AutoPipeController::arm_watchdog() {
+  if (!config_.enable_watchdog || watchdog_armed_ || recovery_given_up_)
+    return;
+  watchdog_armed_ = true;
+  const Seconds interval =
+      std::max(config_.watchdog_min_interval, ema_period_);
+  cluster_.simulator().after(
+      interval, [this] { watchdog_tick(); }, "watchdog");
+}
+
+void AutoPipeController::watchdog_tick() {
+  watchdog_armed_ = false;
+  auto& sim = cluster_.simulator();
+  const Seconds now = sim.now();
+  if (!executor_.running()) {
+    // Either training finished (stop ticking so the event queue can drain)
+    // or run() has not started yet (keep waiting, without counting the idle
+    // span as a stall).
+    if (watchdog_saw_running_ || executor_.completed_iterations() > 0) return;
+    last_progress_time_ = now;
+    arm_watchdog();
+    return;
+  }
+  watchdog_saw_running_ = true;
+
+  const std::size_t iters = executor_.completed_iterations();
+  if (iters != last_progress_iterations_) {
+    last_progress_iterations_ = iters;
+    last_progress_time_ = now;
+  } else {
+    // The EMA yardstick; a stop-the-world drain legitimately spans many
+    // iteration periods, so in-progress switches get the fill grace.
+    Seconds threshold =
+        ema_period_ > 0.0
+            ? std::max(config_.watchdog_factor * ema_period_,
+                       config_.watchdog_min_interval)
+            : config_.watchdog_fill_grace;
+    if (executor_.switch_in_progress())
+      threshold = std::max(threshold, config_.watchdog_fill_grace);
+    const Seconds stall = now - last_progress_time_;
+    if (stall > threshold) {
+      bool worker_down = false;
+      for (sim::WorkerId w = 0; w < cluster_.num_workers(); ++w)
+        if (!cluster_.worker_reachable(w)) { worker_down = true; break; }
+      // With every worker reachable, a slow patch is not a fault: only a
+      // stall past the hard grace bound (and outside a switch, whose drain
+      // is deterministic) triggers recovery.
+      const bool hard_stall = ema_period_ > 0.0 &&
+                              !executor_.switch_in_progress() &&
+                              stall > std::max(threshold,
+                                               config_.watchdog_fill_grace);
+      if (worker_down || hard_stall) {
+        if (!wedged_) {
+          wedged_ = true;
+          ++stats_.wedges_detected;
+          sim.metrics().add("controller.wedges");
+          if (sim.tracer().enabled()) {
+            sim.tracer().instant(
+                trace::Category::kFault, "pipeline_wedged", now,
+                trace::kPidControl, 1,
+                {trace::arg("stalled_seconds", stall),
+                 trace::arg("iterations", iters)});
+          }
+        }
+        if (now >= next_recovery_at_) attempt_recovery(now);
+      }
+    }
+  }
+  arm_watchdog();
+}
+
+void AutoPipeController::attempt_recovery(Seconds now) {
+  auto& sim = cluster_.simulator();
+  if (recovery_attempts_ >= config_.recovery_max_retries) {
+    if (!recovery_given_up_) {
+      recovery_given_up_ = true;
+      ++stats_.recovery_giveups;
+      sim.metrics().add("controller.recovery_giveups");
+      if (sim.tracer().enabled()) {
+        sim.tracer().instant(trace::Category::kFault, "watchdog_giveup", now,
+                             trace::kPidControl, 1,
+                             {trace::arg("attempts", recovery_attempts_)});
+      }
+    }
+    return;
+  }
+  ++recovery_attempts_;
+  next_recovery_at_ =
+      now + config_.watchdog_min_interval *
+                std::pow(config_.recovery_backoff_base,
+                         static_cast<double>(recovery_attempts_));
+
+  std::vector<sim::WorkerId> alive;
+  std::vector<sim::WorkerId> dead;
+  for (sim::WorkerId w = 0; w < cluster_.num_workers(); ++w)
+    (cluster_.worker_reachable(w) ? alive : dead).push_back(w);
+  ProfileSnapshot snapshot = profiler_.snapshot(executor_, cluster_);
+  if (alive.size() > snapshot.num_layers) alive.resize(snapshot.num_layers);
+  if (alive.empty()) return;  // nowhere to land; back off and retry
+
+  std::optional<partition::Partition> plan;
+  try {
+    const auto env = profiler_.environment(snapshot,
+                                           executor_.config().framework,
+                                           executor_.config().sync_scheme);
+    plan = partition::speed_proportional_rebalance(
+        executor_.model(),
+        partition::Partition::even_split(snapshot.num_layers, alive), env,
+        executor_.batch_size());
+  } catch (const std::exception&) {
+    // A half-transitioned environment (e.g. a link that dropped between the
+    // reachability scan and the snapshot) can violate planner contracts;
+    // treat it like any other failed attempt and let the backoff retry.
+    return;
+  }
+  // A fault racing this call (e.g. a second preemption mid-migration) makes
+  // the adopt fail; the backoff schedule retries with a fresh alive set.
+  if (!executor_.emergency_adopt(std::move(*plan))) return;
+  ++stats_.emergency_replans;
+  sim.metrics().add("controller.emergency_replans");
+  excluded_workers_ = std::move(dead);
+  // The emergency plan invalidates every piece of steady-state decision
+  // context.
+  validation_.reset();
+  target_.reset();
+  rejected_.clear();
+  cooldown_until_ = 0;
+  consecutive_reverts_ = 0;
+  pending_.reset();
+  monitor_.reset();
+}
+
+bool AutoPipeController::maybe_readmit(const ProfileSnapshot& snapshot) {
+  std::vector<sim::WorkerId> alive;
+  for (sim::WorkerId w = 0; w < cluster_.num_workers(); ++w)
+    if (cluster_.worker_reachable(w)) alive.push_back(w);
+  if (alive.size() > snapshot.num_layers) alive.resize(snapshot.num_layers);
+  if (alive.empty()) return false;
+
+  std::optional<partition::Partition> plan;
+  try {
+    const auto env = profiler_.environment(snapshot,
+                                           executor_.config().framework,
+                                           executor_.config().sync_scheme);
+    plan = partition::speed_proportional_rebalance(
+        executor_.model(),
+        partition::Partition::even_split(snapshot.num_layers, alive), env,
+        executor_.batch_size());
+  } catch (const std::exception&) {
+    return false;  // environment still unsettled; retry next iteration
+  }
+  const auto drop_returned = [this] {
+    excluded_workers_.erase(
+        std::remove_if(
+            excluded_workers_.begin(), excluded_workers_.end(),
+            [this](sim::WorkerId w) { return cluster_.worker_reachable(w); }),
+        excluded_workers_.end());
+  };
+  if (*plan == executor_.current_partition()) {
+    drop_returned();
+    return false;
+  }
+  if (!executor_.request_switch(*plan, config_.switch_mode)) return false;
+  ++stats_.readmissions;
+  ++stats_.switches_requested;
+  last_switch_iteration_ = executor_.completed_iterations();
+  cluster_.simulator().metrics().add("controller.readmissions");
+  if (cluster_.simulator().tracer().enabled()) {
+    cluster_.simulator().tracer().instant(
+        trace::Category::kFault, "worker_readmit",
+        cluster_.simulator().now(), trace::kPidControl, 1,
+        {trace::arg("workers", alive.size())});
+  }
+  drop_returned();
+  validation_.reset();
+  rejected_.clear();
+  return true;
 }
 
 void AutoPipeController::settle_pending_reward(

@@ -82,6 +82,26 @@ struct ControllerConfig {
   /// toward the re-plan with successive two-worker switches instead of one
   /// wholesale adoption.
   bool gradual_migration = false;
+
+  // --- Fault-recovery watchdog (robustness layer) ---
+  /// A simulator-scheduled tick declares the pipeline wedged when no
+  /// iteration completes within `watchdog_factor` x the EMA iteration
+  /// period and either a worker is unreachable or the stall outlasts
+  /// `watchdog_fill_grace`; the response is an emergency re-plan over the
+  /// reachable workers only.
+  bool enable_watchdog = true;
+  double watchdog_factor = 4.0;
+  /// Tick-interval floor; also the base unit of the recovery backoff.
+  Seconds watchdog_min_interval = 0.25;
+  /// Allowance for pipeline fill, long stop-the-world drains, and slow
+  /// first iterations: with every worker reachable, a stall shorter than
+  /// this is never treated as a fault.
+  Seconds watchdog_fill_grace = 10.0;
+  /// Recovery attempts before the watchdog gives up and lets the
+  /// executor's deadlock detection surface the failure.
+  std::size_t recovery_max_retries = 6;
+  /// Backoff multiplier between consecutive recovery attempts.
+  double recovery_backoff_base = 2.0;
 };
 
 class AutoPipeController {
@@ -107,10 +127,23 @@ class AutoPipeController {
     Seconds total_decision_wall_seconds = 0.0;  // host wall clock (Fig 12)
     Seconds last_decision_wall_seconds = 0.0;
     std::size_t changes_detected = 0;
+    // Fault-recovery counters.
+    std::size_t wedges_detected = 0;
+    std::size_t emergency_replans = 0;
+    std::size_t readmissions = 0;
+    std::size_t recovery_giveups = 0;
   };
   const Stats& stats() const { return stats_; }
 
   const FeatureEncoder& encoder() const { return encoder_; }
+
+  /// Workers excluded by the last emergency re-plan and not yet readmitted.
+  const std::vector<sim::WorkerId>& excluded_workers() const {
+    return excluded_workers_;
+  }
+
+  /// The watchdog's wedge verdict (public so tests can observe it).
+  bool wedged() const { return wedged_; }
 
  private:
   void evaluate_and_decide(const ProfileSnapshot& snapshot,
@@ -127,6 +160,17 @@ class AutoPipeController {
   void settle_pending_reward(const ProfileSnapshot& snapshot);
   /// Median of the recent iteration periods.
   double baseline_period() const;
+  /// True when every worker of `p` is up and its server's link is up.
+  bool partition_reachable(const partition::Partition& p) const;
+  void arm_watchdog();
+  void watchdog_tick();
+  /// One emergency-recovery attempt: re-plan over the reachable workers and
+  /// adopt it through the executor's emergency path. Bounded retries with
+  /// exponential backoff; gives up after recovery_max_retries.
+  void attempt_recovery(Seconds now);
+  /// Fold returned excluded workers back in with a full-width re-plan.
+  /// Returns true if a switch was requested.
+  bool maybe_readmit(const ProfileSnapshot& snapshot);
 
   sim::Cluster& cluster_;
   pipeline::PipelineExecutor& executor_;
@@ -176,6 +220,29 @@ class AutoPipeController {
 
   std::vector<SpeedSample> adaptation_buffer_;
   Stats stats_;
+
+  // --- Watchdog / fault-recovery state ---
+  bool watchdog_armed_ = false;
+  /// Whether a tick has ever observed the executor running (distinguishes
+  /// "run() not started yet" from "training finished").
+  bool watchdog_saw_running_ = false;
+  bool wedged_ = false;
+  bool recovery_given_up_ = false;
+  /// EMA of iteration periods (simulated seconds), the stall yardstick.
+  double ema_period_ = 0.0;
+  Seconds last_iteration_at_ = -1.0;
+  Seconds last_progress_time_ = 0.0;
+  std::size_t last_progress_iterations_ = 0;
+  std::size_t recovery_attempts_ = 0;
+  Seconds next_recovery_at_ = 0.0;
+  std::vector<sim::WorkerId> excluded_workers_;
+  /// Last good per-worker samples, substituted while the profiler feed for
+  /// a worker is muted (fault-injected dropout).
+  std::vector<BytesPerSec> held_bw_;
+  std::vector<FlopsPerSec> held_speed_;
+  std::vector<std::vector<Seconds>> held_fp_;
+  std::vector<std::vector<Seconds>> held_bp_;
+  std::vector<BytesPerSec> held_nic_bw_;
 };
 
 }  // namespace autopipe::core

@@ -27,8 +27,21 @@ ResourceChange ResourceMonitor::update(const ProfileSnapshot& snapshot) {
     primed_ = true;
     return change;
   }
-  AUTOPIPE_EXPECT(snapshot.worker_bandwidth.size() == bw_baseline_.size());
-  AUTOPIPE_EXPECT(snapshot.worker_speed.size() == speed_baseline_.size());
+  if (snapshot.worker_bandwidth.size() != bw_baseline_.size() ||
+      snapshot.worker_speed.size() != speed_baseline_.size()) {
+    // The worker set changed under us (a worker vanished or appeared
+    // mid-window). That is itself a resource event: report it and re-prime
+    // the baselines on the new population.
+    bw_baseline_.assign(snapshot.worker_bandwidth.begin(),
+                        snapshot.worker_bandwidth.end());
+    speed_baseline_.assign(snapshot.worker_speed.begin(),
+                           snapshot.worker_speed.end());
+    consecutive_over_ = 0;
+    change.changed = true;
+    change.magnitude = 1.0;
+    change.description = "worker population changed";
+    return change;
+  }
 
   std::ostringstream what;
   bool over_now = false;

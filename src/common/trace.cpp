@@ -15,6 +15,7 @@ const char* category_name(Category category) {
     case Category::kControl: return "control";
     case Category::kResource: return "resource";
     case Category::kMark: return "mark";
+    case Category::kFault: return "fault";
   }
   return "unknown";
 }

@@ -35,7 +35,15 @@
 
 namespace autopipe::trace {
 
-enum class Category { kCompute, kComm, kSwitch, kControl, kResource, kMark };
+enum class Category {
+  kCompute,
+  kComm,
+  kSwitch,
+  kControl,
+  kResource,
+  kMark,
+  kFault,  ///< injected faults and the recovery transitions they trigger
+};
 
 /// Short lowercase name used in both sinks ("compute", "comm", ...).
 const char* category_name(Category category);

@@ -29,6 +29,17 @@ PipelineExecutor::PipelineExecutor(sim::Cluster& cluster,
   stage_timing_.assign(current_partition_->num_stages(), StageTiming{});
   bandwidth_ema_.assign(cluster_.num_workers(),
                         Ema(config_.bandwidth_ema_alpha));
+  cluster_.set_worker_state_callback([this](sim::WorkerId w, bool up) {
+    if (up) {
+      notify_worker_up(w);
+    } else {
+      notify_worker_down(w);
+    }
+  });
+}
+
+PipelineExecutor::~PipelineExecutor() {
+  cluster_.set_worker_state_callback(nullptr);
 }
 
 void PipelineExecutor::set_iteration_callback(IterationCallback cb) {
@@ -121,6 +132,9 @@ ExecutionReport PipelineExecutor::run(std::size_t iterations,
 }
 
 void PipelineExecutor::fill_pipeline() {
+  // A partition routing through a dead worker cannot make progress;
+  // injection resumes when the worker returns or a recovery plan lands.
+  if (!partition_serviceable()) return;
   if (is_synchronous(config_.mode)) {
     if (sync_state_.empty()) start_sync_iteration();
     return;
@@ -139,6 +153,11 @@ std::uint64_t PipelineExecutor::make_batch(Route route) {
   const std::uint64_t id = next_batch_id_++;
   batches_.emplace(id, BatchState{std::move(route), 0.0});
   ++active_batches_;
+  ++fault_stats_.injected;
+  if (replay_credit_ > 0) {
+    --replay_credit_;
+    ++fault_stats_.replayed;
+  }
   return id;
 }
 
@@ -225,7 +244,13 @@ Seconds PipelineExecutor::stage_overhead(const partition::Partition& p,
 // ---------------------------------------------------------------------------
 
 void PipelineExecutor::start_fp(std::uint64_t batch, std::size_t stage) {
-  auto& state = batches_.at(batch);
+  auto it = batches_.find(batch);
+  if (it == batches_.end()) {
+    // Dropped by fault recovery while its activation was on the wire.
+    ++fault_stats_.orphan_events;
+    return;
+  }
+  auto& state = it->second;
   const Route& route = state.route;
   const partition::Partition& p = *route.partition;
   state.task_started = cluster_.simulator().now();
@@ -236,7 +261,12 @@ void PipelineExecutor::start_fp(std::uint64_t batch, std::size_t stage) {
 }
 
 void PipelineExecutor::after_fp(std::uint64_t batch, std::size_t stage) {
-  auto& state = batches_.at(batch);
+  auto it = batches_.find(batch);
+  if (it == batches_.end()) {
+    ++fault_stats_.orphan_events;
+    return;
+  }
+  auto& state = it->second;
   const Route& route = state.route;
   const partition::Partition& p = *route.partition;
   const std::size_t S = p.num_stages();
@@ -290,7 +320,12 @@ void PipelineExecutor::after_fp(std::uint64_t batch, std::size_t stage) {
 }
 
 void PipelineExecutor::start_bp(std::uint64_t batch, std::size_t stage) {
-  auto& state = batches_.at(batch);
+  auto it = batches_.find(batch);
+  if (it == batches_.end()) {
+    ++fault_stats_.orphan_events;
+    return;
+  }
+  auto& state = it->second;
   const Route& route = state.route;
   const partition::Partition& p = *route.partition;
   state.task_started = cluster_.simulator().now();
@@ -308,7 +343,12 @@ void PipelineExecutor::start_bp(std::uint64_t batch, std::size_t stage) {
 }
 
 void PipelineExecutor::after_bp(std::uint64_t batch, std::size_t stage) {
-  auto& state = batches_.at(batch);
+  auto it = batches_.find(batch);
+  if (it == batches_.end()) {
+    ++fault_stats_.orphan_events;
+    return;
+  }
+  auto& state = it->second;
   const Route route = state.route;  // copy: finish_batch erases the entry
   const partition::Partition& p = *route.partition;
 
@@ -348,6 +388,7 @@ void PipelineExecutor::finish_batch(std::uint64_t batch) {
   batches_.erase(batch);
   AUTOPIPE_EXPECT(active_batches_ > 0);
   --active_batches_;
+  ++fault_stats_.completed;
 
   if (is_synchronous(config_.mode)) {
     auto& sync = sync_state_.at(route.sync_iteration);
@@ -405,7 +446,9 @@ void PipelineExecutor::run_flush_syncs(std::size_t sync_iter) {
   const std::size_t S = p.num_stages();
 
   auto finish_one = [this, sync_iter] {
-    auto& st = sync_state_.at(sync_iter);
+    auto it = sync_state_.find(sync_iter);
+    if (it == sync_state_.end()) return;  // dropped by fault recovery
+    SyncIterationState& st = it->second;
     AUTOPIPE_EXPECT(st.syncs_pending > 0);
     if (--st.syncs_pending == 0) {
       sync_state_.erase(sync_iter);
@@ -481,7 +524,8 @@ void PipelineExecutor::on_iteration_complete() {
   if (switch_state_ && switch_state_->draining) return;  // keep draining
 
   if (is_synchronous(config_.mode)) {
-    if (active_batches_ == 0 && running_) start_sync_iteration();
+    if (active_batches_ == 0 && running_ && partition_serviceable())
+      start_sync_iteration();
   } else {
     fill_pipeline();
   }
@@ -495,10 +539,15 @@ void PipelineExecutor::observed_transfer(const char* label, sim::WorkerId src,
                                          sim::WorkerId dst, Bytes bytes,
                                          std::function<void()> done) {
   const Seconds started = cluster_.simulator().now();
-  cluster_.transfer(
+  // Track the flow id so emergency recovery can cancel this executor's
+  // outstanding transfers. The holder is filled in after start; the
+  // completion callback always runs later (via the event queue).
+  auto flow_handle = std::make_shared<sim::FlowId>(0);
+  const sim::FlowId flow = cluster_.transfer(
       src, dst, bytes,
-      [this, label, src, dst, bytes, started,
+      [this, label, src, dst, bytes, started, flow_handle,
        done = std::move(done)]() mutable {
+        if (*flow_handle != 0) live_flows_.erase(*flow_handle);
         const Seconds d = cluster_.simulator().now() - started;
         if (d > 0.0 && bytes > 0.0) {
           bandwidth_ema_[src].add(bytes / d);
@@ -513,6 +562,10 @@ void PipelineExecutor::observed_transfer(const char* label, sim::WorkerId src,
         }
         if (done) done();
       });
+  if (flow != 0) {
+    *flow_handle = flow;
+    live_flows_.insert(flow);
+  }
 }
 
 BytesPerSec PipelineExecutor::observed_bandwidth(sim::WorkerId worker) const {
@@ -534,6 +587,7 @@ bool PipelineExecutor::request_switch(partition::Partition next,
   AUTOPIPE_EXPECT(next.num_layers() == model_.num_layers());
   if (next == *current_partition_) return false;
 
+  ++switch_generation_;
   switch_state_.reset(new SwitchState{std::move(next), mode, 0, false,
                                       cluster_.simulator().now()});
 
@@ -566,17 +620,46 @@ void PipelineExecutor::begin_migration() {
   // copy belonging to the latest active mini-batch moves first and the
   // remaining versions are reconstructed from it locally, so one version's
   // bytes per layer is the on-wire cost (§4.4).
+  //
+  // Donor selection is fault-aware: the source is the first *alive* old
+  // holder (which in a healthy cluster is old_ws.front(), the historical
+  // choice). When every old holder of a layer is dead, the new holder
+  // rebuilds the weights from the PipeDream stash it already co-hosts
+  // (versioned copies pinned by in-flight batches) — modelled as a free
+  // local reconstruction, counted in fault_stats().weight_reconstructions.
   std::unordered_map<std::uint64_t, Bytes> pair_bytes;
   auto key = [](sim::WorkerId a, sim::WorkerId b) {
     return (static_cast<std::uint64_t>(a) << 32) | b;
   };
+  std::size_t reconstructed_layers = 0;
   for (std::size_t layer = 0; layer < model_.num_layers(); ++layer) {
     const auto& old_ws = from.stage(from.stage_of_layer(layer)).workers;
     const auto& new_ws = to.stage(to.stage_of_layer(layer)).workers;
+    sim::WorkerId donor = partition::Partition::npos;
+    for (sim::WorkerId w : old_ws) {
+      if (worker_alive(w)) {
+        donor = w;
+        break;
+      }
+    }
     for (sim::WorkerId w : new_ws) {
       if (std::find(old_ws.begin(), old_ws.end(), w) != old_ws.end())
         continue;  // already resident
-      pair_bytes[key(old_ws.front(), w)] += model_.param_bytes(layer);
+      if (donor == partition::Partition::npos) {
+        ++reconstructed_layers;
+        ++fault_stats_.weight_reconstructions;
+        continue;  // stash reconstruction on w itself: no wire traffic
+      }
+      pair_bytes[key(donor, w)] += model_.param_bytes(layer);
+    }
+  }
+  if (reconstructed_layers > 0) {
+    metrics().add("executor.weight_reconstructed_layers",
+                  static_cast<double>(reconstructed_layers));
+    if (tracer().enabled()) {
+      tracer().instant(trace::Category::kFault, "weight_reconstruct",
+                       cluster_.simulator().now(), trace::kPidControl, 0,
+                       {trace::arg("layers", reconstructed_layers)});
     }
   }
 
@@ -594,10 +677,13 @@ void PipelineExecutor::begin_migration() {
                       trace::arg("bytes", migration_bytes)});
   }
   switch_state_->transfers_pending = pair_bytes.size();
+  const std::uint64_t generation = switch_generation_;
   for (const auto& [k, bytes] : pair_bytes) {
     const auto src = static_cast<sim::WorkerId>(k >> 32);
     const auto dst = static_cast<sim::WorkerId>(k & 0xffffffffu);
-    observed_transfer("migrate", src, dst, bytes, [this] {
+    observed_transfer("migrate", src, dst, bytes, [this, generation] {
+      if (generation != switch_generation_)
+        return;  // switch aborted by fault recovery mid-flight
       AUTOPIPE_EXPECT(switch_state_ &&
                       switch_state_->transfers_pending > 0);
       if (--switch_state_->transfers_pending == 0) finish_migration();
@@ -616,6 +702,7 @@ void PipelineExecutor::finish_migration() {
   for (sim::WorkerId w : current_partition_->changed_workers(to)) {
     const std::size_t s = to.stage_of_worker(w);
     if (s == partition::Partition::npos) continue;
+    if (!worker_alive(w)) continue;  // a down GPU cannot restage
     const std::size_t moved_layers = to.stage(s).num_layers();
     cluster_.gpu(w).submit(
         0.0, config_.switch_overhead_per_layer *
@@ -650,7 +737,233 @@ void PipelineExecutor::adopt_partition() {
   sync_outstanding_.assign(current_partition_->num_stages(), false);
   stage_timing_.assign(current_partition_->num_stages(), StageTiming{});
   in_flight_ = target_in_flight();
+  degraded_ = false;
+  degraded_lost_.clear();  // a new plan supersedes any pending rejoin
   if (running_) fill_pipeline();
+}
+
+// ---------------------------------------------------------------------------
+// Fault recovery
+// ---------------------------------------------------------------------------
+
+bool PipelineExecutor::worker_alive(sim::WorkerId worker) const {
+  return dead_workers_.count(worker) == 0 && cluster_.worker_up(worker);
+}
+
+bool PipelineExecutor::partition_serviceable() const {
+  if (dead_workers_.empty()) return true;
+  for (sim::WorkerId w : current_partition_->all_workers()) {
+    if (dead_workers_.count(w)) return false;
+  }
+  return true;
+}
+
+void PipelineExecutor::drop_batch(std::uint64_t batch, bool credit_replay) {
+  auto it = batches_.find(batch);
+  if (it == batches_.end()) return;
+  batches_.erase(it);
+  AUTOPIPE_EXPECT(active_batches_ > 0);
+  --active_batches_;
+  ++fault_stats_.dropped;
+  if (credit_replay) ++replay_credit_;
+  metrics().add("executor.dropped_batches");
+}
+
+std::size_t PipelineExecutor::drop_batches_through(sim::WorkerId worker) {
+  // Forward route == backward route under PipeDream semantics, so a batch
+  // routed through the lost worker at *any* stage can no longer complete.
+  std::vector<std::uint64_t> doomed;
+  std::unordered_set<std::size_t> doomed_iterations;
+  for (const auto& [id, state] : batches_) {
+    const auto& ws = state.route.workers;
+    if (std::find(ws.begin(), ws.end(), worker) != ws.end()) {
+      doomed.push_back(id);
+      if (is_synchronous(config_.mode))
+        doomed_iterations.insert(state.route.sync_iteration);
+    }
+  }
+  if (is_synchronous(config_.mode)) {
+    // A sync iteration that lost any micro-batch can never pass its
+    // barrier: drop the whole iteration and let injection restart it.
+    for (const auto& [id, state] : batches_) {
+      if (doomed_iterations.count(state.route.sync_iteration) &&
+          std::find(doomed.begin(), doomed.end(), id) == doomed.end()) {
+        doomed.push_back(id);
+      }
+    }
+    for (std::size_t iter : doomed_iterations) sync_state_.erase(iter);
+  }
+  for (std::uint64_t id : doomed) {
+    // Sync iterations are re-run wholesale rather than replayed batch by
+    // batch, so only async drops arm replay credits.
+    drop_batch(id, !is_synchronous(config_.mode));
+  }
+  return doomed.size();
+}
+
+void PipelineExecutor::repair_degraded(sim::WorkerId worker) {
+  const std::size_t s = current_partition_->stage_of_worker(worker);
+  if (s == partition::Partition::npos) return;  // not in the current plan
+  if (current_partition_->stage(s).replication() < 2)
+    return;  // sole holder lost: stall until recovery or emergency re-plan
+  std::vector<partition::StageAssignment> stages =
+      current_partition_->stages();
+  auto& ws = stages[s].workers;
+  ws.erase(std::remove(ws.begin(), ws.end(), worker), ws.end());
+  current_partition_ = std::make_shared<const partition::Partition>(
+      partition::Partition(std::move(stages), model_.num_layers()));
+  degraded_ = true;
+  degraded_lost_[worker] = s;
+  // Same stage count: timings stay comparable, sync gating restarts.
+  sync_outstanding_.assign(current_partition_->num_stages(), false);
+  in_flight_ = target_in_flight();
+  metrics().add("executor.degraded_repairs");
+  if (tracer().enabled()) {
+    tracer().instant(trace::Category::kFault, "degraded_mode",
+                     cluster_.simulator().now(), static_cast<int>(worker),
+                     static_cast<int>(s),
+                     {trace::arg("replicas",
+                                 current_partition_->stage(s).replication())});
+  }
+}
+
+void PipelineExecutor::resume_if_possible() {
+  if (!running_) return;
+  // A draining stop-the-world switch normally advances from the iteration
+  // callback; when a fault drops the last in-flight batch there will be no
+  // more iterations, so complete the drain here.
+  if (switch_state_ && switch_state_->draining && active_batches_ == 0 &&
+      switch_state_->transfers_pending == 0) {
+    begin_migration();
+    return;
+  }
+  if (!partition_serviceable()) return;
+  if (is_synchronous(config_.mode)) {
+    if (active_batches_ == 0 && sync_state_.empty() &&
+        !(switch_state_ && switch_state_->draining)) {
+      start_sync_iteration();
+    }
+  } else {
+    fill_pipeline();
+  }
+}
+
+void PipelineExecutor::notify_worker_down(sim::WorkerId worker) {
+  if (!dead_workers_.insert(worker).second) return;
+  const std::size_t dropped = drop_batches_through(worker);
+  repair_degraded(worker);
+  if (tracer().enabled()) {
+    tracer().instant(trace::Category::kFault, "worker_loss",
+                     cluster_.simulator().now(), static_cast<int>(worker), 0,
+                     {trace::arg("dropped", dropped),
+                      trace::arg("degraded", degraded_ ? 1 : 0)});
+  }
+  metrics().add("executor.worker_losses");
+  // Replicated stages keep serving with fewer replicas; replays for the
+  // dropped batches flow in immediately. A sole-worker stage leaves the
+  // partition unserviceable and injection stalls here.
+  resume_if_possible();
+}
+
+void PipelineExecutor::notify_worker_up(sim::WorkerId worker) {
+  if (dead_workers_.erase(worker) == 0) return;
+  if (tracer().enabled()) {
+    tracer().instant(trace::Category::kFault, "worker_return",
+                     cluster_.simulator().now(), static_cast<int>(worker), 0);
+  }
+  metrics().add("executor.worker_returns");
+  // A worker a degraded-mode repair dropped from a replicated stage rejoins
+  // that stage in place: preemption keeps device memory, so only the weight
+  // versions it missed need reconstructing from a surviving replica's
+  // PipeDream stash (local, no wire traffic). Re-admission into a *new*
+  // plan — after an emergency re-plan — remains the controller's call.
+  const auto lost = degraded_lost_.find(worker);
+  if (lost != degraded_lost_.end()) {
+    const std::size_t s = lost->second;
+    degraded_lost_.erase(lost);
+    if (s < current_partition_->num_stages() &&
+        current_partition_->stage_of_worker(worker) ==
+            partition::Partition::npos) {
+      std::vector<partition::StageAssignment> stages =
+          current_partition_->stages();
+      stages[s].workers.push_back(worker);
+      current_partition_ = std::make_shared<const partition::Partition>(
+          partition::Partition(std::move(stages), model_.num_layers()));
+      sync_outstanding_.assign(current_partition_->num_stages(), false);
+      in_flight_ = target_in_flight();
+      if (degraded_lost_.empty()) degraded_ = false;
+      const std::size_t layers = current_partition_->stage(s).num_layers();
+      fault_stats_.weight_reconstructions += layers;
+      metrics().add("executor.weight_reconstructed_layers",
+                    static_cast<double>(layers));
+      metrics().add("executor.worker_rejoins");
+      if (tracer().enabled()) {
+        tracer().instant(trace::Category::kFault, "worker_rejoin",
+                         cluster_.simulator().now(),
+                         static_cast<int>(worker), static_cast<int>(s),
+                         {trace::arg("layers", layers)});
+      }
+    }
+  }
+  // Preemption keeps device memory: the returned worker still holds its
+  // stashed weights, so a pipeline stalled on it resumes by itself.
+  resume_if_possible();
+}
+
+bool PipelineExecutor::emergency_adopt(partition::Partition next) {
+  AUTOPIPE_EXPECT(next.num_layers() == model_.num_layers());
+  for (sim::WorkerId w : next.all_workers()) {
+    AUTOPIPE_EXPECT(w < cluster_.num_workers());
+    if (!worker_alive(w) || !cluster_.worker_reachable(w)) return false;
+  }
+  const Seconds now = cluster_.simulator().now();
+
+  // Invalidate any in-flight migration's completion callbacks, then abort
+  // the switch itself (retry policy lives in the controller).
+  ++switch_generation_;
+  if (switch_state_) {
+    metrics().add("executor.switches_aborted");
+    if (tracer().enabled()) {
+      tracer().instant(trace::Category::kFault, "switch_aborted", now,
+                       trace::kPidControl, 0);
+    }
+    switch_state_.reset();
+  }
+
+  // Drop whatever is in flight — the batches (conserved and, for async
+  // schedules, replayed), the sync-iteration barriers, and this executor's
+  // outstanding transfers.
+  std::size_t dropped = 0;
+  while (!batches_.empty()) {
+    drop_batch(batches_.begin()->first, !is_synchronous(config_.mode));
+    ++dropped;
+  }
+  sync_state_.clear();
+  for (sim::FlowId f : live_flows_) cluster_.network().cancel_flow(f);
+  live_flows_.clear();
+
+  metrics().add("executor.emergency_adopts");
+  if (tracer().enabled()) {
+    tracer().instant(trace::Category::kFault, "emergency_adopt", now,
+                     trace::kPidControl, 0,
+                     {trace::arg("dropped", dropped),
+                      trace::arg("partition", next.to_string())});
+  }
+
+  if (next == *current_partition_) {
+    // Nothing to migrate (e.g. a link flap unwedged by dropping the stalled
+    // batches): resume on the plan already in place.
+    degraded_ = false;
+    resume_if_possible();
+    return true;
+  }
+  // Stop-the-world without the drain: the pipeline is already empty.
+  // Draining blocks injection until the donor-aware migration lands.
+  switch_state_.reset(new SwitchState{std::move(next),
+                                      SwitchMode::kStopTheWorld, 0, true,
+                                      now});
+  begin_migration();
+  return true;
 }
 
 }  // namespace autopipe::pipeline

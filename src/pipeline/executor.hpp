@@ -25,9 +25,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "comm/collective.hpp"
@@ -70,6 +72,11 @@ class PipelineExecutor {
   PipelineExecutor(sim::Cluster& cluster, const models::ModelSpec& model,
                    partition::Partition initial, ExecutorConfig config);
 
+  /// Unregisters the cluster's worker-state callback (the constructor
+  /// registered this executor as the single observer; with several
+  /// executors on one cluster the last constructed wins).
+  ~PipelineExecutor();
+
   PipelineExecutor(const PipelineExecutor&) = delete;
   PipelineExecutor& operator=(const PipelineExecutor&) = delete;
 
@@ -96,6 +103,50 @@ class PipelineExecutor {
   }
   std::size_t completed_iterations() const { return completed_iterations_; }
   std::size_t switches_performed() const { return switches_; }
+  bool running() const { return running_; }
+
+  // --- fault recovery ---------------------------------------------------
+
+  /// Mini-batch conservation accounting across faults: at every instant,
+  /// injected == completed + dropped + active. Replays are fresh
+  /// injections credited against earlier drops.
+  struct FaultStats {
+    std::uint64_t injected = 0;   ///< batch units created (micro for sync)
+    std::uint64_t completed = 0;  ///< batch units that finished BP at stage 0
+    std::uint64_t dropped = 0;    ///< batch units lost to worker failures
+    std::uint64_t replayed = 0;   ///< re-injections covering earlier drops
+    std::uint64_t weight_reconstructions = 0;  ///< layers rebuilt from stash
+    std::uint64_t orphan_events = 0;  ///< completions for dropped batches
+  };
+  const FaultStats& fault_stats() const { return fault_stats_; }
+  std::size_t active_batches() const { return active_batches_; }
+
+  /// Worker-loss transitions, invoked by the cluster's worker-state
+  /// callback (registered in the constructor). On loss: drop every
+  /// in-flight batch routed through the worker, then — if the worker's
+  /// stage has surviving replicas — shrink the stage in place and keep
+  /// going in degraded mode; a sole-worker stage stalls injection until
+  /// the worker returns or a controller adopts an emergency plan. On
+  /// return: the worker's stashed weights are assumed intact (preemption,
+  /// not disk loss), so a stalled pipeline resumes by itself.
+  void notify_worker_down(sim::WorkerId worker);
+  void notify_worker_up(sim::WorkerId worker);
+
+  /// Fewer replicas than planned are serving some stage while recovery
+  /// runs. Cleared when a new partition is adopted.
+  bool degraded() const { return degraded_; }
+
+  /// Every stage of the current partition has at least its routed workers
+  /// alive; injection pauses while false.
+  bool partition_serviceable() const;
+
+  /// Controller-driven emergency recovery: abort any in-flight switch,
+  /// drop all in-flight batches (counted, replayable), cancel this
+  /// executor's outstanding transfers, and adopt `next` immediately with
+  /// donor-aware weight migration (alive holders first, stash
+  /// reconstruction otherwise). Returns false when `next` routes through a
+  /// dead or unreachable worker.
+  bool emergency_adopt(partition::Partition next);
 
   // --- profiler-facing telemetry ---------------------------------------
 
@@ -185,6 +236,18 @@ class PipelineExecutor {
   void finish_migration();
   void adopt_partition();
 
+  // Fault handling.
+  bool worker_alive(sim::WorkerId worker) const;
+  /// Erase one batch (and its conservation accounting). `credit_replay`
+  /// arms a replacement injection for async schedules.
+  void drop_batch(std::uint64_t batch, bool credit_replay);
+  /// Drop every batch routed through `worker`; in sync modes whole
+  /// iterations are dropped (their barrier can no longer be satisfied).
+  std::size_t drop_batches_through(sim::WorkerId worker);
+  /// Shrink the dead worker's stage in place when replicas survive.
+  void repair_degraded(sim::WorkerId worker);
+  void resume_if_possible();
+
   sim::Cluster& cluster_;
   const models::ModelSpec& model_;
   ExecutorConfig config_;
@@ -211,6 +274,20 @@ class PipelineExecutor {
   std::unique_ptr<SwitchState> switch_state_;
   std::size_t switches_ = 0;
   Seconds total_switch_stall_ = 0.0;
+  /// Invalidates in-flight migration-transfer callbacks when a fault aborts
+  /// the switch they belong to.
+  std::uint64_t switch_generation_ = 0;
+
+  // Fault state.
+  std::unordered_set<sim::WorkerId> dead_workers_;
+  std::unordered_set<sim::FlowId> live_flows_;
+  FaultStats fault_stats_;
+  std::uint64_t replay_credit_ = 0;
+  bool degraded_ = false;
+  /// Workers dropped from a replicated stage by a degraded-mode repair,
+  /// keyed to the stage they left — so a preempted worker that comes back
+  /// can rejoin in place. Cleared when a switch installs a new partition.
+  std::unordered_map<sim::WorkerId, std::size_t> degraded_lost_;
 
   IterationCallback iteration_callback_;
   std::size_t completed_iterations_ = 0;

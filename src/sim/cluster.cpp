@@ -46,6 +46,9 @@ Cluster::Cluster(Simulator& simulator, ClusterConfig config)
                               : config_.gpu_specs[w];
     gpus_.push_back(std::make_unique<GpuExecutor>(sim_, spec));
   }
+  worker_up_.assign(workers, true);
+  link_up_.assign(config_.num_servers, true);
+  profiler_muted_.assign(workers, false);
 }
 
 std::size_t Cluster::server_of(WorkerId worker) const {
@@ -121,7 +124,85 @@ void Cluster::set_all_nic_bandwidth(BytesPerSec bandwidth) {
 
 BytesPerSec Cluster::nic_bandwidth(std::size_t server) const {
   AUTOPIPE_EXPECT(server < config_.num_servers);
-  return nic_bw_[server];
+  return link_up_[server] ? nic_bw_[server] : 0.0;
+}
+
+void Cluster::set_worker_down(WorkerId worker) {
+  AUTOPIPE_EXPECT(worker < num_workers());
+  if (!worker_up_[worker]) return;
+  worker_up_[worker] = false;
+  gpu(worker).set_available(false);
+  if (sim_.tracer().enabled()) {
+    sim_.tracer().instant(trace::Category::kFault, "gpu_down", sim_.now(),
+                          static_cast<int>(worker), 0);
+  }
+  sim_.metrics().add("cluster.gpu_down", 1.0);
+  if (worker_state_callback_) worker_state_callback_(worker, false);
+}
+
+void Cluster::set_worker_up(WorkerId worker) {
+  AUTOPIPE_EXPECT(worker < num_workers());
+  if (worker_up_[worker]) return;
+  worker_up_[worker] = true;
+  gpu(worker).set_available(true);
+  if (sim_.tracer().enabled()) {
+    sim_.tracer().instant(trace::Category::kFault, "gpu_up", sim_.now(),
+                          static_cast<int>(worker), 0);
+  }
+  sim_.metrics().add("cluster.gpu_up", 1.0);
+  if (worker_state_callback_) worker_state_callback_(worker, true);
+}
+
+bool Cluster::worker_up(WorkerId worker) const {
+  AUTOPIPE_EXPECT(worker < num_workers());
+  return worker_up_[worker];
+}
+
+void Cluster::set_link_down(std::size_t server) {
+  AUTOPIPE_EXPECT(server < config_.num_servers);
+  if (!link_up_[server]) return;
+  link_up_[server] = false;
+  network_.set_resource_down(nic_tx_[server]);
+  network_.set_resource_down(nic_rx_[server]);
+  if (sim_.tracer().enabled()) {
+    sim_.tracer().instant(trace::Category::kFault, "link_down", sim_.now(),
+                          trace::kPidResource, static_cast<int>(server));
+  }
+  sim_.metrics().add("cluster.link_down", 1.0);
+}
+
+void Cluster::set_link_up(std::size_t server) {
+  AUTOPIPE_EXPECT(server < config_.num_servers);
+  if (link_up_[server]) return;
+  link_up_[server] = true;
+  network_.set_resource_up(nic_tx_[server]);
+  network_.set_resource_up(nic_rx_[server]);
+  if (sim_.tracer().enabled()) {
+    sim_.tracer().instant(trace::Category::kFault, "link_up", sim_.now(),
+                          trace::kPidResource, static_cast<int>(server));
+  }
+  sim_.metrics().add("cluster.link_up", 1.0);
+}
+
+bool Cluster::link_up(std::size_t server) const {
+  AUTOPIPE_EXPECT(server < config_.num_servers);
+  return link_up_[server];
+}
+
+void Cluster::set_profiler_muted(WorkerId worker, bool muted) {
+  AUTOPIPE_EXPECT(worker < num_workers());
+  if (profiler_muted_[worker] == muted) return;
+  profiler_muted_[worker] = muted;
+  if (sim_.tracer().enabled()) {
+    sim_.tracer().instant(trace::Category::kFault,
+                          muted ? "profiler_mute" : "profiler_unmute",
+                          sim_.now(), static_cast<int>(worker), 0);
+  }
+}
+
+bool Cluster::profiler_muted(WorkerId worker) const {
+  AUTOPIPE_EXPECT(worker < num_workers());
+  return profiler_muted_[worker];
 }
 
 void Cluster::add_background_job(WorkerId worker) {

@@ -82,6 +82,39 @@ class Cluster {
   void add_background_job(WorkerId worker);
   void remove_background_job(WorkerId worker);
 
+  // --- fault state (hard down/up transitions, not capacity changes) -----
+
+  /// Preempt / return a worker's GPU. Down drops its in-flight and queued
+  /// compute (see GpuExecutor::set_available), emits a fault trace instant
+  /// and notifies the registered worker-state callback. Idempotent.
+  void set_worker_down(WorkerId worker);
+  void set_worker_up(WorkerId worker);
+  bool worker_up(WorkerId worker) const;
+
+  /// Fail / restore a server's NIC (both directions). The nominal bandwidth
+  /// is remembered across the outage; in-flight flows stall and resume.
+  void set_link_down(std::size_t server);
+  void set_link_up(std::size_t server);
+  bool link_up(std::size_t server) const;
+
+  /// A worker that is up *and* whose server link is up: usable by a plan.
+  bool worker_reachable(WorkerId worker) const {
+    return worker_up(worker) && link_up(server_of(worker));
+  }
+
+  /// Profiler dropout: while muted, measurement consumers (the AutoPipe
+  /// controller) hold the last good sample for this worker instead of
+  /// reading fresh — modelling a monitoring-agent outage, not a GPU one.
+  void set_profiler_muted(WorkerId worker, bool muted);
+  bool profiler_muted(WorkerId worker) const;
+
+  /// Observer for worker down/up transitions (single slot; the pipeline
+  /// executor registers itself). Called synchronously from set_worker_*.
+  using WorkerStateCallback = std::function<void(WorkerId, bool up)>;
+  void set_worker_state_callback(WorkerStateCallback cb) {
+    worker_state_callback_ = std::move(cb);
+  }
+
   const ClusterConfig& config() const { return config_; }
 
  private:
@@ -95,6 +128,10 @@ class Cluster {
   std::vector<ResourceId> uplink_tx_;  // per rack (two-tier only)
   std::vector<ResourceId> uplink_rx_;
   std::vector<BytesPerSec> nic_bw_;
+  std::vector<bool> worker_up_;
+  std::vector<bool> link_up_;
+  std::vector<bool> profiler_muted_;
+  WorkerStateCallback worker_state_callback_;
 };
 
 }  // namespace autopipe::sim

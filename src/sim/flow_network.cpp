@@ -29,6 +29,11 @@ ResourceId FlowNetwork::add_resource(std::string name, BytesPerSec capacity) {
 void FlowNetwork::set_capacity(ResourceId resource, BytesPerSec capacity) {
   AUTOPIPE_EXPECT(resource < resources_.size());
   AUTOPIPE_EXPECT(capacity >= 0.0);
+  if (resources_[resource].down) {
+    // Deferred: applies when the resource comes back up.
+    resources_[resource].saved_capacity = capacity;
+    return;
+  }
   advance_to_now();
   resources_[resource].capacity = capacity;
   recompute_rates();
@@ -39,6 +44,30 @@ void FlowNetwork::set_capacity(ResourceId resource, BytesPerSec capacity) {
                           capacity);
   }
   emit_loads();
+}
+
+void FlowNetwork::set_resource_down(ResourceId resource) {
+  AUTOPIPE_EXPECT(resource < resources_.size());
+  Resource& r = resources_[resource];
+  if (r.down) return;
+  const BytesPerSec nominal = r.capacity;
+  set_capacity(resource, 0.0);
+  r.down = true;
+  r.saved_capacity = nominal;
+}
+
+void FlowNetwork::set_resource_up(ResourceId resource) {
+  AUTOPIPE_EXPECT(resource < resources_.size());
+  Resource& r = resources_[resource];
+  if (!r.down) return;
+  r.down = false;
+  set_capacity(resource, r.saved_capacity);
+  r.saved_capacity = 0.0;
+}
+
+bool FlowNetwork::resource_down(ResourceId resource) const {
+  AUTOPIPE_EXPECT(resource < resources_.size());
+  return resources_[resource].down;
 }
 
 BytesPerSec FlowNetwork::capacity(ResourceId resource) const {
@@ -202,7 +231,7 @@ void FlowNetwork::schedule_next_completion() {
   sim_.at(next, [this, generation] {
     if (generation != schedule_generation_) return;  // superseded
     complete_due_flows();
-  });
+  }, "flow_completion");
 }
 
 void FlowNetwork::complete_due_flows() {

@@ -54,10 +54,22 @@ class FlowNetwork {
   /// Define a resource with the given capacity; returns its id.
   ResourceId add_resource(std::string name, BytesPerSec capacity);
 
-  /// Change a resource's capacity now; re-rates all flows through it.
+  /// Change a resource's capacity now; re-rates all flows through it. While
+  /// the resource is down the new value is remembered as the capacity to
+  /// restore on the up transition.
   void set_capacity(ResourceId resource, BytesPerSec capacity);
 
+  /// Live capacity: 0 while the resource is down.
   BytesPerSec capacity(ResourceId resource) const;
+
+  /// Hard failure transition, distinct from a capacity change: the nominal
+  /// capacity is remembered across the outage and restored by
+  /// set_resource_up(). Flows through a down resource are not cancelled —
+  /// they stall at rate 0 and resume when the resource returns, the fluid
+  /// analogue of transport-level retransmission. Idempotent.
+  void set_resource_down(ResourceId resource);
+  void set_resource_up(ResourceId resource);
+  bool resource_down(ResourceId resource) const;
 
   /// Begin a transfer. Zero-byte flows complete via an immediate event.
   FlowId start_flow(FlowSpec spec);
@@ -88,6 +100,8 @@ class FlowNetwork {
   struct Resource {
     std::string name;
     BytesPerSec capacity = 0.0;
+    bool down = false;
+    BytesPerSec saved_capacity = 0.0;  ///< nominal capacity while down
   };
   struct Flow {
     std::vector<ResourceId> path;

@@ -35,6 +35,7 @@ GpuExecutor::TaskId GpuExecutor::submit(Flops flops, Seconds fixed_overhead,
                                         std::function<void()> on_complete) {
   AUTOPIPE_EXPECT(flops >= 0.0);
   AUTOPIPE_EXPECT(fixed_overhead >= 0.0);
+  AUTOPIPE_EXPECT_MSG(available_, "submit on a down GPU");
   const TaskId id = next_task_id_++;
   queue_.push_back(Task{id, flops, fixed_overhead, std::move(on_complete)});
   maybe_start_next();
@@ -45,6 +46,7 @@ GpuExecutor::TaskId GpuExecutor::submit_prioritized(
     Flops flops, Seconds fixed_overhead, std::function<void()> on_complete) {
   AUTOPIPE_EXPECT(flops >= 0.0);
   AUTOPIPE_EXPECT(fixed_overhead >= 0.0);
+  AUTOPIPE_EXPECT_MSG(available_, "submit on a down GPU");
   const TaskId id = next_task_id_++;
   priority_queue_.push_back(
       Task{id, flops, fixed_overhead, std::move(on_complete)});
@@ -65,6 +67,27 @@ void GpuExecutor::set_throughput_scale(double scale) {
   advance_to_now();
   throughput_scale_ = scale;
   schedule_completion();
+}
+
+void GpuExecutor::set_available(bool on) {
+  if (on == available_) return;
+  if (!on) {
+    // Account busy time up to the preemption instant, then drop everything:
+    // a preempted device loses its in-flight kernels, and completion events
+    // already scheduled are invalidated via the generation counter.
+    advance_to_now();
+    tasks_dropped_ += queue_.size() + priority_queue_.size() +
+                      (running_ ? 1 : 0);
+    queue_.clear();
+    priority_queue_.clear();
+    current_ = Task{};
+    running_ = false;
+    ++schedule_generation_;
+    available_ = false;
+  } else {
+    advance_to_now();
+    available_ = true;
+  }
 }
 
 FlopsPerSec GpuExecutor::effective_throughput() const {
@@ -115,7 +138,7 @@ void GpuExecutor::schedule_completion() {
   sim_.after(eta, [this, generation] {
     if (generation != schedule_generation_) return;
     finish_current();
-  });
+  }, "gpu_task_completion");
 }
 
 void GpuExecutor::finish_current() {

@@ -66,6 +66,15 @@ class GpuExecutor {
   /// Scale the device's base throughput (e.g. thermal throttling scenarios).
   void set_throughput_scale(double scale);
 
+  /// Hard availability transition (preemption / eviction), distinct from a
+  /// capacity change: taking the device down drops the in-flight task and
+  /// everything queued — their completion callbacks never fire — and rejects
+  /// submissions until it comes back. Idempotent in both directions.
+  void set_available(bool on);
+  bool available() const { return available_; }
+  /// Cumulative number of tasks dropped by down transitions.
+  std::uint64_t tasks_dropped() const { return tasks_dropped_; }
+
   /// Rate currently available to the training job.
   FlopsPerSec effective_throughput() const;
 
@@ -103,6 +112,8 @@ class GpuExecutor {
   std::deque<Task> priority_queue_;
   Task current_{};
   bool running_ = false;
+  bool available_ = true;
+  std::uint64_t tasks_dropped_ = 0;
   Seconds last_update_ = 0.0;
   Flops flops_done_ = 0.0;
   Seconds busy_time_ = 0.0;

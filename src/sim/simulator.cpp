@@ -14,17 +14,22 @@ namespace {
 constexpr Seconds kTimeSlack = 1e-12;
 }  // namespace
 
-void Simulator::at(Seconds t, Callback fn) {
+void Simulator::at(Seconds t, Callback fn, const char* label) {
   // Tolerate tiny negative drift from floating-point arithmetic on event
   // times, but reject genuinely past scheduling, which indicates a logic bug.
   AUTOPIPE_EXPECT_MSG(t >= now_ - kTimeSlack, "scheduling into the past: t="
                                               << t << " now=" << now_);
-  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(fn)});
+  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(fn), label});
 }
 
-void Simulator::after(Seconds dt, Callback fn) {
+void Simulator::after(Seconds dt, Callback fn, const char* label) {
   AUTOPIPE_EXPECT(dt >= 0.0);
-  at(now_ + dt, std::move(fn));
+  at(now_ + dt, std::move(fn), label);
+}
+
+void Simulator::set_zero_progress_bound(std::uint64_t bound) {
+  AUTOPIPE_EXPECT(bound > 0);
+  zero_progress_bound_ = bound;
 }
 
 bool Simulator::step() {
@@ -32,6 +37,20 @@ bool Simulator::step() {
   // Move the event out before popping so the callback may schedule freely.
   Event ev = queue_.top();
   queue_.pop();
+  // Zero-progress guard: a buggy schedule (e.g. a fault event rescheduling
+  // itself at `now`) would otherwise spin forever without advancing time.
+  if (ev.time == instant_time_) {
+    ++instant_events_;
+    AUTOPIPE_EXPECT_MSG(
+        instant_events_ <= zero_progress_bound_,
+        "zero progress: " << instant_events_ << " events executed at t="
+                          << ev.time << " without the clock advancing; "
+                          << "looping event: "
+                          << (ev.label ? ev.label : "(unlabelled)"));
+  } else {
+    instant_time_ = ev.time;
+    instant_events_ = 1;
+  }
   now_ = ev.time;
   ++events_processed_;
   ev.fn();

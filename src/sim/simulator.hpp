@@ -25,13 +25,18 @@ class Simulator {
   /// Current simulated time in seconds.
   Seconds now() const { return now_; }
 
-  /// Schedule `fn` at absolute time `t` (must not be in the past).
-  void at(Seconds t, Callback fn);
+  /// Schedule `fn` at absolute time `t` (must not be in the past). The
+  /// optional `label` must be a string literal (or otherwise outlive the
+  /// event); it names the event in zero-progress diagnostics.
+  void at(Seconds t, Callback fn, const char* label = nullptr);
 
   /// Schedule `fn` `dt` seconds from now (dt >= 0).
-  void after(Seconds dt, Callback fn);
+  void after(Seconds dt, Callback fn, const char* label = nullptr);
 
   /// Run the next pending event. Returns false when the queue is empty.
+  /// Throws contract_error when more than zero_progress_bound() consecutive
+  /// events execute at the same timestamp — a self-rescheduling loop that
+  /// would otherwise spin forever.
   bool step();
 
   /// Run until the event queue drains.
@@ -42,6 +47,13 @@ class Simulator {
 
   bool empty() const { return queue_.empty(); }
   std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Maximum number of consecutive events the loop will execute at one
+  /// timestamp before declaring zero progress (default 1e6). The default is
+  /// far above any legitimate same-instant cascade; lower it in tests to
+  /// catch loops quickly.
+  void set_zero_progress_bound(std::uint64_t bound);
+  std::uint64_t zero_progress_bound() const { return zero_progress_bound_; }
 
   /// Time of the next pending event; only valid when !empty().
   Seconds next_event_time() const;
@@ -60,6 +72,7 @@ class Simulator {
     Seconds time;
     std::uint64_t seq;
     Callback fn;
+    const char* label;  ///< static string naming the event, or nullptr
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -71,6 +84,9 @@ class Simulator {
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t zero_progress_bound_ = 1'000'000;
+  Seconds instant_time_ = -1.0;       ///< timestamp of the current run
+  std::uint64_t instant_events_ = 0;  ///< events executed at instant_time_
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   trace::TraceRecorder tracer_;
   trace::MetricsRegistry metrics_;

@@ -322,6 +322,68 @@ TEST(ResourceMonitor, IgnoresSmallJitter) {
   EXPECT_FALSE(monitor.update(snap).changed);
 }
 
+TEST(ResourceMonitor, ZeroObservedBandwidthIsAFullDeviation) {
+  // A link failure reads as zero observed bandwidth. Against a positive
+  // baseline that is a 100% relative deviation and must fire once it
+  // persists — not divide by zero, not wedge the monitor.
+  ResourceMonitor monitor(0.15, 0.3, /*persistence=*/3);
+  ProfileSnapshot snap;
+  snap.worker_bandwidth = {100.0, 100.0};
+  snap.worker_speed = {10.0, 10.0};
+  monitor.update(snap);  // prime
+  snap.worker_bandwidth[1] = 0.0;
+  EXPECT_FALSE(monitor.update(snap).changed);
+  EXPECT_FALSE(monitor.update(snap).changed);
+  const auto change = monitor.update(snap);
+  EXPECT_TRUE(change.changed);
+  EXPECT_DOUBLE_EQ(change.magnitude, 1.0);
+  // The zero becomes the new baseline: with nothing to deviate from, the
+  // worker is simply skipped until bandwidth is observed again.
+  EXPECT_FALSE(monitor.update(snap).changed);
+  snap.worker_bandwidth[1] = 100.0;  // link back — no crash, drift resumes
+  EXPECT_FALSE(monitor.update(snap).changed);
+}
+
+TEST(ResourceMonitor, WorkerVanishingMidWindowRePrimes) {
+  ResourceMonitor monitor(0.15, 0.3, /*persistence=*/3);
+  ProfileSnapshot snap;
+  snap.worker_bandwidth = {100.0, 100.0, 100.0};
+  snap.worker_speed = {10.0, 10.0, 10.0};
+  monitor.update(snap);  // prime on three workers
+  // The population shrinks between snapshots (a worker evicted mid-window).
+  snap.worker_bandwidth.pop_back();
+  snap.worker_speed.pop_back();
+  const auto change = monitor.update(snap);
+  EXPECT_TRUE(change.changed);
+  EXPECT_NE(change.description.find("population"), std::string::npos);
+  // Re-primed on the new population: the same two-worker reading is steady.
+  EXPECT_FALSE(monitor.update(snap).changed);
+  // Growing back is a population event again, then steady.
+  snap.worker_bandwidth.push_back(100.0);
+  snap.worker_speed.push_back(10.0);
+  EXPECT_TRUE(monitor.update(snap).changed);
+  EXPECT_FALSE(monitor.update(snap).changed);
+}
+
+TEST(ResourceMonitor, CapacityStepDuringPersistenceHoldStillFires) {
+  // A second, larger step landing while the first deviation is serving its
+  // persistence hold must not reset the counter — the hold is about the
+  // deviation persisting, not its value staying constant.
+  ResourceMonitor monitor(0.15, 0.3, /*persistence=*/3);
+  ProfileSnapshot snap;
+  snap.worker_bandwidth = {100.0};
+  snap.worker_speed = {10.0};
+  monitor.update(snap);  // prime
+  snap.worker_bandwidth[0] = 60.0;  // first step, hold 1
+  EXPECT_FALSE(monitor.update(snap).changed);
+  snap.worker_bandwidth[0] = 30.0;  // deeper step mid-hold, hold 2
+  EXPECT_FALSE(monitor.update(snap).changed);
+  const auto change = monitor.update(snap);  // hold 3: fires
+  EXPECT_TRUE(change.changed);
+  EXPECT_GT(change.magnitude, 0.6);  // reported against the latest reading
+  EXPECT_FALSE(monitor.update(snap).changed);  // baseline snapped to 30
+}
+
 TEST(Controller, ThresholdModeAdaptsToBandwidthDrop) {
   const auto model = toy_model(6);
   Rig rig(3, 1e4, 1e4);

@@ -25,6 +25,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "faults/fault_plan.hpp"
 #include "models/zoo.hpp"
 #include "partition/pipedream_planner.hpp"
 #include "pipeline/executor.hpp"
@@ -61,6 +62,13 @@ void usage() {
       "  --bw-drop-gbps GBPS   the new bandwidth for --bw-drop-iter\n"
       "  --jobs-iter N         add a tenant on every GPU at iteration N\n"
       "  --churn               stochastic background workload\n"
+      "  --faults SPEC         inject faults; SPEC is 'random:key=v,...'\n"
+      "                        (keys: seed,start,clear,gpus,links,flaps,\n"
+      "                        stragglers,profiler_drops,min_outage,\n"
+      "                        max_outage), '@file' with one\n"
+      "                        '<time> <kind> <index> [scale]' per line, or\n"
+      "                        the same lines inline separated by ';'\n"
+      "                        (see docs/FAULTS.md)\n"
       "  --seed N              RNG seed (default 1)\n"
       "  --trace PATH          write an event trace of the run; .json gives\n"
       "                        Chrome trace_event format (chrome://tracing,\n"
@@ -206,6 +214,25 @@ int main(int argc, char** argv) {
     trace.apply_iteration(iters, cluster);
     if (controller) controller->on_iteration(iters);
   });
+
+  faults::FaultPlan fault_plan;
+  const std::string faults_spec = flags.get("faults", "");
+  if (!faults_spec.empty()) {
+    try {
+      fault_plan = faults::parse_spec(faults_spec, cluster_config.num_servers,
+                                      cluster_config.gpus_per_server);
+    } catch (const std::exception& e) {
+      std::cerr << "autopipe_sim: bad --faults spec: " << e.what() << "\n";
+      return 2;
+    }
+    fault_plan.install(simulator, cluster,
+                       [](const faults::FaultEvent& ev) {
+                         LOG_DEBUG("fault: " << ev.describe());
+                       });
+    std::cout << "faults: " << fault_plan.size()
+              << " scheduled events (horizon "
+              << TextTable::num(fault_plan.horizon(), 2) << "s)\n";
+  }
 
   for (const std::string& flag : flags.unused()) {
     std::cerr << "warning: unknown flag --" << flag << " (see --help)\n";

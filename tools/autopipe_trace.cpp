@@ -15,8 +15,11 @@
 //   autopipe_trace gantt run.trace --width=120
 //   autopipe_trace diff before.trace after.trace --tolerance=1e-9
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/gantt.hpp"
@@ -87,7 +90,30 @@ bool parse_options(int argc, char** argv, Options& opts) {
 }
 
 analysis::TraceView load(const std::string& path) {
-  return analysis::TraceView(analysis::parse_text_file(path));
+  {
+    std::ifstream probe(path);
+    if (!probe.good())
+      throw std::runtime_error("cannot open trace file '" + path + "'");
+  }
+  std::vector<trace::Event> events;
+  try {
+    events = analysis::parse_text_file(path);
+  } catch (const contract_error& e) {
+    // The reader reports malformed input as a contract violation with
+    // file:line bookkeeping; a CLI user only needs the diagnostic part.
+    const std::string what = e.what();
+    const std::string::size_type cut = what.find(" — ");
+    throw std::runtime_error(
+        "malformed trace '" + path + "': " +
+        (cut == std::string::npos ? what
+                                  : what.substr(cut + sizeof(" — ") - 1)));
+  }
+  if (events.empty()) {
+    throw std::runtime_error("trace '" + path +
+                             "' contains no events (empty or truncated "
+                             "file, or not the text trace format?)");
+  }
+  return analysis::TraceView(std::move(events));
 }
 
 }  // namespace

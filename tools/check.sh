@@ -2,20 +2,37 @@
 # One-shot health check: configure, build, run the full test suite, then
 # smoke the trace analyzer against the checked-in golden trace. Run from
 # anywhere; exits non-zero on the first failure.
+#
+#   tools/check.sh             # plain RelWithDebInfo build
+#   tools/check.sh --sanitize  # ASan+UBSan build in build-asan/
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build="${BUILD_DIR:-$repo/build}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
+cmake_args=()
+if [[ "${1:-}" == "--sanitize" ]]; then
+  build="${BUILD_DIR:-$repo/build-asan}"
+  cmake_args+=(-DAUTOPIPE_SANITIZE=ON)
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+elif [[ $# -gt 0 ]]; then
+  echo "usage: tools/check.sh [--sanitize]" >&2
+  exit 2
+fi
+
 echo "== configure =="
-cmake -B "$build" -S "$repo"
+cmake -B "$build" -S "$repo" "${cmake_args[@]}"
 
 echo "== build =="
 cmake --build "$build" -j "$jobs"
 
 echo "== test =="
 ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+echo "== chaos smoke =="
+"$build/bench/chaos_faults" --seeds=5 > /dev/null
 
 echo "== analyzer smoke =="
 "$build/tools/autopipe_trace" summary \

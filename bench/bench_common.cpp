@@ -16,6 +16,7 @@ namespace autopipe::bench {
 namespace {
 std::string g_trace_path;
 std::string g_metrics_path;
+std::string g_ledger_path;
 
 bool wants_text_format(const std::string& path) {
   auto ends_with = [&path](const char* suffix) {
@@ -38,6 +39,10 @@ void parse_common_flags(int argc, const char* const* argv) {
       g_metrics_path = a.substr(10);
     } else if (a == "--metrics" && i + 1 < argc) {
       g_metrics_path = argv[++i];
+    } else if (a.rfind("--ledger=", 0) == 0) {
+      g_ledger_path = a.substr(9);
+    } else if (a == "--ledger" && i + 1 < argc) {
+      g_ledger_path = argv[++i];
     }
   }
 }
@@ -45,6 +50,8 @@ void parse_common_flags(int argc, const char* const* argv) {
 const std::string& trace_path() { return g_trace_path; }
 
 const std::string& metrics_path() { return g_metrics_path; }
+
+const std::string& ledger_path() { return g_ledger_path; }
 
 std::string scenario_path(const std::string& base,
                           const std::string& scenario) {
@@ -75,6 +82,7 @@ Testbed make_testbed(double bandwidth_gbps) {
   Testbed t;
   t.simulator = std::make_unique<sim::Simulator>();
   if (!g_trace_path.empty()) t.simulator->tracer().set_enabled(true);
+  if (!g_ledger_path.empty()) t.simulator->ledger().set_enabled(true);
   sim::ClusterConfig config;
   config.nic_bandwidth = gbps(bandwidth_gbps);
   t.cluster = std::make_unique<sim::Cluster>(*t.simulator, config);
@@ -227,6 +235,15 @@ RunResult run_pipeline(Testbed& testbed, const models::ModelSpec& model,
     analysis::write_scalar_map_json(testbed.simulator->metrics().all(), out);
     std::cout << "metrics: " << testbed.simulator->metrics().all().size()
               << " values -> " << path << "\n";
+  }
+  if (!g_ledger_path.empty()) {
+    testbed.simulator->ledger().finalize("run_end");
+    const std::string path = scenario_path(g_ledger_path, options.scenario);
+    std::ofstream out(path);
+    AUTOPIPE_EXPECT_MSG(out.good(), "cannot open ledger file " << path);
+    testbed.simulator->ledger().write_text(out);
+    std::cout << "ledger: " << testbed.simulator->ledger().size()
+              << " decisions -> " << path << "\n";
   }
 
   RunResult result;

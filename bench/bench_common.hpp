@@ -39,8 +39,8 @@ struct Testbed {
 Testbed make_testbed(double bandwidth_gbps);
 
 /// Parse the flags every fig benchmark shares (`--trace=PATH`,
-/// `--metrics=PATH`). Call at the top of main(); unknown flags are ignored
-/// so each benchmark may layer its own parsing on top.
+/// `--metrics=PATH`, `--ledger=PATH`). Call at the top of main(); unknown
+/// flags are ignored so each benchmark may layer its own parsing on top.
 void parse_common_flags(int argc, const char* const* argv);
 
 /// The `--trace` path captured by parse_common_flags; empty when unset.
@@ -48,6 +48,12 @@ const std::string& trace_path();
 
 /// The `--metrics` path captured by parse_common_flags; empty when unset.
 const std::string& metrics_path();
+
+/// The `--ledger` path captured by parse_common_flags; empty when unset.
+/// When set, every AutoPipe-controlled run records its decision ledger and
+/// run_pipeline writes it next to the trace (scenario-spliced the same way;
+/// analyze with `autopipe_trace decisions` / `calibration`).
+const std::string& ledger_path();
 
 /// `base` with ".<scenario>" spliced in before the extension
 /// ("fig3.trace" + "vgg16_25gbps" -> "fig3.vgg16_25gbps.trace"); scenario

@@ -7,6 +7,10 @@
 //   3. recovery    — once every fault has cleared, throughput returns to
 //                     within --epsilon of the pre-fault level
 //   4. determinism — the same seed replays to a byte-identical trace
+//   5. ledger      — every planning round left exactly one decision record,
+//                     every record reached a terminal outcome, the ledger
+//                     replays byte-identically and round-trips through the
+//                     reader
 //
 // The schedule shape is scaled from a fault-free probe run's measured
 // iteration period, so the same harness stresses any model/cluster pair.
@@ -21,6 +25,7 @@
 #include <vector>
 
 #include "analysis/bubbles.hpp"
+#include "analysis/ledger_reader.hpp"
 #include "analysis/trace_view.hpp"
 #include "bench_common.hpp"
 #include "common/expect.hpp"
@@ -41,6 +46,10 @@ struct ChaosOutcome {
   std::size_t readmissions = 0;
   std::vector<double> end_times;
   std::string trace_text;
+  std::string ledger_text;
+  std::size_t ledger_size = 0;
+  std::size_t decisions = 0;
+  bool ledger_resolved = false;
   double fault_downtime = 0.0;
   double wall = 0.0;
   bool bubbles_exact = true;
@@ -51,6 +60,7 @@ ChaosOutcome run_chaos(const faults::FaultPlan& fault_plan,
                        std::size_t iterations) {
   sim::Simulator simulator;
   simulator.tracer().set_enabled(true);
+  simulator.ledger().set_enabled(true);
   sim::ClusterConfig config;
   config.num_servers = kServers;
   config.gpus_per_server = kGpusPerServer;
@@ -90,6 +100,13 @@ ChaosOutcome run_chaos(const faults::FaultPlan& fault_plan,
   std::ostringstream os;
   simulator.tracer().write_text(os);
   out.trace_text = os.str();
+  simulator.ledger().finalize("run_end");
+  out.ledger_resolved = simulator.ledger().all_resolved();
+  out.ledger_size = simulator.ledger().size();
+  out.decisions = controller.stats().decisions;
+  std::ostringstream ls;
+  simulator.ledger().write_text(ls);
+  out.ledger_text = ls.str();
 
   // Bubble attribution must still partition every worker's wall clock
   // exactly with the fault-downtime class in the mix.
@@ -229,6 +246,28 @@ int main(int argc, char** argv) {
       // Fault downtime must appear in (and not break) bubble attribution.
       AUTOPIPE_EXPECT_MSG(a.bubbles_exact,
                           "bubble classes no longer partition wall clock");
+
+      // 5. ledger: one record per planning round, no dangling outcomes,
+      // deterministic replay, and a lossless reader round-trip.
+      AUTOPIPE_EXPECT_MSG(
+          a.ledger_size == a.decisions,
+          "ledger recorded " << a.ledger_size << " decisions but the "
+              "controller made " << a.decisions);
+      AUTOPIPE_EXPECT_MSG(a.ledger_resolved,
+                          "ledger left dangling (pending) decision records "
+                          "after finalize");
+      AUTOPIPE_EXPECT_MSG(a.ledger_text == b.ledger_text,
+                          "same seed replayed to a different ledger ("
+                              << a.ledger_text.size() << " vs "
+                              << b.ledger_text.size() << " bytes)");
+      {
+        std::istringstream in(a.ledger_text);
+        const trace::DecisionLedger parsed = analysis::read_ledger(in);
+        std::ostringstream re;
+        parsed.write_text(re);
+        AUTOPIPE_EXPECT_MSG(re.str() == a.ledger_text,
+                            "ledger does not round-trip through the reader");
+      }
 
       table.add_row({std::to_string(seed), std::to_string(fault_plan.size()),
                      std::to_string(a.stats.injected),

@@ -34,9 +34,25 @@ char dominant_char(const IntervalSet& fp, const IntervalSet& bp,
   return best;
 }
 
+std::string render_gantt_impl(const TraceView& view, std::size_t width,
+                              const trace::DecisionLedger* ledger);
+
 }  // namespace
 
 std::string render_gantt(const TraceView& view, std::size_t width) {
+  return render_gantt_impl(view, width, nullptr);
+}
+
+std::string render_gantt(const TraceView& view,
+                         const trace::DecisionLedger& ledger,
+                         std::size_t width) {
+  return render_gantt_impl(view, width, &ledger);
+}
+
+namespace {
+
+std::string render_gantt_impl(const TraceView& view, std::size_t width,
+                              const trace::DecisionLedger* ledger) {
   AUTOPIPE_EXPECT(width > 0);
   std::ostringstream os;
   const double wall = view.wall_clock();
@@ -69,6 +85,27 @@ std::string render_gantt(const TraceView& view, std::size_t width) {
   }
   os << '\n';
 
+  // Decision row: one mark per planning round in the ledger, switch
+  // verdicts drawn over holds when both land in a cell.
+  if (ledger != nullptr && !ledger->empty()) {
+    os << std::string(label_width, ' ') << ' ';
+    for (std::size_t i = 0; i < width; ++i) {
+      const double lo = cell * static_cast<double>(i);
+      const double hi = i + 1 == width ? wall : lo + cell;
+      char c = ' ';
+      for (const trace::DecisionRecord& rec : ledger->records()) {
+        if (rec.time < lo || rec.time >= hi) continue;
+        if (rec.action == trace::DecisionAction::kSwitch) {
+          c = '^';
+          break;
+        }
+        c = '.';
+      }
+      os << c;
+    }
+    os << '\n';
+  }
+
   for (const WorkerBubbles& wb : bubbles.workers) {
     std::string label = "w" + std::to_string(wb.worker);
     os << label << std::string(label_width - label.size(), ' ') << ' ';
@@ -85,10 +122,14 @@ std::string render_gantt(const TraceView& view, std::size_t width) {
   os << '\n'
      << "F fp  B bp  - startup  ! reconfig drain  # net contention  "
         "< upstream stall  > downstream stall  . tail   "
-        "ruler: | iteration  S switch\n"
-     << "scale: 1 cell = " << trace::format_double(cell) << " s, run = "
+        "ruler: | iteration  S switch\n";
+  if (ledger != nullptr && !ledger->empty())
+    os << "decision row: ^ switch verdict  . hold\n";
+  os << "scale: 1 cell = " << trace::format_double(cell) << " s, run = "
      << trace::format_double(wall) << " s\n";
   return os.str();
 }
+
+}  // namespace
 
 }  // namespace autopipe::analysis

@@ -11,10 +11,17 @@
 #include <string>
 
 #include "analysis/trace_view.hpp"
+#include "common/ledger.hpp"
 
 namespace autopipe::analysis {
 
 /// Render the per-worker timeline at `width` cells across the whole run.
 std::string render_gantt(const TraceView& view, std::size_t width = 100);
+
+/// Same, with a decision row under the ruler marking the ledger's planning
+/// rounds: '^' where the round chose a switch, '.' where it held.
+std::string render_gantt(const TraceView& view,
+                         const trace::DecisionLedger& ledger,
+                         std::size_t width = 100);
 
 }  // namespace autopipe::analysis

@@ -1,7 +1,10 @@
 #include "autopipe/controller.hpp"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 
 #include "common/expect.hpp"
 #include "common/log.hpp"
@@ -11,6 +14,18 @@
 #include "partition/rebalance.hpp"
 
 namespace autopipe::core {
+
+namespace {
+
+/// Partition::to_string() with the spaces removed, so the string fits the
+/// ledger's space-separated key=value lines.
+std::string compact_partition(const partition::Partition& p) {
+  std::string s = p.to_string();
+  s.erase(std::remove(s.begin(), s.end(), ' '), s.end());
+  return s;
+}
+
+}  // namespace
 
 AutoPipeController::AutoPipeController(sim::Cluster& cluster,
                                        pipeline::PipelineExecutor& executor,
@@ -32,6 +47,9 @@ AutoPipeController::AutoPipeController(sim::Cluster& cluster,
     AUTOPIPE_EXPECT_MSG(meta_ != nullptr,
                         "use_meta_network requires a MetaNetwork");
   }
+  ledger().set_run_info(static_cast<int>(executor_.batch_size()),
+                        static_cast<int>(cluster_.num_workers()),
+                        executor_.model().name());
 }
 
 void AutoPipeController::attach() {
@@ -153,14 +171,17 @@ void AutoPipeController::on_iteration(std::size_t completed_iterations) {
           {trace::arg("what", change.description)});
     }
     // A shifted environment invalidates earlier measured rejections and
-    // resets the exploration backoff.
+    // resets the exploration backoff. Open ledger probes were measuring the
+    // old regime; close them out rather than mix measurements across it.
     rejected_.clear();
     consecutive_reverts_ = 0;
     cooldown_until_ = 0;
+    supersede_probes("regime_change");
     LOG_DEBUG("resource change detected: " << change.description);
   }
 
   if (executor_.switch_in_progress()) return;
+  advance_probes();
 
   // Re-admission: a worker excluded by an emergency re-plan has come back —
   // fold it in with a full-width plan over every reachable worker.
@@ -208,6 +229,10 @@ void AutoPipeController::on_iteration(std::size_t completed_iterations) {
           if (!partition_reachable(validation_->previous)) {
             // A fault took out part of the old placement: nothing to revert
             // to. Keep the current partition and move on.
+            resolve_validation_record(
+                trace::OutcomeStatus::kExecuted,
+                static_cast<double>(executor_.batch_size()) / after_period,
+                static_cast<int>(validation_->samples), "revert_unreachable");
             validation_.reset();
             return;
           }
@@ -216,6 +241,11 @@ void AutoPipeController::on_iteration(std::size_t completed_iterations) {
                                         config_.switch_mode)) {
             return;  // switch engine busy: retry the revert next iteration
           }
+          resolve_validation_record(
+              trace::OutcomeStatus::kReverted,
+              static_cast<double>(executor_.batch_size()) / after_period,
+              static_cast<int>(validation_->samples), "regressed");
+          supersede_probes("revert");
           cluster_.simulator().metrics().add("controller.reverts");
           if (cluster_.simulator().tracer().enabled()) {
             cluster_.simulator().tracer().instant(
@@ -231,6 +261,10 @@ void AutoPipeController::on_iteration(std::size_t completed_iterations) {
               (config_.revert_cooldown << consecutive_reverts_);
         } else {
           consecutive_reverts_ = 0;  // the switch held up under measurement
+          resolve_validation_record(
+              trace::OutcomeStatus::kExecuted,
+              static_cast<double>(executor_.batch_size()) / after_period,
+              static_cast<int>(validation_->samples), "validated");
         }
         validation_.reset();
         return;
@@ -242,6 +276,8 @@ void AutoPipeController::on_iteration(std::size_t completed_iterations) {
   // intermediate steps are not individually validated (they may transit
   // through worse configurations on the way to the target).
   if (target_) {
+    resolve_validation_record(trace::OutcomeStatus::kSuperseded, -1.0, 0,
+                              "migration");
     validation_.reset();
     if (pursue_target()) return;
   }
@@ -380,6 +416,52 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
   const partition::Partition& current = executor_.current_partition();
   const double current_speed = predict_speed(snapshot, current);
 
+  // One ledger record per planning round. Only simulated-time quantities
+  // land in it — never the wall-clock timings below — so same-seed runs
+  // serialize byte-identical ledgers.
+  const bool ledger_on = ledger().enabled();
+  trace::DecisionRecord rec;
+  const auto init_record = [&] {
+    rec = trace::DecisionRecord{};
+    rec.time = cluster_.simulator().now();
+    rec.iteration = executor_.completed_iterations();
+    rec.kind = "neighborhood";
+    rec.digest = snapshot_digest(snapshot);
+    rec.num_workers = static_cast<int>(snapshot.num_workers);
+    rec.iteration_time = snapshot.iteration_time;
+    rec.current = compact_partition(current);
+    rec.current_pred = current_speed;
+  };
+  // Re-plan adoption is this round's single candidate; fill before the
+  // switch request so `current` is still the pre-switch partition.
+  const auto fill_replan = [&](const partition::Partition& plan,
+                               double plan_speed) {
+    rec.kind = "replan";
+    const auto env = profiler_.environment(snapshot,
+                                           executor_.config().framework,
+                                           executor_.config().sync_scheme);
+    const SwitchCostEstimate cost = analytic_switch_cost(
+        executor_.model(), current, plan, env,
+        snapshot.iteration_time > 0.0 ? snapshot.iteration_time : 0.1,
+        partition::optimal_in_flight(current),
+        executor_.config().switch_overhead_per_layer);
+    trace::CandidateScore cs;
+    cs.partition = compact_partition(plan);
+    cs.predicted_speed = plan_speed;
+    cs.cost_fine = cost.fine_grained;
+    cs.cost_stw = cost.stop_the_world;
+    rec.action = trace::DecisionAction::kSwitch;
+    rec.target = cs.partition;
+    rec.chosen_pred = plan_speed;
+    rec.best_pred = plan_speed;
+    rec.cost_seconds = cost_for_mode(
+        cost, config_.switch_mode ==
+                  pipeline::PipelineExecutor::SwitchMode::kFineGrained);
+    rec.arbiter = "replan";
+    rec.candidates.push_back(std::move(cs));
+  };
+  if (ledger_on) init_record();
+
   // On a real environment shift, the two-worker neighbourhood may be too
   // local: consult the full re-plan first.
   if (after_change && config_.replan_on_change) {
@@ -389,6 +471,13 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
         partition_reachable(plan)) {
       if (config_.gradual_migration) {
         LOG_DEBUG("migration target " << plan.to_string());
+        if (ledger_on) {
+          fill_replan(plan, plan_speed);
+          supersede_probes("new_decision");
+          const std::uint64_t id = ledger().add(std::move(rec));
+          probes_.push_back(LedgerProbe{
+              id, true, executor_.completed_iterations(), -1.0, 0});
+        }
         target_ = std::move(plan);
         target_steps_ = 0;
         pursue_target();
@@ -398,6 +487,7 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
                                      << current_speed << " -> " << plan_speed
                                      << ")");
       partition::Partition previous = current;
+      if (ledger_on) fill_replan(plan, plan_speed);
       if (executor_.request_switch(plan, config_.switch_mode)) {
         cluster_.simulator().metrics().add("controller.replans");
         if (cluster_.simulator().tracer().enabled()) {
@@ -409,27 +499,76 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
         }
         ++stats_.switches_requested;
         last_switch_iteration_ = executor_.completed_iterations();
-        if (config_.validate_switches && !recent_period_.empty()) {
+        const bool arm_validation =
+            config_.validate_switches && !recent_period_.empty();
+        if (ledger_on) {
+          resolve_validation_record(trace::OutcomeStatus::kSuperseded, -1.0,
+                                    0, "new_decision");
+        }
+        if (arm_validation) {
           validation_ = Validation{std::move(previous), baseline_period(),
-                                   executor_.completed_iterations(), -1.0, 0};
+                                   executor_.completed_iterations(), -1.0, 0,
+                                 std::nullopt};
+        }
+        if (ledger_on) {
+          supersede_probes("new_decision");
+          const std::uint64_t id = ledger().add(std::move(rec));
+          if (arm_validation) {
+            validation_->ledger_id = id;
+          } else {
+            probes_.push_back(LedgerProbe{
+                id, true, executor_.completed_iterations(), -1.0, 0});
+          }
         }
         return;
       }
+      // Switch engine busy: fall through to the neighbourhood round with a
+      // fresh record.
+      if (ledger_on) init_record();
     }
   }
 
   auto candidates = partition::two_worker_candidates(current);
   stats_.candidates_evaluated += candidates.size();
 
+  // Per-candidate switch costs are estimated only for the ledger; the
+  // decision itself still gates on the best candidate's estimate below.
+  std::optional<partition::EnvironmentView> ledger_env;
+  if (ledger_on)
+    ledger_env = profiler_.environment(snapshot, executor_.config().framework,
+                                       executor_.config().sync_scheme);
+
   double best_speed = 0.0;
   const partition::Candidate* best = nullptr;
   for (const auto& candidate : candidates) {
-    if (!partition_reachable(candidate.partition))
-      continue;  // a faulted worker is not a migration destination
-    if (config_.validate_switches &&
-        rejected_.count(candidate.partition.to_string()))
-      continue;  // measured worse than predicted earlier in this regime
+    const bool skipped =
+        !partition_reachable(candidate.partition) ||  // faulted destination
+        (config_.validate_switches &&
+         rejected_.count(candidate.partition.to_string()) >
+             0);  // measured worse than predicted earlier in this regime
+    if (skipped) {
+      if (ledger_on) {
+        trace::CandidateScore cs;
+        cs.partition = compact_partition(candidate.partition);
+        cs.skipped = true;
+        rec.candidates.push_back(std::move(cs));
+      }
+      continue;
+    }
     const double speed = predict_speed(snapshot, candidate.partition);
+    if (ledger_on) {
+      const SwitchCostEstimate cost = analytic_switch_cost(
+          executor_.model(), current, candidate.partition, *ledger_env,
+          snapshot.iteration_time > 0.0 ? snapshot.iteration_time : 0.1,
+          partition::optimal_in_flight(current),
+          executor_.config().switch_overhead_per_layer);
+      trace::CandidateScore cs;
+      cs.partition = compact_partition(candidate.partition);
+      cs.predicted_speed = speed;
+      cs.cost_fine = cost.fine_grained;
+      cs.cost_stw = cost.stop_the_world;
+      rec.candidates.push_back(std::move(cs));
+    }
     if (cluster_.simulator().tracer().enabled()) {
       cluster_.simulator().tracer().instant(
           trace::Category::kControl, "predict", cluster_.simulator().now(),
@@ -455,8 +594,20 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
       best_speed <= current_speed * (1.0 + config_.candidate_gain_floor);
   if (below_floor &&
       (config_.arbiter_mode != ControllerConfig::ArbiterMode::kRl ||
-       best == nullptr))
+       best == nullptr)) {
+    if (ledger_on) {
+      // No candidate cleared the gain floor: an implicit hold, recorded so
+      // the round still joins to a realized (status-quo) speed.
+      rec.action = trace::DecisionAction::kHold;
+      rec.chosen_pred = current_speed;
+      rec.best_pred = best != nullptr ? best_speed : current_speed;
+      rec.arbiter = "floor";
+      const std::uint64_t id = ledger().add(std::move(rec));
+      probes_.push_back(
+          LedgerProbe{id, false, executor_.completed_iterations(), -1.0, 0});
+    }
     return;
+  }
 
   // Cost of adopting the best candidate.
   const auto env = profiler_.environment(snapshot,
@@ -480,9 +631,16 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
       static_cast<double>(executor_.completed_iterations() -
                           last_switch_iteration_));
   switch (config_.arbiter_mode) {
-    case ControllerConfig::ArbiterMode::kRl:
-      action = agent_->act(state, config_.arbiter_explore);
+    case ControllerConfig::ArbiterMode::kRl: {
+      rl::DqnAgent::DecisionInfo info =
+          agent_->decide(state, config_.arbiter_explore);
+      action = info.action;
+      if (ledger_on) {
+        rec.q_values = std::move(info.q);
+        rec.explored = info.explored;
+      }
       break;
+    }
     case ControllerConfig::ArbiterMode::kAlwaysSwitch:
       action = 1;
       break;
@@ -532,19 +690,69 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
     pending_ = PendingDecision{std::move(state), action, cost_normalized};
   }
 
+  if (ledger_on) {
+    rec.action = action == 1 ? trace::DecisionAction::kSwitch
+                             : trace::DecisionAction::kHold;
+    if (action == 1) rec.target = compact_partition(best->partition);
+    rec.chosen_pred = action == 1 ? best_speed : current_speed;
+    rec.best_pred = best_speed;
+    rec.cost_seconds = cost_seconds;
+    switch (config_.arbiter_mode) {
+      case ControllerConfig::ArbiterMode::kRl:
+        rec.arbiter = "rl";
+        break;
+      case ControllerConfig::ArbiterMode::kAlwaysSwitch:
+        rec.arbiter = "always";
+        break;
+      case ControllerConfig::ArbiterMode::kNeverSwitch:
+        rec.arbiter = "never";
+        break;
+      case ControllerConfig::ArbiterMode::kThreshold:
+        rec.arbiter = "threshold";
+        break;
+    }
+  }
+
   if (action == 1) {
     partition::Partition previous = executor_.current_partition();
     if (executor_.request_switch(best->partition, config_.switch_mode)) {
       ++stats_.switches_requested;
       last_switch_iteration_ = executor_.completed_iterations();
-      if (config_.validate_switches && !recent_period_.empty()) {
+      const bool arm_validation =
+          config_.validate_switches && !recent_period_.empty();
+      if (ledger_on) {
+        resolve_validation_record(trace::OutcomeStatus::kSuperseded, -1.0, 0,
+                                  "new_decision");
+      }
+      if (arm_validation) {
         validation_ = Validation{std::move(previous), baseline_period(),
-                                 executor_.completed_iterations(), -1.0, 0};
+                                 executor_.completed_iterations(), -1.0, 0,
+                                 std::nullopt};
+      }
+      if (ledger_on) {
+        // An adopted switch opens a new regime: earlier probes stop here.
+        supersede_probes("new_decision");
+        const std::uint64_t id = ledger().add(std::move(rec));
+        if (arm_validation) {
+          validation_->ledger_id = id;  // validation verdict resolves it
+        } else {
+          probes_.push_back(LedgerProbe{
+              id, true, executor_.completed_iterations(), -1.0, 0});
+        }
       }
       LOG_DEBUG("switching to " << best->partition.to_string()
                                 << " (predicted " << current_speed << " -> "
                                 << best_speed << " samples/s)");
+    } else if (ledger_on) {
+      // The switch engine was busy: the verdict never took effect.
+      const std::uint64_t id = ledger().add(std::move(rec));
+      ledger_resolve(id, trace::OutcomeStatus::kSuperseded, -1.0, 0,
+                     "engine_busy");
     }
+  } else if (ledger_on) {
+    const std::uint64_t id = ledger().add(std::move(rec));
+    probes_.push_back(
+        LedgerProbe{id, false, executor_.completed_iterations(), -1.0, 0});
   }
 }
 
@@ -682,6 +890,9 @@ void AutoPipeController::attempt_recovery(Seconds now) {
   excluded_workers_ = std::move(dead);
   // The emergency plan invalidates every piece of steady-state decision
   // context.
+  resolve_validation_record(trace::OutcomeStatus::kSuperseded, -1.0, 0,
+                            "fault");
+  supersede_probes("fault");
   validation_.reset();
   target_.reset();
   rejected_.clear();
@@ -733,9 +944,138 @@ bool AutoPipeController::maybe_readmit(const ProfileSnapshot& snapshot) {
         {trace::arg("workers", alive.size())});
   }
   drop_returned();
+  resolve_validation_record(trace::OutcomeStatus::kSuperseded, -1.0, 0,
+                            "readmit");
+  supersede_probes("readmit");
   validation_.reset();
   rejected_.clear();
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Decision-ledger plumbing
+// ---------------------------------------------------------------------------
+
+trace::DecisionLedger& AutoPipeController::ledger() {
+  return cluster_.simulator().ledger();
+}
+
+std::string AutoPipeController::snapshot_digest(
+    const ProfileSnapshot& snapshot) const {
+  // FNV-1a over the bit patterns of the planner-relevant snapshot fields:
+  // two snapshots hash equal iff the controller saw the same environment.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  const auto mix_double = [&mix](double d) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  mix(static_cast<std::uint64_t>(snapshot.num_workers));
+  mix_double(snapshot.iteration_time);
+  for (sim::WorkerId w = 0; w < snapshot.num_workers; ++w) {
+    mix_double(snapshot.worker_bandwidth[w]);
+    mix_double(snapshot.worker_speed[w]);
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
+  return std::string(buf);
+}
+
+void AutoPipeController::ledger_resolve(std::uint64_t id,
+                                        trace::OutcomeStatus status,
+                                        double realized, int window,
+                                        std::string reason) {
+  auto& lg = ledger();
+  if (!lg.enabled() || id >= lg.size()) return;
+  auto& metrics = cluster_.simulator().metrics();
+  metrics.add(std::string("ledger.") + trace::outcome_status_name(status));
+  // Live calibration: relative prediction error of the chosen action and
+  // hindsight regret against the best candidate, as rolling series. The
+  // offline report (src/analysis/calibration.*) recomputes the same
+  // quantities from the serialized ledger.
+  const trace::DecisionRecord& record = lg.records()[id];
+  if (realized > 0.0) {
+    if (record.chosen_pred > 0.0) {
+      const double rel = (record.chosen_pred - realized) / realized;
+      metrics.observe("calibration.predictor_ape", std::abs(rel));
+      metrics.observe("calibration.predictor_bias", rel);
+    }
+    if (record.best_pred > 0.0) {
+      metrics.observe("calibration.regret",
+                      std::max(0.0, record.best_pred - realized) / realized);
+    }
+  }
+  trace::DecisionOutcome outcome;
+  outcome.status = status;
+  outcome.realized_speed = realized;
+  outcome.window_iterations = window;
+  outcome.reason = std::move(reason);
+  lg.resolve(id, std::move(outcome));
+}
+
+void AutoPipeController::advance_probes() {
+  if (probes_.empty()) return;
+  const double now = cluster_.simulator().now();
+  const std::size_t iters = executor_.completed_iterations();
+  for (std::size_t i = 0; i < probes_.size();) {
+    LedgerProbe& p = probes_[i];
+    if (iters <= p.decision_iteration) {
+      ++i;
+      continue;
+    }
+    if (p.window_start < 0.0) {
+      p.window_start = now;  // first iteration after the decision: open
+      ++i;
+      continue;
+    }
+    ++p.samples;
+    if (p.samples >= config_.validation_window && now > p.window_start) {
+      const double realized = static_cast<double>(executor_.batch_size()) *
+                              static_cast<double>(p.samples) /
+                              (now - p.window_start);
+      ledger_resolve(p.id,
+                     p.switched ? trace::OutcomeStatus::kExecuted
+                                : trace::OutcomeStatus::kRejected,
+                     realized, static_cast<int>(p.samples), "measured");
+      probes_.erase(probes_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void AutoPipeController::supersede_probes(const std::string& reason) {
+  if (probes_.empty()) return;
+  const double now = cluster_.simulator().now();
+  for (const LedgerProbe& p : probes_) {
+    if (p.samples > 0 && now > p.window_start) {
+      // Enough of a window to salvage a short measurement.
+      const double realized = static_cast<double>(executor_.batch_size()) *
+                              static_cast<double>(p.samples) /
+                              (now - p.window_start);
+      ledger_resolve(p.id,
+                     p.switched ? trace::OutcomeStatus::kExecuted
+                                : trace::OutcomeStatus::kRejected,
+                     realized, static_cast<int>(p.samples),
+                     "partial_" + reason);
+    } else {
+      ledger_resolve(p.id, trace::OutcomeStatus::kSuperseded, -1.0, 0,
+                     reason);
+    }
+  }
+  probes_.clear();
+}
+
+void AutoPipeController::resolve_validation_record(trace::OutcomeStatus status,
+                                                   double realized, int window,
+                                                   const std::string& reason) {
+  if (!validation_ || !validation_->ledger_id) return;
+  ledger_resolve(*validation_->ledger_id, status, realized, window, reason);
+  validation_->ledger_id.reset();
 }
 
 void AutoPipeController::settle_pending_reward(

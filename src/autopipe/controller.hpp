@@ -18,6 +18,7 @@
 
 #include "autopipe/features.hpp"
 #include "autopipe/meta_network.hpp"
+#include "common/ledger.hpp"
 #include "autopipe/profiler.hpp"
 #include "autopipe/resource_monitor.hpp"
 #include "autopipe/switch_cost.hpp"
@@ -172,6 +173,21 @@ class AutoPipeController {
   /// Returns true if a switch was requested.
   bool maybe_readmit(const ProfileSnapshot& snapshot);
 
+  // --- Decision-ledger plumbing (no-ops while the ledger is disabled) ---
+  trace::DecisionLedger& ledger();
+  /// FNV-1a hex digest of the resource snapshot a decision was taken under.
+  std::string snapshot_digest(const ProfileSnapshot& snapshot) const;
+  /// Resolve record `id` and feed the live calibration series in metrics().
+  void ledger_resolve(std::uint64_t id, trace::OutcomeStatus status,
+                      double realized, int window, std::string reason);
+  /// Advance every open realized-speed probe by one completed iteration.
+  void advance_probes();
+  /// Terminal-state every open probe: the regime changed under it.
+  void supersede_probes(const std::string& reason);
+  /// Resolve the record attached to the active validation window, if any.
+  void resolve_validation_record(trace::OutcomeStatus status, double realized,
+                                 int window, const std::string& reason);
+
   sim::Cluster& cluster_;
   pipeline::PipelineExecutor& executor_;
   ControllerConfig config_;
@@ -205,6 +221,8 @@ class AutoPipeController {
     /// Simulated instant the post-switch window opened.
     double window_start = -1.0;
     std::size_t samples = 0;
+    /// Ledger record whose outcome this window decides (ledger enabled only).
+    std::optional<std::uint64_t> ledger_id;
   };
   std::optional<Validation> validation_;
   std::size_t cooldown_until_ = 0;
@@ -220,6 +238,22 @@ class AutoPipeController {
 
   std::vector<SpeedSample> adaptation_buffer_;
   Stats stats_;
+
+  /// Open realized-speed measurement windows for ledger records: every hold
+  /// decision, and switches that could not arm a validation window. Resolved
+  /// after validation_window completed iterations, or superseded when the
+  /// regime changes underneath them. Only populated while the ledger is
+  /// enabled; a hold decision does NOT supersede earlier holds (the regime
+  /// is unchanged), so a few probes overlap when decision_interval <
+  /// validation_window.
+  struct LedgerProbe {
+    std::uint64_t id = 0;
+    bool switched = false;
+    std::size_t decision_iteration = 0;
+    double window_start = -1.0;
+    std::size_t samples = 0;
+  };
+  std::vector<LedgerProbe> probes_;
 
   // --- Watchdog / fault-recovery state ---
   bool watchdog_armed_ = false;

@@ -73,6 +73,7 @@ double MetaNetwork::predict(
   s.dynamic_seq = dynamic_seq;
   s.static_feat = static_feat;
   s.partition_feat = partition_feat;
+  ++predictions_;
   return forward_one(s).at(0, 0);
 }
 

@@ -55,6 +55,10 @@ class MetaNetwork {
 
   const MetaNetworkConfig& config() const { return config_; }
 
+  /// Lifetime count of predict() calls — the denominator a calibration
+  /// report uses to relate ledger coverage to predictor load.
+  std::size_t predictions() const { return predictions_; }
+
   void save(std::ostream& os) const;
   void load(std::istream& is);
 
@@ -65,6 +69,7 @@ class MetaNetwork {
   nn::Lstm lstm_;
   nn::Mlp head_;
   nn::Adam optimizer_;
+  std::size_t predictions_ = 0;
 };
 
 }  // namespace autopipe::core

@@ -36,6 +36,13 @@ SwitchCostEstimate analytic_switch_cost(
     Seconds current_batch_time, std::size_t in_flight,
     Seconds restage_overhead_per_layer);
 
+/// The stall the estimate predicts for the given switch mode — the value
+/// the controller gates on and the decision ledger records per candidate.
+inline Seconds cost_for_mode(const SwitchCostEstimate& estimate,
+                             bool fine_grained) {
+  return fine_grained ? estimate.fine_grained : estimate.stop_the_world;
+}
+
 /// Learned refinement: regress measured stall seconds from a tiny feature
 /// vector (migration volume, bandwidth, pipeline state). Used by the
 /// ablation bench; the controller defaults to the analytic estimate.

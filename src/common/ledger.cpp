@@ -1,0 +1,115 @@
+#include "common/ledger.hpp"
+
+#include <ostream>
+
+#include "common/trace.hpp"
+
+namespace autopipe::trace {
+
+const char* decision_action_name(DecisionAction action) {
+  return action == DecisionAction::kSwitch ? "switch" : "hold";
+}
+
+const char* outcome_status_name(OutcomeStatus status) {
+  switch (status) {
+    case OutcomeStatus::kPending:
+      return "pending";
+    case OutcomeStatus::kExecuted:
+      return "executed";
+    case OutcomeStatus::kReverted:
+      return "reverted";
+    case OutcomeStatus::kRejected:
+      return "rejected";
+    case OutcomeStatus::kSuperseded:
+      return "superseded";
+  }
+  return "pending";
+}
+
+void DecisionLedger::set_run_info(int batches_per_iteration, int num_workers,
+                                  std::string model) {
+  batches_ = batches_per_iteration;
+  workers_ = num_workers;
+  model_ = std::move(model);
+}
+
+std::uint64_t DecisionLedger::add(DecisionRecord record) {
+  record.id = records_.size();
+  records_.push_back(std::move(record));
+  return records_.back().id;
+}
+
+void DecisionLedger::resolve(std::uint64_t id, DecisionOutcome outcome) {
+  if (id < records_.size()) records_[id].outcome = std::move(outcome);
+}
+
+void DecisionLedger::finalize(const std::string& reason) {
+  for (DecisionRecord& record : records_) {
+    if (record.outcome.status == OutcomeStatus::kPending) {
+      record.outcome.status = OutcomeStatus::kSuperseded;
+      record.outcome.reason = reason;
+    }
+  }
+}
+
+bool DecisionLedger::all_resolved() const {
+  for (const DecisionRecord& record : records_) {
+    if (record.outcome.status == OutcomeStatus::kPending) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// "-" marks an absent optional value in the text form.
+std::string opt_str(const std::string& s) { return s.empty() ? "-" : s; }
+
+std::string opt_speed(double v) { return v < 0 ? "-" : format_double(v); }
+
+std::string q_list(const std::vector<double>& qs) {
+  if (qs.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    if (i) out += ',';
+    out += format_double(qs[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+void DecisionLedger::write_text(std::ostream& os) const {
+  os << "ledger v1 model=" << opt_str(model_) << " batch=" << batches_
+     << " workers=" << workers_ << " decisions=" << records_.size() << "\n";
+  for (const DecisionRecord& r : records_) {
+    os << "decision id=" << r.id << " t=" << format_double(r.time)
+       << " iter=" << r.iteration << " kind=" << opt_str(r.kind)
+       << " digest=" << opt_str(r.digest) << " workers=" << r.num_workers
+       << " iter_time=" << format_double(r.iteration_time)
+       << " current=" << opt_str(r.current)
+       << " current_pred=" << format_double(r.current_pred) << "\n";
+    for (std::size_t i = 0; i < r.candidates.size(); ++i) {
+      const CandidateScore& c = r.candidates[i];
+      os << "cand id=" << r.id << " n=" << i << " part=" << opt_str(c.partition)
+         << " pred=" << format_double(c.predicted_speed)
+         << " cost_fine=" << format_double(c.cost_fine)
+         << " cost_stw=" << format_double(c.cost_stw)
+         << " skip=" << (c.skipped ? 1 : 0) << "\n";
+    }
+    os << "choice id=" << r.id << " action=" << decision_action_name(r.action)
+       << " target=" << opt_str(r.target)
+       << " pred=" << format_double(r.chosen_pred)
+       << " best=" << format_double(r.best_pred)
+       << " cost=" << format_double(r.cost_seconds)
+       << " arbiter=" << opt_str(r.arbiter)
+       << " explore=" << (r.explored ? 1 : 0) << " q=" << q_list(r.q_values)
+       << "\n";
+    os << "outcome id=" << r.id
+       << " status=" << outcome_status_name(r.outcome.status)
+       << " realized=" << opt_speed(r.outcome.realized_speed)
+       << " window=" << r.outcome.window_iterations
+       << " reason=" << opt_str(r.outcome.reason) << "\n";
+  }
+}
+
+}  // namespace autopipe::trace

@@ -19,4 +19,53 @@ bool MetricsRegistry::has(const std::string& name) const {
   return values_.count(name) > 0;
 }
 
+void MetricsRegistry::clear() {
+  values_.clear();
+  series_.clear();
+}
+
+void MetricsRegistry::observe(const std::string& name, double sample) {
+  auto [it, inserted] = series_.try_emplace(name);
+  Series& s = it->second;
+  if (inserted) {
+    s.alpha = rolling_.ema_alpha;
+    s.limit = rolling_.window == 0 ? 1 : rolling_.window;
+  }
+  s.ema = s.count == 0 ? sample : s.alpha * sample + (1.0 - s.alpha) * s.ema;
+  ++s.count;
+  s.window.push_back(sample);
+  while (s.window.size() > s.limit) s.window.pop_front();
+}
+
+double MetricsRegistry::ema(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? 0.0 : it->second.ema;
+}
+
+double MetricsRegistry::window_mean(const std::string& name) const {
+  auto it = series_.find(name);
+  if (it == series_.end() || it->second.window.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : it->second.window) sum += v;
+  return sum / static_cast<double>(it->second.window.size());
+}
+
+std::size_t MetricsRegistry::observations(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? 0 : it->second.count;
+}
+
+std::map<std::string, double> MetricsRegistry::flattened() const {
+  std::map<std::string, double> out = values_;
+  for (const auto& [name, s] : series_) {
+    out[name + ".ema"] = s.ema;
+    double sum = 0.0;
+    for (double v : s.window) sum += v;
+    out[name + ".mean"] =
+        s.window.empty() ? 0.0 : sum / static_cast<double>(s.window.size());
+    out[name + ".count"] = static_cast<double>(s.count);
+  }
+  return out;
+}
+
 }  // namespace autopipe::trace

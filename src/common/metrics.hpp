@@ -8,12 +8,27 @@
 // Naming convention: "<subsystem>.<metric>", e.g. "switch.migration_bytes".
 // Counters accumulate with add(); gauges overwrite with set() (the last run
 // wins). Keys are kept sorted so any printed form is deterministic.
+//
+// Rolling series: observe() feeds a named stream of samples through two
+// aggregators at once — an exponential moving average and a fixed-length
+// window whose arithmetic mean is computed on demand (never incrementally,
+// so the value is bit-identical regardless of how many samples were evicted).
+// The calibration tracker uses these for "recent" predictor error without
+// retaining the whole history.
 #pragma once
 
+#include <cstddef>
+#include <deque>
 #include <map>
 #include <string>
 
 namespace autopipe::trace {
+
+/// Tuning for rolling series; applies to streams created after the change.
+struct RollingConfig {
+  double ema_alpha = 0.2;     ///< weight of the newest sample in the EMA
+  std::size_t window = 32;    ///< samples retained for window_mean()
+};
 
 class MetricsRegistry {
  public:
@@ -31,11 +46,42 @@ class MetricsRegistry {
   /// All metrics, sorted by name.
   const std::map<std::string, double>& all() const { return values_; }
 
-  bool empty() const { return values_.empty(); }
-  void clear() { values_.clear(); }
+  bool empty() const { return values_.empty() && series_.empty(); }
+  void clear();
+
+  // --- rolling series ------------------------------------------------------
+
+  /// Feed one sample into the named rolling series.
+  void observe(const std::string& name, double sample);
+
+  /// Exponential moving average of the series; 0 before any sample.
+  double ema(const std::string& name) const;
+
+  /// Arithmetic mean over the last `window` samples; 0 before any sample.
+  double window_mean(const std::string& name) const;
+
+  /// Total samples ever observed (including evicted ones).
+  std::size_t observations(const std::string& name) const;
+
+  void set_rolling_config(const RollingConfig& config) { rolling_ = config; }
+  const RollingConfig& rolling_config() const { return rolling_; }
+
+  /// Scalars plus rolling series expanded to "<name>.ema", "<name>.mean"
+  /// and "<name>.count" keys — the form the JSON exporters write.
+  std::map<std::string, double> flattened() const;
 
  private:
+  struct Series {
+    double ema = 0.0;
+    double alpha = 0.2;
+    std::size_t limit = 32;
+    std::size_t count = 0;          ///< lifetime sample count
+    std::deque<double> window;
+  };
+
   std::map<std::string, double> values_;
+  std::map<std::string, Series> series_;
+  RollingConfig rolling_;
 };
 
 }  // namespace autopipe::trace

@@ -43,14 +43,23 @@ DqnAgent::DqnAgent(DqnConfig config, std::uint64_t seed)
 }
 
 int DqnAgent::act(const std::vector<double>& state, bool explore) {
+  return decide(state, explore).action;
+}
+
+DqnAgent::DecisionInfo DqnAgent::decide(const std::vector<double>& state,
+                                        bool explore) {
   AUTOPIPE_EXPECT(state.size() == config_.state_dim);
+  DecisionInfo info;
+  info.q = q_values(state);  // pure forward pass: no RNG consumed
   if (explore && rng_.chance(epsilon_)) {
-    return static_cast<int>(rng_.uniform_int(
+    info.explored = true;
+    info.action = static_cast<int>(rng_.uniform_int(
         0, static_cast<std::int64_t>(config_.num_actions) - 1));
+    return info;
   }
-  const auto q = q_values(state);
-  return static_cast<int>(
-      std::max_element(q.begin(), q.end()) - q.begin());
+  info.action = static_cast<int>(
+      std::max_element(info.q.begin(), info.q.end()) - info.q.begin());
+  return info;
 }
 
 std::vector<double> DqnAgent::q_values(const std::vector<double>& state) {

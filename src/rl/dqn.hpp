@@ -41,6 +41,17 @@ class DqnAgent {
   /// Epsilon-greedy action; set explore=false for deployment.
   int act(const std::vector<double>& state, bool explore = true);
 
+  /// act() plus the evidence behind it, for the decision ledger: the online
+  /// net's Q-values and whether the epsilon-greedy exploration branch fired.
+  /// Consumes the RNG identically to act(), so recording a run's decisions
+  /// does not perturb it.
+  struct DecisionInfo {
+    int action = 0;
+    bool explored = false;
+    std::vector<double> q;
+  };
+  DecisionInfo decide(const std::vector<double>& state, bool explore = true);
+
   /// Record a transition and (past warmup) run one learning step.
   void observe(Transition t);
 

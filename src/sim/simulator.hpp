@@ -9,6 +9,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/ledger.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "common/units.hpp"
@@ -67,6 +68,11 @@ class Simulator {
   trace::MetricsRegistry& metrics() { return metrics_; }
   const trace::MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Decision ledger written by the AutoPipe controller. Disabled unless
+  /// `ledger().set_enabled(true)` is called before the run.
+  trace::DecisionLedger& ledger() { return ledger_; }
+  const trace::DecisionLedger& ledger() const { return ledger_; }
+
  private:
   struct Event {
     Seconds time;
@@ -90,6 +96,7 @@ class Simulator {
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   trace::TraceRecorder tracer_;
   trace::MetricsRegistry metrics_;
+  trace::DecisionLedger ledger_;
 };
 
 }  // namespace autopipe::sim

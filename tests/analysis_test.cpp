@@ -549,6 +549,44 @@ TEST(GoldenAnalysis, DiffDetectsAChangedRun) {
   EXPECT_TRUE(saw_wall_clock);
 }
 
+TEST(Diff, EmptyVsEmptyTraceHasNoDifferences) {
+  const TraceView a{std::vector<trace::Event>{}};
+  const TraceView b{std::vector<trace::Event>{}};
+  const auto deltas = diff_analyses(analyze(a), analyze(b));
+  EXPECT_TRUE(deltas.empty());
+}
+
+TEST(Diff, MismatchedWorkerCountsCompareAgainstZero) {
+  // Two workers vs one: the per-worker keys the single-worker run lacks
+  // must still appear in the diff, compared against 0 on the missing side.
+  const TraceView two(known_run());
+  const TraceView one(std::vector<trace::Event>{
+      span(Category::kCompute, "fp", 0.0, 1.0, 0, 0, {arg("batch", 0)}),
+      span(Category::kCompute, "bp", 1.0, 2.0, 0, 0, {arg("batch", 0)}),
+      instant(Category::kMark, "iteration", 2.0, kPidControl, 0,
+              {arg("n", 0)}),
+  });
+  const auto deltas = diff_analyses(analyze(two), analyze(one));
+  ASSERT_FALSE(deltas.empty());
+  bool saw_missing_worker = false;
+  for (const DiffEntry& d : deltas) {
+    if (d.key.find("worker1") != std::string::npos ||
+        d.key.find("w1") != std::string::npos) {
+      saw_missing_worker = true;
+      EXPECT_DOUBLE_EQ(d.b, 0.0) << d.key;
+    }
+  }
+  EXPECT_TRUE(saw_missing_worker);
+  // And the comparison is symmetric: swapping sides flips a/b.
+  const auto swapped = diff_analyses(analyze(one), analyze(two));
+  ASSERT_EQ(swapped.size(), deltas.size());
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    EXPECT_EQ(swapped[i].key, deltas[i].key);
+    EXPECT_DOUBLE_EQ(swapped[i].a, deltas[i].b);
+    EXPECT_DOUBLE_EQ(swapped[i].b, deltas[i].a);
+  }
+}
+
 TEST(GoldenAnalysis, UtilizationTimelineIsSane) {
   const TraceView view(parse_text_file(golden_path("bandwidth_drop.trace")));
   const auto timeline = utilization_timeline(view, 16);

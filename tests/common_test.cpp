@@ -7,6 +7,7 @@
 
 #include "common/expect.hpp"
 #include "common/flags.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -120,6 +121,64 @@ TEST(Ema, AlphaOneTracksLastSample) {
   ema.add(3.0);
   ema.add(8.0);
   EXPECT_DOUBLE_EQ(ema.value(), 8.0);
+}
+
+TEST(MetricsRolling, EmaSeedsWithFirstSampleThenSmooths) {
+  trace::MetricsRegistry metrics;
+  trace::RollingConfig config;
+  config.ema_alpha = 0.5;
+  metrics.set_rolling_config(config);
+  EXPECT_DOUBLE_EQ(metrics.ema("err"), 0.0);  // untouched series reads 0
+  metrics.observe("err", 10.0);
+  EXPECT_DOUBLE_EQ(metrics.ema("err"), 10.0);
+  metrics.observe("err", 20.0);
+  EXPECT_DOUBLE_EQ(metrics.ema("err"), 15.0);
+  metrics.observe("err", 5.0);
+  EXPECT_DOUBLE_EQ(metrics.ema("err"), 10.0);
+}
+
+TEST(MetricsRolling, WindowMeanEvictsOldestBeyondLimit) {
+  trace::MetricsRegistry metrics;
+  trace::RollingConfig config;
+  config.window = 3;
+  metrics.set_rolling_config(config);
+  metrics.observe("p", 1.0);
+  metrics.observe("p", 2.0);
+  EXPECT_DOUBLE_EQ(metrics.window_mean("p"), 1.5);
+  metrics.observe("p", 3.0);
+  EXPECT_DOUBLE_EQ(metrics.window_mean("p"), 2.0);
+  metrics.observe("p", 10.0);  // evicts the 1.0
+  EXPECT_DOUBLE_EQ(metrics.window_mean("p"), 5.0);
+  EXPECT_EQ(metrics.observations("p"), 4u);  // lifetime count keeps evicted
+}
+
+TEST(MetricsRolling, ConfigAppliesToStreamsCreatedAfterChange) {
+  trace::MetricsRegistry metrics;
+  metrics.observe("before", 1.0);
+  trace::RollingConfig config;
+  config.window = 1;
+  metrics.set_rolling_config(config);
+  metrics.observe("before", 3.0);  // existing stream keeps its window
+  metrics.observe("after", 1.0);
+  metrics.observe("after", 3.0);
+  EXPECT_DOUBLE_EQ(metrics.window_mean("before"), 2.0);
+  EXPECT_DOUBLE_EQ(metrics.window_mean("after"), 3.0);
+}
+
+TEST(MetricsRolling, FlattenedMergesScalarsAndSeries) {
+  trace::MetricsRegistry metrics;
+  metrics.add("switch.count", 2.0);
+  metrics.observe("calibration.ape", 0.5);
+  metrics.observe("calibration.ape", 0.3);
+  const auto flat = metrics.flattened();
+  EXPECT_DOUBLE_EQ(flat.at("switch.count"), 2.0);
+  EXPECT_DOUBLE_EQ(flat.at("calibration.ape.mean"), 0.4);
+  EXPECT_DOUBLE_EQ(flat.at("calibration.ape.count"), 2.0);
+  EXPECT_GT(flat.at("calibration.ape.ema"), 0.0);
+  EXPECT_FALSE(metrics.empty());
+  metrics.clear();
+  EXPECT_TRUE(metrics.empty());
+  EXPECT_EQ(metrics.observations("calibration.ape"), 0u);
 }
 
 TEST(RunningStats, MatchesBatch) {

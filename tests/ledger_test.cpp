@@ -1,0 +1,302 @@
+// Decision-ledger tests: the controller emits exactly one record per
+// planning round and resolves every one of them, the text form is
+// byte-deterministic and round-trips through the reader, and the
+// calibration report's aggregates match hand-computed values on a
+// synthetic ledger (plus a live switch-cost join against a real trace).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "analysis/calibration.hpp"
+#include "analysis/gantt.hpp"
+#include "analysis/ledger_reader.hpp"
+#include "analysis/trace_view.hpp"
+#include "autopipe/controller.hpp"
+#include "common/ledger.hpp"
+#include "common/units.hpp"
+#include "models/zoo.hpp"
+#include "pipeline/executor.hpp"
+#include "sim/cluster.hpp"
+#include "sim/trace.hpp"
+
+namespace autopipe::core {
+namespace {
+
+models::ModelSpec toy_model(std::size_t layers = 6) {
+  std::vector<models::LayerSpec> specs;
+  for (std::size_t l = 0; l < layers; ++l) {
+    models::LayerSpec s;
+    s.name = "l" + std::to_string(l);
+    s.fwd_flops_per_sample = 100.0 * static_cast<double>(1 + l % 2);
+    s.bwd_flops_per_sample = 2.0 * s.fwd_flops_per_sample;
+    s.activation_bytes_per_sample = 20.0;
+    s.param_bytes = 400.0;
+    specs.push_back(std::move(s));
+  }
+  return models::ModelSpec("toy", 4, std::move(specs));
+}
+
+struct Rig {
+  explicit Rig(std::size_t servers = 3, double gpu_flops = 1e4,
+               double nic = 1e5) {
+    config.num_servers = servers;
+    config.gpus_per_server = 1;
+    config.gpu_specs = {sim::GpuSpec{"toy", gpu_flops, gib(16)}};
+    config.nic_bandwidth = nic;
+    cluster = std::make_unique<sim::Cluster>(sim, config);
+  }
+  sim::Simulator sim;
+  sim::ClusterConfig config;
+  std::unique_ptr<sim::Cluster> cluster;
+};
+
+pipeline::ExecutorConfig clean_config() {
+  pipeline::ExecutorConfig c;
+  c.framework.per_layer_overhead = 0.0;
+  c.framework.comm_efficiency = 1.0;
+  c.framework.compute_efficiency = 1.0;
+  return c;
+}
+
+/// The skewed-start scenario from the controller tests: the threshold
+/// arbiter rebalances it within a few decision rounds, so the ledger sees
+/// both switch and hold verdicts. Returns the ledger's text form.
+std::string run_skewed_scenario(Rig& rig, bool trace = false) {
+  const auto model = toy_model(6);
+  rig.sim.ledger().set_enabled(true);
+  if (trace) rig.sim.tracer().set_enabled(true);
+  partition::Partition skewed({{0, 3, {0}}, {4, 4, {1}}, {5, 5, {2}}},
+                              model.num_layers());
+  pipeline::PipelineExecutor executor(*rig.cluster, model, skewed,
+                                      clean_config());
+  ControllerConfig config;
+  config.arbiter_mode = ControllerConfig::ArbiterMode::kThreshold;
+  config.use_meta_network = false;
+  config.decision_interval = 2;
+  AutoPipeController controller(*rig.cluster, executor, config, nullptr,
+                                nullptr);
+  controller.attach();
+  executor.run(40, 10);
+
+  EXPECT_GT(controller.stats().decisions, 0u);
+  EXPECT_EQ(rig.sim.ledger().size(), controller.stats().decisions);
+  rig.sim.ledger().finalize("run_end");
+  EXPECT_TRUE(rig.sim.ledger().all_resolved());
+
+  std::ostringstream os;
+  rig.sim.ledger().write_text(os);
+  return os.str();
+}
+
+TEST(Ledger, DisabledByDefaultAndRecordsNothing) {
+  Rig rig;
+  const auto model = toy_model(6);
+  partition::Partition skewed({{0, 3, {0}}, {4, 4, {1}}, {5, 5, {2}}},
+                              model.num_layers());
+  pipeline::PipelineExecutor executor(*rig.cluster, model, skewed,
+                                      clean_config());
+  ControllerConfig config;
+  config.arbiter_mode = ControllerConfig::ArbiterMode::kThreshold;
+  config.use_meta_network = false;
+  config.decision_interval = 2;
+  AutoPipeController controller(*rig.cluster, executor, config, nullptr,
+                                nullptr);
+  controller.attach();
+  executor.run(30, 5);
+  EXPECT_GT(controller.stats().decisions, 0u);
+  EXPECT_FALSE(rig.sim.ledger().enabled());
+  EXPECT_TRUE(rig.sim.ledger().empty());
+}
+
+TEST(Ledger, OneRecordPerDecisionAllResolved) {
+  Rig rig;
+  const std::string text = run_skewed_scenario(rig);
+  EXPECT_NE(text.find("ledger v1 model=toy"), std::string::npos);
+  // At least one adopted switch and at least one resolved outcome beyond
+  // run_end: the scenario is built to rebalance.
+  EXPECT_NE(text.find("action=switch"), std::string::npos);
+}
+
+TEST(Ledger, ByteDeterministicAcrossIdenticalRuns) {
+  Rig rig_a;
+  Rig rig_b;
+  const std::string a = run_skewed_scenario(rig_a);
+  const std::string b = run_skewed_scenario(rig_b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Ledger, RoundTripsThroughReader) {
+  Rig rig;
+  const std::string text = run_skewed_scenario(rig);
+
+  std::istringstream in(text);
+  const trace::DecisionLedger parsed = analysis::read_ledger(in);
+  EXPECT_EQ(parsed.size(), rig.sim.ledger().size());
+  EXPECT_EQ(parsed.model(), "toy");
+  EXPECT_EQ(parsed.run_workers(), 3);
+  EXPECT_EQ(parsed.batches_per_iteration(), 4);
+
+  std::ostringstream out;
+  parsed.write_text(out);
+  EXPECT_EQ(out.str(), text);
+}
+
+TEST(Ledger, ReaderRejectsMalformedInput) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return analysis::read_ledger(in);
+  };
+  EXPECT_THROW(parse(""), std::runtime_error);
+  EXPECT_THROW(parse("not a ledger\n"), std::runtime_error);
+  // Header promising more decisions than the body delivers.
+  EXPECT_THROW(parse("ledger v1 model=toy batch=4 workers=3 decisions=1\n"),
+               std::runtime_error);
+  // A decision with no choice/outcome lines.
+  EXPECT_THROW(
+      parse("ledger v1 model=toy batch=4 workers=3 decisions=1\n"
+            "decision id=0 t=1 iter=5 kind=neighborhood digest=00 workers=3 "
+            "iter_time=0.1 current=L0-5@{0} current_pred=40\n"),
+      std::runtime_error);
+}
+
+// Hand-checked calibration arithmetic on a synthetic three-decision ledger:
+//   d0: switch, executed,  pred 100, realized 80,  best 110
+//       -> ape 0.25, bias +0.25, regret (110-80)/80 = 0.375
+//   d1: hold,   rejected,  pred 50,  realized 100, best 120
+//       -> ape 0.50, bias -0.50, regret (120-100)/100 = 0.2
+//   d2: switch, superseded, never measured -> excluded from the means
+// Aggregates: accept rate 2/3, measured 2, MAPE 0.375, bias -0.125,
+// mean regret 0.2875, max regret 0.375.
+trace::DecisionLedger synthetic_ledger() {
+  trace::DecisionLedger ledger;
+  ledger.set_enabled(true);
+  ledger.set_run_info(4, 2, "toy");
+
+  trace::DecisionRecord d0;
+  d0.time = 1.0;
+  d0.iteration = 5;
+  d0.kind = "neighborhood";
+  d0.num_workers = 2;
+  d0.action = trace::DecisionAction::kSwitch;
+  d0.chosen_pred = 100.0;
+  d0.best_pred = 110.0;
+  d0.outcome = {trace::OutcomeStatus::kExecuted, 80.0, 4, "measured"};
+  ledger.add(d0);
+
+  trace::DecisionRecord d1;
+  d1.time = 2.0;
+  d1.iteration = 10;
+  d1.kind = "neighborhood";
+  d1.num_workers = 2;
+  d1.action = trace::DecisionAction::kHold;
+  d1.chosen_pred = 50.0;
+  d1.best_pred = 120.0;
+  d1.outcome = {trace::OutcomeStatus::kRejected, 100.0, 4, "measured"};
+  ledger.add(d1);
+
+  trace::DecisionRecord d2;
+  d2.time = 3.0;
+  d2.iteration = 15;
+  d2.kind = "neighborhood";
+  d2.num_workers = 2;
+  d2.action = trace::DecisionAction::kSwitch;
+  d2.chosen_pred = 90.0;
+  d2.best_pred = 90.0;
+  d2.arbiter = "rl";  // exercises the q-value list serialization
+  d2.q_values = {0.125, -1.75};
+  d2.explored = true;
+  d2.outcome = {trace::OutcomeStatus::kSuperseded, -1.0, 0, "run_end"};
+  ledger.add(d2);
+  return ledger;
+}
+
+TEST(Calibration, HandCheckedAggregates) {
+  const analysis::CalibrationReport report =
+      analysis::calibrate(synthetic_ledger());
+
+  EXPECT_EQ(report.decisions, 3u);
+  EXPECT_EQ(report.switches, 2u);
+  EXPECT_EQ(report.holds, 1u);
+  EXPECT_NEAR(report.accept_rate, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(report.executed, 1u);
+  EXPECT_EQ(report.rejected, 1u);
+  EXPECT_EQ(report.superseded, 1u);
+  EXPECT_EQ(report.reverted, 0u);
+
+  EXPECT_EQ(report.measured, 2u);
+  EXPECT_NEAR(report.speed_mape, 0.375, 1e-12);
+  EXPECT_NEAR(report.speed_bias, -0.125, 1e-12);
+  EXPECT_NEAR(report.mean_regret, 0.2875, 1e-12);
+  EXPECT_NEAR(report.max_regret, 0.375, 1e-12);
+  EXPECT_EQ(report.cost_joined, 0u);
+
+  ASSERT_EQ(report.rows.size(), 3u);
+  EXPECT_NEAR(report.rows[0].ape, 0.25, 1e-12);
+  EXPECT_NEAR(report.rows[0].bias, 0.25, 1e-12);
+  EXPECT_NEAR(report.rows[0].regret, 0.375, 1e-12);
+  EXPECT_NEAR(report.rows[1].ape, 0.5, 1e-12);
+  EXPECT_NEAR(report.rows[1].bias, -0.5, 1e-12);
+  EXPECT_LT(report.rows[2].ape, 0.0);  // unmeasured stays -1
+}
+
+TEST(Calibration, SyntheticLedgerRoundTripsAndRenders) {
+  const trace::DecisionLedger ledger = synthetic_ledger();
+  std::ostringstream os;
+  ledger.write_text(os);
+  std::istringstream in(os.str());
+  const trace::DecisionLedger parsed = analysis::read_ledger(in);
+  std::ostringstream re;
+  parsed.write_text(re);
+  EXPECT_EQ(re.str(), os.str());
+
+  std::ostringstream rendered;
+  analysis::render_calibration(analysis::calibrate(parsed), rendered);
+  EXPECT_NE(rendered.str().find("MAPE 37.50%"), std::string::npos);
+
+  std::ostringstream table;
+  analysis::render_decisions(parsed, table);
+  EXPECT_NE(table.str().find("superseded"), std::string::npos);
+}
+
+TEST(Calibration, SwitchCostJoinAgainstLiveTrace) {
+  Rig rig;
+  run_skewed_scenario(rig, /*trace=*/true);
+
+  const analysis::TraceView view(rig.sim.tracer().events());
+  const analysis::CalibrationReport report =
+      analysis::calibrate(rig.sim.ledger(), view);
+
+  // Every executed/reverted switch decision left a switch span in the trace
+  // at the decision instant, so each must join to a post-mortem.
+  std::size_t joinable = 0;
+  for (const analysis::CalibrationRow& row : report.rows) {
+    if (row.action == "switch" &&
+        (row.status == "executed" || row.status == "reverted")) {
+      ++joinable;
+    }
+  }
+  EXPECT_GT(joinable, 0u);
+  EXPECT_EQ(report.cost_joined, joinable);
+  for (const analysis::CalibrationRow& row : report.rows) {
+    if (row.cost_actual >= 0.0) EXPECT_GE(row.cost_pred, 0.0);
+  }
+}
+
+TEST(Gantt, DecisionRowMarksLedgerRecords) {
+  Rig rig;
+  run_skewed_scenario(rig, /*trace=*/true);
+  const analysis::TraceView view(rig.sim.tracer().events());
+  const std::string plain = analysis::render_gantt(view, 80);
+  const std::string marked =
+      analysis::render_gantt(view, rig.sim.ledger(), 80);
+  EXPECT_EQ(plain.find("decision row"), std::string::npos);
+  EXPECT_NE(marked.find("decision row: ^ switch verdict  . hold"),
+            std::string::npos);
+  EXPECT_NE(marked.find('^'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autopipe::core

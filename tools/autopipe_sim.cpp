@@ -75,8 +75,14 @@ void usage() {
       "                        Perfetto), .txt/.trace the plain-text format\n"
       "                        (see docs/TRACING.md; analyze either text\n"
       "                        trace with the autopipe_trace tool)\n"
-      "  --metrics PATH        write the run's metrics registry as one flat\n"
-      "                        JSON object (stable key order)\n"
+      "  --metrics PATH        write the run's full metrics registry (flat\n"
+      "                        counters/gauges plus rolling-series .ema/\n"
+      "                        .mean/.count keys) as one JSON object with\n"
+      "                        stable key order\n"
+      "  --ledger PATH         write the controller's decision ledger (one\n"
+      "                        record per planning round; see\n"
+      "                        docs/DECISIONS.md, analyze with\n"
+      "                        autopipe_trace decisions / calibration)\n"
       "  --verbose             debug logging\n";
 }
 
@@ -111,12 +117,24 @@ int main(int argc, char** argv) {
   sim::Simulator simulator;
   const std::string trace_path = flags.get("trace", "");
   const std::string metrics_path = flags.get("metrics", "");
+  const std::string ledger_path = flags.get("ledger", "");
+  // Fail on an unwritable output path now, not after the whole run.
+  const auto expect_writable = [](const std::string& path, const char* what) {
+    std::ofstream probe(path);
+    if (!probe.good()) {
+      std::cerr << "autopipe_sim: cannot open " << what << " file: " << path
+                << "\n";
+      std::exit(2);
+    }
+  };
   if (!trace_path.empty()) {
-    // Fail on an unwritable path now, not after the whole run.
-    std::ofstream probe(trace_path);
-    AUTOPIPE_EXPECT_MSG(probe.good(),
-                        "cannot open trace file " + trace_path);
+    expect_writable(trace_path, "trace");
     simulator.tracer().set_enabled(true);
+  }
+  if (!metrics_path.empty()) expect_writable(metrics_path, "metrics");
+  if (!ledger_path.empty()) {
+    expect_writable(ledger_path, "ledger");
+    simulator.ledger().set_enabled(true);
   }
   sim::ClusterConfig cluster_config;
   cluster_config.num_servers =
@@ -265,9 +283,21 @@ int main(int argc, char** argv) {
     std::ofstream out(metrics_path);
     AUTOPIPE_EXPECT_MSG(out.good(),
                         "cannot open metrics file " << metrics_path);
-    analysis::write_scalar_map_json(simulator.metrics().all(), out);
-    std::cout << "metrics: " << simulator.metrics().all().size()
-              << " values -> " << metrics_path << "\n";
+    const auto flattened = simulator.metrics().flattened();
+    analysis::write_scalar_map_json(flattened, out);
+    std::cout << "metrics: " << flattened.size() << " values -> "
+              << metrics_path << "\n";
+  }
+
+  if (!ledger_path.empty()) {
+    // Terminal-state any decision still mid-measurement, then serialize.
+    simulator.ledger().finalize("run_end");
+    std::ofstream out(ledger_path);
+    AUTOPIPE_EXPECT_MSG(out.good(),
+                        "cannot open ledger file " << ledger_path);
+    simulator.ledger().write_text(out);
+    std::cout << "ledger: " << simulator.ledger().size() << " decisions -> "
+              << ledger_path << "\n";
   }
 
   TextTable summary({"metric", "value"});

@@ -17,16 +17,21 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "analysis/calibration.hpp"
+#include "analysis/critical_path.hpp"
 #include "analysis/gantt.hpp"
+#include "analysis/ledger_reader.hpp"
 #include "analysis/report.hpp"
 #include "analysis/trace_reader.hpp"
 #include "analysis/trace_view.hpp"
 #include "common/expect.hpp"
+#include "common/ledger.hpp"
 
 using namespace autopipe;
 
@@ -47,20 +52,33 @@ int usage(std::ostream& os, int code) {
       "  autopipe_trace switches TRACE [--json] [--window=N]\n"
       "      per-switch post-mortems: migration bytes, stall seconds,\n"
       "      throughput before/after, payback iterations\n"
-      "  autopipe_trace gantt TRACE [--width=N]\n"
-      "      ASCII timeline, one row per worker\n"
+      "  autopipe_trace gantt TRACE [--width=N] [--ledger=PATH]\n"
+      "      ASCII timeline, one row per worker; with --ledger, a decision\n"
+      "      row marks every planning round\n"
       "  autopipe_trace diff TRACE_A TRACE_B [--json] [--tolerance=X]\n"
-      "      compare every analysis metric between two runs\n";
+      "      compare every analysis metric between two runs\n"
+      "  autopipe_trace decisions LEDGER [--json] [--check]\n"
+      "      the decision ledger, one row per planning round; --check\n"
+      "      validates the parse -> reserialize round-trip byte-for-byte\n"
+      "  autopipe_trace calibration LEDGER [TRACE] [--json]\n"
+      "      prediction-vs-realized calibration: speed MAPE/bias, arbiter\n"
+      "      accept rate and regret; with TRACE, also switch-cost error\n"
+      "      against the measured stalls (see docs/DECISIONS.md)\n"
+      "\n"
+      "  critical-path also accepts --ledger=PATH to report which planning\n"
+      "  rounds fired inside critical-path wait segments\n";
   return code;
 }
 
 struct Options {
   std::vector<std::string> positional;
   bool json = false;
+  bool check = false;
   std::size_t top = 10;
   std::size_t width = 100;
   std::size_t window = 5;
   double tolerance = 0.0;
+  std::string ledger;
 };
 
 bool parse_options(int argc, char** argv, Options& opts) {
@@ -79,6 +97,10 @@ bool parse_options(int argc, char** argv, Options& opts) {
           std::strtoull(arg.c_str() + 9, nullptr, 10));
     } else if (arg.rfind("--tolerance=", 0) == 0) {
       opts.tolerance = std::strtod(arg.c_str() + 12, nullptr);
+    } else if (arg.rfind("--ledger=", 0) == 0) {
+      opts.ledger = arg.substr(9);
+    } else if (arg == "--check") {
+      opts.check = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option " << arg << "\n";
       return false;
@@ -147,6 +169,56 @@ int main(int argc, char** argv) {
       return deltas.empty() ? 0 : 1;
     }
 
+    if (command == "decisions") {
+      if (opts.positional.size() != 1) {
+        std::cerr << "decisions needs exactly one ledger file\n";
+        return 2;
+      }
+      const trace::DecisionLedger ledger =
+          analysis::read_ledger_file(opts.positional[0]);
+      if (opts.check) {
+        std::ifstream in(opts.positional[0], std::ios::binary);
+        std::ostringstream original;
+        original << in.rdbuf();
+        std::ostringstream reserialized;
+        ledger.write_text(reserialized);
+        if (original.str() != reserialized.str()) {
+          std::cerr << "autopipe_trace: ledger '" << opts.positional[0]
+                    << "' does not round-trip byte-identically\n";
+          return 1;
+        }
+        std::cout << "ok: " << ledger.size()
+                  << " decisions, parse -> reserialize byte-identical\n";
+        return 0;
+      }
+      if (opts.json) {
+        analysis::write_decisions_json(ledger, std::cout);
+      } else {
+        analysis::render_decisions(ledger, std::cout);
+      }
+      return 0;
+    }
+
+    if (command == "calibration") {
+      if (opts.positional.empty() || opts.positional.size() > 2) {
+        std::cerr << "calibration needs a ledger file and optionally a "
+                     "trace file\n";
+        return 2;
+      }
+      const trace::DecisionLedger ledger =
+          analysis::read_ledger_file(opts.positional[0]);
+      const analysis::CalibrationReport report =
+          opts.positional.size() == 2
+              ? analysis::calibrate(ledger, load(opts.positional[1]))
+              : analysis::calibrate(ledger);
+      if (opts.json) {
+        analysis::write_calibration_json(report, std::cout);
+      } else {
+        analysis::render_calibration(report, std::cout);
+      }
+      return 0;
+    }
+
     if (opts.positional.size() != 1) {
       std::cerr << command << " needs exactly one trace file\n";
       return 2;
@@ -154,7 +226,12 @@ int main(int argc, char** argv) {
     const analysis::TraceView view = load(opts.positional[0]);
 
     if (command == "gantt") {
-      std::cout << analysis::render_gantt(view, opts.width);
+      if (opts.ledger.empty()) {
+        std::cout << analysis::render_gantt(view, opts.width);
+      } else {
+        std::cout << analysis::render_gantt(
+            view, analysis::read_ledger_file(opts.ledger), opts.width);
+      }
       return 0;
     }
 
@@ -178,6 +255,24 @@ int main(int argc, char** argv) {
         analysis::write_critical_path_json(a, std::cout);
       } else {
         std::cout << analysis::render_critical_path_text(a, opts.top);
+        if (!opts.ledger.empty()) {
+          const trace::DecisionLedger ledger =
+              analysis::read_ledger_file(opts.ledger);
+          const analysis::CriticalPath path =
+              analysis::extract_critical_path(view);
+          const auto marks = analysis::decision_path_marks(path, ledger);
+          std::size_t on_wait = 0;
+          for (const auto& m : marks)
+            if (m.on_wait) ++on_wait;
+          std::cout << "\ndecisions during critical-path waits: " << on_wait
+                    << " of " << marks.size() << '\n';
+          for (const auto& m : marks) {
+            if (!m.on_wait) continue;
+            std::cout << "  decision " << m.id << " at t="
+                      << trace::format_double(m.time)
+                      << " fired inside a wait segment\n";
+          }
+        }
       }
     } else if (command == "switches") {
       if (opts.json) {

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # One-shot health check: configure, build, run the full test suite, then
-# smoke the trace analyzer against the checked-in golden trace. Run from
-# anywhere; exits non-zero on the first failure.
+# smoke the trace analyzer against the checked-in golden trace and the
+# decision ledger against a controller scenario. Run from anywhere; exits
+# non-zero on the first failure.
 #
-#   tools/check.sh             # plain RelWithDebInfo build
-#   tools/check.sh --sanitize  # ASan+UBSan build in build-asan/
+#   tools/check.sh                # plain RelWithDebInfo build
+#   tools/check.sh --sanitize     # ASan+UBSan build in build-asan/
+#   tools/check.sh --ledger-smoke # build + ledger smoke only (fast)
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -12,21 +14,46 @@ build="${BUILD_DIR:-$repo/build}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 cmake_args=()
+ledger_smoke_only=0
 if [[ "${1:-}" == "--sanitize" ]]; then
   build="${BUILD_DIR:-$repo/build-asan}"
   cmake_args+=(-DAUTOPIPE_SANITIZE=ON)
   export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+elif [[ "${1:-}" == "--ledger-smoke" ]]; then
+  ledger_smoke_only=1
 elif [[ $# -gt 0 ]]; then
-  echo "usage: tools/check.sh [--sanitize]" >&2
+  echo "usage: tools/check.sh [--sanitize|--ledger-smoke]" >&2
   exit 2
 fi
+
+# Deterministic controller scenario with the decision ledger on; every
+# record must reach a terminal outcome and the text form must round-trip
+# through the reader byte-for-byte (autopipe_trace decisions --check).
+ledger_smoke() {
+  echo "== ledger smoke =="
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' RETURN
+  "$build/tools/autopipe_sim" --model vgg16 --iterations 150 \
+      --bw-drop-iter 60 --bw-drop-gbps 5 \
+      --trace "$tmp/run.trace" --ledger "$tmp/run.ledger" > /dev/null
+  "$build/tools/autopipe_trace" decisions "$tmp/run.ledger" --check
+  "$build/tools/autopipe_trace" calibration \
+      "$tmp/run.ledger" "$tmp/run.trace" --json > /dev/null
+}
 
 echo "== configure =="
 cmake -B "$build" -S "$repo" "${cmake_args[@]}"
 
 echo "== build =="
 cmake --build "$build" -j "$jobs"
+
+if [[ "$ledger_smoke_only" == 1 ]]; then
+  ledger_smoke
+  echo "OK"
+  exit 0
+fi
 
 echo "== test =="
 ctest --test-dir "$build" --output-on-failure -j "$jobs"
@@ -40,5 +67,7 @@ echo "== analyzer smoke =="
 "$build/tools/autopipe_trace" diff \
     "$repo/tests/golden/bandwidth_drop.trace" \
     "$repo/tests/golden/bandwidth_drop.trace" --json > /dev/null
+
+ledger_smoke
 
 echo "OK"

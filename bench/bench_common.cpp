@@ -1,10 +1,13 @@
 #include "bench_common.hpp"
 
+#include <atomic>
 #include <cctype>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
 #include "analysis/json.hpp"
+#include "sweep/engine.hpp"
 #include "analysis/report.hpp"
 #include "analysis/trace_view.hpp"
 #include "common/expect.hpp"
@@ -17,6 +20,7 @@ namespace {
 std::string g_trace_path;
 std::string g_metrics_path;
 std::string g_ledger_path;
+std::size_t g_jobs = 1;
 
 bool wants_text_format(const std::string& path) {
   auto ends_with = [&path](const char* suffix) {
@@ -43,8 +47,21 @@ void parse_common_flags(int argc, const char* const* argv) {
       g_ledger_path = a.substr(9);
     } else if (a == "--ledger" && i + 1 < argc) {
       g_ledger_path = argv[++i];
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      g_jobs = static_cast<std::size_t>(
+          std::strtoull(a.c_str() + 7, nullptr, 10));
+    } else if (a == "--jobs" && i + 1 < argc) {
+      g_jobs = static_cast<std::size_t>(
+          std::strtoull(argv[++i], nullptr, 10));
     }
   }
+}
+
+std::size_t jobs() { return g_jobs; }
+
+void for_each_scenario(std::size_t count,
+                       const std::function<void(std::size_t)>& body) {
+  sweep::run_indexed(count, g_jobs, body);
 }
 
 const std::string& trace_path() { return g_trace_path; }
@@ -281,7 +298,8 @@ double speedup_pct(double a, double b) {
 }
 
 namespace {
-std::size_t g_failed_scenarios = 0;
+// Atomic: scenario bodies may run concurrently under for_each_scenario.
+std::atomic<std::size_t> g_failed_scenarios{0};
 }
 
 bool run_scenario(const std::string& label,

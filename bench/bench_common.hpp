@@ -39,9 +39,21 @@ struct Testbed {
 Testbed make_testbed(double bandwidth_gbps);
 
 /// Parse the flags every fig benchmark shares (`--trace=PATH`,
-/// `--metrics=PATH`, `--ledger=PATH`). Call at the top of main(); unknown
-/// flags are ignored so each benchmark may layer its own parsing on top.
+/// `--metrics=PATH`, `--ledger=PATH`, `--jobs=N`). Call at the top of
+/// main(); unknown flags are ignored so each benchmark may layer its own
+/// parsing on top.
 void parse_common_flags(int argc, const char* const* argv);
+
+/// Worker threads requested via `--jobs` (default 1; 0 = one per core).
+std::size_t jobs();
+
+/// Fan `body(0) .. body(count-1)` across the `--jobs` thread pool
+/// (sweep::run_indexed). Each body must confine itself to per-index state
+/// — build its own testbed, write slot i of a preallocated vector — and
+/// emit nothing; the caller renders tables/stdout in index order
+/// afterwards, so benchmark output is identical at any --jobs value.
+void for_each_scenario(std::size_t count,
+                       const std::function<void(std::size_t)>& body);
 
 /// The `--trace` path captured by parse_common_flags; empty when unset.
 const std::string& trace_path();

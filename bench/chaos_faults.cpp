@@ -189,10 +189,18 @@ int main(int argc, char** argv) {
   TextTable table({"seed", "events", "injected", "dropped", "wedges",
                    "emerg", "readmit", "downtime(s)", "pre(ms)", "post(ms)",
                    "verdict"});
-  std::size_t passed = 0;
-  for (std::size_t s = 0; s < seeds; ++s) {
+  // Seeds are independent full-loop runs, so they fan out across the
+  // --jobs pool; each body fills only its own row slot and the table is
+  // assembled in seed order afterwards, keeping output identical at any
+  // thread count.
+  struct SeedRow {
+    bool ok = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<SeedRow> rows(seeds);
+  bench::for_each_scenario(seeds, [&](std::size_t s) {
     const std::size_t seed = seed0 + s;
-    const bool ok = bench::run_scenario("seed " + std::to_string(seed), [&] {
+    rows[s].ok = bench::run_scenario("seed " + std::to_string(seed), [&] {
       faults::ChaosSpec spec;
       spec.seed = seed;
       spec.start = fault_start;
@@ -269,21 +277,27 @@ int main(int argc, char** argv) {
                             "ledger does not round-trip through the reader");
       }
 
-      table.add_row({std::to_string(seed), std::to_string(fault_plan.size()),
-                     std::to_string(a.stats.injected),
-                     std::to_string(a.stats.dropped),
-                     std::to_string(a.wedges),
-                     std::to_string(a.emergency_replans),
-                     std::to_string(a.readmissions),
-                     TextTable::num(a.fault_downtime, 2),
-                     TextTable::num(pre * 1e3, 2),
-                     TextTable::num(post * 1e3, 2), "ok"});
+      rows[s].cells = {std::to_string(seed),
+                       std::to_string(fault_plan.size()),
+                       std::to_string(a.stats.injected),
+                       std::to_string(a.stats.dropped),
+                       std::to_string(a.wedges),
+                       std::to_string(a.emergency_replans),
+                       std::to_string(a.readmissions),
+                       TextTable::num(a.fault_downtime, 2),
+                       TextTable::num(pre * 1e3, 2),
+                       TextTable::num(post * 1e3, 2),
+                       "ok"};
     });
-    if (ok) {
+  });
+  std::size_t passed = 0;
+  for (std::size_t s = 0; s < seeds; ++s) {
+    if (rows[s].ok) {
       ++passed;
+      table.add_row(rows[s].cells);
     } else {
-      table.add_row({std::to_string(seed), "-", "-", "-", "-", "-", "-", "-",
-                     "-", "-", "FAIL"});
+      table.add_row({std::to_string(seed0 + s), "-", "-", "-", "-", "-", "-",
+                     "-", "-", "-", "FAIL"});
     }
   }
   table.print(std::cout, "chaos harness — randomized fault schedules");

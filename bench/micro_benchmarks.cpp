@@ -29,6 +29,23 @@ void BM_SimulatorEventChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEventChurn);
 
+void BM_SimulatorFatCaptureChurn(benchmark::State& state) {
+  // Captures past std::function's ~16-byte SBO but inside the simulator's
+  // 48-byte inline budget — the case the small-buffer callback exists for.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    double acc = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+      const double a = i * 1.0, b = i * 2.0, c = i * 3.0, d = i * 4.0;
+      sim.at(static_cast<Seconds>(i) * 1e-3,
+             [&acc, a, b, c, d] { acc += a + b + c + d; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_SimulatorFatCaptureChurn);
+
 void BM_FlowNetworkRerate(benchmark::State& state) {
   const auto flows = static_cast<std::size_t>(state.range(0));
   sim::Simulator sim;

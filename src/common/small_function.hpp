@@ -1,0 +1,133 @@
+// Move-only callable wrapper with inline (small-buffer) storage. The
+// discrete-event simulator schedules millions of short-lived closures per
+// run; std::function heap-allocates any capture list larger than ~two
+// pointers and copies on every priority-queue sift, which profiling shows
+// as the dominant allocation churn in the sim hot path. SmallFunction
+// stores callables up to InlineBytes in place (no allocation, moves are a
+// memcpy-sized operation) and falls back to the heap only for oversized
+// captures. Move-only on purpose: the event queue never needs to copy an
+// event, and deleting the copy operations turns accidental copies into
+// compile errors instead of silent allocations.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace autopipe::common {
+
+template <typename Signature, std::size_t InlineBytes = 64>
+class SmallFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class SmallFunction<R(Args...), InlineBytes> {
+ public:
+  SmallFunction() = default;
+  SmallFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { move_from(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return ops_->invoke(&storage_, std::forward<Args>(args)...);
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  // Type-erased operations table; one static instance per stored type.
+  struct Ops {
+    R (*invoke)(const void* storage, Args&&... args);
+    void (*destroy)(void* storage);
+    void (*move)(void* dst, void* src);  ///< move-construct dst from src
+  };
+
+  union Storage {
+    alignas(std::max_align_t) unsigned char inline_bytes[InlineBytes];
+    void* heap;
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= InlineBytes && std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(storage_.inline_bytes))
+          Fn(std::forward<F>(f));
+      static const Ops ops = {
+          [](const void* s, Args&&... args) -> R {
+            // The callable lives in the wrapper's buffer; invoking it is
+            // logically non-const the same way std::function's is.
+            auto* fn = const_cast<Fn*>(reinterpret_cast<const Fn*>(s));
+            return (*fn)(std::forward<Args>(args)...);
+          },
+          [](void* s) { reinterpret_cast<Fn*>(s)->~Fn(); },
+          [](void* dst, void* src) {
+            ::new (dst) Fn(std::move(*reinterpret_cast<Fn*>(src)));
+            reinterpret_cast<Fn*>(src)->~Fn();
+          },
+      };
+      ops_ = &ops;
+    } else {
+      storage_.heap = new Fn(std::forward<F>(f));
+      static const Ops ops = {
+          [](const void* s, Args&&... args) -> R {
+            auto* fn = *const_cast<Fn**>(reinterpret_cast<Fn* const*>(s));
+            return (*fn)(std::forward<Args>(args)...);
+          },
+          [](void* s) { delete *reinterpret_cast<Fn**>(s); },
+          [](void* dst, void* src) {
+            *reinterpret_cast<Fn**>(dst) = *reinterpret_cast<Fn**>(src);
+          },
+      };
+      ops_ = &ops;
+    }
+  }
+
+  void move_from(SmallFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->move(raw_storage(), other.raw_storage());
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void* raw_storage() { return static_cast<void*>(&storage_); }
+
+  const Ops* ops_ = nullptr;
+  Storage storage_;
+};
+
+}  // namespace autopipe::common

@@ -100,8 +100,12 @@ double Histogram::max() const {
 }
 
 double Histogram::percentile(double p) const {
-  AUTOPIPE_EXPECT(!samples_.empty());
   AUTOPIPE_EXPECT(p >= 0.0 && p <= 100.0);
+  // Empty and single-sample accumulators are legitimate at call sites that
+  // digest whatever a run produced (a zero-iteration measurement window, a
+  // single completed flow): match summary()'s all-zero convention rather
+  // than treating them as contract violations.
+  if (samples_.empty()) return 0.0;
   ensure_sorted();
   if (samples_.size() == 1) return samples_.front();
   const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);

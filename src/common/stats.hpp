@@ -52,7 +52,9 @@ class Histogram {
   double mean() const;
   double min() const;
   double max() const;
-  /// Linear-interpolated percentile, p in [0, 100].
+  /// Linear-interpolated percentile, p in [0, 100]. Follows summary()'s
+  /// conventions at the edges: 0.0 on an empty accumulator, the sample
+  /// itself when only one was added.
   double percentile(double p) const;
   double p50() const { return percentile(50.0); }
   double p95() const { return percentile(95.0); }

@@ -171,27 +171,37 @@ void FlowNetwork::recompute_rates() {
   // Progressive filling: repeatedly find the resource whose fair share
   // (remaining capacity / unfrozen flows through it) is smallest, pin every
   // unfrozen flow through it to that share, and deduct.
-  std::unordered_map<ResourceId, double> remaining_cap;
-  std::unordered_map<ResourceId, std::size_t> flow_count;
-  std::vector<FlowId> unfrozen;
-  unfrozen.reserve(flows_.size());
+  //
+  // Runs at event rate (every flow start/finish and every capacity change),
+  // so the per-resource accumulators are flat vectors indexed by the dense
+  // ResourceId, reused across calls — the earlier unordered_map version
+  // spent more time hashing than filling.
+  const std::size_t n = resources_.size();
+  if (scratch_cap_.size() < n) {
+    scratch_cap_.resize(n);
+    scratch_count_.resize(n);
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    scratch_cap_[r] = resources_[r].capacity;
+    scratch_count_[r] = 0;
+  }
+  scratch_unfrozen_.clear();
+  scratch_unfrozen_.reserve(flows_.size());
   for (auto& [id, flow] : flows_) {
     flow.rate = 0.0;
-    unfrozen.push_back(id);
-    for (ResourceId r : flow.path) {
-      remaining_cap.emplace(r, resources_[r].capacity);
-      ++flow_count[r];
-    }
+    scratch_unfrozen_.push_back(&flow);
+    for (ResourceId r : flow.path) ++scratch_count_[r];
   }
 
-  while (!unfrozen.empty()) {
+  while (!scratch_unfrozen_.empty()) {
     // Find the bottleneck resource.
     bool found = false;
     ResourceId bottleneck = 0;
     double best_share = 0.0;
-    for (const auto& [r, count] : flow_count) {
+    for (ResourceId r = 0; r < n; ++r) {
+      const std::size_t count = scratch_count_[r];
       if (count == 0) continue;
-      const double share = remaining_cap[r] / static_cast<double>(count);
+      const double share = scratch_cap_[r] / static_cast<double>(count);
       if (!found || share < best_share) {
         found = true;
         best_share = share;
@@ -199,24 +209,23 @@ void FlowNetwork::recompute_rates() {
       }
     }
     if (!found) break;
-    // Pin every unfrozen flow through the bottleneck at the fair share.
-    std::vector<FlowId> still_unfrozen;
-    still_unfrozen.reserve(unfrozen.size());
-    for (FlowId id : unfrozen) {
-      Flow& flow = flows_.at(id);
-      const bool through = std::find(flow.path.begin(), flow.path.end(),
-                                     bottleneck) != flow.path.end();
+    // Pin every unfrozen flow through the bottleneck at the fair share,
+    // compacting the survivors in place.
+    std::size_t kept = 0;
+    for (Flow* flow : scratch_unfrozen_) {
+      const bool through = std::find(flow->path.begin(), flow->path.end(),
+                                     bottleneck) != flow->path.end();
       if (!through) {
-        still_unfrozen.push_back(id);
+        scratch_unfrozen_[kept++] = flow;
         continue;
       }
-      flow.rate = best_share;
-      for (ResourceId r : flow.path) {
-        remaining_cap[r] = std::max(0.0, remaining_cap[r] - best_share);
-        --flow_count[r];
+      flow->rate = best_share;
+      for (ResourceId r : flow->path) {
+        scratch_cap_[r] = std::max(0.0, scratch_cap_[r] - best_share);
+        --scratch_count_[r];
       }
     }
-    unfrozen = std::move(still_unfrozen);
+    scratch_unfrozen_.resize(kept);
   }
 }
 

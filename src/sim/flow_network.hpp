@@ -114,6 +114,9 @@ class FlowNetwork {
   void advance_to_now();
 
   /// Progressive-filling max-min fair allocation over active flows.
+  /// Accumulates per-resource state in flat scratch vectors indexed by the
+  /// dense ResourceId (profiling showed per-call unordered_map churn here
+  /// dominating whole-run cost).
   void recompute_rates();
 
   /// (Re)schedule the single next-completion event.
@@ -134,6 +137,10 @@ class FlowNetwork {
   Bytes bytes_delivered_ = 0.0;
   /// Last-emitted `load:` counter value per resource (tracing only).
   std::vector<BytesPerSec> traced_load_;
+  /// Scratch buffers reused by recompute_rates(), indexed by ResourceId.
+  std::vector<double> scratch_cap_;
+  std::vector<std::size_t> scratch_count_;
+  std::vector<Flow*> scratch_unfrozen_;
   /// Generation counter invalidating superseded completion events.
   std::uint64_t schedule_generation_ = 0;
 };

@@ -27,12 +27,12 @@ GpuExecutor::GpuExecutor(Simulator& simulator, GpuSpec spec)
 }
 
 GpuExecutor::TaskId GpuExecutor::submit(Flops flops,
-                                        std::function<void()> on_complete) {
+                                        CompletionFn on_complete) {
   return submit(flops, 0.0, std::move(on_complete));
 }
 
 GpuExecutor::TaskId GpuExecutor::submit(Flops flops, Seconds fixed_overhead,
-                                        std::function<void()> on_complete) {
+                                        CompletionFn on_complete) {
   AUTOPIPE_EXPECT(flops >= 0.0);
   AUTOPIPE_EXPECT(fixed_overhead >= 0.0);
   AUTOPIPE_EXPECT_MSG(available_, "submit on a down GPU");
@@ -43,7 +43,7 @@ GpuExecutor::TaskId GpuExecutor::submit(Flops flops, Seconds fixed_overhead,
 }
 
 GpuExecutor::TaskId GpuExecutor::submit_prioritized(
-    Flops flops, Seconds fixed_overhead, std::function<void()> on_complete) {
+    Flops flops, Seconds fixed_overhead, CompletionFn on_complete) {
   AUTOPIPE_EXPECT(flops >= 0.0);
   AUTOPIPE_EXPECT(fixed_overhead >= 0.0);
   AUTOPIPE_EXPECT_MSG(available_, "submit on a down GPU");

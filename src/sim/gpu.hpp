@@ -9,9 +9,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
+#include "common/small_function.hpp"
 #include "common/units.hpp"
 #include "sim/simulator.hpp"
 
@@ -36,6 +36,10 @@ GpuSpec a100_spec();
 class GpuExecutor {
  public:
   using TaskId = std::uint64_t;
+  /// Completion callbacks share the simulator's move-only small-buffer
+  /// closure type: task queues churn at event rate, and std::function here
+  /// cost one heap allocation per enqueued kernel.
+  using CompletionFn = common::SmallFunction<void(), 48>;
 
   GpuExecutor(Simulator& simulator, GpuSpec spec);
 
@@ -44,19 +48,19 @@ class GpuExecutor {
   GpuExecutor(GpuExecutor&&) = delete;
 
   /// Enqueue a compute task; tasks run FIFO, one at a time.
-  TaskId submit(Flops flops, std::function<void()> on_complete);
+  TaskId submit(Flops flops, CompletionFn on_complete);
 
   /// Enqueue a task with an additional fixed host-side component (kernel
   /// launch / dispatch overhead). The fixed part elapses in wall time and is
   /// unaffected by GPU tenancy; the FLOP part shares the device.
   TaskId submit(Flops flops, Seconds fixed_overhead,
-                std::function<void()> on_complete);
+                CompletionFn on_complete);
 
   /// Two-level non-preemptive priority (1F1B: backward passes overtake
   /// queued forward passes). High-priority tasks run before queued normal
   /// tasks; the in-flight task is never preempted.
   TaskId submit_prioritized(Flops flops, Seconds fixed_overhead,
-                            std::function<void()> on_complete);
+                            CompletionFn on_complete);
 
   /// Number of jobs time-sharing this GPU, including the training job
   /// itself. Must be >= 1.
@@ -95,7 +99,7 @@ class GpuExecutor {
     TaskId id;
     Flops remaining;
     Seconds fixed_remaining;
-    std::function<void()> on_complete;
+    CompletionFn on_complete;
   };
 
   void advance_to_now();

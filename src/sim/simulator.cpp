@@ -19,7 +19,17 @@ void Simulator::at(Seconds t, Callback fn, const char* label) {
   // times, but reject genuinely past scheduling, which indicates a logic bug.
   AUTOPIPE_EXPECT_MSG(t >= now_ - kTimeSlack, "scheduling into the past: t="
                                               << t << " now=" << now_);
-  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(fn), label});
+  if (queue_.capacity() == 0) queue_.reserve(256);
+  queue_.push_back(Event{std::max(t, now_), next_seq_++, std::move(fn),
+                         label});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
+}
+
+Simulator::Event Simulator::pop_event() {
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
+  return ev;
 }
 
 void Simulator::after(Seconds dt, Callback fn, const char* label) {
@@ -35,8 +45,7 @@ void Simulator::set_zero_progress_bound(std::uint64_t bound) {
 bool Simulator::step() {
   if (queue_.empty()) return false;
   // Move the event out before popping so the callback may schedule freely.
-  Event ev = queue_.top();
-  queue_.pop();
+  Event ev = pop_event();
   // Zero-progress guard: a buggy schedule (e.g. a fault event rescheduling
   // itself at `now`) would otherwise spin forever without advancing time.
   if (ev.time == instant_time_) {
@@ -68,7 +77,7 @@ void Simulator::run_until(Seconds t) {
   // event at exactly t (which must still run before the clock is pinned), and
   // an event computed as "now + k*dt" may land a few ulps past t. Both count
   // as "no later than t".
-  while (!queue_.empty() && queue_.top().time <= t + kTimeSlack) {
+  while (!queue_.empty() && queue_.front().time <= t + kTimeSlack) {
     step();
   }
   // step() may have set now_ slightly past t (within the slack); never move
@@ -78,7 +87,7 @@ void Simulator::run_until(Seconds t) {
 
 Seconds Simulator::next_event_time() const {
   AUTOPIPE_EXPECT(!queue_.empty());
-  return queue_.top().time;
+  return queue_.front().time;
 }
 
 }  // namespace autopipe::sim

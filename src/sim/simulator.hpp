@@ -5,12 +5,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/ledger.hpp"
 #include "common/metrics.hpp"
+#include "common/small_function.hpp"
 #include "common/trace.hpp"
 #include "common/units.hpp"
 
@@ -19,9 +18,17 @@ namespace autopipe::sim {
 /// Discrete-event simulator. Events are closures ordered by (time, sequence
 /// number); the sequence number makes simultaneous events fire in scheduling
 /// order so runs are bit-for-bit reproducible.
+///
+/// Hot-path discipline: a run executes millions of events, so the queue is a
+/// hand-rolled binary heap over a reused vector (no per-push node
+/// allocation, pops move the closure out instead of copying it) and the
+/// callback type is a move-only small-buffer closure — captures up to the
+/// inline budget never touch the allocator.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  /// Inline capture budget: large enough for every scheduling site in the
+  /// sim (the largest captures a this-pointer plus a handful of scalars).
+  using Callback = common::SmallFunction<void(), 48>;
 
   /// Current simulated time in seconds.
   Seconds now() const { return now_; }
@@ -87,13 +94,19 @@ class Simulator {
     }
   };
 
+  /// Remove and return the earliest event (heap pop with a move, never a
+  /// copy — Callback is move-only, so a copying pop would not compile).
+  Event pop_event();
+
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t zero_progress_bound_ = 1'000'000;
   Seconds instant_time_ = -1.0;       ///< timestamp of the current run
   std::uint64_t instant_events_ = 0;  ///< events executed at instant_time_
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Binary min-heap on (time, seq) maintained with std::push_heap /
+  /// std::pop_heap; the vector's capacity is reused across the whole run.
+  std::vector<Event> queue_;
   trace::TraceRecorder tracer_;
   trace::MetricsRegistry metrics_;
   trace::DecisionLedger ledger_;

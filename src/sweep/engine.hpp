@@ -1,0 +1,34 @@
+// The fan-out engine under the scenario sweep: run N index-addressed jobs
+// across a worker-thread pool. Determinism contract: the engine imposes no
+// ordering of its own — job i writes only to slot i of whatever result
+// array the caller preallocated, so the merged output depends solely on the
+// index space, never on thread count or scheduling. Anything order-
+// dependent (tables, JSON, stdout) is emitted by the caller after
+// run_indexed returns, walking the slots in index order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace autopipe::sweep {
+
+/// Number of worker threads a `jobs` request resolves to: 0 means "one per
+/// hardware thread" (at least 1); anything else is used as given.
+std::size_t resolve_jobs(std::size_t jobs);
+
+/// Execute body(0) .. body(count-1) across resolve_jobs(jobs) worker
+/// threads. Indices are claimed from an atomic counter, so threads stay
+/// busy regardless of per-index runtime skew. Blocks until every index has
+/// finished. With jobs == 1 the bodies run inline on the calling thread (no
+/// pool), which keeps single-threaded runs trivially debuggable/profilable.
+///
+/// The body must confine its writes to per-index state (slot i of a
+/// preallocated vector); it is invoked concurrently from multiple threads.
+/// Exceptions thrown by a body are captured per index; after all indices
+/// complete, the one with the lowest index is rethrown — identical to what
+/// a serial loop that failed on that index would have surfaced, except
+/// later indices still ran.
+void run_indexed(std::size_t count, std::size_t jobs,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace autopipe::sweep

@@ -1,0 +1,190 @@
+#include "sweep/report.hpp"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "analysis/json.hpp"
+#include "common/table.hpp"
+
+namespace autopipe::sweep {
+
+void write_summary_table(const SweepResult& result, std::ostream& os) {
+  TextTable table({"scenario", "status", "samples/s", "util", "p50(ms)",
+                   "switches", "events"});
+  std::size_t failed = 0;
+  for (const ScenarioResult& r : result.scenarios) {
+    if (r.ok) {
+      table.add_row({r.spec.label, "ok", TextTable::num(r.throughput, 1),
+                     TextTable::num(r.utilization, 3),
+                     TextTable::num(r.iteration_p50_ms, 3),
+                     std::to_string(r.switches), std::to_string(r.events)});
+    } else {
+      ++failed;
+      table.add_row({r.spec.label, "FAIL", "-", "-", "-", "-", "-"});
+    }
+  }
+  table.print(os, "sweep: " + std::to_string(result.scenarios.size()) +
+                      " scenarios");
+  if (failed > 0) {
+    os << "\n" << failed << " scenario(s) failed:\n";
+    for (const ScenarioResult& r : result.scenarios)
+      if (!r.ok) os << "  " << r.spec.label << ": " << r.error << "\n";
+  }
+}
+
+void write_bench_json(const SweepResult& result, std::ostream& os,
+                      bool include_timing) {
+  analysis::JsonWriter json(os);
+  json.begin_object();
+  json.kv("schema", "autopipe-sweep-v1");
+  json.kv("scenario_count", result.scenarios.size());
+  std::size_t ok_count = 0;
+  for (const ScenarioResult& r : result.scenarios)
+    if (r.ok) ++ok_count;
+  json.kv("ok_count", ok_count);
+
+  json.key("scenarios");
+  json.begin_array();
+  for (const ScenarioResult& r : result.scenarios) {
+    json.begin_object();
+    json.kv("label", r.spec.label);
+    json.kv("model", r.spec.model);
+    json.kv("system", r.spec.system);
+    json.kv("servers", r.spec.servers);
+    json.kv("gpus_per_server", r.spec.gpus_per_server);
+    json.kv("bandwidth_gbps", r.spec.bandwidth_gbps);
+    json.kv("extra_jobs", static_cast<std::int64_t>(r.spec.extra_jobs));
+    json.kv("churn", r.spec.churn);
+    json.kv("faults", r.spec.faults);
+    json.kv("seed", static_cast<std::uint64_t>(r.spec.seed));
+    json.kv("iterations", r.spec.iterations);
+    json.kv("warmup", r.spec.warmup);
+    json.kv("ok", r.ok);
+    if (r.ok) {
+      json.kv("throughput", r.throughput);
+      json.kv("utilization", r.utilization);
+      json.kv("batch", r.batch);
+      json.kv("iteration_p50_ms", r.iteration_p50_ms);
+      json.kv("iteration_p95_ms", r.iteration_p95_ms);
+      json.kv("iteration_p99_ms", r.iteration_p99_ms);
+      json.kv("switches", r.switches);
+      json.kv("events", r.events);
+    } else {
+      json.kv("error", r.error);
+    }
+    if (!r.trace_file.empty()) json.kv("trace_file", r.trace_file);
+    if (!r.metrics_file.empty()) json.kv("metrics_file", r.metrics_file);
+    if (!r.ledger_file.empty()) json.kv("ledger_file", r.ledger_file);
+    json.end();
+  }
+  json.end();
+
+  if (include_timing) {
+    json.key("timing");
+    json.begin_object();
+    json.kv("jobs", result.jobs);
+    json.kv("wall_seconds", result.wall_seconds);
+    json.key("scenario_wall_seconds");
+    json.begin_array();
+    for (const ScenarioResult& r : result.scenarios)
+      json.value(r.wall_seconds);
+    json.end();
+    json.end();
+  }
+  json.end();
+  os << "\n";
+}
+
+std::map<std::string, double> read_baseline_throughput(std::istream& is) {
+  // Deliberately not a JSON parser: the input is our own write_bench_json
+  // output, where "label" and "throughput" each occupy one line of a
+  // scenario object and labels never need escaping.
+  std::map<std::string, double> out;
+  std::string line;
+  std::string label;
+  bool have_label = false;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto fail = [&](const std::string& why) {
+      throw std::runtime_error("baseline line " + std::to_string(lineno) +
+                               ": " + why);
+    };
+    std::size_t pos = line.find("\"label\":");
+    if (pos != std::string::npos) {
+      const std::size_t open = line.find('"', pos + 8);
+      const std::size_t close =
+          open == std::string::npos ? std::string::npos
+                                    : line.find('"', open + 1);
+      if (close == std::string::npos) fail("malformed label entry");
+      label = line.substr(open + 1, close - open - 1);
+      have_label = true;
+      continue;
+    }
+    pos = line.find("\"throughput\":");
+    if (pos == std::string::npos) continue;
+    if (!have_label) fail("throughput entry before any label");
+    std::string num = line.substr(pos + 13);
+    if (!num.empty() && num.back() == ',') num.pop_back();
+    try {
+      out[label] = std::stod(num);
+    } catch (const std::exception&) {
+      fail("malformed throughput value '" + num + "'");
+    }
+    have_label = false;
+  }
+  if (out.empty())
+    throw std::runtime_error(
+        "baseline contains no scenario throughput entries");
+  return out;
+}
+
+GateReport gate_against_baseline(
+    const SweepResult& result,
+    const std::map<std::string, double>& baseline, double tolerance) {
+  GateReport report;
+  std::map<std::string, const ScenarioResult*> by_label;
+  for (const ScenarioResult& r : result.scenarios)
+    by_label[r.spec.label] = &r;
+
+  for (const auto& [label, expected] : baseline) {
+    const auto it = by_label.find(label);
+    if (it == by_label.end()) {
+      report.violations.push_back({label, expected, 0.0, "missing"});
+      continue;
+    }
+    ++report.compared;
+    const ScenarioResult& r = *it->second;
+    if (!r.ok) {
+      report.violations.push_back({label, expected, 0.0, "failed"});
+      continue;
+    }
+    if (r.throughput < expected * (1.0 - tolerance)) {
+      report.violations.push_back(
+          {label, expected, r.throughput, "regression"});
+    }
+  }
+  return report;
+}
+
+void write_gate_report(const GateReport& report, double tolerance,
+                       std::ostream& os) {
+  if (report.ok()) {
+    os << "baseline gate: " << report.compared
+       << " scenario(s) within tolerance (" << TextTable::num(tolerance * 100, 1)
+       << "%)\n";
+    return;
+  }
+  TextTable table({"scenario", "baseline", "measured", "reason"});
+  for (const GateViolation& v : report.violations) {
+    table.add_row({v.label, TextTable::num(v.baseline, 1),
+                   v.reason == "missing" ? "-" : TextTable::num(v.measured, 1),
+                   v.reason});
+  }
+  table.print(os, "baseline gate FAILED (tolerance " +
+                      TextTable::num(tolerance * 100, 1) + "%)");
+}
+
+}  // namespace autopipe::sweep

@@ -1,0 +1,175 @@
+#include "sweep/runner.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+
+#include "analysis/json.hpp"
+#include "autopipe/controller.hpp"
+#include "common/expect.hpp"
+#include "common/stats.hpp"
+#include "faults/fault_plan.hpp"
+#include "models/zoo.hpp"
+#include "partition/pipedream_planner.hpp"
+#include "pipeline/executor.hpp"
+#include "sim/background.hpp"
+#include "sim/cluster.hpp"
+
+namespace autopipe::sweep {
+
+namespace {
+
+pipeline::ScheduleMode schedule_by_name(const std::string& name) {
+  if (name == "1f1b") return pipeline::ScheduleMode::kAsync1F1B;
+  if (name == "gpipe") return pipeline::ScheduleMode::kGPipe;
+  if (name == "dapple") return pipeline::ScheduleMode::kDapple;
+  if (name == "chimera") return pipeline::ScheduleMode::kChimera;
+  if (name == "2bw") return pipeline::ScheduleMode::kTwoBW;
+  throw contract_error("unknown schedule: " + name);
+}
+
+void run_body(const ScenarioSpec& spec, const ArtifactOptions& artifacts,
+              ScenarioResult& result) {
+  const bool emit = !artifacts.directory.empty();
+  const auto model = models::model_by_name(spec.model);
+
+  sim::Simulator simulator;
+  if (emit) {
+    simulator.tracer().set_enabled(true);
+    if (spec.system == "autopipe") simulator.ledger().set_enabled(true);
+  }
+
+  sim::ClusterConfig cluster_config;
+  cluster_config.num_servers = spec.servers;
+  cluster_config.gpus_per_server = spec.gpus_per_server;
+  cluster_config.nic_bandwidth = gbps(spec.bandwidth_gbps);
+  sim::Cluster cluster(simulator, cluster_config);
+
+  for (int j = 0; j < spec.extra_jobs; ++j)
+    for (sim::WorkerId w = 0; w < cluster.num_workers(); ++w)
+      cluster.add_background_job(w);
+
+  // The churn schedule is pre-materialized at install time from an Rng
+  // seeded by the scenario alone; the workload object outlives the run.
+  sim::BackgroundWorkload churn(
+      [] {
+        sim::BackgroundWorkloadConfig config;
+        config.horizon = 600.0;
+        return config;
+      }(),
+      Rng(spec.seed));
+  if (spec.churn) churn.install(simulator, cluster);
+
+  faults::FaultPlan fault_plan;
+  if (!spec.faults.empty()) {
+    fault_plan = faults::parse_spec(spec.faults, spec.servers,
+                                    spec.gpus_per_server);
+    fault_plan.install(simulator, cluster);
+  }
+
+  const auto env = partition::EnvironmentView::from_cluster(
+      cluster, comm::pytorch_profile(), comm::SyncScheme::kRing);
+  partition::PipeDreamPlanner planner(model, env,
+                                      model.default_batch_size());
+  const auto plan = planner.plan(cluster.num_workers());
+  const auto partition =
+      spec.system == "even"
+          ? partition::Partition::even_split(
+                model.num_layers(),
+                [&] {
+                  std::vector<sim::WorkerId> all(cluster.num_workers());
+                  for (sim::WorkerId w = 0; w < all.size(); ++w) all[w] = w;
+                  return all;
+                }())
+          : plan.partition;
+
+  pipeline::ExecutorConfig executor_config;
+  executor_config.framework = comm::pytorch_profile();
+  executor_config.sync_scheme = comm::SyncScheme::kRing;
+  executor_config.mode = schedule_by_name(spec.schedule);
+  executor_config.micro_batches = spec.micro_batches;
+  pipeline::PipelineExecutor executor(cluster, model, partition,
+                                      executor_config);
+
+  std::unique_ptr<core::AutoPipeController> controller;
+  if (spec.system == "autopipe") {
+    core::ControllerConfig cc;
+    cc.arbiter_mode = core::ControllerConfig::ArbiterMode::kThreshold;
+    cc.use_meta_network = false;
+    controller = std::make_unique<core::AutoPipeController>(
+        cluster, executor, cc, nullptr, nullptr);
+    controller->attach();
+    executor.set_iteration_callback(
+        [&](std::size_t iters) { controller->on_iteration(iters); });
+  }
+
+  const auto report = executor.run(spec.iterations, spec.warmup);
+
+  result.throughput = report.throughput;
+  result.utilization = report.worker_utilization;
+  result.batch = executor.batch_size();
+  result.switches = executor.switches_performed();
+  result.events = simulator.events_processed();
+
+  Histogram iteration_times;
+  for (std::size_t i = spec.warmup + 1;
+       i < report.iteration_end_times.size(); ++i) {
+    iteration_times.add(report.iteration_end_times[i] -
+                        report.iteration_end_times[i - 1]);
+  }
+  if (!iteration_times.empty()) {
+    const Histogram::Summary s = iteration_times.summary();
+    result.iteration_p50_ms = s.p50 * 1e3;
+    result.iteration_p95_ms = s.p95 * 1e3;
+    result.iteration_p99_ms = s.p99 * 1e3;
+  }
+
+  if (emit) {
+    const std::string base = artifacts.directory + "/" + spec.label;
+    const auto open = [](const std::string& path) {
+      std::ofstream out(path);
+      if (!out.good())
+        throw std::runtime_error("cannot open artifact file: " + path);
+      return out;
+    };
+    {
+      auto out = open(base + ".trace");
+      simulator.tracer().write_text(out);
+      result.trace_file = base + ".trace";
+    }
+    {
+      auto out = open(base + ".metrics.json");
+      analysis::write_scalar_map_json(simulator.metrics().flattened(), out);
+      result.metrics_file = base + ".metrics.json";
+    }
+    if (spec.system == "autopipe") {
+      simulator.ledger().finalize("run_end");
+      auto out = open(base + ".ledger");
+      simulator.ledger().write_text(out);
+      result.ledger_file = base + ".ledger";
+    }
+  }
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const ArtifactOptions& artifacts) {
+  ScenarioResult result;
+  result.spec = spec;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    run_body(spec, artifacts, result);
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = e.what();
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace autopipe::sweep

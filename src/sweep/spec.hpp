@@ -1,0 +1,87 @@
+// Declarative scenario-sweep specification. A sweep is a grid over the
+// scenario axes the driver tools expose (model, system, cluster shape, NIC
+// bandwidth, co-located jobs, churn, fault plan, seed); expanding the spec
+// yields the full cross product as an ordered list of self-contained
+// ScenarioSpecs. The expansion order is fixed (axis nesting, values in
+// spec order), so "scenario #17 of this spec" means the same run on every
+// machine and at every thread count — the sweep engine leans on that to
+// merge parallel results deterministically.
+//
+// Spec text is `key = value[, value...]` lines; lines may also be separated
+// by ';' so a whole spec fits in one shell argument. Blank lines and
+// '#'-comments are ignored. Axis keys accept value lists; scalar keys
+// (iterations, warmup, ...) do not. `seed` accepts `lo..hi` ranges.
+// See docs/BENCHMARKS.md for the full grammar.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace autopipe::sweep {
+
+/// One fully-specified scenario: everything a runner needs to reproduce the
+/// run bit-for-bit, with no environmental inputs.
+struct ScenarioSpec {
+  /// Filesystem-safe unique name derived from the axis values
+  /// ("resnet50.autopipe.s5x2.bw25.j0.c0.f0.seed1").
+  std::string label;
+
+  std::string model = "resnet50";
+  /// autopipe | pipedream | even (mirrors `autopipe_sim --system`).
+  std::string system = "autopipe";
+  std::size_t servers = 5;
+  std::size_t gpus_per_server = 2;
+  double bandwidth_gbps = 25.0;
+  int extra_jobs = 0;
+  bool churn = false;
+  /// `faults::parse_spec` input; empty = fault-free.
+  std::string faults;
+  std::uint64_t seed = 1;
+
+  std::size_t iterations = 40;
+  std::size_t warmup = 10;
+  std::size_t micro_batches = 4;
+  /// 1f1b | gpipe | dapple | chimera | 2bw.
+  std::string schedule = "1f1b";
+};
+
+/// The parsed grid: per-axis value lists plus the run-shape scalars shared
+/// by every scenario.
+struct SweepSpec {
+  std::vector<std::string> models = {"resnet50"};
+  std::vector<std::string> systems = {"autopipe"};
+  std::vector<std::size_t> servers = {5};
+  std::vector<std::size_t> gpus_per_server = {2};
+  std::vector<double> bandwidth_gbps = {25.0};
+  std::vector<int> extra_jobs = {0};
+  std::vector<bool> churn = {false};
+  std::vector<std::string> faults = {""};
+  std::vector<std::uint64_t> seeds = {1};
+
+  std::size_t iterations = 40;
+  std::size_t warmup = 10;
+  std::size_t micro_batches = 4;
+  std::string schedule = "1f1b";
+
+  /// Number of scenarios the grid expands to.
+  std::size_t scenario_count() const;
+
+  /// The ordered cross product. Axis nesting (outermost first): model,
+  /// system, servers, gpus-per-server, bandwidth, extra-jobs, churn,
+  /// faults, seed; each axis iterates its values in spec order.
+  std::vector<ScenarioSpec> expand() const;
+};
+
+/// Parse spec text (see the header comment for the grammar). Throws
+/// common::contract_error with a key/value diagnostic on malformed input:
+/// unknown keys, empty value lists, non-numeric numbers, unknown model or
+/// system names, a zero-scenario grid.
+SweepSpec parse_sweep_spec(const std::string& text);
+
+/// Resolve a `--spec=` argument: `@path` loads the file (std::runtime_error
+/// when unreadable), anything else is inline spec text.
+SweepSpec load_sweep_spec(const std::string& arg);
+
+}  // namespace autopipe::sweep

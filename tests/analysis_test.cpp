@@ -9,9 +9,12 @@
 // same as the trace golden in trace_test.cpp.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "analysis/bubbles.hpp"
 #include "analysis/critical_path.hpp"
@@ -23,6 +26,7 @@
 #include "analysis/trace_reader.hpp"
 #include "analysis/trace_view.hpp"
 #include "common/expect.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/trace.hpp"
 
@@ -663,6 +667,122 @@ TEST(JsonWriter, ScalarMapKeepsKeyOrder) {
   EXPECT_LT(a, b);
   EXPECT_NE(json.find("\"a.first\": 1.5"), std::string::npos);
 }
+
+// ---------------------------------------------------------------------------
+// Fuzz-style reader robustness. The reader's whole contract is "parse or
+// throw contract_error" — never crash, hang or leak a foreign exception
+// type — so feed it seeded corruptions of the checked-in golden trace and
+// assert nothing else ever escapes. The golden file keeps these tests
+// independent of AUTOPIPE_TRACING (no live recorder needed).
+// ---------------------------------------------------------------------------
+
+std::string golden_trace_text() {
+  std::ifstream in(golden_path("bandwidth_drop.trace"));
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+/// True when parse_text accepts the text, false when it rejects it with
+/// contract_error. Any other exception propagates into gtest and fails the
+/// test — that is the point of the harness.
+bool parses_cleanly(const std::string& text) {
+  std::istringstream is(text);
+  try {
+    (void)parse_text(is);
+    return true;
+  } catch (const contract_error&) {
+    return false;
+  }
+}
+
+std::string flip_random_bytes(std::string text, Rng& rng) {
+  if (text.empty()) return text;
+  const std::int64_t flips = rng.uniform_int(1, 16);
+  for (std::int64_t f = 0; f < flips; ++f) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+    text[pos] = static_cast<char>(rng.uniform_int(0, 255));
+  }
+  return text;
+}
+
+std::string truncate_random(const std::string& text, Rng& rng) {
+  const auto cut = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(text.size())));
+  return text.substr(0, cut);
+}
+
+class TraceReaderFuzz : public ::testing::TestWithParam<int> {};
+
+// Every whole-line prefix of a valid trace is itself a valid trace: the
+// format carries no cross-line state, so a reader catching a file mid-write
+// (flush happened, run died) still gets everything up to the cut.
+TEST_P(TraceReaderFuzz, WholeLinePrefixParsesExactly) {
+  static const std::vector<std::string> lines =
+      split_lines(golden_trace_text());
+  ASSERT_FALSE(lines.empty());
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919u + 101u);
+  const auto keep = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(lines.size())));
+  std::string text;
+  for (std::size_t i = 0; i < keep; ++i) text += lines[i] + '\n';
+  std::istringstream is(text);
+  EXPECT_EQ(parse_text(is).size(), keep);
+}
+
+// Two writers' lines merged in arbitrary order (each stream's own order
+// preserved) still parse completely — again because lines are independent.
+TEST_P(TraceReaderFuzz, InterleavedLineStreamsParseCompletely) {
+  static const std::vector<std::string> lines =
+      split_lines(golden_trace_text());
+  std::vector<std::string> even, odd;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    (i % 2 == 0 ? even : odd).push_back(lines[i]);
+  }
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919u + 211u);
+  std::string text;
+  std::size_t i = 0, j = 0;
+  while (i < even.size() || j < odd.size()) {
+    const bool take_even =
+        j >= odd.size() || (i < even.size() && rng.chance(0.5));
+    text += (take_even ? even[i++] : odd[j++]) + '\n';
+  }
+  std::istringstream is(text);
+  EXPECT_EQ(parse_text(is).size(), lines.size());
+}
+
+// Arbitrary corruption — byte-level truncation (usually mid-line), random
+// byte flips, and both at once — must always land in parse-or-reject.
+TEST_P(TraceReaderFuzz, ArbitraryCorruptionParsesOrRejects) {
+  static const std::string base = golden_trace_text();
+  ASSERT_FALSE(base.empty());
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919u + 307u);
+  std::string text;
+  switch (GetParam() % 3) {
+    case 0:
+      text = truncate_random(base, rng);
+      break;
+    case 1:
+      text = flip_random_bytes(base, rng);
+      break;
+    default:
+      text = flip_random_bytes(truncate_random(base, rng), rng);
+      break;
+  }
+  (void)parses_cleanly(text);  // either outcome is fine; escapes are not
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededCorruptions, TraceReaderFuzz,
+                         ::testing::Range(0, 60));
 
 }  // namespace
 }  // namespace autopipe::analysis

@@ -100,6 +100,58 @@ TEST(Stats, EmptyInputsThrow) {
   EXPECT_THROW(percentile(empty, 50), contract_error);
 }
 
+TEST(Histogram, EmptyPercentilesAreZeroLikeSummary) {
+  // The digest convention: an empty accumulator reads all-zero rather than
+  // tripping a contract error — call sites digest whatever a run produced,
+  // which may be nothing.
+  const Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p95(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 0.0);
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(Histogram, SingleSampleIsEveryPercentile) {
+  Histogram h;
+  h.add(3.25);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.25);
+  EXPECT_DOUBLE_EQ(h.p50(), 3.25);
+  EXPECT_DOUBLE_EQ(h.p99(), 3.25);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 3.25);
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 3.25);
+  EXPECT_DOUBLE_EQ(s.max, 3.25);
+  EXPECT_DOUBLE_EQ(s.p95, 3.25);
+}
+
+TEST(Histogram, PercentileInterpolatesAndTracksEdges) {
+  Histogram h;
+  for (double v : {4.0, 1.0, 3.0, 2.0}) h.add(v);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 2.5);
+  EXPECT_DOUBLE_EQ(h.percentile(25.0), 1.75);
+  EXPECT_THROW(h.percentile(-1.0), contract_error);
+  EXPECT_THROW(h.percentile(100.5), contract_error);
+}
+
+TEST(Histogram, ResetRestoresEmptyConventions) {
+  Histogram h;
+  h.add(1.0);
+  h.add(2.0);
+  h.reset();
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
 TEST(Ema, FirstSampleWins) {
   Ema ema(0.5);
   EXPECT_TRUE(ema.empty());

@@ -5,10 +5,12 @@
 // synthetic ledger (plus a live switch-cost join against a real trace).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "analysis/calibration.hpp"
 #include "analysis/gantt.hpp"
@@ -16,6 +18,7 @@
 #include "analysis/trace_view.hpp"
 #include "autopipe/controller.hpp"
 #include "common/ledger.hpp"
+#include "common/rng.hpp"
 #include "common/units.hpp"
 #include "models/zoo.hpp"
 #include "pipeline/executor.hpp"
@@ -297,6 +300,100 @@ TEST(Gantt, DecisionRowMarksLedgerRecords) {
             std::string::npos);
   EXPECT_NE(marked.find('^'), std::string::npos);
 }
+
+// ---------------------------------------------------------------------------
+// Fuzz-style reader robustness. read_ledger's contract is "parse or throw
+// std::runtime_error" — the ledger format does carry cross-line state
+// (decision records accumulate cand/choice/outcome lines), so unlike the
+// trace reader most corruptions must be *rejected*, and none may crash,
+// hang, or surface a foreign exception type (contract_error included).
+// ---------------------------------------------------------------------------
+
+std::string synthetic_ledger_text() {
+  std::ostringstream os;
+  synthetic_ledger().write_text(os);
+  return os.str();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+/// True when read_ledger accepts the text, false when it rejects it with
+/// std::runtime_error. Anything else propagates into gtest and fails.
+bool ledger_parses_cleanly(const std::string& text) {
+  std::istringstream is(text);
+  try {
+    (void)analysis::read_ledger(is);
+    return true;
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+}
+
+class LedgerReaderFuzz : public ::testing::TestWithParam<int> {};
+
+// Cutting at a line boundary strictly inside the body loses decisions the
+// header still promises (or leaves a record half-built): every proper
+// whole-line prefix must be rejected; only the full text parses.
+TEST_P(LedgerReaderFuzz, WholeLinePrefixIsRejectedUnlessComplete) {
+  static const std::vector<std::string> lines =
+      split_lines(synthetic_ledger_text());
+  ASSERT_GT(lines.size(), 1u);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729u + 5u);
+  const auto keep = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(lines.size())));
+  std::string text;
+  for (std::size_t i = 0; i < keep; ++i) text += lines[i] + '\n';
+  EXPECT_EQ(ledger_parses_cleanly(text), keep == lines.size())
+      << "prefix of " << keep << "/" << lines.size() << " lines";
+}
+
+// Byte-level truncation, random byte flips, and interleaving the lines of
+// two ledgers (decision ids collide, records nest wrongly) must always land
+// in parse-or-reject — never a crash or a non-runtime_error exception.
+TEST_P(LedgerReaderFuzz, ArbitraryCorruptionParsesOrRejects) {
+  static const std::string base = synthetic_ledger_text();
+  ASSERT_FALSE(base.empty());
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729u + 19u);
+  std::string text;
+  switch (GetParam() % 3) {
+    case 0: {  // truncate at an arbitrary byte, usually mid-line
+      const auto cut = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(base.size())));
+      text = base.substr(0, cut);
+      break;
+    }
+    case 1: {  // flip a handful of bytes to arbitrary values
+      text = base;
+      const std::int64_t flips = rng.uniform_int(1, 16);
+      for (std::int64_t f = 0; f < flips; ++f) {
+        const auto pos = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+        text[pos] = static_cast<char>(rng.uniform_int(0, 255));
+      }
+      break;
+    }
+    default: {  // interleave two copies' lines, each copy's order preserved
+      const std::vector<std::string> lines = split_lines(base);
+      std::size_t i = 0, j = 0;
+      while (i < lines.size() || j < lines.size()) {
+        const bool take_first =
+            j >= lines.size() || (i < lines.size() && rng.chance(0.5));
+        text += (take_first ? lines[i++] : lines[j++]) + '\n';
+      }
+      break;
+    }
+  }
+  (void)ledger_parses_cleanly(text);  // either outcome is fine
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededCorruptions, LedgerReaderFuzz,
+                         ::testing::Range(0, 60));
 
 }  // namespace
 }  // namespace autopipe::core

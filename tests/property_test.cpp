@@ -301,5 +301,117 @@ TEST_P(TracingParity, EnabledRunEqualsDisabledRun) {
 INSTANTIATE_TEST_SUITE_P(RandomScenarios, TracingParity,
                          ::testing::Range(0, 50));
 
+// ---------------------------------------------------------------------------
+// Planner invariants over randomly generated layer graphs
+// ---------------------------------------------------------------------------
+
+/// A random but well-formed model: positive per-layer work, positive
+/// activations, a mix of parameter-heavy and parameter-free layers, wide
+/// spreads in all magnitudes — shapes no zoo model exercises.
+models::ModelSpec random_layer_model(Rng& rng) {
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 24));
+  std::vector<models::LayerSpec> layers;
+  layers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    models::LayerSpec layer;
+    layer.name = "L" + std::to_string(i);
+    layer.fwd_flops_per_sample = rng.uniform(1e6, 5e9);
+    layer.bwd_flops_per_sample =
+        layer.fwd_flops_per_sample * rng.uniform(1.0, 3.0);
+    layer.activation_bytes_per_sample = rng.uniform(1e3, 5e7);
+    layer.param_bytes = rng.chance(0.3) ? 0.0 : rng.uniform(1e4, 4e8);
+    layers.push_back(layer);
+  }
+  const auto batch = static_cast<std::size_t>(rng.uniform_int(8, 128));
+  return models::ModelSpec("random", batch, std::move(layers));
+}
+
+class RandomModelPlanner : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomModelPlanner, PlanSatisfiesPartitionInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const auto model = random_layer_model(rng);
+
+  // Heterogeneous random environment (contended GPUs, uneven NICs).
+  const auto num_workers = static_cast<std::size_t>(rng.uniform_int(2, 10));
+  partition::EnvironmentView env;
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    env.worker_speed.push_back(tflops(rng.uniform(1.0, 10.0)));
+    env.worker_bandwidth.push_back(gbps(rng.uniform(5.0, 100.0)));
+  }
+
+  const std::size_t batch = model.default_batch_size();
+  for (const auto mode : {partition::PipeDreamPlanner::Mode::kPipeDream,
+                          partition::PipeDreamPlanner::Mode::
+                              kCurrentEnvironment}) {
+    partition::PipeDreamPlanner planner(model, env, batch, mode);
+    const partition::PlanResult plan = planner.plan(num_workers);
+    const partition::Partition& p = plan.partition;
+
+    // Layer coverage: stages tile [0, num_layers) contiguously in order,
+    // and every layer maps back to exactly the stage holding it.
+    ASSERT_GE(p.num_stages(), 1u);
+    EXPECT_EQ(p.num_layers(), model.num_layers());
+    std::size_t covered = 0;
+    for (std::size_t s = 0; s < p.num_stages(); ++s) {
+      const auto& stage = p.stage(s);
+      EXPECT_EQ(stage.first_layer, covered) << "stage " << s;
+      ASSERT_LE(stage.first_layer, stage.last_layer);
+      ASSERT_LT(stage.last_layer, model.num_layers());
+      for (std::size_t l = stage.first_layer; l <= stage.last_layer; ++l)
+        EXPECT_EQ(p.stage_of_layer(l), s);
+      covered = stage.last_layer + 1;
+    }
+    EXPECT_EQ(covered, model.num_layers()) << "stages must cover every layer";
+
+    // No empty stage; worker sets pairwise disjoint and within range.
+    std::vector<bool> seen(num_workers, false);
+    for (std::size_t s = 0; s < p.num_stages(); ++s) {
+      const auto& stage = p.stage(s);
+      ASSERT_FALSE(stage.workers.empty()) << "empty stage " << s;
+      for (sim::WorkerId w : stage.workers) {
+        ASSERT_LT(w, num_workers);
+        EXPECT_FALSE(seen[w]) << "worker " << w << " serves two stages";
+        seen[w] = true;
+        EXPECT_EQ(p.stage_of_worker(w), s);
+      }
+    }
+    EXPECT_LE(p.num_workers(), num_workers);
+
+    // The planner's pipeline-fill depth matches the closed form.
+    EXPECT_GE(plan.in_flight, 1u);
+    EXPECT_EQ(plan.in_flight, partition::optimal_in_flight(p));
+
+    // Predicted time is positive, finite, and — by the max-bottleneck
+    // definition — exactly the worst stage/boundary cost, never less than
+    // any individual component.
+    EXPECT_GT(plan.predicted_batch_time, 0.0);
+    EXPECT_TRUE(std::isfinite(plan.predicted_batch_time));
+    const Seconds analytic =
+        partition::analytic_batch_time(model, p, env, batch);
+    Seconds worst = 0.0;
+    for (std::size_t s = 0; s < p.num_stages(); ++s) {
+      const auto cost = partition::stage_cost(model, p.stage(s), env, batch);
+      EXPECT_NEAR(cost.effective,
+                  (cost.compute + cost.sync) /
+                      static_cast<double>(p.stage(s).replication()),
+                  1e-12 * std::max(1.0, cost.effective));
+      EXPECT_LE(cost.effective, analytic + 1e-12);
+      worst = std::max(worst, cost.effective);
+    }
+    for (std::size_t b = 0; b + 1 < p.num_stages(); ++b) {
+      const Seconds t =
+          partition::boundary_transfer_time(model, p, b, env, batch);
+      EXPECT_LE(t, analytic + 1e-12);
+      worst = std::max(worst, t);
+    }
+    EXPECT_NEAR(analytic, worst, 1e-12 * std::max(1.0, worst))
+        << "analytic_batch_time must equal the max component cost";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLayerGraphs, RandomModelPlanner,
+                         ::testing::Range(0, 200));
+
 }  // namespace
 }  // namespace autopipe

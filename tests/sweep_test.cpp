@@ -1,0 +1,267 @@
+// Sweep tier (ctest label `sweep`): spec parsing and grid expansion, the
+// fan-out engine's index/exception contract, the baseline gate, and the
+// headline determinism guarantee — the same spec produces byte-identical
+// BENCH_sweep.json at every thread count, checked over a 50-seed grid.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "sweep/engine.hpp"
+#include "sweep/report.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+
+namespace autopipe::sweep {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Spec parsing and expansion
+// ---------------------------------------------------------------------------
+
+TEST(SweepSpec, EmptyTextExpandsToSingleDefaultScenario) {
+  const SweepSpec spec = parse_sweep_spec("");
+  EXPECT_EQ(spec.scenario_count(), 1u);
+  const std::vector<ScenarioSpec> scenarios = spec.expand();
+  ASSERT_EQ(scenarios.size(), 1u);
+  EXPECT_EQ(scenarios[0].model, "resnet50");
+  EXPECT_EQ(scenarios[0].system, "autopipe");
+  EXPECT_EQ(scenarios[0].label, "resnet50.autopipe.s5x2.bw25.j0.c0.f0.seed1");
+}
+
+TEST(SweepSpec, ParsesListsRangesCommentsAndSemicolons) {
+  const SweepSpec spec = parse_sweep_spec(
+      "# a comment line; with a semicolon that must not start a statement\n"
+      "model = alexnet, vgg16  # trailing comments work too\n"
+      "system = autopipe, even; servers = 3\n"
+      "seed = 1..3, 10\n"
+      "iterations = 20; warmup = 5\n");
+  EXPECT_EQ(spec.models, (std::vector<std::string>{"alexnet", "vgg16"}));
+  EXPECT_EQ(spec.systems, (std::vector<std::string>{"autopipe", "even"}));
+  EXPECT_EQ(spec.servers, (std::vector<std::size_t>{3}));
+  EXPECT_EQ(spec.seeds, (std::vector<std::uint64_t>{1, 2, 3, 10}));
+  EXPECT_EQ(spec.iterations, 20u);
+  EXPECT_EQ(spec.warmup, 5u);
+  EXPECT_EQ(spec.scenario_count(), 2u * 2u * 4u);
+}
+
+TEST(SweepSpec, ExpansionNestsAxesInDocumentedOrder) {
+  const SweepSpec spec = parse_sweep_spec(
+      "model = alexnet, vgg16; servers = 2, 3; seed = 1..2;"
+      "gpus-per-server = 1");
+  const std::vector<ScenarioSpec> scenarios = spec.expand();
+  ASSERT_EQ(scenarios.size(), 8u);
+  // model outermost, then servers, seed innermost.
+  EXPECT_EQ(scenarios[0].label, "alexnet.autopipe.s2x1.bw25.j0.c0.f0.seed1");
+  EXPECT_EQ(scenarios[1].label, "alexnet.autopipe.s2x1.bw25.j0.c0.f0.seed2");
+  EXPECT_EQ(scenarios[2].label, "alexnet.autopipe.s3x1.bw25.j0.c0.f0.seed1");
+  EXPECT_EQ(scenarios[4].label, "vgg16.autopipe.s2x1.bw25.j0.c0.f0.seed1");
+  EXPECT_EQ(scenarios[7].label, "vgg16.autopipe.s3x1.bw25.j0.c0.f0.seed2");
+  // Labels are unique — they key the baseline map.
+  for (std::size_t i = 0; i < scenarios.size(); ++i)
+    for (std::size_t j = i + 1; j < scenarios.size(); ++j)
+      EXPECT_NE(scenarios[i].label, scenarios[j].label);
+}
+
+TEST(SweepSpec, RejectsMalformedInput) {
+  EXPECT_THROW(parse_sweep_spec("modle = resnet50"), contract_error);
+  EXPECT_THROW(parse_sweep_spec("model = not-a-model"), contract_error);
+  EXPECT_THROW(parse_sweep_spec("system = magic"), contract_error);
+  EXPECT_THROW(parse_sweep_spec("schedule = lifo"), contract_error);
+  EXPECT_THROW(parse_sweep_spec("seed = 9..3"), contract_error);
+  EXPECT_THROW(parse_sweep_spec("seed = 1..9999999"), contract_error);
+  EXPECT_THROW(parse_sweep_spec("servers ="), contract_error);
+  EXPECT_THROW(parse_sweep_spec("servers = two"), contract_error);
+  EXPECT_THROW(parse_sweep_spec("iterations = 10; warmup = 10"),
+               contract_error);
+}
+
+TEST(SweepSpec, LoadResolvesInlineTextAndFiles) {
+  EXPECT_EQ(load_sweep_spec("seed = 1..4").seeds.size(), 4u);
+
+  const std::string path = ::testing::TempDir() + "sweep_spec_test.sweep";
+  {
+    std::ofstream out(path);
+    out << "model = alexnet\nseed = 1..2\n";
+  }
+  const SweepSpec spec = load_sweep_spec("@" + path);
+  EXPECT_EQ(spec.models, (std::vector<std::string>{"alexnet"}));
+  EXPECT_EQ(spec.seeds.size(), 2u);
+
+  EXPECT_THROW(load_sweep_spec("@/nonexistent/grid.sweep"),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out engine
+// ---------------------------------------------------------------------------
+
+TEST(RunIndexed, ResolvesJobCounts) {
+  EXPECT_GE(resolve_jobs(0), 1u);
+  EXPECT_EQ(resolve_jobs(1), 1u);
+  EXPECT_EQ(resolve_jobs(7), 7u);
+}
+
+TEST(RunIndexed, CoversEveryIndexExactlyOnce) {
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    const std::size_t count = 257;
+    std::vector<std::atomic<int>> hits(count);
+    run_indexed(count, jobs, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < count; ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " jobs " << jobs;
+  }
+}
+
+TEST(RunIndexed, ZeroCountIsANoOp) {
+  run_indexed(0, 8, [&](std::size_t) { FAIL() << "body ran"; });
+}
+
+TEST(RunIndexed, LowestFailingIndexIsRethrownAfterAllIndicesRun) {
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    const std::size_t count = 64;
+    std::vector<std::atomic<int>> hits(count);
+    try {
+      run_indexed(count, jobs, [&](std::size_t i) {
+        ++hits[i];
+        if (i == 3 || i == 10 || i == 57)
+          throw std::runtime_error("boom at index " + std::to_string(i));
+      });
+      FAIL() << "run_indexed swallowed the failure (jobs " << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at index 3") << "jobs " << jobs;
+    }
+    // Later indices still ran — a failure does not cancel the sweep.
+    for (std::size_t i = 0; i < count; ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " jobs " << jobs;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Report round trip and the baseline gate
+// ---------------------------------------------------------------------------
+
+ScenarioResult ok_result(const std::string& label, double throughput) {
+  ScenarioResult r;
+  r.spec.label = label;
+  r.ok = true;
+  r.throughput = throughput;
+  r.utilization = 0.5;
+  r.batch = 32;
+  return r;
+}
+
+ScenarioResult failed_result(const std::string& label) {
+  ScenarioResult r;
+  r.spec.label = label;
+  r.ok = false;
+  r.error = "executor exploded";
+  return r;
+}
+
+TEST(BenchJson, BaselineThroughputRoundTrips) {
+  SweepResult sweep;
+  sweep.scenarios.push_back(ok_result("grid.a", 123.5));
+  sweep.scenarios.push_back(failed_result("grid.broken"));
+  sweep.scenarios.push_back(ok_result("grid.b", 77.25));
+
+  std::ostringstream os;
+  write_bench_json(sweep, os, /*include_timing=*/false);
+  EXPECT_EQ(os.str().find("\"timing\""), std::string::npos);
+
+  std::istringstream in(os.str());
+  const std::map<std::string, double> baseline =
+      read_baseline_throughput(in);
+  ASSERT_EQ(baseline.size(), 2u);  // the failed scenario has no throughput
+  EXPECT_DOUBLE_EQ(baseline.at("grid.a"), 123.5);
+  EXPECT_DOUBLE_EQ(baseline.at("grid.b"), 77.25);
+}
+
+TEST(BenchJson, BaselineReaderRejectsNonSweepInput) {
+  std::istringstream empty("");
+  EXPECT_THROW(read_baseline_throughput(empty), std::runtime_error);
+  std::istringstream junk("{\"schema\": \"something-else\"}\n");
+  EXPECT_THROW(read_baseline_throughput(junk), std::runtime_error);
+}
+
+TEST(Gate, PassesWhenEveryScenarioIsWithinTolerance) {
+  SweepResult sweep;
+  sweep.scenarios.push_back(ok_result("a", 95.0));
+  sweep.scenarios.push_back(ok_result("b", 200.0));
+  const GateReport report =
+      gate_against_baseline(sweep, {{"a", 100.0}, {"b", 180.0}}, 0.10);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.compared, 2u);
+}
+
+TEST(Gate, FlagsRegressionsMissingScenariosAndFailures) {
+  SweepResult sweep;
+  sweep.scenarios.push_back(ok_result("slow", 80.0));  // below 90% of 100
+  sweep.scenarios.push_back(failed_result("broken"));
+  const GateReport report = gate_against_baseline(
+      sweep, {{"slow", 100.0}, {"broken", 50.0}, {"gone", 10.0}}, 0.10);
+  ASSERT_EQ(report.violations.size(), 3u);
+  EXPECT_EQ(report.compared, 2u);  // "gone" never ran, so never compared
+  std::map<std::string, std::string> reasons;
+  for (const GateViolation& v : report.violations) reasons[v.label] = v.reason;
+  EXPECT_EQ(reasons.at("slow"), "regression");
+  EXPECT_EQ(reasons.at("broken"), "failed");
+  EXPECT_EQ(reasons.at("gone"), "missing");
+
+  std::ostringstream os;
+  write_gate_report(report, 0.10, os);
+  EXPECT_NE(os.str().find("FAILED"), std::string::npos);
+}
+
+TEST(Gate, ScenariosAbsentFromBaselinePassUnexamined) {
+  SweepResult sweep;
+  sweep.scenarios.push_back(ok_result("old", 100.0));
+  sweep.scenarios.push_back(ok_result("brand-new", 0.001));
+  const GateReport report =
+      gate_against_baseline(sweep, {{"old", 100.0}}, 0.10);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.compared, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The headline guarantee: thread count never changes the report
+// ---------------------------------------------------------------------------
+
+std::string bench_json_at_jobs(const std::vector<ScenarioSpec>& scenarios,
+                               std::size_t jobs) {
+  SweepResult sweep;
+  sweep.scenarios.resize(scenarios.size());
+  run_indexed(scenarios.size(), jobs, [&](std::size_t i) {
+    sweep.scenarios[i] = run_scenario(scenarios[i]);
+  });
+  sweep.jobs = jobs;
+  std::ostringstream os;
+  write_bench_json(sweep, os, /*include_timing=*/false);
+  return os.str();
+}
+
+TEST(SweepDeterminism, ByteIdenticalBenchJsonAcrossThreadCounts) {
+  // 50 seeds of a churny autopipe run — enough scheduling freedom that any
+  // cross-scenario leak (shared state, output racing) would show up as a
+  // diff between thread counts.
+  const SweepSpec spec = parse_sweep_spec(
+      "model = alexnet; servers = 3; gpus-per-server = 1; churn = true;"
+      "seed = 1..50; iterations = 12; warmup = 3");
+  const std::vector<ScenarioSpec> scenarios = spec.expand();
+  ASSERT_EQ(scenarios.size(), 50u);
+
+  const std::string serial = bench_json_at_jobs(scenarios, 1);
+  EXPECT_NE(serial.find("\"schema\": \"autopipe-sweep-v1\""),
+            std::string::npos);
+  EXPECT_EQ(serial, bench_json_at_jobs(scenarios, 2));
+  EXPECT_EQ(serial, bench_json_at_jobs(scenarios, 8));
+}
+
+}  // namespace
+}  // namespace autopipe::sweep

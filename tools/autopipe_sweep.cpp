@@ -1,0 +1,145 @@
+// autopipe_sweep — fan a declarative scenario grid across worker threads
+// and report deterministically. The spec (inline or @file) expands to an
+// ordered scenario list; each scenario runs on an isolated simulator, and
+// results are merged in spec order, so the summary table and
+// BENCH_sweep.json are byte-identical at any --jobs value. With
+// --baseline, measured simulated throughput is gated against a committed
+// BENCH_sweep.json within --tolerance.
+//
+// Examples:
+//   autopipe_sweep --spec='model = alexnet; seed = 1..4' --jobs=4
+//   autopipe_sweep --spec=@bench/sweeps/smoke.sweep --out=BENCH_sweep.json
+//   autopipe_sweep --spec=@bench/sweeps/smoke.sweep --tolerance=0.10
+//       --baseline=bench/baselines/sweep_smoke_baseline.json
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "sweep/engine.hpp"
+#include "sweep/report.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+
+using namespace autopipe;
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "autopipe_sweep — parallel scenario sweeps over the simulator\n\n"
+      "  --spec SPEC|@FILE     sweep spec (required); `key = v1, v2` lines\n"
+      "                        separated by newlines or ';'. Axes: model,\n"
+      "                        system, servers, gpus-per-server, bandwidth,\n"
+      "                        extra-jobs, churn, faults, seed (lo..hi\n"
+      "                        ranges). Scalars: iterations, warmup,\n"
+      "                        micro-batches, schedule. See\n"
+      "                        docs/BENCHMARKS.md\n"
+      "  --jobs N              worker threads (default 1; 0 = one per core)\n"
+      "  --out PATH            write BENCH_sweep.json here\n"
+      "  --timing              include the host-timing section in --out\n"
+      "                        (non-deterministic; leave off for baselines)\n"
+      "  --artifacts DIR       per-scenario trace/metrics/ledger files in\n"
+      "                        DIR (must exist)\n"
+      "  --baseline PATH       gate against a committed BENCH_sweep.json\n"
+      "  --tolerance FRAC      allowed throughput drop vs baseline\n"
+      "                        (default 0.10)\n"
+      "  --list                print the expanded scenario labels and exit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.has("help")) {
+    usage();
+    return 0;
+  }
+  const std::string spec_arg = flags.get("spec", "");
+  if (spec_arg.empty()) {
+    std::cerr << "autopipe_sweep: --spec is required (see --help)\n";
+    return 2;
+  }
+
+  sweep::SweepSpec spec;
+  try {
+    spec = sweep::load_sweep_spec(spec_arg);
+  } catch (const std::exception& e) {
+    std::cerr << "autopipe_sweep: " << e.what() << "\n";
+    return 2;
+  }
+  const std::vector<sweep::ScenarioSpec> scenarios = spec.expand();
+
+  if (flags.get_bool("list", false)) {
+    for (const auto& s : scenarios) std::cout << s.label << "\n";
+    std::cout << scenarios.size() << " scenario(s)\n";
+    return 0;
+  }
+
+  const auto jobs = static_cast<std::size_t>(flags.get_int("jobs", 1));
+  const std::string out_path = flags.get("out", "");
+  const bool timing = flags.get_bool("timing", false);
+  const std::string baseline_path = flags.get("baseline", "");
+  const double tolerance = flags.get_double("tolerance", 0.10);
+  sweep::ArtifactOptions artifacts;
+  artifacts.directory = flags.get("artifacts", "");
+  for (const std::string& flag : flags.unused())
+    std::cerr << "warning: unknown flag --" << flag << " (see --help)\n";
+
+  // Fail on an unwritable output now, not after the whole sweep.
+  if (!out_path.empty()) {
+    std::ofstream probe(out_path);
+    if (!probe.good()) {
+      std::cerr << "autopipe_sweep: cannot open output file: " << out_path
+                << "\n";
+      return 2;
+    }
+  }
+
+  sweep::SweepResult result;
+  result.jobs = sweep::resolve_jobs(jobs);
+  result.scenarios.resize(scenarios.size());
+  const auto start = std::chrono::steady_clock::now();
+  sweep::run_indexed(scenarios.size(), jobs, [&](std::size_t i) {
+    result.scenarios[i] = sweep::run_scenario(scenarios[i], artifacts);
+  });
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  sweep::write_summary_table(result, std::cout);
+  std::cout << "wall: " << TextTable::num(result.wall_seconds, 2) << "s on "
+            << result.jobs << " thread(s)\n";
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    sweep::write_bench_json(result, out, timing);
+    std::cout << "bench json: " << scenarios.size() << " scenarios -> "
+              << out_path << "\n";
+  }
+
+  bool gate_ok = true;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in.good()) {
+      std::cerr << "autopipe_sweep: cannot read baseline: " << baseline_path
+                << "\n";
+      return 2;
+    }
+    try {
+      const auto baseline = sweep::read_baseline_throughput(in);
+      const auto gate =
+          sweep::gate_against_baseline(result, baseline, tolerance);
+      sweep::write_gate_report(gate, tolerance, std::cout);
+      gate_ok = gate.ok();
+    } catch (const std::exception& e) {
+      std::cerr << "autopipe_sweep: bad baseline: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  bool all_ok = true;
+  for (const auto& r : result.scenarios) all_ok = all_ok && r.ok;
+  return (all_ok && gate_ok) ? 0 : 1;
+}

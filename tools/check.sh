@@ -7,6 +7,7 @@
 #   tools/check.sh                # plain RelWithDebInfo build
 #   tools/check.sh --sanitize     # ASan+UBSan build in build-asan/
 #   tools/check.sh --ledger-smoke # build + ledger smoke only (fast)
+#   tools/check.sh --sweep-smoke  # build + baseline-gated sweep only (fast)
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -15,6 +16,7 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 cmake_args=()
 ledger_smoke_only=0
+sweep_smoke_only=0
 if [[ "${1:-}" == "--sanitize" ]]; then
   build="${BUILD_DIR:-$repo/build-asan}"
   cmake_args+=(-DAUTOPIPE_SANITIZE=ON)
@@ -22,8 +24,10 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
 elif [[ "${1:-}" == "--ledger-smoke" ]]; then
   ledger_smoke_only=1
+elif [[ "${1:-}" == "--sweep-smoke" ]]; then
+  sweep_smoke_only=1
 elif [[ $# -gt 0 ]]; then
-  echo "usage: tools/check.sh [--sanitize|--ledger-smoke]" >&2
+  echo "usage: tools/check.sh [--sanitize|--ledger-smoke|--sweep-smoke]" >&2
   exit 2
 fi
 
@@ -43,6 +47,17 @@ ledger_smoke() {
       "$tmp/run.ledger" "$tmp/run.trace" --json > /dev/null
 }
 
+# The committed smoke sweep gated against its committed baseline: simulated
+# throughput must stay within 10% of bench/baselines/sweep_smoke_baseline.json
+# (regenerate the baseline after an intentional perf change — see
+# docs/BENCHMARKS.md).
+sweep_smoke() {
+  echo "== sweep smoke =="
+  "$build/tools/autopipe_sweep" --spec="@$repo/bench/sweeps/smoke.sweep" \
+      --jobs=4 --tolerance=0.10 \
+      --baseline="$repo/bench/baselines/sweep_smoke_baseline.json"
+}
+
 echo "== configure =="
 cmake -B "$build" -S "$repo" "${cmake_args[@]}"
 
@@ -51,6 +66,12 @@ cmake --build "$build" -j "$jobs"
 
 if [[ "$ledger_smoke_only" == 1 ]]; then
   ledger_smoke
+  echo "OK"
+  exit 0
+fi
+
+if [[ "$sweep_smoke_only" == 1 ]]; then
+  sweep_smoke
   echo "OK"
   exit 0
 fi
@@ -69,5 +90,7 @@ echo "== analyzer smoke =="
     "$repo/tests/golden/bandwidth_drop.trace" --json > /dev/null
 
 ledger_smoke
+
+sweep_smoke
 
 echo "OK"

@@ -1,0 +1,67 @@
+// A flat FIFO over a power-of-two vector: push_back / pop_front with no
+// per-node allocation and contiguous storage. Replaces std::deque in
+// event-rate queues (GPU task queues), where deque's chunked map costs an
+// allocation every few dozen pushes and an extra indirection per access.
+//
+// T must be default-constructible and movable; popped slots are reset to a
+// default-constructed T so move-only closures release their captures
+// immediately rather than at the next overwrite.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace autopipe::common {
+
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  T& front() { return slots_[head_]; }
+  const T& front() const { return slots_[head_]; }
+
+  void push_back(T value) {
+    if (count_ == slots_.size()) grow();
+    slots_[(head_ + count_) & mask_] = std::move(value);
+    ++count_;
+  }
+
+  /// Remove and return the oldest element; requires !empty().
+  T pop_front() {
+    T value = std::move(slots_[head_]);
+    slots_[head_] = T{};
+    head_ = (head_ + 1) & mask_;
+    --count_;
+    return value;
+  }
+
+  void clear() {
+    while (count_ > 0) {
+      slots_[head_] = T{};
+      head_ = (head_ + 1) & mask_;
+      --count_;
+    }
+    head_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t capacity = slots_.empty() ? 8 : slots_.size() * 2;
+    std::vector<T> next(capacity);
+    for (std::size_t i = 0; i < count_; ++i)
+      next[i] = std::move(slots_[(head_ + i) & mask_]);
+    slots_ = std::move(next);
+    head_ = 0;
+    mask_ = capacity - 1;
+  }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace autopipe::common

@@ -1,0 +1,201 @@
+#include "parity/differential.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "autopipe/controller.hpp"
+#include "comm/framework.hpp"
+#include "common/rng.hpp"
+#include "faults/fault_plan.hpp"
+#include "models/zoo.hpp"
+#include "partition/pipedream_planner.hpp"
+#include "pipeline/executor.hpp"
+#include "sim/background.hpp"
+#include "sim/cluster.hpp"
+
+namespace autopipe::parity {
+
+namespace {
+
+// Small shared testbed (3 servers × 2 GPUs) — big enough for real pipeline
+// stages, migrations and cross-server flows, small enough that 50+ seeds ×
+// 2 queues stay fast.
+constexpr std::size_t kServers = 3;
+constexpr std::size_t kGpusPerServer = 2;
+
+faults::FaultPlan plan_for_seed(std::uint64_t seed) {
+  // A 12-iteration alexnet run on this testbed spans roughly 0.8 simulated
+  // seconds; the default ChaosSpec window (seconds to tens of seconds)
+  // would schedule every fault past the end of the run. Compress the whole
+  // schedule into the first ~0.6 s so preemptions, link failures, flaps,
+  // stragglers and profiler drops all land mid-pipeline.
+  faults::ChaosSpec spec;
+  spec.seed = seed;
+  spec.start = 0.05;
+  spec.clear_by = 0.6;
+  spec.min_outage = 0.02;
+  spec.max_outage = 0.15;
+  spec.flap_outage = 0.01;
+  return faults::random_plan(spec, kServers, kGpusPerServer);
+}
+
+std::string metrics_text(const trace::MetricsRegistry& metrics) {
+  // The registry keeps names sorted, so this rendering is deterministic.
+  std::ostringstream os;
+  for (const auto& [name, value] : metrics.all())
+    os << name << "=" << trace::format_double(value) << "\n";
+  return os.str();
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioConfig& config,
+                            sim::EventQueueKind kind) {
+  sim::Simulator simulator(kind);
+  simulator.tracer().set_enabled(true);
+  simulator.ledger().set_enabled(true);
+
+  sim::ClusterConfig cluster_config;
+  cluster_config.num_servers = kServers;
+  cluster_config.gpus_per_server = kGpusPerServer;
+  sim::Cluster cluster(simulator, cluster_config);
+
+  const auto model = models::alexnet();
+  const auto env = partition::EnvironmentView::from_cluster(
+      cluster, comm::pytorch_profile(), comm::SyncScheme::kRing);
+  partition::PipeDreamPlanner planner(
+      model, env, model.default_batch_size(),
+      partition::PipeDreamPlanner::Mode::kCurrentEnvironment);
+  const auto plan = planner.plan(cluster.num_workers());
+
+  pipeline::ExecutorConfig executor_config;
+  executor_config.framework = comm::pytorch_profile();
+  executor_config.sync_scheme = comm::SyncScheme::kRing;
+  pipeline::PipelineExecutor executor(cluster, model, plan.partition,
+                                      executor_config);
+
+  core::ControllerConfig cc;
+  cc.arbiter_mode = core::ControllerConfig::ArbiterMode::kThreshold;
+  cc.use_meta_network = false;
+  core::AutoPipeController controller(cluster, executor, cc, nullptr,
+                                      nullptr);
+  controller.attach();
+
+  faults::FaultPlan fault_plan;
+  if (config.inject_faults) fault_plan = plan_for_seed(config.seed);
+  fault_plan.install(simulator, cluster);
+
+  if (config.background_churn) {
+    // Rates scaled to the sub-second run the same way the fault plan is:
+    // a handful of tenant arrivals and NIC cuts per run instead of the
+    // default hours-scale Poisson processes.
+    sim::BackgroundWorkloadConfig bg;
+    bg.gpu_job_rate = 4.0;
+    bg.net_job_rate = 4.0;
+    bg.mean_gpu_job_duration = 0.2;
+    bg.mean_net_job_duration = 0.2;
+    bg.horizon = 1.0;
+    sim::BackgroundWorkload churn(
+        bg, Rng(config.seed ^ 0x9e3779b97f4a7c15ull));
+    churn.install(simulator, cluster);
+  }
+
+  const auto report = executor.run(config.iterations, config.warmup);
+
+  ScenarioResult out;
+  out.queue_name = simulator.queue_name();
+  out.iteration_end_times = report.iteration_end_times;
+  out.events_processed = simulator.events_processed();
+  out.scheduled_events = simulator.events_scheduled();
+  std::ostringstream ts;
+  simulator.tracer().write_text(ts);
+  out.trace_text = ts.str();
+  simulator.ledger().finalize("run_end");
+  std::ostringstream ls;
+  simulator.ledger().write_text(ls);
+  out.ledger_text = ls.str();
+  out.metrics_text = metrics_text(simulator.metrics());
+  return out;
+}
+
+namespace {
+
+/// Report the first line where two texts differ (1-based), with context.
+void diff_text(const std::string& artifact, const std::string& ref,
+               const std::string& cand, std::ostringstream& os) {
+  if (ref == cand) return;
+  std::istringstream a(ref);
+  std::istringstream b(cand);
+  std::string la;
+  std::string lb;
+  std::size_t line = 0;
+  for (;;) {
+    const bool ga = static_cast<bool>(std::getline(a, la));
+    const bool gb = static_cast<bool>(std::getline(b, lb));
+    ++line;
+    if (!ga && !gb) break;  // equal prefix but unequal strings: length diff
+    if (ga != gb || la != lb) {
+      os << artifact << ": first divergence at line " << line << "\n"
+         << "  reference: " << (ga ? la : std::string("<end of text>"))
+         << "\n"
+         << "  candidate: " << (gb ? lb : std::string("<end of text>"))
+         << "\n";
+      return;
+    }
+  }
+  os << artifact << ": texts differ in length only (" << ref.size() << " vs "
+     << cand.size() << " bytes)\n";
+}
+
+}  // namespace
+
+Divergence compare(const ScenarioResult& reference,
+                   const ScenarioResult& candidate) {
+  Divergence d;
+  std::ostringstream os;
+  diff_text("trace", reference.trace_text, candidate.trace_text, os);
+  diff_text("ledger", reference.ledger_text, candidate.ledger_text, os);
+  diff_text("metrics", reference.metrics_text, candidate.metrics_text, os);
+  if (reference.iteration_end_times != candidate.iteration_end_times) {
+    os << "iteration_end_times: ";
+    const std::size_t n = std::min(reference.iteration_end_times.size(),
+                                   candidate.iteration_end_times.size());
+    if (reference.iteration_end_times.size() !=
+        candidate.iteration_end_times.size()) {
+      os << "count " << reference.iteration_end_times.size() << " vs "
+         << candidate.iteration_end_times.size() << "\n";
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (reference.iteration_end_times[i] !=
+            candidate.iteration_end_times[i]) {
+          os.precision(17);
+          os << "first divergence at iteration " << i << ": "
+             << reference.iteration_end_times[i] << " vs "
+             << candidate.iteration_end_times[i] << "\n";
+          break;
+        }
+      }
+    }
+  }
+  if (reference.events_processed != candidate.events_processed) {
+    os << "events_processed: " << reference.events_processed << " vs "
+       << candidate.events_processed << "\n";
+  }
+  if (reference.scheduled_events != candidate.scheduled_events) {
+    os << "scheduled_events: " << reference.scheduled_events << " vs "
+       << candidate.scheduled_events << "\n";
+  }
+  d.report = os.str();
+  d.identical = d.report.empty();
+  return d;
+}
+
+Divergence run_differential(const ScenarioConfig& config) {
+  const ScenarioResult heap =
+      run_scenario(config, sim::EventQueueKind::kHeap);
+  const ScenarioResult wheel =
+      run_scenario(config, sim::EventQueueKind::kWheel);
+  return compare(heap, wheel);
+}
+
+}  // namespace autopipe::parity

@@ -1,0 +1,69 @@
+// Differential parity harness for the simulator core rewrite.
+//
+// The timing-wheel event queue must be *observationally identical* to the
+// reference binary heap: same dequeue order, same callback interleaving,
+// same floating-point accumulation order — byte-for-byte the same traces,
+// decision ledgers and metrics. This library runs one full AutoPipe
+// scenario (cluster + planner + executor + controller, optionally with a
+// seeded random fault plan and background-tenant churn) twice, once per
+// queue kind, and diffs every observable artifact.
+//
+// Used by tests/parity_test.cpp (ctest tier, ≥50 seeds) and the
+// bench/parity_harness CLI (CI parity-smoke job, divergence artifacts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace autopipe::parity {
+
+/// One differential scenario. The seed drives the fault plan and the
+/// background workload; seeds 0.. give distinct but reproducible runs.
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+  std::size_t iterations = 12;
+  std::size_t warmup = 5;
+  /// Install a seeded random fault plan (preemptions, link failures/flaps,
+  /// stragglers, profiler drops).
+  bool inject_faults = true;
+  /// Install seeded background-tenant churn on GPUs and the network.
+  bool background_churn = true;
+};
+
+/// Every observable artifact of one run. Two queue kinds are "at parity"
+/// when all fields compare equal — the strings byte-for-byte, the floats
+/// bit-for-bit.
+struct ScenarioResult {
+  std::string queue_name;
+  std::string trace_text;    ///< full event trace, text form
+  std::string ledger_text;   ///< finalized decision ledger, text form
+  std::string metrics_text;  ///< sorted name=value metric lines
+  std::vector<double> iteration_end_times;
+  std::uint64_t events_processed = 0;
+  std::uint64_t scheduled_events = 0;  ///< seq counter: pushes must match too
+};
+
+/// Run the scenario on the given queue implementation.
+ScenarioResult run_scenario(const ScenarioConfig& config,
+                            sim::EventQueueKind kind);
+
+/// Outcome of diffing two runs of the same scenario.
+struct Divergence {
+  bool identical = true;
+  /// Empty when identical; otherwise a human-readable report naming the
+  /// first diverging artifact, line number and both lines.
+  std::string report;
+};
+
+/// Byte/bit-exact comparison with first-divergence diagnostics.
+Divergence compare(const ScenarioResult& reference,
+                   const ScenarioResult& candidate);
+
+/// Convenience: run `config` under both queues and diff. The heap is the
+/// reference, the wheel the candidate.
+Divergence run_differential(const ScenarioConfig& config);
+
+}  // namespace autopipe::parity

@@ -44,11 +44,11 @@ Cluster::Cluster(Simulator& simulator, ClusterConfig config)
     const GpuSpec& spec = config_.gpu_specs.size() == 1
                               ? config_.gpu_specs.front()
                               : config_.gpu_specs[w];
-    gpus_.push_back(std::make_unique<GpuExecutor>(sim_, spec));
+    gpus_.emplace_back(sim_, spec);
   }
-  worker_up_.assign(workers, true);
-  link_up_.assign(config_.num_servers, true);
-  profiler_muted_.assign(workers, false);
+  worker_up_.assign(workers, 1);
+  link_up_.assign(config_.num_servers, 1);
+  profiler_muted_.assign(workers, 0);
 }
 
 std::size_t Cluster::server_of(WorkerId worker) const {
@@ -70,12 +70,12 @@ std::size_t Cluster::num_racks() const {
 
 GpuExecutor& Cluster::gpu(WorkerId worker) {
   AUTOPIPE_EXPECT(worker < num_workers());
-  return *gpus_[worker];
+  return gpus_[worker];
 }
 
 const GpuExecutor& Cluster::gpu(WorkerId worker) const {
   AUTOPIPE_EXPECT(worker < num_workers());
-  return *gpus_[worker];
+  return gpus_[worker];
 }
 
 std::vector<ResourceId> Cluster::path(WorkerId src, WorkerId dst) const {
@@ -124,13 +124,13 @@ void Cluster::set_all_nic_bandwidth(BytesPerSec bandwidth) {
 
 BytesPerSec Cluster::nic_bandwidth(std::size_t server) const {
   AUTOPIPE_EXPECT(server < config_.num_servers);
-  return link_up_[server] ? nic_bw_[server] : 0.0;
+  return link_up_[server] != 0 ? nic_bw_[server] : 0.0;
 }
 
 void Cluster::set_worker_down(WorkerId worker) {
   AUTOPIPE_EXPECT(worker < num_workers());
-  if (!worker_up_[worker]) return;
-  worker_up_[worker] = false;
+  if (worker_up_[worker] == 0) return;
+  worker_up_[worker] = 0;
   gpu(worker).set_available(false);
   if (sim_.tracer().enabled()) {
     sim_.tracer().instant(trace::Category::kFault, "gpu_down", sim_.now(),
@@ -142,8 +142,8 @@ void Cluster::set_worker_down(WorkerId worker) {
 
 void Cluster::set_worker_up(WorkerId worker) {
   AUTOPIPE_EXPECT(worker < num_workers());
-  if (worker_up_[worker]) return;
-  worker_up_[worker] = true;
+  if (worker_up_[worker] != 0) return;
+  worker_up_[worker] = 1;
   gpu(worker).set_available(true);
   if (sim_.tracer().enabled()) {
     sim_.tracer().instant(trace::Category::kFault, "gpu_up", sim_.now(),
@@ -155,13 +155,13 @@ void Cluster::set_worker_up(WorkerId worker) {
 
 bool Cluster::worker_up(WorkerId worker) const {
   AUTOPIPE_EXPECT(worker < num_workers());
-  return worker_up_[worker];
+  return worker_up_[worker] != 0;
 }
 
 void Cluster::set_link_down(std::size_t server) {
   AUTOPIPE_EXPECT(server < config_.num_servers);
-  if (!link_up_[server]) return;
-  link_up_[server] = false;
+  if (link_up_[server] == 0) return;
+  link_up_[server] = 0;
   network_.set_resource_down(nic_tx_[server]);
   network_.set_resource_down(nic_rx_[server]);
   if (sim_.tracer().enabled()) {
@@ -173,8 +173,8 @@ void Cluster::set_link_down(std::size_t server) {
 
 void Cluster::set_link_up(std::size_t server) {
   AUTOPIPE_EXPECT(server < config_.num_servers);
-  if (link_up_[server]) return;
-  link_up_[server] = true;
+  if (link_up_[server] != 0) return;
+  link_up_[server] = 1;
   network_.set_resource_up(nic_tx_[server]);
   network_.set_resource_up(nic_rx_[server]);
   if (sim_.tracer().enabled()) {
@@ -186,13 +186,13 @@ void Cluster::set_link_up(std::size_t server) {
 
 bool Cluster::link_up(std::size_t server) const {
   AUTOPIPE_EXPECT(server < config_.num_servers);
-  return link_up_[server];
+  return link_up_[server] != 0;
 }
 
 void Cluster::set_profiler_muted(WorkerId worker, bool muted) {
   AUTOPIPE_EXPECT(worker < num_workers());
-  if (profiler_muted_[worker] == muted) return;
-  profiler_muted_[worker] = muted;
+  if ((profiler_muted_[worker] != 0) == muted) return;
+  profiler_muted_[worker] = muted ? 1 : 0;
   if (sim_.tracer().enabled()) {
     sim_.tracer().instant(trace::Category::kFault,
                           muted ? "profiler_mute" : "profiler_unmute",
@@ -202,7 +202,7 @@ void Cluster::set_profiler_muted(WorkerId worker, bool muted) {
 
 bool Cluster::profiler_muted(WorkerId worker) const {
   AUTOPIPE_EXPECT(worker < num_workers());
-  return profiler_muted_[worker];
+  return profiler_muted_[worker] != 0;
 }
 
 void Cluster::add_background_job(WorkerId worker) {

@@ -9,7 +9,8 @@
 // simulated instant, which is exactly the fluctuation AutoPipe reacts to.
 #pragma once
 
-#include <memory>
+#include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "common/units.hpp"
@@ -121,16 +122,21 @@ class Cluster {
   Simulator& sim_;
   ClusterConfig config_;
   FlowNetwork network_;
-  std::vector<std::unique_ptr<GpuExecutor>> gpus_;
+  /// By value in a deque: executors are immovable (the simulator holds
+  /// their this-pointers in scheduled closures) and deque never relocates
+  /// elements, so gpu(w) is one indexed access with no per-GPU allocation.
+  std::deque<GpuExecutor> gpus_;
   std::vector<ResourceId> nic_tx_;
   std::vector<ResourceId> nic_rx_;
   std::vector<ResourceId> pcie_;
   std::vector<ResourceId> uplink_tx_;  // per rack (two-tier only)
   std::vector<ResourceId> uplink_rx_;
   std::vector<BytesPerSec> nic_bw_;
-  std::vector<bool> worker_up_;
-  std::vector<bool> link_up_;
-  std::vector<bool> profiler_muted_;
+  /// Byte flags, not vector<bool>: fault paths and reachability checks read
+  /// these at event rate and the proxy-reference bit twiddling shows up.
+  std::vector<std::uint8_t> worker_up_;
+  std::vector<std::uint8_t> link_up_;
+  std::vector<std::uint8_t> profiler_muted_;
   WorkerStateCallback worker_state_callback_;
 };
 

@@ -1,6 +1,7 @@
 #include "sim/flow_network.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "common/expect.hpp"
@@ -13,71 +14,100 @@ namespace {
 /// absorb floating-point division noise in remaining/rate arithmetic.
 constexpr Seconds kTimeEps = 1e-12;
 constexpr Bytes kByteEps = 1e-6;
+/// Snapshot share of a resource no flow crossed at the last full rating.
+constexpr double kUnconstrained = std::numeric_limits<double>::infinity();
 }  // namespace
 
 ResourceId FlowNetwork::add_resource(std::string name, BytesPerSec capacity) {
   AUTOPIPE_EXPECT(capacity >= 0.0);
-  resources_.push_back(Resource{std::move(name), capacity});
-  const ResourceId id = resources_.size() - 1;
+  res_name_.push_back(std::move(name));
+  res_capacity_.push_back(capacity);
+  res_saved_capacity_.push_back(0.0);
+  res_down_.push_back(0);
+  const ResourceId id = res_capacity_.size() - 1;
   if (sim_.tracer().enabled()) {
-    sim_.tracer().counter(trace::Category::kComm,
-                          "cap:" + resources_[id].name, sim_.now(), capacity);
+    sim_.tracer().counter(trace::Category::kComm, "cap:" + res_name_[id],
+                          sim_.now(), capacity);
   }
   return id;
 }
 
 void FlowNetwork::set_capacity(ResourceId resource, BytesPerSec capacity) {
-  AUTOPIPE_EXPECT(resource < resources_.size());
+  AUTOPIPE_EXPECT(resource < res_capacity_.size());
   AUTOPIPE_EXPECT(capacity >= 0.0);
-  if (resources_[resource].down) {
+  if (res_down_[resource]) {
     // Deferred: applies when the resource comes back up.
-    resources_[resource].saved_capacity = capacity;
+    res_saved_capacity_[resource] = capacity;
     return;
   }
   advance_to_now();
-  resources_[resource].capacity = capacity;
+  res_capacity_[resource] = capacity;
   recompute_rates();
   schedule_next_completion();
   if (sim_.tracer().enabled()) {
     sim_.tracer().counter(trace::Category::kComm,
-                          "cap:" + resources_[resource].name, sim_.now(),
-                          capacity);
+                          "cap:" + res_name_[resource], sim_.now(), capacity);
   }
   emit_loads();
 }
 
 void FlowNetwork::set_resource_down(ResourceId resource) {
-  AUTOPIPE_EXPECT(resource < resources_.size());
-  Resource& r = resources_[resource];
-  if (r.down) return;
-  const BytesPerSec nominal = r.capacity;
+  AUTOPIPE_EXPECT(resource < res_capacity_.size());
+  if (res_down_[resource]) return;
+  const BytesPerSec nominal = res_capacity_[resource];
   set_capacity(resource, 0.0);
-  r.down = true;
-  r.saved_capacity = nominal;
+  res_down_[resource] = 1;
+  res_saved_capacity_[resource] = nominal;
 }
 
 void FlowNetwork::set_resource_up(ResourceId resource) {
-  AUTOPIPE_EXPECT(resource < resources_.size());
-  Resource& r = resources_[resource];
-  if (!r.down) return;
-  r.down = false;
-  set_capacity(resource, r.saved_capacity);
-  r.saved_capacity = 0.0;
+  AUTOPIPE_EXPECT(resource < res_capacity_.size());
+  if (!res_down_[resource]) return;
+  res_down_[resource] = 0;
+  set_capacity(resource, res_saved_capacity_[resource]);
+  res_saved_capacity_[resource] = 0.0;
 }
 
 bool FlowNetwork::resource_down(ResourceId resource) const {
-  AUTOPIPE_EXPECT(resource < resources_.size());
-  return resources_[resource].down;
+  AUTOPIPE_EXPECT(resource < res_capacity_.size());
+  return res_down_[resource] != 0;
 }
 
 BytesPerSec FlowNetwork::capacity(ResourceId resource) const {
-  AUTOPIPE_EXPECT(resource < resources_.size());
-  return resources_[resource].capacity;
+  AUTOPIPE_EXPECT(resource < res_capacity_.size());
+  return res_capacity_[resource];
 }
 
 const std::string& FlowNetwork::resource_name(ResourceId resource) const {
-  AUTOPIPE_EXPECT(resource < resources_.size());
-  return resources_[resource].name;
+  AUTOPIPE_EXPECT(resource < res_name_.size());
+  return res_name_[resource];
+}
+
+void FlowNetwork::set_approximate_mode(bool on, double epsilon) {
+  AUTOPIPE_EXPECT(epsilon > 0.0);
+  advance_to_now();
+  approx_ = on;
+  approx_eps_ = epsilon;
+  snap_valid_ = false;  // next rating pass is a full one in either mode
+  recompute_rates();
+  schedule_next_completion();
+  emit_loads();
+}
+
+std::size_t FlowNetwork::find_slot(FlowId id) const {
+  const auto it = std::lower_bound(flow_id_.begin(), flow_id_.end(), id);
+  if (it == flow_id_.end() || *it != id) return kNoSlot;
+  return static_cast<std::size_t>(it - flow_id_.begin());
+}
+
+void FlowNetwork::erase_slot(std::size_t slot) {
+  flow_id_.erase(flow_id_.begin() + static_cast<std::ptrdiff_t>(slot));
+  flow_remaining_.erase(flow_remaining_.begin() +
+                        static_cast<std::ptrdiff_t>(slot));
+  flow_rate_.erase(flow_rate_.begin() + static_cast<std::ptrdiff_t>(slot));
+  flow_path_.erase(flow_path_.begin() + static_cast<std::ptrdiff_t>(slot));
+  flow_on_complete_.erase(flow_on_complete_.begin() +
+                          static_cast<std::ptrdiff_t>(slot));
 }
 
 FlowId FlowNetwork::start_flow(FlowSpec spec) {
@@ -86,7 +116,7 @@ FlowId FlowNetwork::start_flow(FlowSpec spec) {
   {
     std::unordered_set<ResourceId> seen;
     for (ResourceId r : spec.path) {
-      AUTOPIPE_EXPECT(r < resources_.size());
+      AUTOPIPE_EXPECT(r < res_capacity_.size());
       AUTOPIPE_EXPECT_MSG(seen.insert(r).second,
                           "duplicate resource in flow path");
     }
@@ -103,14 +133,19 @@ FlowId FlowNetwork::start_flow(FlowSpec spec) {
     std::string path_names;
     for (ResourceId r : spec.path) {
       if (!path_names.empty()) path_names += ',';
-      path_names += resources_[r].name;
+      path_names += res_name_[r];
     }
     sim_.tracer().async_begin(trace::Category::kComm, "flow", id, sim_.now(),
                               {trace::arg("bytes", spec.bytes),
                                trace::arg("path", std::move(path_names))});
   }
-  flows_.emplace(id, Flow{std::move(spec.path), spec.bytes, 0.0,
-                          std::move(spec.on_complete)});
+  // Ids are monotone, so push_back keeps the slot arrays sorted. The -1
+  // rate marks the flow as not-yet-rated for the approximate pass.
+  flow_id_.push_back(id);
+  flow_remaining_.push_back(spec.bytes);
+  flow_rate_.push_back(-1.0);
+  flow_path_.push_back(std::move(spec.path));
+  flow_on_complete_.push_back(std::move(spec.on_complete));
   recompute_rates();
   schedule_next_completion();
   emit_loads();
@@ -118,10 +153,10 @@ FlowId FlowNetwork::start_flow(FlowSpec spec) {
 }
 
 void FlowNetwork::cancel_flow(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;  // already completed: cancel is a no-op
+  const std::size_t slot = find_slot(id);
+  if (slot == kNoSlot) return;  // already completed: cancel is a no-op
   advance_to_now();
-  flows_.erase(it);
+  erase_slot(slot);
   recompute_rates();
   schedule_next_completion();
   if (sim_.tracer().enabled()) {
@@ -132,24 +167,24 @@ void FlowNetwork::cancel_flow(FlowId id) {
 }
 
 BytesPerSec FlowNetwork::flow_rate(FlowId id) const {
-  auto it = flows_.find(id);
-  AUTOPIPE_EXPECT_MSG(it != flows_.end(), "flow " << id << " not active");
-  return it->second.rate;
+  const std::size_t slot = find_slot(id);
+  AUTOPIPE_EXPECT_MSG(slot != kNoSlot, "flow " << id << " not active");
+  return flow_rate_[slot];
 }
 
 Bytes FlowNetwork::flow_remaining(FlowId id) const {
-  auto it = flows_.find(id);
-  AUTOPIPE_EXPECT_MSG(it != flows_.end(), "flow " << id << " not active");
-  return it->second.remaining;
+  const std::size_t slot = find_slot(id);
+  AUTOPIPE_EXPECT_MSG(slot != kNoSlot, "flow " << id << " not active");
+  return flow_remaining_[slot];
 }
 
 BytesPerSec FlowNetwork::resource_load(ResourceId resource) const {
-  AUTOPIPE_EXPECT(resource < resources_.size());
+  AUTOPIPE_EXPECT(resource < res_capacity_.size());
   BytesPerSec load = 0.0;
-  for (const auto& [id, flow] : flows_) {
-    if (std::find(flow.path.begin(), flow.path.end(), resource) !=
-        flow.path.end()) {
-      load += flow.rate;
+  for (std::size_t s = 0; s < flow_id_.size(); ++s) {
+    if (std::find(flow_path_[s].begin(), flow_path_[s].end(), resource) !=
+        flow_path_[s].end()) {
+      load += flow_rate_[s];
     }
   }
   return load;
@@ -160,37 +195,47 @@ void FlowNetwork::advance_to_now() {
   const Seconds dt = now - last_update_;
   last_update_ = now;
   if (dt <= 0.0) return;
-  for (auto& [id, flow] : flows_) {
-    const Bytes moved = std::min(flow.remaining, flow.rate * dt);
-    flow.remaining -= moved;
+  for (std::size_t s = 0; s < flow_id_.size(); ++s) {
+    const Bytes moved = std::min(flow_remaining_[s], flow_rate_[s] * dt);
+    flow_remaining_[s] -= moved;
     bytes_delivered_ += moved;
   }
 }
 
 void FlowNetwork::recompute_rates() {
+  if (approx_) {
+    approx_rerate();
+  } else {
+    exact_rerate();
+  }
+}
+
+void FlowNetwork::exact_rerate() {
   // Progressive filling: repeatedly find the resource whose fair share
   // (remaining capacity / unfrozen flows through it) is smallest, pin every
   // unfrozen flow through it to that share, and deduct.
   //
   // Runs at event rate (every flow start/finish and every capacity change),
   // so the per-resource accumulators are flat vectors indexed by the dense
-  // ResourceId, reused across calls — the earlier unordered_map version
-  // spent more time hashing than filling.
-  const std::size_t n = resources_.size();
+  // ResourceId, reused across calls, and the unfrozen set is a vector of
+  // flow slots walked in ascending order — iteration (and so floating-point
+  // deduction order) is part of the determinism contract.
+  const std::size_t n = res_capacity_.size();
   if (scratch_cap_.size() < n) {
     scratch_cap_.resize(n);
     scratch_count_.resize(n);
   }
   for (std::size_t r = 0; r < n; ++r) {
-    scratch_cap_[r] = resources_[r].capacity;
+    scratch_cap_[r] = res_capacity_[r];
     scratch_count_[r] = 0;
   }
+  const std::size_t flows = flow_id_.size();
   scratch_unfrozen_.clear();
-  scratch_unfrozen_.reserve(flows_.size());
-  for (auto& [id, flow] : flows_) {
-    flow.rate = 0.0;
-    scratch_unfrozen_.push_back(&flow);
-    for (ResourceId r : flow.path) ++scratch_count_[r];
+  scratch_unfrozen_.reserve(flows);
+  for (std::size_t s = 0; s < flows; ++s) {
+    flow_rate_[s] = 0.0;
+    scratch_unfrozen_.push_back(static_cast<std::uint32_t>(s));
+    for (ResourceId r : flow_path_[s]) ++scratch_count_[r];
   }
 
   while (!scratch_unfrozen_.empty()) {
@@ -212,15 +257,16 @@ void FlowNetwork::recompute_rates() {
     // Pin every unfrozen flow through the bottleneck at the fair share,
     // compacting the survivors in place.
     std::size_t kept = 0;
-    for (Flow* flow : scratch_unfrozen_) {
-      const bool through = std::find(flow->path.begin(), flow->path.end(),
-                                     bottleneck) != flow->path.end();
+    for (const std::uint32_t s : scratch_unfrozen_) {
+      const bool through =
+          std::find(flow_path_[s].begin(), flow_path_[s].end(), bottleneck) !=
+          flow_path_[s].end();
       if (!through) {
-        scratch_unfrozen_[kept++] = flow;
+        scratch_unfrozen_[kept++] = s;
         continue;
       }
-      flow->rate = best_share;
-      for (ResourceId r : flow->path) {
+      flow_rate_[s] = best_share;
+      for (ResourceId r : flow_path_[s]) {
         scratch_cap_[r] = std::max(0.0, scratch_cap_[r] - best_share);
         --scratch_count_[r];
       }
@@ -229,11 +275,75 @@ void FlowNetwork::recompute_rates() {
   }
 }
 
+void FlowNetwork::approx_rerate() {
+  // Snapshot/drift scheme: a full single-pass rating assigns every flow the
+  // minimum fair share (capacity / live count) along its path and snapshots
+  // each contended resource's share. Subsequent membership changes re-rate
+  // only the fresh flows — from live shares, so a new flow never sees an
+  // unconstrained path — until some resource's live share drifts more than
+  // approx_eps_ (relative) from its snapshot. A full pass never
+  // oversubscribes (each flow takes at most the fair share of every
+  // resource it crosses); between passes the stale rates are off by at most
+  // the drift bound.
+  const std::size_t n = res_capacity_.size();
+  if (scratch_count_.size() < n) scratch_count_.resize(n);
+  if (snap_share_.size() < n) {
+    snap_share_.resize(n, kUnconstrained);
+    snap_valid_ = false;  // a new resource invalidates the snapshot
+  }
+  const std::size_t flows = flow_id_.size();
+  for (std::size_t r = 0; r < n; ++r) scratch_count_[r] = 0;
+  for (std::size_t s = 0; s < flows; ++s)
+    for (ResourceId r : flow_path_[s]) ++scratch_count_[r];
+
+  bool needs_full = !snap_valid_;
+  for (std::size_t r = 0; !needs_full && r < n; ++r) {
+    const std::size_t count = scratch_count_[r];
+    if (count == 0) continue;  // nothing flows here: no rate to be wrong
+    const double snap = snap_share_[r];
+    if (snap == kUnconstrained) {
+      needs_full = true;  // newly contended resource was never rated
+      break;
+    }
+    const double share = res_capacity_[r] / static_cast<double>(count);
+    if (std::abs(share - snap) > approx_eps_ * snap) needs_full = true;
+  }
+
+  if (needs_full) {
+    for (std::size_t r = 0; r < n; ++r) {
+      snap_share_[r] = scratch_count_[r] == 0
+                           ? kUnconstrained
+                           : res_capacity_[r] /
+                                 static_cast<double>(scratch_count_[r]);
+    }
+    for (std::size_t s = 0; s < flows; ++s) {
+      double rate = kUnconstrained;
+      for (ResourceId r : flow_path_[s]) rate = std::min(rate, snap_share_[r]);
+      flow_rate_[s] = rate;  // path is non-empty, so rate is finite
+    }
+    snap_valid_ = true;
+    return;
+  }
+
+  ++approx_skipped_;
+  // Rate only flows the full pass has not seen (the -1 sentinel), from live
+  // shares so their own claim is counted.
+  for (std::size_t s = 0; s < flows; ++s) {
+    if (flow_rate_[s] >= 0.0) continue;
+    double rate = kUnconstrained;
+    for (ResourceId r : flow_path_[s]) {
+      rate = std::min(rate, res_capacity_[r] /
+                                static_cast<double>(scratch_count_[r]));
+    }
+    flow_rate_[s] = rate;
+  }
+}
+
 void FlowNetwork::schedule_next_completion() {
   Seconds next = kNever;
-  for (const auto& [id, flow] : flows_) {
-    if (flow.rate <= 0.0) continue;
-    next = std::min(next, sim_.now() + flow.remaining / flow.rate);
+  for (std::size_t s = 0; s < flow_id_.size(); ++s) {
+    if (flow_rate_[s] <= 0.0) continue;
+    next = std::min(next, sim_.now() + flow_remaining_[s] / flow_rate_[s]);
   }
   const std::uint64_t generation = ++schedule_generation_;
   if (next == kNever) return;
@@ -246,38 +356,56 @@ void FlowNetwork::schedule_next_completion() {
 void FlowNetwork::complete_due_flows() {
   advance_to_now();
   // Collect completions first: callbacks may start new flows re-entrantly.
+  // One compaction pass keeps the slot arrays sorted. Callbacks fire newest
+  // flow first — the order the original hash-map storage produced (bucket
+  // heads are insertion points, so iteration ran newest-to-oldest), which
+  // downstream schedulers' tie-breaks have calcified around.
   std::vector<std::function<void()>> callbacks;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->second.remaining <= kByteEps ||
-        (it->second.rate > 0.0 &&
-         it->second.remaining / it->second.rate <= kTimeEps)) {
-      bytes_delivered_ += it->second.remaining;
+  std::size_t kept = 0;
+  const std::size_t flows = flow_id_.size();
+  for (std::size_t s = 0; s < flows; ++s) {
+    const bool due = flow_remaining_[s] <= kByteEps ||
+                     (flow_rate_[s] > 0.0 &&
+                      flow_remaining_[s] / flow_rate_[s] <= kTimeEps);
+    if (due) {
+      bytes_delivered_ += flow_remaining_[s];
       if (sim_.tracer().enabled()) {
-        sim_.tracer().async_end(trace::Category::kComm, "flow", it->first,
+        sim_.tracer().async_end(trace::Category::kComm, "flow", flow_id_[s],
                                 sim_.now());
       }
-      if (it->second.on_complete)
-        callbacks.push_back(std::move(it->second.on_complete));
-      it = flows_.erase(it);
-    } else {
-      ++it;
+      if (flow_on_complete_[s])
+        callbacks.push_back(std::move(flow_on_complete_[s]));
+      continue;
     }
+    if (kept != s) {
+      flow_id_[kept] = flow_id_[s];
+      flow_remaining_[kept] = flow_remaining_[s];
+      flow_rate_[kept] = flow_rate_[s];
+      flow_path_[kept] = std::move(flow_path_[s]);
+      flow_on_complete_[kept] = std::move(flow_on_complete_[s]);
+    }
+    ++kept;
   }
+  flow_id_.resize(kept);
+  flow_remaining_.resize(kept);
+  flow_rate_.resize(kept);
+  flow_path_.resize(kept);
+  flow_on_complete_.resize(kept);
   recompute_rates();
   schedule_next_completion();
   emit_loads();
-  for (auto& cb : callbacks) cb();
+  for (auto it = callbacks.rbegin(); it != callbacks.rend(); ++it) (*it)();
 }
 
 void FlowNetwork::emit_loads() {
   if (!sim_.tracer().enabled()) return;
-  traced_load_.resize(resources_.size(), 0.0);
-  for (ResourceId r = 0; r < resources_.size(); ++r) {
+  traced_load_.resize(res_capacity_.size(), 0.0);
+  for (ResourceId r = 0; r < res_capacity_.size(); ++r) {
     const BytesPerSec load = resource_load(r);
     if (load == traced_load_[r]) continue;
     traced_load_[r] = load;
-    sim_.tracer().counter(trace::Category::kComm,
-                          "load:" + resources_[r].name, sim_.now(), load);
+    sim_.tracer().counter(trace::Category::kComm, "load:" + res_name_[r],
+                          sim_.now(), load);
   }
 }
 

@@ -13,13 +13,20 @@
 // Capacities may change at any simulated instant (background jobs joining or
 // leaving, administrative rate limits); in-flight flows are re-rated and
 // their completion events rescheduled.
+//
+// Storage is structure-of-arrays: resources and flows each live in parallel
+// flat vectors indexed by a dense slot, and every hot loop (rate integration,
+// progressive filling, completion scan) walks those arrays in ascending slot
+// order. Flow slots stay sorted by FlowId (ids are monotone and erasure
+// compacts), so iteration order — and with it callback order and
+// floating-point summation order — is a documented invariant rather than a
+// hash-map accident.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/units.hpp"
@@ -83,9 +90,9 @@ class FlowNetwork {
 
   Bytes flow_remaining(FlowId id) const;
 
-  bool flow_active(FlowId id) const { return flows_.count(id) > 0; }
+  bool flow_active(FlowId id) const { return find_slot(id) != kNoSlot; }
 
-  std::size_t active_flow_count() const { return flows_.size(); }
+  std::size_t active_flow_count() const { return flow_id_.size(); }
 
   /// Sum of allocated flow rates through the resource.
   BytesPerSec resource_load(ResourceId resource) const;
@@ -94,30 +101,40 @@ class FlowNetwork {
   Bytes total_bytes_delivered() const { return bytes_delivered_; }
 
   const std::string& resource_name(ResourceId resource) const;
-  std::size_t resource_count() const { return resources_.size(); }
+  std::size_t resource_count() const { return res_capacity_.size(); }
+
+  /// Opt-in approximate rating. Exact mode (the default) runs progressive
+  /// filling on every membership or capacity change. Approximate mode keeps
+  /// a snapshot of each contended resource's fair share (capacity / flow
+  /// count) from the last full rating and only re-rates everything when
+  /// some resource's live share drifts more than `epsilon` (relative) from
+  /// its snapshot; otherwise freshly started flows are rated single-pass
+  /// from live shares and existing rates are left stale. Rates are then a
+  /// bounded approximation of max-min: a full pass never oversubscribes a
+  /// resource, and between full passes the stale allocation is off by
+  /// O(epsilon). Deterministic either way — see docs/SIMULATOR.md.
+  void set_approximate_mode(bool on, double epsilon = 0.05);
+  bool approximate_mode() const { return approx_; }
+  double approximate_epsilon() const { return approx_eps_; }
+  /// Number of full rating passes skipped thanks to approximate mode.
+  std::uint64_t approx_rerates_skipped() const { return approx_skipped_; }
 
  private:
-  struct Resource {
-    std::string name;
-    BytesPerSec capacity = 0.0;
-    bool down = false;
-    BytesPerSec saved_capacity = 0.0;  ///< nominal capacity while down
-  };
-  struct Flow {
-    std::vector<ResourceId> path;
-    Bytes remaining = 0.0;
-    BytesPerSec rate = 0.0;
-    std::function<void()> on_complete;
-  };
+  static constexpr std::size_t kNoSlot = ~std::size_t{0};
+
+  /// Slot holding `id`, or kNoSlot. Flow slots are sorted by id, so this is
+  /// a binary search.
+  std::size_t find_slot(FlowId id) const;
+  void erase_slot(std::size_t slot);
 
   /// Integrate flow progress from last_update_ to now at current rates.
   void advance_to_now();
 
-  /// Progressive-filling max-min fair allocation over active flows.
-  /// Accumulates per-resource state in flat scratch vectors indexed by the
-  /// dense ResourceId (profiling showed per-call unordered_map churn here
-  /// dominating whole-run cost).
+  /// Re-rate every flow after a membership or capacity change: progressive
+  /// filling in exact mode, the snapshot/drift scheme in approximate mode.
   void recompute_rates();
+  void exact_rerate();
+  void approx_rerate();
 
   /// (Re)schedule the single next-completion event.
   void schedule_next_completion();
@@ -130,19 +147,38 @@ class FlowNetwork {
   void emit_loads();
 
   Simulator& sim_;
-  std::vector<Resource> resources_;
-  std::unordered_map<FlowId, Flow> flows_;
+
+  // Resource table (SoA, indexed by ResourceId).
+  std::vector<std::string> res_name_;
+  std::vector<BytesPerSec> res_capacity_;
+  std::vector<BytesPerSec> res_saved_capacity_;  ///< nominal while down
+  std::vector<std::uint8_t> res_down_;
+
+  // Flow table (SoA, indexed by dense slot; sorted by FlowId).
+  std::vector<FlowId> flow_id_;
+  std::vector<Bytes> flow_remaining_;
+  std::vector<BytesPerSec> flow_rate_;
+  std::vector<std::vector<ResourceId>> flow_path_;
+  std::vector<std::function<void()>> flow_on_complete_;
+
   FlowId next_flow_id_ = 1;
   Seconds last_update_ = 0.0;
   Bytes bytes_delivered_ = 0.0;
   /// Last-emitted `load:` counter value per resource (tracing only).
   std::vector<BytesPerSec> traced_load_;
-  /// Scratch buffers reused by recompute_rates(), indexed by ResourceId.
+  /// Scratch buffers reused by the rating passes, indexed by ResourceId.
   std::vector<double> scratch_cap_;
   std::vector<std::size_t> scratch_count_;
-  std::vector<Flow*> scratch_unfrozen_;
+  std::vector<std::uint32_t> scratch_unfrozen_;
   /// Generation counter invalidating superseded completion events.
   std::uint64_t schedule_generation_ = 0;
+
+  // Approximate-mode state.
+  bool approx_ = false;
+  double approx_eps_ = 0.05;
+  bool snap_valid_ = false;
+  std::vector<double> snap_share_;  ///< fair share at last full rating
+  std::uint64_t approx_skipped_ = 0;
 };
 
 /// Sentinel "never" time used for flows with zero rate.

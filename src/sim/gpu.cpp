@@ -123,8 +123,7 @@ void GpuExecutor::maybe_start_next() {
   if (running_ || (queue_.empty() && priority_queue_.empty())) return;
   advance_to_now();
   auto& source = priority_queue_.empty() ? queue_ : priority_queue_;
-  current_ = std::move(source.front());
-  source.pop_front();
+  current_ = source.pop_front();
   running_ = true;
   schedule_completion();
 }

@@ -8,9 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 
+#include "common/ring_buffer.hpp"
 #include "common/small_function.hpp"
 #include "common/units.hpp"
 #include "sim/simulator.hpp"
@@ -112,8 +112,10 @@ class GpuExecutor {
   double throughput_scale_ = 1.0;
   int tenant_count_ = 1;
 
-  std::deque<Task> queue_;
-  std::deque<Task> priority_queue_;
+  /// Flat FIFOs: task churn runs at event rate, and deque's chunked map
+  /// cost an allocation every few dozen pushes.
+  common::RingQueue<Task> queue_;
+  common::RingQueue<Task> priority_queue_;
   Task current_{};
   bool running_ = false;
   bool available_ = true;

@@ -7,34 +7,13 @@
 
 namespace autopipe::sim {
 
-namespace {
-// Tolerance for floating-point drift on event times (0.1 * 3 != 0.3). Shared
-// by at() and run_until() so an event computed as "now + k*dt" is treated as
-// on-time in both directions.
-constexpr Seconds kTimeSlack = 1e-12;
-}  // namespace
-
-void Simulator::at(Seconds t, Callback fn, const char* label) {
-  // Tolerate tiny negative drift from floating-point arithmetic on event
-  // times, but reject genuinely past scheduling, which indicates a logic bug.
-  AUTOPIPE_EXPECT_MSG(t >= now_ - kTimeSlack, "scheduling into the past: t="
-                                              << t << " now=" << now_);
-  if (queue_.capacity() == 0) queue_.reserve(256);
-  queue_.push_back(Event{std::max(t, now_), next_seq_++, std::move(fn),
-                         label});
-  std::push_heap(queue_.begin(), queue_.end(), Later{});
-}
-
-Simulator::Event Simulator::pop_event() {
-  std::pop_heap(queue_.begin(), queue_.end(), Later{});
-  Event ev = std::move(queue_.back());
-  queue_.pop_back();
-  return ev;
-}
-
-void Simulator::after(Seconds dt, Callback fn, const char* label) {
-  AUTOPIPE_EXPECT(dt >= 0.0);
-  at(now_ + dt, std::move(fn), label);
+Simulator::Simulator(EventQueueKind queue_kind)
+    : queue_kind_(queue_kind), queue_(make_event_queue(queue_kind)) {
+  if (queue_kind_ == EventQueueKind::kWheel) {
+    wheel_ = static_cast<TimingWheelEventQueue*>(queue_.get());
+  } else {
+    heap_ = static_cast<HeapEventQueue*>(queue_.get());
+  }
 }
 
 void Simulator::set_zero_progress_bound(std::uint64_t bound) {
@@ -43,23 +22,24 @@ void Simulator::set_zero_progress_bound(std::uint64_t bound) {
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // Move the event out before popping so the callback may schedule freely.
-  Event ev = pop_event();
-  // Zero-progress guard: a buggy schedule (e.g. a fault event rescheduling
-  // itself at `now`) would otherwise spin forever without advancing time.
-  if (ev.time == instant_time_) {
-    ++instant_events_;
-    AUTOPIPE_EXPECT_MSG(
-        instant_events_ <= zero_progress_bound_,
-        "zero progress: " << instant_events_ << " events executed at t="
-                          << ev.time << " without the clock advancing; "
-                          << "looping event: "
-                          << (ev.label ? ev.label : "(unlabelled)"));
-  } else {
-    instant_time_ = ev.time;
-    instant_events_ = 1;
+  if (wheel_ != nullptr) {
+    if (wheel_->empty()) return false;
+    // The event's closure runs in place in its pool node (addresses are
+    // stable across pushes from inside the callback); the node is recycled
+    // only after the callback returns.
+    const std::uint32_t n = wheel_->pop_node();
+    TimingWheelEventQueue::Node& nd = wheel_->node(n);
+    check_progress(nd.ev.time, nd.ev.label);
+    now_ = nd.ev.time;
+    ++events_processed_;
+    nd.ev.fn();
+    wheel_->release_node(n);
+    return true;
   }
+  if (heap_->empty()) return false;
+  // Move the event out before popping so the callback may schedule freely.
+  SimEvent ev = heap_->pop();
+  check_progress(ev.time, ev.label);
   now_ = ev.time;
   ++events_processed_;
   ev.fn();
@@ -77,7 +57,7 @@ void Simulator::run_until(Seconds t) {
   // event at exactly t (which must still run before the clock is pinned), and
   // an event computed as "now + k*dt" may land a few ulps past t. Both count
   // as "no later than t".
-  while (!queue_.empty() && queue_.front().time <= t + kTimeSlack) {
+  while (!empty() && peek_time() <= t + kTimeSlack) {
     step();
   }
   // step() may have set now_ slightly past t (within the slack); never move
@@ -85,9 +65,9 @@ void Simulator::run_until(Seconds t) {
   now_ = std::max(now_, t);
 }
 
-Seconds Simulator::next_event_time() const {
-  AUTOPIPE_EXPECT(!queue_.empty());
-  return queue_.front().time;
+Seconds Simulator::next_event_time() {
+  AUTOPIPE_EXPECT(!empty());
+  return peek_time();
 }
 
 }  // namespace autopipe::sim

@@ -5,13 +5,15 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <memory>
 
+#include "common/expect.hpp"
 #include "common/ledger.hpp"
 #include "common/metrics.hpp"
 #include "common/small_function.hpp"
 #include "common/trace.hpp"
 #include "common/units.hpp"
+#include "sim/event_queue.hpp"
 
 namespace autopipe::sim {
 
@@ -19,16 +21,23 @@ namespace autopipe::sim {
 /// number); the sequence number makes simultaneous events fire in scheduling
 /// order so runs are bit-for-bit reproducible.
 ///
-/// Hot-path discipline: a run executes millions of events, so the queue is a
-/// hand-rolled binary heap over a reused vector (no per-push node
-/// allocation, pops move the closure out instead of copying it) and the
-/// callback type is a move-only small-buffer closure — captures up to the
-/// inline budget never touch the allocator.
+/// Hot-path discipline: a run executes millions of events, so the queue is
+/// a pluggable EventQueue (a timing wheel by default, the reference binary
+/// heap behind AUTOPIPE_EVENT_QUEUE=heap — both dequeue in identical order)
+/// and the callback type is a move-only small-buffer closure — captures up
+/// to the inline budget never touch the allocator. The simulator holds a
+/// typed pointer to the concrete (final) queue next to the owning interface
+/// pointer, so scheduling and stepping are devirtualized and inlined; on the
+/// wheel a popped event's closure even runs in place in its pool node, so a
+/// closure is moved exactly once over its lifetime.
 class Simulator {
  public:
-  /// Inline capture budget: large enough for every scheduling site in the
-  /// sim (the largest captures a this-pointer plus a handful of scalars).
-  using Callback = common::SmallFunction<void(), 48>;
+  using Callback = SimEvent::Callback;
+
+  /// The queue implementation is fixed at construction;
+  /// default_event_queue_kind() honours the AUTOPIPE_EVENT_QUEUE
+  /// environment variable and otherwise picks the timing wheel.
+  explicit Simulator(EventQueueKind queue_kind = default_event_queue_kind());
 
   /// Current simulated time in seconds.
   Seconds now() const { return now_; }
@@ -36,10 +45,21 @@ class Simulator {
   /// Schedule `fn` at absolute time `t` (must not be in the past). The
   /// optional `label` must be a string literal (or otherwise outlive the
   /// event); it names the event in zero-progress diagnostics.
-  void at(Seconds t, Callback fn, const char* label = nullptr);
+  void at(Seconds t, Callback fn, const char* label = nullptr) {
+    // Tolerate tiny negative drift from floating-point arithmetic on event
+    // times, but reject genuinely past scheduling, which indicates a logic
+    // bug.
+    AUTOPIPE_EXPECT_MSG(t >= now_ - kTimeSlack,
+                        "scheduling into the past: t=" << t
+                                                       << " now=" << now_);
+    schedule(t, std::move(fn), label);
+  }
 
   /// Schedule `fn` `dt` seconds from now (dt >= 0).
-  void after(Seconds dt, Callback fn, const char* label = nullptr);
+  void after(Seconds dt, Callback fn, const char* label = nullptr) {
+    AUTOPIPE_EXPECT(dt >= 0.0);
+    schedule(now_ + dt, std::move(fn), label);
+  }
 
   /// Run the next pending event. Returns false when the queue is empty.
   /// Throws contract_error when more than zero_progress_bound() consecutive
@@ -50,11 +70,21 @@ class Simulator {
   /// Run until the event queue drains.
   void run();
 
-  /// Run events with time <= t, then advance the clock to exactly t.
+  /// Run events with time <= t, then advance the clock to exactly t. Event
+  /// timestamps are exact regardless of the queue's internal bucket
+  /// granularity: an event at t + one ulp stays unfired and the clock pins
+  /// to t precisely.
   void run_until(Seconds t);
 
-  bool empty() const { return queue_.empty(); }
+  bool empty() const {
+    return wheel_ != nullptr ? wheel_->empty() : heap_->empty();
+  }
   std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Events scheduled so far (the next sequence number). The differential
+  /// parity harness checks this alongside events_processed: two queue
+  /// implementations at parity must push and pop in lockstep.
+  std::uint64_t events_scheduled() const { return next_seq_; }
 
   /// Maximum number of consecutive events the loop will execute at one
   /// timestamp before declaring zero progress (default 1e6). The default is
@@ -63,8 +93,13 @@ class Simulator {
   void set_zero_progress_bound(std::uint64_t bound);
   std::uint64_t zero_progress_bound() const { return zero_progress_bound_; }
 
-  /// Time of the next pending event; only valid when !empty().
-  Seconds next_event_time() const;
+  /// Time of the next pending event; only valid when !empty(). Non-const:
+  /// the timing wheel settles its buckets lazily on first access.
+  Seconds next_event_time();
+
+  /// Which queue implementation this simulator was built with.
+  EventQueueKind queue_kind() const { return queue_kind_; }
+  const char* queue_name() const { return queue_->name(); }
 
   /// Event trace for this run. Disabled (and recording nothing) unless
   /// `tracer().set_enabled(true)` is called before the run.
@@ -81,22 +116,44 @@ class Simulator {
   const trace::DecisionLedger& ledger() const { return ledger_; }
 
  private:
-  struct Event {
-    Seconds time;
-    std::uint64_t seq;
-    Callback fn;
-    const char* label;  ///< static string naming the event, or nullptr
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  /// Tolerance for floating-point drift on event times (0.1 * 3 != 0.3).
+  /// Shared by at() and run_until() so an event computed as "now + k*dt" is
+  /// treated as on-time in both directions.
+  static constexpr Seconds kTimeSlack = 1e-12;
 
-  /// Remove and return the earliest event (heap pop with a move, never a
-  /// copy — Callback is move-only, so a copying pop would not compile).
-  Event pop_event();
+  /// Devirtualized scheduling: the prvalue event materializes straight into
+  /// the concrete queue's push parameter, whose body is inline.
+  void schedule(Seconds t, Callback&& fn, const char* label) {
+    const Seconds when = t < now_ ? now_ : t;
+    if (wheel_ != nullptr) {
+      wheel_->push(SimEvent{when, next_seq_++, std::move(fn), label});
+    } else {
+      heap_->push(SimEvent{when, next_seq_++, std::move(fn), label});
+    }
+  }
+
+  /// Zero-progress guard: a buggy schedule (e.g. a fault event rescheduling
+  /// itself at `now`) would otherwise spin forever without advancing time.
+  /// Keys on the event's exact timestamp, never on queue bucket
+  /// granularity, so it behaves identically under the heap and the wheel.
+  void check_progress(Seconds t, const char* label) {
+    if (t == instant_time_) {
+      ++instant_events_;
+      AUTOPIPE_EXPECT_MSG(
+          instant_events_ <= zero_progress_bound_,
+          "zero progress: " << instant_events_ << " events executed at t="
+                            << t << " without the clock advancing; "
+                            << "looping event: "
+                            << (label != nullptr ? label : "(unlabelled)"));
+    } else {
+      instant_time_ = t;
+      instant_events_ = 1;
+    }
+  }
+
+  Seconds peek_time() {
+    return wheel_ != nullptr ? wheel_->peek_time() : heap_->peek_time();
+  }
 
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
@@ -104,9 +161,12 @@ class Simulator {
   std::uint64_t zero_progress_bound_ = 1'000'000;
   Seconds instant_time_ = -1.0;       ///< timestamp of the current run
   std::uint64_t instant_events_ = 0;  ///< events executed at instant_time_
-  /// Binary min-heap on (time, seq) maintained with std::push_heap /
-  /// std::pop_heap; the vector's capacity is reused across the whole run.
-  std::vector<Event> queue_;
+  EventQueueKind queue_kind_;
+  std::unique_ptr<EventQueue> queue_;
+  /// Typed aliases of queue_ (exactly one non-null): the hot path calls the
+  /// final classes directly instead of through the vtable.
+  TimingWheelEventQueue* wheel_ = nullptr;
+  HeapEventQueue* heap_ = nullptr;
   trace::TraceRecorder tracer_;
   trace::MetricsRegistry metrics_;
   trace::DecisionLedger ledger_;

@@ -1,0 +1,86 @@
+// The shared golden-trace scenario: the fig3 shape in miniature, extracted
+// from trace_test.cpp so the differential parity harness can replay the
+// *same* committed-golden workload under both event-queue implementations.
+// Any edit here changes what the checked-in golden files assert — see
+// tests/golden/bandwidth_drop.trace.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/trace.hpp"
+#include "common/units.hpp"
+#include "models/zoo.hpp"
+#include "partition/partition.hpp"
+#include "pipeline/executor.hpp"
+#include "sim/cluster.hpp"
+#include "sim/trace.hpp"
+
+namespace autopipe::test_scenarios {
+
+/// A 5-layer convnet small enough that the golden trace stays reviewable.
+inline models::ModelSpec tiny_model() {
+  models::ConvNetBuilder b("tiny", 3, 32, 32);
+  b.conv("c1", 8, 3)
+      .maxpool("p1", 2, 2)
+      .conv("c2", 16, 3)
+      .global_avgpool("gap")
+      .fc("fc", 10);
+  return std::move(b).build(16);
+}
+
+struct GoldenCapture {
+  std::string text;
+  std::vector<trace::Event> events;
+};
+
+/// The fig3 shape in miniature: two single-GPU servers, a two-stage
+/// pipeline, an all-NIC bandwidth drop at iteration 5 and the response a
+/// controller would make — a stop-the-world switch at iteration 7 that
+/// shifts work toward the cheaper cut. One golden file then exercises
+/// every event family the analyzer classifies: compute, flows, saturated
+/// links and a reconfiguration window.
+///
+/// `kind` selects the event-queue implementation; the committed golden was
+/// recorded before the timing wheel existed, so byte-identity under
+/// kWheel *is* the semantic-preservation proof for the core rewrite.
+inline GoldenCapture run_golden_scenario(
+    sim::EventQueueKind kind = sim::default_event_queue_kind()) {
+  sim::Simulator sim(kind);
+  sim.tracer().set_enabled(true);
+  sim::ClusterConfig config;
+  config.num_servers = 2;
+  config.gpus_per_server = 1;
+  config.nic_bandwidth = gbps(10);
+  sim::Cluster cluster(sim, config);
+
+  const auto model = tiny_model();
+  const std::size_t L = model.num_layers();
+  const auto initial = partition::Partition::even_split(L, {0, 1});
+  // Pull the cut back to after the pool layer: smaller activations cross
+  // the (now slow) wire, and the second conv's weights migrate.
+  const partition::Partition next({{0, 1, {0}}, {2, L - 1, {1}}}, L);
+  pipeline::PipelineExecutor executor(cluster, model, initial,
+                                      pipeline::ExecutorConfig{});
+  sim::ResourceTrace rtrace;
+  rtrace.at_iteration(5, sim::ResourceTrace::set_all_nic_bandwidth(gbps(1)));
+  executor.set_iteration_callback([&](std::size_t iters) {
+    rtrace.apply_iteration(iters, cluster);
+    if (iters == 7) {
+      executor.request_switch(
+          next, pipeline::PipelineExecutor::SwitchMode::kStopTheWorld);
+    }
+  });
+  executor.run(12, 2);
+
+  GoldenCapture capture;
+  std::ostringstream os;
+  sim.tracer().write_text(os);
+  capture.text = os.str();
+  capture.events = sim.tracer().events();
+  return capture;
+}
+
+}  // namespace autopipe::test_scenarios

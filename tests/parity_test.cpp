@@ -1,0 +1,136 @@
+// Differential parity tier (ctest label `parity`): the timing-wheel event
+// queue must be *observationally identical* to the reference binary heap.
+// Full AutoPipe scenarios — executor + controller + seeded random fault
+// plans + background-tenant churn — run once per queue kind and every
+// artifact is compared byte-for-byte: trace text, decision ledger, metrics,
+// iteration end times (bit-exact doubles) and the push/pop counters.
+//
+// 50 seeds × (faults + churn) is the acceptance bar for the core rewrite;
+// a handful of structural cases (fault-free, churn-free, golden scenario)
+// pin down the axes separately.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "golden_scenario.hpp"
+#include "parity/differential.hpp"
+
+namespace autopipe {
+namespace {
+
+using parity::Divergence;
+using parity::ScenarioConfig;
+using parity::ScenarioResult;
+
+// ---------------------------------------------------------------------------
+// Seeded differential sweep: the acceptance bar
+// ---------------------------------------------------------------------------
+
+class ParitySeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParitySeeds, HeapAndWheelAreByteIdentical) {
+  ScenarioConfig config;
+  config.seed = GetParam();
+  config.inject_faults = true;
+  config.background_churn = true;
+  const Divergence d = parity::run_differential(config);
+  EXPECT_TRUE(d.identical) << d.report;
+}
+
+INSTANTIATE_TEST_SUITE_P(FiftySeeds, ParitySeeds,
+                         ::testing::Range<std::uint64_t>(1, 51));
+
+// ---------------------------------------------------------------------------
+// Structural cases: each chaos axis alone
+// ---------------------------------------------------------------------------
+
+TEST(Parity, FaultFreeScenarioIsByteIdentical) {
+  ScenarioConfig config;
+  config.seed = 7;
+  config.inject_faults = false;
+  config.background_churn = false;
+  const Divergence d = parity::run_differential(config);
+  EXPECT_TRUE(d.identical) << d.report;
+}
+
+TEST(Parity, FaultsOnlyScenarioIsByteIdentical) {
+  ScenarioConfig config;
+  config.seed = 11;
+  config.inject_faults = true;
+  config.background_churn = false;
+  const Divergence d = parity::run_differential(config);
+  EXPECT_TRUE(d.identical) << d.report;
+}
+
+TEST(Parity, ChurnOnlyScenarioIsByteIdentical) {
+  ScenarioConfig config;
+  config.seed = 13;
+  config.inject_faults = false;
+  config.background_churn = true;
+  const Divergence d = parity::run_differential(config);
+  EXPECT_TRUE(d.identical) << d.report;
+}
+
+TEST(Parity, SameSeedReplaysByteIdenticalPerQueue) {
+  // Determinism within one queue kind is a precondition for the
+  // cross-queue comparison to mean anything.
+  ScenarioConfig config;
+  config.seed = 17;
+  for (const auto kind :
+       {sim::EventQueueKind::kHeap, sim::EventQueueKind::kWheel}) {
+    const ScenarioResult a = parity::run_scenario(config, kind);
+    const ScenarioResult b = parity::run_scenario(config, kind);
+    const Divergence d = parity::compare(a, b);
+    EXPECT_TRUE(d.identical) << a.queue_name << " replay diverged:\n"
+                             << d.report;
+  }
+}
+
+TEST(Parity, DivergenceReportNamesFirstDifference) {
+  ScenarioResult a;
+  a.trace_text = "line one\nline two\n";
+  a.metrics_text = "m=1\n";
+  ScenarioResult b = a;
+  b.trace_text = "line one\nline 2\n";
+  const Divergence d = parity::compare(a, b);
+  ASSERT_FALSE(d.identical);
+  EXPECT_NE(d.report.find("trace: first divergence at line 2"),
+            std::string::npos);
+  EXPECT_NE(d.report.find("line two"), std::string::npos);
+  EXPECT_NE(d.report.find("line 2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The committed golden under both queues
+// ---------------------------------------------------------------------------
+
+TEST(Parity, GoldenScenarioIdenticalUnderBothQueues) {
+  const auto heap =
+      test_scenarios::run_golden_scenario(sim::EventQueueKind::kHeap);
+  const auto wheel =
+      test_scenarios::run_golden_scenario(sim::EventQueueKind::kWheel);
+  EXPECT_FALSE(heap.text.empty());
+  EXPECT_EQ(heap.text, wheel.text);
+}
+
+TEST(Parity, GoldenScenarioWheelMatchesCheckedInGolden) {
+  // The committed golden predates the timing wheel; matching it under the
+  // wheel is the semantic-preservation proof for the core rewrite. This
+  // test never regenerates — a mismatch means the rewrite changed
+  // semantics and must be investigated, not re-recorded.
+  const std::string path =
+      std::string(AUTOPIPE_GOLDEN_DIR) + "/bandwidth_drop.trace";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  const auto wheel =
+      test_scenarios::run_golden_scenario(sim::EventQueueKind::kWheel);
+  EXPECT_EQ(wheel.text, golden.str());
+}
+
+}  // namespace
+}  // namespace autopipe

@@ -6,13 +6,20 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <deque>
+#include <limits>
 #include <memory>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "baselines/data_parallel.hpp"
 #include "comm/collective.hpp"
+#include "common/ring_buffer.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "sim/event_queue.hpp"
 #include "convergence/dataset.hpp"
 #include "convergence/staleness_sgd.hpp"
 #include "models/zoo.hpp"
@@ -412,6 +419,210 @@ TEST_P(RandomModelPlanner, PlanSatisfiesPartitionInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(RandomLayerGraphs, RandomModelPlanner,
                          ::testing::Range(0, 200));
+
+// ---------------------------------------------------------------------------
+// Event-queue properties: the timing wheel against a sorted-vector oracle
+// ---------------------------------------------------------------------------
+
+/// The oracle: (time, seq) pairs; the minimum under (time, then seq) is
+/// what any correct queue must dequeue next.
+using OracleEntry = std::pair<Seconds, std::uint64_t>;
+
+std::size_t oracle_min(const std::vector<OracleEntry>& oracle) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < oracle.size(); ++i) {
+    if (oracle[i].first < oracle[best].first ||
+        (oracle[i].first == oracle[best].first &&
+         oracle[i].second < oracle[best].second)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+class EventQueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueFuzz, RandomScheduleMatchesOracleOnBothQueues) {
+  // Random interleavings of pushes (times spanning the near heap, all three
+  // wheel levels, the overflow horizon and +inf) and pops; after every pop
+  // both queues must agree with the oracle's (time, seq) minimum exactly.
+  Rng rng(GetParam() * 7919 + 1);
+  sim::TimingWheelEventQueue wheel;
+  sim::HeapEventQueue heap;
+  std::vector<OracleEntry> oracle;
+  std::uint64_t seq = 0;
+  Seconds watermark = 0.0;  // last popped time: pushes never go backwards
+
+  for (int op = 0; op < 4000; ++op) {
+    const bool push = oracle.empty() || rng.chance(0.55);
+    if (push) {
+      Seconds t;
+      switch (rng.uniform_int(0, 6)) {
+        case 0: t = watermark; break;  // exact tie: FIFO must decide
+        case 1: t = watermark + rng.uniform(0.0, 0.0005); break;  // same tick
+        case 2: t = watermark + rng.uniform(0.0, 2.0); break;     // level 0/1
+        case 3: t = watermark + rng.uniform(0.0, 400.0); break;   // level 1/2
+        case 4: t = watermark + rng.uniform(0.0, 5e4); break;     // level 2
+        case 5: t = watermark + 2e7; break;  // beyond horizon: overflow
+        default: t = std::numeric_limits<Seconds>::infinity(); break;
+      }
+      wheel.push(sim::SimEvent{t, seq, {}, nullptr});
+      heap.push(sim::SimEvent{t, seq, {}, nullptr});
+      oracle.emplace_back(t, seq);
+      ++seq;
+    } else {
+      const std::size_t want = oracle_min(oracle);
+      ASSERT_EQ(wheel.peek_time(), oracle[want].first);
+      const sim::SimEvent got_w = wheel.pop();
+      const sim::SimEvent got_h = heap.pop();
+      ASSERT_EQ(got_w.time, oracle[want].first);
+      ASSERT_EQ(got_w.seq, oracle[want].second);
+      ASSERT_EQ(got_h.time, got_w.time);
+      ASSERT_EQ(got_h.seq, got_w.seq);
+      if (std::isfinite(got_w.time)) watermark = got_w.time;
+      oracle.erase(oracle.begin() + static_cast<std::ptrdiff_t>(want));
+    }
+    ASSERT_EQ(wheel.size(), oracle.size());
+    ASSERT_EQ(wheel.empty(), oracle.empty());
+  }
+  // Drain: the remaining events must come out fully sorted on both queues.
+  while (!oracle.empty()) {
+    const std::size_t want = oracle_min(oracle);
+    const sim::SimEvent got_w = wheel.pop();
+    const sim::SimEvent got_h = heap.pop();
+    ASSERT_EQ(got_w.time, oracle[want].first);
+    ASSERT_EQ(got_w.seq, oracle[want].second);
+    ASSERT_EQ(got_h.seq, got_w.seq);
+    oracle.erase(oracle.begin() + static_cast<std::ptrdiff_t>(want));
+  }
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_TRUE(heap.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+TEST(EventQueueProperty, SameTimestampDequeuesInSchedulingOrder) {
+  // 500 events at one instant: (time, seq) FIFO is the whole contract.
+  sim::TimingWheelEventQueue wheel;
+  for (std::uint64_t s = 0; s < 500; ++s)
+    wheel.push(sim::SimEvent{1.5, s, {}, nullptr});
+  for (std::uint64_t s = 0; s < 500; ++s) {
+    const sim::SimEvent ev = wheel.pop();
+    ASSERT_EQ(ev.time, 1.5);
+    ASSERT_EQ(ev.seq, s);
+  }
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(EventQueueProperty, CascadesAcrossLevelBoundaries) {
+  // Times striding every level-0 window edge and well into level 1 and 2;
+  // pushed shuffled, must dequeue sorted. Exercises cascade_slot re-basing
+  // (the bug class where a stale coarse bucket captures near events).
+  Rng rng(42);
+  std::vector<Seconds> times;
+  for (int i = 0; i < 800; ++i)
+    times.push_back(static_cast<Seconds>(i) * 0.37);  // 0 .. ~296 s
+  std::vector<Seconds> shuffled = times;
+  rng.shuffle(shuffled);
+
+  sim::TimingWheelEventQueue wheel;
+  std::uint64_t seq = 0;
+  for (const Seconds t : shuffled)
+    wheel.push(sim::SimEvent{t, seq++, {}, nullptr});
+  Seconds prev = -1.0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const sim::SimEvent ev = wheel.pop();
+    ASSERT_GT(ev.time, prev);
+    prev = ev.time;
+  }
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(EventQueueProperty, FarFutureEventsWaitInOverflowAndRepage) {
+  sim::TimingWheelEventQueue wheel;
+  // Beyond the three-level horizon (~16777 s): overflow list.
+  wheel.push(sim::SimEvent{3e7, 0, {}, nullptr});
+  wheel.push(sim::SimEvent{1.0, 1, {}, nullptr});
+  ASSERT_EQ(wheel.pop().seq, 1u);
+  // Draining the levels re-pages the wheel around the overflow tick …
+  ASSERT_EQ(wheel.peek_time(), 3e7);
+  // … after which nearer events can still be scheduled and win again.
+  wheel.push(sim::SimEvent{3e7 - 1.0, 2, {}, nullptr});
+  ASSERT_EQ(wheel.pop().seq, 2u);
+  ASSERT_EQ(wheel.pop().seq, 0u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(EventQueueProperty, InfiniteTimesDegradeToExactHeapMode) {
+  sim::TimingWheelEventQueue wheel;
+  const Seconds inf = std::numeric_limits<Seconds>::infinity();
+  wheel.push(sim::SimEvent{inf, 0, {}, nullptr});
+  wheel.push(sim::SimEvent{inf, 1, {}, nullptr});
+  wheel.push(sim::SimEvent{2.0, 2, {}, nullptr});
+  ASSERT_EQ(wheel.pop().seq, 2u);
+  // Only unrepresentable ticks remain: the wheel re-pages into pure-heap
+  // mode. New finite pushes must still dequeue before the infinite ones,
+  // and the infinite ones FIFO among themselves.
+  ASSERT_EQ(wheel.peek_time(), inf);
+  wheel.push(sim::SimEvent{5.0, 3, {}, nullptr});
+  ASSERT_EQ(wheel.pop().seq, 3u);
+  ASSERT_EQ(wheel.pop().seq, 0u);
+  ASSERT_EQ(wheel.pop().seq, 1u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+// ---------------------------------------------------------------------------
+// RingQueue (the deque replacement in GPU executors) vs a deque oracle
+// ---------------------------------------------------------------------------
+
+class RingQueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RingQueueFuzz, RandomOpsMatchDequeOracle) {
+  Rng rng(GetParam() * 104729 + 3);
+  common::RingQueue<int> ring;
+  std::deque<int> oracle;
+  int next = 0;
+  for (int op = 0; op < 5000; ++op) {
+    const int kind = static_cast<int>(rng.uniform_int(0, 99));
+    if (oracle.empty() || kind < 55) {
+      ring.push_back(next);
+      oracle.push_back(next);
+      ++next;
+    } else if (kind < 95) {
+      ASSERT_EQ(ring.front(), oracle.front());
+      ASSERT_EQ(ring.pop_front(), oracle.front());
+      oracle.pop_front();
+    } else {
+      ring.clear();
+      oracle.clear();
+    }
+    ASSERT_EQ(ring.size(), oracle.size());
+    ASSERT_EQ(ring.empty(), oracle.empty());
+    if (!oracle.empty()) ASSERT_EQ(ring.front(), oracle.front());
+  }
+  while (!oracle.empty()) {
+    ASSERT_EQ(ring.pop_front(), oracle.front());
+    oracle.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingQueueFuzz,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(RingQueueProperty, MoveOnlyPayloadsReleaseOnPop) {
+  // pop_front resets the slot, so a move-only payload's resources are
+  // released immediately — the property GpuExecutor task queues rely on.
+  common::RingQueue<std::unique_ptr<int>> ring;
+  for (int i = 0; i < 40; ++i) ring.push_back(std::make_unique<int>(i));
+  for (int i = 0; i < 40; ++i) {
+    auto p = ring.pop_front();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, i);
+  }
+  EXPECT_TRUE(ring.empty());
+}
 
 }  // namespace
 }  // namespace autopipe

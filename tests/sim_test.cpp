@@ -3,6 +3,10 @@
 // contention changes, the cluster topology and resource traces.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/expect.hpp"
@@ -508,6 +512,274 @@ TEST(BackgroundWorkload, DeterministicAndBalanced) {
     EXPECT_EQ(cluster.gpu(w).tenant_count(), 1);
   for (std::size_t s = 0; s < cluster.num_servers(); ++s)
     EXPECT_NEAR(cluster.nic_bandwidth(s), gbps(100), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Timing-wheel semantics: exact timestamps despite bucketed placement.
+// Every case runs under both queue kinds — same observable behaviour.
+// ---------------------------------------------------------------------------
+
+const EventQueueKind kBothKinds[] = {EventQueueKind::kHeap,
+                                     EventQueueKind::kWheel};
+
+TEST(SimulatorWheel, RunUntilPinsClockInsideABucket) {
+  // 0.01000 and 0.01005 share one wheel tick (tick width 1/1024 s ≈
+  // 0.977 ms). run_until at a point between them must fire only the first,
+  // pin the clock to *exactly* the requested time — not a bucket edge —
+  // and leave the later same-bucket event pending.
+  for (const EventQueueKind kind : kBothKinds) {
+    Simulator sim(kind);
+    std::vector<double> fired;
+    sim.at(0.01000, [&] { fired.push_back(sim.now()); });
+    sim.at(0.01005, [&] { fired.push_back(sim.now()); });
+    sim.run_until(0.01002);
+    ASSERT_EQ(fired.size(), 1u) << sim.queue_name();
+    EXPECT_EQ(fired[0], 0.01000);
+    EXPECT_EQ(sim.now(), 0.01002);  // bit-exact, not rounded to a tick
+    EXPECT_FALSE(sim.empty());
+    sim.run();
+    ASSERT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[1], 0.01005);
+    EXPECT_EQ(sim.now(), 0.01005);
+  }
+}
+
+TEST(SimulatorWheel, NonTickAlignedTimesFireExactly) {
+  // 1/3 s is not representable as a tick multiple; the event must still
+  // fire at the exact double it was scheduled at.
+  for (const EventQueueKind kind : kBothKinds) {
+    Simulator sim(kind);
+    const Seconds t = 1.0 / 3.0;
+    Seconds observed = -1.0;
+    sim.at(t, [&] { observed = sim.now(); });
+    sim.run();
+    EXPECT_EQ(observed, t) << sim.queue_name();  // ==, not NEAR
+  }
+}
+
+TEST(SimulatorWheel, WatchdogStyleCadenceKeepsExactInstants) {
+  // An EMA-watchdog-style self-rescheduling cadence: fires at k * dt with
+  // dt a non-tick-aligned period. Accumulated drift must stay within the
+  // simulator's own float-slack model — each firing lands on the exact
+  // double the previous callback computed.
+  for (const EventQueueKind kind : kBothKinds) {
+    Simulator sim(kind);
+    const Seconds dt = 0.0007;  // sub-tick period: many events per bucket
+    std::vector<Seconds> scheduled;
+    std::vector<Seconds> observed;
+    std::function<void()> tick = [&] {
+      observed.push_back(sim.now());
+      if (observed.size() < 50) {
+        const Seconds next = sim.now() + dt;
+        scheduled.push_back(next);
+        sim.after(dt, [&] { tick(); }, "watchdog");
+      }
+    };
+    scheduled.push_back(0.001);
+    sim.at(0.001, [&] { tick(); }, "watchdog");
+    sim.run();
+    ASSERT_EQ(observed.size(), 50u);
+    for (std::size_t i = 0; i < observed.size(); ++i)
+      EXPECT_EQ(observed[i], scheduled[i]) << sim.queue_name() << " @" << i;
+  }
+}
+
+TEST(SimulatorWheel, ZeroProgressGuardTripsIdenticallyUnderBothQueues) {
+  for (const EventQueueKind kind : kBothKinds) {
+    Simulator sim(kind);
+    sim.set_zero_progress_bound(64);
+    std::function<void()> loop = [&] { sim.at(sim.now(), [&] { loop(); }, "spin"); };
+    sim.at(1.0, [&] { loop(); }, "spin");
+    EXPECT_THROW(sim.run(), contract_error) << sim.queue_name();
+  }
+}
+
+TEST(SimulatorWheel, LegitimateSameInstantCascadeStaysUnderGuard) {
+  // A same-timestamp cascade shorter than the bound must complete: the
+  // guard keys on exact event timestamps, not on wheel bucket occupancy
+  // (many distinct timestamps share one bucket and must not count as one
+  // instant).
+  for (const EventQueueKind kind : kBothKinds) {
+    Simulator sim(kind);
+    sim.set_zero_progress_bound(64);
+    int chained = 0;
+    std::function<void()> chain = [&] {
+      if (++chained < 40) sim.at(sim.now(), [&] { chain(); });
+    };
+    sim.at(1.0, [&] { chain(); });
+    // Distinct-but-same-bucket timestamps: each resets the instant counter.
+    for (int i = 0; i < 200; ++i)
+      sim.at(2.0 + static_cast<Seconds>(i) * 1e-6, [] {});
+    sim.run();
+    EXPECT_EQ(chained, 40) << sim.queue_name();
+  }
+}
+
+TEST(SimulatorWheel, QueueKindIsReportedAndEnvDefaultHolds) {
+  Simulator wheel(EventQueueKind::kWheel);
+  Simulator heap(EventQueueKind::kHeap);
+  EXPECT_STREQ(wheel.queue_name(), "wheel");
+  EXPECT_STREQ(heap.queue_name(), "heap");
+  EXPECT_EQ(wheel.queue_kind(), EventQueueKind::kWheel);
+  EXPECT_EQ(heap.queue_kind(), EventQueueKind::kHeap);
+  EXPECT_THROW(parse_event_queue_kind("calendar"), contract_error);
+  EXPECT_EQ(parse_event_queue_kind("heap"), EventQueueKind::kHeap);
+  EXPECT_EQ(parse_event_queue_kind("wheel"), EventQueueKind::kWheel);
+}
+
+// ---------------------------------------------------------------------------
+// Approximate flow mode: exact by default, bounded error when opted in
+// ---------------------------------------------------------------------------
+
+TEST(ApproxFlow, ExactModeIsTheDefaultEverywhere) {
+  Simulator sim;
+  FlowNetwork net(sim);
+  EXPECT_FALSE(net.approximate_mode());
+  ClusterConfig config;
+  Cluster cluster(sim, config);
+  EXPECT_FALSE(cluster.network().approximate_mode());
+  EXPECT_EQ(net.approx_rerates_skipped(), 0u);
+}
+
+/// Shared fig3/fig9-style workload: staggered cross-resource transfers with
+/// a mid-run capacity drop and recovery. Returns the completion time of the
+/// last flow and the total bytes delivered at a fixed probe instant.
+struct FlowWorkloadOutcome {
+  Seconds last_completion = 0.0;
+  Bytes delivered_at_probe = 0.0;
+  std::uint64_t skipped = 0;
+};
+
+FlowWorkloadOutcome run_flow_workload(BytesPerSec bandwidth, bool approx,
+                                      double epsilon) {
+  Simulator sim;
+  FlowNetwork net(sim);
+  if (approx) net.set_approximate_mode(true, epsilon);
+  const ResourceId nic_a = net.add_resource("a.nic", bandwidth);
+  const ResourceId nic_b = net.add_resource("b.nic", bandwidth);
+
+  FlowWorkloadOutcome out;
+  // 24 staggered transfers; odd ones traverse both NICs (fig9's
+  // cross-server contention), even ones only the first.
+  for (int i = 0; i < 24; ++i) {
+    const Seconds start = static_cast<Seconds>(i) * 0.02;
+    sim.at(start, [&net, &out, &sim, nic_a, nic_b, i, bandwidth] {
+      FlowSpec spec;
+      spec.path = (i % 2 == 0) ? std::vector<ResourceId>{nic_a}
+                               : std::vector<ResourceId>{nic_a, nic_b};
+      spec.bytes = bandwidth * 0.05;  // ≈50 ms of solo wire time each
+      spec.on_complete = [&out, &sim] { out.last_completion = sim.now(); };
+      net.start_flow(std::move(spec));
+    });
+  }
+  // fig3's mid-run fluctuation: capacity halves, then recovers.
+  sim.at(0.3, [&net, nic_a, bandwidth] {
+    net.set_capacity(nic_a, bandwidth * 0.5);
+  });
+  sim.at(0.8, [&net, nic_a, bandwidth] {
+    net.set_capacity(nic_a, bandwidth);
+  });
+  sim.at(0.6, [&net, &out] { out.delivered_at_probe = net.total_bytes_delivered(); });
+  sim.run();
+  out.skipped = net.approx_rerates_skipped();
+  return out;
+}
+
+class ApproxFlowGrid : public ::testing::TestWithParam<double> {};
+
+TEST_P(ApproxFlowGrid, ThroughputErrorBoundedByEpsilon) {
+  // The documented contract (docs/SIMULATOR.md): between full rating
+  // passes the stale allocation is off by O(epsilon). Over a whole
+  // workload the relative throughput error stays within a small multiple
+  // of epsilon; 3x covers drift compounding across membership changes.
+  const BytesPerSec bandwidth = gbps(GetParam());
+  const double epsilon = 0.05;
+  const FlowWorkloadOutcome exact =
+      run_flow_workload(bandwidth, /*approx=*/false, epsilon);
+  const FlowWorkloadOutcome approx =
+      run_flow_workload(bandwidth, /*approx=*/true, epsilon);
+
+  ASSERT_GT(exact.last_completion, 0.0);
+  ASSERT_GT(approx.last_completion, 0.0);
+  const double completion_err =
+      std::abs(approx.last_completion - exact.last_completion) /
+      exact.last_completion;
+  EXPECT_LE(completion_err, 3.0 * epsilon)
+      << "bandwidth=" << bandwidth << " exact=" << exact.last_completion
+      << " approx=" << approx.last_completion;
+  ASSERT_GT(exact.delivered_at_probe, 0.0);
+  const double delivered_err =
+      std::abs(approx.delivered_at_probe - exact.delivered_at_probe) /
+      exact.delivered_at_probe;
+  EXPECT_LE(delivered_err, 3.0 * epsilon);
+  // The mode must actually be skipping work, or it is pointless.
+  EXPECT_GT(approx.skipped, 0u);
+  EXPECT_EQ(exact.skipped, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig3Bandwidths, ApproxFlowGrid,
+                         ::testing::Values(1.0, 5.0, 10.0, 25.0, 50.0,
+                                           100.0));
+
+TEST(ApproxFlow, ApproximateRunsAreDeterministic) {
+  const FlowWorkloadOutcome a = run_flow_workload(gbps(10), true, 0.05);
+  const FlowWorkloadOutcome b = run_flow_workload(gbps(10), true, 0.05);
+  EXPECT_EQ(a.last_completion, b.last_completion);
+  EXPECT_EQ(a.delivered_at_probe, b.delivered_at_probe);
+  EXPECT_EQ(a.skipped, b.skipped);
+}
+
+TEST(ApproxFlow, StaleDriftIsBoundedAndExactReratingRestoresFeasibility) {
+  // The documented contract: a *full* rating pass never oversubscribes;
+  // between passes stale rates may transiently overshoot by O(epsilon).
+  // With epsilon = 0.05 the drift trigger fires as soon as a resource's
+  // live share moves 5% off its snapshot, so the load can never exceed
+  // capacity by more than ~2 epsilon.
+  Simulator sim;
+  FlowNetwork net(sim);
+  const double epsilon = 0.05;
+  net.set_approximate_mode(true, epsilon);
+  const ResourceId r = net.add_resource("r", 100.0);
+  std::vector<FlowId> flows;
+  for (int i = 0; i < 8; ++i) {
+    flows.push_back(net.start_flow(FlowSpec{{r}, 1e4, nullptr}));
+    EXPECT_LE(net.resource_load(r), 100.0 * (1.0 + 2.0 * epsilon))
+        << "after flow " << i;
+  }
+  // Dropping back to exact mode forces a progressive-filling pass: the
+  // allocation must be exactly feasible (and saturating) again.
+  net.set_approximate_mode(false);
+  EXPECT_LE(net.resource_load(r), 100.0 * (1.0 + 1e-9));
+  EXPECT_NEAR(net.resource_load(r), 100.0, 1e-6);
+  for (const FlowId f : flows) net.cancel_flow(f);
+  EXPECT_DOUBLE_EQ(net.resource_load(r), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fault instants under the wheel: exact timestamps, not bucket edges
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorWheel, FaultInstantsFireAtExactTimestamps) {
+  // 0.123456 s is far from any tick edge. The worker-state callback must
+  // observe the transition at that exact double under both queues.
+  for (const EventQueueKind kind : kBothKinds) {
+    Simulator sim(kind);
+    ClusterConfig config;
+    config.num_servers = 2;
+    config.gpus_per_server = 1;
+    Cluster cluster(sim, config);
+    std::vector<std::pair<Seconds, bool>> transitions;
+    cluster.set_worker_state_callback(
+        [&](WorkerId, bool up) { transitions.emplace_back(sim.now(), up); });
+    sim.at(0.123456, [&] { cluster.set_worker_down(0); });
+    sim.at(0.654321, [&] { cluster.set_worker_up(0); });
+    sim.run();
+    ASSERT_EQ(transitions.size(), 2u) << sim.queue_name();
+    EXPECT_EQ(transitions[0].first, 0.123456);
+    EXPECT_FALSE(transitions[0].second);
+    EXPECT_EQ(transitions[1].first, 0.654321);
+    EXPECT_TRUE(transitions[1].second);
+  }
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "common/units.hpp"
+#include "golden_scenario.hpp"
 #include "models/zoo.hpp"
 #include "partition/partition.hpp"
 #include "pipeline/executor.hpp"
@@ -150,66 +151,13 @@ TEST(TraceRecorder, TextFormatIsStable) {
 }
 
 // ---------------------------------------------------------------------------
-// Scenario helpers
+// Scenario helpers (the golden scenario itself lives in golden_scenario.hpp,
+// shared with the differential parity harness)
 // ---------------------------------------------------------------------------
 
-/// A 5-layer convnet small enough that the golden trace stays reviewable.
-models::ModelSpec tiny_model() {
-  models::ConvNetBuilder b("tiny", 3, 32, 32);
-  b.conv("c1", 8, 3)
-      .maxpool("p1", 2, 2)
-      .conv("c2", 16, 3)
-      .global_avgpool("gap")
-      .fc("fc", 10);
-  return std::move(b).build(16);
-}
-
-struct GoldenCapture {
-  std::string text;
-  std::vector<Event> events;
-};
-
-/// The fig3 shape in miniature: two single-GPU servers, a two-stage
-/// pipeline, an all-NIC bandwidth drop at iteration 5 and the response a
-/// controller would make — a stop-the-world switch at iteration 7 that
-/// shifts work toward the cheaper cut. One golden file then exercises
-/// every event family the analyzer classifies: compute, flows, saturated
-/// links and a reconfiguration window.
-GoldenCapture run_golden_scenario() {
-  sim::Simulator sim;
-  sim.tracer().set_enabled(true);
-  sim::ClusterConfig config;
-  config.num_servers = 2;
-  config.gpus_per_server = 1;
-  config.nic_bandwidth = gbps(10);
-  sim::Cluster cluster(sim, config);
-
-  const auto model = tiny_model();
-  const std::size_t L = model.num_layers();
-  const auto initial = partition::Partition::even_split(L, {0, 1});
-  // Pull the cut back to after the pool layer: smaller activations cross
-  // the (now slow) wire, and the second conv's weights migrate.
-  const partition::Partition next({{0, 1, {0}}, {2, L - 1, {1}}}, L);
-  pipeline::PipelineExecutor executor(cluster, model, initial,
-                                      pipeline::ExecutorConfig{});
-  sim::ResourceTrace rtrace;
-  rtrace.at_iteration(5, sim::ResourceTrace::set_all_nic_bandwidth(gbps(1)));
-  executor.set_iteration_callback([&](std::size_t iters) {
-    rtrace.apply_iteration(iters, cluster);
-    if (iters == 7) {
-      executor.request_switch(
-          next, pipeline::PipelineExecutor::SwitchMode::kStopTheWorld);
-    }
-  });
-  executor.run(12, 2);
-
-  GoldenCapture capture;
-  std::ostringstream os;
-  sim.tracer().write_text(os);
-  capture.text = os.str();
-  capture.events = sim.tracer().events();
-  return capture;
-}
+using test_scenarios::GoldenCapture;
+using test_scenarios::run_golden_scenario;
+using test_scenarios::tiny_model;
 
 struct SwitchCapture {
   std::vector<Event> events;

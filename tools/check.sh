@@ -8,6 +8,7 @@
 #   tools/check.sh --sanitize     # ASan+UBSan build in build-asan/
 #   tools/check.sh --ledger-smoke # build + ledger smoke only (fast)
 #   tools/check.sh --sweep-smoke  # build + baseline-gated sweep only (fast)
+#   tools/check.sh --parity       # build + heap-vs-wheel differential only
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -17,6 +18,7 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 cmake_args=()
 ledger_smoke_only=0
 sweep_smoke_only=0
+parity_only=0
 if [[ "${1:-}" == "--sanitize" ]]; then
   build="${BUILD_DIR:-$repo/build-asan}"
   cmake_args+=(-DAUTOPIPE_SANITIZE=ON)
@@ -26,8 +28,10 @@ elif [[ "${1:-}" == "--ledger-smoke" ]]; then
   ledger_smoke_only=1
 elif [[ "${1:-}" == "--sweep-smoke" ]]; then
   sweep_smoke_only=1
+elif [[ "${1:-}" == "--parity" ]]; then
+  parity_only=1
 elif [[ $# -gt 0 ]]; then
-  echo "usage: tools/check.sh [--sanitize|--ledger-smoke|--sweep-smoke]" >&2
+  echo "usage: tools/check.sh [--sanitize|--ledger-smoke|--sweep-smoke|--parity]" >&2
   exit 2
 fi
 
@@ -45,6 +49,17 @@ ledger_smoke() {
   "$build/tools/autopipe_trace" decisions "$tmp/run.ledger" --check
   "$build/tools/autopipe_trace" calibration \
       "$tmp/run.ledger" "$tmp/run.trace" --json > /dev/null
+}
+
+# Heap-vs-wheel differential: the same chaos scenarios through the binary
+# heap (reference) and the timing wheel (candidate) must produce
+# byte-identical traces, ledgers, metrics and iteration timelines. On
+# divergence the harness drops per-seed artifacts under
+# $build/parity-artifacts (see docs/SIMULATOR.md).
+parity_smoke() {
+  echo "== parity smoke =="
+  "$build/bench/parity_harness" --seeds=12 --jobs=4 \
+      --artifacts="$build/parity-artifacts"
 }
 
 # The committed smoke sweep gated against its committed baseline: simulated
@@ -76,6 +91,12 @@ if [[ "$sweep_smoke_only" == 1 ]]; then
   exit 0
 fi
 
+if [[ "$parity_only" == 1 ]]; then
+  parity_smoke
+  echo "OK"
+  exit 0
+fi
+
 echo "== test =="
 ctest --test-dir "$build" --output-on-failure -j "$jobs"
 
@@ -92,5 +113,7 @@ echo "== analyzer smoke =="
 ledger_smoke
 
 sweep_smoke
+
+parity_smoke
 
 echo "OK"

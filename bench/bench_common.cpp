@@ -11,6 +11,7 @@
 #include "analysis/report.hpp"
 #include "analysis/trace_view.hpp"
 #include "common/expect.hpp"
+#include "common/profile.hpp"
 #include "partition/analytic_eval.hpp"
 #include "partition/neighborhood.hpp"
 
@@ -20,7 +21,27 @@ namespace {
 std::string g_trace_path;
 std::string g_metrics_path;
 std::string g_ledger_path;
+std::string g_timeseries_path;
+double g_timeseries_interval = 1.0;
+std::string g_profile_path;
 std::size_t g_jobs = 1;
+
+// "PATH[:INTERVAL]" — the suffix after the last ':' counts as an interval
+// only when it parses fully as a positive number.
+void set_timeseries_spec(const std::string& spec) {
+  const std::string::size_type colon = spec.rfind(':');
+  if (colon != std::string::npos && colon + 1 < spec.size()) {
+    char* end = nullptr;
+    const double v = std::strtod(spec.c_str() + colon + 1, &end);
+    if (end != nullptr && *end == '\0' && v > 0.0) {
+      g_timeseries_path = spec.substr(0, colon);
+      g_timeseries_interval = v;
+      return;
+    }
+  }
+  g_timeseries_path = spec;
+  g_timeseries_interval = 1.0;
+}
 
 bool wants_text_format(const std::string& path) {
   auto ends_with = [&path](const char* suffix) {
@@ -47,6 +68,14 @@ void parse_common_flags(int argc, const char* const* argv) {
       g_ledger_path = a.substr(9);
     } else if (a == "--ledger" && i + 1 < argc) {
       g_ledger_path = argv[++i];
+    } else if (a.rfind("--timeseries=", 0) == 0) {
+      set_timeseries_spec(a.substr(13));
+    } else if (a == "--timeseries" && i + 1 < argc) {
+      set_timeseries_spec(argv[++i]);
+    } else if (a.rfind("--profile=", 0) == 0) {
+      g_profile_path = a.substr(10);
+    } else if (a == "--profile" && i + 1 < argc) {
+      g_profile_path = argv[++i];
     } else if (a.rfind("--jobs=", 0) == 0) {
       g_jobs = static_cast<std::size_t>(
           std::strtoull(a.c_str() + 7, nullptr, 10));
@@ -54,6 +83,10 @@ void parse_common_flags(int argc, const char* const* argv) {
       g_jobs = static_cast<std::size_t>(
           std::strtoull(argv[++i], nullptr, 10));
     }
+  }
+  if (!g_profile_path.empty()) {
+    prof::reset();
+    prof::set_enabled(true);
   }
 }
 
@@ -69,6 +102,12 @@ const std::string& trace_path() { return g_trace_path; }
 const std::string& metrics_path() { return g_metrics_path; }
 
 const std::string& ledger_path() { return g_ledger_path; }
+
+const std::string& timeseries_path() { return g_timeseries_path; }
+
+double timeseries_interval() { return g_timeseries_interval; }
+
+const std::string& profile_path() { return g_profile_path; }
 
 std::string scenario_path(const std::string& base,
                           const std::string& scenario) {
@@ -100,6 +139,8 @@ Testbed make_testbed(double bandwidth_gbps) {
   t.simulator = std::make_unique<sim::Simulator>();
   if (!g_trace_path.empty()) t.simulator->tracer().set_enabled(true);
   if (!g_ledger_path.empty()) t.simulator->ledger().set_enabled(true);
+  if (!g_timeseries_path.empty())
+    t.simulator->timeseries().configure(g_timeseries_interval);
   sim::ClusterConfig config;
   config.nic_bandwidth = gbps(bandwidth_gbps);
   t.cluster = std::make_unique<sim::Cluster>(*t.simulator, config);
@@ -262,6 +303,17 @@ RunResult run_pipeline(Testbed& testbed, const models::ModelSpec& model,
     std::cout << "ledger: " << testbed.simulator->ledger().size()
               << " decisions -> " << path << "\n";
   }
+  if (testbed.simulator->timeseries().enabled()) {
+    testbed.simulator->timeseries().finalize(testbed.simulator->now(),
+                                             testbed.simulator->metrics());
+    const std::string path =
+        scenario_path(g_timeseries_path, options.scenario);
+    std::ofstream out(path);
+    AUTOPIPE_EXPECT_MSG(out.good(), "cannot open timeseries file " << path);
+    testbed.simulator->timeseries().write_text(out);
+    std::cout << "timeseries: " << testbed.simulator->timeseries().size()
+              << " samples -> " << path << "\n";
+  }
 
   RunResult result;
   result.throughput = report.throughput;
@@ -314,6 +366,30 @@ bool run_scenario(const std::string& label,
   }
 }
 
-int exit_status() { return g_failed_scenarios == 0 ? 0 : 1; }
+int exit_status() {
+  if (!g_profile_path.empty()) {
+    // Scenario workers joined inside for_each_scenario, so collect() is
+    // safe by the time main() asks for its exit code.
+    prof::set_enabled(false);
+    const std::vector<prof::ThreadProfile> profiles = prof::collect();
+    std::ofstream out(g_profile_path);
+    if (out.good()) {
+      const bool json =
+          g_profile_path.size() >= 5 &&
+          g_profile_path.rfind(".json") == g_profile_path.size() - 5;
+      if (json) {
+        prof::write_chrome_json(profiles, out);
+      } else {
+        prof::write_text(profiles, out);
+      }
+      std::cout << "profile: " << profiles.size() << " thread(s) -> "
+                << g_profile_path << "\n";
+    } else {
+      std::cerr << "cannot open profile file " << g_profile_path << "\n";
+    }
+    g_profile_path.clear();  // idempotent if called twice
+  }
+  return g_failed_scenarios == 0 ? 0 : 1;
+}
 
 }  // namespace autopipe::bench

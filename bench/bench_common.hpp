@@ -39,9 +39,9 @@ struct Testbed {
 Testbed make_testbed(double bandwidth_gbps);
 
 /// Parse the flags every fig benchmark shares (`--trace=PATH`,
-/// `--metrics=PATH`, `--ledger=PATH`, `--jobs=N`). Call at the top of
-/// main(); unknown flags are ignored so each benchmark may layer its own
-/// parsing on top.
+/// `--metrics=PATH`, `--ledger=PATH`, `--timeseries=PATH[:INTERVAL]`,
+/// `--profile=PATH`, `--jobs=N`). Call at the top of main(); unknown flags
+/// are ignored so each benchmark may layer its own parsing on top.
 void parse_common_flags(int argc, const char* const* argv);
 
 /// Worker threads requested via `--jobs` (default 1; 0 = one per core).
@@ -66,6 +66,20 @@ const std::string& metrics_path();
 /// run_pipeline writes it next to the trace (scenario-spliced the same way;
 /// analyze with `autopipe_trace decisions` / `calibration`).
 const std::string& ledger_path();
+
+/// The `--timeseries=PATH[:INTERVAL]` path captured by parse_common_flags;
+/// empty when unset. When set, every run samples its metrics registry at
+/// the interval (default 1 sim-second) and run_pipeline writes the
+/// autopipe-ts-v1 series scenario-spliced like the trace (analyze with
+/// `autopipe_trace timeseries`; see docs/TELEMETRY.md).
+const std::string& timeseries_path();
+double timeseries_interval();
+
+/// The `--profile=PATH` path captured by parse_common_flags; empty when
+/// unset. When set the host self-profiler records from flag parsing until
+/// exit_status(), which writes the capture (autopipe-prof-v1, or Chrome
+/// JSON for a .json path) before returning.
+const std::string& profile_path();
 
 /// `base` with ".<scenario>" spliced in before the extension
 /// ("fig3.trace" + "vgg16_25gbps" -> "fig3.vgg16_25gbps.trace"); scenario

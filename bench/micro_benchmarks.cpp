@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "autopipe/features.hpp"
+#include "common/profile.hpp"
 #include "autopipe/meta_network.hpp"
 #include "models/zoo.hpp"
 #include "partition/neighborhood.hpp"
@@ -181,6 +182,48 @@ void BM_MetaNetworkPredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MetaNetworkPredict);
+
+void BM_ProfilerSpanOverhead(benchmark::State& state) {
+  // The cost of leaving PROF_SPAN in a hot path. Arg(0) measures the
+  // disabled case — one relaxed load and a branch, the ≤2 ns budget quoted
+  // in docs/TELEMETRY.md — and Arg(1) the full record path. The recording
+  // buffer is drained periodically so the enabled case measures appends,
+  // not allocation-driven regrowth of an unbounded vector.
+  const bool enabled = state.range(0) != 0;
+  prof::reset();
+  prof::set_enabled(enabled);
+  std::size_t recorded = 0;
+  for (auto _ : state) {
+    {
+      PROF_SPAN("bench/span_overhead");
+    }
+    if (enabled && ++recorded >= 65536) {
+      state.PauseTiming();
+      prof::reset();
+      recorded = 0;
+      state.ResumeTiming();
+    }
+  }
+  prof::set_enabled(false);
+  prof::reset();
+  state.SetLabel(enabled ? "enabled" : "disabled");
+}
+BENCHMARK(BM_ProfilerSpanOverhead)->Arg(0)->Arg(1);
+
+void BM_ProfilerAggOverhead(benchmark::State& state) {
+  // PROF_SPAN_AGG is the flavour meant for per-event paths (queue push/pop):
+  // constant memory, so no periodic drain is needed even when enabled.
+  const bool enabled = state.range(0) != 0;
+  prof::reset();
+  prof::set_enabled(enabled);
+  for (auto _ : state) {
+    PROF_SPAN_AGG("bench/agg_overhead");
+  }
+  prof::set_enabled(false);
+  prof::reset();
+  state.SetLabel(enabled ? "enabled" : "disabled");
+}
+BENCHMARK(BM_ProfilerAggOverhead)->Arg(0)->Arg(1);
 
 void BM_ExecutorIteration(benchmark::State& state) {
   const auto model = models::alexnet();

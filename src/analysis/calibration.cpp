@@ -161,6 +161,7 @@ void write_calibration_json(const CalibrationReport& report,
                             std::ostream& os) {
   JsonWriter json(os);
   json.begin_object();
+  json.kv("schema", "autopipe-calibration-v1");
   json.kv("decisions", report.decisions);
   json.kv("switches", report.switches);
   json.kv("holds", report.holds);
@@ -226,6 +227,7 @@ void write_decisions_json(const trace::DecisionLedger& ledger,
                           std::ostream& os) {
   JsonWriter json(os);
   json.begin_object();
+  json.kv("schema", "autopipe-decisions-v1");
   json.kv("model", ledger.model());
   json.kv("batch", ledger.batches_per_iteration());
   json.kv("workers", ledger.run_workers());

@@ -1,0 +1,281 @@
+#include "analysis/profile_report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+#include "analysis/json.hpp"
+#include "common/table.hpp"
+
+namespace autopipe::analysis {
+
+namespace {
+
+std::string category_of(const std::string& name) {
+  return name.substr(0, name.find('/'));
+}
+
+/// Per-thread exclusive-time reconstruction: spans sorted by start (parents
+/// before children via duration tie-break), a stack of open spans; each
+/// span's duration is subtracted from its direct parent's exclusive time.
+struct ThreadAttribution {
+  std::vector<std::uint64_t> exclusive;  ///< per span, same indexing
+  /// Span indices whose parent chain holds no span of the same category —
+  /// the spans whose durations sum to the category's inclusive time.
+  std::vector<bool> category_root;
+};
+
+ThreadAttribution attribute_thread(const std::vector<prof::Span>& spans) {
+  std::vector<std::size_t> order(spans.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (spans[a].start_ns != spans[b].start_ns)
+      return spans[a].start_ns < spans[b].start_ns;
+    return spans[a].dur_ns > spans[b].dur_ns;
+  });
+
+  ThreadAttribution out;
+  out.exclusive.resize(spans.size());
+  out.category_root.assign(spans.size(), true);
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    out.exclusive[i] = spans[i].dur_ns;
+
+  std::vector<std::size_t> stack;  // open span indices, outermost first
+  for (const std::size_t i : order) {
+    const prof::Span& s = spans[i];
+    while (!stack.empty() &&
+           spans[stack.back()].start_ns + spans[stack.back()].dur_ns <=
+               s.start_ns) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      const std::size_t parent = stack.back();
+      out.exclusive[parent] -= std::min(out.exclusive[parent], s.dur_ns);
+      const std::string cat = category_of(s.name);
+      for (const std::size_t open : stack) {
+        if (category_of(spans[open].name) == cat) {
+          out.category_root[i] = false;
+          break;
+        }
+      }
+    }
+    stack.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+ProfileReport build_profile_report(
+    const std::vector<prof::ThreadProfile>& profiles) {
+  ProfileReport report;
+  report.threads = profiles.size();
+
+  std::map<std::string, ProfileEntry> by_name;
+  std::map<std::string, ProfileEntry> by_category;
+
+  for (const prof::ThreadProfile& tp : profiles) {
+    const ThreadAttribution attr = attribute_thread(tp.spans);
+    for (std::size_t i = 0; i < tp.spans.size(); ++i) {
+      const prof::Span& s = tp.spans[i];
+      ProfileEntry& e = by_name[s.name];
+      e.name = s.name;
+      ++e.count;
+      e.inclusive_ns += s.dur_ns;
+      e.exclusive_ns += attr.exclusive[i];
+      const std::string cat = category_of(s.name);
+      ProfileEntry& c = by_category[cat];
+      c.name = cat;
+      ++c.count;
+      if (attr.category_root[i]) c.inclusive_ns += s.dur_ns;
+      c.exclusive_ns += attr.exclusive[i];
+      if (s.depth == 0) report.total_ns += s.dur_ns;
+    }
+    for (const prof::Aggregate& a : tp.aggregates) {
+      ProfileEntry& e = by_name[a.name];
+      e.name = a.name;
+      e.count += a.count;
+      e.inclusive_ns += a.total_ns;
+      e.exclusive_ns += a.total_ns;
+      e.aggregate_only = true;
+      const std::string cat = category_of(a.name);
+      ProfileEntry& c = by_category[cat];
+      c.name = cat;
+      c.count += a.count;
+      c.inclusive_ns += a.total_ns;
+      c.exclusive_ns += a.total_ns;
+      report.total_ns += a.total_ns;
+    }
+  }
+
+  for (auto& [name, e] : by_name) report.spans.push_back(std::move(e));
+  for (auto& [name, e] : by_category)
+    report.categories.push_back(std::move(e));
+  std::sort(report.spans.begin(), report.spans.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              if (a.inclusive_ns != b.inclusive_ns)
+                return a.inclusive_ns > b.inclusive_ns;
+              return a.name < b.name;
+            });
+  std::sort(report.categories.begin(), report.categories.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              if (a.exclusive_ns != b.exclusive_ns)
+                return a.exclusive_ns > b.exclusive_ns;
+              return a.name < b.name;
+            });
+  return report;
+}
+
+std::vector<prof::ThreadProfile> read_profile_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good())
+    throw std::runtime_error("cannot open profile file '" + path + "'");
+  return prof::read_text(in);
+}
+
+std::vector<prof::Span> top_spans(
+    const std::vector<prof::ThreadProfile>& profiles, std::size_t n) {
+  std::vector<prof::Span> all;
+  for (const prof::ThreadProfile& tp : profiles)
+    all.insert(all.end(), tp.spans.begin(), tp.spans.end());
+  std::sort(all.begin(), all.end(),
+            [](const prof::Span& a, const prof::Span& b) {
+              if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+              return a.start_ns < b.start_ns;
+            });
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+namespace {
+
+std::string ms(std::uint64_t ns) {
+  return TextTable::num(static_cast<double>(ns) / 1e6, 3);
+}
+
+}  // namespace
+
+void render_profile(const ProfileReport& report,
+                    const std::vector<prof::ThreadProfile>& profiles,
+                    std::size_t top_n, std::ostream& os) {
+  TextTable categories({"category", "calls", "inclusive(ms)",
+                        "exclusive(ms)", "excl %"});
+  for (const ProfileEntry& e : report.categories) {
+    const double pct =
+        report.total_ns == 0
+            ? 0.0
+            : static_cast<double>(e.exclusive_ns) /
+                  static_cast<double>(report.total_ns) * 100.0;
+    categories.add_row({e.name, std::to_string(e.count), ms(e.inclusive_ns),
+                        ms(e.exclusive_ns), TextTable::num(pct, 1)});
+  }
+  categories.print(os, "host profile: " + std::to_string(report.threads) +
+                           " thread(s), total " + ms(report.total_ns) +
+                           " ms");
+
+  TextTable spans({"span", "calls", "inclusive(ms)", "exclusive(ms)",
+                   "ns/call", "kind"});
+  for (const ProfileEntry& e : report.spans) {
+    spans.add_row({e.name, std::to_string(e.count), ms(e.inclusive_ns),
+                   ms(e.exclusive_ns),
+                   TextTable::num(span_ns_per_call(report, e.name), 0),
+                   e.aggregate_only ? "agg" : "span"});
+  }
+  os << "\n";
+  spans.print(os, "per-span");
+
+  const auto top = top_spans(profiles, top_n);
+  if (!top.empty()) {
+    os << "\ntop " << top.size() << " individual spans:\n";
+    for (const prof::Span& s : top) {
+      os << "  " << s.name << "  " << ms(s.dur_ns) << " ms at +"
+         << ms(s.start_ns) << " ms (depth " << s.depth << ")\n";
+    }
+  }
+}
+
+void write_profile_json(const ProfileReport& report, std::ostream& os) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "autopipe-profile-report-v1");
+  w.kv("threads", report.threads);
+  w.kv("total_ns", report.total_ns);
+  const auto entries = [&w](const char* key,
+                            const std::vector<ProfileEntry>& list,
+                            const ProfileReport& r) {
+    w.key(key);
+    w.begin_array();
+    for (const ProfileEntry& e : list) {
+      w.begin_object();
+      w.kv("name", e.name);
+      w.kv("count", e.count);
+      w.kv("inclusive_ns", e.inclusive_ns);
+      w.kv("exclusive_ns", e.exclusive_ns);
+      w.kv("ns_per_call", e.count == 0
+                              ? 0.0
+                              : static_cast<double>(e.inclusive_ns) /
+                                    static_cast<double>(e.count));
+      w.kv("aggregate_only", e.aggregate_only);
+      w.end();
+    }
+    w.end();
+    (void)r;
+  };
+  entries("categories", report.categories, report);
+  entries("spans", report.spans, report);
+  w.end();
+  os << "\n";
+}
+
+void write_collapsed_stacks(const std::vector<prof::ThreadProfile>& profiles,
+                            std::ostream& os) {
+  // Re-run the stack reconstruction and emit one line per span with its
+  // full open-span path and exclusive nanoseconds — the folded format
+  // flamegraph.pl and speedscope ingest directly.
+  std::map<std::string, std::uint64_t> folded;
+  for (const prof::ThreadProfile& tp : profiles) {
+    const ThreadAttribution attr = attribute_thread(tp.spans);
+    std::vector<std::size_t> order(tp.spans.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (tp.spans[a].start_ns != tp.spans[b].start_ns)
+                  return tp.spans[a].start_ns < tp.spans[b].start_ns;
+                return tp.spans[a].dur_ns > tp.spans[b].dur_ns;
+              });
+    std::vector<std::size_t> stack;
+    for (const std::size_t i : order) {
+      const prof::Span& s = tp.spans[i];
+      while (!stack.empty() &&
+             tp.spans[stack.back()].start_ns +
+                     tp.spans[stack.back()].dur_ns <=
+                 s.start_ns) {
+        stack.pop_back();
+      }
+      std::string path;
+      for (const std::size_t open : stack)
+        path += tp.spans[open].name + ";";
+      path += s.name;
+      folded[path] += attr.exclusive[i];
+      stack.push_back(i);
+    }
+    for (const prof::Aggregate& a : tp.aggregates)
+      folded[a.name] += a.total_ns;
+  }
+  for (const auto& [path, ns] : folded) os << path << " " << ns << "\n";
+}
+
+double span_ns_per_call(const ProfileReport& report,
+                        const std::string& name) {
+  for (const ProfileEntry& e : report.spans) {
+    if (e.name == name && e.count > 0)
+      return static_cast<double>(e.inclusive_ns) /
+             static_cast<double>(e.count);
+  }
+  return 0.0;
+}
+
+}  // namespace autopipe::analysis

@@ -222,8 +222,12 @@ void utilization_json(JsonWriter& w, const RunAnalysis& a) {
   w.end();
 }
 
-void bubbles_json(JsonWriter& w, const RunAnalysis& a) {
+// `schema` is emitted as the first key when the object is a top-level
+// payload; pass nullptr when nesting inside the summary.
+void bubbles_json(JsonWriter& w, const RunAnalysis& a,
+                  const char* schema = nullptr) {
   w.begin_object();
+  if (schema != nullptr) w.kv("schema", schema);
   w.kv("wall_clock", a.bubbles.wall_clock);
   w.key("workers");
   w.begin_array();
@@ -250,8 +254,10 @@ void bubbles_json(JsonWriter& w, const RunAnalysis& a) {
   w.end();
 }
 
-void critical_path_json(JsonWriter& w, const RunAnalysis& a) {
+void critical_path_json(JsonWriter& w, const RunAnalysis& a,
+                        const char* schema = nullptr) {
   w.begin_object();
+  if (schema != nullptr) w.kv("schema", schema);
   w.kv("span_seconds", a.critical_path.span_seconds);
   w.kv("wait_seconds", a.critical_path.wait_seconds);
   w.kv("segments", a.critical_path.segments.size());
@@ -296,6 +302,7 @@ void switches_json(JsonWriter& w, const RunAnalysis& a) {
 void write_summary_json(const RunAnalysis& a, std::ostream& os) {
   JsonWriter w(os);
   w.begin_object();
+  w.kv("schema", "autopipe-summary-v1");
   w.kv("wall_clock", a.wall_clock);
   w.kv("events", a.num_events);
   w.kv("iterations", a.iterations);
@@ -318,17 +325,18 @@ void write_summary_json(const RunAnalysis& a, std::ostream& os) {
 
 void write_bubbles_json(const RunAnalysis& a, std::ostream& os) {
   JsonWriter w(os);
-  bubbles_json(w, a);
+  bubbles_json(w, a, "autopipe-bubbles-v1");
 }
 
 void write_critical_path_json(const RunAnalysis& a, std::ostream& os) {
   JsonWriter w(os);
-  critical_path_json(w, a);
+  critical_path_json(w, a, "autopipe-critical-path-v1");
 }
 
 void write_switches_json(const RunAnalysis& a, std::ostream& os) {
   JsonWriter w(os);
   w.begin_object();
+  w.kv("schema", "autopipe-switches-v1");
   w.key("switches");
   switches_json(w, a);
   w.end();
@@ -418,6 +426,7 @@ void write_diff_json(const std::vector<DiffEntry>& deltas,
                      std::ostream& os) {
   JsonWriter w(os);
   w.begin_object();
+  w.kv("schema", "autopipe-diff-v1");
   w.kv("identical", deltas.empty());
   w.kv("differing", deltas.size());
   w.key("deltas");

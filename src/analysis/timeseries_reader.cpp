@@ -1,0 +1,286 @@
+#include "analysis/timeseries_reader.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/json.hpp"
+#include "common/table.hpp"
+#include "common/trace.hpp"
+
+namespace autopipe::analysis {
+
+std::size_t TimeSeries::column_index(const std::string& name) const {
+  const auto it = std::find(columns.begin(), columns.end(), name);
+  return static_cast<std::size_t>(it - columns.begin());
+}
+
+std::vector<double> TimeSeries::column(std::size_t index) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(row[index]);
+  return out;
+}
+
+TimeSeries read_timeseries(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("autopipe-ts-v1 ", 0) != 0)
+    throw std::runtime_error(
+        "not an autopipe-ts-v1 time-series (bad or missing header)");
+
+  TimeSeries ts;
+  std::size_t expect_rows = 0;
+  std::size_t expect_columns = 0;
+  {
+    std::istringstream hs(line.substr(sizeof("autopipe-ts-v1 ") - 1));
+    std::string field;
+    while (hs >> field) {
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos)
+        throw std::runtime_error("malformed time-series header field '" +
+                                 field + "'");
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      try {
+        if (key == "interval") ts.interval = std::stod(value);
+        else if (key == "rows") expect_rows = std::stoul(value);
+        else if (key == "columns") expect_columns = std::stoul(value);
+      } catch (const std::exception&) {
+        throw std::runtime_error("malformed time-series header value '" +
+                                 field + "'");
+      }
+    }
+  }
+
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line.rfind("col ", 0) == 0) {
+      if (!ts.rows.empty())
+        throw std::runtime_error("time-series line " +
+                                 std::to_string(lineno) +
+                                 ": column declared after data rows");
+      ts.columns.push_back(line.substr(4));
+      continue;
+    }
+    std::istringstream rs(line);
+    std::vector<double> row;
+    row.reserve(ts.columns.size());
+    double v = 0.0;
+    while (rs >> v) row.push_back(v);
+    if (row.size() != ts.columns.size())
+      throw std::runtime_error(
+          "time-series line " + std::to_string(lineno) + ": expected " +
+          std::to_string(ts.columns.size()) + " values, got " +
+          std::to_string(row.size()));
+    ts.rows.push_back(std::move(row));
+  }
+
+  if (ts.columns.empty() || ts.columns[0] != "time")
+    throw std::runtime_error(
+        "time-series is missing the leading 'time' column");
+  if (expect_columns != 0 && ts.columns.size() != expect_columns)
+    throw std::runtime_error(
+        "time-series header declares " + std::to_string(expect_columns) +
+        " columns but " + std::to_string(ts.columns.size()) + " were found");
+  if (expect_rows != ts.rows.size())
+    throw std::runtime_error(
+        "time-series header declares " + std::to_string(expect_rows) +
+        " rows but " + std::to_string(ts.rows.size()) +
+        " were found (truncated file?)");
+  return ts;
+}
+
+TimeSeries read_timeseries_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good())
+    throw std::runtime_error("cannot open time-series file '" + path + "'");
+  return read_timeseries(in);
+}
+
+namespace {
+
+bool is_decision_activity(const std::string& column) {
+  return column.rfind("arbiter.", 0) == 0 ||
+         column.rfind("controller.", 0) == 0 ||
+         column.rfind("ledger.", 0) == 0 || column.rfind("switch.", 0) == 0;
+}
+
+}  // namespace
+
+TimeSeriesReport analyze_timeseries(const TimeSeries& ts,
+                                    double drop_threshold) {
+  TimeSeriesReport report;
+  report.rows = ts.rows.size();
+  report.interval = ts.interval;
+  if (!ts.rows.empty()) report.duration = ts.rows.back()[0];
+
+  for (std::size_t c = 1; c < ts.columns.size(); ++c) {
+    TimeSeriesReport::ColumnStats stats;
+    stats.name = ts.columns[c];
+    if (!ts.rows.empty()) {
+      double sum = 0.0;
+      stats.min = stats.max = ts.rows[0][c];
+      for (const auto& row : ts.rows) {
+        stats.min = std::min(stats.min, row[c]);
+        stats.max = std::max(stats.max, row[c]);
+        sum += row[c];
+      }
+      stats.mean = sum / static_cast<double>(ts.rows.size());
+      stats.last = ts.rows.back()[c];
+      if (stats.name == "metrics.dropped_samples")
+        report.dropped_samples = stats.last;
+    }
+    report.columns.push_back(std::move(stats));
+  }
+
+  // Anomaly scan: a steep drop in instantaneous speed between consecutive
+  // samples, cross-checked against decision activity over the same window.
+  std::size_t speed = ts.column_index("executor.throughput.mean");
+  if (speed == ts.columns.size())
+    speed = ts.column_index("executor.throughput.ema");
+  if (speed != ts.columns.size()) {
+    std::vector<std::size_t> activity;
+    for (std::size_t c = 1; c < ts.columns.size(); ++c)
+      if (is_decision_activity(ts.columns[c])) activity.push_back(c);
+    for (std::size_t i = 1; i < ts.rows.size(); ++i) {
+      const double before = ts.rows[i - 1][speed];
+      const double after = ts.rows[i][speed];
+      if (before <= 0.0) continue;
+      const double drop = 1.0 - after / before;
+      if (drop <= drop_threshold) continue;
+      SeriesAnomaly a;
+      a.time = ts.rows[i][0];
+      a.column = ts.columns[speed];
+      a.before = before;
+      a.after = after;
+      a.drop_frac = drop;
+      a.no_decision = true;
+      for (const std::size_t c : activity) {
+        if (ts.rows[i][c] != ts.rows[i - 1][c]) {
+          a.no_decision = false;
+          break;
+        }
+      }
+      report.anomalies.push_back(std::move(a));
+    }
+  }
+  return report;
+}
+
+namespace {
+
+/// Eight-level block sparkline of `values` bucketed to `width` cells.
+std::string sparkline(const std::vector<double>& values, std::size_t width) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty() || width == 0) return "";
+  double lo = values[0];
+  double hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi - lo;
+  std::string out;
+  const std::size_t cells = std::min(width, values.size());
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    // Mean over the bucket of samples this cell covers.
+    const std::size_t begin = cell * values.size() / cells;
+    const std::size_t end =
+        std::max(begin + 1, (cell + 1) * values.size() / cells);
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) sum += values[i];
+    const double v = sum / static_cast<double>(end - begin);
+    const int level =
+        span <= 0.0 ? 0
+                    : std::min(7, static_cast<int>((v - lo) / span * 8.0));
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_timeseries(const TimeSeries& ts,
+                              const TimeSeriesReport& report,
+                              std::size_t width) {
+  std::ostringstream os;
+  os << report.rows << " samples over "
+     << TextTable::num(report.duration, 3) << "s (interval "
+     << trace::format_double(report.interval) << "s), "
+     << report.columns.size() << " metrics\n\n";
+  const std::size_t spark_width = std::max<std::size_t>(8, width);
+  std::size_t name_width = 0;
+  for (const auto& c : report.columns)
+    name_width = std::max(name_width, c.name.size());
+  for (std::size_t c = 1; c < ts.columns.size(); ++c) {
+    const auto& stats = report.columns[c - 1];
+    os << stats.name << std::string(name_width - stats.name.size(), ' ')
+       << "  " << sparkline(ts.column(c), spark_width) << "  min "
+       << TextTable::num(stats.min, 3) << "  mean "
+       << TextTable::num(stats.mean, 3) << "  last "
+       << TextTable::num(stats.last, 3) << "\n";
+  }
+  if (report.dropped_samples > 0.0) {
+    os << "\nWARNING: " << trace::format_double(report.dropped_samples)
+       << " non-finite metric sample(s) dropped during the run\n";
+  }
+  if (report.anomalies.empty()) {
+    os << "\nno anomalies\n";
+  } else {
+    os << "\n" << report.anomalies.size() << " anomaly flag(s):\n";
+    for (const SeriesAnomaly& a : report.anomalies) {
+      os << "  t=" << trace::format_double(a.time) << "  " << a.column
+         << " dropped " << TextTable::num(a.drop_frac * 100.0, 1) << "% ("
+         << TextTable::num(a.before, 1) << " -> "
+         << TextTable::num(a.after, 1) << ")"
+         << (a.no_decision ? " with NO decision activity in the window"
+                           : " (decision activity present)")
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+void write_timeseries_json(const TimeSeriesReport& report, std::ostream& os) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "autopipe-timeseries-report-v1");
+  w.kv("rows", report.rows);
+  w.kv("duration", report.duration);
+  w.kv("interval", report.interval);
+  w.kv("dropped_samples", report.dropped_samples);
+  w.key("columns");
+  w.begin_array();
+  for (const auto& c : report.columns) {
+    w.begin_object();
+    w.kv("name", c.name);
+    w.kv("min", c.min);
+    w.kv("max", c.max);
+    w.kv("mean", c.mean);
+    w.kv("last", c.last);
+    w.end();
+  }
+  w.end();
+  w.key("anomalies");
+  w.begin_array();
+  for (const SeriesAnomaly& a : report.anomalies) {
+    w.begin_object();
+    w.kv("time", a.time);
+    w.kv("column", a.column);
+    w.kv("before", a.before);
+    w.kv("after", a.after);
+    w.kv("drop_frac", a.drop_frac);
+    w.kv("no_decision", a.no_decision);
+    w.end();
+  }
+  w.end();
+  w.end();
+  os << "\n";
+}
+
+}  // namespace autopipe::analysis

@@ -1,0 +1,77 @@
+// Reader + reporting for autopipe-ts-v1 metric time-series (the columnar
+// text written by trace::TimeSeriesSampler — see docs/TELEMETRY.md).
+// Backs `autopipe_trace timeseries`: per-column stats, an ASCII sparkline
+// dashboard, and anomaly detection ("speed dropped >X% with no decision
+// activity in the window").
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace autopipe::analysis {
+
+/// Parsed time-series. columns[0] is always "time"; every row has exactly
+/// columns.size() values.
+struct TimeSeries {
+  double interval = 0.0;
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;
+
+  /// Index of `name` in columns; columns.size() when absent.
+  std::size_t column_index(const std::string& name) const;
+  /// All values of one column, row order.
+  std::vector<double> column(std::size_t index) const;
+};
+
+/// Parse write_text output. Throws std::runtime_error on malformed input
+/// (bad header, column/row count mismatch, unparseable value).
+TimeSeries read_timeseries(std::istream& is);
+TimeSeries read_timeseries_file(const std::string& path);
+
+/// One flagged window between consecutive samples.
+struct SeriesAnomaly {
+  double time = 0.0;        ///< boundary where the drop was observed
+  std::string column;       ///< the metric that dropped
+  double before = 0.0;
+  double after = 0.0;
+  double drop_frac = 0.0;   ///< 1 - after/before
+  /// True when no decision-activity column (arbiter.*, controller.*,
+  /// ledger.*, switch.*) changed across the same window — the controller
+  /// slept through a speed cliff.
+  bool no_decision = false;
+};
+
+struct TimeSeriesReport {
+  struct ColumnStats {
+    std::string name;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double last = 0.0;
+  };
+  std::size_t rows = 0;
+  double duration = 0.0;    ///< last sample time
+  double interval = 0.0;
+  std::vector<ColumnStats> columns;  ///< column order, "time" excluded
+  std::vector<SeriesAnomaly> anomalies;
+  double dropped_samples = 0.0;  ///< metrics.dropped_samples at run end
+};
+
+/// Column stats plus anomaly scan. `drop_threshold` is the fractional
+/// speed drop between consecutive samples that triggers a flag (0.2 =
+/// flag drops steeper than 20%); the speed column is
+/// executor.throughput.mean (falling back to .ema).
+TimeSeriesReport analyze_timeseries(const TimeSeries& ts,
+                                    double drop_threshold);
+
+/// ASCII dashboard: one sparkline row per column plus the anomaly list.
+std::string render_timeseries(const TimeSeries& ts,
+                              const TimeSeriesReport& report,
+                              std::size_t width);
+
+/// Machine-readable report (schema autopipe-timeseries-report-v1).
+void write_timeseries_json(const TimeSeriesReport& report, std::ostream& os);
+
+}  // namespace autopipe::analysis

@@ -8,6 +8,7 @@
 
 #include "common/expect.hpp"
 #include "common/log.hpp"
+#include "common/profile.hpp"
 #include "partition/analytic_eval.hpp"
 #include "partition/neighborhood.hpp"
 #include "partition/pipedream_planner.hpp"
@@ -295,6 +296,7 @@ void AutoPipeController::on_iteration(std::size_t completed_iterations) {
 
 double AutoPipeController::predict_speed(
     const ProfileSnapshot& snapshot, const partition::Partition& candidate) {
+  PROF_SPAN_AGG("predictor/infer");
   if (meta_ && config_.use_meta_network) {
     const std::vector<std::vector<double>> seq(dynamic_history_.begin(),
                                                dynamic_history_.end());
@@ -335,6 +337,7 @@ std::size_t partition_distance(const partition::Partition& a,
 
 std::pair<partition::Partition, double> AutoPipeController::replan(
     const ProfileSnapshot& snapshot) {
+  PROF_SPAN("planner/replan");
   const auto env = profiler_.environment(snapshot,
                                          executor_.config().framework,
                                          executor_.config().sync_scheme);
@@ -410,6 +413,7 @@ bool AutoPipeController::pursue_target() {
 
 void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
                                              bool after_change) {
+  PROF_SPAN("planner/decide_round");
   const auto wall0 = std::chrono::steady_clock::now();
   ++stats_.decisions;
 

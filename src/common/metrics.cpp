@@ -1,12 +1,24 @@
 #include "common/metrics.hpp"
 
+#include <cmath>
+
 namespace autopipe::trace {
 
+bool MetricsRegistry::drop_if_nonfinite(double value) {
+  if (std::isfinite(value)) return false;
+  // Count into values_ directly: the dropped-sample counter must itself
+  // stay finite and must not recurse through this check.
+  values_[kDroppedSamplesKey] += 1.0;
+  return true;
+}
+
 void MetricsRegistry::add(const std::string& name, double delta) {
+  if (drop_if_nonfinite(delta)) return;
   values_[name] += delta;
 }
 
 void MetricsRegistry::set(const std::string& name, double value) {
+  if (drop_if_nonfinite(value)) return;
   values_[name] = value;
 }
 
@@ -25,6 +37,7 @@ void MetricsRegistry::clear() {
 }
 
 void MetricsRegistry::observe(const std::string& name, double sample) {
+  if (drop_if_nonfinite(sample)) return;
   auto [it, inserted] = series_.try_emplace(name);
   Series& s = it->second;
   if (inserted) {

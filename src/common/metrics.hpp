@@ -15,6 +15,12 @@
 // so the value is bit-identical regardless of how many samples were evicted).
 // The calibration tracker uses these for "recent" predictor error without
 // retaining the whole history.
+//
+// Non-finite samples (NaN, ±inf): add()/set()/observe() *skip* them — a
+// single bad division must not poison a counter or an EMA forever — and
+// count each skip in the "metrics.dropped_samples" counter, so silent data
+// loss still shows up in the registry, the flattened export and the
+// time-series. The named metric itself is left untouched.
 #pragma once
 
 #include <cstddef>
@@ -32,10 +38,16 @@ struct RollingConfig {
 
 class MetricsRegistry {
  public:
-  /// Accumulate a counter (creates it at 0 first).
+  /// Counter incremented once per non-finite sample rejected by
+  /// add()/set()/observe().
+  static constexpr const char* kDroppedSamplesKey = "metrics.dropped_samples";
+
+  /// Accumulate a counter (creates it at 0 first). Non-finite deltas are
+  /// dropped and counted under kDroppedSamplesKey.
   void add(const std::string& name, double delta = 1.0);
 
-  /// Overwrite a gauge.
+  /// Overwrite a gauge. Non-finite values are dropped and counted under
+  /// kDroppedSamplesKey (the gauge keeps its previous value).
   void set(const std::string& name, double value);
 
   /// Current value; 0 for a metric never touched.
@@ -51,7 +63,9 @@ class MetricsRegistry {
 
   // --- rolling series ------------------------------------------------------
 
-  /// Feed one sample into the named rolling series.
+  /// Feed one sample into the named rolling series. Non-finite samples are
+  /// dropped and counted under kDroppedSamplesKey (the series' EMA, window
+  /// and count are untouched).
   void observe(const std::string& name, double sample);
 
   /// Exponential moving average of the series; 0 before any sample.
@@ -71,6 +85,9 @@ class MetricsRegistry {
   std::map<std::string, double> flattened() const;
 
  private:
+  /// Returns true (and bumps kDroppedSamplesKey) when `value` is NaN/±inf.
+  bool drop_if_nonfinite(double value);
+
   struct Series {
     double ema = 0.0;
     double alpha = 0.2;

@@ -1,0 +1,226 @@
+#include "common/profile.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <istream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace autopipe::prof {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+/// Raw per-thread recording cell. Span names stay as borrowed pointers
+/// (string literals by contract) until collect() copies them out.
+struct RawSpan {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+  std::uint32_t depth;
+};
+
+struct ThreadBuffer {
+  std::uint64_t thread_index = 0;
+  std::uint32_t depth = 0;
+  std::vector<RawSpan> spans;
+  /// Keyed by pointer identity: every PROF_SPAN_AGG site passes the same
+  /// literal, so lookups never compare characters.
+  std::map<const void*, std::pair<const char*, Aggregate>> aggs;
+};
+
+/// The registry owns shared_ptrs so a worker thread's buffer survives the
+/// thread itself — sweep workers join before the tool collects.
+std::mutex g_registry_mutex;
+std::vector<std::shared_ptr<ThreadBuffer>>& registry() {
+  static std::vector<std::shared_ptr<ThreadBuffer>> r;
+  return r;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    b->thread_index = registry().size();
+    registry().push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+std::uint32_t enter_span() { return local_buffer().depth++; }
+
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t end_ns, std::uint32_t depth) {
+  ThreadBuffer& b = local_buffer();
+  b.spans.push_back(RawSpan{name, start_ns, end_ns - start_ns, depth});
+  if (b.depth > 0) --b.depth;
+}
+
+void record_agg(const char* name, std::uint64_t dur_ns) {
+  ThreadBuffer& b = local_buffer();
+  auto& cell = b.aggs[static_cast<const void*>(name)];
+  cell.first = name;
+  cell.second.total_ns += dur_ns;
+  ++cell.second.count;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+std::vector<ThreadProfile> collect() {
+  std::lock_guard<std::mutex> lock(detail::g_registry_mutex);
+  std::uint64_t min_start = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& b : detail::registry())
+    for (const auto& s : b->spans) min_start = std::min(min_start, s.start_ns);
+  if (min_start == std::numeric_limits<std::uint64_t>::max()) min_start = 0;
+
+  std::vector<ThreadProfile> out;
+  for (const auto& b : detail::registry()) {
+    if (b->spans.empty() && b->aggs.empty()) continue;
+    ThreadProfile tp;
+    tp.thread_index = b->thread_index;
+    tp.spans.reserve(b->spans.size());
+    for (const auto& s : b->spans) {
+      tp.spans.push_back(
+          Span{s.name, s.start_ns - min_start, s.dur_ns, s.depth});
+    }
+    std::map<std::string, Aggregate> sorted;
+    for (const auto& [ptr, cell] : b->aggs) {
+      Aggregate& a = sorted[cell.first];
+      a.name = cell.first;
+      a.total_ns += cell.second.total_ns;
+      a.count += cell.second.count;
+    }
+    for (auto& [name, a] : sorted) tp.aggregates.push_back(std::move(a));
+    out.push_back(std::move(tp));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ThreadProfile& a, const ThreadProfile& b) {
+              return a.thread_index < b.thread_index;
+            });
+  return out;
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(detail::g_registry_mutex);
+  for (const auto& b : detail::registry()) {
+    b->spans.clear();
+    b->aggs.clear();
+    b->depth = 0;
+  }
+}
+
+void write_text(const std::vector<ThreadProfile>& profiles,
+                std::ostream& os) {
+  os << "autopipe-prof-v1\n";
+  for (const ThreadProfile& tp : profiles) {
+    os << "thread " << tp.thread_index << "\n";
+    for (const Span& s : tp.spans) {
+      os << "span " << s.name << " " << s.start_ns << " " << s.dur_ns << " "
+         << s.depth << "\n";
+    }
+    for (const Aggregate& a : tp.aggregates) {
+      os << "agg " << a.name << " " << a.total_ns << " " << a.count << "\n";
+    }
+  }
+}
+
+std::vector<ThreadProfile> read_text(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "autopipe-prof-v1")
+    throw std::runtime_error(
+        "not an autopipe-prof-v1 profile (bad or missing header)");
+  std::vector<ThreadProfile> out;
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    const auto fail = [&](const char* why) {
+      throw std::runtime_error("profile line " + std::to_string(lineno) +
+                               ": " + why);
+    };
+    if (kind == "thread") {
+      ThreadProfile tp;
+      if (!(ls >> tp.thread_index)) fail("malformed thread line");
+      out.push_back(std::move(tp));
+    } else if (kind == "span") {
+      if (out.empty()) fail("span before any thread line");
+      Span s;
+      if (!(ls >> s.name >> s.start_ns >> s.dur_ns >> s.depth))
+        fail("malformed span line");
+      out.back().spans.push_back(std::move(s));
+    } else if (kind == "agg") {
+      if (out.empty()) fail("agg before any thread line");
+      Aggregate a;
+      if (!(ls >> a.name >> a.total_ns >> a.count))
+        fail("malformed agg line");
+      out.back().aggregates.push_back(std::move(a));
+    } else {
+      fail("unknown record kind");
+    }
+  }
+  return out;
+}
+
+void write_chrome_json(const std::vector<ThreadProfile>& profiles,
+                       std::ostream& os) {
+  // pid 2000 keeps host spans clear of the simulator's synthetic pids
+  // (workers 0.., network 1000, control 1001, resources 1002).
+  constexpr int kHostPid = 2000;
+  os << "[\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  sep();
+  os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << kHostPid
+     << ", \"tid\": 0, \"args\": {\"name\": \"autopipe host\"}}";
+  for (const ThreadProfile& tp : profiles) {
+    for (const Span& s : tp.spans) {
+      sep();
+      const std::string cat = s.name.substr(0, s.name.find('/'));
+      os << "  {\"name\": \"" << s.name << "\", \"cat\": \"" << cat
+         << "\", \"ph\": \"X\", \"pid\": " << kHostPid
+         << ", \"tid\": " << tp.thread_index << ", \"ts\": "
+         << static_cast<double>(s.start_ns) / 1e3
+         << ", \"dur\": " << static_cast<double>(s.dur_ns) / 1e3 << "}";
+    }
+    for (const Aggregate& a : tp.aggregates) {
+      sep();
+      os << "  {\"name\": \"" << a.name << "\", \"ph\": \"C\", \"pid\": "
+         << kHostPid << ", \"tid\": " << tp.thread_index
+         << ", \"ts\": 0, \"args\": {\"total_ns\": " << a.total_ns
+         << ", \"count\": " << a.count << "}}";
+    }
+  }
+  os << "\n]\n";
+}
+
+}  // namespace autopipe::prof

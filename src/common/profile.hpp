@@ -1,0 +1,163 @@
+// Host-side self-profiler: where does the *tool* spend wall-clock time?
+// The event trace and metrics registry describe the simulated world; this
+// module describes the simulator/planner/controller themselves — planner
+// solve time per round (the paper's Fig 12 concern), predictor inference,
+// event-queue push/pop, fault handling, sweep workers.
+//
+// Design: scoped RAII spans recorded into per-thread buffers. Recording is
+// lock-free — each thread appends to its own thread_local buffer, and the
+// only synchronization is a mutex taken once per thread at registration
+// and again by collect()/reset(), which must only be called after parallel
+// work has joined. When the profiler is disabled (the default) a span costs
+// one relaxed atomic load and a branch — ≤ 2 ns, measured by
+// BM_ProfilerSpanOverhead in bench/micro_benchmarks.cpp — so the macros can
+// stay in hot paths unconditionally.
+//
+// Two macro flavours:
+//   PROF_SPAN("planner/solve")   — full record (start, duration, depth);
+//     nests, feeds inclusive/exclusive tables, Chrome JSON and flamegraphs.
+//   PROF_SPAN_AGG("sim/queue_pop") — aggregate-only (total ns + count);
+//     constant memory, for paths hit millions of times per run.
+//
+// Span names must be string literals (or otherwise outlive collect()):
+// the recorder stores the pointer, never a copy. By convention a name is
+// "<category>/<what>" — the category (prefix before '/') is the unit of the
+// per-category report in `autopipe_trace profile`.
+//
+// This is *not* src/autopipe/profiler.hpp (the paper's non-intrusive GPU
+// profiler for the simulated job) — see docs/TELEMETRY.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace autopipe::prof {
+
+/// One completed span, converted to owned strings by collect().
+struct Span {
+  std::string name;
+  std::uint64_t start_ns = 0;  ///< steady_clock, rebased to 0 by collect()
+  std::uint64_t dur_ns = 0;
+  std::uint32_t depth = 0;     ///< nesting depth at entry (0 = top level)
+};
+
+/// Aggregate-only counter for PROF_SPAN_AGG sites.
+struct Aggregate {
+  std::string name;
+  std::uint64_t total_ns = 0;
+  std::uint64_t count = 0;
+};
+
+/// Everything one thread recorded, in recording order.
+struct ThreadProfile {
+  std::uint64_t thread_index = 0;  ///< registration order, 0-based
+  std::vector<Span> spans;
+  std::vector<Aggregate> aggregates;  ///< sorted by name
+};
+
+/// Globally enable/disable recording. Threads observe the change at their
+/// next span entry (relaxed ordering — a span straddling the transition may
+/// or may not be recorded).
+void set_enabled(bool on);
+bool enabled();
+
+/// Snapshot all thread buffers. Start times are rebased so the earliest
+/// span starts at 0. Must not race with recording: call after worker
+/// threads have joined (single-threaded tools call it at exit).
+std::vector<ThreadProfile> collect();
+
+/// Drop all recorded spans/aggregates (buffers stay registered). Same
+/// threading caveat as collect().
+void reset();
+
+/// Serialize in the deterministic-shape `autopipe-prof-v1` text format
+/// (values are host timings, so bytes vary run to run):
+///   autopipe-prof-v1
+///   thread <index>
+///   span <name> <start_ns> <dur_ns> <depth>
+///   agg <name> <total_ns> <count>
+void write_text(const std::vector<ThreadProfile>& profiles, std::ostream& os);
+
+/// Parse write_text output back. Throws std::runtime_error on malformed
+/// input (wrong header, short lines).
+std::vector<ThreadProfile> read_text(std::istream& is);
+
+/// Chrome trace_event JSON ("X" phase events, pid 2000 "autopipe host",
+/// one tid per recorded thread) — load in chrome://tracing or Perfetto,
+/// mergeable alongside the simulator's own chrome trace. Aggregate-only
+/// sites appear as metadata-style zero-duration counters.
+void write_chrome_json(const std::vector<ThreadProfile>& profiles,
+                       std::ostream& os);
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+
+std::uint64_t now_ns();
+
+/// Enter/record on the calling thread's buffer (registers it on first use).
+std::uint32_t enter_span();
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t end_ns, std::uint32_t depth);
+void record_agg(const char* name, std::uint64_t dur_ns);
+
+}  // namespace detail
+
+/// RAII guard behind PROF_SPAN. All work is skipped when disabled; the
+/// guard remembers whether it armed so enable/disable mid-scope is safe.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name) {
+    if (!detail::g_enabled.load(std::memory_order_relaxed)) return;
+    name_ = name;
+    depth_ = detail::enter_span();
+    start_ = detail::now_ns();
+  }
+  ~SpanGuard() {
+    if (name_ == nullptr) return;
+    detail::record_span(name_, start_, detail::now_ns(), depth_);
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+/// RAII guard behind PROF_SPAN_AGG: one (total_ns, count) cell per name.
+class AggGuard {
+ public:
+  explicit AggGuard(const char* name) {
+    if (!detail::g_enabled.load(std::memory_order_relaxed)) return;
+    name_ = name;
+    start_ = detail::now_ns();
+  }
+  ~AggGuard() {
+    if (name_ == nullptr) return;
+    detail::record_agg(name_, detail::now_ns() - start_);
+  }
+  AggGuard(const AggGuard&) = delete;
+  AggGuard& operator=(const AggGuard&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace autopipe::prof
+
+#define AUTOPIPE_PROF_CONCAT2(a, b) a##b
+#define AUTOPIPE_PROF_CONCAT(a, b) AUTOPIPE_PROF_CONCAT2(a, b)
+
+/// Full-record scoped span; `name` must be a string literal "cat/what".
+#define PROF_SPAN(name) \
+  ::autopipe::prof::SpanGuard AUTOPIPE_PROF_CONCAT(prof_span_, __LINE__)(name)
+
+/// Aggregate-only scoped span for ultra-hot paths (constant memory).
+#define PROF_SPAN_AGG(name) \
+  ::autopipe::prof::AggGuard AUTOPIPE_PROF_CONCAT(prof_agg_, __LINE__)(name)

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/expect.hpp"
+#include "common/profile.hpp"
 
 namespace autopipe::faults {
 
@@ -116,6 +117,7 @@ void FaultPlan::install(sim::Simulator& simulator, sim::Cluster& cluster,
 }
 
 void FaultPlan::apply(const FaultEvent& ev, sim::Cluster& cluster) {
+  PROF_SPAN("faults/apply");
   sim::Simulator& sim = cluster.simulator();
   switch (ev.kind) {
     case FaultEvent::Kind::kGpuDown:

@@ -54,6 +54,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   sim::Simulator simulator(kind);
   simulator.tracer().set_enabled(true);
   simulator.ledger().set_enabled(true);
+  // Fine cadence relative to the ~0.8 s run so dozens of rows land between
+  // events; rows must be byte-identical across queue kinds.
+  simulator.timeseries().configure(0.02);
 
   sim::ClusterConfig cluster_config;
   cluster_config.num_servers = kServers;
@@ -115,6 +118,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   simulator.ledger().write_text(ls);
   out.ledger_text = ls.str();
   out.metrics_text = metrics_text(simulator.metrics());
+  simulator.timeseries().finalize(simulator.now(), simulator.metrics());
+  std::ostringstream tss;
+  simulator.timeseries().write_text(tss);
+  out.timeseries_text = tss.str();
   return out;
 }
 
@@ -156,6 +163,8 @@ Divergence compare(const ScenarioResult& reference,
   diff_text("trace", reference.trace_text, candidate.trace_text, os);
   diff_text("ledger", reference.ledger_text, candidate.ledger_text, os);
   diff_text("metrics", reference.metrics_text, candidate.metrics_text, os);
+  diff_text("timeseries", reference.timeseries_text,
+            candidate.timeseries_text, os);
   if (reference.iteration_end_times != candidate.iteration_end_times) {
     os << "iteration_end_times: ";
     const std::size_t n = std::min(reference.iteration_end_times.size(),

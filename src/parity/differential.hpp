@@ -41,6 +41,9 @@ struct ScenarioResult {
   std::string trace_text;    ///< full event trace, text form
   std::string ledger_text;   ///< finalized decision ledger, text form
   std::string metrics_text;  ///< sorted name=value metric lines
+  /// autopipe-ts-v1 metric time-series sampled at a fixed cadence during
+  /// the run — covers the TimeSeriesSampler in the parity contract.
+  std::string timeseries_text;
   std::vector<double> iteration_end_times;
   std::uint64_t events_processed = 0;
   std::uint64_t scheduled_events = 0;  ///< seq counter: pushes must match too

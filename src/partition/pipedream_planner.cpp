@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/expect.hpp"
+#include "common/profile.hpp"
 #include "partition/analytic_eval.hpp"
 
 namespace autopipe::partition {
@@ -77,6 +78,7 @@ Seconds PipeDreamPlanner::boundary_time(std::size_t layer) const {
 }
 
 PlanResult PipeDreamPlanner::plan(std::size_t max_workers) {
+  PROF_SPAN("planner/solve");
   AUTOPIPE_EXPECT(max_workers >= 1);
   AUTOPIPE_EXPECT(max_workers <= env_.num_workers());
   const auto t0 = std::chrono::steady_clock::now();

@@ -506,6 +506,16 @@ void PipelineExecutor::on_iteration_complete() {
   last_iteration_end_ = now;
   iteration_end_times_.push_back(now);
 
+  // Rolling series only (never .all() gauges): the time-series sampler and
+  // the anomaly detector need instantaneous speed, and series keep the
+  // scalar registry — and every golden capture of it — untouched.
+  if (last_iteration_time_ > 0.0) {
+    metrics().observe("executor.iteration_period", last_iteration_time_);
+    metrics().observe("executor.throughput",
+                      static_cast<double>(batch_size()) /
+                          last_iteration_time_);
+  }
+
   if (switch_state_ && switch_state_->draining)
     metrics().add("executor.stalled_batches");
   if (tracer().enabled()) {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/expect.hpp"
+#include "common/profile.hpp"
 #include "nn/loss.hpp"
 
 namespace autopipe::rl {
@@ -48,6 +49,7 @@ int DqnAgent::act(const std::vector<double>& state, bool explore) {
 
 DqnAgent::DecisionInfo DqnAgent::decide(const std::vector<double>& state,
                                         bool explore) {
+  PROF_SPAN("arbiter/decide");
   AUTOPIPE_EXPECT(state.size() == config_.state_dim);
   DecisionInfo info;
   info.q = q_values(state);  // pure forward pass: no RNG consumed

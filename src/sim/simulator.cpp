@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/expect.hpp"
+#include "common/profile.hpp"
 
 namespace autopipe::sim {
 
@@ -27,9 +28,15 @@ bool Simulator::step() {
     // The event's closure runs in place in its pool node (addresses are
     // stable across pushes from inside the callback); the node is recycled
     // only after the callback returns.
-    const std::uint32_t n = wheel_->pop_node();
+    const std::uint32_t n = [this] {
+      PROF_SPAN_AGG("sim/queue_pop");
+      return wheel_->pop_node();
+    }();
     TimingWheelEventQueue::Node& nd = wheel_->node(n);
     check_progress(nd.ev.time, nd.ev.label);
+    // Sample *before* the event executes: the row at boundary b reflects
+    // exactly the events with time < b, identically under either queue.
+    if (timeseries_.enabled()) timeseries_.advance_to(nd.ev.time, metrics_);
     now_ = nd.ev.time;
     ++events_processed_;
     nd.ev.fn();
@@ -38,8 +45,12 @@ bool Simulator::step() {
   }
   if (heap_->empty()) return false;
   // Move the event out before popping so the callback may schedule freely.
-  SimEvent ev = heap_->pop();
+  SimEvent ev = [this] {
+    PROF_SPAN_AGG("sim/queue_pop");
+    return heap_->pop();
+  }();
   check_progress(ev.time, ev.label);
+  if (timeseries_.enabled()) timeseries_.advance_to(ev.time, metrics_);
   now_ = ev.time;
   ++events_processed_;
   ev.fn();
@@ -63,6 +74,10 @@ void Simulator::run_until(Seconds t) {
   // step() may have set now_ slightly past t (within the slack); never move
   // the clock backwards.
   now_ = std::max(now_, t);
+  // Pinning the clock may cross sampling boundaries with no event at them;
+  // every executed event's time is below those boundaries, so emitting here
+  // preserves the sample-at-boundary semantics.
+  if (timeseries_.enabled()) timeseries_.advance_to(now_, metrics_);
 }
 
 Seconds Simulator::next_event_time() {

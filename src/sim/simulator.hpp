@@ -10,7 +10,9 @@
 #include "common/expect.hpp"
 #include "common/ledger.hpp"
 #include "common/metrics.hpp"
+#include "common/profile.hpp"
 #include "common/small_function.hpp"
+#include "common/timeseries.hpp"
 #include "common/trace.hpp"
 #include "common/units.hpp"
 #include "sim/event_queue.hpp"
@@ -115,6 +117,15 @@ class Simulator {
   trace::DecisionLedger& ledger() { return ledger_; }
   const trace::DecisionLedger& ledger() const { return ledger_; }
 
+  /// Metrics time-series sampler. Disabled (and costing one branch per
+  /// event) unless `timeseries().configure(interval)` is called before the
+  /// run; step() then snapshots the flattened registry at every sim-time
+  /// boundary, with the row at boundary b reflecting exactly the events
+  /// with time < b. Drivers call `timeseries().finalize(now(), metrics())`
+  /// after the run (see docs/TELEMETRY.md).
+  trace::TimeSeriesSampler& timeseries() { return timeseries_; }
+  const trace::TimeSeriesSampler& timeseries() const { return timeseries_; }
+
  private:
   /// Tolerance for floating-point drift on event times (0.1 * 3 != 0.3).
   /// Shared by at() and run_until() so an event computed as "now + k*dt" is
@@ -124,6 +135,7 @@ class Simulator {
   /// Devirtualized scheduling: the prvalue event materializes straight into
   /// the concrete queue's push parameter, whose body is inline.
   void schedule(Seconds t, Callback&& fn, const char* label) {
+    PROF_SPAN_AGG("sim/queue_push");
     const Seconds when = t < now_ ? now_ : t;
     if (wheel_ != nullptr) {
       wheel_->push(SimEvent{when, next_seq_++, std::move(fn), label});
@@ -170,6 +182,7 @@ class Simulator {
   trace::TraceRecorder tracer_;
   trace::MetricsRegistry metrics_;
   trace::DecisionLedger ledger_;
+  trace::TimeSeriesSampler timeseries_;
 };
 
 }  // namespace autopipe::sim

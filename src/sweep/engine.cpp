@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/profile.hpp"
+
 namespace autopipe::sweep {
 
 std::size_t resolve_jobs(std::size_t jobs) {
@@ -26,6 +28,7 @@ void run_indexed(std::size_t count, std::size_t jobs,
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
+        PROF_SPAN("sweep/scenario");
         body(i);
       } catch (...) {
         errors[i] = std::current_exception();

@@ -77,6 +77,8 @@ void write_bench_json(const SweepResult& result, std::ostream& os,
     if (!r.trace_file.empty()) json.kv("trace_file", r.trace_file);
     if (!r.metrics_file.empty()) json.kv("metrics_file", r.metrics_file);
     if (!r.ledger_file.empty()) json.kv("ledger_file", r.ledger_file);
+    if (!r.timeseries_file.empty())
+      json.kv("timeseries_file", r.timeseries_file);
     json.end();
   }
   json.end();
@@ -91,6 +93,19 @@ void write_bench_json(const SweepResult& result, std::ostream& os,
     for (const ScenarioResult& r : result.scenarios)
       json.value(r.wall_seconds);
     json.end();
+    if (!result.profile.empty()) {
+      json.key("profile");
+      json.begin_array();
+      for (const HostProfileRow& row : result.profile) {
+        json.begin_object();
+        json.kv("name", row.name);
+        json.kv("count", row.count);
+        json.kv("inclusive_ns", row.inclusive_ns);
+        json.kv("exclusive_ns", row.exclusive_ns);
+        json.end();
+      }
+      json.end();
+    }
     json.end();
   }
   json.end();

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -24,11 +25,23 @@
 
 namespace autopipe::sweep {
 
+/// One host-profiler category row (see src/common/profile) for the timing
+/// section — host wall time, so non-deterministic like the rest of timing.
+struct HostProfileRow {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t inclusive_ns = 0;
+  std::uint64_t exclusive_ns = 0;
+};
+
 /// All scenario outcomes in spec-expansion order, plus run-wide host timing.
 struct SweepResult {
   std::vector<ScenarioResult> scenarios;
   std::size_t jobs = 1;        ///< worker threads the sweep ran with
   double wall_seconds = 0.0;   ///< host wall-clock for the whole sweep
+  /// Per-category host-profiler breakdown; empty unless the sweep ran with
+  /// the self-profiler enabled (autopipe_sweep --profile).
+  std::vector<HostProfileRow> profile;
 };
 
 /// Render the per-scenario summary table (one row per scenario, spec

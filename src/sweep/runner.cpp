@@ -38,6 +38,8 @@ void run_body(const ScenarioSpec& spec, const ArtifactOptions& artifacts,
   if (emit) {
     simulator.tracer().set_enabled(true);
     if (spec.system == "autopipe") simulator.ledger().set_enabled(true);
+    if (artifacts.timeseries_interval > 0.0)
+      simulator.timeseries().configure(artifacts.timeseries_interval);
   }
 
   sim::ClusterConfig cluster_config;
@@ -148,6 +150,12 @@ void run_body(const ScenarioSpec& spec, const ArtifactOptions& artifacts,
       auto out = open(base + ".ledger");
       simulator.ledger().write_text(out);
       result.ledger_file = base + ".ledger";
+    }
+    if (simulator.timeseries().enabled()) {
+      simulator.timeseries().finalize(simulator.now(), simulator.metrics());
+      auto out = open(base + ".ts");
+      simulator.timeseries().write_text(out);
+      result.timeseries_file = base + ".ts";
     }
   }
 }

@@ -18,6 +18,11 @@ namespace autopipe::sweep {
 /// write `<directory>/<label>.ledger`. Paths land in the ScenarioResult.
 struct ArtifactOptions {
   std::string directory;
+  /// When > 0, also sample the metrics registry every `timeseries_interval`
+  /// sim-seconds and write `<directory>/<label>.ts` (autopipe-ts-v1 — see
+  /// docs/TELEMETRY.md). The sampler output is a pure function of the spec,
+  /// so it is byte-identical across --jobs values and event-queue kinds.
+  double timeseries_interval = 0.0;
 };
 
 /// Outcome of one scenario. Every field except wall_seconds is a pure
@@ -43,6 +48,7 @@ struct ScenarioResult {
   std::string trace_file;    ///< written artifacts, empty when not emitted
   std::string metrics_file;
   std::string ledger_file;
+  std::string timeseries_file;
 };
 
 /// Run the scenario to completion. Exceptions from anywhere inside the run

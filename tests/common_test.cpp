@@ -2,6 +2,7 @@
 // contract macros, units and the table printer.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -231,6 +232,44 @@ TEST(MetricsRolling, FlattenedMergesScalarsAndSeries) {
   metrics.clear();
   EXPECT_TRUE(metrics.empty());
   EXPECT_EQ(metrics.observations("calibration.ape"), 0u);
+}
+
+TEST(MetricsNonFinite, AddAndSetSkipAndCountDrops) {
+  trace::MetricsRegistry metrics;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  metrics.add("flow.bytes", 100.0);
+  metrics.add("flow.bytes", nan);   // skipped, counter untouched
+  metrics.add("flow.bytes", inf);
+  EXPECT_DOUBLE_EQ(metrics.value("flow.bytes"), 100.0);
+  metrics.set("speed", 5.0);
+  metrics.set("speed", -inf);       // gauge keeps its previous value
+  EXPECT_DOUBLE_EQ(metrics.value("speed"), 5.0);
+  EXPECT_DOUBLE_EQ(
+      metrics.value(trace::MetricsRegistry::kDroppedSamplesKey), 3.0);
+}
+
+TEST(MetricsNonFinite, ObserveSkipsAndSeriesStaysClean) {
+  trace::MetricsRegistry metrics;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  metrics.observe("err", 2.0);
+  metrics.observe("err", nan);  // EMA, window and count all untouched
+  metrics.observe("err", 4.0);
+  EXPECT_EQ(metrics.observations("err"), 2u);
+  EXPECT_DOUBLE_EQ(metrics.window_mean("err"), 3.0);
+  const auto flat = metrics.flattened();
+  EXPECT_DOUBLE_EQ(flat.at("err.count"), 2.0);
+  EXPECT_DOUBLE_EQ(
+      flat.at(trace::MetricsRegistry::kDroppedSamplesKey), 1.0);
+}
+
+TEST(MetricsNonFinite, DroppedCounterVisibleInAllAndFlattened) {
+  trace::MetricsRegistry metrics;
+  EXPECT_FALSE(metrics.has(trace::MetricsRegistry::kDroppedSamplesKey));
+  metrics.set("g", std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(metrics.has(trace::MetricsRegistry::kDroppedSamplesKey));
+  EXPECT_DOUBLE_EQ(
+      metrics.all().at(trace::MetricsRegistry::kDroppedSamplesKey), 1.0);
 }
 
 TEST(RunningStats, MatchesBatch) {

@@ -9,13 +9,16 @@
 //   autopipe_sim --model bert48 --schedule dapple --micro-batches 8 \
 //                --system autopipe --bw-drop-iter 30 --bw-drop-gbps 10
 //   autopipe_sim --model alexnet --system baseline --scheme ps
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <utility>
 
 #include "analysis/json.hpp"
 #include "analysis/report.hpp"
+#include "common/profile.hpp"
 #include "analysis/trace_view.hpp"
 #include "autopipe/controller.hpp"
 #include "baselines/data_parallel.hpp"
@@ -83,7 +86,32 @@ void usage() {
       "                        record per planning round; see\n"
       "                        docs/DECISIONS.md, analyze with\n"
       "                        autopipe_trace decisions / calibration)\n"
+      "  --timeseries PATH[:INTERVAL]\n"
+      "                        sample the full metrics registry every\n"
+      "                        INTERVAL sim-seconds (default 1) into the\n"
+      "                        columnar autopipe-ts-v1 format; analyze with\n"
+      "                        autopipe_trace timeseries (docs/TELEMETRY.md)\n"
+      "  --profile PATH        record the host self-profiler (where the\n"
+      "                        tool itself spends wall time: planner,\n"
+      "                        predictor, event queue); .json gives Chrome\n"
+      "                        trace_event format, anything else the\n"
+      "                        autopipe-prof-v1 text format for\n"
+      "                        autopipe_trace profile\n"
       "  --verbose             debug logging\n";
+}
+
+// Split "PATH[:INTERVAL]". The suffix after the last ':' is an interval
+// only when it parses fully as a positive number, so paths that happen to
+// contain colons keep working.
+std::pair<std::string, double> split_timeseries_spec(const std::string& spec) {
+  const std::string::size_type colon = spec.rfind(':');
+  if (colon != std::string::npos && colon + 1 < spec.size()) {
+    char* end = nullptr;
+    const double v = std::strtod(spec.c_str() + colon + 1, &end);
+    if (end != nullptr && *end == '\0' && v > 0.0)
+      return {spec.substr(0, colon), v};
+  }
+  return {spec, 1.0};
 }
 
 pipeline::ScheduleMode parse_schedule(const std::string& name) {
@@ -135,6 +163,20 @@ int main(int argc, char** argv) {
   if (!ledger_path.empty()) {
     expect_writable(ledger_path, "ledger");
     simulator.ledger().set_enabled(true);
+  }
+  std::string timeseries_path;
+  double timeseries_interval = 1.0;
+  if (flags.has("timeseries")) {
+    std::tie(timeseries_path, timeseries_interval) =
+        split_timeseries_spec(flags.get("timeseries", ""));
+    expect_writable(timeseries_path, "timeseries");
+    simulator.timeseries().configure(timeseries_interval);
+  }
+  const std::string profile_path = flags.get("profile", "");
+  if (!profile_path.empty()) {
+    expect_writable(profile_path, "profile");
+    prof::reset();
+    prof::set_enabled(true);
   }
   sim::ClusterConfig cluster_config;
   cluster_config.num_servers =
@@ -298,6 +340,39 @@ int main(int argc, char** argv) {
     simulator.ledger().write_text(out);
     std::cout << "ledger: " << simulator.ledger().size() << " decisions -> "
               << ledger_path << "\n";
+  }
+
+  if (!timeseries_path.empty()) {
+    simulator.timeseries().finalize(simulator.now(), simulator.metrics());
+    std::ofstream out(timeseries_path);
+    AUTOPIPE_EXPECT_MSG(out.good(),
+                        "cannot open timeseries file " << timeseries_path);
+    simulator.timeseries().write_text(out);
+    std::cout << "timeseries: " << simulator.timeseries().size()
+              << " samples every "
+              << TextTable::num(timeseries_interval, 3) << "s -> "
+              << timeseries_path << "\n";
+  }
+
+  if (!profile_path.empty()) {
+    prof::set_enabled(false);
+    const std::vector<prof::ThreadProfile> profiles = prof::collect();
+    std::ofstream out(profile_path);
+    AUTOPIPE_EXPECT_MSG(out.good(),
+                        "cannot open profile file " << profile_path);
+    const bool json =
+        profile_path.size() >= 5 &&
+        profile_path.rfind(".json") == profile_path.size() - 5;
+    if (json) {
+      prof::write_chrome_json(profiles, out);
+    } else {
+      prof::write_text(profiles, out);
+    }
+    std::size_t spans = 0;
+    for (const prof::ThreadProfile& tp : profiles)
+      spans += tp.spans.size() + tp.aggregates.size();
+    std::cout << "profile: " << spans << " span record(s) across "
+              << profiles.size() << " thread(s) -> " << profile_path << "\n";
   }
 
   TextTable summary({"metric", "value"});

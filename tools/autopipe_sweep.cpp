@@ -12,10 +12,13 @@
 //   autopipe_sweep --spec=@bench/sweeps/smoke.sweep --tolerance=0.10
 //       --baseline=bench/baselines/sweep_smoke_baseline.json
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
+#include "analysis/profile_report.hpp"
 #include "common/flags.hpp"
+#include "common/profile.hpp"
 #include "common/table.hpp"
 #include "sweep/engine.hpp"
 #include "sweep/report.hpp"
@@ -42,6 +45,17 @@ void usage() {
       "                        (non-deterministic; leave off for baselines)\n"
       "  --artifacts DIR       per-scenario trace/metrics/ledger files in\n"
       "                        DIR (must exist)\n"
+      "  --timeseries [INTERVAL]\n"
+      "                        with --artifacts, also write a per-scenario\n"
+      "                        <label>.ts metric time-series sampled every\n"
+      "                        INTERVAL sim-seconds (default 1;\n"
+      "                        autopipe-ts-v1, byte-identical at any --jobs;\n"
+      "                        see docs/TELEMETRY.md)\n"
+      "  --profile PATH        record the host self-profiler across the\n"
+      "                        sweep (planner/predictor/queue/sweep worker\n"
+      "                        time) into PATH (autopipe-prof-v1; .json =\n"
+      "                        Chrome trace) and add a per-category\n"
+      "                        \"profile\" breakdown to the --timing section\n"
       "  --baseline PATH       gate against a committed BENCH_sweep.json\n"
       "  --tolerance FRAC      allowed throughput drop vs baseline\n"
       "                        (default 0.10)\n"
@@ -84,8 +98,35 @@ int main(int argc, char** argv) {
   const double tolerance = flags.get_double("tolerance", 0.10);
   sweep::ArtifactOptions artifacts;
   artifacts.directory = flags.get("artifacts", "");
+  if (flags.has("timeseries")) {
+    const std::string value = flags.get("timeseries", "");
+    // Bare --timeseries parses as the boolean "true": take the default.
+    artifacts.timeseries_interval =
+        value == "true" ? 1.0 : std::strtod(value.c_str(), nullptr);
+    if (!(artifacts.timeseries_interval > 0.0)) {
+      std::cerr << "autopipe_sweep: --timeseries expects a positive "
+                   "interval, got '" << value << "'\n";
+      return 2;
+    }
+    if (artifacts.directory.empty()) {
+      std::cerr << "autopipe_sweep: --timeseries needs --artifacts DIR\n";
+      return 2;
+    }
+  }
+  const std::string profile_path = flags.get("profile", "");
   for (const std::string& flag : flags.unused())
     std::cerr << "warning: unknown flag --" << flag << " (see --help)\n";
+
+  if (!profile_path.empty()) {
+    std::ofstream probe(profile_path);
+    if (!probe.good()) {
+      std::cerr << "autopipe_sweep: cannot open profile file: "
+                << profile_path << "\n";
+      return 2;
+    }
+    prof::reset();
+    prof::set_enabled(true);
+  }
 
   // Fail on an unwritable output now, not after the whole sweep.
   if (!out_path.empty()) {
@@ -107,6 +148,30 @@ int main(int argc, char** argv) {
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+
+  if (!profile_path.empty()) {
+    // Worker threads joined inside run_indexed, so collect() is safe.
+    prof::set_enabled(false);
+    const std::vector<prof::ThreadProfile> profiles = prof::collect();
+    const analysis::ProfileReport profile_report =
+        analysis::build_profile_report(profiles);
+    for (const analysis::ProfileEntry& e : profile_report.categories) {
+      result.profile.push_back(
+          {e.name, e.count, e.inclusive_ns, e.exclusive_ns});
+    }
+    std::ofstream out(profile_path);
+    const bool json =
+        profile_path.size() >= 5 &&
+        profile_path.rfind(".json") == profile_path.size() - 5;
+    if (json) {
+      prof::write_chrome_json(profiles, out);
+    } else {
+      prof::write_text(profiles, out);
+    }
+    std::cout << "profile: " << profile_report.categories.size()
+              << " categories across " << profiles.size()
+              << " thread(s) -> " << profile_path << "\n";
+  }
 
   sweep::write_summary_table(result, std::cout);
   std::cout << "wall: " << TextTable::num(result.wall_seconds, 2) << "s on "

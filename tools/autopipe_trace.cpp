@@ -27,7 +27,9 @@
 #include "analysis/critical_path.hpp"
 #include "analysis/gantt.hpp"
 #include "analysis/ledger_reader.hpp"
+#include "analysis/profile_report.hpp"
 #include "analysis/report.hpp"
+#include "analysis/timeseries_reader.hpp"
 #include "analysis/trace_reader.hpp"
 #include "analysis/trace_view.hpp"
 #include "common/expect.hpp"
@@ -36,6 +38,10 @@
 using namespace autopipe;
 
 namespace {
+
+// Bumped when any subcommand's output format changes; --json payloads carry
+// their own "schema" key on top of this.
+constexpr const char* kVersion = "1.1.0";
 
 int usage(std::ostream& os, int code) {
   os <<
@@ -64,9 +70,26 @@ int usage(std::ostream& os, int code) {
       "      prediction-vs-realized calibration: speed MAPE/bias, arbiter\n"
       "      accept rate and regret; with TRACE, also switch-cost error\n"
       "      against the measured stalls (see docs/DECISIONS.md)\n"
+      "  autopipe_trace timeseries TS [--json] [--width=N] [--drop=FRAC]\n"
+      "      sparkline dashboard over an autopipe-ts-v1 metric time-series\n"
+      "      (--timeseries=PATH from autopipe_sim/autopipe_sweep); flags\n"
+      "      anomalies such as a speed drop steeper than FRAC (default\n"
+      "      0.2) with no decision activity in the same window\n"
+      "  autopipe_trace profile PROF [--json] [--top=N] [--flame]\n"
+      "                 [--gate=NAME:NS[:TOL]]\n"
+      "      host self-profiler report (autopipe-prof-v1 from --profile=):\n"
+      "      per-category and per-span inclusive/exclusive time; --flame\n"
+      "      prints collapsed stacks for flamegraph.pl; --gate fails (exit\n"
+      "      1) when NAME's mean ns/call exceeds NS*(1+TOL) (TOL 0.15)\n"
+      "  autopipe_trace version | --version\n"
+      "      print the tool version on one line\n"
       "\n"
       "  critical-path also accepts --ledger=PATH to report which planning\n"
-      "  rounds fired inside critical-path wait segments\n";
+      "  rounds fired inside critical-path wait segments\n"
+      "\n"
+      "exit codes: 0 success; 1 analysis failure, differing diff, failed\n"
+      "--check or --gate; 2 usage error (bad flags or arguments). Every\n"
+      "--json payload carries a format-version \"schema\" key.\n";
   return code;
 }
 
@@ -78,7 +101,10 @@ struct Options {
   std::size_t width = 100;
   std::size_t window = 5;
   double tolerance = 0.0;
+  double drop = 0.2;
+  bool flame = false;
   std::string ledger;
+  std::string gate;
 };
 
 bool parse_options(int argc, char** argv, Options& opts) {
@@ -99,6 +125,12 @@ bool parse_options(int argc, char** argv, Options& opts) {
       opts.tolerance = std::strtod(arg.c_str() + 12, nullptr);
     } else if (arg.rfind("--ledger=", 0) == 0) {
       opts.ledger = arg.substr(9);
+    } else if (arg.rfind("--drop=", 0) == 0) {
+      opts.drop = std::strtod(arg.c_str() + 7, nullptr);
+    } else if (arg.rfind("--gate=", 0) == 0) {
+      opts.gate = arg.substr(7);
+    } else if (arg == "--flame") {
+      opts.flame = true;
     } else if (arg == "--check") {
       opts.check = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -146,11 +178,91 @@ int main(int argc, char** argv) {
   if (command == "--help" || command == "-h" || command == "help") {
     return usage(std::cout, 0);
   }
+  if (command == "--version" || command == "version") {
+    std::cout << "autopipe_trace " << kVersion
+              << " (autopipe-ts-v1, autopipe-prof-v1)\n";
+    return 0;
+  }
 
   Options opts;
   if (!parse_options(argc, argv, opts)) return 2;
 
   try {
+    if (command == "timeseries") {
+      if (opts.positional.size() != 1) {
+        std::cerr << "timeseries needs exactly one time-series file\n";
+        return 2;
+      }
+      const analysis::TimeSeries ts =
+          analysis::read_timeseries_file(opts.positional[0]);
+      const analysis::TimeSeriesReport report =
+          analysis::analyze_timeseries(ts, opts.drop);
+      if (opts.json) {
+        analysis::write_timeseries_json(report, std::cout);
+      } else {
+        std::cout << analysis::render_timeseries(ts, report, opts.width);
+      }
+      return 0;
+    }
+
+    if (command == "profile") {
+      if (opts.positional.size() != 1) {
+        std::cerr << "profile needs exactly one profile file\n";
+        return 2;
+      }
+      const std::vector<prof::ThreadProfile> profiles =
+          analysis::read_profile_file(opts.positional[0]);
+      const analysis::ProfileReport report =
+          analysis::build_profile_report(profiles);
+      if (opts.flame) {
+        analysis::write_collapsed_stacks(profiles, std::cout);
+      } else if (opts.json) {
+        analysis::write_profile_json(report, std::cout);
+      } else {
+        analysis::render_profile(report, profiles, opts.top, std::cout);
+      }
+      if (!opts.gate.empty()) {
+        // --gate=NAME:NS[:TOL] — span names never contain ':', so the
+        // first colon ends the name.
+        const std::string::size_type c1 = opts.gate.find(':');
+        if (c1 == std::string::npos) {
+          std::cerr << "--gate needs NAME:NS[:TOL]\n";
+          return 2;
+        }
+        const std::string name = opts.gate.substr(0, c1);
+        const std::string rest = opts.gate.substr(c1 + 1);
+        const std::string::size_type c2 = rest.find(':');
+        const double baseline_ns =
+            std::strtod(rest.substr(0, c2).c_str(), nullptr);
+        const double tol =
+            c2 == std::string::npos
+                ? 0.15
+                : std::strtod(rest.substr(c2 + 1).c_str(), nullptr);
+        if (baseline_ns <= 0.0) {
+          std::cerr << "--gate baseline must be a positive ns count\n";
+          return 2;
+        }
+        const double measured = analysis::span_ns_per_call(report, name);
+        const double limit = baseline_ns * (1.0 + tol);
+        if (measured <= 0.0) {
+          std::cerr << "autopipe_trace: gate span '" << name
+                    << "' not present in profile\n";
+          return 1;
+        }
+        std::cerr << "gate " << name << ": "
+                  << trace::format_double(measured) << " ns/call vs limit "
+                  << trace::format_double(limit) << " (baseline "
+                  << trace::format_double(baseline_ns) << " +"
+                  << trace::format_double(tol * 100.0) << "%)\n";
+        if (measured > limit) {
+          std::cerr << "autopipe_trace: gate FAILED\n";
+          return 1;
+        }
+        std::cerr << "gate ok\n";
+      }
+      return 0;
+    }
+
     if (command == "diff") {
       if (opts.positional.size() != 2) {
         std::cerr << "diff needs exactly two trace files\n";

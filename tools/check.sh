@@ -9,6 +9,7 @@
 #   tools/check.sh --ledger-smoke # build + ledger smoke only (fast)
 #   tools/check.sh --sweep-smoke  # build + baseline-gated sweep only (fast)
 #   tools/check.sh --parity       # build + heap-vs-wheel differential only
+#   tools/check.sh --telemetry    # build + time-series/profiler smoke only
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -19,6 +20,7 @@ cmake_args=()
 ledger_smoke_only=0
 sweep_smoke_only=0
 parity_only=0
+telemetry_only=0
 if [[ "${1:-}" == "--sanitize" ]]; then
   build="${BUILD_DIR:-$repo/build-asan}"
   cmake_args+=(-DAUTOPIPE_SANITIZE=ON)
@@ -30,8 +32,10 @@ elif [[ "${1:-}" == "--sweep-smoke" ]]; then
   sweep_smoke_only=1
 elif [[ "${1:-}" == "--parity" ]]; then
   parity_only=1
+elif [[ "${1:-}" == "--telemetry" ]]; then
+  telemetry_only=1
 elif [[ $# -gt 0 ]]; then
-  echo "usage: tools/check.sh [--sanitize|--ledger-smoke|--sweep-smoke|--parity]" >&2
+  echo "usage: tools/check.sh [--sanitize|--ledger-smoke|--sweep-smoke|--parity|--telemetry]" >&2
   exit 2
 fi
 
@@ -73,6 +77,30 @@ sweep_smoke() {
       --baseline="$repo/bench/baselines/sweep_smoke_baseline.json"
 }
 
+# Telemetry smoke: a churny run with the metric time-series sampler and the
+# host self-profiler on, every `autopipe_trace timeseries`/`profile` surface
+# exercised, and planner decide-round time gated at +15% against the
+# committed bench/baselines/telemetry_planner_baseline.json (see
+# docs/TELEMETRY.md for how to regenerate after an intentional change).
+telemetry_smoke() {
+  echo "== telemetry smoke =="
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' RETURN
+  "$build/tools/autopipe_sim" --model vgg16 --iterations 120 \
+      --bw-drop-iter 30 --bw-drop-gbps 10 \
+      --timeseries "$tmp/run.ts:0.5" --profile "$tmp/run.prof" > /dev/null
+  "$build/tools/autopipe_trace" timeseries "$tmp/run.ts"
+  "$build/tools/autopipe_trace" timeseries "$tmp/run.ts" --json > /dev/null
+  "$build/tools/autopipe_trace" profile "$tmp/run.prof" --top=5
+  "$build/tools/autopipe_trace" profile "$tmp/run.prof" --flame > /dev/null
+  local baseline_ns
+  baseline_ns="$(sed -n 's/.*"planner_ns_per_round": *\([0-9.]*\).*/\1/p' \
+      "$repo/bench/baselines/telemetry_planner_baseline.json")"
+  "$build/tools/autopipe_trace" profile "$tmp/run.prof" \
+      --gate="planner/decide_round:$baseline_ns:0.15" > /dev/null
+}
+
 echo "== configure =="
 cmake -B "$build" -S "$repo" "${cmake_args[@]}"
 
@@ -97,6 +125,12 @@ if [[ "$parity_only" == 1 ]]; then
   exit 0
 fi
 
+if [[ "$telemetry_only" == 1 ]]; then
+  telemetry_smoke
+  echo "OK"
+  exit 0
+fi
+
 echo "== test =="
 ctest --test-dir "$build" --output-on-failure -j "$jobs"
 
@@ -115,5 +149,7 @@ ledger_smoke
 sweep_smoke
 
 parity_smoke
+
+telemetry_smoke
 
 echo "OK"

@@ -73,7 +73,10 @@ trace::OutcomeStatus parse_status(const std::string& raw,
   for (trace::OutcomeStatus s :
        {trace::OutcomeStatus::kPending, trace::OutcomeStatus::kExecuted,
         trace::OutcomeStatus::kReverted, trace::OutcomeStatus::kRejected,
-        trace::OutcomeStatus::kSuperseded}) {
+        trace::OutcomeStatus::kSuperseded,
+        trace::OutcomeStatus::kAbortedPrepare,
+        trace::OutcomeStatus::kAbortedDrain,
+        trace::OutcomeStatus::kAbortedTransfer}) {
     if (raw == trace::outcome_status_name(s)) return s;
   }
   fail(line_no, "unknown outcome status '" + raw + "'");

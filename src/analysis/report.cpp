@@ -185,12 +185,17 @@ std::string render_switches_text(const RunAnalysis& a) {
     os << "no partition switches in this trace\n";
     return os.str();
   }
-  TextTable t({"#", "mode", "at (s)", "duration (s)", "migrated (MB)",
-               "iters during", "period before", "period after", "speedup",
-               "stall (s)", "payback (iters)"});
+  TextTable t({"#", "mode", "outcome", "at (s)", "duration (s)",
+               "migrated (MB)", "iters during", "period before",
+               "period after", "speedup", "stall (s)", "payback (iters)"});
   for (const SwitchPostMortem& s : a.switches) {
+    const std::string outcome =
+        s.aborted ? "aborted_" + s.abort_phase +
+                        (s.abort_reason.empty() ? "" : " (" + s.abort_reason +
+                                                           ")")
+                  : "committed";
     t.add_row({std::to_string(s.index), s.mode.empty() ? "?" : s.mode,
-               fmt(s.request_ts), fmt(s.duration),
+               outcome, fmt(s.request_ts), fmt(s.duration),
                TextTable::num(s.migration_bytes / 1e6, 3),
                std::to_string(s.iterations_during), fmt(s.period_before),
                fmt(s.period_after), TextTable::num(s.speedup_pct, 1) + "%",
@@ -281,6 +286,11 @@ void switches_json(JsonWriter& w, const RunAnalysis& a) {
     w.begin_object();
     w.kv("index", s.index);
     w.kv("mode", s.mode);
+    w.kv("aborted", s.aborted);
+    if (s.aborted) {
+      w.kv("abort_phase", s.abort_phase);
+      w.kv("abort_reason", s.abort_reason);
+    }
     w.kv("request_ts", s.request_ts);
     w.kv("finish_ts", s.finish_ts);
     w.kv("duration", s.duration);

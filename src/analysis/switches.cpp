@@ -50,7 +50,10 @@ std::vector<SwitchPostMortem> switch_post_mortems(const TraceView& view,
   };
   std::vector<Migration> migrations;
   for (const trace::Event& ev : view.events()) {
-    if (ev.phase == 'i' && ev.name == "migration_begin") {
+    // switch_prepare carries the staged protocol's migration plan;
+    // migration_begin is the pre-protocol name, kept for old traces.
+    if (ev.phase == 'i' &&
+        (ev.name == "switch_prepare" || ev.name == "migration_begin")) {
       Migration m{ev.ts, 0.0, 0};
       if (const std::string* b = ev.find_arg("bytes"))
         m.bytes = std::strtod(b->c_str(), nullptr);
@@ -61,9 +64,8 @@ std::vector<SwitchPostMortem> switch_post_mortems(const TraceView& view,
     }
   }
 
-  for (const trace::Event* span : view.switch_spans()) {
+  const auto analyze_span = [&](const trace::Event* span) {
     SwitchPostMortem pm;
-    pm.index = out.size();
     pm.request_ts = span->ts;
     pm.finish_ts = span->ts + span->dur;
     pm.duration = span->dur;
@@ -82,14 +84,21 @@ std::vector<SwitchPostMortem> switch_post_mortems(const TraceView& view,
 
     pm.period_before = mean_period(marks, pm.request_ts, true, window);
     pm.period_after = mean_period(marks, pm.finish_ts, false, window);
-    if (pm.period_before > 0.0 && pm.period_after > 0.0) {
-      pm.speedup_pct = (pm.period_before / pm.period_after - 1.0) * 100.0;
-    }
     if (pm.period_before > 0.0) {
       pm.stall_seconds =
           std::max(0.0, pm.duration - static_cast<double>(
                                           pm.iterations_during) *
                                           pm.period_before);
+    }
+    return pm;
+  };
+
+  for (const trace::Event* span : view.switch_spans()) {
+    SwitchPostMortem pm = analyze_span(span);
+    if (pm.period_before > 0.0 && pm.period_after > 0.0) {
+      pm.speedup_pct = (pm.period_before / pm.period_after - 1.0) * 100.0;
+    }
+    if (pm.period_before > 0.0) {
       const double gain = pm.period_before - pm.period_after;
       if (pm.period_after > 0.0 && gain > 0.0) {
         pm.payback_iterations = pm.stall_seconds / gain;
@@ -97,6 +106,21 @@ std::vector<SwitchPostMortem> switch_post_mortems(const TraceView& view,
     }
     out.push_back(std::move(pm));
   }
+
+  for (const trace::Event* span : view.aborted_switch_spans()) {
+    SwitchPostMortem pm = analyze_span(span);
+    pm.aborted = true;
+    if (const std::string* p = span->find_arg("phase")) pm.abort_phase = *p;
+    if (const std::string* r = span->find_arg("reason"))
+      pm.abort_reason = *r;
+    out.push_back(std::move(pm));
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SwitchPostMortem& a, const SwitchPostMortem& b) {
+                     return a.request_ts < b.request_ts;
+                   });
+  for (std::size_t i = 0; i < out.size(); ++i) out[i].index = i;
   return out;
 }
 

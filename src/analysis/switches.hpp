@@ -17,9 +17,16 @@ namespace autopipe::analysis {
 struct SwitchPostMortem {
   std::size_t index = 0;         ///< 0-based, in time order
   double request_ts = 0.0;       ///< switch span start (the request instant)
-  double finish_ts = 0.0;        ///< new partition adopted
+  double finish_ts = 0.0;        ///< new partition adopted (or rolled back)
   double duration = 0.0;
   std::string mode;              ///< "stw" | "fine" | "" when unrecorded
+  /// True for attempts that aborted and rolled back instead of committing;
+  /// abort_phase/abort_reason carry the protocol phase the fault struck in
+  /// and why (worker_loss, link_loss, emergency). speedup/payback stay at
+  /// their defaults — an aborted switch buys nothing.
+  bool aborted = false;
+  std::string abort_phase;
+  std::string abort_reason;
   double migration_bytes = 0.0;
   std::size_t migration_pairs = 0;
   /// Iteration marks inside (request, finish].
@@ -39,8 +46,9 @@ struct SwitchPostMortem {
   double payback_iterations = -1.0;
 };
 
-/// One post-mortem per completed `switch` span, in time order. `window`
-/// bounds how many iteration gaps on each side estimate the periods.
+/// One post-mortem per attempted switch — committed `switch` spans and
+/// `switch_aborted` spans alike — in time order. `window` bounds how many
+/// iteration gaps on each side estimate the periods.
 std::vector<SwitchPostMortem> switch_post_mortems(const TraceView& view,
                                                   std::size_t window = 5);
 

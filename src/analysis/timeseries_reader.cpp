@@ -168,6 +168,47 @@ TimeSeriesReport analyze_timeseries(const TimeSeries& ts,
       report.anomalies.push_back(std::move(a));
     }
   }
+
+  // Abort-storm scan: three or more switch aborts accumulating without a
+  // single commit in between. The counters are cumulative, so we measure
+  // aborts since the last row where switch.committed increased.
+  std::vector<std::size_t> abort_cols;
+  for (std::size_t c = 1; c < ts.columns.size(); ++c)
+    if (ts.columns[c].rfind("switch.aborted.", 0) == 0)
+      abort_cols.push_back(c);
+  const std::size_t committed = ts.column_index("switch.committed");
+  if (!abort_cols.empty() && !ts.rows.empty()) {
+    const auto aborts_at = [&](std::size_t i) {
+      double sum = 0.0;
+      for (const std::size_t c : abort_cols) sum += ts.rows[i][c];
+      return sum;
+    };
+    const auto commits_at = [&](std::size_t i) {
+      return committed != ts.columns.size() ? ts.rows[i][committed] : 0.0;
+    };
+    double base_aborts = aborts_at(0);
+    double last_commits = commits_at(0);
+    bool flagged = false;  // one flag per storm, not one per sample
+    for (std::size_t i = 1; i < ts.rows.size(); ++i) {
+      if (commits_at(i) > last_commits) {
+        last_commits = commits_at(i);
+        base_aborts = aborts_at(i);
+        flagged = false;
+        continue;
+      }
+      const double aborts = aborts_at(i) - base_aborts;
+      if (flagged || aborts < 3.0) continue;
+      SeriesAnomaly a;
+      a.kind = "abort_storm";
+      a.time = ts.rows[i][0];
+      a.column = "switch.aborted.*";
+      a.before = base_aborts;
+      a.after = aborts_at(i);
+      a.drop_frac = aborts;
+      report.anomalies.push_back(std::move(a));
+      flagged = true;
+    }
+  }
   return report;
 }
 
@@ -234,6 +275,14 @@ std::string render_timeseries(const TimeSeries& ts,
   } else {
     os << "\n" << report.anomalies.size() << " anomaly flag(s):\n";
     for (const SeriesAnomaly& a : report.anomalies) {
+      if (a.kind == "abort_storm") {
+        os << "  t=" << trace::format_double(a.time) << "  ABORT STORM: "
+           << TextTable::num(a.drop_frac, 0)
+           << " switch aborts with no commit in between ("
+           << TextTable::num(a.before, 0) << " -> "
+           << TextTable::num(a.after, 0) << " cumulative)\n";
+        continue;
+      }
       os << "  t=" << trace::format_double(a.time) << "  " << a.column
          << " dropped " << TextTable::num(a.drop_frac * 100.0, 1) << "% ("
          << TextTable::num(a.before, 1) << " -> "
@@ -270,6 +319,7 @@ void write_timeseries_json(const TimeSeriesReport& report, std::ostream& os) {
   w.begin_array();
   for (const SeriesAnomaly& a : report.anomalies) {
     w.begin_object();
+    w.kv("kind", a.kind);
     w.kv("time", a.time);
     w.kv("column", a.column);
     w.kv("before", a.before);

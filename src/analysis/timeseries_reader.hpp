@@ -32,11 +32,16 @@ TimeSeries read_timeseries_file(const std::string& path);
 
 /// One flagged window between consecutive samples.
 struct SeriesAnomaly {
+  /// "speed_drop": a steep fall in instantaneous speed. "abort_storm":
+  /// switch.aborted.* counters climbed `drop_frac`-many times with no
+  /// switch.committed increase in between — the controller is thrashing
+  /// against a switch that cannot land.
+  std::string kind = "speed_drop";
   double time = 0.0;        ///< boundary where the drop was observed
   std::string column;       ///< the metric that dropped
   double before = 0.0;
   double after = 0.0;
-  double drop_frac = 0.0;   ///< 1 - after/before
+  double drop_frac = 0.0;   ///< speed_drop: 1 - after/before; storm: aborts
   /// True when no decision-activity column (arbiter.*, controller.*,
   /// ledger.*, switch.*) changed across the same window — the controller
   /// slept through a speed cliff.

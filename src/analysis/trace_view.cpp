@@ -63,6 +63,11 @@ void TraceView::index_events() {
                ev.name == "switch") {
       switch_spans_.push_back(&ev);
       switch_windows_.add(ev.ts, end);
+    } else if (ev.phase == 'X' &&
+               ev.category == trace::Category::kSwitch &&
+               ev.name == "switch_aborted") {
+      aborted_switch_spans_.push_back(&ev);
+      switch_windows_.add(ev.ts, end);
     } else if (ev.phase == 'i' && ev.name == "iteration") {
       iteration_marks_.push_back(ev.ts);
     } else if (ev.phase == 'b' && ev.name == "flow") {
@@ -91,6 +96,11 @@ void TraceView::index_events() {
                      });
   }
   std::stable_sort(switch_spans_.begin(), switch_spans_.end(),
+                   [](const trace::Event* a, const trace::Event* b) {
+                     return a->ts < b->ts;
+                   });
+  std::stable_sort(aborted_switch_spans_.begin(),
+                   aborted_switch_spans_.end(),
                    [](const trace::Event* a, const trace::Event* b) {
                      return a->ts < b->ts;
                    });

@@ -55,6 +55,11 @@ class TraceView {
   const std::vector<const trace::Event*>& switch_spans() const {
     return switch_spans_;
   }
+  /// `switch_aborted` spans (request to abort), in time order — attempts
+  /// that rolled back instead of committing.
+  const std::vector<const trace::Event*>& aborted_switch_spans() const {
+    return aborted_switch_spans_;
+  }
   /// Union of the switch spans — the reconfiguration windows.
   const IntervalSet& switch_windows() const { return switch_windows_; }
   /// Timestamps of the per-iteration completion marks, sorted.
@@ -116,6 +121,7 @@ class TraceView {
   std::map<int, WorkerIndex> per_worker_;
 
   std::vector<const trace::Event*> switch_spans_;
+  std::vector<const trace::Event*> aborted_switch_spans_;
   IntervalSet switch_windows_;
   std::vector<double> iteration_marks_;
   std::vector<FlowRecord> flows_;

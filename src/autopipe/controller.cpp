@@ -51,6 +51,16 @@ AutoPipeController::AutoPipeController(sim::Cluster& cluster,
   ledger().set_run_info(static_cast<int>(executor_.batch_size()),
                         static_cast<int>(cluster_.num_workers()),
                         executor_.model().name());
+  // Observe the executor's staged switch protocol: validation arms on
+  // Commit, fault aborts feed the retry/backoff/abandonment policy.
+  switch_observer_token_ = executor_.add_switch_observer(
+      [this](const pipeline::PipelineExecutor::SwitchAttempt& a) {
+        on_switch_event(a);
+      });
+}
+
+AutoPipeController::~AutoPipeController() {
+  executor_.remove_switch_observer(switch_observer_token_);
 }
 
 void AutoPipeController::attach() {
@@ -238,8 +248,15 @@ void AutoPipeController::on_iteration(std::size_t completed_iterations) {
             return;
           }
           rejected_.insert(executor_.current_partition().to_string());
+          // The revert is itself a staged switch: track it so a fault
+          // mid-revert retries with backoff (but never re-validates it).
+          drop_tracked_switch("revert");
+          tracked_switch_ = TrackedSwitch(validation_->previous,
+                                          executor_.current_partition());
           if (!executor_.request_switch(validation_->previous,
                                         config_.switch_mode)) {
+            tracked_switch_.reset();
+            ++retry_epoch_;
             return;  // switch engine busy: retry the revert next iteration
           }
           resolve_validation_record(
@@ -256,10 +273,9 @@ void AutoPipeController::on_iteration(std::size_t completed_iterations) {
                  trace::arg("period_after", after_period)});
           }
           consecutive_reverts_ = std::min<std::size_t>(
-              consecutive_reverts_ + 1, 6);
-          cooldown_until_ =
-              completed_iterations +
-              (config_.revert_cooldown << consecutive_reverts_);
+              consecutive_reverts_ + 1, config_.max_revert_backoff_shift);
+          cooldown_until_ = completed_iterations +
+                            revert_backoff_iterations(consecutive_reverts_);
         } else {
           consecutive_reverts_ = 0;  // the switch held up under measurement
           resolve_validation_record(
@@ -318,6 +334,16 @@ double AutoPipeController::baseline_period() const {
   std::vector<double> sorted(recent_period_.begin(), recent_period_.end());
   std::sort(sorted.begin(), sorted.end());
   return sorted[sorted.size() / 2];  // median: robust to fill-phase spikes
+}
+
+std::size_t AutoPipeController::revert_backoff_iterations(
+    std::size_t reverts) const {
+  // Hard clamp below the word width so even a pathological configuration
+  // (max_revert_backoff_shift >= 64) cannot shift into undefined behaviour;
+  // the config ceiling is what bounds the pause in practice.
+  const std::size_t shift = std::min<std::size_t>(
+      std::min(reverts, config_.max_revert_backoff_shift), 48);
+  return config_.revert_cooldown << shift;
 }
 
 namespace {
@@ -404,9 +430,16 @@ bool AutoPipeController::pursue_target() {
     return false;
   }
   ++target_steps_;
+  // Intermediate migration steps are tracked (fault aborts retry them) but
+  // never validated: they may transit through worse configurations.
+  drop_tracked_switch("new_decision");
+  tracked_switch_ = TrackedSwitch(best->partition, current);
   if (executor_.request_switch(best->partition, config_.switch_mode)) {
     ++stats_.switches_requested;
     last_switch_iteration_ = executor_.completed_iterations();
+  } else if (tracked_switch_) {
+    tracked_switch_.reset();
+    ++retry_epoch_;
   }
   return true;
 }
@@ -490,8 +523,23 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
       LOG_DEBUG("re-plan adoption: " << plan.to_string() << " (predicted "
                                      << current_speed << " -> " << plan_speed
                                      << ")");
-      partition::Partition previous = current;
       if (ledger_on) fill_replan(plan, plan_speed);
+      // Arm the tracked switch (and its ledger record) *before* the request:
+      // an empty-pipeline attempt can run Prepare → Commit synchronously,
+      // and the Commit observer is what arms the validation window.
+      const bool arm_validation =
+          config_.validate_switches && !recent_period_.empty();
+      drop_tracked_switch("new_decision");
+      tracked_switch_ =
+          TrackedSwitch(plan, current,
+                        arm_validation ? baseline_period() : 0.0,
+                        arm_validation);
+      if (ledger_on) {
+        resolve_validation_record(trace::OutcomeStatus::kSuperseded, -1.0, 0,
+                                  "new_decision");
+        supersede_probes("new_decision");
+        tracked_switch_->ledger_id = ledger().add(std::move(rec));
+      }
       if (executor_.request_switch(plan, config_.switch_mode)) {
         cluster_.simulator().metrics().add("controller.replans");
         if (cluster_.simulator().tracer().enabled()) {
@@ -503,31 +551,19 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
         }
         ++stats_.switches_requested;
         last_switch_iteration_ = executor_.completed_iterations();
-        const bool arm_validation =
-            config_.validate_switches && !recent_period_.empty();
-        if (ledger_on) {
-          resolve_validation_record(trace::OutcomeStatus::kSuperseded, -1.0,
-                                    0, "new_decision");
-        }
-        if (arm_validation) {
-          validation_ = Validation{std::move(previous), baseline_period(),
-                                   executor_.completed_iterations(), -1.0, 0,
-                                 std::nullopt};
-        }
-        if (ledger_on) {
-          supersede_probes("new_decision");
-          const std::uint64_t id = ledger().add(std::move(rec));
-          if (arm_validation) {
-            validation_->ledger_id = id;
-          } else {
-            probes_.push_back(LedgerProbe{
-                id, true, executor_.completed_iterations(), -1.0, 0});
-          }
-        }
         return;
       }
-      // Switch engine busy: fall through to the neighbourhood round with a
-      // fresh record.
+      // Switch engine busy: the verdict never took effect. Fall through to
+      // the neighbourhood round with a fresh record.
+      if (tracked_switch_) {
+        if (tracked_switch_->ledger_id) {
+          ledger_resolve(*tracked_switch_->ledger_id,
+                         trace::OutcomeStatus::kSuperseded, -1.0, 0,
+                         "engine_busy");
+        }
+        tracked_switch_.reset();
+        ++retry_epoch_;
+      }
       if (ledger_on) init_record();
     }
   }
@@ -718,40 +754,38 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
   }
 
   if (action == 1) {
-    partition::Partition previous = executor_.current_partition();
+    // Tracked switch (and ledger record) armed before the request so a
+    // synchronous Commit finds them; validation arms only when the staged
+    // protocol commits, never for an attempt that aborts mid-flight.
+    const bool arm_validation =
+        config_.validate_switches && !recent_period_.empty();
+    drop_tracked_switch("new_decision");
+    tracked_switch_ =
+        TrackedSwitch(best->partition, executor_.current_partition(),
+                      arm_validation ? baseline_period() : 0.0,
+                      arm_validation);
+    if (ledger_on) {
+      resolve_validation_record(trace::OutcomeStatus::kSuperseded, -1.0, 0,
+                                "new_decision");
+      // An adopted switch opens a new regime: earlier probes stop here.
+      supersede_probes("new_decision");
+      tracked_switch_->ledger_id = ledger().add(std::move(rec));
+    }
     if (executor_.request_switch(best->partition, config_.switch_mode)) {
       ++stats_.switches_requested;
       last_switch_iteration_ = executor_.completed_iterations();
-      const bool arm_validation =
-          config_.validate_switches && !recent_period_.empty();
-      if (ledger_on) {
-        resolve_validation_record(trace::OutcomeStatus::kSuperseded, -1.0, 0,
-                                  "new_decision");
-      }
-      if (arm_validation) {
-        validation_ = Validation{std::move(previous), baseline_period(),
-                                 executor_.completed_iterations(), -1.0, 0,
-                                 std::nullopt};
-      }
-      if (ledger_on) {
-        // An adopted switch opens a new regime: earlier probes stop here.
-        supersede_probes("new_decision");
-        const std::uint64_t id = ledger().add(std::move(rec));
-        if (arm_validation) {
-          validation_->ledger_id = id;  // validation verdict resolves it
-        } else {
-          probes_.push_back(LedgerProbe{
-              id, true, executor_.completed_iterations(), -1.0, 0});
-        }
-      }
       LOG_DEBUG("switching to " << best->partition.to_string()
                                 << " (predicted " << current_speed << " -> "
                                 << best_speed << " samples/s)");
-    } else if (ledger_on) {
+    } else if (tracked_switch_) {
       // The switch engine was busy: the verdict never took effect.
-      const std::uint64_t id = ledger().add(std::move(rec));
-      ledger_resolve(id, trace::OutcomeStatus::kSuperseded, -1.0, 0,
-                     "engine_busy");
+      if (tracked_switch_->ledger_id) {
+        ledger_resolve(*tracked_switch_->ledger_id,
+                       trace::OutcomeStatus::kSuperseded, -1.0, 0,
+                       "engine_busy");
+      }
+      tracked_switch_.reset();
+      ++retry_epoch_;
     }
   } else if (ledger_on) {
     const std::uint64_t id = ledger().add(std::move(rec));
@@ -893,7 +927,9 @@ void AutoPipeController::attempt_recovery(Seconds now) {
   sim.metrics().add("controller.emergency_replans");
   excluded_workers_ = std::move(dead);
   // The emergency plan invalidates every piece of steady-state decision
-  // context.
+  // context (an in-flight switch was already aborted through the staged
+  // protocol by emergency_adopt; its tracked state resolved there).
+  drop_tracked_switch("fault");
   resolve_validation_record(trace::OutcomeStatus::kSuperseded, -1.0, 0,
                             "fault");
   supersede_probes("fault");
@@ -936,7 +972,14 @@ bool AutoPipeController::maybe_readmit(const ProfileSnapshot& snapshot) {
     drop_returned();
     return false;
   }
-  if (!executor_.request_switch(*plan, config_.switch_mode)) return false;
+  drop_tracked_switch("readmit");
+  tracked_switch_ =
+      TrackedSwitch(*plan, executor_.current_partition());
+  if (!executor_.request_switch(*plan, config_.switch_mode)) {
+    tracked_switch_.reset();
+    ++retry_epoch_;
+    return false;
+  }
   ++stats_.readmissions;
   ++stats_.switches_requested;
   last_switch_iteration_ = executor_.completed_iterations();
@@ -954,6 +997,168 @@ bool AutoPipeController::maybe_readmit(const ProfileSnapshot& snapshot) {
   validation_.reset();
   rejected_.clear();
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Interruptible-switch tracking: retry / backoff / abandonment
+// ---------------------------------------------------------------------------
+
+namespace {
+
+trace::OutcomeStatus aborted_outcome(
+    pipeline::SwitchPhase phase) {
+  using SwitchPhase = pipeline::SwitchPhase;
+  switch (phase) {
+    case SwitchPhase::kDrain:
+      return trace::OutcomeStatus::kAbortedDrain;
+    case SwitchPhase::kTransfer:
+      return trace::OutcomeStatus::kAbortedTransfer;
+    default:
+      return trace::OutcomeStatus::kAbortedPrepare;
+  }
+}
+
+}  // namespace
+
+void AutoPipeController::on_switch_event(
+    const pipeline::PipelineExecutor::SwitchAttempt& a) {
+  using SwitchPhase = pipeline::SwitchPhase;
+  auto& sim = cluster_.simulator();
+  if (a.phase == SwitchPhase::kCommit) {
+    if (!tracked_switch_) return;  // e.g. an emergency adoption's own switch
+    TrackedSwitch tracked = std::move(*tracked_switch_);
+    tracked_switch_.reset();
+    ++retry_epoch_;
+    // Validation arms only now: an attempt that aborted never changed the
+    // running configuration, so there is nothing to measure or revert.
+    if (tracked.arm_validation) {
+      validation_ =
+          Validation{std::move(tracked.previous), tracked.period_before,
+                     executor_.completed_iterations(), -1.0, 0,
+                     tracked.ledger_id};
+    } else if (tracked.ledger_id) {
+      probes_.push_back(LedgerProbe{*tracked.ledger_id, true,
+                                    executor_.completed_iterations(), -1.0,
+                                    0});
+    }
+    return;
+  }
+  if (a.phase != SwitchPhase::kAborted) return;
+
+  // Switch-cost accounting for aborted work: the attempt consumed wall
+  // time (and, mid-Transfer, network bytes — counted by the executor as
+  // switch.rollback_bytes) without delivering a new configuration.
+  sim.metrics().add("controller.aborted_switch_seconds",
+                    sim.now() - a.requested_at);
+
+  if (a.abort_reason == "emergency") {
+    // attempt_recovery owns the aftermath; the decided target is moot.
+    if (tracked_switch_) {
+      if (tracked_switch_->ledger_id) {
+        ledger_resolve(*tracked_switch_->ledger_id,
+                       trace::OutcomeStatus::kSuperseded, -1.0, 0, "fault");
+      }
+      tracked_switch_.reset();
+      ++retry_epoch_;
+    }
+    return;
+  }
+
+  if (!tracked_switch_) {
+    // An attempt this controller did not issue (harness- or test-driven):
+    // adopt it so the retry policy covers every aborted switch.
+    if (!a.target) return;
+    tracked_switch_ =
+        TrackedSwitch(*a.target, executor_.current_partition());
+  }
+  tracked_switch_->last_abort_phase = a.aborted_in;
+  schedule_switch_retry();
+}
+
+void AutoPipeController::schedule_switch_retry() {
+  AUTOPIPE_EXPECT(tracked_switch_.has_value());
+  TrackedSwitch& t = *tracked_switch_;
+  if (t.retry_scheduled) return;
+  if (t.attempts >= config_.switch_retry_max) {
+    abandon_tracked_switch();
+    return;
+  }
+  t.retry_scheduled = true;
+  const Seconds delay =
+      config_.switch_retry_base_interval *
+      std::pow(config_.switch_retry_backoff,
+               static_cast<double>(t.attempts - 1));
+  const std::uint64_t epoch = retry_epoch_;
+  cluster_.simulator().after(
+      delay,
+      [this, epoch] {
+        if (epoch != retry_epoch_ || !tracked_switch_) return;
+        TrackedSwitch& tr = *tracked_switch_;
+        tr.retry_scheduled = false;
+        if (tr.target == executor_.current_partition()) {
+          // Someone (a rejoin repair, another decision) already landed the
+          // configuration; nothing left to retry.
+          drop_tracked_switch("target_reached");
+          return;
+        }
+        if (executor_.switch_in_progress() ||
+            !partition_reachable(tr.target)) {
+          // Engine busy or the target still routes through an unreachable
+          // worker: burn one attempt and back off again, so a permanently
+          // dead worker leads to abandonment rather than eternal polling.
+          ++tr.attempts;
+          schedule_switch_retry();
+          return;
+        }
+        ++tr.attempts;
+        if (executor_.request_switch(tr.target, config_.switch_mode)) {
+          ++stats_.switch_retries;
+          auto& sim = cluster_.simulator();
+          sim.metrics().add("switch.retries");
+          if (sim.tracer().enabled()) {
+            sim.tracer().instant(trace::Category::kControl, "switch_retry",
+                                 sim.now(), trace::kPidControl, 1,
+                                 {trace::arg("attempt", tr.attempts)});
+          }
+        } else {
+          schedule_switch_retry();
+        }
+      },
+      "switch_retry");
+}
+
+void AutoPipeController::abandon_tracked_switch() {
+  TrackedSwitch t = std::move(*tracked_switch_);
+  tracked_switch_.reset();
+  ++retry_epoch_;
+  ++stats_.switch_abandonments;
+  auto& sim = cluster_.simulator();
+  sim.metrics().add("switch.abandoned");
+  if (sim.tracer().enabled()) {
+    sim.tracer().instant(
+        trace::Category::kControl, "switch_abandon", sim.now(),
+        trace::kPidControl, 1,
+        {trace::arg("attempts", t.attempts),
+         trace::arg("phase",
+                    pipeline::switch_phase_name(t.last_abort_phase))});
+  }
+  if (t.ledger_id) {
+    ledger_resolve(*t.ledger_id, aborted_outcome(t.last_abort_phase), -1.0,
+                   0, "abandoned");
+  }
+  // Repeated fault pressure on this exact move: skip it until the
+  // environment changes again.
+  rejected_.insert(t.target.to_string());
+}
+
+void AutoPipeController::drop_tracked_switch(const std::string& reason) {
+  if (!tracked_switch_) return;
+  if (tracked_switch_->ledger_id) {
+    ledger_resolve(*tracked_switch_->ledger_id,
+                   trace::OutcomeStatus::kSuperseded, -1.0, 0, reason);
+  }
+  tracked_switch_.reset();
+  ++retry_epoch_;
 }
 
 // ---------------------------------------------------------------------------

@@ -70,6 +70,13 @@ struct ControllerConfig {
   bool validate_switches = true;
   std::size_t validation_window = 8;
   std::size_t revert_cooldown = 6;
+  /// Ceiling on the consecutive-revert exponential backoff: the decision
+  /// cooldown after the n-th straight revert is
+  /// `revert_cooldown << min(n, max_revert_backoff_shift)` iterations, so
+  /// many successive reverts saturate at a bounded pause (with the defaults,
+  /// 6 << 6 = 384 iterations) instead of overflowing the shift or freezing
+  /// planning forever. See revert_backoff_iterations().
+  std::size_t max_revert_backoff_shift = 6;
   /// A switch survives validation only if the measured period improves by
   /// at least this fraction; otherwise it is reverted and blacklisted.
   double regression_tolerance = 0.005;
@@ -103,6 +110,17 @@ struct ControllerConfig {
   std::size_t recovery_max_retries = 6;
   /// Backoff multiplier between consecutive recovery attempts.
   double recovery_backoff_base = 2.0;
+
+  // --- Interruptible-switch retry policy ---
+  /// A switch attempt aborted by a fault mid-protocol (the executor rolls
+  /// the partial migration back) is retried after an exponential backoff of
+  /// `switch_retry_base_interval * switch_retry_backoff^(n-1)` simulated
+  /// seconds. After `switch_retry_max` total attempts the target is
+  /// abandoned: its ledger record resolves to the aborted_<phase> outcome
+  /// of the last attempt and the partition is blacklisted for the regime.
+  std::size_t switch_retry_max = 3;
+  Seconds switch_retry_base_interval = 0.05;
+  double switch_retry_backoff = 2.0;
 };
 
 class AutoPipeController {
@@ -114,6 +132,7 @@ class AutoPipeController {
                      ControllerConfig config, MetaNetwork* meta,
                      rl::DqnAgent* agent,
                      FeatureEncoder encoder = FeatureEncoder{});
+  ~AutoPipeController();
 
   /// Register as the executor's iteration callback. Call once.
   void attach();
@@ -133,8 +152,17 @@ class AutoPipeController {
     std::size_t emergency_replans = 0;
     std::size_t readmissions = 0;
     std::size_t recovery_giveups = 0;
+    // Interruptible-switch retry policy.
+    std::size_t switch_retries = 0;
+    std::size_t switch_abandonments = 0;
   };
   const Stats& stats() const { return stats_; }
+
+  /// Decision cooldown (iterations) after `reverts` consecutive reverted
+  /// switches: `revert_cooldown << min(reverts, max_revert_backoff_shift)`,
+  /// with the shift additionally clamped below the word width so no
+  /// configuration can overflow. Public so tests can pin the ceiling.
+  std::size_t revert_backoff_iterations(std::size_t reverts) const;
 
   const FeatureEncoder& encoder() const { return encoder_; }
 
@@ -188,6 +216,19 @@ class AutoPipeController {
   void resolve_validation_record(trace::OutcomeStatus status, double realized,
                                  int window, const std::string& reason);
 
+  // --- Interruptible-switch tracking (retry / backoff / abandonment) ---
+  /// Executor phase-observer hook: arms validation on Commit, schedules a
+  /// backed-off retry (or abandons) on a fault Abort.
+  void on_switch_event(const pipeline::PipelineExecutor::SwitchAttempt& a);
+  /// Schedule the next retry of the tracked switch, or abandon it once the
+  /// attempt budget is spent.
+  void schedule_switch_retry();
+  /// Terminal failure: resolve the ledger record to aborted_<phase>,
+  /// blacklist the target for this regime, emit `switch.abandoned`.
+  void abandon_tracked_switch();
+  /// A newer decision (or recovery) supersedes the tracked switch.
+  void drop_tracked_switch(const std::string& reason);
+
   sim::Cluster& cluster_;
   pipeline::PipelineExecutor& executor_;
   ControllerConfig config_;
@@ -225,6 +266,33 @@ class AutoPipeController {
     std::optional<std::uint64_t> ledger_id;
   };
   std::optional<Validation> validation_;
+
+  /// A decided switch being shepherded through the executor's staged
+  /// protocol. Armed before request_switch so a synchronous Commit sees it;
+  /// cleared on Commit (validation/probe arming moves there — an aborted
+  /// attempt must not be validated) or on abandonment/supersession.
+  struct TrackedSwitch {
+    TrackedSwitch(partition::Partition t, partition::Partition prev,
+                  double period = 0.0, bool arm = false)
+        : target(std::move(t)),
+          previous(std::move(prev)),
+          period_before(period),
+          arm_validation(arm) {}
+    partition::Partition target;
+    partition::Partition previous;   ///< revert destination if validated out
+    double period_before = 0.0;
+    bool arm_validation = false;
+    std::size_t attempts = 1;        ///< request_switch calls issued so far
+    bool retry_scheduled = false;
+    std::optional<std::uint64_t> ledger_id;
+    pipeline::SwitchPhase last_abort_phase =
+        pipeline::SwitchPhase::kIdle;
+  };
+  std::optional<TrackedSwitch> tracked_switch_;
+  std::uint64_t switch_observer_token_ = 0;
+  /// Bumped whenever tracked_switch_ is consumed; orphans scheduled retries.
+  std::uint64_t retry_epoch_ = 0;
+
   std::size_t cooldown_until_ = 0;
   /// Consecutive reverted switches; drives exponential decision backoff so
   /// a mispredicting predictor cannot thrash a stable environment.

@@ -22,6 +22,12 @@ const char* outcome_status_name(OutcomeStatus status) {
       return "rejected";
     case OutcomeStatus::kSuperseded:
       return "superseded";
+    case OutcomeStatus::kAbortedPrepare:
+      return "aborted_prepare";
+    case OutcomeStatus::kAbortedDrain:
+      return "aborted_drain";
+    case OutcomeStatus::kAbortedTransfer:
+      return "aborted_transfer";
   }
   return "pending";
 }

@@ -43,6 +43,13 @@ enum class OutcomeStatus {
   kReverted,    ///< switch adopted then rolled back by validation
   kRejected,    ///< hold decision, realized speed measured under status quo
   kSuperseded,  ///< overtaken before measurement completed (fault, new plan…)
+  // A decided switch whose staged execution was interrupted by a fault and,
+  // after the controller's retry budget ran out, abandoned. The phase names
+  // the furthest point the *last* attempt reached before aborting; each
+  // attempted switch resolves to exactly one terminal outcome.
+  kAbortedPrepare,   ///< aborted while planning the migration
+  kAbortedDrain,     ///< aborted while draining in-flight batches (STW only)
+  kAbortedTransfer,  ///< aborted mid-weight-migration and rolled back
 };
 
 const char* outcome_status_name(OutcomeStatus status);

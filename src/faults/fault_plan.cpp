@@ -333,13 +333,31 @@ FaultPlan parse_random(const std::string& body, std::size_t num_servers,
   ChaosSpec spec;
   std::istringstream is(body);
   std::string kv;
+  std::size_t entry_no = 0;
   while (std::getline(is, kv, ',')) {
+    ++entry_no;
     if (kv.empty()) continue;
     const std::size_t eq = kv.find('=');
     AUTOPIPE_EXPECT_MSG(eq != std::string::npos,
-                        "fault spec: expected key=value, got '" << kv << "'");
+                        "fault spec: random entry " << entry_no
+                            << ": expected key=value, got '" << kv << "'");
     const std::string key = kv.substr(0, eq);
-    const double value = std::stod(kv.substr(eq + 1));
+    AUTOPIPE_EXPECT_MSG(!key.empty(), "fault spec: random entry "
+                                          << entry_no << ": empty key in '"
+                                          << kv << "'");
+    const std::string raw = kv.substr(eq + 1);
+    bool numeric = false;
+    double value = 0.0;
+    std::size_t used = 0;
+    try {
+      value = std::stod(raw, &used);
+      numeric = used == raw.size();
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    }
+    AUTOPIPE_EXPECT_MSG(numeric, "fault spec: random entry "
+                                     << entry_no << ": field '" << key
+                                     << "': bad number '" << raw << "'");
     if (key == "seed") {
       spec.seed = static_cast<std::uint64_t>(value);
     } else if (key == "start") {
@@ -361,8 +379,9 @@ FaultPlan parse_random(const std::string& body, std::size_t num_servers,
     } else if (key == "max_outage") {
       spec.max_outage = value;
     } else {
-      AUTOPIPE_EXPECT_MSG(false,
-                          "fault spec: unknown random key '" << key << "'");
+      AUTOPIPE_EXPECT_MSG(false, "fault spec: random entry "
+                                     << entry_no << ": unknown random key '"
+                                     << key << "'");
     }
   }
   return random_plan(spec, num_servers, gpus_per_server);

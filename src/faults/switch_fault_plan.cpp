@@ -1,0 +1,123 @@
+#include "faults/switch_fault_plan.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace autopipe::faults {
+
+SwitchFaultPlan::SwitchFaultPlan(sim::Cluster& cluster,
+                                 pipeline::PipelineExecutor& executor)
+    : cluster_(cluster), executor_(executor) {
+  observer_token_ = executor_.add_switch_observer(
+      [this](const pipeline::PipelineExecutor::SwitchAttempt& a) {
+        on_switch_event(a);
+      });
+}
+
+SwitchFaultPlan::~SwitchFaultPlan() {
+  executor_.remove_switch_observer(observer_token_);
+}
+
+SwitchFaultPlan& SwitchFaultPlan::add(SwitchCrashPoint point) {
+  AUTOPIPE_EXPECT_MSG(point.kind == FaultEvent::Kind::kGpuDown ||
+                          point.kind == FaultEvent::Kind::kLinkDown ||
+                          point.kind == FaultEvent::Kind::kStragglerBegin ||
+                          point.kind == FaultEvent::Kind::kProfilerDrop,
+                      "crash points inject outages; recovery events are "
+                      "derived from recover_after");
+  points_.push_back(point);
+  scheduled_.push_back(0);
+  return *this;
+}
+
+std::size_t SwitchFaultPlan::pick_target(
+    const pipeline::PipelineExecutor::SwitchAttempt& a,
+    FaultEvent::Kind kind) const {
+  // The victim must participate in the attempt, otherwise the fault cannot
+  // interrupt the protocol; rotating on the attempt id keeps retries from
+  // always hitting the same worker while staying seed-deterministic.
+  const bool is_link = kind == FaultEvent::Kind::kLinkDown;
+  if (is_link) {
+    if (a.involved_servers.empty()) return 0;
+    return a.involved_servers[static_cast<std::size_t>(a.id) %
+                              a.involved_servers.size()];
+  }
+  if (a.involved_workers.empty()) return 0;
+  return a.involved_workers[static_cast<std::size_t>(a.id) %
+                            a.involved_workers.size()];
+}
+
+void SwitchFaultPlan::on_switch_event(
+    const pipeline::PipelineExecutor::SwitchAttempt& a) {
+  auto& sim = cluster_.simulator();
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const SwitchCrashPoint& point = points_[i];
+    if (point.phase != a.phase) continue;
+    if (point.nth_attempt != 0 && point.nth_attempt != a.id) continue;
+    if (point.max_shots != 0 && scheduled_[i] >= point.max_shots) continue;
+    ++scheduled_[i];
+
+    FaultEvent ev;
+    ev.kind = point.kind;
+    ev.index = pick_target(a, point.kind);
+    if (point.kind == FaultEvent::Kind::kStragglerBegin)
+      ev.value = point.straggler_scale;
+
+    // Never mutate the cluster from inside the executor's phase
+    // notification: route the fault through the simulator, so the abort
+    // happens as its own event (and replays identically on any queue).
+    const std::uint64_t attempt_id = a.id;
+    const pipeline::SwitchPhase phase = a.phase;
+    const Seconds recover_after = point.recover_after;
+    sim.after(
+        point.delay,
+        [this, ev, attempt_id, phase, recover_after] {
+          if (ev.kind == FaultEvent::Kind::kStragglerBegin) {
+            // An overlapping straggler on the same worker would leave a
+            // dangling recovery; skip the duplicate injection.
+            if (std::find(active_stragglers_.begin(),
+                          active_stragglers_.end(),
+                          ev.index) != active_stragglers_.end())
+              return;
+            active_stragglers_.push_back(ev.index);
+          }
+          FaultPlan::apply(ev, cluster_);
+          fired_.push_back(SwitchFaultShot{attempt_id, phase, ev,
+                                           cluster_.simulator().now()});
+          if (recover_after <= 0.0) return;
+          FaultEvent recovery = ev;
+          switch (ev.kind) {
+            case FaultEvent::Kind::kGpuDown:
+              recovery.kind = FaultEvent::Kind::kGpuUp;
+              break;
+            case FaultEvent::Kind::kLinkDown:
+              recovery.kind = FaultEvent::Kind::kLinkUp;
+              break;
+            case FaultEvent::Kind::kStragglerBegin:
+              recovery.kind = FaultEvent::Kind::kStragglerEnd;
+              break;
+            case FaultEvent::Kind::kProfilerDrop:
+              recovery.kind = FaultEvent::Kind::kProfilerRestore;
+              break;
+            default:
+              return;  // add() rejects non-outage kinds
+          }
+          cluster_.simulator().after(
+              recover_after,
+              [this, recovery] {
+                if (recovery.kind == FaultEvent::Kind::kStragglerEnd) {
+                  active_stragglers_.erase(
+                      std::remove(active_stragglers_.begin(),
+                                  active_stragglers_.end(), recovery.index),
+                      active_stragglers_.end());
+                }
+                FaultPlan::apply(recovery, cluster_);
+              },
+              "switch_fault_recovery");
+        },
+        "switch_fault_injection");
+  }
+}
+
+}  // namespace autopipe::faults

@@ -1,5 +1,6 @@
 #include "parity/differential.hpp"
 
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -7,6 +8,7 @@
 #include "comm/framework.hpp"
 #include "common/rng.hpp"
 #include "faults/fault_plan.hpp"
+#include "faults/switch_fault_plan.hpp"
 #include "models/zoo.hpp"
 #include "partition/pipedream_planner.hpp"
 #include "pipeline/executor.hpp"
@@ -37,6 +39,20 @@ faults::FaultPlan plan_for_seed(std::uint64_t seed) {
   spec.max_outage = 0.15;
   spec.flap_outage = 0.01;
   return faults::random_plan(spec, kServers, kGpusPerServer);
+}
+
+/// The current partition with each stage handed the next stage's workers:
+/// a valid layout where every worker serves a different layer range, so the
+/// switch genuinely migrates weights instead of finding them in place.
+partition::Partition rotate_workers(const partition::Partition& current) {
+  std::vector<partition::StageAssignment> stages = current.stages();
+  if (stages.size() > 1) {
+    std::vector<sim::WorkerId> first = stages.front().workers;
+    for (std::size_t s = 0; s + 1 < stages.size(); ++s)
+      stages[s].workers = stages[s + 1].workers;
+    stages.back().workers = std::move(first);
+  }
+  return partition::Partition(std::move(stages), current.num_layers());
 }
 
 std::string metrics_text(const trace::MetricsRegistry& metrics) {
@@ -74,7 +90,22 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   pipeline::ExecutorConfig executor_config;
   executor_config.framework = comm::pytorch_profile();
   executor_config.sync_scheme = comm::SyncScheme::kRing;
-  pipeline::PipelineExecutor executor(cluster, model, plan.partition,
+  // The planner's pick for this testbed is single-stage data parallelism,
+  // where every worker replicates every layer and a switch has nothing to
+  // move. Mid-switch scenarios start from an even pipeline split instead so
+  // the Transfer phase carries real weight migrations to interrupt.
+  const partition::Partition initial =
+      config.mid_switch_faults
+          ? partition::Partition::even_split(
+                model.num_layers(),
+                [&] {
+                  std::vector<sim::WorkerId> workers(cluster.num_workers());
+                  for (std::size_t w = 0; w < workers.size(); ++w)
+                    workers[w] = static_cast<sim::WorkerId>(w);
+                  return workers;
+                }())
+          : plan.partition;
+  pipeline::PipelineExecutor executor(cluster, model, initial,
                                       executor_config);
 
   core::ControllerConfig cc;
@@ -87,6 +118,42 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   faults::FaultPlan fault_plan;
   if (config.inject_faults) fault_plan = plan_for_seed(config.seed);
   fault_plan.install(simulator, cluster);
+
+  // The plan must outlive executor.run(): it holds the executor-side phase
+  // observer and the recovery events it schedules.
+  std::optional<faults::SwitchFaultPlan> switch_faults;
+  if (config.mid_switch_faults) {
+    static constexpr pipeline::SwitchPhase kPhases[] = {
+        pipeline::SwitchPhase::kPrepare, pipeline::SwitchPhase::kDrain,
+        pipeline::SwitchPhase::kTransfer, pipeline::SwitchPhase::kCommit};
+    static constexpr faults::FaultEvent::Kind kKinds[] = {
+        faults::FaultEvent::Kind::kGpuDown, faults::FaultEvent::Kind::kLinkDown,
+        faults::FaultEvent::Kind::kStragglerBegin,
+        faults::FaultEvent::Kind::kProfilerDrop};
+    faults::SwitchCrashPoint point;
+    point.phase = kPhases[config.seed % 4];
+    point.kind = kKinds[(config.seed / 4) % 4];
+    point.nth_attempt = 0;  // hit retries of the aborted switch too
+    point.max_shots = 4;    // bounded: commit-phase outages would otherwise
+                            // re-fire on every readmission commit, forever
+    point.recover_after = 0.1;
+    switch_faults.emplace(cluster, executor);
+    switch_faults->add(point);
+
+    // Drain is a stop-the-world-only phase; otherwise let the seed pick.
+    using SwitchMode = pipeline::PipelineExecutor::SwitchMode;
+    const SwitchMode mode =
+        point.phase == pipeline::SwitchPhase::kDrain || config.seed % 2 == 0
+            ? SwitchMode::kStopTheWorld
+            : SwitchMode::kFineGrained;
+    simulator.after(
+        0.12,
+        [&executor, mode] {
+          executor.request_switch(rotate_workers(executor.current_partition()),
+                                  mode);
+        },
+        "parity_switch_trigger");
+  }
 
   if (config.background_churn) {
     // Rates scaled to the sub-second run the same way the fault plan is:

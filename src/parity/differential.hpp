@@ -31,6 +31,11 @@ struct ScenarioConfig {
   bool inject_faults = true;
   /// Install seeded background-tenant churn on GPUs and the network.
   bool background_churn = true;
+  /// Trigger a deterministic mid-run partition switch and arm a
+  /// SwitchFaultPlan crash point against it (phase, fault kind and switch
+  /// mode all derived from the seed), so aborted and rolled-back switches
+  /// are part of the byte-for-byte parity contract too.
+  bool mid_switch_faults = false;
 };
 
 /// Every observable artifact of one run. Two queue kinds are "at parity"

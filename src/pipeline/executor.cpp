@@ -9,6 +9,24 @@
 
 namespace autopipe::pipeline {
 
+const char* switch_phase_name(SwitchPhase phase) {
+  switch (phase) {
+    case SwitchPhase::kIdle:
+      return "idle";
+    case SwitchPhase::kPrepare:
+      return "prepare";
+    case SwitchPhase::kDrain:
+      return "drain";
+    case SwitchPhase::kTransfer:
+      return "transfer";
+    case SwitchPhase::kCommit:
+      return "commit";
+    case SwitchPhase::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
 PipelineExecutor::PipelineExecutor(sim::Cluster& cluster,
                                    const models::ModelSpec& model,
                                    partition::Partition initial,
@@ -29,6 +47,7 @@ PipelineExecutor::PipelineExecutor(sim::Cluster& cluster,
   stage_timing_.assign(current_partition_->num_stages(), StageTiming{});
   bandwidth_ema_.assign(cluster_.num_workers(),
                         Ema(config_.bandwidth_ema_alpha));
+  set_holders_from(*current_partition_);
   cluster_.set_worker_state_callback([this](sim::WorkerId w, bool up) {
     if (up) {
       notify_worker_up(w);
@@ -36,10 +55,14 @@ PipelineExecutor::PipelineExecutor(sim::Cluster& cluster,
       notify_worker_down(w);
     }
   });
+  cluster_.set_link_state_callback([this](std::size_t server, bool up) {
+    if (!up) maybe_abort_switch_on_link(server);
+  });
 }
 
 PipelineExecutor::~PipelineExecutor() {
   cluster_.set_worker_state_callback(nullptr);
+  cluster_.set_link_state_callback(nullptr);
 }
 
 void PipelineExecutor::set_iteration_callback(IterationCallback cb) {
@@ -139,8 +162,7 @@ void PipelineExecutor::fill_pipeline() {
     if (sync_state_.empty()) start_sync_iteration();
     return;
   }
-  while (active_batches_ < in_flight_ &&
-         !(switch_state_ && switch_state_->draining)) {
+  while (active_batches_ < in_flight_ && !draining()) {
     inject_async_batch();
   }
 }
@@ -516,8 +538,7 @@ void PipelineExecutor::on_iteration_complete() {
                           last_iteration_time_);
   }
 
-  if (switch_state_ && switch_state_->draining)
-    metrics().add("executor.stalled_batches");
+  if (draining()) metrics().add("executor.stalled_batches");
   if (tracer().enabled()) {
     tracer().instant(trace::Category::kMark, "iteration", now,
                      trace::kPidControl, 0,
@@ -526,12 +547,11 @@ void PipelineExecutor::on_iteration_complete() {
 
   if (iteration_callback_) iteration_callback_(completed_iterations_);
 
-  if (switch_state_ && switch_state_->draining && active_batches_ == 0 &&
-      switch_state_->transfers_pending == 0) {
-    begin_migration();
+  if (draining() && active_batches_ == 0) {
+    enter_transfer();
     return;
   }
-  if (switch_state_ && switch_state_->draining) return;  // keep draining
+  if (draining()) return;  // keep draining
 
   if (is_synchronous(config_.mode)) {
     if (active_batches_ == 0 && running_ && partition_serviceable())
@@ -545,9 +565,10 @@ void PipelineExecutor::on_iteration_complete() {
 // Transfers with bandwidth observation
 // ---------------------------------------------------------------------------
 
-void PipelineExecutor::observed_transfer(const char* label, sim::WorkerId src,
-                                         sim::WorkerId dst, Bytes bytes,
-                                         std::function<void()> done) {
+sim::FlowId PipelineExecutor::observed_transfer(const char* label,
+                                                sim::WorkerId src,
+                                                sim::WorkerId dst, Bytes bytes,
+                                                std::function<void()> done) {
   const Seconds started = cluster_.simulator().now();
   // Track the flow id so emergency recovery can cancel this executor's
   // outstanding transfers. The holder is filled in after start; the
@@ -576,6 +597,7 @@ void PipelineExecutor::observed_transfer(const char* label, sim::WorkerId src,
     *flow_handle = flow;
     live_flows_.insert(flow);
   }
+  return flow;
 }
 
 BytesPerSec PipelineExecutor::observed_bandwidth(sim::WorkerId worker) const {
@@ -591,57 +613,75 @@ BytesPerSec PipelineExecutor::observed_bandwidth(sim::WorkerId worker) const {
 // Partition switching
 // ---------------------------------------------------------------------------
 
+SwitchPhase PipelineExecutor::switch_phase() const {
+  return switch_state_ ? switch_state_->attempt.phase : SwitchPhase::kIdle;
+}
+
+std::uint64_t PipelineExecutor::add_switch_observer(SwitchObserver observer) {
+  const std::uint64_t token = next_observer_token_++;
+  switch_observers_.emplace_back(token, std::move(observer));
+  return token;
+}
+
+void PipelineExecutor::remove_switch_observer(std::uint64_t token) {
+  switch_observers_.erase(
+      std::remove_if(switch_observers_.begin(), switch_observers_.end(),
+                     [token](const auto& e) { return e.first == token; }),
+      switch_observers_.end());
+}
+
+void PipelineExecutor::notify_switch_observers(const SwitchAttempt& attempt) {
+  // Iterate a copy: an observer may register or remove observers.
+  const auto observers = switch_observers_;
+  for (const auto& [token, fn] : observers) {
+    if (fn) fn(attempt);
+  }
+}
+
 bool PipelineExecutor::request_switch(partition::Partition next,
                                       SwitchMode mode) {
   if (switch_state_) return false;
   AUTOPIPE_EXPECT(next.num_layers() == model_.num_layers());
   if (next == *current_partition_) return false;
-
-  ++switch_generation_;
-  switch_state_.reset(new SwitchState{std::move(next), mode, 0, false,
-                                      cluster_.simulator().now()});
-
-  if (tracer().enabled()) {
-    tracer().instant(trace::Category::kSwitch,
-                     mode == SwitchMode::kStopTheWorld
-                         ? "switch_request_stw"
-                         : "switch_request_fine",
-                     cluster_.simulator().now(), trace::kPidControl, 0);
-  }
-
-  if (mode == SwitchMode::kStopTheWorld) {
-    switch_state_->draining = true;
-    if (active_batches_ == 0) begin_migration();
-    return true;
-  }
-  // Fine-grained: migrate concurrently with training.
-  begin_migration();
-  return true;
+  return start_switch_attempt(std::move(next), mode);
 }
 
-void PipelineExecutor::begin_migration() {
-  AUTOPIPE_EXPECT(switch_state_ != nullptr);
-  const partition::Partition& from = *current_partition_;
-  const partition::Partition& to = switch_state_->next;
+bool PipelineExecutor::start_switch_attempt(partition::Partition next,
+                                            SwitchMode mode) {
+  AUTOPIPE_EXPECT(switch_state_ == nullptr);
+  const Seconds now = cluster_.simulator().now();
+  ++switch_generation_;
+  switch_state_ = std::make_unique<SwitchState>();
+  SwitchState& st = *switch_state_;
+  SwitchAttempt& attempt = st.attempt;
+  attempt.id = ++switch_attempt_counter_;
+  attempt.mode = mode;
+  attempt.phase = SwitchPhase::kPrepare;
+  attempt.requested_at = now;
+  attempt.target =
+      std::make_shared<const partition::Partition>(std::move(next));
 
-  // For every layer whose hosting worker set changes, move the weights from
-  // one previous holder to every new holder. Transfers between the same
-  // (src, dst) pair are merged into one flow. With weight stashing, the
-  // copy belonging to the latest active mini-batch moves first and the
-  // remaining versions are reconstructed from it locally, so one version's
-  // bytes per layer is the on-wire cost (§4.4).
+  // Prepare: plan the migration against the current layout. For every layer
+  // whose hosting worker set changes, move the weights from one previous
+  // holder to every new holder; transfers between the same (src, dst) pair
+  // merge into one flow. With weight stashing, the copy belonging to the
+  // latest active mini-batch moves first and the remaining versions are
+  // reconstructed from it locally, so one version's bytes per layer is the
+  // on-wire cost (§4.4).
   //
   // Donor selection is fault-aware: the source is the first *alive* old
   // holder (which in a healthy cluster is old_ws.front(), the historical
   // choice). When every old holder of a layer is dead, the new holder
   // rebuilds the weights from the PipeDream stash it already co-hosts
   // (versioned copies pinned by in-flight batches) — modelled as a free
-  // local reconstruction, counted in fault_stats().weight_reconstructions.
-  std::unordered_map<std::uint64_t, Bytes> pair_bytes;
+  // local reconstruction at Commit, counted in
+  // fault_stats().weight_reconstructions.
+  const partition::Partition& from = *current_partition_;
+  const partition::Partition& to = *attempt.target;
+  std::unordered_map<std::uint64_t, std::size_t> pair_index;
   auto key = [](sim::WorkerId a, sim::WorkerId b) {
     return (static_cast<std::uint64_t>(a) << 32) | b;
   };
-  std::size_t reconstructed_layers = 0;
   for (std::size_t layer = 0; layer < model_.num_layers(); ++layer) {
     const auto& old_ws = from.stage(from.stage_of_layer(layer)).workers;
     const auto& new_ws = to.stage(to.stage_of_layer(layer)).workers;
@@ -656,59 +696,148 @@ void PipelineExecutor::begin_migration() {
       if (std::find(old_ws.begin(), old_ws.end(), w) != old_ws.end())
         continue;  // already resident
       if (donor == partition::Partition::npos) {
-        ++reconstructed_layers;
-        ++fault_stats_.weight_reconstructions;
+        st.reconstructions.emplace_back(layer, w);
         continue;  // stash reconstruction on w itself: no wire traffic
       }
-      pair_bytes[key(donor, w)] += model_.param_bytes(layer);
+      const std::uint64_t k = key(donor, w);
+      auto [it, inserted] = pair_index.emplace(k, st.pairs.size());
+      if (inserted) st.pairs.push_back(SwitchState::MigrationPair(donor, w));
+      SwitchState::MigrationPair& pair = st.pairs[it->second];
+      pair.bytes += model_.param_bytes(layer);
+      pair.layers.push_back(layer);
     }
   }
-  if (reconstructed_layers > 0) {
-    metrics().add("executor.weight_reconstructed_layers",
-                  static_cast<double>(reconstructed_layers));
-    if (tracer().enabled()) {
-      tracer().instant(trace::Category::kFault, "weight_reconstruct",
-                       cluster_.simulator().now(), trace::kPidControl, 0,
-                       {trace::arg("layers", reconstructed_layers)});
-    }
-  }
+  for (const auto& pair : st.pairs) attempt.migration_bytes += pair.bytes;
+  attempt.transfers_total = st.pairs.size();
 
-  if (pair_bytes.empty()) {
-    finish_migration();
+  // Every donor, recipient and target-routed worker participates: losing
+  // any of them (or their server's link) aborts the attempt.
+  std::unordered_set<sim::WorkerId> involved;
+  for (sim::WorkerId w : to.all_workers()) involved.insert(w);
+  for (const auto& pair : st.pairs) {
+    involved.insert(pair.src);
+    involved.insert(pair.dst);
+  }
+  for (const auto& [layer, w] : st.reconstructions) involved.insert(w);
+  attempt.involved_workers.assign(involved.begin(), involved.end());
+  std::sort(attempt.involved_workers.begin(), attempt.involved_workers.end());
+  std::unordered_set<std::size_t> servers;
+  for (sim::WorkerId w : attempt.involved_workers)
+    servers.insert(cluster_.server_of(w));
+  attempt.involved_servers.assign(servers.begin(), servers.end());
+  std::sort(attempt.involved_servers.begin(), attempt.involved_servers.end());
+
+  metrics().add("switch.requested");
+  if (tracer().enabled()) {
+    tracer().instant(trace::Category::kSwitch,
+                     mode == SwitchMode::kStopTheWorld ? "switch_request_stw"
+                                                       : "switch_request_fine",
+                     now, trace::kPidControl, 0,
+                     {trace::arg("id", attempt.id)});
+    tracer().instant(trace::Category::kSwitch, "switch_prepare", now,
+                     trace::kPidControl, 0,
+                     {trace::arg("id", attempt.id),
+                      trace::arg("pairs", st.pairs.size()),
+                      trace::arg("bytes", attempt.migration_bytes)});
+  }
+  notify_switch_observers(attempt);
+
+  if (mode == SwitchMode::kStopTheWorld) {
+    enter_phase(SwitchPhase::kDrain);
+    if (active_batches_ == 0) enter_transfer();
+    return true;
+  }
+  // Fine-grained: migrate concurrently with training, no drain phase.
+  enter_transfer();
+  return true;
+}
+
+void PipelineExecutor::enter_phase(SwitchPhase phase) {
+  AUTOPIPE_EXPECT(switch_state_ != nullptr);
+  SwitchAttempt& attempt = switch_state_->attempt;
+  attempt.phase = phase;
+  if (phase == SwitchPhase::kDrain && tracer().enabled()) {
+    tracer().instant(trace::Category::kSwitch, "switch_drain_begin",
+                     cluster_.simulator().now(), trace::kPidControl, 0,
+                     {trace::arg("id", attempt.id),
+                      trace::arg("active", active_batches_)});
+  }
+  notify_switch_observers(attempt);
+}
+
+void PipelineExecutor::enter_transfer() {
+  AUTOPIPE_EXPECT(switch_state_ != nullptr);
+  SwitchState& st = *switch_state_;
+  SwitchAttempt& attempt = st.attempt;
+  attempt.phase = SwitchPhase::kTransfer;
+  const Seconds now = cluster_.simulator().now();
+  if (attempt.migration_bytes > 0.0)
+    metrics().add("switch.migration_bytes", attempt.migration_bytes);
+  if (tracer().enabled()) {
+    tracer().instant(trace::Category::kSwitch, "switch_transfer_begin", now,
+                     trace::kPidControl, 0,
+                     {trace::arg("id", attempt.id),
+                      trace::arg("pairs", st.pairs.size()),
+                      trace::arg("bytes", attempt.migration_bytes)});
+  }
+  // Observers fire before the flows start, but an observer-injected fault
+  // can only act through a scheduled simulator event, so the transfer state
+  // below is always fully set up before any abort can land.
+  notify_switch_observers(attempt);
+  if (switch_state_ == nullptr ||
+      switch_state_->attempt.phase != SwitchPhase::kTransfer)
+    return;  // defensive: an observer tore the attempt down synchronously
+
+  if (st.pairs.empty()) {
+    commit_switch();
     return;
   }
-  Bytes migration_bytes = 0.0;
-  for (const auto& [k, bytes] : pair_bytes) migration_bytes += bytes;
-  metrics().add("switch.migration_bytes", migration_bytes);
-  if (tracer().enabled()) {
-    tracer().instant(trace::Category::kSwitch, "migration_begin",
-                     cluster_.simulator().now(), trace::kPidControl, 0,
-                     {trace::arg("pairs", pair_bytes.size()),
-                      trace::arg("bytes", migration_bytes)});
-  }
-  switch_state_->transfers_pending = pair_bytes.size();
+  st.transfers_pending = st.pairs.size();
   const std::uint64_t generation = switch_generation_;
-  for (const auto& [k, bytes] : pair_bytes) {
-    const auto src = static_cast<sim::WorkerId>(k >> 32);
-    const auto dst = static_cast<sim::WorkerId>(k & 0xffffffffu);
-    observed_transfer("migrate", src, dst, bytes, [this, generation] {
-      if (generation != switch_generation_)
-        return;  // switch aborted by fault recovery mid-flight
-      AUTOPIPE_EXPECT(switch_state_ &&
-                      switch_state_->transfers_pending > 0);
-      if (--switch_state_->transfers_pending == 0) finish_migration();
-    });
+  for (const auto& pair : st.pairs) {
+    const sim::FlowId flow = observed_transfer(
+        "migrate", pair.src, pair.dst, pair.bytes,
+        [this, generation, dst = pair.dst, bytes = pair.bytes,
+         layers = pair.layers] {
+          if (generation != switch_generation_)
+            return;  // switch aborted by fault recovery mid-flight
+          AUTOPIPE_EXPECT(switch_state_ &&
+                          switch_state_->transfers_pending > 0);
+          SwitchState& live = *switch_state_;
+          live.attempt.transferred_bytes += bytes;
+          ++live.attempt.transfers_done;
+          // The weight copies have physically landed on the recipient.
+          for (std::size_t layer : layers) holders_add(layer, dst);
+          if (--live.transfers_pending == 0) commit_switch();
+        });
+    if (flow != 0) st.migration_flows.push_back(flow);
   }
 }
 
-void PipelineExecutor::finish_migration() {
+void PipelineExecutor::commit_switch() {
   AUTOPIPE_EXPECT(switch_state_ != nullptr);
-  const SwitchMode mode = switch_state_->mode;
+  SwitchState& st = *switch_state_;
+  const SwitchMode mode = st.attempt.mode;
+  const Seconds now = cluster_.simulator().now();
+
+  // Stash reconstructions land at Commit: recipients rebuild the layers
+  // they could not receive from a dead donor.
+  if (!st.reconstructions.empty()) {
+    for (const auto& [layer, w] : st.reconstructions) holders_add(layer, w);
+    fault_stats_.weight_reconstructions += st.reconstructions.size();
+    metrics().add("executor.weight_reconstructed_layers",
+                  static_cast<double>(st.reconstructions.size()));
+    if (tracer().enabled()) {
+      tracer().instant(trace::Category::kFault, "weight_reconstruct", now,
+                       trace::kPidControl, 0,
+                       {trace::arg("layers", st.reconstructions.size())});
+    }
+  }
 
   // Layer-by-layer restaging cost on each worker whose assignment changed
   // (PipeSwitch's per-layer transmission calls): a fixed-time task that
   // briefly occupies the GPU.
-  const partition::Partition& to = switch_state_->next;
+  const partition::Partition& to = *st.attempt.target;
   for (sim::WorkerId w : current_partition_->changed_workers(to)) {
     const std::size_t s = to.stage_of_worker(w);
     if (s == partition::Partition::npos) continue;
@@ -721,26 +850,175 @@ void PipelineExecutor::finish_migration() {
   }
 
   if (mode == SwitchMode::kStopTheWorld) {
-    const Seconds stall =
-        cluster_.simulator().now() - switch_state_->requested_at;
+    const Seconds stall = now - st.attempt.requested_at;
     total_switch_stall_ += stall;
     metrics().add("switch.stall_seconds", stall);
   }
   metrics().add("switch.count");
+  metrics().add("switch.committed");
+  st.attempt.phase = SwitchPhase::kCommit;
   if (tracer().enabled()) {
+    tracer().instant(trace::Category::kSwitch, "switch_commit", now,
+                     trace::kPidControl, 0,
+                     {trace::arg("id", st.attempt.id),
+                      trace::arg("bytes", st.attempt.transferred_bytes)});
     tracer().complete(trace::Category::kSwitch, "switch",
-                      switch_state_->requested_at, cluster_.simulator().now(),
-                      trace::kPidControl, 0,
+                      st.attempt.requested_at, now, trace::kPidControl, 0,
                       {trace::arg("mode", mode == SwitchMode::kStopTheWorld
                                               ? "stw"
-                                              : "fine")});
+                                              : "fine"),
+                       trace::arg("id", st.attempt.id)});
   }
 
-  current_partition_ =
-      std::make_shared<const partition::Partition>(std::move(switch_state_->next));
+  current_partition_ = st.attempt.target;
+  // Old holders release their primary copies at Commit (in-flight batches
+  // finish on stashed versions, accounted in memory.hpp).
+  set_holders_from(*current_partition_);
+  const SwitchAttempt attempt = std::move(st.attempt);
   switch_state_.reset();
   ++switches_;
+  notify_switch_observers(attempt);
   adopt_partition();
+}
+
+void PipelineExecutor::abort_switch(const char* reason, bool resume_after) {
+  AUTOPIPE_EXPECT(switch_state_ != nullptr);
+  SwitchState& st = *switch_state_;
+  const Seconds now = cluster_.simulator().now();
+  const SwitchPhase at = st.attempt.phase;
+  ++switch_generation_;  // orphan any in-flight migrate completions
+
+  // Cancel exactly this attempt's outstanding migration flows; training
+  // traffic (act/grad flows) keeps running.
+  for (sim::FlowId f : st.migration_flows) {
+    if (live_flows_.erase(f) > 0) cluster_.network().cancel_flow(f);
+  }
+
+  // Rollback: the pre-switch partition stays authoritative. Weight copies
+  // that already landed on recipients are discarded — donors never
+  // relinquish theirs before Commit, so no layer loses its last holder.
+  const bool rolled_back = at == SwitchPhase::kTransfer;
+  for (const auto& pair : st.pairs) {
+    for (std::size_t layer : pair.layers) {
+      const auto& assigned =
+          current_partition_->stage(current_partition_->stage_of_layer(layer))
+              .workers;
+      if (std::find(assigned.begin(), assigned.end(), pair.dst) ==
+          assigned.end())
+        holders_remove(layer, pair.dst);
+    }
+  }
+
+  metrics().add(std::string("switch.aborted.") + switch_phase_name(at));
+  metrics().add("executor.switches_aborted");
+  if (rolled_back) {
+    metrics().add("switch.rolled_back");
+    if (st.attempt.transferred_bytes > 0.0)
+      metrics().add("switch.rollback_bytes", st.attempt.transferred_bytes);
+  }
+  if (tracer().enabled()) {
+    tracer().instant(trace::Category::kSwitch, "switch_abort", now,
+                     trace::kPidControl, 0,
+                     {trace::arg("id", st.attempt.id),
+                      trace::arg("phase", switch_phase_name(at)),
+                      trace::arg("reason", reason)});
+    if (rolled_back) {
+      tracer().instant(trace::Category::kSwitch, "switch_rollback", now,
+                       trace::kPidControl, 0,
+                       {trace::arg("id", st.attempt.id),
+                        trace::arg("bytes", st.attempt.transferred_bytes)});
+    }
+    tracer().complete(trace::Category::kSwitch, "switch_aborted",
+                      st.attempt.requested_at, now, trace::kPidControl, 0,
+                      {trace::arg("mode",
+                                  st.attempt.mode == SwitchMode::kStopTheWorld
+                                      ? "stw"
+                                      : "fine"),
+                       trace::arg("phase", switch_phase_name(at)),
+                       trace::arg("reason", reason),
+                       trace::arg("id", st.attempt.id)});
+  }
+
+  st.attempt.aborted_in = at;
+  st.attempt.phase = SwitchPhase::kAborted;
+  st.attempt.abort_reason = reason;
+  const SwitchAttempt attempt = std::move(st.attempt);
+  switch_state_.reset();
+  ++switches_aborted_;
+  notify_switch_observers(attempt);
+  // Rollback resumes the pre-switch regime: a stop-the-world drain stops
+  // blocking injection. Retry policy lives with the controller (it observes
+  // the terminal notification above and backs off through the simulator).
+  if (resume_after) resume_if_possible();
+}
+
+void PipelineExecutor::maybe_abort_switch_on_worker(sim::WorkerId worker) {
+  if (!switch_state_) return;
+  const auto& involved = switch_state_->attempt.involved_workers;
+  if (std::binary_search(involved.begin(), involved.end(), worker))
+    abort_switch("worker_loss");
+}
+
+void PipelineExecutor::maybe_abort_switch_on_link(std::size_t server) {
+  if (!switch_state_) return;
+  const auto& involved = switch_state_->attempt.involved_servers;
+  if (std::binary_search(involved.begin(), involved.end(), server))
+    abort_switch("link_loss");
+}
+
+// ---------------------------------------------------------------------------
+// Weight-holder bookkeeping
+// ---------------------------------------------------------------------------
+
+void PipelineExecutor::set_holders_from(const partition::Partition& p) {
+  layer_holders_.assign(model_.num_layers(), {});
+  for (std::size_t layer = 0; layer < model_.num_layers(); ++layer) {
+    std::vector<sim::WorkerId> ws = p.stage(p.stage_of_layer(layer)).workers;
+    std::sort(ws.begin(), ws.end());
+    layer_holders_[layer] = std::move(ws);
+  }
+}
+
+void PipelineExecutor::holders_add(std::size_t layer, sim::WorkerId worker) {
+  auto& hs = layer_holders_[layer];
+  const auto it = std::lower_bound(hs.begin(), hs.end(), worker);
+  if (it == hs.end() || *it != worker) hs.insert(it, worker);
+}
+
+void PipelineExecutor::holders_remove(std::size_t layer,
+                                      sim::WorkerId worker) {
+  auto& hs = layer_holders_[layer];
+  const auto it = std::lower_bound(hs.begin(), hs.end(), worker);
+  if (it == hs.end() || *it != worker) return;
+  hs.erase(it);
+  AUTOPIPE_EXPECT_MSG(!hs.empty(),
+                      "weight conservation violated: layer "
+                          << layer << " lost its last holder");
+}
+
+bool PipelineExecutor::weight_layout_consistent() const {
+  if (layer_holders_.size() != model_.num_layers()) return false;
+  for (std::size_t layer = 0; layer < model_.num_layers(); ++layer) {
+    const auto& holders = layer_holders_[layer];
+    if (holders.empty()) return false;
+    const auto& assigned =
+        current_partition_->stage(current_partition_->stage_of_layer(layer))
+            .workers;
+    // Every routed worker must hold its stage's layers...
+    for (sim::WorkerId w : assigned) {
+      if (!std::binary_search(holders.begin(), holders.end(), w))
+        return false;
+    }
+    // ...and outside a switch no worker may hold a layer the layout does
+    // not assign to it (never half-transitioned).
+    if (!switch_state_) {
+      for (sim::WorkerId h : holders) {
+        if (std::find(assigned.begin(), assigned.end(), h) == assigned.end())
+          return false;
+      }
+    }
+  }
+  return true;
 }
 
 void PipelineExecutor::adopt_partition() {
@@ -824,6 +1102,14 @@ void PipelineExecutor::repair_degraded(sim::WorkerId worker) {
       partition::Partition(std::move(stages), model_.num_layers()));
   degraded_ = true;
   degraded_lost_[worker] = s;
+  // The repaired layout no longer routes through the worker; its (intact,
+  // preemption keeps device memory) copies leave the authoritative holder
+  // set so the layout stays consistent. Replication >= 2 guarantees a
+  // surviving holder per layer.
+  for (std::size_t layer = 0; layer < model_.num_layers(); ++layer) {
+    if (current_partition_->stage_of_layer(layer) == s)
+      holders_remove(layer, worker);
+  }
   // Same stage count: timings stay comparable, sync gating restarts.
   sync_outstanding_.assign(current_partition_->num_stages(), false);
   in_flight_ = target_in_flight();
@@ -842,15 +1128,13 @@ void PipelineExecutor::resume_if_possible() {
   // A draining stop-the-world switch normally advances from the iteration
   // callback; when a fault drops the last in-flight batch there will be no
   // more iterations, so complete the drain here.
-  if (switch_state_ && switch_state_->draining && active_batches_ == 0 &&
-      switch_state_->transfers_pending == 0) {
-    begin_migration();
+  if (draining() && active_batches_ == 0) {
+    enter_transfer();
     return;
   }
   if (!partition_serviceable()) return;
   if (is_synchronous(config_.mode)) {
-    if (active_batches_ == 0 && sync_state_.empty() &&
-        !(switch_state_ && switch_state_->draining)) {
+    if (active_batches_ == 0 && sync_state_.empty() && !draining()) {
       start_sync_iteration();
     }
   } else {
@@ -860,6 +1144,10 @@ void PipelineExecutor::resume_if_possible() {
 
 void PipelineExecutor::notify_worker_down(sim::WorkerId worker) {
   if (!dead_workers_.insert(worker).second) return;
+  // A switch that involves the lost worker (as donor, recipient or routed
+  // target) can no longer complete: abort before repairing the steady-state
+  // layout so the rollback lands against the pre-switch partition.
+  maybe_abort_switch_on_worker(worker);
   const std::size_t dropped = drop_batches_through(worker);
   repair_degraded(worker);
   if (tracer().enabled()) {
@@ -902,6 +1190,10 @@ void PipelineExecutor::notify_worker_up(sim::WorkerId worker) {
       sync_outstanding_.assign(current_partition_->num_stages(), false);
       in_flight_ = target_in_flight();
       if (degraded_lost_.empty()) degraded_ = false;
+      for (std::size_t layer = 0; layer < model_.num_layers(); ++layer) {
+        if (current_partition_->stage_of_layer(layer) == s)
+          holders_add(layer, worker);
+      }
       const std::size_t layers = current_partition_->stage(s).num_layers();
       fault_stats_.weight_reconstructions += layers;
       metrics().add("executor.weight_reconstructed_layers",
@@ -928,17 +1220,10 @@ bool PipelineExecutor::emergency_adopt(partition::Partition next) {
   }
   const Seconds now = cluster_.simulator().now();
 
-  // Invalidate any in-flight migration's completion callbacks, then abort
-  // the switch itself (retry policy lives in the controller).
-  ++switch_generation_;
-  if (switch_state_) {
-    metrics().add("executor.switches_aborted");
-    if (tracer().enabled()) {
-      tracer().instant(trace::Category::kFault, "switch_aborted", now,
-                       trace::kPidControl, 0);
-    }
-    switch_state_.reset();
-  }
+  // Abort any in-flight switch attempt through the staged protocol (this
+  // cancels its migration flows and rolls holders back); retry policy
+  // lives in the controller, which sees the terminal notification.
+  if (switch_state_) abort_switch("emergency", /*resume_after=*/false);
 
   // Drop whatever is in flight — the batches (conserved and, for async
   // schedules, replayed), the sync-iteration barriers, and this executor's
@@ -967,13 +1252,9 @@ bool PipelineExecutor::emergency_adopt(partition::Partition next) {
     resume_if_possible();
     return true;
   }
-  // Stop-the-world without the drain: the pipeline is already empty.
-  // Draining blocks injection until the donor-aware migration lands.
-  switch_state_.reset(new SwitchState{std::move(next),
-                                      SwitchMode::kStopTheWorld, 0, true,
-                                      now});
-  begin_migration();
-  return true;
+  // Stop-the-world with an instantly-complete drain: the pipeline is
+  // already empty, so the attempt advances straight to Transfer.
+  return start_switch_attempt(std::move(next), SwitchMode::kStopTheWorld);
 }
 
 }  // namespace autopipe::pipeline

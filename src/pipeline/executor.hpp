@@ -44,6 +44,27 @@
 
 namespace autopipe::pipeline {
 
+/// Protocol phase of a partition switch. Every switch is a staged
+/// transaction — Prepare (plan the migration, pick donors) → Drain
+/// (stop-the-world only: wait for in-flight batches) → Transfer (weight
+/// migration flows on the wire) → Commit (adopt the new layout, restage).
+/// Abort/Rollback is reachable from every non-committed phase: the
+/// pre-switch partition stays authoritative and partially-received weight
+/// copies are discarded (donors never relinquish theirs before Commit, so
+/// rollback is always safe).
+enum class SwitchPhase {
+  kIdle,      ///< no switch in progress
+  kPrepare,   ///< migration plan computed, donors chosen
+  kDrain,     ///< stop-the-world: waiting for the pipeline to empty
+  kTransfer,  ///< weight-migration flows in flight
+  kCommit,    ///< terminal: new partition adopted
+  kAborted,   ///< terminal: rolled back to the pre-switch partition
+};
+
+/// Stable lower-case name ("idle", "prepare", ...), used in trace events,
+/// metrics names (switch.aborted.<phase>) and ledger outcomes.
+const char* switch_phase_name(SwitchPhase phase);
+
 struct ExecutorConfig {
   /// Samples per mini-batch; 0 uses the model's default.
   std::size_t batch_size = 0;
@@ -97,6 +118,61 @@ class PipelineExecutor {
   /// progress or the partition is identical to the current one.
   bool request_switch(partition::Partition next, SwitchMode mode);
   bool switch_in_progress() const { return switch_state_ != nullptr; }
+
+  /// Phase of the in-flight switch; kIdle when none is in progress.
+  SwitchPhase switch_phase() const;
+
+  /// One switch attempt's protocol state, as seen by phase observers. The
+  /// terminal notification carries phase == kCommit or kAborted; an aborted
+  /// attempt records the phase the fault interrupted in `aborted_in` and a
+  /// stable reason string ("worker_loss", "link_loss", "emergency").
+  struct SwitchAttempt {
+    std::uint64_t id = 0;  ///< 1-based, monotonic per executor
+    SwitchMode mode = SwitchMode::kFineGrained;
+    SwitchPhase phase = SwitchPhase::kIdle;
+    SwitchPhase aborted_in = SwitchPhase::kIdle;
+    std::string abort_reason;
+    Seconds requested_at = 0.0;
+    Bytes migration_bytes = 0.0;    ///< planned on-wire bytes
+    Bytes transferred_bytes = 0.0;  ///< bytes whose flows completed
+    std::size_t transfers_total = 0;
+    std::size_t transfers_done = 0;
+    /// Workers/servers whose failure aborts this attempt: every donor,
+    /// every recipient and every worker routed by the target partition.
+    /// Sorted, deduplicated.
+    std::vector<sim::WorkerId> involved_workers;
+    std::vector<std::size_t> involved_servers;
+    /// The layout this attempt migrates toward (rollback keeps the current
+    /// partition). Shared so observers can retry an aborted target.
+    std::shared_ptr<const partition::Partition> target;
+  };
+
+  /// Observe every phase transition of every switch attempt, including the
+  /// terminal kCommit/kAborted notification. Multi-slot; fired
+  /// synchronously, so observers must not re-enter the switch path —
+  /// schedule follow-up work (retries, fault injection) through the
+  /// simulator instead. Returns a token for remove_switch_observer.
+  using SwitchObserver = std::function<void(const SwitchAttempt&)>;
+  std::uint64_t add_switch_observer(SwitchObserver observer);
+  void remove_switch_observer(std::uint64_t token);
+
+  /// Total switch attempts accepted (committed + aborted + in-flight).
+  std::size_t switch_attempts() const { return switch_attempt_counter_; }
+  std::size_t switches_aborted() const { return switches_aborted_; }
+
+  /// Per-layer primary weight-holder sets, tracked through the physical
+  /// copy operations (migration flows, stash reconstructions, degraded
+  /// repairs) rather than recomputed from the logical layout — so tests can
+  /// verify the two never diverge. Sorted per layer.
+  const std::vector<std::vector<sim::WorkerId>>& layer_holders() const {
+    return layer_holders_;
+  }
+
+  /// Weight-conservation / consistent-layout invariant: every layer has at
+  /// least one holder, every worker the current partition routes holds its
+  /// stage's layers, and — outside a switch — no worker holds a layer the
+  /// layout does not assign to it (never half-transitioned).
+  bool weight_layout_consistent() const;
 
   const partition::Partition& current_partition() const {
     return *current_partition_;
@@ -186,13 +262,31 @@ class PipelineExecutor {
     std::vector<std::uint64_t> queued_bp;  // GPipe: BPs released after barrier
   };
 
+  /// In-flight switch attempt. `attempt` is the observer-visible protocol
+  /// record; the rest is migration-plan state computed at Prepare.
   struct SwitchState {
-    partition::Partition next;
-    SwitchMode mode;
+    SwitchAttempt attempt;
+    /// One planned migration flow: donor → recipient carrying `layers`.
+    struct MigrationPair {
+      MigrationPair(sim::WorkerId s, sim::WorkerId d) : src(s), dst(d) {}
+      sim::WorkerId src = 0;
+      sim::WorkerId dst = 0;
+      Bytes bytes = 0.0;
+      std::vector<std::size_t> layers;
+    };
+    std::vector<MigrationPair> pairs;
+    /// Layers with no alive donor: the recipient rebuilds them from its
+    /// co-hosted PipeDream stash at Commit (no wire traffic).
+    std::vector<std::pair<std::size_t, sim::WorkerId>> reconstructions;
     std::size_t transfers_pending = 0;
-    bool draining = false;          // stop-the-world: waiting for pipeline
-    Seconds requested_at = 0.0;
+    /// Flow ids of the in-flight migration transfers, so abort can cancel
+    /// exactly these (activation/gradient flows keep running).
+    std::vector<sim::FlowId> migration_flows;
   };
+  bool draining() const {
+    return switch_state_ != nullptr &&
+           switch_state_->attempt.phase == SwitchPhase::kDrain;
+  }
 
   // Injection / iteration control.
   void fill_pipeline();
@@ -222,19 +316,38 @@ class PipelineExecutor {
   void run_flush_syncs(std::size_t sync_iter);
 
   // Transfers with bandwidth observation. `label` names the traffic class in
-  // the trace ("act", "grad", "migrate").
-  void observed_transfer(const char* label, sim::WorkerId src,
-                         sim::WorkerId dst, Bytes bytes,
-                         std::function<void()> done);
+  // the trace ("act", "grad", "migrate"). Returns the flow id (0 for a
+  // device-local copy) so switch rollback can cancel migration flows.
+  sim::FlowId observed_transfer(const char* label, sim::WorkerId src,
+                                sim::WorkerId dst, Bytes bytes,
+                                std::function<void()> done);
 
   // The simulator-owned trace/metrics sinks every emission goes through.
   trace::TraceRecorder& tracer() { return cluster_.simulator().tracer(); }
   trace::MetricsRegistry& metrics() { return cluster_.simulator().metrics(); }
 
-  // Switching.
-  void begin_migration();
-  void finish_migration();
+  // Switching — the staged protocol. start_switch_attempt runs Prepare and
+  // advances into Drain (stop-the-world) or Transfer (fine-grained);
+  // enter_transfer launches the migration flows; commit_switch adopts the
+  // target; abort_switch rolls back to the pre-switch partition.
+  bool start_switch_attempt(partition::Partition next, SwitchMode mode);
+  void enter_phase(SwitchPhase phase);
+  void enter_transfer();
+  void commit_switch();
+  /// Roll back to the pre-switch partition. `resume_after` restarts
+  /// injection (false only on the emergency path, which re-empties the
+  /// pipeline itself right after).
+  void abort_switch(const char* reason, bool resume_after = true);
+  void notify_switch_observers(const SwitchAttempt& attempt);
+  /// A worker/server fault that touches an in-flight attempt aborts it.
+  void maybe_abort_switch_on_worker(sim::WorkerId worker);
+  void maybe_abort_switch_on_link(std::size_t server);
   void adopt_partition();
+
+  // Physical weight-holder bookkeeping (see layer_holders()).
+  void set_holders_from(const partition::Partition& p);
+  void holders_add(std::size_t layer, sim::WorkerId worker);
+  void holders_remove(std::size_t layer, sim::WorkerId worker);
 
   // Fault handling.
   bool worker_alive(sim::WorkerId worker) const;
@@ -273,10 +386,17 @@ class PipelineExecutor {
 
   std::unique_ptr<SwitchState> switch_state_;
   std::size_t switches_ = 0;
+  std::size_t switches_aborted_ = 0;
+  std::uint64_t switch_attempt_counter_ = 0;
   Seconds total_switch_stall_ = 0.0;
   /// Invalidates in-flight migration-transfer callbacks when a fault aborts
   /// the switch they belong to.
   std::uint64_t switch_generation_ = 0;
+  /// Phase observers, keyed by registration token (see add_switch_observer).
+  std::vector<std::pair<std::uint64_t, SwitchObserver>> switch_observers_;
+  std::uint64_t next_observer_token_ = 1;
+  /// Per-layer primary weight-holder sets (sorted); see layer_holders().
+  std::vector<std::vector<sim::WorkerId>> layer_holders_;
 
   // Fault state.
   std::unordered_set<sim::WorkerId> dead_workers_;

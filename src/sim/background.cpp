@@ -55,13 +55,16 @@ void BackgroundWorkload::install(Simulator& simulator, Cluster& cluster) {
       const auto server = static_cast<std::size_t>(rng_.uniform_int(
           0, static_cast<std::int64_t>(cluster.num_servers()) - 1));
       const double factor = config_.net_bandwidth_factor;
+      // Scale the configured bandwidth, not the link-masked effective one:
+      // a tenant arriving during a link outage would otherwise read 0 and
+      // pin the server's NIC at zero long after the link recovers.
       simulator.at(t, [&cluster, server, factor] {
-        cluster.set_nic_bandwidth(server,
-                                  cluster.nic_bandwidth(server) * factor);
+        cluster.set_nic_bandwidth(
+            server, cluster.configured_nic_bandwidth(server) * factor);
       });
       simulator.at(t + duration, [&cluster, server, factor] {
-        cluster.set_nic_bandwidth(server,
-                                  cluster.nic_bandwidth(server) / factor);
+        cluster.set_nic_bandwidth(
+            server, cluster.configured_nic_bandwidth(server) / factor);
       });
       ++net_jobs_;
     }

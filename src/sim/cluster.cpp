@@ -127,6 +127,11 @@ BytesPerSec Cluster::nic_bandwidth(std::size_t server) const {
   return link_up_[server] != 0 ? nic_bw_[server] : 0.0;
 }
 
+BytesPerSec Cluster::configured_nic_bandwidth(std::size_t server) const {
+  AUTOPIPE_EXPECT(server < config_.num_servers);
+  return nic_bw_[server];
+}
+
 void Cluster::set_worker_down(WorkerId worker) {
   AUTOPIPE_EXPECT(worker < num_workers());
   if (worker_up_[worker] == 0) return;
@@ -169,6 +174,7 @@ void Cluster::set_link_down(std::size_t server) {
                           trace::kPidResource, static_cast<int>(server));
   }
   sim_.metrics().add("cluster.link_down", 1.0);
+  if (link_state_callback_) link_state_callback_(server, false);
 }
 
 void Cluster::set_link_up(std::size_t server) {
@@ -182,6 +188,7 @@ void Cluster::set_link_up(std::size_t server) {
                           trace::kPidResource, static_cast<int>(server));
   }
   sim_.metrics().add("cluster.link_up", 1.0);
+  if (link_state_callback_) link_state_callback_(server, true);
 }
 
 bool Cluster::link_up(std::size_t server) const {

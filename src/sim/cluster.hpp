@@ -76,7 +76,12 @@ class Cluster {
 
   void set_nic_bandwidth(std::size_t server, BytesPerSec bandwidth);
   void set_all_nic_bandwidth(BytesPerSec bandwidth);
+  /// Effective bandwidth: 0 while the server's link is down.
   BytesPerSec nic_bandwidth(std::size_t server) const;
+  /// The configured (tenant-modulated) bandwidth regardless of link state.
+  /// Relative adjustments (background churn scaling up/down) must read this
+  /// one: scaling the effective value latches a mid-outage zero forever.
+  BytesPerSec configured_nic_bandwidth(std::size_t server) const;
 
   /// Add / remove one co-located background job on a GPU (adjusts the
   /// executor's tenant count).
@@ -116,6 +121,14 @@ class Cluster {
     worker_state_callback_ = std::move(cb);
   }
 
+  /// Observer for server-link down/up transitions (single slot; the pipeline
+  /// executor registers itself so a link failure can abort an in-flight
+  /// partition switch). Called synchronously from set_link_*.
+  using LinkStateCallback = std::function<void(std::size_t server, bool up)>;
+  void set_link_state_callback(LinkStateCallback cb) {
+    link_state_callback_ = std::move(cb);
+  }
+
   const ClusterConfig& config() const { return config_; }
 
  private:
@@ -138,6 +151,7 @@ class Cluster {
   std::vector<std::uint8_t> link_up_;
   std::vector<std::uint8_t> profiler_muted_;
   WorkerStateCallback worker_state_callback_;
+  LinkStateCallback link_state_callback_;
 };
 
 }  // namespace autopipe::sim

@@ -12,17 +12,19 @@ namespace autopipe::sweep {
 
 void write_summary_table(const SweepResult& result, std::ostream& os) {
   TextTable table({"scenario", "status", "samples/s", "util", "p50(ms)",
-                   "switches", "events"});
+                   "switches", "aborts", "events"});
   std::size_t failed = 0;
   for (const ScenarioResult& r : result.scenarios) {
     if (r.ok) {
       table.add_row({r.spec.label, "ok", TextTable::num(r.throughput, 1),
                      TextTable::num(r.utilization, 3),
                      TextTable::num(r.iteration_p50_ms, 3),
-                     std::to_string(r.switches), std::to_string(r.events)});
+                     std::to_string(r.switches),
+                     std::to_string(r.switch_aborts),
+                     std::to_string(r.events)});
     } else {
       ++failed;
-      table.add_row({r.spec.label, "FAIL", "-", "-", "-", "-", "-"});
+      table.add_row({r.spec.label, "FAIL", "-", "-", "-", "-", "-", "-"});
     }
   }
   table.print(os, "sweep: " + std::to_string(result.scenarios.size()) +
@@ -70,6 +72,7 @@ void write_bench_json(const SweepResult& result, std::ostream& os,
       json.kv("iteration_p95_ms", r.iteration_p95_ms);
       json.kv("iteration_p99_ms", r.iteration_p99_ms);
       json.kv("switches", r.switches);
+      json.kv("switch_aborts", r.switch_aborts);
       json.kv("events", r.events);
     } else {
       json.kv("error", r.error);

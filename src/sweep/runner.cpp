@@ -112,6 +112,7 @@ void run_body(const ScenarioSpec& spec, const ArtifactOptions& artifacts,
   result.utilization = report.worker_utilization;
   result.batch = executor.batch_size();
   result.switches = executor.switches_performed();
+  result.switch_aborts = executor.switches_aborted();
   result.events = simulator.events_processed();
 
   Histogram iteration_times;

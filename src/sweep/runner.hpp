@@ -37,7 +37,8 @@ struct ScenarioResult {
   double throughput = 0.0;       ///< samples/sec (simulated)
   double utilization = 0.0;      ///< mean worker busy fraction
   std::size_t batch = 0;         ///< mini-batch size the run used
-  std::size_t switches = 0;      ///< partition switches performed
+  std::size_t switches = 0;      ///< partition switches committed
+  std::size_t switch_aborts = 0; ///< switch attempts aborted + rolled back
   std::uint64_t events = 0;      ///< simulator events processed
   double iteration_p50_ms = 0.0; ///< measured-window iteration time
   double iteration_p95_ms = 0.0;

@@ -458,6 +458,55 @@ TEST(Switches, PostMortemArithmetic) {
   EXPECT_DOUBLE_EQ(pm.payback_iterations, 3.0);
 }
 
+TEST(Switches, AbortedAttemptsGetPostMortemsToo) {
+  // One aborted attempt [2.0, 2.8) that rolled back mid-transfer, then a
+  // committed retry [3.0, 3.5); both must appear, in time order.
+  std::vector<trace::Event> events;
+  for (int n = 1; n <= 2; ++n) {
+    events.push_back(instant(Category::kMark, "iteration",
+                             static_cast<double>(n), kPidControl, 0,
+                             {arg("n", n)}));
+  }
+  events.push_back(span(Category::kSwitch, "switch_aborted", 2.0, 2.8,
+                        kPidControl, 0,
+                        {arg("mode", "fine"), arg("phase", "transfer"),
+                         arg("reason", "worker_loss"), arg("id", 1)}));
+  events.push_back(instant(Category::kSwitch, "switch_prepare", 2.0,
+                           kPidControl, 0,
+                           {arg("pairs", 3), arg("bytes", 500.0)}));
+  events.push_back(span(Category::kSwitch, "switch", 3.0, 3.5, kPidControl,
+                        0, {arg("mode", "fine"), arg("id", 2)}));
+  events.push_back(instant(Category::kSwitch, "switch_prepare", 3.0,
+                           kPidControl, 0,
+                           {arg("pairs", 3), arg("bytes", 500.0)}));
+  for (int n = 0; n < 2; ++n) {
+    events.push_back(instant(Category::kMark, "iteration", 4.0 + n,
+                             kPidControl, 0, {arg("n", 3 + n)}));
+  }
+
+  const TraceView view(std::move(events));
+  const auto post = switch_post_mortems(view);
+  ASSERT_EQ(post.size(), 2u);
+
+  const SwitchPostMortem& aborted = post[0];
+  EXPECT_EQ(aborted.index, 0u);
+  EXPECT_TRUE(aborted.aborted);
+  EXPECT_EQ(aborted.abort_phase, "transfer");
+  EXPECT_EQ(aborted.abort_reason, "worker_loss");
+  EXPECT_DOUBLE_EQ(aborted.request_ts, 2.0);
+  EXPECT_DOUBLE_EQ(aborted.duration, 0.8);
+  EXPECT_DOUBLE_EQ(aborted.migration_bytes, 500.0);
+  // An aborted switch buys nothing: no speedup, no payback.
+  EXPECT_DOUBLE_EQ(aborted.speedup_pct, 0.0);
+  EXPECT_DOUBLE_EQ(aborted.payback_iterations, -1.0);
+
+  const SwitchPostMortem& committed = post[1];
+  EXPECT_EQ(committed.index, 1u);
+  EXPECT_FALSE(committed.aborted);
+  EXPECT_DOUBLE_EQ(committed.request_ts, 3.0);
+  EXPECT_DOUBLE_EQ(committed.migration_bytes, 500.0);
+}
+
 // ---------------------------------------------------------------------------
 // Whole-run analysis over the checked-in golden trace
 // ---------------------------------------------------------------------------

@@ -3,6 +3,7 @@
 // resource monitor's change detection, and the controller loop end-to-end.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 #include "autopipe/controller.hpp"
@@ -572,6 +573,58 @@ TEST(Controller, RevertsMeasuredRegression) {
   EXPECT_GT(with, 0.0);
   EXPECT_GT(without, 0.0);
   EXPECT_GT(with, without * 0.9);
+}
+
+TEST(Controller, RevertBackoffSaturatesAtDocumentedCeiling) {
+  const auto model = toy_model(6);
+  Rig rig(3);
+  pipeline::PipelineExecutor executor(
+      *rig.cluster, model,
+      partition::Partition::even_split(model.num_layers(), {0, 1, 2}),
+      clean_config());
+  ControllerConfig config;
+  config.arbiter_mode = ControllerConfig::ArbiterMode::kThreshold;
+  config.use_meta_network = false;
+  config.revert_cooldown = 6;
+  config.max_revert_backoff_shift = 6;
+  AutoPipeController controller(*rig.cluster, executor, config, nullptr,
+                                nullptr);
+
+  // Doubles per consecutive revert up to the configured shift...
+  EXPECT_EQ(controller.revert_backoff_iterations(0), 6u);
+  EXPECT_EQ(controller.revert_backoff_iterations(1), 12u);
+  EXPECT_EQ(controller.revert_backoff_iterations(2), 24u);
+  EXPECT_EQ(controller.revert_backoff_iterations(6), 6u << 6);
+  // ...then saturates: no matter how many reverts pile up, the pause is
+  // the documented ceiling, never longer and never an overflowed shift.
+  const std::size_t ceiling = controller.revert_backoff_iterations(6);
+  EXPECT_EQ(controller.revert_backoff_iterations(7), ceiling);
+  EXPECT_EQ(controller.revert_backoff_iterations(1000), ceiling);
+  EXPECT_EQ(controller.revert_backoff_iterations(
+                std::numeric_limits<std::size_t>::max()),
+            ceiling);
+}
+
+TEST(Controller, RevertBackoffPathologicalShiftConfigCannotOverflow) {
+  const auto model = toy_model(6);
+  Rig rig(3);
+  pipeline::PipelineExecutor executor(
+      *rig.cluster, model,
+      partition::Partition::even_split(model.num_layers(), {0, 1, 2}),
+      clean_config());
+  ControllerConfig config;
+  config.arbiter_mode = ControllerConfig::ArbiterMode::kThreshold;
+  config.use_meta_network = false;
+  config.revert_cooldown = 6;
+  // A shift at or past the word width would be undefined behaviour without
+  // the hard clamp at 48; the result must stay finite and monotone-capped.
+  config.max_revert_backoff_shift = 200;
+  AutoPipeController controller(*rig.cluster, executor, config, nullptr,
+                                nullptr);
+  const std::size_t capped = controller.revert_backoff_iterations(
+      std::numeric_limits<std::size_t>::max());
+  EXPECT_EQ(capped, std::size_t{6} << 48);
+  EXPECT_GT(capped, 0u);
 }
 
 TEST(Controller, ReplanAdoptsRebalanceUnderLocalContention) {

@@ -100,6 +100,57 @@ TEST(FaultPlan, ParseRejectsMalformedSpecs) {
                contract_error);
 }
 
+namespace {
+
+/// The contract message a malformed spec dies with; "" if it parses.
+std::string spec_error(const std::string& spec) {
+  try {
+    faults::parse_spec(spec, 2, 2);
+  } catch (const contract_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+}  // namespace
+
+TEST(FaultPlan, MalformedSpecErrorsNameLineAndField) {
+  // Schedule lines: the message carries the 1-based line of the offender.
+  EXPECT_NE(spec_error("0.5 gpu_down 0; not a fault line")
+                .find("fault spec line 2: expected"),
+            std::string::npos);
+  EXPECT_NE(spec_error("0.5 gpu_down 0; 1.0 gpu_melt 0")
+                .find("fault spec line 2: unknown fault kind 'gpu_melt'"),
+            std::string::npos);
+  EXPECT_NE(spec_error("0.5 straggler_begin 1")
+                .find("fault spec line 1: straggler_begin needs a scale"),
+            std::string::npos);
+  EXPECT_NE(spec_error("0.5 gpu_down 0; 1.0 gpu_down 99")
+                .find("fault spec line 2: worker index 99 out of range"),
+            std::string::npos);
+  EXPECT_NE(spec_error("0.5 link_down 7")
+                .find("fault spec line 1: server index 7 out of range"),
+            std::string::npos);
+
+  // Random specs: comma-separated entries, so the message carries the
+  // 1-based entry position and the offending field.
+  EXPECT_NE(spec_error("random:seed=1,gpus")
+                .find("random entry 2: expected key=value, got 'gpus'"),
+            std::string::npos);
+  EXPECT_NE(spec_error("random:seed=1,=3")
+                .find("random entry 2: empty key in '=3'"),
+            std::string::npos);
+  EXPECT_NE(spec_error("random:seed=1,gpus=many")
+                .find("random entry 2: field 'gpus': bad number 'many'"),
+            std::string::npos);
+  EXPECT_NE(spec_error("random:seed=1,start=1.0x")
+                .find("random entry 2: field 'start': bad number '1.0x'"),
+            std::string::npos);
+  EXPECT_NE(spec_error("random:seed=1,bogus_key=1")
+                .find("random entry 2: unknown random key 'bogus_key'"),
+            std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Cluster state transitions
 // ---------------------------------------------------------------------------

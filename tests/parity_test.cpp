@@ -43,6 +43,26 @@ TEST_P(ParitySeeds, HeapAndWheelAreByteIdentical) {
 INSTANTIATE_TEST_SUITE_P(FiftySeeds, ParitySeeds,
                          ::testing::Range<std::uint64_t>(1, 51));
 
+// Mid-switch fault split: the seed picks the protocol phase, fault kind and
+// switch mode of a crash point armed against a deterministic mid-run switch,
+// so aborted, rolled-back, retried and abandoned switches are all inside the
+// byte-for-byte heap-vs-wheel contract.
+class ParityMidSwitchSeeds : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ParityMidSwitchSeeds, AbortedSwitchRunsAreByteIdentical) {
+  ScenarioConfig config;
+  config.seed = GetParam();
+  config.inject_faults = false;  // the crash point is the only fault source
+  config.background_churn = true;
+  config.mid_switch_faults = true;
+  const Divergence d = parity::run_differential(config);
+  EXPECT_TRUE(d.identical) << d.report;
+}
+
+INSTANTIATE_TEST_SUITE_P(FiftySeeds, ParityMidSwitchSeeds,
+                         ::testing::Range<std::uint64_t>(1, 51));
+
 // ---------------------------------------------------------------------------
 // Structural cases: each chaos axis alone
 // ---------------------------------------------------------------------------

@@ -230,6 +230,44 @@ TEST(AnalyzeTimeseries, ColumnStatsAndEmaFallback) {
   EXPECT_EQ(thr.last, 20.0);
 }
 
+TEST(AnalyzeTimeseries, FlagsAbortStormsWithoutCommits) {
+  TimeSeries ts;
+  ts.interval = 1.0;
+  ts.columns = {"time", "switch.aborted.transfer", "switch.aborted.prepare",
+                "switch.committed"};
+  ts.rows = {
+      {0.0, 0.0, 0.0, 0.0},
+      {1.0, 1.0, 0.0, 0.0},
+      {2.0, 2.0, 0.0, 0.0},
+      {3.0, 2.0, 1.0, 0.0},  // third abort, still no commit -> storm
+      {4.0, 3.0, 1.0, 0.0},  // storm continues but is flagged only once
+      {5.0, 3.0, 1.0, 1.0},  // a commit lands; the baseline resets
+      {6.0, 4.0, 2.0, 1.0},  // two fresh aborts: below the bar, no flag
+  };
+  const TimeSeriesReport report = analysis::analyze_timeseries(ts, 0.2);
+  ASSERT_EQ(report.anomalies.size(), 1u);
+  EXPECT_EQ(report.anomalies[0].kind, "abort_storm");
+  EXPECT_EQ(report.anomalies[0].time, 3.0);
+  EXPECT_EQ(report.anomalies[0].column, "switch.aborted.*");
+  EXPECT_EQ(report.anomalies[0].drop_frac, 3.0);
+
+  const std::string text = analysis::render_timeseries(ts, report, 40);
+  EXPECT_NE(text.find("ABORT STORM: 3 switch aborts with no commit"),
+            std::string::npos);
+  std::ostringstream os;
+  analysis::write_timeseries_json(report, os);
+  EXPECT_NE(os.str().find("\"kind\": \"abort_storm\""), std::string::npos);
+
+  // Interleaved commits keep resetting the window: no storm.
+  ts.rows = {
+      {0.0, 0.0, 0.0, 0.0},
+      {1.0, 2.0, 0.0, 1.0},
+      {2.0, 4.0, 0.0, 2.0},
+      {3.0, 6.0, 0.0, 3.0},
+  };
+  EXPECT_TRUE(analysis::analyze_timeseries(ts, 0.2).anomalies.empty());
+}
+
 TEST(AnalyzeTimeseries, RenderAndJsonSurfaceAnomaliesAndDrops) {
   const TimeSeries ts = churny_series();
   const TimeSeriesReport report = analysis::analyze_timeseries(ts, 0.2);

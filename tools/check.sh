@@ -10,6 +10,7 @@
 #   tools/check.sh --sweep-smoke  # build + baseline-gated sweep only (fast)
 #   tools/check.sh --parity       # build + heap-vs-wheel differential only
 #   tools/check.sh --telemetry    # build + time-series/profiler smoke only
+#   tools/check.sh --chaos-switch # build + mid-switch crash-point matrix only
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -21,6 +22,7 @@ ledger_smoke_only=0
 sweep_smoke_only=0
 parity_only=0
 telemetry_only=0
+chaos_switch_only=0
 if [[ "${1:-}" == "--sanitize" ]]; then
   build="${BUILD_DIR:-$repo/build-asan}"
   cmake_args+=(-DAUTOPIPE_SANITIZE=ON)
@@ -34,8 +36,10 @@ elif [[ "${1:-}" == "--parity" ]]; then
   parity_only=1
 elif [[ "${1:-}" == "--telemetry" ]]; then
   telemetry_only=1
+elif [[ "${1:-}" == "--chaos-switch" ]]; then
+  chaos_switch_only=1
 elif [[ $# -gt 0 ]]; then
-  echo "usage: tools/check.sh [--sanitize|--ledger-smoke|--sweep-smoke|--parity|--telemetry]" >&2
+  echo "usage: tools/check.sh [--sanitize|--ledger-smoke|--sweep-smoke|--parity|--telemetry|--chaos-switch]" >&2
   exit 2
 fi
 
@@ -75,6 +79,17 @@ sweep_smoke() {
   "$build/tools/autopipe_sweep" --spec="@$repo/bench/sweeps/smoke.sweep" \
       --jobs=4 --tolerance=0.10 \
       --baseline="$repo/bench/baselines/sweep_smoke_baseline.json"
+}
+
+# Mid-switch crash-point matrix: every (switch mode x protocol phase x
+# fault kind) cell gets a deterministic fault fired at that phase boundary;
+# each run must conserve per-layer weights across abort/rollback/retry,
+# land in a consistent layout, resolve every attempt in the ledger, and
+# replay byte-identically heap-vs-wheel (see docs/FAULTS.md).
+chaos_switch_smoke() {
+  echo "== chaos-switch smoke =="
+  "$build/bench/chaos_switch" --seeds=5 \
+      --artifacts="$build/chaos-switch-artifacts"
 }
 
 # Telemetry smoke: a churny run with the metric time-series sampler and the
@@ -131,11 +146,21 @@ if [[ "$telemetry_only" == 1 ]]; then
   exit 0
 fi
 
+if [[ "$chaos_switch_only" == 1 ]]; then
+  chaos_switch_smoke
+  echo "OK"
+  exit 0
+fi
+
 echo "== test =="
 ctest --test-dir "$build" --output-on-failure -j "$jobs"
 
 echo "== chaos smoke =="
 "$build/bench/chaos_faults" --seeds=5 > /dev/null
+
+echo "== chaos-switch smoke =="
+"$build/bench/chaos_switch" --seeds=5 \
+    --artifacts="$build/chaos-switch-artifacts" > /dev/null
 
 echo "== analyzer smoke =="
 "$build/tools/autopipe_trace" summary \

@@ -1,0 +1,353 @@
+#include "analysis/causal.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <ostream>
+
+#include "analysis/json.hpp"
+#include "common/expect.hpp"
+
+namespace autopipe::analysis {
+
+namespace {
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// One-line event descriptor used by the text report.
+std::string describe_event(const trace::Event& ev) {
+  std::string out = category_name(ev.category);
+  out += ':';
+  out += ev.name;
+  if (ev.phase == 'b') out += "[begin]";
+  if (ev.phase == 'e') out += "[end]";
+  for (const trace::Arg& a : ev.args) {
+    out += ' ';
+    out += a.key;
+    out += '=';
+    out += a.value;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string classify_edge(const trace::Event& parent,
+                          const trace::Event& child) {
+  using trace::Category;
+  if (parent.category == Category::kFault) {
+    if (starts_with(parent.name, "link")) return "link_outage";
+    if (starts_with(parent.name, "gpu")) return "gpu_outage";
+    return "fault";
+  }
+  if (parent.category == Category::kResource) return "resource_shift";
+  if (parent.category == Category::kSwitch ||
+      child.category == Category::kSwitch)
+    return "reconfig";
+  if (child.category == Category::kMark) return "bubble";
+  if (parent.category == Category::kMark) return "iteration_chain";
+  if (parent.category == Category::kComm) {
+    if (child.category == Category::kComm) return "flow_stall";
+    if (child.category == Category::kCompute) return "stage_starve";
+  }
+  if (parent.category == Category::kCompute) {
+    if (child.category == Category::kCompute) return "compute_chain";
+    if (child.category == Category::kComm) return "comm_launch";
+  }
+  if (parent.category == Category::kControl ||
+      child.category == Category::kControl)
+    return "control";
+  return std::string(category_name(parent.category)) + "->" +
+         category_name(child.category);
+}
+
+CausalGraph::CausalGraph(std::vector<trace::Event> events)
+    : events_(std::move(events)) {
+  std::uint64_t max_eid = 0;
+  for (const trace::Event& ev : events_) max_eid = std::max(max_eid, ev.eid);
+  eid_to_index_.assign(static_cast<std::size_t>(max_eid), npos);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (events_[i].eid == 0) continue;
+    ++causal_events_;
+    // Last writer wins on a duplicated eid (concatenated traces); the
+    // deterministic writer never emits duplicates.
+    eid_to_index_[events_[i].eid - 1] = i;
+  }
+  parent_edge_.assign(events_.size(), npos);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const trace::Event& child = events_[i];
+    if (child.cause == 0) continue;
+    const std::size_t p = index_of_eid(child.cause);
+    if (p == npos || p == i) {
+      ++dangling_causes_;
+      continue;
+    }
+    const trace::Event& parent = events_[p];
+    CausalEdge edge;
+    edge.parent = p;
+    edge.child = i;
+    edge.contribution = std::max(0.0, event_end(child) - event_end(parent));
+    edge.cls = classify_edge(parent, child);
+    parent_edge_[i] = edges_.size();
+    edges_.push_back(std::move(edge));
+  }
+}
+
+std::size_t CausalGraph::index_of_eid(std::uint64_t eid) const {
+  if (eid == 0 || eid > eid_to_index_.size()) return npos;
+  return eid_to_index_[eid - 1];
+}
+
+namespace {
+
+/// Backward walk from `terminal` through recorded causes, root first. The
+/// visited guard breaks cycles a corrupt trace could encode.
+CausalChain walk_back(const CausalGraph& g, std::size_t terminal) {
+  CausalChain chain;
+  std::vector<ChainLink> reversed;
+  std::vector<bool> visited(g.events().size(), false);
+  std::size_t cur = terminal;
+  while (cur != CausalGraph::npos && !visited[cur]) {
+    visited[cur] = true;
+    ChainLink link;
+    link.event = cur;
+    link.edge = g.parent_edge(cur);
+    if (link.edge != CausalGraph::npos)
+      link.contribution = g.edges()[link.edge].contribution;
+    reversed.push_back(link);
+    cur = link.edge != CausalGraph::npos ? g.edges()[link.edge].parent
+                                         : CausalGraph::npos;
+  }
+  chain.links.assign(reversed.rbegin(), reversed.rend());
+  if (!chain.links.empty()) {
+    chain.links.front().edge = CausalGraph::npos;
+    chain.links.front().contribution = 0.0;
+    for (const ChainLink& l : chain.links) chain.weighted += l.contribution;
+    chain.duration = event_end(g.events()[chain.links.back().event]) -
+                     g.events()[chain.links.front().event].ts;
+  }
+  return chain;
+}
+
+/// Latest-ending causal event with end inside [t0, t1], or npos. Later
+/// trace position wins a tie, so the pick is deterministic.
+std::size_t window_terminal(const CausalGraph& g, double t0, double t1) {
+  std::size_t best = CausalGraph::npos;
+  double best_end = 0.0;
+  for (std::size_t i = 0; i < g.events().size(); ++i) {
+    const trace::Event& ev = g.events()[i];
+    if (ev.eid == 0) continue;
+    const double end = event_end(ev);
+    if (end < t0 || end > t1) continue;
+    if (best == CausalGraph::npos || end >= best_end) {
+      best = i;
+      best_end = end;
+    }
+  }
+  return best;
+}
+
+std::size_t find_root_cause(const CausalGraph& g, const CausalChain& chain) {
+  using trace::Category;
+  for (const ChainLink& l : chain.links) {
+    const trace::Event& ev = g.events()[l.event];
+    // "topology" instants share the fault category but only record the
+    // worker->server layout at install time — bookkeeping, not a fault.
+    if (ev.name == "topology") continue;
+    if (ev.category == Category::kFault || ev.category == Category::kResource)
+      return l.event;
+  }
+  // No injected disturbance on the chain: blame the heaviest hop's cause.
+  std::size_t heaviest = CausalGraph::npos;
+  double weight = -1.0;
+  for (std::size_t i = 1; i < chain.links.size(); ++i) {
+    if (chain.links[i].contribution > weight) {
+      weight = chain.links[i].contribution;
+      heaviest = i;
+    }
+  }
+  if (heaviest == CausalGraph::npos)
+    return chain.links.empty() ? CausalGraph::npos : chain.links.front().event;
+  return chain.links[heaviest - 1].event;
+}
+
+}  // namespace
+
+CausalChain critical_chain(const CausalGraph& g) {
+  return walk_back(
+      g, window_terminal(g, 0.0, std::numeric_limits<double>::infinity()));
+}
+
+BlameReport blame_window(const CausalGraph& g, double t0, double t1) {
+  AUTOPIPE_EXPECT_MSG(t1 >= t0, "blame window ends before it begins");
+  BlameReport report;
+  report.window_begin = t0;
+  report.window_end = t1;
+  for (const trace::Event& ev : g.events()) {
+    if (ev.eid == 0) continue;
+    const double end = event_end(ev);
+    if (end >= t0 && end <= t1) ++report.window_events;
+  }
+  const std::size_t terminal = window_terminal(g, t0, t1);
+  if (terminal != CausalGraph::npos) {
+    report.chain = walk_back(g, terminal);
+    report.root_cause = find_root_cause(g, report.chain);
+  }
+
+  std::map<std::string, LedgerEntry> classes;
+  for (const CausalEdge& e : g.edges()) {
+    const double end = event_end(g.events()[e.child]);
+    if (end < t0 || end > t1) continue;
+    LedgerEntry& entry = classes[e.cls];
+    entry.cls = e.cls;
+    entry.seconds += e.contribution;
+    ++entry.edges;
+    report.ledger_seconds += e.contribution;
+  }
+  for (auto& [cls, entry] : classes) {
+    entry.share = report.ledger_seconds > 0.0
+                      ? entry.seconds / report.ledger_seconds
+                      : 0.0;
+    report.ledger.push_back(entry);
+  }
+  std::stable_sort(report.ledger.begin(), report.ledger.end(),
+                   [](const LedgerEntry& a, const LedgerEntry& b) {
+                     if (a.seconds != b.seconds) return a.seconds > b.seconds;
+                     return a.cls < b.cls;
+                   });
+  return report;
+}
+
+BlameReport blame_iteration(const CausalGraph& g, const TraceView& view,
+                            std::size_t n) {
+  const std::vector<double>& marks = view.iteration_marks();
+  AUTOPIPE_EXPECT_MSG(n >= 1 && n <= marks.size(),
+                      "trace has " << marks.size()
+                                   << " iteration marks, cannot blame "
+                                      "iteration "
+                                   << n);
+  const double t0 = n >= 2 ? marks[n - 2] : 0.0;
+  return blame_window(g, t0, marks[n - 1]);
+}
+
+void render_blame(const BlameReport& report, const CausalGraph& g,
+                  std::size_t top, std::ostream& os) {
+  using trace::format_double;
+  os << "blame window [" << format_double(report.window_begin) << ", "
+     << format_double(report.window_end) << "]: " << report.window_events
+     << " causal events\n";
+  if (report.chain.links.empty()) {
+    os << "no causal events in window (pre-causality trace, or tracing "
+          "was off)\n";
+    return;
+  }
+  if (report.root_cause != CausalGraph::npos) {
+    const trace::Event& rc = g.events()[report.root_cause];
+    os << "root cause: " << describe_event(rc)
+       << " at t=" << format_double(rc.ts) << " (eid " << rc.eid << ")\n";
+  }
+  os << "dominant chain: " << report.chain.links.size() << " links, "
+     << format_double(report.chain.weighted) << " s weighted, spanning "
+     << format_double(report.chain.duration) << " s\n";
+  // Print the chain's heaviest hops in causal order; everything below 1%
+  // of the chain's weight is noise here (the JSON report keeps it all).
+  const double floor = report.chain.weighted * 0.01;
+  std::vector<std::size_t> shown;
+  for (std::size_t i = 0; i < report.chain.links.size(); ++i) {
+    const ChainLink& l = report.chain.links[i];
+    if (i == 0 || l.contribution > floor) shown.push_back(i);
+  }
+  if (shown.size() > top) {
+    // Keep the root and the `top` heaviest of the rest, in causal order.
+    std::vector<std::size_t> rest(shown.begin() + 1, shown.end());
+    std::stable_sort(rest.begin(), rest.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return report.chain.links[a].contribution >
+                              report.chain.links[b].contribution;
+                     });
+    rest.resize(top - 1);
+    std::sort(rest.begin(), rest.end());
+    shown.assign(1, shown.front());
+    shown.insert(shown.end(), rest.begin(), rest.end());
+  }
+  std::size_t omitted = report.chain.links.size() - shown.size();
+  for (std::size_t i : shown) {
+    const ChainLink& l = report.chain.links[i];
+    const trace::Event& ev = g.events()[l.event];
+    if (i == 0) {
+      os << "  root  t=" << format_double(ev.ts) << "  " << describe_event(ev)
+         << " (eid " << ev.eid << ")\n";
+      continue;
+    }
+    const CausalEdge& e = g.edges()[l.edge];
+    os << "  +" << format_double(l.contribution) << " s  [" << e.cls << "]  "
+       << describe_event(ev) << " ends t="
+       << format_double(event_end(ev)) << " (eid " << ev.eid << ")\n";
+  }
+  if (omitted > 0) os << "  (" << omitted << " lighter links omitted)\n";
+  os << "stall ledger (edges ending in window, "
+     << format_double(report.ledger_seconds) << " s total):\n";
+  for (const LedgerEntry& entry : report.ledger) {
+    os << "  " << entry.cls << "  " << format_double(entry.seconds) << " s  "
+       << format_double(entry.share * 100.0) << "%  (" << entry.edges
+       << (entry.edges == 1 ? " edge)" : " edges)") << "\n";
+  }
+}
+
+void write_blame_json(const BlameReport& report, const CausalGraph& g,
+                      std::ostream& os) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "autopipe-blame-v1");
+  w.kv("window_begin", report.window_begin);
+  w.kv("window_end", report.window_end);
+  w.kv("window_events", report.window_events);
+  if (report.root_cause != CausalGraph::npos) {
+    const trace::Event& rc = g.events()[report.root_cause];
+    w.key("root_cause");
+    w.begin_object();
+    w.kv("eid", rc.eid);
+    w.kv("category", category_name(rc.category));
+    w.kv("name", rc.name);
+    w.kv("ts", rc.ts);
+    w.end();
+  }
+  w.key("chain");
+  w.begin_object();
+  w.kv("weighted_seconds", report.chain.weighted);
+  w.kv("duration_seconds", report.chain.duration);
+  w.key("links");
+  w.begin_array();
+  for (const ChainLink& l : report.chain.links) {
+    const trace::Event& ev = g.events()[l.event];
+    w.begin_object();
+    w.kv("eid", ev.eid);
+    w.kv("cause", ev.cause);
+    w.kv("category", category_name(ev.category));
+    w.kv("name", ev.name);
+    w.kv("end", event_end(ev));
+    w.kv("contribution_seconds", l.contribution);
+    if (l.edge != CausalGraph::npos)
+      w.kv("class", g.edges()[l.edge].cls);
+    w.end();
+  }
+  w.end();  // links
+  w.end();  // chain
+  w.key("ledger");
+  w.begin_array();
+  for (const LedgerEntry& entry : report.ledger) {
+    w.begin_object();
+    w.kv("class", entry.cls);
+    w.kv("seconds", entry.seconds);
+    w.kv("share", entry.share);
+    w.kv("edges", entry.edges);
+    w.end();
+  }
+  w.end();  // ledger
+  w.kv("ledger_seconds", report.ledger_seconds);
+  w.end();
+}
+
+}  // namespace autopipe::analysis

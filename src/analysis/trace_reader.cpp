@@ -11,18 +11,19 @@ namespace autopipe::analysis {
 
 namespace {
 
-trace::Category parse_category(const std::string& name, std::size_t line_no) {
+/// Category for a name, or false when the name is unknown (a newer writer's
+/// category: the caller skips the line and counts it).
+bool lookup_category(const std::string& name, trace::Category& out) {
   using trace::Category;
-  if (name == "compute") return Category::kCompute;
-  if (name == "comm") return Category::kComm;
-  if (name == "switch") return Category::kSwitch;
-  if (name == "control") return Category::kControl;
-  if (name == "resource") return Category::kResource;
-  if (name == "mark") return Category::kMark;
-  if (name == "fault") return Category::kFault;
-  AUTOPIPE_EXPECT_MSG(false, "trace line " << line_no
-                                           << ": unknown category " << name);
-  throw contract_error("unreachable");
+  if (name == "compute") out = Category::kCompute;
+  else if (name == "comm") out = Category::kComm;
+  else if (name == "switch") out = Category::kSwitch;
+  else if (name == "control") out = Category::kControl;
+  else if (name == "resource") out = Category::kResource;
+  else if (name == "mark") out = Category::kMark;
+  else if (name == "fault") out = Category::kFault;
+  else return false;
+  return true;
 }
 
 double parse_double_field(const std::string& token, std::size_t line_no) {
@@ -33,20 +34,21 @@ double parse_double_field(const std::string& token, std::size_t line_no) {
   return v;
 }
 
-/// The value of a "key=value" token; contract error when the key differs.
-std::string expect_field(const std::string& token, const char* key,
-                         std::size_t line_no) {
-  const std::string prefix = std::string(key) + "=";
-  AUTOPIPE_EXPECT_MSG(token.rfind(prefix, 0) == 0,
-                      "trace line " << line_no << ": expected " << prefix
-                                    << "..., got " << token);
-  return token.substr(prefix.size());
+std::uint64_t parse_u64_field(const std::string& token, std::size_t line_no) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  AUTOPIPE_EXPECT_MSG(end != nullptr && *end == '\0' && !token.empty(),
+                      "trace line " << line_no << ": bad integer " << token);
+  return static_cast<std::uint64_t>(v);
 }
 
 }  // namespace
 
-std::vector<trace::Event> parse_text(std::istream& is) {
+std::vector<trace::Event> parse_text(std::istream& is, ReadStats* stats) {
   std::vector<trace::Event> events;
+  ReadStats local;
+  ReadStats& st = stats != nullptr ? *stats : local;
+  st = ReadStats{};
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(is, line)) {
@@ -61,64 +63,87 @@ std::vector<trace::Event> parse_text(std::istream& is) {
 
     trace::Event ev;
     ev.ts = parse_double_field(tokens[0], line_no);
-    ev.category = parse_category(tokens[1], line_no);
+    if (!lookup_category(tokens[1], ev.category)) {
+      ++st.skipped_lines;  // a newer writer's category: skip the whole line
+      continue;
+    }
     AUTOPIPE_EXPECT_MSG(tokens[2].size() == 1,
                         "trace line " << line_no << ": bad phase "
                                       << tokens[2]);
     ev.phase = tokens[2][0];
-    AUTOPIPE_EXPECT_MSG(ev.phase == 'X' || ev.phase == 'i' ||
-                            ev.phase == 'C' || ev.phase == 'b' ||
-                            ev.phase == 'e',
-                        "trace line " << line_no << ": unknown phase "
-                                      << ev.phase);
-    ev.name = tokens[3];
-    ev.pid = static_cast<int>(
-        parse_double_field(expect_field(tokens[4], "pid", line_no), line_no));
-    ev.tid = static_cast<int>(
-        parse_double_field(expect_field(tokens[5], "tid", line_no), line_no));
-
-    // Fixed per-phase fields follow pid/tid in the order write_text emits
-    // them; everything after is event args. Arg values may contain spaces
-    // (e.g. resource_event descriptions), so a token without '=' continues
-    // the previous arg's value.
-    std::size_t i = 6;
-    if (ev.phase == 'X') {
-      AUTOPIPE_EXPECT_MSG(i < tokens.size(),
-                          "trace line " << line_no << ": X without dur");
-      ev.dur = parse_double_field(expect_field(tokens[i++], "dur", line_no),
-                                  line_no);
-    } else if (ev.phase == 'b' || ev.phase == 'e') {
-      AUTOPIPE_EXPECT_MSG(i < tokens.size(),
-                          "trace line " << line_no << ": async without id");
-      ev.id = static_cast<std::uint64_t>(parse_double_field(
-          expect_field(tokens[i++], "id", line_no), line_no));
-    } else if (ev.phase == 'C') {
-      AUTOPIPE_EXPECT_MSG(i < tokens.size(),
-                          "trace line " << line_no << ": C without value");
-      ev.value = parse_double_field(
-          expect_field(tokens[i++], "value", line_no), line_no);
+    if (ev.phase != 'X' && ev.phase != 'i' && ev.phase != 'C' &&
+        ev.phase != 'b' && ev.phase != 'e') {
+      ++st.skipped_lines;  // a newer writer's phase: skip the whole line
+      continue;
     }
-    for (; i < tokens.size(); ++i) {
+    ev.name = tokens[3];
+
+    // Everything after the name is `key=value` fields, parsed by key so a
+    // newer writer may add fields in any position. Keys this reader knows
+    // land in Event fields; anything else is preserved as an arg. Arg
+    // values may contain spaces (e.g. resource_event descriptions), so a
+    // bare token continues the previous arg's value — or is dropped and
+    // counted when there is none.
+    bool saw_pid = false, saw_tid = false, saw_phase_field = false;
+    for (std::size_t i = 4; i < tokens.size(); ++i) {
       const std::string& t = tokens[i];
       const std::size_t eq = t.find('=');
       if (eq == std::string::npos) {
-        AUTOPIPE_EXPECT_MSG(!ev.args.empty(),
-                            "trace line " << line_no
-                                          << ": dangling token " << t);
-        ev.args.back().value += ' ' + t;
-      } else {
-        ev.args.push_back(trace::Arg{t.substr(0, eq), t.substr(eq + 1)});
+        if (ev.args.empty()) {
+          ++st.dropped_tokens;
+        } else {
+          ev.args.back().value += ' ' + t;
+        }
+        continue;
       }
+      const std::string key = t.substr(0, eq);
+      const std::string value = t.substr(eq + 1);
+      if (key == "pid") {
+        ev.pid = static_cast<int>(parse_double_field(value, line_no));
+        saw_pid = true;
+      } else if (key == "tid") {
+        ev.tid = static_cast<int>(parse_double_field(value, line_no));
+        saw_tid = true;
+      } else if (key == "dur" && ev.phase == 'X') {
+        ev.dur = parse_double_field(value, line_no);
+        saw_phase_field = true;
+      } else if (key == "id" && (ev.phase == 'b' || ev.phase == 'e')) {
+        ev.id = parse_u64_field(value, line_no);
+        saw_phase_field = true;
+      } else if (key == "value" && ev.phase == 'C') {
+        ev.value = parse_double_field(value, line_no);
+        saw_phase_field = true;
+      } else if (key == "eid") {
+        ev.eid = parse_u64_field(value, line_no);
+      } else if (key == "cause") {
+        ev.cause = parse_u64_field(value, line_no);
+      } else {
+        ev.args.push_back(trace::Arg{key, value});
+      }
+    }
+    AUTOPIPE_EXPECT_MSG(saw_pid && saw_tid,
+                        "trace line " << line_no << ": missing pid/tid");
+    if (ev.phase == 'X') {
+      AUTOPIPE_EXPECT_MSG(saw_phase_field,
+                          "trace line " << line_no << ": X without dur");
+    } else if (ev.phase == 'b' || ev.phase == 'e') {
+      AUTOPIPE_EXPECT_MSG(saw_phase_field,
+                          "trace line " << line_no << ": async without id");
+    } else if (ev.phase == 'C') {
+      AUTOPIPE_EXPECT_MSG(saw_phase_field,
+                          "trace line " << line_no << ": C without value");
     }
     events.push_back(std::move(ev));
   }
+  st.events = events.size();
   return events;
 }
 
-std::vector<trace::Event> parse_text_file(const std::string& path) {
+std::vector<trace::Event> parse_text_file(const std::string& path,
+                                          ReadStats* stats) {
   std::ifstream in(path);
   AUTOPIPE_EXPECT_MSG(in.good(), "cannot read trace file " << path);
-  return parse_text(in);
+  return parse_text(in, stats);
 }
 
 }  // namespace autopipe::analysis

@@ -224,16 +224,36 @@ void AutoPipeController::on_iteration(std::size_t completed_iterations) {
       completed_iterations > validation_->switch_iteration) {
     if (validation_->window_start < 0.0) {
       validation_->window_start = cluster_.simulator().now();
+      if (cluster_.simulator().tracer().enabled()) {
+        cluster_.simulator().tracer().instant(
+            trace::Category::kControl, "validation_start",
+            cluster_.simulator().now(), trace::kPidControl, 1,
+            {trace::arg("round",
+                        validation_->ledger_id ? *validation_->ledger_id : 0),
+             trace::arg("period_before", validation_->period_before)});
+      }
     } else {
       ++validation_->samples;
       if (validation_->samples >= config_.validation_window) {
         const double after_period =
             (cluster_.simulator().now() - validation_->window_start) /
             static_cast<double>(validation_->samples);
+        const bool regressed =
+            after_period > validation_->period_before *
+                               (1.0 - config_.regression_tolerance);
+        if (cluster_.simulator().tracer().enabled()) {
+          cluster_.simulator().tracer().instant(
+              trace::Category::kControl, "validation_end",
+              cluster_.simulator().now(), trace::kPidControl, 1,
+              {trace::arg("round",
+                          validation_->ledger_id ? *validation_->ledger_id
+                                                 : 0),
+               trace::arg("period_after", after_period),
+               trace::arg("verdict", regressed ? "regressed" : "validated")});
+        }
         // Keep the new partition only if it is measurably better; an
         // equal-or-worse measurement sends it back (and into rejected_).
-        if (after_period > validation_->period_before *
-                               (1.0 - config_.regression_tolerance)) {
+        if (regressed) {
           LOG_DEBUG("switch regressed (period "
                     << validation_->period_before << " -> " << after_period
                     << "); reverting");
@@ -254,7 +274,10 @@ void AutoPipeController::on_iteration(std::size_t completed_iterations) {
           tracked_switch_ = TrackedSwitch(validation_->previous,
                                           executor_.current_partition());
           if (!executor_.request_switch(validation_->previous,
-                                        config_.switch_mode)) {
+                                        config_.switch_mode,
+                                        validation_->ledger_id
+                                            ? *validation_->ledger_id
+                                            : 0)) {
             tracked_switch_.reset();
             ++retry_epoch_;
             return;  // switch engine busy: retry the revert next iteration
@@ -434,7 +457,8 @@ bool AutoPipeController::pursue_target() {
   // never validated: they may transit through worse configurations.
   drop_tracked_switch("new_decision");
   tracked_switch_ = TrackedSwitch(best->partition, current);
-  if (executor_.request_switch(best->partition, config_.switch_mode)) {
+  if (executor_.request_switch(best->partition, config_.switch_mode,
+                               target_round_)) {
     ++stats_.switches_requested;
     last_switch_iteration_ = executor_.completed_iterations();
   } else if (tracked_switch_) {
@@ -514,6 +538,9 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
           const std::uint64_t id = ledger().add(std::move(rec));
           probes_.push_back(LedgerProbe{
               id, true, executor_.completed_iterations(), -1.0, 0});
+          target_round_ = id;
+        } else {
+          target_round_ = 0;
         }
         target_ = std::move(plan);
         target_steps_ = 0;
@@ -540,7 +567,10 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
         supersede_probes("new_decision");
         tracked_switch_->ledger_id = ledger().add(std::move(rec));
       }
-      if (executor_.request_switch(plan, config_.switch_mode)) {
+      if (executor_.request_switch(plan, config_.switch_mode,
+                                   tracked_switch_->ledger_id
+                                       ? *tracked_switch_->ledger_id
+                                       : 0)) {
         cluster_.simulator().metrics().add("controller.replans");
         if (cluster_.simulator().tracer().enabled()) {
           cluster_.simulator().tracer().instant(
@@ -771,7 +801,10 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
       supersede_probes("new_decision");
       tracked_switch_->ledger_id = ledger().add(std::move(rec));
     }
-    if (executor_.request_switch(best->partition, config_.switch_mode)) {
+    if (executor_.request_switch(best->partition, config_.switch_mode,
+                                 tracked_switch_->ledger_id
+                                     ? *tracked_switch_->ledger_id
+                                     : 0)) {
       ++stats_.switches_requested;
       last_switch_iteration_ = executor_.completed_iterations();
       LOG_DEBUG("switching to " << best->partition.to_string()
@@ -1111,7 +1144,9 @@ void AutoPipeController::schedule_switch_retry() {
           return;
         }
         ++tr.attempts;
-        if (executor_.request_switch(tr.target, config_.switch_mode)) {
+        if (executor_.request_switch(
+                tr.target, config_.switch_mode,
+                tr.ledger_id ? *tr.ledger_id : 0)) {
           ++stats_.switch_retries;
           auto& sim = cluster_.simulator();
           sim.metrics().add("switch.retries");

@@ -253,6 +253,9 @@ class AutoPipeController {
   /// the number of steps taken, as a runaway guard.
   std::optional<partition::Partition> target_;
   std::size_t target_steps_ = 0;
+  /// Ledger id of the decision round that set target_ (0 when the ledger is
+  /// off); tags each migration step's switch-phase trace instants.
+  std::uint64_t target_round_ = 0;
 
   struct Validation {
     partition::Partition previous;

@@ -35,10 +35,21 @@ const std::string* Event::find_arg(const std::string& key) const {
 
 #if AUTOPIPE_TRACING
 
-void TraceRecorder::complete(Category category, std::string name,
-                             double ts_begin, double ts_end, int pid, int tid,
-                             Args args) {
-  if (!enabled_) return;
+std::uint64_t TraceRecorder::record(Event ev, std::uint64_t cause) {
+  ev.eid = next_eid_++;
+  ev.cause = cause == kAmbient ? current_cause_ : cause;
+  if (ev.cause == ev.eid) ev.cause = 0;  // never self-caused
+  current_cause_ = ev.eid;
+  const std::uint64_t eid = ev.eid;
+  events_.push_back(std::move(ev));
+  return eid;
+}
+
+std::uint64_t TraceRecorder::complete(Category category, std::string name,
+                                      double ts_begin, double ts_end, int pid,
+                                      int tid, Args args,
+                                      std::uint64_t cause) {
+  if (!enabled_) return 0;
   Event ev;
   ev.category = category;
   ev.phase = 'X';
@@ -48,12 +59,13 @@ void TraceRecorder::complete(Category category, std::string name,
   ev.pid = pid;
   ev.tid = tid;
   ev.args = std::move(args);
-  events_.push_back(std::move(ev));
+  return record(std::move(ev), cause);
 }
 
-void TraceRecorder::instant(Category category, std::string name, double ts,
-                            int pid, int tid, Args args) {
-  if (!enabled_) return;
+std::uint64_t TraceRecorder::instant(Category category, std::string name,
+                                     double ts, int pid, int tid, Args args,
+                                     std::uint64_t cause) {
+  if (!enabled_) return 0;
   Event ev;
   ev.category = category;
   ev.phase = 'i';
@@ -62,7 +74,7 @@ void TraceRecorder::instant(Category category, std::string name, double ts,
   ev.pid = pid;
   ev.tid = tid;
   ev.args = std::move(args);
-  events_.push_back(std::move(ev));
+  return record(std::move(ev), cause);
 }
 
 void TraceRecorder::counter(Category category, std::string name, double ts,
@@ -78,9 +90,10 @@ void TraceRecorder::counter(Category category, std::string name, double ts,
   events_.push_back(std::move(ev));
 }
 
-void TraceRecorder::async_begin(Category category, std::string name,
-                                std::uint64_t id, double ts, Args args) {
-  if (!enabled_) return;
+std::uint64_t TraceRecorder::async_begin(Category category, std::string name,
+                                         std::uint64_t id, double ts,
+                                         Args args, std::uint64_t cause) {
+  if (!enabled_) return 0;
   Event ev;
   ev.category = category;
   ev.phase = 'b';
@@ -89,12 +102,13 @@ void TraceRecorder::async_begin(Category category, std::string name,
   ev.id = id;
   ev.pid = kPidNetwork;
   ev.args = std::move(args);
-  events_.push_back(std::move(ev));
+  return record(std::move(ev), cause);
 }
 
-void TraceRecorder::async_end(Category category, std::string name,
-                              std::uint64_t id, double ts, Args args) {
-  if (!enabled_) return;
+std::uint64_t TraceRecorder::async_end(Category category, std::string name,
+                                       std::uint64_t id, double ts, Args args,
+                                       std::uint64_t cause) {
+  if (!enabled_) return 0;
   Event ev;
   ev.category = category;
   ev.phase = 'e';
@@ -103,7 +117,7 @@ void TraceRecorder::async_end(Category category, std::string name,
   ev.id = id;
   ev.pid = kPidNetwork;
   ev.args = std::move(args);
-  events_.push_back(std::move(ev));
+  return record(std::move(ev), cause);
 }
 
 namespace {
@@ -189,6 +203,33 @@ void TraceRecorder::write_chrome_json(std::ostream& os) const {
     }
     os << "}";
   }
+
+  // Causal edges as Chrome flow-event pairs: an 's' (start) anchored at the
+  // causing event's end and an 'f' (finish, bp:"e") anchored at the caused
+  // event's start, paired by the child's eid. eids are assigned densely over
+  // non-counter events, so an index maps cause ids back to their events.
+  std::vector<const Event*> by_eid;
+  for (const Event& ev : events_) {
+    if (ev.eid != 0) {
+      if (by_eid.size() < ev.eid) by_eid.resize(ev.eid, nullptr);
+      by_eid[ev.eid - 1] = &ev;
+    }
+  }
+  for (const Event& ev : events_) {
+    if (ev.cause == 0 || ev.cause > by_eid.size()) continue;
+    const Event* parent = by_eid[ev.cause - 1];
+    if (parent == nullptr) continue;
+    const double parent_end =
+        parent->phase == 'X' ? parent->ts + parent->dur : parent->ts;
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"causal\",\"cat\":\"causal\",\"ph\":\"s\",\"id\":"
+       << ev.eid << ",\"ts\":" << micros_str(parent_end)
+       << ",\"pid\":" << parent->pid << ",\"tid\":" << parent->tid << "},"
+       << "\n{\"name\":\"causal\",\"cat\":\"causal\",\"ph\":\"f\",\"bp\":\"e\","
+       << "\"id\":" << ev.eid << ",\"ts\":" << micros_str(ev.ts)
+       << ",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid << "}";
+  }
   os << "\n]}\n";
 }
 
@@ -200,6 +241,8 @@ void TraceRecorder::write_text(std::ostream& os) const {
     if (ev.phase == 'X') os << " dur=" << seconds_str(ev.dur);
     if (ev.phase == 'b' || ev.phase == 'e') os << " id=" << ev.id;
     if (ev.phase == 'C') os << " value=" << format_double(ev.value);
+    if (ev.eid != 0) os << " eid=" << ev.eid;
+    if (ev.cause != 0) os << " cause=" << ev.cause;
     for (const Arg& a : ev.args) os << ' ' << a.key << '=' << a.value;
     os << '\n';
   }

@@ -15,6 +15,16 @@
 //  * write_text — one line per event with fixed formatting, byte-identical
 //    across runs of the same scenario; the golden-trace tests diff it.
 //
+// Causality: every non-counter event is assigned a monotonically increasing
+// eid at record time, and carries the eid of the event that caused it
+// (`cause`). Causes default to the recorder's *ambient* cause — the last
+// event recorded, or whatever the Simulator restored from the popped event
+// before running its callback — so causal chains thread through the event
+// queue without call-site changes; sites with a more precise dependency
+// (previous-stage op, switch-phase barrier, the link_down an up pairs with)
+// pass an explicit cause. The text sink emits `eid=`/`cause=` fields and the
+// Chrome sink renders each edge as a flow-event pair (ph "s"/"f").
+//
 // Overhead discipline: recording methods no-op unless set_enabled(true) was
 // called, and callers guard argument construction behind `enabled()`. With
 // the CMake option AUTOPIPE_TRACING=OFF the recorder compiles down to inline
@@ -64,6 +74,12 @@ struct Arg {
 };
 using Args = std::vector<Arg>;
 
+/// Sentinel `cause` argument meaning "use the recorder's ambient cause" —
+/// the id of the most recently recorded event on this recorder, which the
+/// Simulator restores from the popped event before running its callback.
+/// Pass 0 to record an event with no causal parent.
+inline constexpr std::uint64_t kAmbient = ~std::uint64_t{0};
+
 /// Build an Arg from a string, integer or floating-point value with the
 /// deterministic formatting the text sink relies on.
 template <typename T>
@@ -87,6 +103,8 @@ struct Event {
   std::uint64_t id = 0;  ///< 'b'/'e' only: pairing id
   int pid = 0;
   int tid = 0;
+  std::uint64_t eid = 0;    ///< causal event id, assigned at record time
+  std::uint64_t cause = 0;  ///< eid of the event that caused this one, 0 = root
   Args args;
 
   /// Value of the named arg, or nullptr when absent.
@@ -99,41 +117,77 @@ class TraceRecorder {
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
-  /// A finished span: [ts_begin, ts_end] on row (pid, tid).
-  void complete(Category category, std::string name, double ts_begin,
-                double ts_end, int pid, int tid, Args args = {});
+  /// A finished span: [ts_begin, ts_end] on row (pid, tid). Returns the
+  /// causal id assigned to the event (0 when disabled). `cause` is the eid
+  /// of the causal parent; kAmbient picks up the recorder's ambient cause.
+  std::uint64_t complete(Category category, std::string name, double ts_begin,
+                         double ts_end, int pid, int tid, Args args = {},
+                         std::uint64_t cause = kAmbient);
   /// A point event.
-  void instant(Category category, std::string name, double ts, int pid,
-               int tid, Args args = {});
-  /// A sampled counter value.
+  std::uint64_t instant(Category category, std::string name, double ts,
+                        int pid, int tid, Args args = {},
+                        std::uint64_t cause = kAmbient);
+  /// A sampled counter value. Counters carry no causal id and do not
+  /// disturb the ambient cause.
   void counter(Category category, std::string name, double ts, double value,
                int pid = kPidNetwork);
   /// Async span delimiters paired by (name, id) — used for flows, whose
   /// lifetimes overlap arbitrarily.
-  void async_begin(Category category, std::string name, std::uint64_t id,
-                   double ts, Args args = {});
-  void async_end(Category category, std::string name, std::uint64_t id,
-                 double ts, Args args = {});
+  std::uint64_t async_begin(Category category, std::string name,
+                            std::uint64_t id, double ts, Args args = {},
+                            std::uint64_t cause = kAmbient);
+  std::uint64_t async_end(Category category, std::string name,
+                          std::uint64_t id, double ts, Args args = {},
+                          std::uint64_t cause = kAmbient);
+
+  /// Ambient causal context: the eid of the most recently recorded
+  /// non-counter event, or whatever the Simulator restored before running a
+  /// callback. New events default their `cause` to this.
+  std::uint64_t current_cause() const { return current_cause_; }
+  void set_current_cause(std::uint64_t eid) { current_cause_ = eid; }
 
   const std::vector<Event>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    next_eid_ = 1;
+    current_cause_ = 0;
+  }
 
   void write_chrome_json(std::ostream& os) const;
   void write_text(std::ostream& os) const;
 
  private:
+  /// Shared body of the four non-counter recording methods.
+  std::uint64_t record(Event ev, std::uint64_t cause);
+
   bool enabled_ = false;
+  std::uint64_t next_eid_ = 1;
+  std::uint64_t current_cause_ = 0;
   std::vector<Event> events_;
 #else
   // Tracing compiled out: every call site guarded by enabled() is dead code.
   void set_enabled(bool) {}
   static constexpr bool enabled() { return false; }
-  void complete(Category, std::string, double, double, int, int, Args = {}) {}
-  void instant(Category, std::string, double, int, int, Args = {}) {}
+  std::uint64_t complete(Category, std::string, double, double, int, int,
+                         Args = {}, std::uint64_t = kAmbient) {
+    return 0;
+  }
+  std::uint64_t instant(Category, std::string, double, int, int, Args = {},
+                        std::uint64_t = kAmbient) {
+    return 0;
+  }
   void counter(Category, std::string, double, double, int = kPidNetwork) {}
-  void async_begin(Category, std::string, std::uint64_t, double, Args = {}) {}
-  void async_end(Category, std::string, std::uint64_t, double, Args = {}) {}
+  std::uint64_t async_begin(Category, std::string, std::uint64_t, double,
+                            Args = {}, std::uint64_t = kAmbient) {
+    return 0;
+  }
+  std::uint64_t async_end(Category, std::string, std::uint64_t, double,
+                          Args = {}, std::uint64_t = kAmbient) {
+    return 0;
+  }
+  static constexpr std::uint64_t current_cause() { return 0; }
+  void set_current_cause(std::uint64_t) {}
   const std::vector<Event>& events() const { return empty_; }
   std::size_t size() const { return 0; }
   void clear() {}

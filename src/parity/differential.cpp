@@ -189,6 +189,13 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   std::ostringstream tss;
   simulator.timeseries().write_text(tss);
   out.timeseries_text = tss.str();
+  std::ostringstream cs;
+  for (const trace::Event& ev : simulator.tracer().events()) {
+    if (ev.eid == 0) continue;
+    cs << ev.eid << "<-" << ev.cause << ' '
+       << trace::category_name(ev.category) << ':' << ev.name << '\n';
+  }
+  out.causal_text = cs.str();
   return out;
 }
 
@@ -232,6 +239,7 @@ Divergence compare(const ScenarioResult& reference,
   diff_text("metrics", reference.metrics_text, candidate.metrics_text, os);
   diff_text("timeseries", reference.timeseries_text,
             candidate.timeseries_text, os);
+  diff_text("causal", reference.causal_text, candidate.causal_text, os);
   if (reference.iteration_end_times != candidate.iteration_end_times) {
     os << "iteration_end_times: ";
     const std::size_t n = std::min(reference.iteration_end_times.size(),

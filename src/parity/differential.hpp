@@ -49,6 +49,11 @@ struct ScenarioResult {
   /// autopipe-ts-v1 metric time-series sampled at a fixed cadence during
   /// the run — covers the TimeSeriesSampler in the parity contract.
   std::string timeseries_text;
+  /// One line per causal event: "eid<-cause category:name". Redundant with
+  /// trace_text byte-equality, but diffing it separately localizes a
+  /// divergence in the causal graph (a reordered scheduling decision)
+  /// even when timestamps happen to agree.
+  std::string causal_text;
   std::vector<double> iteration_end_times;
   std::uint64_t events_processed = 0;
   std::uint64_t scheduled_events = 0;  ///< seq counter: pushes must match too

@@ -193,9 +193,9 @@ void PipelineExecutor::inject_async_batch() {
   const sim::WorkerId entry = route.workers.front();
   const std::uint64_t id = make_batch(std::move(route));
   if (tracer().enabled()) {
-    tracer().instant(trace::Category::kCompute, "inject",
-                     cluster_.simulator().now(), static_cast<int>(entry), 0,
-                     {trace::arg("batch", id)});
+    batches_.at(id).last_eid = tracer().instant(
+        trace::Category::kCompute, "inject", cluster_.simulator().now(),
+        static_cast<int>(entry), 0, {trace::arg("batch", id)});
   }
   start_fp(id, 0);
 }
@@ -227,9 +227,10 @@ void PipelineExecutor::start_sync_iteration() {
     const sim::WorkerId entry = route.workers.front();
     const std::uint64_t id = make_batch(std::move(route));
     if (tracer().enabled()) {
-      tracer().instant(trace::Category::kCompute, "inject",
-                       cluster_.simulator().now(), static_cast<int>(entry), 0,
-                       {trace::arg("batch", id), trace::arg("micro", m)});
+      batches_.at(id).last_eid = tracer().instant(
+          trace::Category::kCompute, "inject", cluster_.simulator().now(),
+          static_cast<int>(entry), 0,
+          {trace::arg("batch", id), trace::arg("micro", m)});
     }
     start_fp(id, 0);
   }
@@ -301,12 +302,15 @@ void PipelineExecutor::after_fp(std::uint64_t batch, std::size_t stage) {
   }
 
   if (tracer().enabled()) {
-    tracer().complete(trace::Category::kCompute, "fp", state.task_started,
-                      cluster_.simulator().now(),
-                      static_cast<int>(route.workers[stage]),
-                      static_cast<int>(stage),
-                      {trace::arg("batch", batch),
-                       trace::arg("micro", route.micro_size)});
+    // The batch's previous op (inject or the inbound activation transfer)
+    // is the true dependency; the ambient cause would name whatever GPU
+    // completion happened to run last on this worker.
+    state.last_eid = tracer().complete(
+        trace::Category::kCompute, "fp", state.task_started,
+        cluster_.simulator().now(), static_cast<int>(route.workers[stage]),
+        static_cast<int>(stage),
+        {trace::arg("batch", batch), trace::arg("micro", route.micro_size)},
+        state.last_eid);
   }
 
   if (stage + 1 == S) {
@@ -338,7 +342,8 @@ void PipelineExecutor::after_fp(std::uint64_t batch, std::size_t stage) {
                 config_.framework.comm_efficiency;
   observed_transfer("act", route.workers[stage], route.workers[stage + 1],
                     bytes,
-                    [this, batch, stage] { start_fp(batch, stage + 1); });
+                    [this, batch, stage] { start_fp(batch, stage + 1); },
+                    batch);
 }
 
 void PipelineExecutor::start_bp(std::uint64_t batch, std::size_t stage) {
@@ -382,12 +387,12 @@ void PipelineExecutor::after_bp(std::uint64_t batch, std::size_t stage) {
   }
 
   if (tracer().enabled()) {
-    tracer().complete(trace::Category::kCompute, "bp", state.task_started,
-                      cluster_.simulator().now(),
-                      static_cast<int>(route.workers[stage]),
-                      static_cast<int>(stage),
-                      {trace::arg("batch", batch),
-                       trace::arg("micro", route.micro_size)});
+    state.last_eid = tracer().complete(
+        trace::Category::kCompute, "bp", state.task_started,
+        cluster_.simulator().now(), static_cast<int>(route.workers[stage]),
+        static_cast<int>(stage),
+        {trace::arg("batch", batch), trace::arg("micro", route.micro_size)},
+        state.last_eid);
   }
 
   if (!is_synchronous(config_.mode)) maybe_async_sync(route, stage);
@@ -402,7 +407,8 @@ void PipelineExecutor::after_bp(std::uint64_t batch, std::size_t stage) {
                       config_.framework.comm_efficiency;
   observed_transfer("grad", route.workers[stage], route.workers[stage - 1],
                     bytes,
-                    [this, batch, stage] { start_bp(batch, stage - 1); });
+                    [this, batch, stage] { start_bp(batch, stage - 1); },
+                    batch);
 }
 
 void PipelineExecutor::finish_batch(std::uint64_t batch) {
@@ -568,7 +574,8 @@ void PipelineExecutor::on_iteration_complete() {
 sim::FlowId PipelineExecutor::observed_transfer(const char* label,
                                                 sim::WorkerId src,
                                                 sim::WorkerId dst, Bytes bytes,
-                                                std::function<void()> done) {
+                                                std::function<void()> done,
+                                                std::uint64_t batch_id) {
   const Seconds started = cluster_.simulator().now();
   // Track the flow id so emergency recovery can cancel this executor's
   // outstanding transfers. The holder is filled in after start; the
@@ -576,7 +583,7 @@ sim::FlowId PipelineExecutor::observed_transfer(const char* label,
   auto flow_handle = std::make_shared<sim::FlowId>(0);
   const sim::FlowId flow = cluster_.transfer(
       src, dst, bytes,
-      [this, label, src, dst, bytes, started, flow_handle,
+      [this, label, src, dst, bytes, started, flow_handle, batch_id,
        done = std::move(done)]() mutable {
         if (*flow_handle != 0) live_flows_.erase(*flow_handle);
         const Seconds d = cluster_.simulator().now() - started;
@@ -585,11 +592,23 @@ sim::FlowId PipelineExecutor::observed_transfer(const char* label,
           bandwidth_ema_[dst].add(bytes / d);
         }
         if (tracer().enabled() && src != dst) {
-          tracer().complete(trace::Category::kComm, label, started,
-                            cluster_.simulator().now(), trace::kPidNetwork,
-                            static_cast<int>(dst),
-                            {trace::arg("src", src), trace::arg("dst", dst),
-                             trace::arg("bytes", bytes)});
+          // The span's cause is ambient: the flow-end event that finished
+          // it, which chains back through the flow start to the producing
+          // compute op — or to the bandwidth/fault instant that rescheduled
+          // the completion. That edge is what lets blame walk from a slow
+          // compute span down into the network layer and out to the fault.
+          // A batch-owned transfer then becomes its batch's new chain head
+          // so the batch's next compute op chains behind it.
+          const std::uint64_t eid = tracer().complete(
+              trace::Category::kComm, label, started,
+              cluster_.simulator().now(), trace::kPidNetwork,
+              static_cast<int>(dst),
+              {trace::arg("src", src), trace::arg("dst", dst),
+               trace::arg("bytes", bytes)});
+          if (batch_id != 0) {
+            const auto bit = batches_.find(batch_id);
+            if (bit != batches_.end()) bit->second.last_eid = eid;
+          }
         }
         if (done) done();
       });
@@ -639,19 +658,21 @@ void PipelineExecutor::notify_switch_observers(const SwitchAttempt& attempt) {
 }
 
 bool PipelineExecutor::request_switch(partition::Partition next,
-                                      SwitchMode mode) {
+                                      SwitchMode mode, std::uint64_t round) {
   if (switch_state_) return false;
   AUTOPIPE_EXPECT(next.num_layers() == model_.num_layers());
   if (next == *current_partition_) return false;
-  return start_switch_attempt(std::move(next), mode);
+  return start_switch_attempt(std::move(next), mode, round);
 }
 
 bool PipelineExecutor::start_switch_attempt(partition::Partition next,
-                                            SwitchMode mode) {
+                                            SwitchMode mode,
+                                            std::uint64_t round) {
   AUTOPIPE_EXPECT(switch_state_ == nullptr);
   const Seconds now = cluster_.simulator().now();
   ++switch_generation_;
   switch_state_ = std::make_unique<SwitchState>();
+  switch_state_->round = round;
   SwitchState& st = *switch_state_;
   SwitchAttempt& attempt = st.attempt;
   attempt.id = ++switch_attempt_counter_;
@@ -729,16 +750,23 @@ bool PipelineExecutor::start_switch_attempt(partition::Partition next,
 
   metrics().add("switch.requested");
   if (tracer().enabled()) {
-    tracer().instant(trace::Category::kSwitch,
-                     mode == SwitchMode::kStopTheWorld ? "switch_request_stw"
-                                                       : "switch_request_fine",
-                     now, trace::kPidControl, 0,
-                     {trace::arg("id", attempt.id)});
-    tracer().instant(trace::Category::kSwitch, "switch_prepare", now,
-                     trace::kPidControl, 0,
-                     {trace::arg("id", attempt.id),
-                      trace::arg("pairs", st.pairs.size()),
-                      trace::arg("bytes", attempt.migration_bytes)});
+    trace::Args request_args = {trace::arg("id", attempt.id)};
+    if (round != 0) request_args.push_back(trace::arg("round", round));
+    // The request instant picks up the ambient cause (the controller
+    // decision or fault event driving it); every later phase instant of
+    // this attempt chains to its predecessor through st.last_eid.
+    st.last_eid = tracer().instant(
+        trace::Category::kSwitch,
+        mode == SwitchMode::kStopTheWorld ? "switch_request_stw"
+                                          : "switch_request_fine",
+        now, trace::kPidControl, 0, std::move(request_args));
+    trace::Args prepare_args = {trace::arg("id", attempt.id),
+                                trace::arg("pairs", st.pairs.size()),
+                                trace::arg("bytes", attempt.migration_bytes)};
+    if (round != 0) prepare_args.push_back(trace::arg("round", round));
+    st.last_eid = tracer().instant(trace::Category::kSwitch, "switch_prepare",
+                                   now, trace::kPidControl, 0,
+                                   std::move(prepare_args), st.last_eid);
   }
   notify_switch_observers(attempt);
 
@@ -757,10 +785,11 @@ void PipelineExecutor::enter_phase(SwitchPhase phase) {
   SwitchAttempt& attempt = switch_state_->attempt;
   attempt.phase = phase;
   if (phase == SwitchPhase::kDrain && tracer().enabled()) {
-    tracer().instant(trace::Category::kSwitch, "switch_drain_begin",
-                     cluster_.simulator().now(), trace::kPidControl, 0,
-                     {trace::arg("id", attempt.id),
-                      trace::arg("active", active_batches_)});
+    switch_state_->last_eid = tracer().instant(
+        trace::Category::kSwitch, "switch_drain_begin",
+        cluster_.simulator().now(), trace::kPidControl, 0,
+        {trace::arg("id", attempt.id), trace::arg("active", active_batches_)},
+        switch_state_->last_eid);
   }
   notify_switch_observers(attempt);
 }
@@ -774,11 +803,12 @@ void PipelineExecutor::enter_transfer() {
   if (attempt.migration_bytes > 0.0)
     metrics().add("switch.migration_bytes", attempt.migration_bytes);
   if (tracer().enabled()) {
-    tracer().instant(trace::Category::kSwitch, "switch_transfer_begin", now,
-                     trace::kPidControl, 0,
-                     {trace::arg("id", attempt.id),
-                      trace::arg("pairs", st.pairs.size()),
-                      trace::arg("bytes", attempt.migration_bytes)});
+    st.last_eid = tracer().instant(
+        trace::Category::kSwitch, "switch_transfer_begin", now,
+        trace::kPidControl, 0,
+        {trace::arg("id", attempt.id), trace::arg("pairs", st.pairs.size()),
+         trace::arg("bytes", attempt.migration_bytes)},
+        st.last_eid);
   }
   // Observers fire before the flows start, but an observer-injected fault
   // can only act through a scheduled simulator event, so the transfer state
@@ -828,9 +858,10 @@ void PipelineExecutor::commit_switch() {
     metrics().add("executor.weight_reconstructed_layers",
                   static_cast<double>(st.reconstructions.size()));
     if (tracer().enabled()) {
-      tracer().instant(trace::Category::kFault, "weight_reconstruct", now,
-                       trace::kPidControl, 0,
-                       {trace::arg("layers", st.reconstructions.size())});
+      st.last_eid = tracer().instant(
+          trace::Category::kFault, "weight_reconstruct", now,
+          trace::kPidControl, 0,
+          {trace::arg("layers", st.reconstructions.size())}, st.last_eid);
     }
   }
 
@@ -858,16 +889,20 @@ void PipelineExecutor::commit_switch() {
   metrics().add("switch.committed");
   st.attempt.phase = SwitchPhase::kCommit;
   if (tracer().enabled()) {
-    tracer().instant(trace::Category::kSwitch, "switch_commit", now,
-                     trace::kPidControl, 0,
-                     {trace::arg("id", st.attempt.id),
-                      trace::arg("bytes", st.attempt.transferred_bytes)});
+    trace::Args commit_args = {trace::arg("id", st.attempt.id),
+                               trace::arg("bytes",
+                                          st.attempt.transferred_bytes)};
+    if (st.round != 0) commit_args.push_back(trace::arg("round", st.round));
+    st.last_eid = tracer().instant(trace::Category::kSwitch, "switch_commit",
+                                   now, trace::kPidControl, 0,
+                                   std::move(commit_args), st.last_eid);
     tracer().complete(trace::Category::kSwitch, "switch",
                       st.attempt.requested_at, now, trace::kPidControl, 0,
                       {trace::arg("mode", mode == SwitchMode::kStopTheWorld
                                               ? "stw"
                                               : "fine"),
-                       trace::arg("id", st.attempt.id)});
+                       trace::arg("id", st.attempt.id)},
+                      st.last_eid);
   }
 
   current_partition_ = st.attempt.target;
@@ -917,16 +952,21 @@ void PipelineExecutor::abort_switch(const char* reason, bool resume_after) {
       metrics().add("switch.rollback_bytes", st.attempt.transferred_bytes);
   }
   if (tracer().enabled()) {
-    tracer().instant(trace::Category::kSwitch, "switch_abort", now,
-                     trace::kPidControl, 0,
-                     {trace::arg("id", st.attempt.id),
-                      trace::arg("phase", switch_phase_name(at)),
-                      trace::arg("reason", reason)});
+    // The abort instant keeps its *ambient* cause — the fault or emergency
+    // event that triggered it — which is the edge the blame engine follows;
+    // the rollback and terminal span then chain behind the abort.
+    std::uint64_t abort_eid = tracer().instant(
+        trace::Category::kSwitch, "switch_abort", now, trace::kPidControl, 0,
+        {trace::arg("id", st.attempt.id),
+         trace::arg("phase", switch_phase_name(at)),
+         trace::arg("reason", reason)});
     if (rolled_back) {
-      tracer().instant(trace::Category::kSwitch, "switch_rollback", now,
-                       trace::kPidControl, 0,
-                       {trace::arg("id", st.attempt.id),
-                        trace::arg("bytes", st.attempt.transferred_bytes)});
+      abort_eid = tracer().instant(
+          trace::Category::kSwitch, "switch_rollback", now,
+          trace::kPidControl, 0,
+          {trace::arg("id", st.attempt.id),
+           trace::arg("bytes", st.attempt.transferred_bytes)},
+          abort_eid);
     }
     tracer().complete(trace::Category::kSwitch, "switch_aborted",
                       st.attempt.requested_at, now, trace::kPidControl, 0,
@@ -936,7 +976,8 @@ void PipelineExecutor::abort_switch(const char* reason, bool resume_after) {
                                       : "fine"),
                        trace::arg("phase", switch_phase_name(at)),
                        trace::arg("reason", reason),
-                       trace::arg("id", st.attempt.id)});
+                       trace::arg("id", st.attempt.id)},
+                      abort_eid);
   }
 
   st.attempt.aborted_in = at;

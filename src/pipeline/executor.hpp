@@ -115,8 +115,12 @@ class PipelineExecutor {
   enum class SwitchMode { kStopTheWorld, kFineGrained };
 
   /// Adopt a new partition. Returns false (no-op) if a switch is already in
-  /// progress or the partition is identical to the current one.
-  bool request_switch(partition::Partition next, SwitchMode mode);
+  /// progress or the partition is identical to the current one. `round` is
+  /// the decision-round ledger id driving this switch (0 = none); it tags
+  /// the attempt's switch-phase trace instants so the causal trace links
+  /// protocol events back to the controller decision.
+  bool request_switch(partition::Partition next, SwitchMode mode,
+                      std::uint64_t round = 0);
   bool switch_in_progress() const { return switch_state_ != nullptr; }
 
   /// Phase of the in-flight switch; kIdle when none is in progress.
@@ -282,6 +286,12 @@ class PipelineExecutor {
     /// Flow ids of the in-flight migration transfers, so abort can cancel
     /// exactly these (activation/gradient flows keep running).
     std::vector<sim::FlowId> migration_flows;
+    /// Trace eid of the attempt's latest switch-phase instant: each phase
+    /// transition chains to the previous one regardless of which event's
+    /// callback drives it.
+    std::uint64_t last_eid = 0;
+    /// Decision-round ledger id tagged on the phase instants (0 = none).
+    std::uint64_t round = 0;
   };
   bool draining() const {
     return switch_state_ != nullptr &&
@@ -318,9 +328,15 @@ class PipelineExecutor {
   // Transfers with bandwidth observation. `label` names the traffic class in
   // the trace ("act", "grad", "migrate"). Returns the flow id (0 for a
   // device-local copy) so switch rollback can cancel migration flows.
+  // The transfer's trace span takes its cause from the ambient context (the
+  // flow-end event that completed it, which chains back to the flow start
+  // or to the fault/bandwidth instant that rescheduled it); a non-zero
+  // `batch_id` additionally makes the span the batch's new chain head so
+  // the batch's next compute op chains behind the transfer.
   sim::FlowId observed_transfer(const char* label, sim::WorkerId src,
                                 sim::WorkerId dst, Bytes bytes,
-                                std::function<void()> done);
+                                std::function<void()> done,
+                                std::uint64_t batch_id = 0);
 
   // The simulator-owned trace/metrics sinks every emission goes through.
   trace::TraceRecorder& tracer() { return cluster_.simulator().tracer(); }
@@ -330,7 +346,8 @@ class PipelineExecutor {
   // advances into Drain (stop-the-world) or Transfer (fine-grained);
   // enter_transfer launches the migration flows; commit_switch adopts the
   // target; abort_switch rolls back to the pre-switch partition.
-  bool start_switch_attempt(partition::Partition next, SwitchMode mode);
+  bool start_switch_attempt(partition::Partition next, SwitchMode mode,
+                            std::uint64_t round = 0);
   void enter_phase(SwitchPhase phase);
   void enter_transfer();
   void commit_switch();
@@ -371,6 +388,11 @@ class PipelineExecutor {
   struct BatchState {
     Route route;
     Seconds task_started = 0.0;
+    /// Trace eid of the batch's latest op (inject, fp, bp, act/grad
+    /// transfer): the next op in the chain records it as explicit cause, so
+    /// the causal trace carries the true per-batch dependency even when
+    /// unrelated events interleave on the ambient context.
+    std::uint64_t last_eid = 0;
   };
   std::unordered_map<std::uint64_t, BatchState> batches_;
   std::uint64_t next_batch_id_ = 1;

@@ -49,6 +49,8 @@ Cluster::Cluster(Simulator& simulator, ClusterConfig config)
   worker_up_.assign(workers, 1);
   link_up_.assign(config_.num_servers, 1);
   profiler_muted_.assign(workers, 0);
+  worker_down_eid_.assign(workers, 0);
+  link_down_eid_.assign(config_.num_servers, 0);
 }
 
 std::size_t Cluster::server_of(WorkerId worker) const {
@@ -108,13 +110,15 @@ FlowId Cluster::transfer(WorkerId src, WorkerId dst, Bytes bytes,
 void Cluster::set_nic_bandwidth(std::size_t server, BytesPerSec bandwidth) {
   AUTOPIPE_EXPECT(server < config_.num_servers);
   nic_bw_[server] = bandwidth;
-  network_.set_capacity(nic_tx_[server], bandwidth);
-  network_.set_capacity(nic_rx_[server], bandwidth);
+  // Record the instant *before* touching capacities: the rate recompute
+  // reschedules flow completions, whose causal parent must be this change.
   if (sim_.tracer().enabled()) {
     sim_.tracer().instant(trace::Category::kResource, "nic_bw", sim_.now(),
                           trace::kPidResource, static_cast<int>(server),
                           {trace::arg("gbps", bandwidth * 8.0 / 1e9)});
   }
+  network_.set_capacity(nic_tx_[server], bandwidth);
+  network_.set_capacity(nic_rx_[server], bandwidth);
 }
 
 void Cluster::set_all_nic_bandwidth(BytesPerSec bandwidth) {
@@ -136,11 +140,12 @@ void Cluster::set_worker_down(WorkerId worker) {
   AUTOPIPE_EXPECT(worker < num_workers());
   if (worker_up_[worker] == 0) return;
   worker_up_[worker] = 0;
+  // Instant first: everything the preemption triggers (dropped work,
+  // executor recovery scheduling) chains to this fault as ambient cause.
+  worker_down_eid_[worker] =
+      sim_.tracer().instant(trace::Category::kFault, "gpu_down", sim_.now(),
+                            static_cast<int>(worker), 0);
   gpu(worker).set_available(false);
-  if (sim_.tracer().enabled()) {
-    sim_.tracer().instant(trace::Category::kFault, "gpu_down", sim_.now(),
-                          static_cast<int>(worker), 0);
-  }
   sim_.metrics().add("cluster.gpu_down", 1.0);
   if (worker_state_callback_) worker_state_callback_(worker, false);
 }
@@ -149,11 +154,11 @@ void Cluster::set_worker_up(WorkerId worker) {
   AUTOPIPE_EXPECT(worker < num_workers());
   if (worker_up_[worker] != 0) return;
   worker_up_[worker] = 1;
+  // The recovery is explicitly caused by the outage it ends.
+  sim_.tracer().instant(trace::Category::kFault, "gpu_up", sim_.now(),
+                        static_cast<int>(worker), 0, {},
+                        worker_down_eid_[worker]);
   gpu(worker).set_available(true);
-  if (sim_.tracer().enabled()) {
-    sim_.tracer().instant(trace::Category::kFault, "gpu_up", sim_.now(),
-                          static_cast<int>(worker), 0);
-  }
   sim_.metrics().add("cluster.gpu_up", 1.0);
   if (worker_state_callback_) worker_state_callback_(worker, true);
 }
@@ -167,12 +172,13 @@ void Cluster::set_link_down(std::size_t server) {
   AUTOPIPE_EXPECT(server < config_.num_servers);
   if (link_up_[server] == 0) return;
   link_up_[server] = 0;
+  // Instant first: stalled-flow reschedules and switch aborts triggered by
+  // this outage chain to it as ambient cause.
+  link_down_eid_[server] =
+      sim_.tracer().instant(trace::Category::kFault, "link_down", sim_.now(),
+                            trace::kPidResource, static_cast<int>(server));
   network_.set_resource_down(nic_tx_[server]);
   network_.set_resource_down(nic_rx_[server]);
-  if (sim_.tracer().enabled()) {
-    sim_.tracer().instant(trace::Category::kFault, "link_down", sim_.now(),
-                          trace::kPidResource, static_cast<int>(server));
-  }
   sim_.metrics().add("cluster.link_down", 1.0);
   if (link_state_callback_) link_state_callback_(server, false);
 }
@@ -181,12 +187,13 @@ void Cluster::set_link_up(std::size_t server) {
   AUTOPIPE_EXPECT(server < config_.num_servers);
   if (link_up_[server] != 0) return;
   link_up_[server] = 1;
+  // The restore is explicitly caused by the outage it ends; resumed flow
+  // completions then chain to the restore via the ambient cause.
+  sim_.tracer().instant(trace::Category::kFault, "link_up", sim_.now(),
+                        trace::kPidResource, static_cast<int>(server), {},
+                        link_down_eid_[server]);
   network_.set_resource_up(nic_tx_[server]);
   network_.set_resource_up(nic_rx_[server]);
-  if (sim_.tracer().enabled()) {
-    sim_.tracer().instant(trace::Category::kFault, "link_up", sim_.now(),
-                          trace::kPidResource, static_cast<int>(server));
-  }
   sim_.metrics().add("cluster.link_up", 1.0);
   if (link_state_callback_) link_state_callback_(server, true);
 }

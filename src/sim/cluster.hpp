@@ -150,6 +150,10 @@ class Cluster {
   std::vector<std::uint8_t> worker_up_;
   std::vector<std::uint8_t> link_up_;
   std::vector<std::uint8_t> profiler_muted_;
+  /// Trace eids of the most recent down instants, so the matching up
+  /// instant records the outage that it ends as its explicit cause.
+  std::vector<std::uint64_t> worker_down_eid_;
+  std::vector<std::uint64_t> link_down_eid_;
   WorkerStateCallback worker_state_callback_;
   LinkStateCallback link_state_callback_;
 };

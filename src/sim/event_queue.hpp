@@ -48,6 +48,11 @@ struct SimEvent {
   std::uint64_t seq = 0;
   Callback fn;
   const char* label = nullptr;  ///< static string naming the event, or nullptr
+  /// Causal context captured at schedule time: the trace eid of the event
+  /// whose callback scheduled this one (0 = scheduled outside any event).
+  /// The Simulator restores it as the tracer's ambient cause before running
+  /// `fn`, so trace events recorded inside the callback chain to it.
+  std::uint64_t cause = 0;
 };
 
 /// Comparator for a *min*-heap on (time, seq) via std::push_heap/pop_heap.

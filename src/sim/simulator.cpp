@@ -39,6 +39,9 @@ bool Simulator::step() {
     if (timeseries_.enabled()) timeseries_.advance_to(nd.ev.time, metrics_);
     now_ = nd.ev.time;
     ++events_processed_;
+    // Restore the scheduling event's causal context so trace events recorded
+    // by the callback chain across the queue hop.
+    tracer_.set_current_cause(nd.ev.cause);
     nd.ev.fn();
     wheel_->release_node(n);
     return true;
@@ -53,6 +56,7 @@ bool Simulator::step() {
   if (timeseries_.enabled()) timeseries_.advance_to(ev.time, metrics_);
   now_ = ev.time;
   ++events_processed_;
+  tracer_.set_current_cause(ev.cause);
   ev.fn();
   return true;
 }

@@ -137,10 +137,13 @@ class Simulator {
   void schedule(Seconds t, Callback&& fn, const char* label) {
     PROF_SPAN_AGG("sim/queue_push");
     const Seconds when = t < now_ ? now_ : t;
+    // Capture the ambient causal context (the trace eid of the event being
+    // recorded/executed right now); step() restores it before running fn.
+    const std::uint64_t cause = tracer_.current_cause();
     if (wheel_ != nullptr) {
-      wheel_->push(SimEvent{when, next_seq_++, std::move(fn), label});
+      wheel_->push(SimEvent{when, next_seq_++, std::move(fn), label, cause});
     } else {
-      heap_->push(SimEvent{when, next_seq_++, std::move(fn), label});
+      heap_->push(SimEvent{when, next_seq_++, std::move(fn), label, cause});
     }
   }
 

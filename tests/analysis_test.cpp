@@ -258,14 +258,30 @@ TEST(TraceReader, MalformedLinesThrow) {
     EXPECT_THROW(parse_text(is), contract_error);
   }
   {
-    std::istringstream is("0.5 nonsense X fp pid=0 tid=0\n");
-    EXPECT_THROW(parse_text(is), contract_error);
-  }
-  {
     std::istringstream is("not-a-number compute X fp pid=0 tid=0\n");
     EXPECT_THROW(parse_text(is), contract_error);
   }
+  {
+    // An X span that never states its dur lies about its own shape.
+    std::istringstream is("0.5 compute X fp pid=0 tid=0\n");
+    EXPECT_THROW(parse_text(is), contract_error);
+  }
   EXPECT_THROW(parse_text_file("/nonexistent/run.trace"), contract_error);
+}
+
+TEST(TraceReader, UnknownCategorySkipsAndCounts) {
+  // A newer writer's category is healed around, not fatal: the line is
+  // skipped, the damage is counted, and everything else still parses.
+  std::istringstream is(
+      "0.5 nonsense X fp pid=0 tid=0 dur=1\n"
+      "0.5 compute X fp pid=0 tid=0 dur=1.000000000\n");
+  ReadStats stats;
+  const auto parsed = parse_text(is, &stats);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].name, "fp");
+  EXPECT_EQ(stats.skipped_lines, 1u);
+  EXPECT_EQ(stats.events, 1u);
+  EXPECT_FALSE(stats.clean());
 }
 
 // ---------------------------------------------------------------------------

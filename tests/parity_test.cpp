@@ -63,6 +63,22 @@ TEST_P(ParityMidSwitchSeeds, AbortedSwitchRunsAreByteIdentical) {
 INSTANTIATE_TEST_SUITE_P(FiftySeeds, ParityMidSwitchSeeds,
                          ::testing::Range<std::uint64_t>(1, 51));
 
+// The 50-seed sweeps above diff causal edges through compare(); this pins
+// the artifact itself — a regression that stops stamping eids would make
+// causal_text empty-vs-empty "identical" while gutting the contract.
+TEST_P(ParitySeeds, CausalEdgesAreByteIdenticalAndPresent) {
+  ScenarioConfig config;
+  config.seed = GetParam();
+  config.inject_faults = true;
+  config.background_churn = true;
+  const ScenarioResult heap =
+      parity::run_scenario(config, sim::EventQueueKind::kHeap);
+  const ScenarioResult wheel =
+      parity::run_scenario(config, sim::EventQueueKind::kWheel);
+  ASSERT_FALSE(heap.causal_text.empty());
+  EXPECT_EQ(heap.causal_text, wheel.causal_text);
+}
+
 // ---------------------------------------------------------------------------
 // Structural cases: each chaos axis alone
 // ---------------------------------------------------------------------------

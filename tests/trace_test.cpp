@@ -146,7 +146,8 @@ TEST(TraceRecorder, TextFormatIsStable) {
   std::ostringstream os;
   rec.write_text(os);
   EXPECT_EQ(os.str(),
-            "0.250000000 compute X fp pid=2 tid=1 dur=0.250000000 batch=3\n"
+            "0.250000000 compute X fp pid=2 tid=1 dur=0.250000000 eid=1 "
+            "batch=3\n"
             "0.000000000 comm C cap:link pid=1000 tid=0 value=12.5\n");
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "analysis/calibration.hpp"
+#include "analysis/causal.hpp"
 #include "analysis/critical_path.hpp"
 #include "analysis/gantt.hpp"
 #include "analysis/ledger_reader.hpp"
@@ -41,7 +42,7 @@ namespace {
 
 // Bumped when any subcommand's output format changes; --json payloads carry
 // their own "schema" key on top of this.
-constexpr const char* kVersion = "1.1.0";
+constexpr const char* kVersion = "1.2.0";
 
 int usage(std::ostream& os, int code) {
   os <<
@@ -63,6 +64,12 @@ int usage(std::ostream& os, int code) {
       "      row marks every planning round\n"
       "  autopipe_trace diff TRACE_A TRACE_B [--json] [--tolerance=X]\n"
       "      compare every analysis metric between two runs\n"
+      "  autopipe_trace blame TRACE [--json] [--top=N]\n"
+      "                 [--window=T0..T1 | --iteration=N]\n"
+      "      walk the causal event graph backward from the slowest point\n"
+      "      of the window (default: the whole run) and print the dominant\n"
+      "      delay chain, its root cause, and a per-class stall ledger\n"
+      "      (see docs/TRACING.md, \"Causality and blame\")\n"
       "  autopipe_trace decisions LEDGER [--json] [--check]\n"
       "      the decision ledger, one row per planning round; --check\n"
       "      validates the parse -> reserialize round-trip byte-for-byte\n"
@@ -105,6 +112,8 @@ struct Options {
   bool flame = false;
   std::string ledger;
   std::string gate;
+  std::string window_range;       // blame: "T0..T1"
+  std::size_t blame_iteration = 0;  // blame: 1-based iteration, 0 = unset
 };
 
 bool parse_options(int argc, char** argv, Options& opts) {
@@ -119,8 +128,14 @@ bool parse_options(int argc, char** argv, Options& opts) {
       opts.width = static_cast<std::size_t>(
           std::strtoull(arg.c_str() + 8, nullptr, 10));
     } else if (arg.rfind("--window=", 0) == 0) {
+      // `switches` reads --window as an iteration count; `blame` as a
+      // T0..T1 time range. Keep both raw forms and let each command pick.
+      opts.window_range = arg.substr(9);
       opts.window = static_cast<std::size_t>(
           std::strtoull(arg.c_str() + 9, nullptr, 10));
+    } else if (arg.rfind("--iteration=", 0) == 0) {
+      opts.blame_iteration = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + 12, nullptr, 10));
     } else if (arg.rfind("--tolerance=", 0) == 0) {
       opts.tolerance = std::strtod(arg.c_str() + 12, nullptr);
     } else if (arg.rfind("--ledger=", 0) == 0) {
@@ -150,8 +165,9 @@ analysis::TraceView load(const std::string& path) {
       throw std::runtime_error("cannot open trace file '" + path + "'");
   }
   std::vector<trace::Event> events;
+  analysis::ReadStats stats;
   try {
-    events = analysis::parse_text_file(path);
+    events = analysis::parse_text_file(path, &stats);
   } catch (const contract_error& e) {
     // The reader reports malformed input as a contract violation with
     // file:line bookkeeping; a CLI user only needs the diagnostic part.
@@ -166,6 +182,19 @@ analysis::TraceView load(const std::string& path) {
     throw std::runtime_error("trace '" + path +
                              "' contains no events (empty or truncated "
                              "file, or not the text trace format?)");
+  }
+  if (!stats.clean()) {
+    // A newer writer's trace still loads; say what the reader healed over
+    // so a surprise in the report below has a visible explanation.
+    std::cerr << "autopipe_trace: WARNING: trace '" << path << "': ";
+    if (stats.skipped_lines > 0)
+      std::cerr << stats.skipped_lines << " line(s) with an unknown "
+                << "category/phase skipped";
+    if (stats.skipped_lines > 0 && stats.dropped_tokens > 0)
+      std::cerr << ", ";
+    if (stats.dropped_tokens > 0)
+      std::cerr << stats.dropped_tokens << " dangling token(s) dropped";
+    std::cerr << " (trace from a newer tool version?)\n";
   }
   return analysis::TraceView(std::move(events));
 }
@@ -343,6 +372,52 @@ int main(int argc, char** argv) {
       } else {
         std::cout << analysis::render_gantt(
             view, analysis::read_ledger_file(opts.ledger), opts.width);
+      }
+      return 0;
+    }
+
+    if (command == "blame") {
+      if (!opts.window_range.empty() && opts.blame_iteration != 0) {
+        std::cerr << "blame takes --window or --iteration, not both\n";
+        return 2;
+      }
+      analysis::CausalGraph graph(view.events());
+      if (graph.causal_events() == 0) {
+        std::cerr << "autopipe_trace: trace carries no causal ids (recorded "
+                     "by a pre-causality build, or with tracing compiled "
+                     "out)\n";
+        return 1;
+      }
+      if (graph.dangling_causes() > 0) {
+        std::cerr << "autopipe_trace: WARNING: " << graph.dangling_causes()
+                  << " cause reference(s) resolve to no event (truncated "
+                     "trace?)\n";
+      }
+      analysis::BlameReport report;
+      if (opts.blame_iteration != 0) {
+        report = analysis::blame_iteration(graph, view, opts.blame_iteration);
+      } else if (!opts.window_range.empty()) {
+        const std::string::size_type dots = opts.window_range.find("..");
+        if (dots == std::string::npos) {
+          std::cerr << "--window for blame needs T0..T1 (seconds)\n";
+          return 2;
+        }
+        const double t0 =
+            std::strtod(opts.window_range.substr(0, dots).c_str(), nullptr);
+        const double t1 =
+            std::strtod(opts.window_range.substr(dots + 2).c_str(), nullptr);
+        if (t1 < t0) {
+          std::cerr << "--window T0..T1 must not end before it begins\n";
+          return 2;
+        }
+        report = analysis::blame_window(graph, t0, t1);
+      } else {
+        report = analysis::blame_window(graph, 0.0, view.wall_clock());
+      }
+      if (opts.json) {
+        analysis::write_blame_json(report, graph, std::cout);
+      } else {
+        analysis::render_blame(report, graph, opts.top, std::cout);
       }
       return 0;
     }

@@ -11,6 +11,7 @@
 #   tools/check.sh --parity       # build + heap-vs-wheel differential only
 #   tools/check.sh --telemetry    # build + time-series/profiler smoke only
 #   tools/check.sh --chaos-switch # build + mid-switch crash-point matrix only
+#   tools/check.sh --causal       # build + causal blame & overhead gate only
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -23,6 +24,7 @@ sweep_smoke_only=0
 parity_only=0
 telemetry_only=0
 chaos_switch_only=0
+causal_only=0
 if [[ "${1:-}" == "--sanitize" ]]; then
   build="${BUILD_DIR:-$repo/build-asan}"
   cmake_args+=(-DAUTOPIPE_SANITIZE=ON)
@@ -38,8 +40,10 @@ elif [[ "${1:-}" == "--telemetry" ]]; then
   telemetry_only=1
 elif [[ "${1:-}" == "--chaos-switch" ]]; then
   chaos_switch_only=1
+elif [[ "${1:-}" == "--causal" ]]; then
+  causal_only=1
 elif [[ $# -gt 0 ]]; then
-  echo "usage: tools/check.sh [--sanitize|--ledger-smoke|--sweep-smoke|--parity|--telemetry|--chaos-switch]" >&2
+  echo "usage: tools/check.sh [--sanitize|--ledger-smoke|--sweep-smoke|--parity|--telemetry|--chaos-switch|--causal]" >&2
   exit 2
 fi
 
@@ -56,7 +60,8 @@ ledger_smoke() {
       --trace "$tmp/run.trace" --ledger "$tmp/run.ledger" > /dev/null
   "$build/tools/autopipe_trace" decisions "$tmp/run.ledger" --check
   "$build/tools/autopipe_trace" calibration \
-      "$tmp/run.ledger" "$tmp/run.trace" --json > /dev/null
+      "$tmp/run.ledger" "$tmp/run.trace" --json > "$tmp/BENCH_decisions.json"
+  "$repo/tools/bench_history.sh" "$tmp/BENCH_decisions.json"
 }
 
 # Heap-vs-wheel differential: the same chaos scenarios through the binary
@@ -76,9 +81,13 @@ parity_smoke() {
 # docs/BENCHMARKS.md).
 sweep_smoke() {
   echo "== sweep smoke =="
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' RETURN
   "$build/tools/autopipe_sweep" --spec="@$repo/bench/sweeps/smoke.sweep" \
-      --jobs=4 --tolerance=0.10 \
+      --jobs=4 --tolerance=0.10 --out="$tmp/BENCH_sweep.json" \
       --baseline="$repo/bench/baselines/sweep_smoke_baseline.json"
+  "$repo/tools/bench_history.sh" "$tmp/BENCH_sweep.json"
 }
 
 # Mid-switch crash-point matrix: every (switch mode x protocol phase x
@@ -106,7 +115,9 @@ telemetry_smoke() {
       --bw-drop-iter 30 --bw-drop-gbps 10 \
       --timeseries "$tmp/run.ts:0.5" --profile "$tmp/run.prof" > /dev/null
   "$build/tools/autopipe_trace" timeseries "$tmp/run.ts"
-  "$build/tools/autopipe_trace" timeseries "$tmp/run.ts" --json > /dev/null
+  "$build/tools/autopipe_trace" timeseries "$tmp/run.ts" --json \
+      > "$tmp/BENCH_timeseries.json"
+  "$repo/tools/bench_history.sh" "$tmp/BENCH_timeseries.json"
   "$build/tools/autopipe_trace" profile "$tmp/run.prof" --top=5
   "$build/tools/autopipe_trace" profile "$tmp/run.prof" --flame > /dev/null
   local baseline_ns
@@ -114,6 +125,71 @@ telemetry_smoke() {
       "$repo/bench/baselines/telemetry_planner_baseline.json")"
   "$build/tools/autopipe_trace" profile "$tmp/run.prof" \
       --gate="planner/decide_round:$baseline_ns:0.15" > /dev/null
+}
+
+# Min-of-3 wall time for the fat-capture churn micro-benchmark — the
+# simulator hot path the causal bookkeeping rides on.
+churn_ns() {
+  local exe="$1"
+  { for _ in 1 2 3; do
+      "$exe" --benchmark_filter='^BM_SimulatorFatCaptureChurn$' 2>/dev/null
+    done; } | awk '/^BM_SimulatorFatCaptureChurn /{print $2}' | sort -n \
+      | head -1
+}
+
+# Causality smoke: `autopipe_trace blame` must walk the event DAG from a
+# slow window back to the injected disturbance, and the causal bookkeeping
+# must stay off the hot path — the churn bench with tracing compiled in
+# (but runtime-disabled) is gated within AUTOPIPE_CAUSAL_TOL (default 10%)
+# of an AUTOPIPE_TRACING=OFF build, where the eid/cause fields do not
+# exist at all (the 0%-when-off half of the contract). See docs/TRACING.md.
+causal_smoke() {
+  echo "== causal smoke =="
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' RETURN
+
+  # The committed golden bandwidth-drop scenario: the injected NIC
+  # bandwidth cut must root the dominant delay chain.
+  "$build/tools/autopipe_trace" blame \
+      "$repo/tests/golden/bandwidth_drop.trace" > "$tmp/golden.blame"
+  grep -q "root cause: resource:resource_event" "$tmp/golden.blame"
+
+  # A live instrumented vgg16 bandwidth-drop run with a hard link outage
+  # at t=5..7: blame on the recovery window must name the injected link
+  # fault and charge the outage in the stall ledger.
+  "$build/tools/autopipe_sim" --model vgg16 --system even --iterations 40 \
+      --bw-drop-iter 30 --bw-drop-gbps 10 \
+      --faults "5.0 link_down 1;7.0 link_up 1" \
+      --trace "$tmp/run.trace" > /dev/null
+  "$build/tools/autopipe_trace" blame "$tmp/run.trace" --window=7.0..8.5 \
+      | tee "$tmp/run.blame"
+  grep -q "root cause: fault:link_down" "$tmp/run.blame"
+  grep -q "link_outage" "$tmp/run.blame"
+  "$build/tools/autopipe_trace" blame "$tmp/run.trace" --iteration=2 \
+      > /dev/null
+  "$build/tools/autopipe_trace" blame "$tmp/run.trace" --json > /dev/null
+
+  echo "== causal overhead gate =="
+  local notrace="${NOTRACE_BUILD_DIR:-$repo/build-notrace}"
+  cmake -B "$notrace" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DAUTOPIPE_TRACING=OFF > /dev/null
+  cmake --build "$notrace" -j "$jobs" --target micro_benchmarks > /dev/null
+  local on_ns off_ns tol="${AUTOPIPE_CAUSAL_TOL:-0.10}"
+  on_ns="$(churn_ns "$build/bench/micro_benchmarks")"
+  off_ns="$(churn_ns "$notrace/bench/micro_benchmarks")"
+  echo "fat-capture churn: tracing-on ${on_ns} ns vs compiled-out" \
+       "${off_ns} ns (tolerance ${tol})"
+  awk -v on="$on_ns" -v off="$off_ns" -v tol="$tol" 'BEGIN {
+    if (on == "" || off == "" || off <= 0) {
+      print "causal overhead gate: missing benchmark readings"; exit 1
+    }
+    if (on > off * (1 + tol)) {
+      printf "causal overhead gate: %s ns exceeds %s ns by more than %.0f%%\n",
+             on, off, tol * 100
+      exit 1
+    }
+  }'
 }
 
 echo "== configure =="
@@ -152,6 +228,12 @@ if [[ "$chaos_switch_only" == 1 ]]; then
   exit 0
 fi
 
+if [[ "$causal_only" == 1 ]]; then
+  causal_smoke
+  echo "OK"
+  exit 0
+fi
+
 echo "== test =="
 ctest --test-dir "$build" --output-on-failure -j "$jobs"
 
@@ -176,5 +258,7 @@ sweep_smoke
 parity_smoke
 
 telemetry_smoke
+
+causal_smoke
 
 echo "OK"

@@ -16,6 +16,14 @@ bool starts_with(const std::string& s, const char* prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
+/// Value of the event's `job` arg, or empty when untagged (single-tenant
+/// traces carry no job args at all).
+const std::string* job_arg(const trace::Event& ev) {
+  for (const trace::Arg& a : ev.args)
+    if (a.key == "job") return &a.value;
+  return nullptr;
+}
+
 /// One-line event descriptor used by the text report.
 std::string describe_event(const trace::Event& ev) {
   std::string out = category_name(ev.category);
@@ -37,6 +45,16 @@ std::string describe_event(const trace::Event& ev) {
 std::string classify_edge(const trace::Event& parent,
                           const trace::Event& child) {
   using trace::Category;
+  // Cross-job interference outranks every single-tenant class: a causal
+  // hop between events tagged with different jobs (an arbiter grant to the
+  // winner causing the loser's denial, or the loser's rollback) is tenant
+  // contention regardless of the categories involved.
+  {
+    const std::string* pj = job_arg(parent);
+    const std::string* cj = job_arg(child);
+    if (pj != nullptr && cj != nullptr && *pj != *cj)
+      return "tenant_contention";
+  }
   if (parent.category == Category::kFault) {
     if (starts_with(parent.name, "link")) return "link_outage";
     if (starts_with(parent.name, "gpu")) return "gpu_outage";
@@ -132,13 +150,21 @@ CausalChain walk_back(const CausalGraph& g, std::size_t terminal) {
 }
 
 /// Latest-ending causal event with end inside [t0, t1], or npos. Later
-/// trace position wins a tie, so the pick is deterministic.
-std::size_t window_terminal(const CausalGraph& g, double t0, double t1) {
+/// trace position wins a tie, so the pick is deterministic. A non-empty
+/// `job` restricts the terminal to events tagged job=<job> — the handle a
+/// co-tenant fleet needs to blame one job's slow window rather than
+/// whichever tenant happened to finish last.
+std::size_t window_terminal(const CausalGraph& g, double t0, double t1,
+                            const std::string& job = std::string()) {
   std::size_t best = CausalGraph::npos;
   double best_end = 0.0;
   for (std::size_t i = 0; i < g.events().size(); ++i) {
     const trace::Event& ev = g.events()[i];
     if (ev.eid == 0) continue;
+    if (!job.empty()) {
+      const std::string* j = job_arg(ev);
+      if (j == nullptr || *j != job) continue;
+    }
     const double end = event_end(ev);
     if (end < t0 || end > t1) continue;
     if (best == CausalGraph::npos || end >= best_end) {
@@ -151,6 +177,14 @@ std::size_t window_terminal(const CausalGraph& g, double t0, double t1) {
 
 std::size_t find_root_cause(const CausalGraph& g, const CausalChain& chain) {
   using trace::Category;
+  // Cross-job interference wins over the generic fault/resource scan: when
+  // the chain crosses a tenant_contention edge, the blamed event is that
+  // edge's parent — the arbiter grant whose job= arg names the winning job.
+  for (const ChainLink& l : chain.links) {
+    if (l.edge == CausalGraph::npos) continue;
+    if (g.edges()[l.edge].cls == "tenant_contention")
+      return g.edges()[l.edge].parent;
+  }
   for (const ChainLink& l : chain.links) {
     const trace::Event& ev = g.events()[l.event];
     // "topology" instants share the fault category but only record the
@@ -181,6 +215,11 @@ CausalChain critical_chain(const CausalGraph& g) {
 }
 
 BlameReport blame_window(const CausalGraph& g, double t0, double t1) {
+  return blame_window(g, t0, t1, 0);
+}
+
+BlameReport blame_window(const CausalGraph& g, double t0, double t1,
+                         std::uint64_t job) {
   AUTOPIPE_EXPECT_MSG(t1 >= t0, "blame window ends before it begins");
   BlameReport report;
   report.window_begin = t0;
@@ -190,7 +229,8 @@ BlameReport blame_window(const CausalGraph& g, double t0, double t1) {
     const double end = event_end(ev);
     if (end >= t0 && end <= t1) ++report.window_events;
   }
-  const std::size_t terminal = window_terminal(g, t0, t1);
+  const std::size_t terminal = window_terminal(
+      g, t0, t1, job > 0 ? std::to_string(job) : std::string());
   if (terminal != CausalGraph::npos) {
     report.chain = walk_back(g, terminal);
     report.root_cause = find_root_cause(g, report.chain);
@@ -230,6 +270,27 @@ BlameReport blame_iteration(const CausalGraph& g, const TraceView& view,
                                    << n);
   const double t0 = n >= 2 ? marks[n - 2] : 0.0;
   return blame_window(g, t0, marks[n - 1]);
+}
+
+BlameReport blame_iteration(const CausalGraph& g, std::size_t n,
+                            std::uint64_t job) {
+  AUTOPIPE_EXPECT(job > 0);
+  // The job's own iteration marks, in trace order (the shared TraceView
+  // mark list interleaves every tenant's iterations).
+  const std::string tag = std::to_string(job);
+  std::vector<double> marks;
+  for (const trace::Event& ev : g.events()) {
+    if (ev.category != trace::Category::kMark || ev.name != "iteration")
+      continue;
+    const std::string* j = job_arg(ev);
+    if (j != nullptr && *j == tag) marks.push_back(ev.ts);
+  }
+  AUTOPIPE_EXPECT_MSG(n >= 1 && n <= marks.size(),
+                      "trace has " << marks.size() << " iteration marks for "
+                                   << "job " << job
+                                   << ", cannot blame iteration " << n);
+  const double t0 = n >= 2 ? marks[n - 2] : 0.0;
+  return blame_window(g, t0, marks[n - 1], job);
 }
 
 void render_blame(const BlameReport& report, const CausalGraph& g,

@@ -47,7 +47,10 @@ struct CausalEdge {
 /// comm), "compute_chain", "comm_launch" (comm following compute),
 /// "bubble" (edge into an iteration mark), "iteration_chain" (work kicked
 /// off by an iteration mark), "reconfig" (switch protocol), "control", or
-/// "<parent-category>-><child-category>" as a fallback.
+/// "<parent-category>-><child-category>" as a fallback. One class outranks
+/// all of these: "tenant_contention", an edge whose endpoints carry
+/// *different* job= args — cross-job interference on a co-tenant cluster
+/// (e.g. an arbiter grant to one job causing another job's abort).
 std::string classify_edge(const trace::Event& parent,
                           const trace::Event& child);
 
@@ -137,11 +140,24 @@ struct BlameReport {
 /// Blame a wall-clock window [t0, t1].
 BlameReport blame_window(const CausalGraph& g, double t0, double t1);
 
+/// Co-tenancy variant: a non-zero `job` anchors the dominant chain at the
+/// latest event tagged job=<job> inside the window instead of whichever
+/// tenant's event happens to finish last. The stall ledger still aggregates
+/// every edge ending in the window. job == 0 is the plain overload.
+BlameReport blame_window(const CausalGraph& g, double t0, double t1,
+                         std::uint64_t job);
+
 /// Blame iteration `n` (1-based): the window from the previous iteration
 /// mark (or the start of the trace) to mark n. Throws when the trace holds
 /// fewer than n marks.
 BlameReport blame_iteration(const CausalGraph& g, const TraceView& view,
                             std::size_t n);
+
+/// Co-tenancy variant: iteration `n` *of job `job`*, counted over the
+/// job-tagged iteration marks only (requires job > 0; a fleet trace
+/// interleaves every tenant's marks).
+BlameReport blame_iteration(const CausalGraph& g, std::size_t n,
+                            std::uint64_t job);
 
 /// Human-readable report: window, root cause, the chain's top contributing
 /// links (at most `top`, ≥1% of the chain's weight), and the stall ledger.

@@ -154,6 +154,9 @@ trace::DecisionLedger read_ledger(std::istream& is) {
       rec.current = opt(require(fields, "current", line_no));
       rec.current_pred =
           to_double(require(fields, "current_pred", line_no), line_no);
+      // Optional co-tenancy tag; absent in single-tenant ledgers.
+      if (const auto it = fields.find("job"); it != fields.end())
+        rec.job = to_u64(it->second, line_no);
       continue;
     }
     if (!open || id != rec.id)

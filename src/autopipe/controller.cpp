@@ -48,6 +48,7 @@ AutoPipeController::AutoPipeController(sim::Cluster& cluster,
     AUTOPIPE_EXPECT_MSG(meta_ != nullptr,
                         "use_meta_network requires a MetaNetwork");
   }
+  set_owned_workers(config_.owned_workers);
   ledger().set_run_info(static_cast<int>(executor_.batch_size()),
                         static_cast<int>(cluster_.num_workers()),
                         executor_.model().name());
@@ -61,6 +62,45 @@ AutoPipeController::AutoPipeController(sim::Cluster& cluster,
 
 AutoPipeController::~AutoPipeController() {
   executor_.remove_switch_observer(switch_observer_token_);
+}
+
+void AutoPipeController::set_owned_workers(
+    std::vector<sim::WorkerId> workers) {
+  if (workers.empty()) {
+    // The historical single-tenant contract: the whole cluster is ours.
+    owned_.resize(cluster_.num_workers());
+    for (sim::WorkerId w = 0; w < cluster_.num_workers(); ++w) owned_[w] = w;
+    return;
+  }
+  std::sort(workers.begin(), workers.end());
+  workers.erase(std::unique(workers.begin(), workers.end()), workers.end());
+  for (sim::WorkerId w : workers)
+    AUTOPIPE_EXPECT_MSG(w < cluster_.num_workers(),
+                        "owned worker " << w << " outside cluster of "
+                                        << cluster_.num_workers());
+  owned_ = std::move(workers);
+}
+
+ProfileSnapshot AutoPipeController::scoped_snapshot(
+    const ProfileSnapshot& snapshot) const {
+  if (!job_scoped()) return snapshot;
+  ProfileSnapshot scoped = snapshot;
+  scoped.num_workers = owned_.size();
+  scoped.worker_bandwidth.clear();
+  scoped.worker_speed.clear();
+  scoped.fp_time.clear();
+  scoped.bp_time.clear();
+  for (sim::WorkerId w : owned_) {
+    if (w < snapshot.worker_bandwidth.size())
+      scoped.worker_bandwidth.push_back(snapshot.worker_bandwidth[w]);
+    if (w < snapshot.worker_speed.size())
+      scoped.worker_speed.push_back(snapshot.worker_speed[w]);
+    if (w < snapshot.fp_time.size())
+      scoped.fp_time.push_back(snapshot.fp_time[w]);
+    if (w < snapshot.bp_time.size())
+      scoped.bp_time.push_back(snapshot.bp_time[w]);
+  }
+  return scoped;
 }
 
 void AutoPipeController::attach() {
@@ -171,6 +211,11 @@ void AutoPipeController::on_iteration(std::size_t completed_iterations) {
       monitor_view.worker_bandwidth[w] = held_nic_bw_[w];
     }
   }
+  // Job-scoped controllers watch only their owned workers: a sibling job's
+  // bandwidth shift must not trigger a replan here, while a change in the
+  // owned population itself (an arbiter grant or revocation) reports as
+  // "worker population changed" and does.
+  if (job_scoped()) monitor_view = scoped_snapshot(monitor_view);
   const ResourceChange change = monitor_.update(monitor_view);
   if (change.changed) {
     ++stats_.changes_detected;
@@ -210,7 +255,7 @@ void AutoPipeController::on_iteration(std::size_t completed_iterations) {
   // their contracts. The watchdog's emergency path owns reconfiguration
   // until the topology heals; once a returned worker is re-admitted
   // (above) the regular optimization loop resumes.
-  for (sim::WorkerId w = 0; w < cluster_.num_workers(); ++w) {
+  for (sim::WorkerId w : owned_) {
     if (!cluster_.worker_reachable(w)) return;
     if (w < snapshot.num_workers && (snapshot.worker_bandwidth[w] <= 0.0 ||
                                      snapshot.worker_speed[w] <= 0.0))
@@ -390,10 +435,30 @@ std::pair<partition::Partition, double> AutoPipeController::replan(
   const auto env = profiler_.environment(snapshot,
                                          executor_.config().framework,
                                          executor_.config().sync_scheme);
-  partition::PipeDreamPlanner planner(
-      executor_.model(), env, executor_.batch_size(),
-      partition::PipeDreamPlanner::Mode::kCurrentEnvironment);
-  partition::PlanResult plan = planner.plan(env.num_workers());
+  // The DP planner plans over a dense [0, N) worker space. A job-scoped
+  // controller plans over its owned subset (dense via scoped_snapshot) and
+  // maps the result back onto its real cluster worker ids; the descent and
+  // rebalance below evaluate with the full-cluster env, which indexes by
+  // real id and never leaves the owned set (two_worker_candidates only
+  // permutes workers already in the partition).
+  partition::PlanResult plan = [&] {
+    if (!job_scoped()) {
+      partition::PipeDreamPlanner planner(
+          executor_.model(), env, executor_.batch_size(),
+          partition::PipeDreamPlanner::Mode::kCurrentEnvironment);
+      return planner.plan(env.num_workers());
+    }
+    const ProfileSnapshot scoped = scoped_snapshot(snapshot);
+    const auto scoped_env = profiler_.environment(
+        scoped, executor_.config().framework, executor_.config().sync_scheme);
+    partition::PipeDreamPlanner planner(
+        executor_.model(), scoped_env, executor_.batch_size(),
+        partition::PipeDreamPlanner::Mode::kCurrentEnvironment);
+    partition::PlanResult scoped_plan = planner.plan(scoped_env.num_workers());
+    scoped_plan.partition =
+        partition::remap_workers(scoped_plan.partition, owned_);
+    return scoped_plan;
+  }();
   // Refine with a short neighbourhood descent under the integrated model.
   Seconds best = partition::analytic_batch_time(executor_.model(),
                                                 plan.partition, env,
@@ -484,6 +549,7 @@ void AutoPipeController::evaluate_and_decide(const ProfileSnapshot& snapshot,
   trace::DecisionRecord rec;
   const auto init_record = [&] {
     rec = trace::DecisionRecord{};
+    rec.job = config_.job_id;
     rec.time = cluster_.simulator().now();
     rec.iteration = executor_.completed_iterations();
     rec.kind = "neighborhood";
@@ -880,7 +946,7 @@ void AutoPipeController::watchdog_tick() {
     const Seconds stall = now - last_progress_time_;
     if (stall > threshold) {
       bool worker_down = false;
-      for (sim::WorkerId w = 0; w < cluster_.num_workers(); ++w)
+      for (sim::WorkerId w : owned_)
         if (!cluster_.worker_reachable(w)) { worker_down = true; break; }
       // With every worker reachable, a slow patch is not a fault: only a
       // stall past the hard grace bound (and outside a switch, whose drain
@@ -932,7 +998,7 @@ void AutoPipeController::attempt_recovery(Seconds now) {
 
   std::vector<sim::WorkerId> alive;
   std::vector<sim::WorkerId> dead;
-  for (sim::WorkerId w = 0; w < cluster_.num_workers(); ++w)
+  for (sim::WorkerId w : owned_)
     (cluster_.worker_reachable(w) ? alive : dead).push_back(w);
   ProfileSnapshot snapshot = profiler_.snapshot(executor_, cluster_);
   if (alive.size() > snapshot.num_layers) alive.resize(snapshot.num_layers);
@@ -977,7 +1043,7 @@ void AutoPipeController::attempt_recovery(Seconds now) {
 
 bool AutoPipeController::maybe_readmit(const ProfileSnapshot& snapshot) {
   std::vector<sim::WorkerId> alive;
-  for (sim::WorkerId w = 0; w < cluster_.num_workers(); ++w)
+  for (sim::WorkerId w : owned_)
     if (cluster_.worker_reachable(w)) alive.push_back(w);
   if (alive.size() > snapshot.num_layers) alive.resize(snapshot.num_layers);
   if (alive.empty()) return false;
@@ -1091,6 +1157,29 @@ void AutoPipeController::on_switch_event(
         ledger_resolve(*tracked_switch_->ledger_id,
                        trace::OutcomeStatus::kSuperseded, -1.0, 0, "fault");
       }
+      tracked_switch_.reset();
+      ++retry_epoch_;
+    }
+    return;
+  }
+
+  if (a.abort_reason == "tenant_contention" ||
+      a.abort_reason == "job_finished") {
+    // Terminal aborts from the cluster co-tenancy layer. "tenant_contention":
+    // the arbiter denied this job the contested worker — final until the
+    // ownership map changes again, so the retry policy must NOT adopt the
+    // attempt (re-requesting the same target would route batches through
+    // another tenant's GPU). "job_finished": the run target was reached with
+    // a switch still staged; retrying would reconfigure onto workers the job
+    // has already released.
+    if (tracked_switch_) {
+      if (tracked_switch_->ledger_id) {
+        ledger_resolve(*tracked_switch_->ledger_id,
+                       aborted_outcome(a.aborted_in), -1.0, 0,
+                       a.abort_reason);
+      }
+      if (a.abort_reason == "tenant_contention")
+        rejected_.insert(tracked_switch_->target.to_string());
       tracked_switch_.reset();
       ++retry_epoch_;
     }

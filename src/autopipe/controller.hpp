@@ -121,6 +121,19 @@ struct ControllerConfig {
   std::size_t switch_retry_max = 3;
   Seconds switch_retry_base_interval = 0.05;
   double switch_retry_backoff = 2.0;
+
+  // --- Co-tenancy (multi-job clusters) ---
+  /// 1-based job id stamped on this controller's ledger decision records.
+  /// 0 — the single-tenant default — leaves records untagged so legacy
+  /// ledgers stay byte-identical.
+  std::uint64_t job_id = 0;
+  /// The cluster workers this controller's job owns. Empty (the default)
+  /// means the whole cluster, which is the historical single-tenant
+  /// behaviour. When set, planning, watchdog reachability and recovery all
+  /// confine themselves to these workers; the JobManager adjusts the set at
+  /// runtime through set_owned_workers() as the arbiter grants and revokes
+  /// GPUs.
+  std::vector<sim::WorkerId> owned_workers;
 };
 
 class AutoPipeController {
@@ -173,6 +186,14 @@ class AutoPipeController {
 
   /// The watchdog's wedge verdict (public so tests can observe it).
   bool wedged() const { return wedged_; }
+
+  /// Replace the job's owned-worker set (sorted, deduplicated internally).
+  /// The resource monitor is deliberately NOT reset: its next update sees a
+  /// changed worker population, reports "worker population changed" and
+  /// re-primes — exactly the resource-change signal that triggers a re-plan
+  /// onto the new set.
+  void set_owned_workers(std::vector<sim::WorkerId> workers);
+  const std::vector<sim::WorkerId>& owned_workers() const { return owned_; }
 
  private:
   void evaluate_and_decide(const ProfileSnapshot& snapshot,
@@ -228,6 +249,15 @@ class AutoPipeController {
   void abandon_tracked_switch();
   /// A newer decision (or recovery) supersedes the tracked switch.
   void drop_tracked_switch(const std::string& reason);
+
+  /// Owned-worker subselection helpers for co-tenancy: owned_ is always the
+  /// authoritative sorted set (the whole cluster when config_.owned_workers
+  /// is empty), and job_scoped() says whether it is a strict subset.
+  bool job_scoped() const { return owned_.size() < cluster_.num_workers(); }
+  /// Profile snapshot restricted to the owned workers (identity when not
+  /// job-scoped): dense [0, owned) id space for the DP planner and the
+  /// resource monitor.
+  ProfileSnapshot scoped_snapshot(const ProfileSnapshot& snapshot) const;
 
   sim::Cluster& cluster_;
   pipeline::PipelineExecutor& executor_;
@@ -348,6 +378,9 @@ class AutoPipeController {
   std::vector<std::vector<Seconds>> held_fp_;
   std::vector<std::vector<Seconds>> held_bp_;
   std::vector<BytesPerSec> held_nic_bw_;
+  /// Sorted owned-worker set (see set_owned_workers); every worker of the
+  /// cluster when the config left owned_workers empty.
+  std::vector<sim::WorkerId> owned_;
 };
 
 }  // namespace autopipe::core

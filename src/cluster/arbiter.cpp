@@ -1,0 +1,70 @@
+#include "cluster/arbiter.hpp"
+
+#include "common/expect.hpp"
+
+namespace autopipe::cluster {
+
+namespace {
+
+/// Shared ranking skeleton: maximize score(), break ties toward the lowest
+/// job id. Claims arrive sorted by job id (JobManager collects them in id
+/// order), so a strict > comparison implements the tie-break for free — but
+/// we do not rely on that: the explicit id comparison keeps pick() correct
+/// for arbitrary claim orderings in tests.
+template <typename Score>
+std::size_t pick_by(const std::vector<Claim>& claims, Score score) {
+  AUTOPIPE_EXPECT_MSG(!claims.empty(), "arbiter invoked with no claims");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < claims.size(); ++i) {
+    const double si = score(claims[i]);
+    const double sb = score(claims[best]);
+    if (si > sb ||
+        (si == sb && claims[i].job_id < claims[best].job_id)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+class GreedyArbiter final : public Arbiter {
+ public:
+  const char* name() const override { return "greedy"; }
+  std::size_t pick(const std::vector<Claim>& claims) const override {
+    return pick_by(claims, [](const Claim& c) { return c.gain; });
+  }
+};
+
+class PriorityArbiter final : public Arbiter {
+ public:
+  const char* name() const override { return "priority"; }
+  std::size_t pick(const std::vector<Claim>& claims) const override {
+    return pick_by(claims, [](const Claim& c) { return c.priority; });
+  }
+};
+
+class AuctionArbiter final : public Arbiter {
+ public:
+  const char* name() const override { return "auction"; }
+  std::size_t pick(const std::vector<Claim>& claims) const override {
+    return pick_by(claims,
+                   [](const Claim& c) { return c.gain * c.priority; });
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Arbiter> make_arbiter(const std::string& name) {
+  if (name == "greedy") return std::make_unique<GreedyArbiter>();
+  if (name == "priority") return std::make_unique<PriorityArbiter>();
+  if (name == "auction") return std::make_unique<AuctionArbiter>();
+  throw contract_error("unknown arbiter policy '" + name +
+                       "' (expected greedy, priority or auction)");
+}
+
+const std::vector<std::string>& arbiter_names() {
+  static const std::vector<std::string> names = {"greedy", "priority",
+                                                 "auction"};
+  return names;
+}
+
+}  // namespace autopipe::cluster

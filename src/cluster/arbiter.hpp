@@ -1,0 +1,47 @@
+// Cluster-level reconfiguration arbiter: when a GPU frees up on a shared
+// cluster, several co-tenant AutoPipe jobs may claim it in the same planning
+// round. The arbiter picks exactly one winner per contested resource; every
+// loser's doomed switch attempt is aborted through the executor's staged
+// rollback path, so a conflict always resolves to one commit and N-1 clean
+// aborts. Policies differ only in the ranking function; all of them break
+// ties toward the lowest job id so resolution is deterministic under every
+// event-queue implementation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace autopipe::cluster {
+
+/// One job's claim on a contested worker.
+struct Claim {
+  std::uint64_t job_id = 0;  ///< 1-based fleet job id
+  /// Predicted throughput gain (samples/s) from owning the worker, from the
+  /// analytic pipeline model over the ground-truth environment.
+  double gain = 0.0;
+  /// Static job priority from the fleet spec (default 1.0).
+  double priority = 0.0;
+};
+
+/// Conflict-resolution policy. pick() requires a non-empty claim vector and
+/// returns the index of the winning claim.
+class Arbiter {
+ public:
+  virtual ~Arbiter() = default;
+  virtual const char* name() const = 0;
+  virtual std::size_t pick(const std::vector<Claim>& claims) const = 0;
+};
+
+/// "greedy" (max gain — cluster-throughput maximizing), "priority" (max
+/// static priority — SLA-respecting), or "auction" (max gain x priority —
+/// each job bids its marginal utility weighted by its entitlement). Throws
+/// contract_error for any other name.
+std::unique_ptr<Arbiter> make_arbiter(const std::string& name);
+
+/// The valid policy names, in the order make_arbiter documents them.
+const std::vector<std::string>& arbiter_names();
+
+}  // namespace autopipe::cluster

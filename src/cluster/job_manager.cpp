@@ -1,0 +1,444 @@
+#include "cluster/job_manager.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "common/expect.hpp"
+#include "common/trace.hpp"
+#include "models/zoo.hpp"
+#include "partition/analytic_eval.hpp"
+#include "partition/environment.hpp"
+#include "partition/partition.hpp"
+
+namespace autopipe::cluster {
+
+double jain_fairness(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+JobManager::JobManager(sim::Simulator& sim, sim::Cluster& cluster,
+                       FleetSpec spec)
+    : sim_(sim), cluster_(cluster), spec_(std::move(spec)) {
+  AUTOPIPE_EXPECT_MSG(!spec_.jobs.empty(), "fleet spec declares no jobs");
+  arbiter_ = make_arbiter(spec_.arbiter);
+  owner_.assign(cluster_.num_workers(), 0);
+  claim_pending_.assign(cluster_.num_workers(), 0);
+  for (std::size_t k = 0; k < spec_.jobs.size(); ++k) {
+    AUTOPIPE_EXPECT_MSG(
+        !spec_.jobs[k].workers.empty(),
+        "fleet job " << (k + 1)
+                     << " has no workers; run assign_default_workers first");
+    build_job(k + 1, spec_.jobs[k]);
+  }
+  // Registered after every executor's own worker-state callback, so by the
+  // time ownership changes hands the executors have already dropped batches
+  // and aborted switches touched by the fault.
+  worker_cb_token_ = cluster_.add_worker_state_callback(
+      [this](sim::WorkerId worker, bool up) { on_worker_state(worker, up); });
+}
+
+JobManager::~JobManager() {
+  cluster_.remove_worker_state_callback(worker_cb_token_);
+  for (std::size_t k = 0; k < jobs_.size(); ++k)
+    jobs_[k]->executor->remove_switch_observer(switch_observer_tokens_[k]);
+}
+
+void JobManager::build_job(std::uint64_t id, const JobSpec& job_spec) {
+  auto job =
+      std::make_unique<JobRuntime>(models::model_by_name(job_spec.model));
+  job->id = id;
+  job->spec = job_spec;
+  job->owned = job_spec.workers;
+  std::sort(job->owned.begin(), job->owned.end());
+  job->owned.erase(std::unique(job->owned.begin(), job->owned.end()),
+                   job->owned.end());
+  for (sim::WorkerId w : job->owned) {
+    AUTOPIPE_EXPECT_MSG(w < cluster_.num_workers(),
+                        "fleet job " << id << " claims worker " << w
+                                     << " outside the cluster");
+    AUTOPIPE_EXPECT_MSG(owner_[w] == 0, "worker " << w
+                                                  << " claimed by jobs "
+                                                  << owner_[w] << " and "
+                                                  << id);
+    owner_[w] = id;
+  }
+
+  // A job with more GPUs than layers pipelines on the first num_layers of
+  // them; the surplus stays owned (and claimable by nobody) until released.
+  std::vector<sim::WorkerId> initial = job->owned;
+  if (initial.size() > job->model.num_layers())
+    initial.resize(job->model.num_layers());
+
+  pipeline::ExecutorConfig ec;
+  ec.batch_size = job_spec.batch;
+  ec.job_id = id;
+  ec.halt_injection_at_target = true;
+  job->executor = std::make_unique<pipeline::PipelineExecutor>(
+      cluster_, job->model,
+      partition::Partition::even_split(job->model.num_layers(),
+                                       std::move(initial)),
+      ec);
+
+  core::ControllerConfig cc;
+  cc.arbiter_mode = core::ControllerConfig::ArbiterMode::kThreshold;
+  cc.use_meta_network = false;
+  cc.job_id = id;
+  cc.owned_workers = job->owned;
+  job->controller = std::make_unique<core::AutoPipeController>(
+      cluster_, *job->executor, cc, nullptr, nullptr);
+  job->controller->attach();
+
+  JobRuntime* jp = job.get();
+  // attach() installed the controller hook; replace it with the combined
+  // callback (same pattern as the sweep runner) so fleet bookkeeping rides
+  // the same notification.
+  job->executor->set_iteration_callback([this, jp](std::size_t iterations) {
+    jp->controller->on_iteration(iterations);
+    on_job_iteration(*jp);
+  });
+
+  switch_observer_tokens_.push_back(job->executor->add_switch_observer(
+      [this, jp](const pipeline::PipelineExecutor::SwitchAttempt& a) {
+        if (a.phase == pipeline::SwitchPhase::kCommit) {
+          ++jp->commits;
+          return;
+        }
+        if (a.phase == pipeline::SwitchPhase::kAborted) {
+          if (a.abort_reason == "tenant_contention") {
+            ++jp->contention_aborts;
+            ++contention_aborts_;
+            sim_.metrics().add("cluster.contention_aborts");
+          }
+          return;
+        }
+        if (a.phase != pipeline::SwitchPhase::kPrepare || a.target == nullptr)
+          return;
+        // Ownership guard: an attempt whose target routes a worker this job
+        // does not own (e.g. a stale retry of a target granted to a sibling
+        // meanwhile) is denied. Observers must not re-enter the switch
+        // path, so the abort runs as an immediate follow-up event.
+        for (sim::WorkerId w : a.target->all_workers()) {
+          if (owner_[w] == jp->id) continue;
+          sim_.after(
+              0.0,
+              [this, jp, id = a.id] { enforce_ownership(*jp, id); },
+              "ownership_guard");
+          break;
+        }
+      }));
+
+  jobs_.push_back(std::move(job));
+}
+
+void JobManager::enforce_ownership(JobRuntime& job,
+                                   std::uint64_t attempt_id) {
+  pipeline::PipelineExecutor& ex = *job.executor;
+  // Only the attempt observed at Prepare time: anything newer already went
+  // through its own Prepare-time check.
+  if (!ex.switch_in_progress() || ex.switch_attempts() != attempt_id) return;
+  std::uint64_t deny_eid = 0;
+  if (tracer().enabled()) {
+    deny_eid = tracer().instant(
+        trace::Category::kResource, "arbiter_deny", sim_.now(),
+        trace::kPidResource, 1,
+        {trace::arg("job", job.id), trace::arg("reason", "ownership_guard")});
+  }
+  ++denials_;
+  sim_.metrics().add("cluster.denials");
+  ex.abort_switch_attempt("tenant_contention", deny_eid);
+}
+
+void JobManager::on_worker_state(sim::WorkerId worker, bool up) {
+  if (!up) {
+    revoke_worker(worker);
+    return;
+  }
+  if (owner_[worker] != 0) return;  // still owned: the job resumes by itself
+  // A sole-worker job keeps ownership through preemption (revoke_worker
+  // skips it), so an unowned returning worker can still be routed by a
+  // stalled pipeline only if a revocation raced ahead of the migration.
+  // Restore ownership in that case instead of auctioning the worker out
+  // from under a running partition.
+  for (auto& job : jobs_) {
+    if (job->finished) continue;
+    if (job->executor->current_partition().stage_of_worker(worker) ==
+        partition::Partition::npos)
+      continue;
+    owner_[worker] = job->id;
+    job->owned.insert(
+        std::lower_bound(job->owned.begin(), job->owned.end(), worker),
+        worker);
+    job->controller->set_owned_workers(job->owned);
+    sim_.metrics().add("cluster.ownership_restored");
+    return;
+  }
+  announce_free(worker);
+}
+
+void JobManager::revoke_worker(sim::WorkerId worker) {
+  const std::uint64_t id = owner_[worker];
+  if (id == 0) return;
+  JobRuntime& job = *jobs_[id - 1];
+  if (job.finished) {
+    owner_[worker] = 0;
+    return;
+  }
+  // A job's last GPU is never revoked: there is nowhere to migrate, and on
+  // return the stalled pipeline resumes on its stashed weights.
+  if (job.owned.size() <= 1) return;
+  owner_[worker] = 0;
+  job.owned.erase(
+      std::find(job.owned.begin(), job.owned.end(), worker));
+  // The shrunken population reaches the job's monitor with the next
+  // snapshot ("worker population changed"), forcing a replan that migrates
+  // off the revoked worker; a fully stalled pipeline is instead rescued by
+  // the controller watchdog's emergency recovery over the remaining set.
+  job.controller->set_owned_workers(job.owned);
+  sim_.metrics().add("cluster.revocations");
+  if (tracer().enabled()) {
+    tracer().instant(trace::Category::kResource, "gpu_revoked", sim_.now(),
+                     trace::kPidResource, 1,
+                     {trace::arg("worker", worker), trace::arg("job", id)});
+  }
+}
+
+void JobManager::announce_free(sim::WorkerId worker) {
+  if (claim_pending_[worker]) return;
+  claim_pending_[worker] = 1;
+  std::uint64_t freed_eid = 0;
+  if (tracer().enabled()) {
+    freed_eid = tracer().instant(trace::Category::kResource, "gpu_freed",
+                                 sim_.now(), trace::kPidResource, 1,
+                                 {trace::arg("worker", worker)});
+  }
+  sim_.metrics().add("cluster.gpu_freed");
+  sim_.after(
+      spec_.claim_window,
+      [this, worker, freed_eid] {
+        claim_pending_[worker] = 0;
+        resolve_claims(worker, freed_eid);
+      },
+      "claim_window");
+}
+
+double JobManager::claim_gain(const JobRuntime& job,
+                              sim::WorkerId worker) const {
+  if (job.finished) return 0.0;
+  // A job already saturating the model's stage count cannot use another
+  // pipeline worker.
+  if (job.owned.size() >= job.model.num_layers()) return 0.0;
+  const pipeline::ExecutorConfig& ec = job.executor->config();
+  const auto env = partition::EnvironmentView::from_cluster(
+      cluster_, ec.framework, ec.sync_scheme);
+  double current = 0.0;
+  try {
+    current = partition::analytic_throughput(
+        job.model, job.executor->current_partition(), env,
+        job.executor->batch_size());
+  } catch (const std::exception&) {
+    // Degraded partition (e.g. routes a down worker): any valid expansion
+    // is an improvement over an unevaluable present.
+    current = 0.0;
+  }
+  double candidate = 0.0;
+  try {
+    candidate = partition::analytic_throughput(
+        job.model, expansion_plan(job, worker), env,
+        job.executor->batch_size());
+  } catch (const std::exception&) {
+    return 0.0;
+  }
+  return candidate - current;
+}
+
+partition::Partition JobManager::expansion_plan(const JobRuntime& job,
+                                                sim::WorkerId worker) const {
+  std::vector<sim::WorkerId> workers = job.owned;
+  workers.push_back(worker);
+  std::sort(workers.begin(), workers.end());
+  workers.erase(std::unique(workers.begin(), workers.end()), workers.end());
+  AUTOPIPE_EXPECT_MSG(workers.size() <= job.model.num_layers(),
+                      "expansion plan for job "
+                          << job.id << " wants " << workers.size()
+                          << " stages on a " << job.model.num_layers()
+                          << "-layer model");
+  return partition::Partition::even_split(job.model.num_layers(),
+                                          std::move(workers));
+}
+
+void JobManager::resolve_claims(sim::WorkerId worker,
+                                std::uint64_t freed_eid) {
+  if (owner_[worker] != 0) return;  // restored to a stalled job meanwhile
+  if (!cluster_.worker_reachable(worker)) return;  // went down again
+
+  std::vector<Claim> claims;
+  for (const auto& job : jobs_) {
+    const double gain = claim_gain(*job, worker);
+    if (gain > 0.0)
+      claims.push_back(Claim{job->id, gain, job->spec.priority});
+  }
+  ++claim_rounds_;
+  sim_.metrics().add("cluster.claim_rounds");
+  if (claims.empty()) {
+    sim_.metrics().add("cluster.unclaimed");
+    return;  // stays free; a later state change may re-announce it
+  }
+  if (claims.size() >= 2) {
+    ++conflicts_;
+    sim_.metrics().add("cluster.conflicts");
+  }
+
+  const std::size_t winner_idx = arbiter_->pick(claims);
+  JobRuntime& winner = *jobs_[claims[winner_idx].job_id - 1];
+  std::uint64_t grant_eid = 0;
+  if (tracer().enabled()) {
+    grant_eid = tracer().instant(
+        trace::Category::kResource, "arbiter_grant", sim_.now(),
+        trace::kPidResource, 1,
+        {trace::arg("worker", worker), trace::arg("job", winner.id),
+         trace::arg("policy", arbiter_->name()),
+         trace::arg("claims", claims.size())},
+        freed_eid == 0 ? trace::kAmbient : freed_eid);
+  }
+  ++grants_;
+  sim_.metrics().add("cluster.grants");
+
+  // Losers first: each files its doomed attempt through the real staged
+  // protocol and is aborted through the same protocol's rollback path, so
+  // "conflict ⇒ exactly one winner + one cleanly-aborted attempt per loser"
+  // is enforced by the switch engine itself, not by bookkeeping. The deny
+  // instant carries the loser's job id with the *grant* (which names the
+  // winner) as its cause — the cross-job tenant_contention edge the causal
+  // blame engine keys on.
+  for (std::size_t i = 0; i < claims.size(); ++i) {
+    if (i == winner_idx) continue;
+    JobRuntime& loser = *jobs_[claims[i].job_id - 1];
+    std::uint64_t deny_eid = 0;
+    if (tracer().enabled()) {
+      deny_eid = tracer().instant(
+          trace::Category::kResource, "arbiter_deny", sim_.now(),
+          trace::kPidResource, 1,
+          {trace::arg("worker", worker), trace::arg("job", loser.id),
+           trace::arg("winner", winner.id)},
+          grant_eid == 0 ? trace::kAmbient : grant_eid);
+    }
+    ++denials_;
+    sim_.metrics().add("cluster.denials");
+    if (!loser.executor->switch_in_progress()) {
+      if (loser.executor->request_switch(
+              expansion_plan(loser, worker),
+              pipeline::PipelineExecutor::SwitchMode::kFineGrained)) {
+        loser.executor->abort_switch_attempt("tenant_contention", deny_eid);
+      }
+    }
+  }
+
+  // Winner: ownership, a job-scope update, and an immediate expansion
+  // switch causally chained to the grant. When the engine is busy with
+  // another attempt the explicit switch is skipped — the population change
+  // alone forces the winner's next replan to fold the worker in.
+  owner_[worker] = winner.id;
+  winner.owned.insert(
+      std::lower_bound(winner.owned.begin(), winner.owned.end(), worker),
+      worker);
+  winner.controller->set_owned_workers(winner.owned);
+  if (!winner.executor->switch_in_progress()) {
+    const std::uint64_t prev = tracer().current_cause();
+    if (grant_eid != 0) tracer().set_current_cause(grant_eid);
+    winner.executor->request_switch(
+        expansion_plan(winner, worker),
+        pipeline::PipelineExecutor::SwitchMode::kFineGrained);
+    if (grant_eid != 0) tracer().set_current_cause(prev);
+  }
+}
+
+void JobManager::finish_job(JobRuntime& job) {
+  if (job.executor->switch_in_progress())
+    job.executor->abort_switch_attempt("job_finished");
+  job.report = job.executor->finish_run();
+  job.finished = true;
+  job.finished_at = sim_.now();
+  sim_.metrics().add("cluster.jobs_finished");
+  if (tracer().enabled()) {
+    tracer().instant(trace::Category::kResource, "job_finished", sim_.now(),
+                     trace::kPidResource, 1, {trace::arg("job", job.id)});
+  }
+  std::vector<sim::WorkerId> released = std::move(job.owned);
+  job.owned.clear();
+  for (sim::WorkerId w : released) {
+    owner_[w] = 0;
+    if (cluster_.worker_reachable(w)) announce_free(w);
+  }
+}
+
+void JobManager::on_job_iteration(JobRuntime& job) {
+  const std::string prefix = "job" + std::to_string(job.id);
+  sim_.metrics().add(prefix + ".iterations");
+  const Seconds period = job.executor->last_iteration_time();
+  if (period > 0.0) sim_.metrics().observe(prefix + ".iteration_period", period);
+}
+
+FleetReport JobManager::run(Seconds horizon) {
+  for (const PreemptSpec& p : spec_.preempts) {
+    sim_.at(
+        p.at, [this, p] { cluster_.set_worker_down(p.worker); },
+        "preempt_down");
+    sim_.at(
+        p.at + p.duration, [this, p] { cluster_.set_worker_up(p.worker); },
+        "preempt_up");
+  }
+  for (auto& job : jobs_)
+    job->executor->begin_run(job->spec.iterations, job->spec.warmup);
+
+  const auto all_finished = [this] {
+    for (const auto& job : jobs_)
+      if (!job->finished) return false;
+    return true;
+  };
+  while (!all_finished()) {
+    AUTOPIPE_EXPECT_MSG(
+        !sim_.empty(),
+        "fleet deadlock: event queue drained with unfinished jobs");
+    AUTOPIPE_EXPECT_MSG(sim_.now() <= horizon,
+                        "fleet exceeded the time horizon ("
+                            << horizon << "s) with unfinished jobs");
+    sim_.step();
+    // Close each job's measurement window at the exact step its target was
+    // reached, not when the whole fleet drains.
+    for (auto& job : jobs_)
+      if (!job->finished && job->executor->run_complete()) finish_job(*job);
+  }
+
+  FleetReport out;
+  out.arbiter = spec_.arbiter;
+  std::vector<double> throughputs;
+  for (const auto& job : jobs_) {
+    FleetReport::JobSummary s;
+    s.id = job->id;
+    s.model = job->spec.model;
+    s.priority = job->spec.priority;
+    s.report = job->report;
+    s.finished_at = job->finished_at;
+    s.commits = job->commits;
+    s.contention_aborts = job->contention_aborts;
+    out.fleet_throughput += job->report.throughput;
+    throughputs.push_back(job->report.throughput);
+    out.jobs.push_back(std::move(s));
+  }
+  out.jain = jain_fairness(throughputs);
+  out.claim_rounds = claim_rounds_;
+  out.conflicts = conflicts_;
+  out.grants = grants_;
+  out.denials = denials_;
+  out.contention_aborts = contention_aborts_;
+  return out;
+}
+
+}  // namespace autopipe::cluster

@@ -1,0 +1,164 @@
+// Co-tenant fleet orchestration: N independent AutoPipe jobs — each with
+// its own model, executor, job-scoped controller and validation machinery —
+// share one simulated cluster and one flow network. The JobManager owns the
+// worker→job ownership map and the claim protocol around it:
+//
+//  * every worker starts owned by exactly one job (assign_default_workers);
+//  * a preempted owned worker is *revoked* — the job's controller sees a
+//    shrunken worker population and migrates off it via the normal replan
+//    path (or the watchdog's emergency recovery when the pipeline stalled);
+//  * a worker that comes back up unowned is announced as a freed GPU
+//    (`gpu_freed` resource instant) and collects claims for a claim window;
+//  * when the window closes, every running job with a positive analytic
+//    throughput gain files a Claim and the Arbiter picks one winner. The
+//    winner gets ownership and an expansion switch through the regular
+//    Prepare→Drain→Transfer→Commit protocol; every loser's doomed attempt
+//    is aborted through the same protocol's rollback path with reason
+//    "tenant_contention", causally chained to the arbiter's deny instant —
+//    so `autopipe_trace blame` on the loser's slow window roots at a
+//    tenant_contention edge naming the winning job.
+//
+// Invariants the co-tenancy test suite (tests/cotenancy_test.cpp) holds
+// this to: no worker is ever owned by two jobs; every executor only routes
+// workers its job owns; per-job batch conservation holds throughout; every
+// multi-claim round resolves to exactly one grant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autopipe/controller.hpp"
+#include "cluster/arbiter.hpp"
+#include "cluster/jobs_spec.hpp"
+#include "common/units.hpp"
+#include "models/model.hpp"
+#include "pipeline/executor.hpp"
+#include "pipeline/report.hpp"
+#include "sim/cluster.hpp"
+#include "sim/simulator.hpp"
+
+namespace autopipe::cluster {
+
+/// Jain's fairness index over per-job throughputs: (Σx)² / (N·Σx²) — 1.0
+/// when every job gets the same share, →1/N under total capture. 0 for an
+/// empty or all-zero vector.
+double jain_fairness(const std::vector<double>& values);
+
+/// One tenant's live state. Heap-pinned (never moved after construction):
+/// the executor holds a reference to `model`.
+struct JobRuntime {
+  explicit JobRuntime(models::ModelSpec m) : model(std::move(m)) {}
+
+  std::uint64_t id = 0;  ///< 1-based fleet job id (the `job=` tag value)
+  JobSpec spec;
+  models::ModelSpec model;
+  std::vector<sim::WorkerId> owned;  ///< sorted current ownership set
+  std::unique_ptr<pipeline::PipelineExecutor> executor;
+  std::unique_ptr<core::AutoPipeController> controller;
+
+  pipeline::ExecutionReport report;  ///< valid once finished
+  bool finished = false;
+  Seconds finished_at = 0.0;
+  std::size_t commits = 0;            ///< committed switches
+  std::size_t contention_aborts = 0;  ///< attempts the arbiter killed
+};
+
+struct FleetReport {
+  struct JobSummary {
+    std::uint64_t id = 0;
+    std::string model;
+    double priority = 1.0;
+    pipeline::ExecutionReport report;
+    Seconds finished_at = 0.0;
+    std::size_t commits = 0;
+    std::size_t contention_aborts = 0;
+  };
+  std::vector<JobSummary> jobs;
+  /// Exact sum of per-job measured throughputs (the conservation the test
+  /// suite checks against the recomputed sum).
+  double fleet_throughput = 0.0;
+  double jain = 0.0;
+  std::string arbiter;
+  std::size_t claim_rounds = 0;  ///< freed-GPU resolutions that ran
+  std::size_t conflicts = 0;     ///< rounds with >= 2 claims (storms)
+  std::size_t grants = 0;
+  std::size_t denials = 0;
+  std::size_t contention_aborts = 0;
+};
+
+class JobManager {
+ public:
+  /// Builds every job (executor + attached job-scoped controller) and the
+  /// ownership map. `spec.jobs[k].workers` must be filled in; call
+  /// assign_default_workers first when the spec left them empty.
+  JobManager(sim::Simulator& sim, sim::Cluster& cluster, FleetSpec spec);
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Drive every job to completion on the shared simulator: schedules the
+  /// scripted preemptions, begins every run, then steps until all jobs
+  /// finish — each job's measurement window closes at the exact step its
+  /// target is reached. Throws contract_error on fleet deadlock (queue
+  /// drained with unfinished jobs) or when simulated time passes `horizon`.
+  FleetReport run(Seconds horizon = 600.0);
+
+  std::size_t num_jobs() const { return jobs_.size(); }
+  const JobRuntime& job(std::size_t index) const { return *jobs_[index]; }
+
+  /// Owning job id of a worker (1-based), 0 when unowned/free.
+  std::uint64_t owner_of(sim::WorkerId worker) const {
+    return owner_[worker];
+  }
+  const Arbiter& arbiter() const { return *arbiter_; }
+
+  std::size_t claim_rounds() const { return claim_rounds_; }
+  std::size_t conflicts() const { return conflicts_; }
+  std::size_t grants() const { return grants_; }
+  std::size_t denials() const { return denials_; }
+  std::size_t contention_aborts() const { return contention_aborts_; }
+
+ private:
+  void build_job(std::uint64_t id, const JobSpec& spec);
+  void on_worker_state(sim::WorkerId worker, bool up);
+  void revoke_worker(sim::WorkerId worker);
+  void announce_free(sim::WorkerId worker);
+  void resolve_claims(sim::WorkerId worker, std::uint64_t freed_eid);
+  void enforce_ownership(JobRuntime& job, std::uint64_t attempt_id);
+  void finish_job(JobRuntime& job);
+  void on_job_iteration(JobRuntime& job);
+
+  /// Analytic throughput gain for `job` if it owned `worker` too, against
+  /// the ground-truth environment; <= 0 means the job does not claim.
+  double claim_gain(const JobRuntime& job, sim::WorkerId worker) const;
+  /// Even-split expansion target over owned ∪ {worker} (truncated to the
+  /// model's layer count when the union is larger).
+  partition::Partition expansion_plan(const JobRuntime& job,
+                                      sim::WorkerId worker) const;
+
+  trace::TraceRecorder& tracer() { return sim_.tracer(); }
+
+  sim::Simulator& sim_;
+  sim::Cluster& cluster_;
+  FleetSpec spec_;
+  std::unique_ptr<Arbiter> arbiter_;
+  std::vector<std::unique_ptr<JobRuntime>> jobs_;
+  /// worker → owning job id (1-based), 0 = free.
+  std::vector<std::uint64_t> owner_;
+  /// Workers with a claim-window resolution already scheduled.
+  std::vector<std::uint8_t> claim_pending_;
+  std::uint64_t worker_cb_token_ = 0;
+  std::vector<std::uint64_t> switch_observer_tokens_;
+
+  std::size_t claim_rounds_ = 0;
+  std::size_t conflicts_ = 0;
+  std::size_t grants_ = 0;
+  std::size_t denials_ = 0;
+  std::size_t contention_aborts_ = 0;
+};
+
+}  // namespace autopipe::cluster

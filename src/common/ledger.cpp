@@ -93,7 +93,9 @@ void DecisionLedger::write_text(std::ostream& os) const {
        << " digest=" << opt_str(r.digest) << " workers=" << r.num_workers
        << " iter_time=" << format_double(r.iteration_time)
        << " current=" << opt_str(r.current)
-       << " current_pred=" << format_double(r.current_pred) << "\n";
+       << " current_pred=" << format_double(r.current_pred);
+    if (r.job > 0) os << " job=" << r.job;
+    os << "\n";
     for (std::size_t i = 0; i < r.candidates.size(); ++i) {
       const CandidateScore& c = r.candidates[i];
       os << "cand id=" << r.id << " n=" << i << " part=" << opt_str(c.partition)

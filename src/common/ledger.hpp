@@ -64,6 +64,10 @@ struct DecisionOutcome {
 /// One planning round.
 struct DecisionRecord {
   std::uint64_t id = 0;        ///< dense, 0-based, assigned by add()
+  /// Co-tenancy: 1-based id of the job whose controller took this decision.
+  /// 0 (single-tenant) serializes no job= field, keeping legacy ledgers
+  /// byte-identical.
+  std::uint64_t job = 0;
   double time = 0.0;           ///< simulated seconds
   std::uint64_t iteration = 0; ///< controller iteration count at decision
   std::string kind;            ///< "neighborhood" or "replan"

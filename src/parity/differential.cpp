@@ -1,10 +1,13 @@
 #include "parity/differential.hpp"
 
+#include <algorithm>
 #include <optional>
 #include <sstream>
 #include <utility>
 
 #include "autopipe/controller.hpp"
+#include "cluster/job_manager.hpp"
+#include "cluster/jobs_spec.hpp"
 #include "comm/framework.hpp"
 #include "common/rng.hpp"
 #include "faults/fault_plan.hpp"
@@ -25,7 +28,7 @@ namespace {
 constexpr std::size_t kServers = 3;
 constexpr std::size_t kGpusPerServer = 2;
 
-faults::FaultPlan plan_for_seed(std::uint64_t seed) {
+faults::FaultPlan plan_for_seed(std::uint64_t seed, std::size_t servers) {
   // A 12-iteration alexnet run on this testbed spans roughly 0.8 simulated
   // seconds; the default ChaosSpec window (seconds to tens of seconds)
   // would schedule every fault past the end of the run. Compress the whole
@@ -38,7 +41,7 @@ faults::FaultPlan plan_for_seed(std::uint64_t seed) {
   spec.min_outage = 0.02;
   spec.max_outage = 0.15;
   spec.flap_outage = 0.01;
-  return faults::random_plan(spec, kServers, kGpusPerServer);
+  return faults::random_plan(spec, servers, kGpusPerServer);
 }
 
 /// The current partition with each stage handed the next stage's workers:
@@ -63,6 +66,36 @@ std::string metrics_text(const trace::MetricsRegistry& metrics) {
   return os.str();
 }
 
+/// Serialize every observable artifact of a finished run.
+ScenarioResult collect_artifacts(sim::Simulator& simulator,
+                                 std::vector<double> iteration_end_times) {
+  ScenarioResult out;
+  out.queue_name = simulator.queue_name();
+  out.iteration_end_times = std::move(iteration_end_times);
+  out.events_processed = simulator.events_processed();
+  out.scheduled_events = simulator.events_scheduled();
+  std::ostringstream ts;
+  simulator.tracer().write_text(ts);
+  out.trace_text = ts.str();
+  simulator.ledger().finalize("run_end");
+  std::ostringstream ls;
+  simulator.ledger().write_text(ls);
+  out.ledger_text = ls.str();
+  out.metrics_text = metrics_text(simulator.metrics());
+  simulator.timeseries().finalize(simulator.now(), simulator.metrics());
+  std::ostringstream tss;
+  simulator.timeseries().write_text(tss);
+  out.timeseries_text = tss.str();
+  std::ostringstream cs;
+  for (const trace::Event& ev : simulator.tracer().events()) {
+    if (ev.eid == 0) continue;
+    cs << ev.eid << "<-" << ev.cause << ' '
+       << trace::category_name(ev.category) << ':' << ev.name << '\n';
+  }
+  out.causal_text = cs.str();
+  return out;
+}
+
 }  // namespace
 
 ScenarioResult run_scenario(const ScenarioConfig& config,
@@ -74,10 +107,55 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   // events; rows must be byte-identical across queue kinds.
   simulator.timeseries().configure(0.02);
 
+  const std::size_t servers =
+      config.fleet_jobs > 0 ? std::max(kServers, config.fleet_jobs)
+                            : kServers;
   sim::ClusterConfig cluster_config;
-  cluster_config.num_servers = kServers;
+  cluster_config.num_servers = servers;
   cluster_config.gpus_per_server = kGpusPerServer;
   sim::Cluster cluster(simulator, cluster_config);
+
+  if (config.fleet_jobs > 0) {
+    // Co-tenant fleet: JobManager-driven jobs replace the single
+    // executor/controller pair; claim windows, arbiter decisions and
+    // contention aborts all land in the compared artifacts.
+    cluster::FleetSpec fleet;
+    static constexpr const char* kMix[] = {"alexnet", "resnet18"};
+    for (std::size_t k = 0; k < config.fleet_jobs; ++k) {
+      cluster::JobSpec job;
+      job.model = kMix[k % 2];
+      job.iterations = config.iterations;
+      job.warmup = config.warmup;
+      job.priority = 1.0 + static_cast<double>(k % 3);
+      fleet.jobs.push_back(std::move(job));
+    }
+    cluster::assign_default_workers(fleet, cluster.num_workers());
+
+    faults::FaultPlan fault_plan;
+    if (config.inject_faults) fault_plan = plan_for_seed(config.seed, servers);
+    fault_plan.install(simulator, cluster);
+
+    if (config.background_churn) {
+      sim::BackgroundWorkloadConfig bg;
+      bg.gpu_job_rate = 4.0;
+      bg.net_job_rate = 4.0;
+      bg.mean_gpu_job_duration = 0.2;
+      bg.mean_net_job_duration = 0.2;
+      bg.horizon = 1.0;
+      sim::BackgroundWorkload churn(
+          bg, Rng(config.seed ^ 0x9e3779b97f4a7c15ull));
+      churn.install(simulator, cluster);
+    }
+
+    cluster::JobManager manager(simulator, cluster, fleet);
+    manager.run();
+    std::vector<double> ends;
+    for (std::size_t i = 0; i < manager.num_jobs(); ++i) {
+      const auto& times = manager.job(i).report.iteration_end_times;
+      ends.insert(ends.end(), times.begin(), times.end());
+    }
+    return collect_artifacts(simulator, std::move(ends));
+  }
 
   const auto model = models::alexnet();
   const auto env = partition::EnvironmentView::from_cluster(
@@ -116,7 +194,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   controller.attach();
 
   faults::FaultPlan fault_plan;
-  if (config.inject_faults) fault_plan = plan_for_seed(config.seed);
+  if (config.inject_faults) fault_plan = plan_for_seed(config.seed, servers);
   fault_plan.install(simulator, cluster);
 
   // The plan must outlive executor.run(): it holds the executor-side phase
@@ -172,31 +250,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
 
   const auto report = executor.run(config.iterations, config.warmup);
 
-  ScenarioResult out;
-  out.queue_name = simulator.queue_name();
-  out.iteration_end_times = report.iteration_end_times;
-  out.events_processed = simulator.events_processed();
-  out.scheduled_events = simulator.events_scheduled();
-  std::ostringstream ts;
-  simulator.tracer().write_text(ts);
-  out.trace_text = ts.str();
-  simulator.ledger().finalize("run_end");
-  std::ostringstream ls;
-  simulator.ledger().write_text(ls);
-  out.ledger_text = ls.str();
-  out.metrics_text = metrics_text(simulator.metrics());
-  simulator.timeseries().finalize(simulator.now(), simulator.metrics());
-  std::ostringstream tss;
-  simulator.timeseries().write_text(tss);
-  out.timeseries_text = tss.str();
-  std::ostringstream cs;
-  for (const trace::Event& ev : simulator.tracer().events()) {
-    if (ev.eid == 0) continue;
-    cs << ev.eid << "<-" << ev.cause << ' '
-       << trace::category_name(ev.category) << ':' << ev.name << '\n';
-  }
-  out.causal_text = cs.str();
-  return out;
+  return collect_artifacts(simulator, report.iteration_end_times);
 }
 
 namespace {

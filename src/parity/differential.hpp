@@ -36,6 +36,14 @@ struct ScenarioConfig {
   /// mode all derived from the seed), so aborted and rolled-back switches
   /// are part of the byte-for-byte parity contract too.
   bool mid_switch_faults = false;
+  /// When > 0, replace the single-job scenario with a co-tenant fleet of
+  /// this many AutoPipe jobs under a greedy-arbiter JobManager
+  /// (src/cluster/), cycling a small model mix. The testbed grows to
+  /// max(3, fleet_jobs) servers so every job starts with at least two
+  /// GPUs. Claim windows, arbiter grants/denials and contention aborts all
+  /// join the byte-for-byte parity contract. mid_switch_faults is ignored
+  /// in fleet mode (the JobManager drives its own switches).
+  std::size_t fleet_jobs = 0;
 };
 
 /// Every observable artifact of one run. Two queue kinds are "at parity"

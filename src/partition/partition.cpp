@@ -126,4 +126,18 @@ std::string Partition::to_string() const {
   return os.str();
 }
 
+Partition remap_workers(const Partition& p,
+                        const std::vector<sim::WorkerId>& worker_map) {
+  std::vector<StageAssignment> stages = p.stages();
+  for (StageAssignment& stage : stages) {
+    for (sim::WorkerId& w : stage.workers) {
+      AUTOPIPE_EXPECT_MSG(w < worker_map.size(),
+                          "remap_workers: worker " << w << " outside map of "
+                                                   << worker_map.size());
+      w = worker_map[w];
+    }
+  }
+  return Partition(std::move(stages), p.num_layers());
+}
+
 }  // namespace autopipe::partition

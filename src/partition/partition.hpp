@@ -68,6 +68,14 @@ class Partition {
   std::size_t num_layers_ = 0;
 };
 
+/// Rewrite every worker id through `worker_map`: stage worker i becomes
+/// worker_map[i]. Used by job-scoped planning on a shared cluster — the
+/// planner runs over a dense id space [0, owned) and the result is mapped
+/// back onto the job's real (possibly non-contiguous) cluster workers.
+/// Requires every referenced id to be < worker_map.size().
+Partition remap_workers(const Partition& p,
+                        const std::vector<sim::WorkerId>& worker_map);
+
 /// A planner's full answer: the partition plus the number of in-flight
 /// mini-batches (PipeDream's NOW) and the planner's own time estimate.
 struct PlanResult {

@@ -48,21 +48,23 @@ PipelineExecutor::PipelineExecutor(sim::Cluster& cluster,
   bandwidth_ema_.assign(cluster_.num_workers(),
                         Ema(config_.bandwidth_ema_alpha));
   set_holders_from(*current_partition_);
-  cluster_.set_worker_state_callback([this](sim::WorkerId w, bool up) {
-    if (up) {
-      notify_worker_up(w);
-    } else {
-      notify_worker_down(w);
-    }
-  });
-  cluster_.set_link_state_callback([this](std::size_t server, bool up) {
-    if (!up) maybe_abort_switch_on_link(server);
-  });
+  worker_cb_token_ =
+      cluster_.add_worker_state_callback([this](sim::WorkerId w, bool up) {
+        if (up) {
+          notify_worker_up(w);
+        } else {
+          notify_worker_down(w);
+        }
+      });
+  link_cb_token_ =
+      cluster_.add_link_state_callback([this](std::size_t server, bool up) {
+        if (!up) maybe_abort_switch_on_link(server);
+      });
 }
 
 PipelineExecutor::~PipelineExecutor() {
-  cluster_.set_worker_state_callback(nullptr);
-  cluster_.set_link_state_callback(nullptr);
+  cluster_.remove_worker_state_callback(worker_cb_token_);
+  cluster_.remove_link_state_callback(link_cb_token_);
 }
 
 void PipelineExecutor::set_iteration_callback(IterationCallback cb) {
@@ -80,32 +82,51 @@ std::size_t PipelineExecutor::target_in_flight() const {
 
 ExecutionReport PipelineExecutor::run(std::size_t iterations,
                                       std::size_t warmup) {
-  AUTOPIPE_EXPECT(iterations > warmup);
-  const std::size_t prior = completed_iterations_;
-  run_target_ = prior + iterations;
-  running_ = true;
-
+  begin_run(iterations, warmup);
   sim::Simulator& sim = cluster_.simulator();
-  const Seconds entry_time = sim.now();
-  const Bytes entry_bytes = cluster_.network().total_bytes_delivered();
-  std::vector<Seconds> entry_busy(cluster_.num_workers());
-  for (sim::WorkerId w = 0; w < cluster_.num_workers(); ++w)
-    entry_busy[w] = cluster_.gpu(w).busy_time();
-
-  fill_pipeline();
   while (completed_iterations_ < run_target_) {
     AUTOPIPE_EXPECT_MSG(sim.step(),
                         "pipeline deadlock: event queue drained at iteration "
                             << completed_iterations_ << " of " << run_target_);
   }
+  return finish_run();
+}
+
+void PipelineExecutor::begin_run(std::size_t iterations, std::size_t warmup) {
+  AUTOPIPE_EXPECT(iterations > warmup);
+  run_ctx_.prior = completed_iterations_;
+  run_ctx_.iterations = iterations;
+  run_ctx_.warmup = warmup;
+  run_target_ = run_ctx_.prior + iterations;
+  running_ = true;
+
+  sim::Simulator& sim = cluster_.simulator();
+  run_ctx_.entry_time = sim.now();
+  run_ctx_.entry_bytes = cluster_.network().total_bytes_delivered();
+  run_ctx_.entry_busy.assign(cluster_.num_workers(), 0.0);
+  for (sim::WorkerId w = 0; w < cluster_.num_workers(); ++w)
+    run_ctx_.entry_busy[w] = cluster_.gpu(w).busy_time();
+
+  fill_pipeline();
+}
+
+ExecutionReport PipelineExecutor::finish_run() {
+  AUTOPIPE_EXPECT_MSG(run_complete(),
+                      "finish_run before run target reached: "
+                          << completed_iterations_ << " of " << run_target_);
   running_ = false;
+  sim::Simulator& sim = cluster_.simulator();
+  const std::size_t prior = run_ctx_.prior;
+  const std::size_t iterations = run_ctx_.iterations;
+  const std::size_t warmup = run_ctx_.warmup;
+  const Seconds entry_time = run_ctx_.entry_time;
 
   ExecutionReport report;
   report.iterations = iterations;
   report.batch_size = batch_;
   report.elapsed = sim.now() - entry_time;
   report.bytes_on_wire =
-      cluster_.network().total_bytes_delivered() - entry_bytes;
+      cluster_.network().total_bytes_delivered() - run_ctx_.entry_bytes;
   report.switches = switches_;
   report.switch_stall = total_switch_stall_;
 
@@ -141,7 +162,7 @@ ExecutionReport PipelineExecutor::run(std::size_t iterations,
   double busy_sum = 0.0;
   const auto workers = current_partition_->all_workers();
   for (sim::WorkerId w : workers)
-    busy_sum += (cluster_.gpu(w).busy_time() - entry_busy[w]);
+    busy_sum += (cluster_.gpu(w).busy_time() - run_ctx_.entry_busy[w]);
   report.worker_utilization =
       workers.empty() ? 0.0
                       : busy_sum / (static_cast<double>(workers.size()) *
@@ -159,10 +180,16 @@ void PipelineExecutor::fill_pipeline() {
   // injection resumes when the worker returns or a recovery plan lands.
   if (!partition_serviceable()) return;
   if (is_synchronous(config_.mode)) {
+    if (config_.halt_injection_at_target &&
+        completed_iterations_ >= run_target_)
+      return;
     if (sync_state_.empty()) start_sync_iteration();
     return;
   }
   while (active_batches_ < in_flight_ && !draining()) {
+    if (config_.halt_injection_at_target &&
+        completed_iterations_ + active_batches_ >= run_target_)
+      break;
     inject_async_batch();
   }
 }
@@ -546,9 +573,16 @@ void PipelineExecutor::on_iteration_complete() {
 
   if (draining()) metrics().add("executor.stalled_batches");
   if (tracer().enabled()) {
-    tracer().instant(trace::Category::kMark, "iteration", now,
-                     trace::kPidControl, 0,
-                     {trace::arg("n", completed_iterations_)});
+    if (config_.job_id > 0) {
+      tracer().instant(trace::Category::kMark, "iteration", now,
+                       trace::kPidControl, 0,
+                       {trace::arg("n", completed_iterations_),
+                        trace::arg("job", config_.job_id)});
+    } else {
+      tracer().instant(trace::Category::kMark, "iteration", now,
+                       trace::kPidControl, 0,
+                       {trace::arg("n", completed_iterations_)});
+    }
   }
 
   if (iteration_callback_) iteration_callback_(completed_iterations_);
@@ -560,7 +594,9 @@ void PipelineExecutor::on_iteration_complete() {
   if (draining()) return;  // keep draining
 
   if (is_synchronous(config_.mode)) {
-    if (active_batches_ == 0 && running_ && partition_serviceable())
+    const bool halted = config_.halt_injection_at_target &&
+                        completed_iterations_ >= run_target_;
+    if (active_batches_ == 0 && running_ && !halted && partition_serviceable())
       start_sync_iteration();
   } else {
     fill_pipeline();
@@ -914,6 +950,22 @@ void PipelineExecutor::commit_switch() {
   ++switches_;
   notify_switch_observers(attempt);
   adopt_partition();
+}
+
+void PipelineExecutor::abort_switch_attempt(const char* reason,
+                                            std::uint64_t cause_eid) {
+  if (switch_state_ == nullptr) return;
+  if (cause_eid != 0 && tracer().enabled()) {
+    // Thread the arbiter's deny instant in as the ambient cause: the abort
+    // instant — and the refill events the rollback schedules — then chain
+    // across the job boundary to the decision that forced them.
+    const std::uint64_t prev = tracer().current_cause();
+    tracer().set_current_cause(cause_eid);
+    abort_switch(reason);
+    tracer().set_current_cause(prev);
+    return;
+  }
+  abort_switch(reason);
 }
 
 void PipelineExecutor::abort_switch(const char* reason, bool resume_after) {

@@ -86,6 +86,17 @@ struct ExecutorConfig {
   /// one extra forward pass of compute for an O(stage) smaller activation
   /// stash (§2.1: "GPipe recomputes the FP").
   bool recompute_activations = false;
+  /// Co-tenancy: 1-based job id tagged on this executor's trace events
+  /// (`job=` arg on iteration marks and switch-phase instants). 0 — the
+  /// single-tenant default — emits no job arg, keeping legacy artifacts
+  /// byte-identical.
+  std::uint64_t job_id = 0;
+  /// Stop injecting new batches once the in-flight set suffices to reach
+  /// run_target_. Single-tenant run() loops leave this off (the executor is
+  /// the only event source, so over-injection is harmless and the historical
+  /// traces depend on it); a fleet must set it or a finished job keeps
+  /// training on shared GPUs while its siblings run on.
+  bool halt_injection_at_target = false;
 };
 
 class PipelineExecutor {
@@ -93,9 +104,8 @@ class PipelineExecutor {
   PipelineExecutor(sim::Cluster& cluster, const models::ModelSpec& model,
                    partition::Partition initial, ExecutorConfig config);
 
-  /// Unregisters the cluster's worker-state callback (the constructor
-  /// registered this executor as the single observer; with several
-  /// executors on one cluster the last constructed wins).
+  /// Unregisters the cluster worker/link-state observers the constructor
+  /// added (multi-slot, so several co-tenant executors can share a cluster).
   ~PipelineExecutor();
 
   PipelineExecutor(const PipelineExecutor&) = delete;
@@ -111,6 +121,16 @@ class PipelineExecutor {
   /// first `warmup` of them. Resumable: consecutive runs continue the same
   /// training timeline.
   ExecutionReport run(std::size_t iterations, std::size_t warmup = 0);
+
+  /// Split-phase run for co-tenant fleets, where one caller drives the
+  /// simulator for several executors at once: begin_run primes the pipeline
+  /// and captures measurement baselines (but pumps no events); the caller
+  /// steps the shared simulator until run_complete(); finish_run() closes
+  /// the measurement window *at that moment* and returns the report.
+  /// run() == begin_run + step-until-complete + finish_run.
+  void begin_run(std::size_t iterations, std::size_t warmup = 0);
+  bool run_complete() const { return completed_iterations_ >= run_target_; }
+  ExecutionReport finish_run();
 
   enum class SwitchMode { kStopTheWorld, kFineGrained };
 
@@ -159,6 +179,14 @@ class PipelineExecutor {
   using SwitchObserver = std::function<void(const SwitchAttempt&)>;
   std::uint64_t add_switch_observer(SwitchObserver observer);
   void remove_switch_observer(std::uint64_t token);
+
+  /// Abort the in-flight switch attempt from outside the protocol — the
+  /// cluster arbiter denying a reconfiguration that a sibling job won. The
+  /// rollback path is the same staged-protocol abort used for faults; a
+  /// non-zero `cause_eid` (the arbiter's deny instant) becomes the abort
+  /// instant's causal parent so blame chains cross the job boundary. No-op
+  /// when no switch is in progress.
+  void abort_switch_attempt(const char* reason, std::uint64_t cause_eid = 0);
 
   /// Total switch attempts accepted (committed + aborted + in-flight).
   std::size_t switch_attempts() const { return switch_attempt_counter_; }
@@ -435,6 +463,22 @@ class PipelineExecutor {
   std::size_t completed_iterations_ = 0;
   std::size_t run_target_ = 0;
   bool running_ = false;
+
+  /// Measurement baselines captured by begin_run, consumed by finish_run.
+  struct RunContext {
+    std::size_t prior = 0;
+    std::size_t iterations = 0;
+    std::size_t warmup = 0;
+    Seconds entry_time = 0.0;
+    Bytes entry_bytes = 0.0;
+    std::vector<Seconds> entry_busy;
+  };
+  RunContext run_ctx_;
+
+  /// Tokens for the cluster worker/link-state observers registered in the
+  /// constructor (multi-slot, so several executors share one cluster).
+  std::uint64_t worker_cb_token_ = 0;
+  std::uint64_t link_cb_token_ = 0;
 
   // Telemetry.
   std::vector<Ema> bandwidth_ema_;  // per worker

@@ -147,7 +147,7 @@ void Cluster::set_worker_down(WorkerId worker) {
                             static_cast<int>(worker), 0);
   gpu(worker).set_available(false);
   sim_.metrics().add("cluster.gpu_down", 1.0);
-  if (worker_state_callback_) worker_state_callback_(worker, false);
+  notify_worker_state(worker, false);
 }
 
 void Cluster::set_worker_up(WorkerId worker) {
@@ -160,7 +160,7 @@ void Cluster::set_worker_up(WorkerId worker) {
                         worker_down_eid_[worker]);
   gpu(worker).set_available(true);
   sim_.metrics().add("cluster.gpu_up", 1.0);
-  if (worker_state_callback_) worker_state_callback_(worker, true);
+  notify_worker_state(worker, true);
 }
 
 bool Cluster::worker_up(WorkerId worker) const {
@@ -180,7 +180,7 @@ void Cluster::set_link_down(std::size_t server) {
   network_.set_resource_down(nic_tx_[server]);
   network_.set_resource_down(nic_rx_[server]);
   sim_.metrics().add("cluster.link_down", 1.0);
-  if (link_state_callback_) link_state_callback_(server, false);
+  notify_link_state(server, false);
 }
 
 void Cluster::set_link_up(std::size_t server) {
@@ -195,7 +195,7 @@ void Cluster::set_link_up(std::size_t server) {
   network_.set_resource_up(nic_tx_[server]);
   network_.set_resource_up(nic_rx_[server]);
   sim_.metrics().add("cluster.link_up", 1.0);
-  if (link_state_callback_) link_state_callback_(server, true);
+  notify_link_state(server, true);
 }
 
 bool Cluster::link_up(std::size_t server) const {
@@ -239,6 +239,81 @@ void Cluster::remove_background_job(WorkerId worker) {
                           trace::kPidResource, static_cast<int>(worker),
                           {trace::arg("tenants", g.tenant_count())});
   }
+}
+
+std::uint64_t Cluster::add_worker_state_callback(WorkerStateCallback cb) {
+  const std::uint64_t token = next_callback_token_++;
+  worker_state_callbacks_.emplace_back(token, std::move(cb));
+  return token;
+}
+
+void Cluster::remove_worker_state_callback(std::uint64_t token) {
+  for (auto it = worker_state_callbacks_.begin();
+       it != worker_state_callbacks_.end(); ++it) {
+    if (it->first == token) {
+      worker_state_callbacks_.erase(it);
+      return;
+    }
+  }
+}
+
+void Cluster::set_worker_state_callback(WorkerStateCallback cb) {
+  for (auto it = worker_state_callbacks_.begin();
+       it != worker_state_callbacks_.end(); ++it) {
+    if (it->first == 0) {
+      if (cb)
+        it->second = std::move(cb);
+      else
+        worker_state_callbacks_.erase(it);
+      return;
+    }
+  }
+  if (cb) worker_state_callbacks_.emplace_back(0, std::move(cb));
+}
+
+std::uint64_t Cluster::add_link_state_callback(LinkStateCallback cb) {
+  const std::uint64_t token = next_callback_token_++;
+  link_state_callbacks_.emplace_back(token, std::move(cb));
+  return token;
+}
+
+void Cluster::remove_link_state_callback(std::uint64_t token) {
+  for (auto it = link_state_callbacks_.begin();
+       it != link_state_callbacks_.end(); ++it) {
+    if (it->first == token) {
+      link_state_callbacks_.erase(it);
+      return;
+    }
+  }
+}
+
+void Cluster::set_link_state_callback(LinkStateCallback cb) {
+  for (auto it = link_state_callbacks_.begin();
+       it != link_state_callbacks_.end(); ++it) {
+    if (it->first == 0) {
+      if (cb)
+        it->second = std::move(cb);
+      else
+        link_state_callbacks_.erase(it);
+      return;
+    }
+  }
+  if (cb) link_state_callbacks_.emplace_back(0, std::move(cb));
+}
+
+void Cluster::notify_worker_state(WorkerId worker, bool up) {
+  // Copy: an observer may unregister (or register) from within its callback
+  // (an executor tearing down a switch attempt), which would invalidate
+  // iterators into the live vector.
+  auto observers = worker_state_callbacks_;
+  for (auto& [token, cb] : observers)
+    if (cb) cb(worker, up);
+}
+
+void Cluster::notify_link_state(std::size_t server, bool up) {
+  auto observers = link_state_callbacks_;
+  for (auto& [token, cb] : observers)
+    if (cb) cb(server, up);
 }
 
 }  // namespace autopipe::sim

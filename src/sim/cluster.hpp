@@ -114,20 +114,24 @@ class Cluster {
   void set_profiler_muted(WorkerId worker, bool muted);
   bool profiler_muted(WorkerId worker) const;
 
-  /// Observer for worker down/up transitions (single slot; the pipeline
-  /// executor registers itself). Called synchronously from set_worker_*.
+  /// Observers for worker down/up transitions. Multi-slot: every pipeline
+  /// executor registers one, and a co-tenancy JobManager adds its own to
+  /// reassign ownership of preempted GPUs. Called synchronously from
+  /// set_worker_* in registration order. add returns a token for remove.
   using WorkerStateCallback = std::function<void(WorkerId, bool up)>;
-  void set_worker_state_callback(WorkerStateCallback cb) {
-    worker_state_callback_ = std::move(cb);
-  }
+  std::uint64_t add_worker_state_callback(WorkerStateCallback cb);
+  void remove_worker_state_callback(std::uint64_t token);
+  /// Legacy single-slot setter: replaces the previous set_ registration (if
+  /// any) without disturbing add_-registered observers. nullptr clears it.
+  void set_worker_state_callback(WorkerStateCallback cb);
 
-  /// Observer for server-link down/up transitions (single slot; the pipeline
-  /// executor registers itself so a link failure can abort an in-flight
-  /// partition switch). Called synchronously from set_link_*.
+  /// Observers for server-link down/up transitions (multi-slot, same token
+  /// protocol; a pipeline executor registers one so a link failure can abort
+  /// an in-flight partition switch). Called synchronously from set_link_*.
   using LinkStateCallback = std::function<void(std::size_t server, bool up)>;
-  void set_link_state_callback(LinkStateCallback cb) {
-    link_state_callback_ = std::move(cb);
-  }
+  std::uint64_t add_link_state_callback(LinkStateCallback cb);
+  void remove_link_state_callback(std::uint64_t token);
+  void set_link_state_callback(LinkStateCallback cb);
 
   const ClusterConfig& config() const { return config_; }
 
@@ -154,8 +158,15 @@ class Cluster {
   /// instant records the outage that it ends as its explicit cause.
   std::vector<std::uint64_t> worker_down_eid_;
   std::vector<std::uint64_t> link_down_eid_;
-  WorkerStateCallback worker_state_callback_;
-  LinkStateCallback link_state_callback_;
+  void notify_worker_state(WorkerId worker, bool up);
+  void notify_link_state(std::size_t server, bool up);
+
+  /// Registered observers, keyed by token. A deterministic vector (not a
+  /// map) so notification order is registration order; token 0 is reserved
+  /// for the legacy single-slot set_ registration.
+  std::vector<std::pair<std::uint64_t, WorkerStateCallback>> worker_state_callbacks_;
+  std::vector<std::pair<std::uint64_t, LinkStateCallback>> link_state_callbacks_;
+  std::uint64_t next_callback_token_ = 1;
 };
 
 }  // namespace autopipe::sim

@@ -74,6 +74,20 @@ void write_bench_json(const SweepResult& result, std::ostream& os,
       json.kv("switches", r.switches);
       json.kv("switch_aborts", r.switch_aborts);
       json.kv("events", r.events);
+      if (r.spec.jobs > 1) {
+        // Co-tenancy view; omitted for single-tenant scenarios so legacy
+        // bench JSON stays byte-stable.
+        json.kv("fleet_jobs", r.spec.jobs);
+        json.kv("arbiter", r.spec.arbiter);
+        json.kv("fleet_jain", r.fleet_jain);
+        json.kv("fleet_conflicts", r.fleet_conflicts);
+        json.kv("fleet_grants", r.fleet_grants);
+        json.kv("fleet_contention_aborts", r.fleet_contention_aborts);
+        json.key("job_throughputs");
+        json.begin_array();
+        for (double t : r.job_throughputs) json.value(t);
+        json.end();
+      }
     } else {
       json.kv("error", r.error);
     }

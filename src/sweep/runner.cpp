@@ -3,10 +3,13 @@
 #include <chrono>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 
 #include "analysis/json.hpp"
 #include "autopipe/controller.hpp"
+#include "cluster/job_manager.hpp"
+#include "cluster/jobs_spec.hpp"
 #include "common/expect.hpp"
 #include "common/stats.hpp"
 #include "faults/fault_plan.hpp"
@@ -29,8 +32,150 @@ pipeline::ScheduleMode schedule_by_name(const std::string& name) {
   throw contract_error("unknown schedule: " + name);
 }
 
+/// Shared artifact emission: trace, flattened metrics, optional ledger and
+/// time series, under `<directory>/<label>.*`.
+void emit_artifacts(sim::Simulator& simulator, const std::string& label,
+                    const ArtifactOptions& artifacts, bool with_ledger,
+                    ScenarioResult& result) {
+  const std::string base = artifacts.directory + "/" + label;
+  const auto open = [](const std::string& path) {
+    std::ofstream out(path);
+    if (!out.good())
+      throw std::runtime_error("cannot open artifact file: " + path);
+    return out;
+  };
+  {
+    auto out = open(base + ".trace");
+    simulator.tracer().write_text(out);
+    result.trace_file = base + ".trace";
+  }
+  {
+    auto out = open(base + ".metrics.json");
+    analysis::write_scalar_map_json(simulator.metrics().flattened(), out);
+    result.metrics_file = base + ".metrics.json";
+  }
+  if (with_ledger) {
+    simulator.ledger().finalize("run_end");
+    auto out = open(base + ".ledger");
+    simulator.ledger().write_text(out);
+    result.ledger_file = base + ".ledger";
+  }
+  if (simulator.timeseries().enabled()) {
+    simulator.timeseries().finalize(simulator.now(), simulator.metrics());
+    auto out = open(base + ".ts");
+    simulator.timeseries().write_text(out);
+    result.timeseries_file = base + ".ts";
+  }
+}
+
+/// The per-job model cycle of a fleet scenario: job-models entries cycled
+/// across jobs, falling back to the scenario's single model.
+std::vector<std::string> fleet_model_cycle(const ScenarioSpec& spec) {
+  std::vector<std::string> mix;
+  std::istringstream parts(spec.job_models);
+  std::string part;
+  while (std::getline(parts, part, '+')) {
+    // Trim (the spec parser validated the names already).
+    const std::size_t b = part.find_first_not_of(" \t");
+    const std::size_t e = part.find_last_not_of(" \t");
+    if (b != std::string::npos) mix.push_back(part.substr(b, e - b + 1));
+  }
+  if (mix.empty()) mix.push_back(spec.model);
+  return mix;
+}
+
+/// Co-tenant scenario: spec.jobs independent AutoPipe jobs on one cluster,
+/// driven by a JobManager (src/cluster/) under the scenario's arbiter.
+void run_fleet_body(const ScenarioSpec& spec, const ArtifactOptions& artifacts,
+                    ScenarioResult& result) {
+  const bool emit = !artifacts.directory.empty();
+
+  sim::Simulator simulator;
+  if (emit) {
+    simulator.tracer().set_enabled(true);
+    simulator.ledger().set_enabled(true);
+    if (artifacts.timeseries_interval > 0.0)
+      simulator.timeseries().configure(artifacts.timeseries_interval);
+  }
+
+  sim::ClusterConfig cluster_config;
+  cluster_config.num_servers = spec.servers;
+  cluster_config.gpus_per_server = spec.gpus_per_server;
+  cluster_config.nic_bandwidth = gbps(spec.bandwidth_gbps);
+  sim::Cluster cluster(simulator, cluster_config);
+
+  for (int j = 0; j < spec.extra_jobs; ++j)
+    for (sim::WorkerId w = 0; w < cluster.num_workers(); ++w)
+      cluster.add_background_job(w);
+
+  sim::BackgroundWorkload churn(
+      [] {
+        sim::BackgroundWorkloadConfig config;
+        config.horizon = 600.0;
+        return config;
+      }(),
+      Rng(spec.seed));
+  if (spec.churn) churn.install(simulator, cluster);
+
+  faults::FaultPlan fault_plan;
+  if (!spec.faults.empty()) {
+    fault_plan = faults::parse_spec(spec.faults, spec.servers,
+                                    spec.gpus_per_server);
+    fault_plan.install(simulator, cluster);
+  }
+
+  cluster::FleetSpec fleet;
+  fleet.arbiter = spec.arbiter;
+  const auto mix = fleet_model_cycle(spec);
+  for (std::size_t k = 0; k < spec.jobs; ++k) {
+    cluster::JobSpec job;
+    job.model = mix[k % mix.size()];
+    job.iterations = spec.iterations;
+    job.warmup = spec.warmup;
+    fleet.jobs.push_back(std::move(job));
+  }
+  cluster::assign_default_workers(fleet, cluster.num_workers());
+
+  cluster::JobManager manager(simulator, cluster, fleet);
+  const cluster::FleetReport fleet_report = manager.run();
+
+  result.throughput = fleet_report.fleet_throughput;
+  result.fleet_jain = fleet_report.jain;
+  result.fleet_conflicts = fleet_report.conflicts;
+  result.fleet_grants = fleet_report.grants;
+  result.fleet_contention_aborts = fleet_report.contention_aborts;
+  result.events = simulator.events_processed();
+  result.batch = manager.job(0).executor->batch_size();
+
+  double utilization = 0.0;
+  Histogram iteration_times;
+  for (std::size_t i = 0; i < manager.num_jobs(); ++i) {
+    const cluster::JobRuntime& job = manager.job(i);
+    utilization += job.report.worker_utilization;
+    result.switches += job.executor->switches_performed();
+    result.switch_aborts += job.executor->switches_aborted();
+    result.job_throughputs.push_back(job.report.throughput);
+    const auto& ends = job.report.iteration_end_times;
+    for (std::size_t n = spec.warmup + 1; n < ends.size(); ++n)
+      iteration_times.add(ends[n] - ends[n - 1]);
+  }
+  result.utilization = utilization / static_cast<double>(manager.num_jobs());
+  if (!iteration_times.empty()) {
+    const Histogram::Summary s = iteration_times.summary();
+    result.iteration_p50_ms = s.p50 * 1e3;
+    result.iteration_p95_ms = s.p95 * 1e3;
+    result.iteration_p99_ms = s.p99 * 1e3;
+  }
+
+  if (emit) emit_artifacts(simulator, spec.label, artifacts, true, result);
+}
+
 void run_body(const ScenarioSpec& spec, const ArtifactOptions& artifacts,
               ScenarioResult& result) {
+  if (spec.jobs > 1) {
+    run_fleet_body(spec, artifacts, result);
+    return;
+  }
   const bool emit = !artifacts.directory.empty();
   const auto model = models::model_by_name(spec.model);
 
@@ -128,37 +273,9 @@ void run_body(const ScenarioSpec& spec, const ArtifactOptions& artifacts,
     result.iteration_p99_ms = s.p99 * 1e3;
   }
 
-  if (emit) {
-    const std::string base = artifacts.directory + "/" + spec.label;
-    const auto open = [](const std::string& path) {
-      std::ofstream out(path);
-      if (!out.good())
-        throw std::runtime_error("cannot open artifact file: " + path);
-      return out;
-    };
-    {
-      auto out = open(base + ".trace");
-      simulator.tracer().write_text(out);
-      result.trace_file = base + ".trace";
-    }
-    {
-      auto out = open(base + ".metrics.json");
-      analysis::write_scalar_map_json(simulator.metrics().flattened(), out);
-      result.metrics_file = base + ".metrics.json";
-    }
-    if (spec.system == "autopipe") {
-      simulator.ledger().finalize("run_end");
-      auto out = open(base + ".ledger");
-      simulator.ledger().write_text(out);
-      result.ledger_file = base + ".ledger";
-    }
-    if (simulator.timeseries().enabled()) {
-      simulator.timeseries().finalize(simulator.now(), simulator.metrics());
-      auto out = open(base + ".ts");
-      simulator.timeseries().write_text(out);
-      result.timeseries_file = base + ".ts";
-    }
-  }
+  if (emit)
+    emit_artifacts(simulator, spec.label, artifacts,
+                   spec.system == "autopipe", result);
 }
 
 }  // namespace

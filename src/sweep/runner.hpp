@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sweep/spec.hpp"
 
@@ -43,6 +44,16 @@ struct ScenarioResult {
   double iteration_p50_ms = 0.0; ///< measured-window iteration time
   double iteration_p95_ms = 0.0;
   double iteration_p99_ms = 0.0;
+
+  // Fleet scenarios only (spec.jobs > 1): aggregate throughput lands in
+  // `throughput`, these carry the co-tenancy view. Zero/empty — and never
+  // serialized — for single-tenant scenarios, so legacy bench JSON is
+  // byte-stable.
+  double fleet_jain = 0.0;               ///< Jain fairness over job throughputs
+  std::size_t fleet_conflicts = 0;       ///< claim rounds with >= 2 claims
+  std::size_t fleet_grants = 0;          ///< arbiter grants
+  std::size_t fleet_contention_aborts = 0;
+  std::vector<double> job_throughputs;   ///< per-job samples/s, job order
 
   double wall_seconds = 0.0;  ///< host wall-clock (non-deterministic)
 

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -100,7 +101,7 @@ std::string sanitize(const std::string& s) {
 std::size_t SweepSpec::scenario_count() const {
   return models.size() * systems.size() * servers.size() *
          gpus_per_server.size() * bandwidth_gbps.size() * extra_jobs.size() *
-         churn.size() * faults.size() * seeds.size();
+         jobs.size() * churn.size() * faults.size() * seeds.size();
 }
 
 std::vector<ScenarioSpec> SweepSpec::expand() const {
@@ -111,37 +112,47 @@ std::vector<ScenarioSpec> SweepSpec::expand() const {
       for (std::size_t srv : servers)
         for (std::size_t gps : gpus_per_server)
           for (double bw : bandwidth_gbps)
-            for (int jobs : extra_jobs)
-              for (bool ch : churn)
-                for (std::size_t f = 0; f < faults.size(); ++f)
-                  for (std::uint64_t seed : seeds) {
-                    ScenarioSpec s;
-                    s.model = model;
-                    s.system = system;
-                    s.servers = srv;
-                    s.gpus_per_server = gps;
-                    s.bandwidth_gbps = bw;
-                    s.extra_jobs = jobs;
-                    s.churn = ch;
-                    s.faults = faults[f];
-                    s.seed = seed;
-                    s.iterations = iterations;
-                    s.warmup = warmup;
-                    s.micro_batches = micro_batches;
-                    s.schedule = schedule;
-                    // The faults axis appears by index: fault specs hold
-                    // characters labels cannot (':', '=', ','), and the
-                    // full string is recorded in the JSON per scenario.
-                    s.label = sanitize(model) + "." + sanitize(system) +
-                              ".s" + std::to_string(srv) + "x" +
-                              std::to_string(gps) + ".bw" +
-                              format_compact(bw) + ".j" +
-                              std::to_string(jobs) +
-                              (ch ? ".c1" : ".c0") + ".f" +
-                              std::to_string(f) + ".seed" +
-                              std::to_string(seed);
-                    out.push_back(std::move(s));
-                  }
+            for (int extra : extra_jobs)
+              for (std::size_t fleet : jobs)
+                for (bool ch : churn)
+                  for (std::size_t f = 0; f < faults.size(); ++f)
+                    for (std::uint64_t seed : seeds) {
+                      ScenarioSpec s;
+                      s.model = model;
+                      s.system = system;
+                      s.servers = srv;
+                      s.gpus_per_server = gps;
+                      s.bandwidth_gbps = bw;
+                      s.extra_jobs = extra;
+                      s.jobs = fleet;
+                      s.job_models = job_models;
+                      s.arbiter = arbiter;
+                      s.churn = ch;
+                      s.faults = faults[f];
+                      s.seed = seed;
+                      s.iterations = iterations;
+                      s.warmup = warmup;
+                      s.micro_batches = micro_batches;
+                      s.schedule = schedule;
+                      // The faults axis appears by index: fault specs hold
+                      // characters labels cannot (':', '=', ','), and the
+                      // full string is recorded in the JSON per scenario.
+                      // The fleet component appears only for actual fleets
+                      // so single-tenant labels stay byte-stable.
+                      s.label = sanitize(model) + "." + sanitize(system) +
+                                ".s" + std::to_string(srv) + "x" +
+                                std::to_string(gps) + ".bw" +
+                                format_compact(bw) + ".j" +
+                                std::to_string(extra) +
+                                (fleet > 1
+                                     ? ".J" + std::to_string(fleet) + "." +
+                                           sanitize(arbiter)
+                                     : "") +
+                                (ch ? ".c1" : ".c0") + ".f" +
+                                std::to_string(f) + ".seed" +
+                                std::to_string(seed);
+                      out.push_back(std::move(s));
+                    }
   return out;
 }
 
@@ -149,15 +160,26 @@ SweepSpec parse_sweep_spec(const std::string& text) {
   SweepSpec spec;
   // Newlines and ';' both end a statement, so inline one-liner specs work.
   // '#' comments run to end of *line* and are stripped first, so a ';'
-  // inside prose never starts a phantom statement.
-  std::vector<std::string> lines;
-  for (std::string chunk : split(text, '\n')) {
-    const std::size_t hash = chunk.find('#');
-    if (hash != std::string::npos) chunk.resize(hash);
-    for (const std::string& stmt : split(chunk, ';')) lines.push_back(stmt);
+  // inside prose never starts a phantom statement. Each statement keeps its
+  // source line number for diagnostics.
+  std::vector<std::pair<std::size_t, std::string>> statements;
+  {
+    std::size_t line_no = 0;
+    for (std::string chunk : split(text, '\n')) {
+      ++line_no;
+      const std::size_t hash = chunk.find('#');
+      if (hash != std::string::npos) chunk.resize(hash);
+      for (const std::string& stmt : split(chunk, ';'))
+        statements.emplace_back(line_no, stmt);
+    }
   }
 
-  for (const std::string& raw : lines) {
+  // First line each key appeared on. A repeated key used to be silently
+  // last-wins — a hard-to-spot way to lose half a sweep — so it is now a
+  // parse error naming both occurrences.
+  std::map<std::string, std::size_t> seen;
+
+  for (const auto& [line_no, raw] : statements) {
     const std::string line = trim(raw);
     if (line.empty()) continue;
     const std::size_t eq = line.find('=');
@@ -165,6 +187,13 @@ SweepSpec parse_sweep_spec(const std::string& text) {
                         "sweep spec: expected 'key = value', got '" << line
                                                                     << "'");
     const std::string key = trim(line.substr(0, eq));
+    if (const auto it = seen.find(key); it != seen.end()) {
+      throw contract_error(
+          "sweep spec: duplicate key '" + key + "' (lines " +
+          std::to_string(it->second) + " and " + std::to_string(line_no) +
+          "); merge the value lists into one statement");
+    }
+    seen.emplace(key, line_no);
     std::vector<std::string> values;
     for (const std::string& v : split(line.substr(eq + 1), ','))
       values.push_back(trim(v));
@@ -243,6 +272,35 @@ SweepSpec parse_sweep_spec(const std::string& text) {
                               v == "chimera" || v == "2bw",
                           "sweep spec: unknown schedule '" << v << "'");
       spec.schedule = v;
+    } else if (key == "jobs") {
+      spec.jobs.clear();
+      for (const std::string& v : values) {
+        const std::uint64_t n = parse_u64(key, v);
+        AUTOPIPE_EXPECT_MSG(n >= 1 && n <= 64,
+                            "sweep spec: jobs must be in [1, 64], got '"
+                                << v << "'");
+        spec.jobs.push_back(static_cast<std::size_t>(n));
+      }
+    } else if (key == "job-models") {
+      const std::string& v = scalar();
+      std::istringstream parts(v);
+      std::string part;
+      bool any = false;
+      while (std::getline(parts, part, '+')) {
+        const std::string name = trim(part);
+        AUTOPIPE_EXPECT_MSG(!name.empty(),
+                            "sweep spec: empty model in job-models '"
+                                << v << "'");
+        models::model_by_name(name);  // validate
+        any = true;
+      }
+      AUTOPIPE_EXPECT_MSG(any, "sweep spec: job-models has no models");
+      spec.job_models = v;
+    } else if (key == "arbiter") {
+      const std::string& v = scalar();
+      AUTOPIPE_EXPECT_MSG(v == "greedy" || v == "priority" || v == "auction",
+                          "sweep spec: unknown arbiter '" << v << "'");
+      spec.arbiter = v;
     } else {
       throw contract_error("sweep spec: unknown key '" + key + "'");
     }

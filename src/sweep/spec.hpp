@@ -40,6 +40,17 @@ struct ScenarioSpec {
   std::string faults;
   std::uint64_t seed = 1;
 
+  /// Co-tenancy axis: number of independent AutoPipe jobs sharing the
+  /// cluster. 1 (the default) runs the classic single-tenant path; > 1
+  /// runs a JobManager fleet (src/cluster/) and records the fleet_* result
+  /// fields. Single-tenant labels and report rows are unchanged.
+  std::size_t jobs = 1;
+  /// '+'-separated per-job model mix cycled across fleet jobs
+  /// ("alexnet+vgg16"); empty = every job trains `model`. Fleet runs only.
+  std::string job_models;
+  /// Cluster arbiter policy for fleet runs: greedy | priority | auction.
+  std::string arbiter = "greedy";
+
   std::size_t iterations = 40;
   std::size_t warmup = 10;
   std::size_t micro_batches = 4;
@@ -59,24 +70,31 @@ struct SweepSpec {
   std::vector<bool> churn = {false};
   std::vector<std::string> faults = {""};
   std::vector<std::uint64_t> seeds = {1};
+  /// Fleet-size axis; {1} keeps every scenario single-tenant.
+  std::vector<std::size_t> jobs = {1};
 
   std::size_t iterations = 40;
   std::size_t warmup = 10;
   std::size_t micro_batches = 4;
   std::string schedule = "1f1b";
+  std::string job_models;  ///< '+'-separated fleet model mix (scalar)
+  std::string arbiter = "greedy";
 
   /// Number of scenarios the grid expands to.
   std::size_t scenario_count() const;
 
   /// The ordered cross product. Axis nesting (outermost first): model,
-  /// system, servers, gpus-per-server, bandwidth, extra-jobs, churn,
-  /// faults, seed; each axis iterates its values in spec order.
+  /// system, servers, gpus-per-server, bandwidth, extra-jobs, jobs, churn,
+  /// faults, seed; each axis iterates its values in spec order. The jobs
+  /// axis only contributes a label component (".J<n>") when n > 1, so
+  /// single-tenant labels are stable across spec versions.
   std::vector<ScenarioSpec> expand() const;
 };
 
 /// Parse spec text (see the header comment for the grammar). Throws
 /// common::contract_error with a key/value diagnostic on malformed input:
-/// unknown keys, empty value lists, non-numeric numbers, unknown model or
+/// unknown keys, duplicate keys (the diagnostic names the key and both
+/// source lines), empty value lists, non-numeric numbers, unknown model or
 /// system names, a zero-scenario grid.
 SweepSpec parse_sweep_spec(const std::string& text);
 

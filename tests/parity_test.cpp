@@ -80,6 +80,38 @@ TEST_P(ParitySeeds, CausalEdgesAreByteIdenticalAndPresent) {
 }
 
 // ---------------------------------------------------------------------------
+// Co-tenant fleet split: N jobs under the greedy-arbiter JobManager on one
+// fabric, with chaos faults and churn on top. Arbitration rides the event
+// queue (claim windows, deny-then-abort follow-ups), so a queue that
+// reorders same-time events would flip winners and diverge loudly here.
+// ---------------------------------------------------------------------------
+
+class ParityFleetSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParityFleetSeeds, TwoJobFleetIsByteIdentical) {
+  ScenarioConfig config;
+  config.seed = GetParam();
+  config.inject_faults = true;
+  config.background_churn = true;
+  config.fleet_jobs = 2;
+  const Divergence d = parity::run_differential(config);
+  EXPECT_TRUE(d.identical) << d.report;
+}
+
+TEST_P(ParityFleetSeeds, EightJobFleetIsByteIdentical) {
+  ScenarioConfig config;
+  config.seed = GetParam();
+  config.inject_faults = true;
+  config.background_churn = true;
+  config.fleet_jobs = 8;
+  const Divergence d = parity::run_differential(config);
+  EXPECT_TRUE(d.identical) << d.report;
+}
+
+INSTANTIATE_TEST_SUITE_P(FleetSeeds, ParityFleetSeeds,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
 // Structural cases: each chaos axis alone
 // ---------------------------------------------------------------------------
 

@@ -83,6 +83,33 @@ TEST(SweepSpec, RejectsMalformedInput) {
                contract_error);
 }
 
+TEST(SweepSpec, DuplicateAxisKeyNamesBothLines) {
+  // Regression: a repeated axis key used to silently overwrite the earlier
+  // value list. The diagnostic must name the key and both source lines so a
+  // grid author can find the clash in a long spec file.
+  try {
+    parse_sweep_spec("model = alexnet\nseed = 1\nmodel = vgg16");
+    FAIL() << "duplicate axis key accepted";
+  } catch (const contract_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate key 'model'"), std::string::npos) << what;
+    EXPECT_NE(what.find("lines 1 and 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("merge the value lists"), std::string::npos) << what;
+  }
+  // ';' statements on one physical line clash under that line's number.
+  EXPECT_THROW(parse_sweep_spec("seed = 1; seed = 2"), contract_error);
+  // The same key spread across a comment-bearing line still reports the
+  // pre-comment line number.
+  try {
+    parse_sweep_spec("arbiter = greedy  # policy\njobs = 2\narbiter = auction");
+    FAIL() << "duplicate axis key accepted";
+  } catch (const contract_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate key 'arbiter'"), std::string::npos) << what;
+    EXPECT_NE(what.find("lines 1 and 3"), std::string::npos) << what;
+  }
+}
+
 TEST(SweepSpec, LoadResolvesInlineTextAndFiles) {
   EXPECT_EQ(load_sweep_spec("seed = 1..4").seeds.size(), 4u);
 

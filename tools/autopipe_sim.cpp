@@ -22,6 +22,8 @@
 #include "analysis/trace_view.hpp"
 #include "autopipe/controller.hpp"
 #include "baselines/data_parallel.hpp"
+#include "cluster/job_manager.hpp"
+#include "cluster/jobs_spec.hpp"
 #include "common/expect.hpp"
 #include "common/flags.hpp"
 #include "common/log.hpp"
@@ -73,6 +75,14 @@ void usage() {
       "                        the same lines inline separated by ';'\n"
       "                        (see docs/FAULTS.md)\n"
       "  --seed N              RNG seed (default 1)\n"
+      "  --jobs-spec SPEC|@FILE\n"
+      "                        co-tenancy mode: run N independent AutoPipe\n"
+      "                        jobs on the shared cluster under a\n"
+      "                        cluster-level arbiter. SPEC is 'key = value'\n"
+      "                        statements ('job' declares one job; arbiter,\n"
+      "                        claim-window, preempt are fleet-level); see\n"
+      "                        docs/COTENANCY.md. Replaces the single-job\n"
+      "                        run; --model/--system/--schedule are ignored\n"
       "  --trace PATH          write an event trace of the run; .json gives\n"
       "                        Chrome trace_event format (chrome://tracing,\n"
       "                        Perfetto), .txt/.trace the plain-text format\n"
@@ -112,6 +122,132 @@ std::pair<std::string, double> split_timeseries_spec(const std::string& spec) {
       return {spec.substr(0, colon), v};
   }
   return {spec, 1.0};
+}
+
+/// Output files requested on the command line; empty path = not requested.
+struct OutputPaths {
+  std::string trace;
+  std::string metrics;
+  std::string ledger;
+  std::string timeseries;
+  std::string profile;
+  double timeseries_interval = 1.0;
+};
+
+/// Serialize whatever outputs were requested. Shared by the single-job and
+/// --jobs-spec fleet paths so both emit identical artifact formats.
+void emit_outputs(sim::Simulator& simulator, const OutputPaths& paths) {
+  if (!paths.trace.empty()) {
+    std::ofstream out(paths.trace);
+    AUTOPIPE_EXPECT_MSG(out.good(), "cannot open trace file " << paths.trace);
+    const bool text =
+        paths.trace.size() >= 4 &&
+        (paths.trace.rfind(".txt") == paths.trace.size() - 4 ||
+         (paths.trace.size() >= 6 &&
+          paths.trace.rfind(".trace") == paths.trace.size() - 6));
+    if (text) {
+      simulator.tracer().write_text(out);
+    } else {
+      simulator.tracer().write_chrome_json(out);
+    }
+    std::cout << "trace: " << simulator.tracer().size() << " events -> "
+              << paths.trace << "\n";
+    // Breakdown straight off the in-memory recorder — the same report
+    // `autopipe_trace bubbles` would print from the file.
+    const analysis::TraceView view(simulator.tracer().events());
+    std::cout << analysis::render_bubbles_text(analysis::analyze(view));
+  }
+
+  if (!paths.metrics.empty()) {
+    std::ofstream out(paths.metrics);
+    AUTOPIPE_EXPECT_MSG(out.good(),
+                        "cannot open metrics file " << paths.metrics);
+    const auto flattened = simulator.metrics().flattened();
+    analysis::write_scalar_map_json(flattened, out);
+    std::cout << "metrics: " << flattened.size() << " values -> "
+              << paths.metrics << "\n";
+  }
+
+  if (!paths.ledger.empty()) {
+    // Terminal-state any decision still mid-measurement, then serialize.
+    simulator.ledger().finalize("run_end");
+    std::ofstream out(paths.ledger);
+    AUTOPIPE_EXPECT_MSG(out.good(),
+                        "cannot open ledger file " << paths.ledger);
+    simulator.ledger().write_text(out);
+    std::cout << "ledger: " << simulator.ledger().size() << " decisions -> "
+              << paths.ledger << "\n";
+  }
+
+  if (!paths.timeseries.empty()) {
+    simulator.timeseries().finalize(simulator.now(), simulator.metrics());
+    std::ofstream out(paths.timeseries);
+    AUTOPIPE_EXPECT_MSG(out.good(),
+                        "cannot open timeseries file " << paths.timeseries);
+    simulator.timeseries().write_text(out);
+    std::cout << "timeseries: " << simulator.timeseries().size()
+              << " samples every "
+              << TextTable::num(paths.timeseries_interval, 3) << "s -> "
+              << paths.timeseries << "\n";
+  }
+
+  if (!paths.profile.empty()) {
+    prof::set_enabled(false);
+    const std::vector<prof::ThreadProfile> profiles = prof::collect();
+    std::ofstream out(paths.profile);
+    AUTOPIPE_EXPECT_MSG(out.good(),
+                        "cannot open profile file " << paths.profile);
+    const bool json =
+        paths.profile.size() >= 5 &&
+        paths.profile.rfind(".json") == paths.profile.size() - 5;
+    if (json) {
+      prof::write_chrome_json(profiles, out);
+    } else {
+      prof::write_text(profiles, out);
+    }
+    std::size_t spans = 0;
+    for (const prof::ThreadProfile& tp : profiles)
+      spans += tp.spans.size() + tp.aggregates.size();
+    std::cout << "profile: " << spans << " span record(s) across "
+              << profiles.size() << " thread(s) -> " << paths.profile << "\n";
+  }
+}
+
+/// Co-tenancy mode: the whole fleet run, from parsed spec to summary
+/// tables. Returns the process exit code.
+int run_fleet(sim::Simulator& simulator, sim::Cluster& cluster,
+              const cluster::FleetSpec& fleet, const OutputPaths& paths) {
+  cluster::JobManager manager(simulator, cluster, fleet);
+  const cluster::FleetReport fr = manager.run();
+
+  emit_outputs(simulator, paths);
+
+  TextTable jobs({"job", "model", "priority", "samples/s", "util", "commits",
+                  "contention aborts", "finished at (s)"});
+  for (const auto& j : fr.jobs) {
+    jobs.add_row({std::to_string(j.id), j.model,
+                  TextTable::num(j.priority, 2),
+                  TextTable::num(j.report.throughput, 1),
+                  TextTable::num(j.report.worker_utilization, 3),
+                  std::to_string(j.commits),
+                  std::to_string(j.contention_aborts),
+                  TextTable::num(j.finished_at, 2)});
+  }
+  jobs.print(std::cout, "fleet: " + std::to_string(fr.jobs.size()) +
+                            " job(s), " + fr.arbiter + " arbiter");
+
+  TextTable summary({"metric", "value"});
+  summary.add_row({"fleet throughput (samples/s)",
+                   TextTable::num(fr.fleet_throughput, 1)});
+  summary.add_row({"jain fairness", TextTable::num(fr.jain, 4)});
+  summary.add_row({"claim rounds", std::to_string(fr.claim_rounds)});
+  summary.add_row({"conflicts", std::to_string(fr.conflicts)});
+  summary.add_row({"grants", std::to_string(fr.grants)});
+  summary.add_row({"denials", std::to_string(fr.denials)});
+  summary.add_row({"contention aborts",
+                   std::to_string(fr.contention_aborts)});
+  summary.print(std::cout, "autopipe_sim fleet report");
+  return 0;
 }
 
 pipeline::ScheduleMode parse_schedule(const std::string& name) {
@@ -178,6 +314,8 @@ int main(int argc, char** argv) {
     prof::reset();
     prof::set_enabled(true);
   }
+  const OutputPaths outputs{trace_path,      metrics_path, ledger_path,
+                            timeseries_path, profile_path, timeseries_interval};
   sim::ClusterConfig cluster_config;
   cluster_config.num_servers =
       static_cast<std::size_t>(flags.get_int("servers", 5));
@@ -197,6 +335,43 @@ int main(int argc, char** argv) {
     static sim::BackgroundWorkload background(
         churn, Rng(static_cast<std::uint64_t>(flags.get_int("seed", 1))));
     background.install(simulator, cluster);
+  }
+
+  // Co-tenancy mode: --jobs-spec replaces the single-job pipeline below
+  // with a JobManager fleet. Shares the cluster/churn/fault environment and
+  // all --trace/--metrics/--ledger/--timeseries/--profile outputs.
+  const std::string jobs_spec_arg = flags.get("jobs-spec", "");
+  if (!jobs_spec_arg.empty()) {
+    cluster::FleetSpec fleet;
+    try {
+      fleet = cluster::load_jobs_spec(jobs_spec_arg);
+      cluster::assign_default_workers(fleet, cluster.num_workers());
+    } catch (const std::exception& e) {
+      std::cerr << "autopipe_sim: bad --jobs-spec: " << e.what() << "\n";
+      return 2;
+    }
+    faults::FaultPlan fleet_faults;
+    const std::string fleet_fault_spec = flags.get("faults", "");
+    if (!fleet_fault_spec.empty()) {
+      try {
+        fleet_faults = faults::parse_spec(fleet_fault_spec,
+                                          cluster_config.num_servers,
+                                          cluster_config.gpus_per_server);
+      } catch (const std::exception& e) {
+        std::cerr << "autopipe_sim: bad --faults spec: " << e.what() << "\n";
+        return 2;
+      }
+      fleet_faults.install(simulator, cluster,
+                           [](const faults::FaultEvent& ev) {
+                             LOG_DEBUG("fault: " << ev.describe());
+                           });
+      std::cout << "faults: " << fleet_faults.size()
+                << " scheduled events (horizon "
+                << TextTable::num(fleet_faults.horizon(), 2) << "s)\n";
+    }
+    for (const std::string& flag : flags.unused())
+      std::cerr << "warning: unknown flag --" << flag << " (see --help)\n";
+    return run_fleet(simulator, cluster, fleet, outputs);
   }
 
   const auto iterations =
@@ -300,80 +475,7 @@ int main(int argc, char** argv) {
 
   const auto report = executor.run(iterations, warmup);
 
-  if (!trace_path.empty()) {
-    std::ofstream out(trace_path);
-    AUTOPIPE_EXPECT_MSG(out.good(), "cannot open trace file " << trace_path);
-    const bool text =
-        trace_path.size() >= 4 &&
-        (trace_path.rfind(".txt") == trace_path.size() - 4 ||
-         (trace_path.size() >= 6 &&
-          trace_path.rfind(".trace") == trace_path.size() - 6));
-    if (text) {
-      simulator.tracer().write_text(out);
-    } else {
-      simulator.tracer().write_chrome_json(out);
-    }
-    std::cout << "trace: " << simulator.tracer().size() << " events -> "
-              << trace_path << "\n";
-    // Breakdown straight off the in-memory recorder — the same report
-    // `autopipe_trace bubbles` would print from the file.
-    const analysis::TraceView view(simulator.tracer().events());
-    std::cout << analysis::render_bubbles_text(analysis::analyze(view));
-  }
-
-  if (!metrics_path.empty()) {
-    std::ofstream out(metrics_path);
-    AUTOPIPE_EXPECT_MSG(out.good(),
-                        "cannot open metrics file " << metrics_path);
-    const auto flattened = simulator.metrics().flattened();
-    analysis::write_scalar_map_json(flattened, out);
-    std::cout << "metrics: " << flattened.size() << " values -> "
-              << metrics_path << "\n";
-  }
-
-  if (!ledger_path.empty()) {
-    // Terminal-state any decision still mid-measurement, then serialize.
-    simulator.ledger().finalize("run_end");
-    std::ofstream out(ledger_path);
-    AUTOPIPE_EXPECT_MSG(out.good(),
-                        "cannot open ledger file " << ledger_path);
-    simulator.ledger().write_text(out);
-    std::cout << "ledger: " << simulator.ledger().size() << " decisions -> "
-              << ledger_path << "\n";
-  }
-
-  if (!timeseries_path.empty()) {
-    simulator.timeseries().finalize(simulator.now(), simulator.metrics());
-    std::ofstream out(timeseries_path);
-    AUTOPIPE_EXPECT_MSG(out.good(),
-                        "cannot open timeseries file " << timeseries_path);
-    simulator.timeseries().write_text(out);
-    std::cout << "timeseries: " << simulator.timeseries().size()
-              << " samples every "
-              << TextTable::num(timeseries_interval, 3) << "s -> "
-              << timeseries_path << "\n";
-  }
-
-  if (!profile_path.empty()) {
-    prof::set_enabled(false);
-    const std::vector<prof::ThreadProfile> profiles = prof::collect();
-    std::ofstream out(profile_path);
-    AUTOPIPE_EXPECT_MSG(out.good(),
-                        "cannot open profile file " << profile_path);
-    const bool json =
-        profile_path.size() >= 5 &&
-        profile_path.rfind(".json") == profile_path.size() - 5;
-    if (json) {
-      prof::write_chrome_json(profiles, out);
-    } else {
-      prof::write_text(profiles, out);
-    }
-    std::size_t spans = 0;
-    for (const prof::ThreadProfile& tp : profiles)
-      spans += tp.spans.size() + tp.aggregates.size();
-    std::cout << "profile: " << spans << " span record(s) across "
-              << profiles.size() << " thread(s) -> " << profile_path << "\n";
-  }
+  emit_outputs(simulator, outputs);
 
   TextTable summary({"metric", "value"});
   summary.add_row({"model", model.name()});

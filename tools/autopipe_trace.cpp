@@ -14,6 +14,7 @@
 //   autopipe_trace switches run.trace
 //   autopipe_trace gantt run.trace --width=120
 //   autopipe_trace diff before.trace after.trace --tolerance=1e-9
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -65,11 +66,15 @@ int usage(std::ostream& os, int code) {
       "  autopipe_trace diff TRACE_A TRACE_B [--json] [--tolerance=X]\n"
       "      compare every analysis metric between two runs\n"
       "  autopipe_trace blame TRACE [--json] [--top=N]\n"
-      "                 [--window=T0..T1 | --iteration=N]\n"
+      "                 [--window=T0..T1 | --iteration=N] [--job=K]\n"
       "      walk the causal event graph backward from the slowest point\n"
       "      of the window (default: the whole run) and print the dominant\n"
       "      delay chain, its root cause, and a per-class stall ledger\n"
-      "      (see docs/TRACING.md, \"Causality and blame\")\n"
+      "      (see docs/TRACING.md, \"Causality and blame\"). In a\n"
+      "      co-tenant trace --job=K anchors the chain at job K's events\n"
+      "      (and counts --iteration over job K's marks), so a loser's\n"
+      "      slow window roots at the tenant_contention edge naming the\n"
+      "      winning job (docs/COTENANCY.md)\n"
       "  autopipe_trace decisions LEDGER [--json] [--check]\n"
       "      the decision ledger, one row per planning round; --check\n"
       "      validates the parse -> reserialize round-trip byte-for-byte\n"
@@ -114,6 +119,7 @@ struct Options {
   std::string gate;
   std::string window_range;       // blame: "T0..T1"
   std::size_t blame_iteration = 0;  // blame: 1-based iteration, 0 = unset
+  std::uint64_t job = 0;            // blame: co-tenant job id, 0 = unset
 };
 
 bool parse_options(int argc, char** argv, Options& opts) {
@@ -136,6 +142,8 @@ bool parse_options(int argc, char** argv, Options& opts) {
     } else if (arg.rfind("--iteration=", 0) == 0) {
       opts.blame_iteration = static_cast<std::size_t>(
           std::strtoull(arg.c_str() + 12, nullptr, 10));
+    } else if (arg.rfind("--job=", 0) == 0) {
+      opts.job = std::strtoull(arg.c_str() + 6, nullptr, 10);
     } else if (arg.rfind("--tolerance=", 0) == 0) {
       opts.tolerance = std::strtod(arg.c_str() + 12, nullptr);
     } else if (arg.rfind("--ledger=", 0) == 0) {
@@ -395,7 +403,11 @@ int main(int argc, char** argv) {
       }
       analysis::BlameReport report;
       if (opts.blame_iteration != 0) {
-        report = analysis::blame_iteration(graph, view, opts.blame_iteration);
+        report = opts.job != 0
+                     ? analysis::blame_iteration(graph, opts.blame_iteration,
+                                                 opts.job)
+                     : analysis::blame_iteration(graph, view,
+                                                 opts.blame_iteration);
       } else if (!opts.window_range.empty()) {
         const std::string::size_type dots = opts.window_range.find("..");
         if (dots == std::string::npos) {
@@ -410,9 +422,10 @@ int main(int argc, char** argv) {
           std::cerr << "--window T0..T1 must not end before it begins\n";
           return 2;
         }
-        report = analysis::blame_window(graph, t0, t1);
+        report = analysis::blame_window(graph, t0, t1, opts.job);
       } else {
-        report = analysis::blame_window(graph, 0.0, view.wall_clock());
+        report = analysis::blame_window(graph, 0.0, view.wall_clock(),
+                                        opts.job);
       }
       if (opts.json) {
         analysis::write_blame_json(report, graph, std::cout);

@@ -12,6 +12,7 @@
 #   tools/check.sh --telemetry    # build + time-series/profiler smoke only
 #   tools/check.sh --chaos-switch # build + mid-switch crash-point matrix only
 #   tools/check.sh --causal       # build + causal blame & overhead gate only
+#   tools/check.sh --cotenancy    # build + baseline-gated co-tenant fleet only
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -25,6 +26,7 @@ parity_only=0
 telemetry_only=0
 chaos_switch_only=0
 causal_only=0
+cotenancy_only=0
 if [[ "${1:-}" == "--sanitize" ]]; then
   build="${BUILD_DIR:-$repo/build-asan}"
   cmake_args+=(-DAUTOPIPE_SANITIZE=ON)
@@ -42,8 +44,10 @@ elif [[ "${1:-}" == "--chaos-switch" ]]; then
   chaos_switch_only=1
 elif [[ "${1:-}" == "--causal" ]]; then
   causal_only=1
+elif [[ "${1:-}" == "--cotenancy" ]]; then
+  cotenancy_only=1
 elif [[ $# -gt 0 ]]; then
-  echo "usage: tools/check.sh [--sanitize|--ledger-smoke|--sweep-smoke|--parity|--telemetry|--chaos-switch|--causal]" >&2
+  echo "usage: tools/check.sh [--sanitize|--ledger-smoke|--sweep-smoke|--parity|--telemetry|--chaos-switch|--causal|--cotenancy]" >&2
   exit 2
 fi
 
@@ -88,6 +92,25 @@ sweep_smoke() {
       --jobs=4 --tolerance=0.10 --out="$tmp/BENCH_sweep.json" \
       --baseline="$repo/bench/baselines/sweep_smoke_baseline.json"
   "$repo/tools/bench_history.sh" "$tmp/BENCH_sweep.json"
+}
+
+# Co-tenant fleet smoke: the 4-job mixed-model fleets with one injected
+# preemption must commit exactly one winning reconfiguration for the
+# preempted GPU under every arbiter policy (the bench exits non-zero
+# otherwise), and fleet throughput is gated against the committed
+# bench/baselines/cotenancy_baseline.json (regenerate with
+# `cotenancy_fleet --out` after an intentional change — docs/COTENANCY.md).
+# The ctest invariant suite behind the same subsystem carries the label
+# `cotenancy` (ctest -L cotenancy).
+cotenancy_smoke() {
+  echo "== cotenancy smoke =="
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' RETURN
+  "$build/bench/cotenancy_fleet" --tolerance=0.10 \
+      --out="$tmp/BENCH_cotenancy.json" \
+      --baseline="$repo/bench/baselines/cotenancy_baseline.json"
+  "$repo/tools/bench_history.sh" "$tmp/BENCH_cotenancy.json"
 }
 
 # Mid-switch crash-point matrix: every (switch mode x protocol phase x
@@ -234,6 +257,12 @@ if [[ "$causal_only" == 1 ]]; then
   exit 0
 fi
 
+if [[ "$cotenancy_only" == 1 ]]; then
+  cotenancy_smoke
+  echo "OK"
+  exit 0
+fi
+
 echo "== test =="
 ctest --test-dir "$build" --output-on-failure -j "$jobs"
 
@@ -258,6 +287,8 @@ sweep_smoke
 parity_smoke
 
 telemetry_smoke
+
+cotenancy_smoke
 
 causal_smoke
 
